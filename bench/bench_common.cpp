@@ -1,0 +1,157 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sfa/tlb.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace sofa {
+namespace bench {
+
+std::size_t BenchOptions::max_threads() const {
+  std::size_t max_count = 1;
+  for (const std::size_t t : thread_counts) {
+    max_count = std::max(max_count, t);
+  }
+  return max_count;
+}
+
+BenchOptions ParseBenchOptions(const Flags& flags) {
+  BenchOptions options;
+  options.n_series = static_cast<std::size_t>(flags.GetInt(
+      "n_series", static_cast<std::int64_t>(kDefaultSeriesPerDataset)));
+  options.n_queries =
+      static_cast<std::size_t>(flags.GetInt("n_queries", 10));
+  options.leaf_size =
+      static_cast<std::size_t>(flags.GetInt("leaf_size", 2000));
+  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 0xbe9c));
+
+  for (const std::string& item : flags.GetList("threads")) {
+    options.thread_counts.push_back(
+        static_cast<std::size_t>(std::stoul(item)));
+  }
+  if (flags.Has("threads") && options.thread_counts.empty()) {
+    options.thread_counts.push_back(
+        static_cast<std::size_t>(flags.GetInt("threads", 1)));
+  }
+  if (options.thread_counts.empty()) {
+    // Paper sweep {9,18,36} scaled to this machine: powers of two up to #hw.
+    for (std::size_t t = 1; t <= HardwareThreads(); t *= 2) {
+      options.thread_counts.push_back(t);
+    }
+  }
+
+  options.dataset_names = flags.GetList("datasets");
+  if (options.dataset_names.empty()) {
+    for (const auto& spec : datagen::AllDatasetSpecs()) {
+      options.dataset_names.push_back(spec.name);
+    }
+  } else {
+    for (const auto& name : options.dataset_names) {
+      SOFA_CHECK(datagen::FindDatasetSpec(name) != nullptr)
+          << "unknown dataset " << name;
+    }
+  }
+  return options;
+}
+
+void PrintHeader(const std::string& title, const BenchOptions& options) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf(
+      "scale: %zu series/dataset, %zu queries, leaf %zu, %zu datasets, "
+      "threads:",
+      options.n_series, options.n_queries, options.leaf_size,
+      options.dataset_names.size());
+  for (const std::size_t t : options.thread_counts) {
+    std::printf(" %zu", t);
+  }
+  std::printf("\n(paper scale: 0.58M-100M series/dataset, 100 queries, "
+              "leaf 20000, 2x18-core Xeon — shapes, not absolute times, "
+              "are comparable)\n\n");
+}
+
+LabeledDataset MakeBenchDataset(const std::string& name,
+                                const BenchOptions& options,
+                                ThreadPool* pool) {
+  datagen::GenerateOptions gen;
+  gen.count = options.n_series;
+  gen.num_queries = options.n_queries;
+  gen.seed = options.seed;
+  return datagen::MakeDatasetByName(name, gen, pool);
+}
+
+SofaIndex BuildSofa(const Dataset& data, const BenchOptions& options,
+                    ThreadPool* pool, std::size_t num_threads,
+                    const sfa::SfaConfig* config_override) {
+  SofaIndex result;
+  sfa::SfaConfig config;
+  if (config_override != nullptr) {
+    config = *config_override;
+  }
+  WallTimer timer;
+  std::unique_ptr<sfa::SfaScheme> scheme = sfa::TrainSfa(data, config, pool);
+  result.train_seconds = timer.Seconds();
+  result.scheme = std::move(scheme);
+  index::IndexConfig index_config;
+  index_config.leaf_capacity = options.leaf_size;
+  index_config.num_threads = num_threads;
+  result.tree = std::make_unique<index::TreeIndex>(
+      &data, result.scheme.get(), index_config, pool);
+  return result;
+}
+
+MessiIndex BuildMessi(const Dataset& data, const BenchOptions& options,
+                      ThreadPool* pool, std::size_t num_threads) {
+  MessiIndex result;
+  result.scheme = std::make_unique<sax::SaxScheme>(data.length(), 16, 256);
+  index::IndexConfig index_config;
+  index_config.leaf_capacity = options.leaf_size;
+  index_config.num_threads = num_threads;
+  result.tree = std::make_unique<index::TreeIndex>(
+      &data, result.scheme.get(), index_config, pool);
+  return result;
+}
+
+std::vector<double> TimeQueries(
+    const Dataset& queries,
+    const std::function<void(const float* query)>& query_fn) {
+  std::vector<double> millis;
+  millis.reserve(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    WallTimer timer;
+    query_fn(queries.row(q));
+    millis.push_back(timer.Millis());
+  }
+  return millis;
+}
+
+const std::vector<std::string>& AblationNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "SFA EW +VAR", "SFA EW", "SFA ED +VAR", "SFA ED", "iSAX"};
+  return *names;
+}
+
+std::vector<double> AblationTlbs(const Dataset& train, const Dataset& queries,
+                                 std::size_t alphabet, ThreadPool* pool) {
+  std::vector<double> tlbs;
+  const std::size_t l = 16;
+  for (int variant = 0; variant < 4; ++variant) {
+    sfa::SfaConfig config;
+    config.word_length = l;
+    config.alphabet = alphabet;
+    config.binning = (variant < 2) ? quant::BinningMethod::kEquiWidth
+                                   : quant::BinningMethod::kEquiDepth;
+    config.variance_selection = (variant % 2) == 0;
+    config.sampling_ratio = 1.0;  // the ablation trains on the full split
+    const auto scheme = sfa::TrainSfa(train, config, pool);
+    tlbs.push_back(sfa::MeanTlb(*scheme, train, queries));
+  }
+  const sax::SaxScheme sax_scheme(train.length(), l, alphabet);
+  tlbs.push_back(sfa::MeanTlb(sax_scheme, train, queries));
+  return tlbs;
+}
+
+}  // namespace bench
+}  // namespace sofa

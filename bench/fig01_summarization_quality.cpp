@@ -1,0 +1,113 @@
+// Fig. 1: why PAA/SAX fails on high-frequency and non-Gaussian data.
+//
+// TOP panel, quantified: per dataset the reconstruction error of a
+// 16-value PAA versus a 16-value truncated DFT — on high-frequency data
+// PAA collapses to a flat line (error → 1 of the signal energy) while the
+// DFT tracks the signal.
+// BOTTOM panel, quantified: distance of the value distribution from
+// N(0,1) (KS statistic, skewness, excess kurtosis) — the Gaussian
+// assumption baked into SAX's fixed breakpoints does not hold.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dft/real_dft.h"
+#include "sax/paa.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace sofa;
+
+// Mean squared reconstruction error of the 16-value PAA, relative to the
+// energy of the (z-normalized) series: 1.0 == summarization kept nothing.
+double PaaReconstructionError(const Dataset& data, std::size_t max_series) {
+  const std::size_t n = data.length();
+  const std::size_t l = 16;
+  std::vector<float> paa(l);
+  double total_err = 0.0;
+  double total_energy = 0.0;
+  for (std::size_t i = 0; i < std::min(max_series, data.size()); ++i) {
+    const float* row = data.row(i);
+    sax::Paa(row, n, l, paa.data());
+    for (std::size_t seg = 0; seg < l; ++seg) {
+      for (std::size_t t = sax::SegmentStart(n, l, seg);
+           t < sax::SegmentStart(n, l, seg + 1); ++t) {
+        const double e = row[t] - paa[seg];
+        total_err += e * e;
+        total_energy += static_cast<double>(row[t]) * row[t];
+      }
+    }
+  }
+  return total_energy > 0.0 ? total_err / total_energy : 0.0;
+}
+
+// Same for a 16-value (8 complex coefficients, lowest frequencies)
+// truncated Fourier reconstruction.
+double DftReconstructionError(const Dataset& data, std::size_t max_series) {
+  const std::size_t n = data.length();
+  dft::RealDftPlan plan(n);
+  dft::RealDftPlan::Scratch scratch;
+  std::vector<std::complex<float>> coeffs(plan.num_coefficients());
+  std::vector<std::complex<float>> kept(plan.num_coefficients());
+  std::vector<float> restored(n);
+  double total_err = 0.0;
+  double total_energy = 0.0;
+  for (std::size_t i = 0; i < std::min(max_series, data.size()); ++i) {
+    const float* row = data.row(i);
+    plan.Transform(row, coeffs.data(), &scratch);
+    // Keep DC (zero anyway) + the first 8 complex coefficients = 16 values.
+    std::fill(kept.begin(), kept.end(), std::complex<float>(0.0f, 0.0f));
+    for (std::size_t k = 0; k <= std::min<std::size_t>(8, kept.size() - 1);
+         ++k) {
+      kept[k] = coeffs[k];
+    }
+    plan.InverseTransform(kept.data(), restored.data(), &scratch);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double e = row[t] - restored[t];
+      total_err += e * e;
+      total_energy += static_cast<double>(row[t]) * row[t];
+    }
+  }
+  return total_energy > 0.0 ? total_err / total_energy : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sofa::bench;
+  Flags flags(argc, argv);
+  BenchOptions options = ParseBenchOptions(flags);
+  options.n_series =
+      static_cast<std::size_t>(flags.GetInt("n_series", 2000));
+  PrintHeader("Fig. 1 — summarization quality and value distributions",
+              options);
+
+  ThreadPool pool(options.max_threads());
+  TablePrinter table({"Dataset", "PAA err (16 vals)", "DFT err (16 vals)",
+                      "KS vs N(0,1)", "skewness", "ex. kurtosis"});
+  for (const std::string& name : options.dataset_names) {
+    const LabeledDataset ds = MakeBenchDataset(name, options, &pool);
+    std::vector<double> values;
+    for (std::size_t i = 0; i < std::min<std::size_t>(100, ds.data.size());
+         ++i) {
+      for (std::size_t t = 0; t < ds.data.length(); ++t) {
+        values.push_back(ds.data.row(i)[t]);
+      }
+    }
+    table.AddRow({ds.name,
+                  FormatDouble(PaaReconstructionError(ds.data, 100), 3),
+                  FormatDouble(DftReconstructionError(ds.data, 100), 3),
+                  FormatDouble(stats::KsStatisticVsStdNormal(values), 3),
+                  FormatDouble(stats::Skewness(values), 2),
+                  FormatDouble(stats::ExcessKurtosis(values), 2)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\npaper shape: on high-frequency datasets (LenDB, SCEDC, "
+      "Meier2019JGR, vectors)\nPAA error approaches 1.0 (flat line) while "
+      "the DFT error stays below it;\nvalue distributions deviate from "
+      "N(0,1) (large KS / skew / kurtosis).\n");
+  return 0;
+}

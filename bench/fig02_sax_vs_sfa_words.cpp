@@ -1,0 +1,105 @@
+// Fig. 2: SAX vs SFA words for one series at word lengths 4/8/12.
+//
+// Reproduces the figure's content as text: for one sample series, the SAX
+// word (staircase envelope in time domain) and the SFA word (envelope
+// around the Fourier coefficients) with an 8-symbol alphabet, plus each
+// summarization's reconstruction RMSE at the same budget.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dft/real_dft.h"
+#include "sax/isax.h"
+#include "sax/paa.h"
+#include "sax/sax_scheme.h"
+#include "sfa/mcb.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace sofa;
+
+// RMSE of the PAA staircase against the series.
+double PaaRmse(const float* row, std::size_t n, std::size_t l) {
+  std::vector<float> paa(l);
+  sax::Paa(row, n, l, paa.data());
+  double err = 0.0;
+  for (std::size_t seg = 0; seg < l; ++seg) {
+    for (std::size_t t = sax::SegmentStart(n, l, seg);
+         t < sax::SegmentStart(n, l, seg + 1); ++t) {
+      const double e = row[t] - paa[seg];
+      err += e * e;
+    }
+  }
+  return std::sqrt(err / static_cast<double>(n));
+}
+
+// RMSE of the l-value truncated Fourier reconstruction.
+double DftRmse(const float* row, std::size_t n, std::size_t l) {
+  dft::RealDftPlan plan(n);
+  dft::RealDftPlan::Scratch scratch;
+  std::vector<std::complex<float>> coeffs(plan.num_coefficients());
+  std::vector<std::complex<float>> kept(plan.num_coefficients(),
+                                        {0.0f, 0.0f});
+  std::vector<float> restored(n);
+  plan.Transform(row, coeffs.data(), &scratch);
+  for (std::size_t k = 0; k <= std::min(l / 2, kept.size() - 1); ++k) {
+    kept[k] = coeffs[k];
+  }
+  plan.InverseTransform(kept.data(), restored.data(), &scratch);
+  double err = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double e = row[t] - restored[t];
+    err += e * e;
+  }
+  return std::sqrt(err / static_cast<double>(n));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sofa::bench;
+  Flags flags(argc, argv);
+  BenchOptions options = ParseBenchOptions(flags);
+  options.n_series =
+      static_cast<std::size_t>(flags.GetInt("n_series", 2000));
+  const std::string dataset =
+      flags.GetString("dataset", "Meier2019JGR");  // high-frequency example
+  PrintHeader("Fig. 2 — SAX vs SFA words (alphabet 8, l = 4/8/12)", options);
+
+  ThreadPool pool(options.max_threads());
+  const LabeledDataset ds = MakeBenchDataset(dataset, options, &pool);
+  const float* row = ds.data.row(0);
+  const std::size_t n = ds.data.length();
+  std::printf("dataset %s, series 0 of length %zu\n\n", ds.name.c_str(), n);
+
+  TablePrinter table({"l", "SAX word", "PAA RMSE", "SFA word", "DFT RMSE"});
+  for (const std::size_t l : {4u, 8u, 12u}) {
+    // SAX side.
+    sax::SaxScheme sax_scheme(n, l, 8);
+    std::vector<std::uint8_t> sax_word(l);
+    sax_scheme.Symbolize(row, sax_word.data());
+
+    // SFA side (low-pass values like the figure, learned 8-symbol bins).
+    sfa::SfaConfig config;
+    config.word_length = l;
+    config.alphabet = 8;
+    config.variance_selection = false;
+    config.sampling_ratio = 1.0;
+    const auto sfa_scheme = sfa::TrainSfa(ds.data, config, &pool);
+    std::vector<std::uint8_t> sfa_word(l);
+    sfa_scheme->Symbolize(row, sfa_word.data());
+
+    table.AddRow({std::to_string(l),
+                  sax::WordToString(sax_word.data(), l, 8),
+                  FormatDouble(PaaRmse(row, n, l), 3),
+                  sax::WordToString(sfa_word.data(), l, 8),
+                  FormatDouble(DftRmse(row, n, l), 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\npaper shape: SAX's staircase misses the signal (RMSE barely "
+      "improves with l);\nSFA's Fourier envelope tracks it (RMSE drops as "
+      "l grows).\n");
+  return 0;
+}

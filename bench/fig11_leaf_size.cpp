@@ -1,0 +1,85 @@
+// Fig. 11: 1-NN query time versus leaf capacity for MESSI, SOFA+ED
+// (equi-depth bins) and SOFA+EW (equi-width bins).
+//
+// Paper shape: query time falls with leaf size and plateaus around 10k
+// series per leaf (20k is the paper default); SOFA+EW below SOFA+ED below
+// MESSI throughout. Defaults sweep a scaled range; --leaf_sizes overrides.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace sofa;
+  using namespace sofa::bench;
+  Flags flags(argc, argv);
+  BenchOptions options = ParseBenchOptions(flags);
+  if (!flags.Has("datasets")) {
+    // Representative subset by default (full sweep via --datasets=...).
+    options.dataset_names = {"LenDB", "SCEDC",   "OBS",
+                             "Iquique", "PNW",   "Deep1b"};
+  }
+  std::vector<std::size_t> leaf_sizes;
+  for (const std::string& item : flags.GetList("leaf_sizes")) {
+    leaf_sizes.push_back(static_cast<std::size_t>(std::stoul(item)));
+  }
+  if (leaf_sizes.empty()) {
+    leaf_sizes = {250, 500, 1000, 2000, 5000, 10000, 20000};
+  }
+  PrintHeader("Fig. 11 — query time by leaf size", options);
+
+  const std::size_t threads = options.max_threads();
+  ThreadPool pool(threads);
+
+  TablePrinter table({"Leaf size", "MESSI (ms)", "SOFA+ED (ms)",
+                      "SOFA+EW (ms)"});
+  for (const std::size_t leaf : leaf_sizes) {
+    BenchOptions leaf_options = options;
+    leaf_options.leaf_size = leaf;
+    std::vector<double> messi_ms;
+    std::vector<double> sofa_ed_ms;
+    std::vector<double> sofa_ew_ms;
+    for (const std::string& name : options.dataset_names) {
+      const LabeledDataset ds = MakeBenchDataset(name, options, &pool);
+      const MessiIndex messi =
+          BuildMessi(ds.data, leaf_options, &pool, threads);
+      for (const double ms : TimeQueries(ds.queries, [&](const float* q) {
+             (void)messi.tree->Search1Nn(q);
+           })) {
+        messi_ms.push_back(ms);
+      }
+      sfa::SfaConfig ed_config;
+      ed_config.binning = quant::BinningMethod::kEquiDepth;
+      const SofaIndex sofa_ed =
+          BuildSofa(ds.data, leaf_options, &pool, threads, &ed_config);
+      for (const double ms : TimeQueries(ds.queries, [&](const float* q) {
+             (void)sofa_ed.tree->Search1Nn(q);
+           })) {
+        sofa_ed_ms.push_back(ms);
+      }
+      const SofaIndex sofa_ew =
+          BuildSofa(ds.data, leaf_options, &pool, threads);
+      for (const double ms : TimeQueries(ds.queries, [&](const float* q) {
+             (void)sofa_ew.tree->Search1Nn(q);
+           })) {
+        sofa_ew_ms.push_back(ms);
+      }
+    }
+    table.AddRow({std::to_string(leaf),
+                  FormatDouble(stats::Median(messi_ms), 2),
+                  FormatDouble(stats::Median(sofa_ed_ms), 2),
+                  FormatDouble(stats::Median(sofa_ew_ms), 2)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\npaper shape: times fall with leaf size and plateau (paper: around "
+      "10k); SOFA+EW <= SOFA+ED <= MESSI.\nbench-scale caveat: the paper "
+      "sweeps leaves up to 0.02%% of its 10^8-series collections; at "
+      "--n_series=%zu\na 10k leaf is a large fraction of the data, so the "
+      "approximate-search leaf scan dominates and the\ncurve inverts for "
+      "the largest leaves. The SOFA <= MESSI ordering is scale-free.\n",
+      options.n_series);
+  return 0;
+}

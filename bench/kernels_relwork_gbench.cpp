@@ -1,0 +1,202 @@
+// Kernel microbenchmarks (google-benchmark) for the related-work
+// substrates: DTW and its cascade bounds (scalar vs AVX2 LB_Keogh — the
+// Section IV-H mask-branching pattern applied to the envelope bound),
+// warping envelopes, MASS distance profiles vs the early-abandoning
+// subsequence scan, and the per-series projection cost of every numeric
+// summarization.
+
+#include <benchmark/benchmark.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/znorm.h"
+#include "elastic/dtw.h"
+#include "elastic/envelope.h"
+#include "elastic/lower_bounds.h"
+#include "numeric/registry.h"
+#include "subseq/mass.h"
+#include "subseq/ucr_subseq.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sofa;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<float> WalkSeries(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  double level = 0.0;
+  for (auto& x : v) {
+    level += rng.Gaussian();
+    x = static_cast<float>(level);
+  }
+  ZNormalize(v.data(), n);
+  return v;
+}
+
+// ------------------------------------------------------------- DTW
+
+void BM_Dtw_Banded(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = WalkSeries(n, 1);
+  const auto b = WalkSeries(n, 2);
+  const std::size_t band = n / 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        elastic::Dtw(a.data(), n, b.data(), n, band));
+  }
+  state.SetItemsProcessed(state.iterations() * n * (2 * band + 1));
+}
+BENCHMARK(BM_Dtw_Banded)->Arg(128)->Arg(256)->Arg(1024);
+
+void BM_Dtw_Full(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = WalkSeries(n, 3);
+  const auto b = WalkSeries(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(elastic::Dtw(a.data(), n, b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Dtw_Full)->Arg(128)->Arg(256);
+
+void BM_DtwEarlyAbandon_WarmBound(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = WalkSeries(n, 5);
+  const auto b = WalkSeries(n, 6);
+  const std::size_t band = n / 10;
+  // A bound at half the true distance abandons partway down the matrix.
+  const double bound = elastic::Dtw(a.data(), n, b.data(), n, band) / 2.0;
+  elastic::DtwScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(elastic::DtwEarlyAbandon(
+        a.data(), b.data(), n, band, bound, &scratch));
+  }
+}
+BENCHMARK(BM_DtwEarlyAbandon_WarmBound)->Arg(128)->Arg(256)->Arg(1024);
+
+// --------------------------------------------------------- envelopes
+
+void BM_ComputeEnvelope(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = WalkSeries(n, 7);
+  std::vector<float> lower(n), upper(n);
+  for (auto _ : state) {
+    elastic::ComputeEnvelope(a.data(), n, n / 10, lower.data(),
+                             upper.data());
+    benchmark::DoNotOptimize(lower.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ComputeEnvelope)->Arg(128)->Arg(256)->Arg(4096);
+
+// ---------------------------------------------------------- LB_Keogh
+
+void BM_LbKeogh_Scalar(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = WalkSeries(n, 8);
+  const auto c = WalkSeries(n, 9);
+  const auto envelope = elastic::ComputeEnvelope(a.data(), n, n / 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        elastic::scalar::LbKeogh(c.data(), envelope.lower.data(),
+                                 envelope.upper.data(), n, kInf));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LbKeogh_Scalar)->Arg(96)->Arg(128)->Arg(256);
+
+#if defined(SOFA_HAVE_AVX2)
+void BM_LbKeogh_Avx2(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = WalkSeries(n, 8);
+  const auto c = WalkSeries(n, 9);
+  const auto envelope = elastic::ComputeEnvelope(a.data(), n, n / 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        elastic::avx2::LbKeogh(c.data(), envelope.lower.data(),
+                               envelope.upper.data(), n, kInf));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LbKeogh_Avx2)->Arg(96)->Arg(128)->Arg(256);
+#endif  // SOFA_HAVE_AVX2
+
+// ------------------------------------------------- subsequence search
+
+void BM_MassProfile(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  const auto stream = WalkSeries(n, 10);
+  const auto query = WalkSeries(m, 11);
+  subseq::MassPlan plan(n, m);
+  subseq::MassPlan::Scratch scratch;
+  std::vector<float> profile(plan.profile_length());
+  for (auto _ : state) {
+    plan.DistanceProfile(stream.data(), query.data(), profile.data(),
+                         &scratch);
+    benchmark::DoNotOptimize(profile.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MassProfile)->Args({65536, 128})->Args({65536, 1024});
+
+void BM_UcrSubseqBestMatch(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  const auto stream = WalkSeries(n, 12);
+  const auto query = WalkSeries(m, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        subseq::FindBestMatch(stream.data(), n, query.data(), m));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UcrSubseqBestMatch)->Args({65536, 128})->Args({65536, 1024});
+
+// ---------------------------------------- numeric summary projections
+
+void BM_NumericProject(benchmark::State& state, const char* method) {
+  const std::size_t n = 256;
+  const auto summary = numeric::MakeNumericSummary(method, n, 16);
+  const auto series = WalkSeries(n, 14);
+  std::vector<float> values(summary->num_values());
+  for (auto _ : state) {
+    summary->Project(series.data(), values.data());
+    benchmark::DoNotOptimize(values.data());
+  }
+}
+BENCHMARK_CAPTURE(BM_NumericProject, PAA, "PAA");
+BENCHMARK_CAPTURE(BM_NumericProject, APCA, "APCA");
+BENCHMARK_CAPTURE(BM_NumericProject, PLA, "PLA");
+BENCHMARK_CAPTURE(BM_NumericProject, CHEBY, "CHEBY");
+BENCHMARK_CAPTURE(BM_NumericProject, DHWT, "DHWT");
+BENCHMARK_CAPTURE(BM_NumericProject, DFT, "DFT");
+
+void BM_NumericLowerBound(benchmark::State& state, const char* method) {
+  const std::size_t n = 256;
+  const auto summary = numeric::MakeNumericSummary(method, n, 16);
+  const auto query = WalkSeries(n, 15);
+  const auto candidate = WalkSeries(n, 16);
+  std::vector<float> values(summary->num_values());
+  summary->Project(candidate.data(), values.data());
+  auto qstate = summary->NewQueryState();
+  summary->PrepareQuery(query.data(), qstate.get());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        summary->LowerBoundSquared(*qstate, values.data()));
+  }
+}
+BENCHMARK_CAPTURE(BM_NumericLowerBound, PAA, "PAA");
+BENCHMARK_CAPTURE(BM_NumericLowerBound, APCA, "APCA");
+BENCHMARK_CAPTURE(BM_NumericLowerBound, PLA, "PLA");
+BENCHMARK_CAPTURE(BM_NumericLowerBound, CHEBY, "CHEBY");
+BENCHMARK_CAPTURE(BM_NumericLowerBound, DHWT, "DHWT");
+BENCHMARK_CAPTURE(BM_NumericLowerBound, DFT, "DFT");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,235 @@
+// Related work (paper Section III): the ED ≈ DTW convergence claim.
+//
+// The paper justifies its ED-only focus by citing Shieh & Keogh [46]: "the
+// error rate of ED approaches that of DTW as the dataset size increases,
+// rendering the difference negligible with a few thousand objects", which
+// is why large-scale indexing favors ED. This harness measures exactly
+// that, plus the cost side of the trade:
+//
+//   Part 1 — 1-NN class-retrieval error of ED vs banded DTW as the
+//            collection grows. Members of K template classes are locally
+//            time-warped and noised; a query errs when its 1-NN belongs
+//            to a different class. Expected shape: DTW clearly ahead on
+//            small collections, the gap collapsing as density rises.
+//   Part 2 — the price of elasticity: median query time of the ED scan
+//            vs the full UCR-cascade DTW scan vs naive DTW, with the
+//            cascade's per-tier pruning breakdown.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/znorm.h"
+#include "elastic/dtw.h"
+#include "elastic/dtw_scan.h"
+#include "scan/ucr_scan.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace sofa;
+using namespace sofa::bench;
+
+constexpr std::size_t kLength = 128;
+constexpr std::size_t kClasses = 50;
+
+// Smooth monotone time warp plus a global shift: cumulative positive
+// jitter rescaled to [0, n−1], offset by a uniform shift of up to
+// `max_shift` points (clamped at the borders), then linear interpolation
+// of the template at the warped positions. The shift is what breaks
+// point-wise alignment — the regime where DTW's elasticity pays off.
+void WarpInto(const float* source, std::size_t n, double warp_strength,
+              double max_shift, Rng* rng, float* out) {
+  std::vector<double> steps(n);
+  double total = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    steps[t] = 1.0 + warp_strength * rng->Uniform(-0.9, 0.9);
+    total += steps[t];
+  }
+  const double shift = rng->Uniform(-max_shift, max_shift);
+  double position = 0.0;
+  const double scale = static_cast<double>(n - 1) / (total - steps[0]);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double x = std::clamp(position * scale + shift, 0.0,
+                                static_cast<double>(n - 1));
+    const auto lo = static_cast<std::size_t>(x);
+    const std::size_t hi = std::min(lo + 1, n - 1);
+    const double frac = x - static_cast<double>(lo);
+    out[t] = static_cast<float>((1.0 - frac) * source[lo] +
+                                frac * source[hi]);
+    position += steps[t];
+  }
+}
+
+struct LabeledCollection {
+  Dataset series;
+  std::vector<std::size_t> labels;
+};
+
+// `count` members drawn uniformly over K warped-template classes.
+LabeledCollection MakeMembers(const Dataset& templates, std::size_t count,
+                              double warp, double shift, double noise,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  LabeledCollection collection{Dataset(kLength), {}};
+  std::vector<float> row(kLength);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t label = rng.Below(templates.size());
+    WarpInto(templates.row(label), kLength, warp, shift, &rng, row.data());
+    for (auto& x : row) {
+      x += static_cast<float>(noise * rng.Gaussian());
+    }
+    ZNormalize(row.data(), kLength);
+    collection.series.Append(row.data());
+    collection.labels.push_back(label);
+  }
+  return collection;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchOptions options = ParseBenchOptions(flags);
+  if (!flags.Has("n_queries")) {
+    options.n_queries = 100;
+  }
+  const std::size_t band =
+      static_cast<std::size_t>(flags.GetInt("band", kLength / 10));
+  // Distortion defaults are calibrated so ED visibly errs on sparse
+  // collections while staying under the band's reach (shift < band).
+  const double warp = static_cast<double>(flags.GetInt("warp_pct", 40)) / 100.0;
+  const double shift = static_cast<double>(flags.GetInt("shift", 11));
+  const double noise =
+      static_cast<double>(flags.GetInt("noise_pct", 30)) / 100.0;
+  PrintHeader("Related work (Sec. III) — ED vs DTW 1-NN convergence",
+              options);
+  ThreadPool pool(options.max_threads());
+
+  // Class templates: smooth random walks (distinct shapes to retrieve).
+  Rng rng(options.seed);
+  Dataset templates(kLength);
+  {
+    std::vector<float> row(kLength);
+    for (std::size_t c = 0; c < kClasses; ++c) {
+      double level = 0.0;
+      for (auto& x : row) {
+        level += rng.Gaussian();
+        x = static_cast<float>(level);
+      }
+      ZNormalize(row.data(), kLength);
+      templates.Append(row.data());
+    }
+  }
+  const LabeledCollection queries =
+      MakeMembers(templates, options.n_queries, warp, shift, noise,
+                  options.seed + 1);
+
+  // Part 1 — error convergence over collection size.
+  std::printf("Part 1 — 1-NN retrieval error (%zu classes, %zu queries, "
+              "band %zu)\n",
+              kClasses, queries.series.size(), band);
+  TablePrinter convergence(
+      {"collection size", "ED error", "DTW error", "gap (pp)"});
+  const std::size_t sizes[] = {200, 1000, 5000, 20000};
+  for (const std::size_t size : sizes) {
+    const LabeledCollection members =
+        MakeMembers(templates, size, warp, shift, noise, options.seed + 2);
+    const scan::UcrScan ed_scan(&members.series, &pool);
+    elastic::DtwScan::Options scan_options;
+    scan_options.band = band;
+    const elastic::DtwScan dtw_scan(&members.series, &pool, scan_options);
+
+    std::size_t ed_errors = 0;
+    std::size_t dtw_errors = 0;
+    for (std::size_t q = 0; q < queries.series.size(); ++q) {
+      const Neighbor ed_nn = ed_scan.Search1Nn(queries.series.row(q));
+      const Neighbor dtw_nn = dtw_scan.Search1Nn(queries.series.row(q));
+      ed_errors += members.labels[ed_nn.id] != queries.labels[q] ? 1 : 0;
+      dtw_errors += members.labels[dtw_nn.id] != queries.labels[q] ? 1 : 0;
+    }
+    const double ed_rate = static_cast<double>(ed_errors) /
+                           static_cast<double>(queries.series.size());
+    const double dtw_rate = static_cast<double>(dtw_errors) /
+                            static_cast<double>(queries.series.size());
+    convergence.AddRow({std::to_string(size), FormatDouble(ed_rate, 3),
+                        FormatDouble(dtw_rate, 3),
+                        FormatDouble(100.0 * (ed_rate - dtw_rate), 1)});
+  }
+  std::printf("%s", convergence.ToString().c_str());
+  std::printf("paper shape ([46]): DTW ahead on sparse collections, the "
+              "gap shrinking toward zero\nas the collection densifies.\n\n");
+
+  // Part 2 — the cost of elasticity at the largest size.
+  const LabeledCollection members =
+      MakeMembers(templates, sizes[3], warp, shift, noise,
+                  options.seed + 2);
+  const scan::UcrScan ed_scan(&members.series, &pool);
+  elastic::DtwScan::Options scan_options;
+  scan_options.band = band;
+  const elastic::DtwScan dtw_scan(&members.series, &pool, scan_options);
+
+  std::vector<double> ed_ms, cascade_ms, naive_ms;
+  elastic::DtwScanProfile total_profile;
+  const std::size_t timed_queries = std::min<std::size_t>(
+      queries.series.size(), 20);
+  for (std::size_t q = 0; q < timed_queries; ++q) {
+    WallTimer timer;
+    ed_scan.Search1Nn(queries.series.row(q));
+    ed_ms.push_back(timer.Millis());
+
+    timer.Reset();
+    elastic::DtwScanProfile profile;
+    dtw_scan.Search1Nn(queries.series.row(q), &profile);
+    cascade_ms.push_back(timer.Millis());
+    total_profile.MergeFrom(profile);
+
+    // Naive: banded DTW against every candidate, no bounds, one thread.
+    timer.Reset();
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < members.series.size(); ++i) {
+      best = std::min(best, elastic::Dtw(queries.series.row(q), kLength,
+                                         members.series.row(i), kLength,
+                                         band));
+    }
+    naive_ms.push_back(timer.Millis());
+    (void)best;
+  }
+
+  std::printf("Part 2 — query cost at %zu series (%zu timed queries, %zu "
+              "threads)\n",
+              members.series.size(), timed_queries, options.max_threads());
+  TablePrinter cost({"method", "median ms", "mean ms"});
+  cost.AddRow({"ED scan (UCR Suite-P)", FormatDouble(stats::Median(ed_ms), 2),
+               FormatDouble(stats::Mean(ed_ms), 2)});
+  cost.AddRow({"DTW cascade scan", FormatDouble(stats::Median(cascade_ms), 2),
+               FormatDouble(stats::Mean(cascade_ms), 2)});
+  cost.AddRow({"DTW naive scan", FormatDouble(stats::Median(naive_ms), 2),
+               FormatDouble(stats::Mean(naive_ms), 2)});
+  std::printf("%s", cost.ToString().c_str());
+
+  const auto total = static_cast<double>(total_profile.candidates);
+  std::printf("\ncascade breakdown over %.0f candidate checks:\n", total);
+  std::printf("  pruned by LB_Kim          %5.1f%%\n",
+              100.0 * static_cast<double>(total_profile.pruned_kim) / total);
+  std::printf("  pruned by LB_Keogh(Q,C)   %5.1f%%\n",
+              100.0 * static_cast<double>(total_profile.pruned_keogh_qc) /
+                  total);
+  std::printf("  pruned by LB_Keogh(C,Q)   %5.1f%%\n",
+              100.0 * static_cast<double>(total_profile.pruned_keogh_cq) /
+                  total);
+  std::printf("  DTW early-abandoned       %5.1f%%\n",
+              100.0 * static_cast<double>(total_profile.dtw_abandoned) /
+                  total);
+  std::printf("  DTW fully computed        %5.1f%%\n",
+              100.0 * static_cast<double>(total_profile.dtw_full) / total);
+  std::printf("\npaper rationale: even the fully-cascaded DTW scan pays a "
+              "multiple of the ED scan —\nwith equal accuracy at scale, "
+              "indexing under ED (SOFA's setting) is the right trade.\n");
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Related-work comparison (paper Section III): numeric summarizations vs
+// the symbolic schemes.
+//
+// Reproduces the Schäfer & Högqvist pruning-power study the paper cites
+// when motivating SFA: over APCA, PAA, PLA, CHEBY, DHWT and DFT "none
+// outperformed DFT", and "SFA consistently matched or exceeded the
+// performance of all but DFT" (SFA pays a quantization step on top of
+// DFT). Two additions bridge the gap to this paper's contribution:
+//
+//   * "DFT +VAR" — DFT with variance-selected coefficients, the
+//     un-quantized core of Section IV-E2. On high-frequency data it
+//     towers over every fixed-band method, which is the whole SOFA story
+//     before quantization even starts.
+//   * the symbolic anchors "SFA EW +VAR" (alphabet 256) and "iSAX" from
+//     the Section V-E ablations, evaluated on the same sampled pairs.
+//
+// Part 1 runs the UCR-archive-like collection (the paper's Table V
+// setting), part 2 the Table I datasets; both report mean TLB per method
+// and a critical-difference analysis across datasets.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "datagen/ucr_archive.h"
+#include "numeric/dft_summary.h"
+#include "numeric/numeric_tlb.h"
+#include "numeric/registry.h"
+#include "sax/sax_scheme.h"
+#include "sfa/mcb.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace sofa;
+using namespace sofa::bench;
+
+constexpr std::size_t kWordLength = 16;  // paper default: 16 stored values
+
+// TLB of every compared method on one (train, queries) pair. Method order:
+// the 6 numeric methods, DFT +VAR, SFA EW +VAR (256), iSAX (256).
+std::vector<std::string> MethodNames() {
+  std::vector<std::string> names;
+  for (const auto& summary : numeric::MakeComparisonSet(64, 16)) {
+    names.push_back(summary->name());
+  }
+  names.push_back("DFT +VAR");
+  names.push_back("SFA EW +VAR");
+  names.push_back("iSAX");
+  return names;
+}
+
+std::vector<double> AllTlbs(const Dataset& train, const Dataset& queries,
+                            ThreadPool* pool) {
+  std::vector<double> tlbs;
+  const std::size_t n = train.length();
+  for (const auto& summary : numeric::MakeComparisonSet(n, kWordLength)) {
+    tlbs.push_back(numeric::MeanTlb(*summary, train, queries));
+  }
+  numeric::DftSummary dft_var(
+      n, numeric::DftSummary::SelectByVariance(train, kWordLength / 2));
+  tlbs.push_back(numeric::MeanTlb(dft_var, train, queries));
+
+  // Symbolic anchors on the same sampled pairs (same seeds).
+  const std::vector<double> ablation =
+      AblationTlbs(train, queries, /*alphabet=*/256, pool);
+  tlbs.push_back(ablation[0]);  // SFA EW +VAR
+  tlbs.push_back(ablation[4]);  // iSAX
+  return tlbs;
+}
+
+void RunCollection(const char* title,
+                   const std::vector<std::string>& dataset_names,
+                   const std::vector<const Dataset*>& trains,
+                   const std::vector<const Dataset*>& queries,
+                   ThreadPool* pool) {
+  const auto methods = MethodNames();
+  std::vector<std::vector<double>> scores(methods.size());  // CD input
+  std::vector<double> sums(methods.size(), 0.0);
+
+  TablePrinter per_dataset(
+      [&] {
+        std::vector<std::string> headers = {"Dataset"};
+        for (const auto& m : methods) {
+          headers.push_back(m);
+        }
+        return headers;
+      }());
+  for (std::size_t d = 0; d < trains.size(); ++d) {
+    const std::vector<double> tlbs = AllTlbs(*trains[d], *queries[d], pool);
+    std::vector<std::string> row = {dataset_names[d]};
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      sums[m] += tlbs[m];
+      scores[m].push_back(-tlbs[m]);  // CD ranks want lower-is-better
+      row.push_back(FormatDouble(tlbs[m], 3));
+    }
+    per_dataset.AddRow(std::move(row));
+  }
+  std::vector<std::string> mean_row = {"MEAN"};
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    mean_row.push_back(FormatDouble(
+        sums[m] / static_cast<double>(trains.size()), 3));
+  }
+  per_dataset.AddRow(std::move(mean_row));
+
+  std::printf("%s (word length %zu, alphabet 256 for symbolic)\n", title,
+              kWordLength);
+  std::printf("%s", per_dataset.ToString().c_str());
+
+  const auto cd = stats::CriticalDifference(scores);
+  std::printf("\nmean ranks (lower = better):\n");
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    std::printf("  %-12s %.3f\n", methods[m].c_str(), cd.mean_ranks[m]);
+  }
+  std::printf("indistinguishable cliques (Wilcoxon-Holm, alpha 0.05):\n");
+  if (cd.cliques.empty()) {
+    std::printf("  (none — all pairwise differences significant)\n");
+  }
+  for (const auto& clique : cd.cliques) {
+    std::printf(" ");
+    for (const std::size_t m : clique) {
+      std::printf(" [%s]", methods[m].c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchOptions options = ParseBenchOptions(flags);
+  if (!flags.Has("n_series")) {
+    options.n_series = 4000;  // TLB sampling needs no index-scale data
+  }
+  PrintHeader("Related work (Sec. III) — numeric summarizations vs SFA",
+              options);
+  ThreadPool pool(options.max_threads());
+
+  // Part 1: the UCR-archive-like collection (Table V setting).
+  datagen::UcrArchiveOptions archive_options;
+  archive_options.train_per_dataset =
+      static_cast<std::size_t>(flags.GetInt("train_per_dataset", 80));
+  archive_options.test_per_dataset =
+      static_cast<std::size_t>(flags.GetInt("test_per_dataset", 20));
+  const auto archive = datagen::MakeUcrArchiveLike(archive_options);
+  {
+    std::vector<std::string> names;
+    std::vector<const Dataset*> trains;
+    std::vector<const Dataset*> tests;
+    for (const auto& ds : archive) {
+      names.push_back(ds.name);
+      trains.push_back(&ds.train);
+      tests.push_back(&ds.test);
+    }
+    RunCollection("Part 1 — UCR-like archive", names, trains, tests, &pool);
+  }
+
+  // Part 2: the Table I datasets (default: a spread of high- and
+  // low-frequency collections; --datasets overrides).
+  if (!flags.Has("datasets")) {
+    options.dataset_names = {"LenDB", "SCEDC",      "SIFT1b", "OBS",
+                             "astro", "Meier2019JGR", "PNW",    "SALD"};
+  }
+  {
+    std::vector<LabeledDataset> held;
+    std::vector<std::string> names;
+    std::vector<const Dataset*> trains;
+    std::vector<const Dataset*> tests;
+    held.reserve(options.dataset_names.size());
+    for (const auto& name : options.dataset_names) {
+      held.push_back(MakeBenchDataset(name, options, &pool));
+      names.push_back(held.back().name);
+    }
+    for (const auto& ds : held) {
+      trains.push_back(&ds.data);
+      tests.push_back(&ds.queries);
+    }
+    RunCollection("Part 2 — Table I datasets", names, trains, tests, &pool);
+  }
+
+  std::printf(
+      "paper shape ([14] as cited in Sec. III): none of PAA/APCA/PLA/CHEBY"
+      "/DHWT outperforms DFT;\nSFA (quantized DFT) matches or exceeds all "
+      "but DFT. DFT +VAR >> fixed-band methods on\nhigh-frequency datasets "
+      "(LenDB/SCEDC/SIFT1b) — the Section IV-E2 mechanism.\n");
+  return 0;
+}

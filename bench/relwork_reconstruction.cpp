@@ -1,0 +1,92 @@
+// Related work (paper Figs. 1/2, extended): representation quality of
+// every numeric summarization at equal float budgets.
+//
+// The paper's Fig. 1 shows PAA flat-lining on high-frequency series while
+// a truncated Fourier representation tracks them; Fig. 2 shows the effect
+// growing with the budget l. This harness extends that comparison to the
+// whole Section III method set — PAA, APCA, PLA, CHEBY, DHWT, DFT and
+// DFT +VAR — reporting the mean per-point reconstruction RMSE on a
+// high-frequency and a smooth slice of the Table I registry. Expected
+// shape: on smooth data everyone is fine and roughly equal; on
+// high-frequency data the fixed-grid/fixed-band methods all flat-line
+// (RMSE ≈ signal RMS ≈ 1 for z-normalized series) while variance-selected
+// DFT keeps tracking the signal.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "numeric/dft_summary.h"
+#include "numeric/registry.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace sofa;
+using namespace sofa::bench;
+
+// Mean per-point RMSE of projecting + reconstructing `count` series.
+double MeanRmse(const numeric::NumericSummary& summary, const Dataset& data,
+                std::size_t count) {
+  double sum = 0.0;
+  const std::size_t used = std::min(count, data.size());
+  for (std::size_t i = 0; i < used; ++i) {
+    sum += std::sqrt(summary.ReconstructionError(data.row(i)));
+  }
+  return sum / static_cast<double>(used);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchOptions options = ParseBenchOptions(flags);
+  if (!flags.Has("n_series")) {
+    options.n_series = 4000;
+  }
+  if (!flags.Has("datasets")) {
+    options.dataset_names = {"LenDB", "SCEDC", "SIFT1b",
+                             "astro", "PNW",   "SALD"};
+  }
+  const std::size_t sample =
+      static_cast<std::size_t>(flags.GetInt("sample", 200));
+  PrintHeader("Related work (Figs. 1/2 ext.) — reconstruction quality",
+              options);
+  ThreadPool pool(options.max_threads());
+
+  for (const std::size_t budget : {8, 16, 32}) {
+    std::printf("budget: %zu floats per series\n", budget);
+    TablePrinter table([&] {
+      std::vector<std::string> headers = {"Dataset"};
+      for (const auto& summary : numeric::MakeComparisonSet(64, budget)) {
+        headers.push_back(summary->name());
+      }
+      headers.push_back("DFT +VAR");
+      return headers;
+    }());
+    for (const auto& name : options.dataset_names) {
+      const LabeledDataset ds = MakeBenchDataset(name, options, &pool);
+      std::vector<std::string> row = {ds.name};
+      for (const auto& summary :
+           numeric::MakeComparisonSet(ds.data.length(), budget)) {
+        row.push_back(
+            FormatDouble(MeanRmse(*summary, ds.data, sample), 3));
+      }
+      const numeric::DftSummary dft_var(
+          ds.data.length(),
+          numeric::DftSummary::SelectByVariance(ds.data, budget / 2));
+      row.push_back(FormatDouble(MeanRmse(dft_var, ds.data, sample), 3));
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf(
+      "paper shape (Figs. 1/2): on high-frequency collections "
+      "(LenDB/SCEDC/SIFT1b) every\nfixed-grid/fixed-band method "
+      "reconstructs ~the mean (RMSE ≈ 1 for z-normalized data)\nwhile "
+      "variance-selected DFT tracks the signal; on smooth collections "
+      "(PNW/SALD) all\nmethods converge as the budget grows.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Related work (paper Section III): subsequence search — MASS vs the
+// UCR-style early-abandoning scan.
+//
+// The paper distinguishes whole-series matching (its own setting) from
+// subsequence search, citing [50, 51]: "MASS is less effective and up to 5
+// times slower than the UCR suite for this task" (whole matching). The
+// mechanism: MASS always pays O(n log n) FFTs for the full distance
+// profile, while an early-abandoning scan touches only a prefix of most
+// windows — but the scan's worst case is O(n·m), so the balance tilts
+// toward MASS as the query grows and when the whole profile (not just the
+// 1-NN) is needed.
+//
+// This harness sweeps the query length m over a long seismic-like stream
+// with a planted match, timing both approaches and checking they agree on
+// the best position. The final row is the whole-matching degenerate case
+// m = n — the setting of the paper's citation.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "subseq/mass.h"
+#include "subseq/ucr_subseq.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace sofa;
+using namespace sofa::bench;
+
+// Continuous stream: smooth background walk with occasional bursts —
+// seismic-flavored, so windows vary in energy like real monitoring data.
+std::vector<float> MakeStream(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> stream(n);
+  double level = 0.0;
+  double burst = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (rng.Uniform() < 1e-4) {
+      burst = 6.0;  // event onset
+    }
+    burst *= 0.995;
+    level = 0.999 * level + rng.Gaussian() * (0.3 + burst);
+    stream[t] = static_cast<float>(level);
+  }
+  return stream;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchOptions options = ParseBenchOptions(flags);
+  const std::size_t n =
+      static_cast<std::size_t>(flags.GetInt("stream_length", 500000));
+  PrintHeader("Related work (Sec. III) — MASS vs UCR-style scan", options);
+
+  const std::vector<float> stream = MakeStream(n, options.seed);
+  Rng rng(options.seed + 1);
+
+  ThreadPool pool(options.max_threads());
+  std::printf("stream: %zu points; query = noised slice of the stream "
+              "(a true match exists)\n\n",
+              n);
+  TablePrinter table({"query m", "MASS ms", "MASS-par ms", "UCR scan ms",
+                      "MASS/UCR", "scan touched %", "agree"});
+
+  std::vector<std::size_t> query_lengths = {64, 128, 256, 512, 1024, 4096};
+  query_lengths.push_back(n);  // whole matching: the citation's setting
+  for (const std::size_t m : query_lengths) {
+    // Query: a stream slice plus 5% noise (for m = n, the whole stream).
+    const std::size_t source =
+        m < n ? 1 + rng.Below(n - m - 1) : 0;
+    std::vector<float> query(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      query[j] = stream[source + j] +
+                 static_cast<float>(0.05 * rng.Gaussian());
+    }
+
+    subseq::MassPlan plan(n, m);
+    std::vector<float> profile(plan.profile_length());
+    WallTimer timer;
+    plan.DistanceProfile(stream.data(), query.data(), profile.data());
+    const double mass_ms = timer.Millis();
+    const std::size_t mass_argmin =
+        std::min_element(profile.begin(), profile.end()) - profile.begin();
+
+    // Chunked-parallel MASS (same profile, small FFTs on every core).
+    std::vector<float> parallel_profile(plan.profile_length());
+    timer.Reset();
+    subseq::ParallelDistanceProfile(stream.data(), n, query.data(), m,
+                                    parallel_profile.data(), &pool);
+    const double mass_par_ms = timer.Millis();
+
+    timer.Reset();
+    subseq::UcrSubseqProfile scan_profile;
+    const subseq::SubseqMatch match = subseq::FindBestMatch(
+        stream.data(), n, query.data(), m, &scan_profile);
+    const double scan_ms = timer.Millis();
+
+    const double touched =
+        100.0 * static_cast<double>(scan_profile.points_touched) /
+        (static_cast<double>(std::max<std::size_t>(scan_profile.windows, 1)) *
+         static_cast<double>(m));
+    table.AddRow({m == n ? "n (whole)" : std::to_string(m),
+                  FormatDouble(mass_ms, 1), FormatDouble(mass_par_ms, 1),
+                  FormatDouble(scan_ms, 1),
+                  FormatDouble(mass_ms / scan_ms, 2),
+                  FormatDouble(touched, 1),
+                  match.position == mass_argmin ? "yes" : "NO"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\npaper shape ([51] Fig. 3, as cited in Sec. III): the early-"
+      "abandoning scan beats MASS\nwhere pruning bites — most clearly at "
+      "whole matching, where the paper reports MASS up\nto 5x slower — "
+      "while MASS's fixed O(n log n) pays off for long queries and full "
+      "profiles.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Table IV: SOFA 1-NN query times at different MCB sampling rates
+// (0.1% … 20%), mixed workload.
+//
+// Paper shape: median stabilizes around the 1% default (58 ms); the mean
+// keeps improving slightly up to ~5%; below 1% both degrade a little.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace sofa;
+  using namespace sofa::bench;
+  Flags flags(argc, argv);
+  const BenchOptions options = ParseBenchOptions(flags);
+  const std::size_t threads = options.max_threads();
+  PrintHeader("Table IV — SOFA query times by MCB sampling rate", options);
+
+  ThreadPool pool(threads);
+  const double rates[] = {0.001, 0.005, 0.01, 0.05, 0.10, 0.15, 0.20};
+
+  TablePrinter table({"Sampling", "Mean (ms)", "Median (ms)",
+                      "learn time (s)"});
+  for (const double rate : rates) {
+    std::vector<double> query_ms;
+    std::vector<double> learn_s;
+    for (const std::string& name : options.dataset_names) {
+      const LabeledDataset ds = MakeBenchDataset(name, options, &pool);
+      sfa::SfaConfig config;
+      config.sampling_ratio = rate;
+      config.min_sample = 64;  // let tiny rates actually bite at bench scale
+      const SofaIndex sofa =
+          BuildSofa(ds.data, options, &pool, threads, &config);
+      learn_s.push_back(sofa.train_seconds);
+      for (const double ms : TimeQueries(ds.queries, [&](const float* q) {
+             (void)sofa.tree->Search1Nn(q);
+           })) {
+        query_ms.push_back(ms);
+      }
+    }
+    table.AddRow({FormatDouble(rate * 100.0, 1) + "%",
+                  FormatDouble(stats::Mean(query_ms), 2),
+                  FormatDouble(stats::Median(query_ms), 2),
+                  FormatDouble(stats::Mean(learn_s), 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\npaper shape: query times flat from ~1%% upward (median 58-67 ms "
+      "band at paper scale);\nsub-1%% sampling slightly worse; learning "
+      "cost grows with the rate.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Table VI + Fig. 14 (right) + Fig. 15 (bottom): tightness of lower bound
+// on the 17 SOFA benchmark datasets.
+//
+// Paper shape (Table VI): SFA EW+VAR 0.34→0.64 over alphabets 4→256, above
+// iSAX 0.37→0.55 from alphabet 8 upward; CD ranks EW+VAR clearly first
+// (1.32), then EW (2.74) ≈ ED+VAR (2.91), then iSAX (3.94) ≈ ED (4.09).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace sofa;
+  using namespace sofa::bench;
+  Flags flags(argc, argv);
+  BenchOptions options = ParseBenchOptions(flags);
+  options.n_series = static_cast<std::size_t>(
+      flags.GetInt("n_series", 5000));  // TLB needs samples, not scale
+  PrintHeader("Table VI / Fig. 14-15 — TLB on the 17 SOFA datasets",
+              options);
+
+  ThreadPool pool(options.max_threads());
+  const std::size_t alphabets[] = {4, 8, 16, 32, 64, 128, 256};
+  const auto& names = AblationNames();
+
+  std::vector<std::string> headers = {"Method"};
+  for (const std::size_t a : alphabets) {
+    headers.push_back(std::to_string(a));
+  }
+  TablePrinter table(headers);
+  std::vector<std::vector<std::string>> rows(
+      names.size(), std::vector<std::string>{std::string()});
+  for (std::size_t m = 0; m < names.size(); ++m) {
+    rows[m][0] = names[m];
+  }
+  std::vector<std::vector<double>> scores_256(names.size());
+
+  // Generate each dataset once and reuse across alphabets.
+  std::vector<LabeledDataset> datasets;
+  for (const std::string& name : options.dataset_names) {
+    datasets.push_back(MakeBenchDataset(name, options, &pool));
+  }
+  for (const std::size_t alphabet : alphabets) {
+    std::vector<double> sums(names.size(), 0.0);
+    for (const auto& ds : datasets) {
+      const std::vector<double> tlbs =
+          AblationTlbs(ds.data, ds.queries, alphabet, &pool);
+      for (std::size_t m = 0; m < names.size(); ++m) {
+        sums[m] += tlbs[m];
+        if (alphabet == 256) {
+          scores_256[m].push_back(-tlbs[m]);  // lower = better for ranks
+        }
+      }
+    }
+    for (std::size_t m = 0; m < names.size(); ++m) {
+      rows[m].push_back(FormatDouble(
+          sums[m] / static_cast<double>(datasets.size()), 3));
+    }
+  }
+  for (auto& row : rows) {
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  const auto cd = stats::CriticalDifference(scores_256);
+  std::printf("\ncritical difference at |alphabet|=256 (lower rank = "
+              "better):\n");
+  for (std::size_t m = 0; m < names.size(); ++m) {
+    std::printf("  %-12s mean rank %.4f\n", names[m].c_str(),
+                cd.mean_ranks[m]);
+  }
+  std::printf("indistinguishable cliques (Wilcoxon-Holm, alpha 0.05):\n");
+  if (cd.cliques.empty()) {
+    std::printf("  (none — all pairwise differences significant)\n");
+  }
+  for (const auto& clique : cd.cliques) {
+    std::printf(" ");
+    for (const std::size_t m : clique) {
+      std::printf(" [%s]", names[m].c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\npaper shape: TLB grows with alphabet for all methods; SFA EW+VAR "
+      "highest from alphabet 16 up\n(0.64 at 256 vs iSAX 0.55); EW+VAR "
+      "ranked first in the CD analysis.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// ε-approximate similarity search with SOFA — the paper's Section VI
+// future-work direction, exercised end to end.
+//
+//   ./examples/approximate_search [--n_series=50000] [--threads=N]
+//
+// The GEMINI engine stays exact because it only prunes candidates whose
+// lower bound exceeds the best-so-far. Inflating the lower bound by
+// (1+ε) prunes more aggressively; every pruned candidate then satisfies
+// d ≥ BSF/(1+ε), so the answer is guaranteed within (1+ε)× of the exact
+// distance — the classic contract of approximate search. This example
+// sweeps ε on a high-frequency collection and reports the three numbers
+// that matter: speed, how approximate the answers actually are (measured,
+// not the guarantee), and how often they are simply exact.
+//
+// The cheapest setting of all skips the tree walk entirely and reports
+// the best series of the query's own leaf ("leaf-only"), the quality the
+// paper's Approximate Search phase reaches before any refinement.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "datagen/datasets.h"
+#include "index/query_engine.h"
+#include "index/tree_index.h"
+#include "scan/ucr_scan.h"
+#include "sfa/mcb.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace sofa;
+  Flags flags(argc, argv);
+  const std::size_t n_series =
+      static_cast<std::size_t>(flags.GetInt("n_series", 50000));
+  const std::size_t threads = static_cast<std::size_t>(
+      flags.GetInt("threads", static_cast<std::int64_t>(HardwareThreads())));
+  ThreadPool pool(threads);
+
+  // A high-frequency collection — where SOFA's pruning margin, and thus
+  // the room ε can exploit, is largest.
+  datagen::GenerateOptions gen;
+  gen.count = n_series;
+  gen.num_queries = 20;
+  const LabeledDataset dataset =
+      datagen::MakeDatasetByName("LenDB", gen, &pool);
+  std::printf("dataset: %s, %zu series of length %zu, %zu queries\n",
+              dataset.name.c_str(), dataset.data.size(),
+              dataset.data.length(), dataset.queries.size());
+
+  sfa::SfaConfig sfa_config;
+  const auto scheme = sfa::TrainSfa(dataset.data, sfa_config, &pool);
+  index::IndexConfig index_config;
+  index_config.leaf_capacity = 2000;
+  const index::TreeIndex tree(&dataset.data, scheme.get(), index_config,
+                              &pool);
+  const index::QueryEngine engine(&tree);
+
+  // Exact 1-NN distances (the reference for measured quality).
+  const scan::UcrScan scanner(&dataset.data, &pool);
+  std::vector<float> exact_distance(dataset.queries.size());
+  for (std::size_t q = 0; q < dataset.queries.size(); ++q) {
+    exact_distance[q] = scanner.Search1Nn(dataset.queries.row(q)).distance;
+  }
+
+  std::printf("\n%8s %12s %14s %12s %10s\n", "epsilon", "median ms",
+              "mean ED calls", "worst ratio", "recall@1");
+  for (const double epsilon : {0.0, 0.1, 0.25, 0.5, 1.0, 2.0}) {
+    std::vector<double> times_ms;
+    double ed_calls = 0.0;
+    double worst_ratio = 1.0;
+    std::size_t hits = 0;
+    for (std::size_t q = 0; q < dataset.queries.size(); ++q) {
+      index::QueryProfile profile;
+      WallTimer timer;
+      const auto answer =
+          engine.Search(dataset.queries.row(q), 1, epsilon, &profile);
+      times_ms.push_back(timer.Millis());
+      ed_calls += static_cast<double>(profile.series_ed_computed);
+      const double ratio =
+          exact_distance[q] > 0.0f
+              ? static_cast<double>(answer[0].distance) / exact_distance[q]
+              : 1.0;
+      worst_ratio = std::max(worst_ratio, ratio);
+      hits += answer[0].distance <= exact_distance[q] * (1.0f + 1e-5f);
+    }
+    std::printf("%8.2f %12.2f %14.0f %12.4f %9.0f%%\n", epsilon,
+                stats::Median(times_ms),
+                ed_calls / static_cast<double>(dataset.queries.size()),
+                worst_ratio,
+                100.0 * static_cast<double>(hits) /
+                    static_cast<double>(dataset.queries.size()));
+  }
+
+  // Leaf-only: the paper's phase-1 approximate answer.
+  {
+    std::vector<double> times_ms;
+    double worst_ratio = 1.0;
+    std::size_t hits = 0;
+    for (std::size_t q = 0; q < dataset.queries.size(); ++q) {
+      WallTimer timer;
+      const auto answer = engine.SearchLeafOnly(dataset.queries.row(q), 1);
+      times_ms.push_back(timer.Millis());
+      const double ratio =
+          exact_distance[q] > 0.0f
+              ? static_cast<double>(answer[0].distance) / exact_distance[q]
+              : 1.0;
+      worst_ratio = std::max(worst_ratio, ratio);
+      hits += answer[0].distance <= exact_distance[q] * (1.0f + 1e-5f);
+    }
+    std::printf("%8s %12.2f %14s %12.4f %9.0f%%\n", "leaf",
+                stats::Median(times_ms), "-", worst_ratio,
+                100.0 * static_cast<double>(hits) /
+                    static_cast<double>(dataset.queries.size()));
+  }
+
+  std::printf(
+      "\nreading: ε=0 is the exact engine; growing ε trades a bounded "
+      "distance ratio for\nfewer real-distance computations. recall@1 "
+      "stays high long after exactness is\nformally given up — the "
+      "observation motivating SFA-based approximate search as\nfuture "
+      "work (paper Section VI).\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Index tuning — how SOFA's knobs shape query latency.
+//
+//   ./examples/index_tuning [--dataset=OBS] [--n_series=20000]
+//
+// Sweeps the three tuning axes the paper analyses: leaf capacity
+// (Fig. 11), MCB sampling rate (Table IV) and binning method / feature
+// selection (Section V-E), printing one table per axis.
+
+#include <cstdio>
+
+#include "datagen/datasets.h"
+#include "index/tree_index.h"
+#include "sfa/mcb.h"
+#include "sfa/tlb.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace sofa;
+
+double MedianQueryMs(const index::TreeIndex& idx, const Dataset& queries) {
+  std::vector<double> ms;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    WallTimer timer;
+    (void)idx.Search1Nn(queries.row(q));
+    ms.push_back(timer.Millis());
+  }
+  return stats::Median(ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string dataset_name = flags.GetString("dataset", "OBS");
+  const std::size_t n_series =
+      static_cast<std::size_t>(flags.GetInt("n_series", 20000));
+  ThreadPool pool(static_cast<std::size_t>(
+      flags.GetInt("threads", static_cast<std::int64_t>(HardwareThreads()))));
+
+  datagen::GenerateOptions gen;
+  gen.count = n_series;
+  gen.num_queries = 15;
+  const LabeledDataset dataset =
+      datagen::MakeDatasetByName(dataset_name, gen, &pool);
+  std::printf("tuning on %s (%zu series × %zu)\n\n", dataset.name.c_str(),
+              dataset.data.size(), dataset.data.length());
+
+  // Axis 1: leaf capacity.
+  {
+    sfa::SfaConfig config;
+    const auto scheme = sfa::TrainSfa(dataset.data, config, &pool);
+    TablePrinter table({"leaf capacity", "median query", "leaves",
+                        "avg depth"});
+    for (const std::size_t leaf : {250u, 500u, 1000u, 2000u, 4000u}) {
+      index::IndexConfig index_config;
+      index_config.leaf_capacity = leaf;
+      const index::TreeIndex idx(&dataset.data, scheme.get(), index_config,
+                                 &pool);
+      const auto stats = idx.ComputeStats();
+      table.AddRow({std::to_string(leaf),
+                    FormatSeconds(MedianQueryMs(idx, dataset.queries) / 1e3),
+                    std::to_string(stats.num_leaves),
+                    FormatDouble(stats.avg_depth, 1)});
+    }
+    std::printf("leaf-capacity sweep (Fig. 11 axis):\n%s\n",
+                table.ToString().c_str());
+  }
+
+  // Axis 2: MCB sampling rate.
+  {
+    TablePrinter table({"sampling", "median query", "TLB"});
+    for (const double rate : {0.001, 0.01, 0.05, 0.2}) {
+      sfa::SfaConfig config;
+      config.sampling_ratio = rate;
+      const auto scheme = sfa::TrainSfa(dataset.data, config, &pool);
+      index::IndexConfig index_config;
+      index_config.leaf_capacity = 2000;
+      const index::TreeIndex idx(&dataset.data, scheme.get(), index_config,
+                                 &pool);
+      table.AddRow({FormatDouble(rate * 100.0, 1) + "%",
+                    FormatSeconds(MedianQueryMs(idx, dataset.queries) / 1e3),
+                    FormatDouble(sfa::MeanTlb(*scheme, dataset.data,
+                                              dataset.queries),
+                                 3)});
+    }
+    std::printf("MCB sampling-rate sweep (Table IV axis):\n%s\n",
+                table.ToString().c_str());
+  }
+
+  // Axis 3: binning × feature selection.
+  {
+    TablePrinter table({"variant", "median query", "TLB"});
+    for (const bool variance : {true, false}) {
+      for (const auto binning : {quant::BinningMethod::kEquiWidth,
+                                 quant::BinningMethod::kEquiDepth}) {
+        sfa::SfaConfig config;
+        config.binning = binning;
+        config.variance_selection = variance;
+        const auto scheme = sfa::TrainSfa(dataset.data, config, &pool);
+        index::IndexConfig index_config;
+        index_config.leaf_capacity = 2000;
+        const index::TreeIndex idx(&dataset.data, scheme.get(), index_config,
+                                   &pool);
+        table.AddRow({scheme->name(),
+                      FormatSeconds(MedianQueryMs(idx, dataset.queries) / 1e3),
+                      FormatDouble(sfa::MeanTlb(*scheme, dataset.data,
+                                                dataset.queries),
+                                   3)});
+      }
+    }
+    std::printf("summarization variants (Section V-E axis):\n%s",
+                table.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,327 @@
+// sofa_cli — end-to-end command-line front end for the library.
+//
+//   sofa_cli generate --dataset=SCEDC --n_series=20000 --out=data.fvecs
+//   sofa_cli build    --data=data.fvecs --index=index.sofa [--scheme=sfa|sax]
+//   sofa_cli query    --data=data.fvecs --index=index.sofa
+//                     --queries=queries.fvecs [--k=10] [--epsilon=0]
+//   sofa_cli info     --data=data.fvecs --index=index.sofa
+//   sofa_cli dtw-scan --data=data.fvecs --queries=queries.fvecs
+//                     [--band=10%len] [--k=1]
+//   sofa_cli subseq   --data=stream.fvecs --queries=pattern.fvecs [--k=5]
+//                     (row 0 of each file = the stream / the pattern)
+//   sofa_cli tlb      --data=data.fvecs --queries=queries.fvecs
+//                     [--method=DFT|PAA|APCA|PLA|CHEBY|DHWT] [--word=16]
+//
+// Data files may be .fvecs (auto-detected by extension), .bvecs, or raw
+// float32 (pass --length). Demonstrates the full persistence story:
+// generate → save → build → save index → reload → query.
+
+#include <cstdio>
+#include <string>
+
+#include "core/io.h"
+#include "datagen/datasets.h"
+#include "elastic/dtw_scan.h"
+#include "index/serialization.h"
+#include "index/tree_index.h"
+#include "numeric/numeric_tlb.h"
+#include "numeric/registry.h"
+#include "sax/sax_scheme.h"
+#include "sfa/mcb.h"
+#include "subseq/mass.h"
+#include "subseq/ucr_subseq.h"
+#include "util/flags.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace sofa;
+
+std::optional<Dataset> LoadData(const Flags& flags, const std::string& flag) {
+  const std::string path = flags.GetString(flag, "");
+  if (path.empty()) {
+    std::fprintf(stderr, "missing --%s\n", flag.c_str());
+    return std::nullopt;
+  }
+  std::optional<Dataset> data;
+  if (path.size() > 6 && path.substr(path.size() - 6) == ".bvecs") {
+    data = io::ReadBvecs(path);
+  } else if (path.size() > 6 && path.substr(path.size() - 6) == ".fvecs") {
+    data = io::ReadFvecs(path);
+  } else {
+    const std::size_t length =
+        static_cast<std::size_t>(flags.GetInt("length", 0));
+    if (length == 0) {
+      std::fprintf(stderr, "raw files need --length\n");
+      return std::nullopt;
+    }
+    data = io::ReadRawF32(path, length);
+  }
+  if (!data.has_value()) {
+    std::fprintf(stderr, "failed to read %s\n", path.c_str());
+  }
+  return data;
+}
+
+int Generate(const Flags& flags, ThreadPool* pool) {
+  datagen::GenerateOptions options;
+  options.count = static_cast<std::size_t>(flags.GetInt("n_series", 20000));
+  options.num_queries =
+      static_cast<std::size_t>(flags.GetInt("n_queries", 100));
+  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 0xda7a));
+  const std::string name = flags.GetString("dataset", "SCEDC");
+  const std::string out = flags.GetString("out", name + ".fvecs");
+  const std::string queries_out =
+      flags.GetString("queries_out", name + "_queries.fvecs");
+  if (datagen::FindDatasetSpec(name) == nullptr) {
+    std::fprintf(stderr, "unknown dataset %s\n", name.c_str());
+    return 1;
+  }
+  const LabeledDataset ds = datagen::MakeDatasetByName(name, options, pool);
+  if (!io::WriteFvecs(ds.data, out) ||
+      !io::WriteFvecs(ds.queries, queries_out)) {
+    std::fprintf(stderr, "write failed\n");
+    return 1;
+  }
+  std::printf("wrote %zu series to %s, %zu queries to %s\n", ds.data.size(),
+              out.c_str(), ds.queries.size(), queries_out.c_str());
+  return 0;
+}
+
+int Build(const Flags& flags, ThreadPool* pool) {
+  const auto data = LoadData(flags, "data");
+  if (!data.has_value()) {
+    return 1;
+  }
+  const std::string index_path = flags.GetString("index", "index.sofa");
+  const std::string scheme_kind = flags.GetString("scheme", "sfa");
+
+  std::unique_ptr<quant::SummaryScheme> scheme;
+  WallTimer timer;
+  if (scheme_kind == "sax") {
+    scheme = std::make_unique<sax::SaxScheme>(
+        data->length(), static_cast<std::size_t>(flags.GetInt("word", 16)),
+        static_cast<std::size_t>(flags.GetInt("alphabet", 256)));
+  } else {
+    sfa::SfaConfig config;
+    config.word_length = static_cast<std::size_t>(flags.GetInt("word", 16));
+    config.alphabet =
+        static_cast<std::size_t>(flags.GetInt("alphabet", 256));
+    config.sampling_ratio = flags.GetDouble("sampling", 0.01);
+    scheme = sfa::TrainSfa(*data, config, pool);
+  }
+  index::IndexConfig config;
+  config.leaf_capacity =
+      static_cast<std::size_t>(flags.GetInt("leaf_size", 2000));
+  const index::TreeIndex index(&*data, scheme.get(), config, pool);
+  if (!index::SaveIndex(index, index_path)) {
+    std::fprintf(stderr, "failed to save index\n");
+    return 1;
+  }
+  const auto stats = index.ComputeStats();
+  std::printf("built %s index over %zu series in %.2f s "
+              "(%zu subtrees, %zu leaves) -> %s\n",
+              scheme->name().c_str(), data->size(), timer.Seconds(),
+              stats.num_subtrees, stats.num_leaves, index_path.c_str());
+  return 0;
+}
+
+int Query(const Flags& flags, ThreadPool* pool) {
+  const auto data = LoadData(flags, "data");
+  if (!data.has_value()) {
+    return 1;
+  }
+  const auto queries = LoadData(flags, "queries");
+  if (!queries.has_value()) {
+    return 1;
+  }
+  const auto loaded =
+      index::LoadIndex(flags.GetString("index", "index.sofa"), &*data, pool);
+  if (!loaded.has_value()) {
+    std::fprintf(stderr, "failed to load index (wrong dataset?)\n");
+    return 1;
+  }
+  const std::size_t k = static_cast<std::size_t>(flags.GetInt("k", 1));
+  const double epsilon = flags.GetDouble("epsilon", 0.0);
+  for (std::size_t q = 0; q < queries->size(); ++q) {
+    WallTimer timer;
+    const auto result =
+        loaded->tree->SearchKnnApproximate(queries->row(q), k, epsilon);
+    std::printf("query %zu (%.2f ms):", q, timer.Millis());
+    for (const Neighbor& nb : result) {
+      std::printf(" %u(%.4f)", nb.id, nb.distance);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int Info(const Flags& flags, ThreadPool* pool) {
+  const auto data = LoadData(flags, "data");
+  if (!data.has_value()) {
+    return 1;
+  }
+  const auto loaded =
+      index::LoadIndex(flags.GetString("index", "index.sofa"), &*data, pool);
+  if (!loaded.has_value()) {
+    std::fprintf(stderr, "failed to load index\n");
+    return 1;
+  }
+  const auto stats = loaded->tree->ComputeStats();
+  std::printf("scheme: %s (l=%zu, alphabet=%zu)\n",
+              loaded->scheme->name().c_str(), loaded->scheme->word_length(),
+              loaded->scheme->alphabet());
+  std::printf("collection: %zu series x %zu\n", data->size(),
+              data->length());
+  std::printf("tree: %zu subtrees, %zu leaves, %zu inner nodes\n",
+              stats.num_subtrees, stats.num_leaves, stats.num_inner);
+  std::printf("avg depth %.2f, max depth %zu, avg leaf size %.0f\n",
+              stats.avg_depth, stats.max_depth, stats.avg_leaf_size);
+  return 0;
+}
+
+// Exact k-NN under banded DTW over the whole collection (assumes the
+// files hold z-normalized series, as written by `generate`).
+int DtwScanCommand(const Flags& flags, ThreadPool* pool) {
+  const auto data = LoadData(flags, "data");
+  if (!data.has_value()) {
+    return 1;
+  }
+  const auto queries = LoadData(flags, "queries");
+  if (!queries.has_value()) {
+    return 1;
+  }
+  elastic::DtwScan::Options options;
+  options.band = static_cast<std::size_t>(
+      flags.GetInt("band", static_cast<std::int64_t>(data->length() / 10)));
+  const std::size_t k = static_cast<std::size_t>(flags.GetInt("k", 1));
+  const elastic::DtwScan scanner(&*data, pool, options);
+  for (std::size_t q = 0; q < queries->size(); ++q) {
+    elastic::DtwScanProfile profile;
+    WallTimer timer;
+    const auto result = scanner.SearchKnn(queries->row(q), k, &profile);
+    std::printf("query %zu (%.2f ms, band %zu):", q, timer.Millis(),
+                options.band);
+    for (const Neighbor& nb : result) {
+      std::printf(" %u(%.4f)", nb.id, nb.distance);
+    }
+    const double pruned =
+        100.0 *
+        static_cast<double>(profile.pruned_kim + profile.pruned_keogh_qc +
+                            profile.pruned_keogh_cq) /
+        static_cast<double>(profile.candidates);
+    std::printf("  [%.0f%% pruned before DTW]\n", pruned);
+  }
+  return 0;
+}
+
+// Best occurrences of a pattern inside a long stream (row 0 of --data is
+// the stream, row 0 of --queries the pattern).
+int SubseqCommand(const Flags& flags, ThreadPool*) {
+  const auto data = LoadData(flags, "data");
+  if (!data.has_value() || data->empty()) {
+    return 1;
+  }
+  const auto queries = LoadData(flags, "queries");
+  if (!queries.has_value() || queries->empty()) {
+    return 1;
+  }
+  const std::size_t n = data->length();
+  const std::size_t m = queries->length();
+  if (m > n) {
+    std::fprintf(stderr, "pattern (%zu) longer than stream (%zu)\n", m, n);
+    return 1;
+  }
+  const std::size_t k = static_cast<std::size_t>(flags.GetInt("k", 5));
+
+  subseq::MassPlan plan(n, m);
+  WallTimer timer;
+  const auto matches = plan.TopK(data->row(0), queries->row(0), k);
+  std::printf("MASS top-%zu over %zu windows (%.1f ms):\n", k,
+              plan.profile_length(), timer.Millis());
+  for (const auto& match : matches) {
+    std::printf("  offset %8zu  z-ED %.4f\n", match.position,
+                match.distance);
+  }
+
+  timer.Reset();
+  subseq::UcrSubseqProfile profile;
+  const subseq::SubseqMatch best =
+      subseq::FindBestMatch(data->row(0), n, queries->row(0), m, &profile);
+  std::printf("scan best match (%.1f ms): offset %zu, z-ED %.4f\n",
+              timer.Millis(), best.position, best.distance);
+  return 0;
+}
+
+// TLB of one summarization method on a (data, queries) pair — the
+// Section V-E / Section III metric from the command line.
+int TlbCommand(const Flags& flags, ThreadPool* pool) {
+  const auto data = LoadData(flags, "data");
+  if (!data.has_value()) {
+    return 1;
+  }
+  const auto queries = LoadData(flags, "queries");
+  if (!queries.has_value()) {
+    return 1;
+  }
+  const std::string method = flags.GetString("method", "DFT");
+  const std::size_t word =
+      static_cast<std::size_t>(flags.GetInt("word", 16));
+  if (method == "SFA" || method == "sfa") {
+    sfa::SfaConfig config;
+    config.word_length = word;
+    config.alphabet =
+        static_cast<std::size_t>(flags.GetInt("alphabet", 256));
+    const auto scheme = sfa::TrainSfa(*data, config, pool);
+    std::printf("%s TLB %.4f  pruning power %.4f\n",
+                scheme->name().c_str(),
+                sfa::MeanTlb(*scheme, *data, *queries),
+                sfa::MeanPruningPower(*scheme, *data, *queries));
+    return 0;
+  }
+  const auto summary =
+      numeric::MakeNumericSummary(method, data->length(), word);
+  std::printf("%s TLB %.4f  pruning power %.4f\n", summary->name().c_str(),
+              numeric::MeanTlb(*summary, *data, *queries),
+              numeric::MeanPruningPower(*summary, *data, *queries));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  ThreadPool pool(static_cast<std::size_t>(
+      flags.GetInt("threads", static_cast<std::int64_t>(HardwareThreads()))));
+  if (flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: sofa_cli "
+                 "generate|build|query|info|dtw-scan|subseq|tlb [flags]\n");
+    return 1;
+  }
+  const std::string command = flags.positional()[0];
+  if (command == "generate") {
+    return Generate(flags, &pool);
+  }
+  if (command == "build") {
+    return Build(flags, &pool);
+  }
+  if (command == "query") {
+    return Query(flags, &pool);
+  }
+  if (command == "info") {
+    return Info(flags, &pool);
+  }
+  if (command == "dtw-scan") {
+    return DtwScanCommand(flags, &pool);
+  }
+  if (command == "subseq") {
+    return SubseqCommand(flags, &pool);
+  }
+  if (command == "tlb") {
+    return TlbCommand(flags, &pool);
+  }
+  std::fprintf(stderr, "unknown command %s\n", command.c_str());
+  return 1;
+}

@@ -1,0 +1,97 @@
+// Exact vector search — SOFA on unordered vector data (SIFT-like), head to
+// head with the FAISS-style flat index.
+//
+//   ./examples/vector_search [--n_series=30000] [--batch=8]
+//
+// Vector datasets have no ordering, so their "series" carry variance in
+// high frequencies; classic SAX indexes degrade there, while SOFA keeps an
+// edge even against a brute-force flat scan (paper: 3-4x faster than
+// FAISS). This example runs single queries on SOFA and a core-sized
+// mini-batch on the flat index, the paper's FAISS protocol.
+
+#include <cstdio>
+
+#include "datagen/datasets.h"
+#include "flat/index_flat_l2.h"
+#include "index/tree_index.h"
+#include "sfa/mcb.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace sofa;
+  Flags flags(argc, argv);
+  const std::size_t n_series =
+      static_cast<std::size_t>(flags.GetInt("n_series", 30000));
+  const std::size_t threads = static_cast<std::size_t>(
+      flags.GetInt("threads", static_cast<std::int64_t>(HardwareThreads())));
+  const std::size_t batch =
+      static_cast<std::size_t>(flags.GetInt("batch", threads));
+  ThreadPool pool(threads);
+
+  datagen::GenerateOptions gen;
+  gen.count = n_series;
+  gen.num_queries = std::max<std::size_t>(batch, 16);
+  const LabeledDataset dataset =
+      datagen::MakeDatasetByName("SIFT1b", gen, &pool);
+  std::printf("vector collection: %s (%zu vectors × %zu dims)\n",
+              dataset.name.c_str(), dataset.data.size(),
+              dataset.data.length());
+
+  sfa::SfaConfig sfa_config;
+  const auto scheme = sfa::TrainSfa(dataset.data, sfa_config, &pool);
+  index::IndexConfig config;
+  config.leaf_capacity = 2000;
+  WallTimer build_timer;
+  const index::TreeIndex sofa_index(&dataset.data, scheme.get(), config,
+                                    &pool);
+  const double sofa_build_s = build_timer.Seconds();
+  build_timer.Reset();
+  const flat::IndexFlatL2 flat_index(&dataset.data, &pool);
+  std::printf("build: SOFA %.3f s, FlatL2 %.3f s\n", sofa_build_s,
+              build_timer.Seconds());
+
+  // SOFA: sequential queries, each internally parallel.
+  std::vector<double> sofa_ms;
+  for (std::size_t q = 0; q < dataset.queries.size(); ++q) {
+    WallTimer timer;
+    (void)sofa_index.SearchKnn(dataset.queries.row(q), 10);
+    sofa_ms.push_back(timer.Millis());
+  }
+
+  // FlatL2: mini-batches of #threads queries (the paper's FAISS setup).
+  std::vector<double> flat_ms;
+  {
+    Dataset batch_queries(dataset.queries.length());
+    std::size_t q = 0;
+    while (q < dataset.queries.size()) {
+      batch_queries.Resize(0);
+      const std::size_t end = std::min(dataset.queries.size(), q + batch);
+      for (; q < end; ++q) {
+        batch_queries.Append(dataset.queries.row(q));
+      }
+      WallTimer timer;
+      (void)flat_index.SearchBatch(batch_queries, 10);
+      const double per_query = timer.Millis() /
+                               static_cast<double>(batch_queries.size());
+      for (std::size_t i = 0; i < batch_queries.size(); ++i) {
+        flat_ms.push_back(per_query);
+      }
+    }
+  }
+
+  std::printf("10-NN median latency: SOFA %.2f ms, FlatL2 %.2f ms/query\n",
+              stats::Median(sofa_ms), stats::Median(flat_ms));
+
+  // Cross-check exactness on the first query.
+  const auto a = sofa_index.SearchKnn(dataset.queries.row(0), 10);
+  const auto b = flat_index.SearchKnn(dataset.queries.row(0), 10);
+  bool exact = a.size() == b.size();
+  for (std::size_t i = 0; exact && i < a.size(); ++i) {
+    exact = std::abs(a[i].distance - b[i].distance) < 1e-3f;
+  }
+  std::printf("exactness vs flat index: %s\n", exact ? "✓" : "✗ MISMATCH");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "core/dataset.h"
+
+#include <cstring>
+
+#include "core/znorm.h"
+#include "util/thread_pool.h"
+
+namespace sofa {
+
+Dataset::Dataset(std::size_t length) : length_(length) {
+  SOFA_CHECK(length_ > 0);
+}
+
+Dataset::Dataset(std::size_t count, std::size_t length) : Dataset(length) {
+  Resize(count);
+}
+
+void Dataset::Append(const float* values) {
+  const std::size_t offset = count_ * length_;
+  values_.resize(offset + length_);
+  std::memcpy(values_.data() + offset, values, length_ * sizeof(float));
+  ++count_;
+}
+
+void Dataset::Resize(std::size_t count) {
+  values_.resize(count * length_);
+  count_ = count;
+}
+
+void Dataset::ZNormalizeAll(ThreadPool* pool) {
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < count_; ++i) {
+      ZNormalize(mutable_row(i), length_);
+    }
+    return;
+  }
+  ParallelFor(pool, count_,
+              [this](std::size_t begin, std::size_t end, std::size_t) {
+                for (std::size_t i = begin; i < end; ++i) {
+                  ZNormalize(mutable_row(i), length_);
+                }
+              });
+}
+
+}  // namespace sofa

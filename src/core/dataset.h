@@ -1,0 +1,83 @@
+// The in-memory data series collection.
+//
+// A Dataset is a dense, row-major, 64-byte-aligned N×n float matrix: N data
+// series of identical length n. It is the substrate every index and scan in
+// this repository operates on (the paper's setting: in-memory collections,
+// whole-series matching).
+
+#ifndef SOFA_CORE_DATASET_H_
+#define SOFA_CORE_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/aligned.h"
+
+namespace sofa {
+
+class ThreadPool;
+
+/// Dense in-memory collection of equal-length data series.
+class Dataset {
+ public:
+  /// Creates an empty dataset of series length `length`.
+  explicit Dataset(std::size_t length);
+
+  /// Creates a dataset with `count` zero-initialized series.
+  Dataset(std::size_t count, std::size_t length);
+
+  /// Number of series.
+  std::size_t size() const { return count_; }
+
+  /// Length (dimensionality) of each series.
+  std::size_t length() const { return length_; }
+
+  bool empty() const { return count_ == 0; }
+
+  /// Read-only pointer to series `i`.
+  const float* row(std::size_t i) const {
+    SOFA_DCHECK(i < count_);
+    return values_.data() + i * length_;
+  }
+
+  /// Mutable pointer to series `i`.
+  float* mutable_row(std::size_t i) {
+    SOFA_DCHECK(i < count_);
+    return values_.data() + i * length_;
+  }
+
+  /// Raw contiguous storage (count() * length() floats).
+  const float* data() const { return values_.data(); }
+  float* mutable_data() { return values_.data(); }
+
+  /// Appends a copy of `values` (length() floats).
+  void Append(const float* values);
+
+  /// Grows/shrinks to `count` series; new series are zero.
+  void Resize(std::size_t count);
+
+  /// Z-normalizes every series in place; parallel if a pool is given.
+  void ZNormalizeAll(ThreadPool* pool = nullptr);
+
+  /// Bytes of series payload held.
+  std::size_t MemoryBytes() const { return count_ * length_ * sizeof(float); }
+
+ private:
+  std::size_t length_;
+  std::size_t count_ = 0;
+  AlignedVector<float> values_;
+};
+
+/// A dataset paired with its held-out query series (the benchmark unit:
+/// Table I rows are one LabeledDataset each).
+struct LabeledDataset {
+  std::string name;
+  Dataset data;
+  Dataset queries;
+};
+
+}  // namespace sofa
+
+#endif  // SOFA_CORE_DATASET_H_

@@ -1,0 +1,120 @@
+#include "core/distance.h"
+
+namespace sofa {
+namespace scalar {
+
+float SquaredEuclidean(const float* a, const float* b, std::size_t n) {
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+float SquaredEuclideanEarlyAbandon(const float* a, const float* b,
+                                   std::size_t n, float bound) {
+  float sum = 0.0f;
+  std::size_t i = 0;
+  // Check the abandon condition once per 8 accumulated terms; checking every
+  // element costs more than it saves.
+  while (i + 8 <= n) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      const float d = a[i + j] - b[i + j];
+      sum += d * d;
+    }
+    i += 8;
+    if (sum > bound) {
+      return sum;
+    }
+  }
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+float DotProduct(const float* a, const float* b, std::size_t n) {
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+float SquaredNorm(const float* a, std::size_t n) {
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += a[i] * a[i];
+  }
+  return sum;
+}
+
+}  // namespace scalar
+
+bool CpuSupportsAvx512() {
+#if defined(SOFA_COMPILE_AVX512) && defined(__GNUC__)
+  static const bool supported = __builtin_cpu_supports("avx512f") &&
+                                __builtin_cpu_supports("avx512bw") &&
+                                __builtin_cpu_supports("avx512dq");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+float SquaredEuclidean(const float* a, const float* b, std::size_t n) {
+#if defined(SOFA_COMPILE_AVX512)
+  if (CpuSupportsAvx512()) {
+    return avx512::SquaredEuclidean(a, b, n);
+  }
+#endif
+#if defined(SOFA_HAVE_AVX2)
+  return avx2::SquaredEuclidean(a, b, n);
+#else
+  return scalar::SquaredEuclidean(a, b, n);
+#endif
+}
+
+float SquaredEuclideanEarlyAbandon(const float* a, const float* b,
+                                   std::size_t n, float bound) {
+#if defined(SOFA_COMPILE_AVX512)
+  if (CpuSupportsAvx512()) {
+    return avx512::SquaredEuclideanEarlyAbandon(a, b, n, bound);
+  }
+#endif
+#if defined(SOFA_HAVE_AVX2)
+  return avx2::SquaredEuclideanEarlyAbandon(a, b, n, bound);
+#else
+  return scalar::SquaredEuclideanEarlyAbandon(a, b, n, bound);
+#endif
+}
+
+float DotProduct(const float* a, const float* b, std::size_t n) {
+#if defined(SOFA_COMPILE_AVX512)
+  if (CpuSupportsAvx512()) {
+    return avx512::DotProduct(a, b, n);
+  }
+#endif
+#if defined(SOFA_HAVE_AVX2)
+  return avx2::DotProduct(a, b, n);
+#else
+  return scalar::DotProduct(a, b, n);
+#endif
+}
+
+float SquaredNorm(const float* a, std::size_t n) {
+#if defined(SOFA_COMPILE_AVX512)
+  if (CpuSupportsAvx512()) {
+    return avx512::SquaredNorm(a, n);
+  }
+#endif
+#if defined(SOFA_HAVE_AVX2)
+  return avx2::SquaredNorm(a, n);
+#else
+  return scalar::SquaredNorm(a, n);
+#endif
+}
+
+}  // namespace sofa

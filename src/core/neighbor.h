@@ -1,0 +1,22 @@
+// The result unit of every similarity-search engine in this repository.
+
+#ifndef SOFA_CORE_NEIGHBOR_H_
+#define SOFA_CORE_NEIGHBOR_H_
+
+#include <cstdint>
+
+namespace sofa {
+
+/// One answer of a similarity query.
+struct Neighbor {
+  std::uint32_t id = 0;
+  float distance = 0.0f;  // Euclidean (not squared)
+
+  bool operator==(const Neighbor& other) const {
+    return id == other.id && distance == other.distance;
+  }
+};
+
+}  // namespace sofa
+
+#endif  // SOFA_CORE_NEIGHBOR_H_

@@ -1,0 +1,53 @@
+#include "core/znorm.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sofa {
+
+MeanStd ComputeMeanStd(const float* values, std::size_t n) {
+  SOFA_DCHECK(n > 0);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += values[i];
+    sum_sq += static_cast<double>(values[i]) * values[i];
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double variance =
+      std::fmax(0.0, sum_sq / static_cast<double>(n) - mean * mean);
+  return MeanStd{static_cast<float>(mean),
+                 static_cast<float>(std::sqrt(variance))};
+}
+
+void ZNormalize(float* values, std::size_t n, float epsilon) {
+  const MeanStd ms = ComputeMeanStd(values, n);
+  if (ms.std < epsilon) {
+    for (std::size_t i = 0; i < n; ++i) {
+      values[i] = 0.0f;
+    }
+    return;
+  }
+  const float inv_std = 1.0f / ms.std;
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = (values[i] - ms.mean) * inv_std;
+  }
+}
+
+void ZNormalizeCopy(const float* in, float* out, std::size_t n,
+                    float epsilon) {
+  const MeanStd ms = ComputeMeanStd(in, n);
+  if (ms.std < epsilon) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = 0.0f;
+    }
+    return;
+  }
+  const float inv_std = 1.0f / ms.std;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = (in[i] - ms.mean) * inv_std;
+  }
+}
+
+}  // namespace sofa

@@ -1,0 +1,36 @@
+// Z-normalization of data series.
+//
+// All similarity search in this repository (like the paper and all prior
+// iSAX-family work) operates on z-normalized series: each series is shifted
+// to mean 0 and scaled to standard deviation 1 once at ingestion, after
+// which the plain Euclidean distance equals the z-normalized Euclidean
+// distance of the original series.
+
+#ifndef SOFA_CORE_ZNORM_H_
+#define SOFA_CORE_ZNORM_H_
+
+#include <cstddef>
+
+namespace sofa {
+
+/// Mean and (population) standard deviation of a series.
+struct MeanStd {
+  float mean = 0.0f;
+  float std = 0.0f;
+};
+
+/// Computes mean and population standard deviation in one pass
+/// (double accumulation for stability).
+MeanStd ComputeMeanStd(const float* values, std::size_t n);
+
+/// In-place z-normalization. A (near-)constant series — std below `epsilon`
+/// — becomes all zeros, the convention used by the UCR suite.
+void ZNormalize(float* values, std::size_t n, float epsilon = 1e-8f);
+
+/// Out-of-place z-normalization; `out` may not alias `in`.
+void ZNormalizeCopy(const float* in, float* out, std::size_t n,
+                    float epsilon = 1e-8f);
+
+}  // namespace sofa
+
+#endif  // SOFA_CORE_ZNORM_H_

@@ -1,0 +1,93 @@
+// The benchmark dataset registry — synthetic substitutes for the paper's
+// 17 datasets (Table I).
+//
+// Each spec mirrors the real dataset's series length and records its paper
+// series count; the generator family and its frequency parameters are
+// chosen so the *spectral-variance profile* — the property that drives
+// every SOFA-vs-MESSI result in the paper (Figs. 1, 12, 13) — spans the
+// same low→high frequency spread: LenDB/SCEDC/Meier2019JGR as
+// high-frequency seismic networks, SIFT1b/BigANN as unordered spiky
+// vectors, ISC/PNW/SALD/Deep1b as smooth low-frequency collections.
+// See DESIGN.md §3 for the substitution rationale.
+
+#ifndef SOFA_DATAGEN_DATASETS_H_
+#define SOFA_DATAGEN_DATASETS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "datagen/seismic.h"
+
+namespace sofa {
+
+class ThreadPool;
+
+namespace datagen {
+
+/// Generator family of a dataset.
+enum class Family {
+  kSeismic,     // SeismicGenerator (12 SeisBench datasets)
+  kSiftVector,  // SiftLikeGenerator (SIFT1b, BigANN)
+  kDeepVector,  // DeepLikeGenerator (Deep1b)
+  kAstro,       // power-law light curves with flares (Astro)
+  kNeuro,       // smooth power-law + slow oscillation (SALD)
+};
+
+/// Static description of one benchmark dataset.
+struct DatasetSpec {
+  std::string name;
+  Family family = Family::kSeismic;
+  std::size_t series_length = 256;
+  std::uint64_t paper_count = 0;  // series count in the paper's Table I
+  SeismicParams seismic;          // kSeismic parameters
+  double power_beta = 1.5;        // kAstro/kNeuro spectral slope
+  std::size_t sift_block = 8;     // kSiftVector block size
+  std::size_t deep_rank = 24;     // kDeepVector latent rank
+
+  /// Cluster template weight (see GenerateOptions::cluster_mix). Vector
+  /// datasets use tighter clusters: their summaries are weaker (16 values
+  /// of an unordered vector), so near neighbors must be nearer for any
+  /// lower bound to prune — as with real descriptor data.
+  double cluster_mix = 0.8;
+};
+
+/// All 17 specs, in the paper's Table I order.
+const std::vector<DatasetSpec>& AllDatasetSpecs();
+
+/// Spec by (case-insensitive) name, or nullptr.
+const DatasetSpec* FindDatasetSpec(const std::string& name);
+
+/// Generation parameters.
+struct GenerateOptions {
+  std::size_t count = 20000;      // indexed series (paper: Table I counts)
+  std::size_t num_queries = 100;  // held-out query series (paper: 100)
+  std::uint64_t seed = 0xda7a;
+
+  /// Real archives have neighborhood structure (repeating seismic events,
+  /// clustered descriptors) — the property GEMINI pruning feeds on. Series
+  /// are therefore mixtures √r·template + √(1−r)·residual over a pool of
+  /// cluster templates. cluster_count 0 = auto (max(16, count/64));
+  /// cluster_mix < 0 = the spec's default; 0 = i.i.d. (no structure).
+  std::size_t cluster_count = 0;
+  double cluster_mix = -1.0;
+};
+
+/// Generates the dataset plus held-out queries; deterministic per
+/// (spec, options.seed) regardless of thread count. All series are
+/// z-normalized. Queries use the aligned-onset protocol for seismic data.
+LabeledDataset MakeDataset(const DatasetSpec& spec,
+                           const GenerateOptions& options,
+                           ThreadPool* pool = nullptr);
+
+/// Convenience: MakeDataset by registry name (checks the name exists).
+LabeledDataset MakeDatasetByName(const std::string& name,
+                                 const GenerateOptions& options,
+                                 ThreadPool* pool = nullptr);
+
+}  // namespace datagen
+}  // namespace sofa
+
+#endif  // SOFA_DATAGEN_DATASETS_H_

@@ -1,0 +1,104 @@
+#include "datagen/seismic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/znorm.h"
+#include "util/check.h"
+
+namespace sofa {
+namespace datagen {
+
+void RickerWavelet(double dominant_freq, std::size_t half, float* out) {
+  // r(τ) = (1 − 2π²f²τ²)·e^{−π²f²τ²}.
+  const double pf = M_PI * dominant_freq;
+  const double pf_sq = pf * pf;
+  for (std::size_t i = 0; i <= 2 * half; ++i) {
+    const double tau = static_cast<double>(i) - static_cast<double>(half);
+    const double a = pf_sq * tau * tau;
+    out[i] = static_cast<float>((1.0 - 2.0 * a) * std::exp(-a));
+  }
+}
+
+SeismicGenerator::SeismicGenerator(std::size_t length,
+                                   const SeismicParams& params)
+    : length_(length), params_(params), shaper_(length), scratch_(length) {
+  SOFA_CHECK(length_ >= 32);
+  SOFA_CHECK(params_.dominant_freq > 0.0 && params_.dominant_freq <= 0.5);
+}
+
+void SeismicGenerator::Generate(Rng* rng, bool aligned_onset, float* out) {
+  const std::size_t n = length_;
+  const SeismicParams& p = params_;
+
+  // 1. Colored background noise.
+  shaper_.GenerateRaw(PowerLawEnvelope(p.noise_beta), rng, out);
+  // Normalize noise to unit RMS, then scale to the noise level.
+  double rms = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    rms += static_cast<double>(out[t]) * out[t];
+  }
+  rms = std::sqrt(rms / static_cast<double>(n)) + 1e-12;
+  const float noise_scale = static_cast<float>(p.noise_level / rms);
+  for (std::size_t t = 0; t < n; ++t) {
+    out[t] *= noise_scale;
+  }
+
+  // 2. P-wave onset position.
+  double onset_frac = p.onset_position;
+  if (!aligned_onset) {
+    onset_frac += p.onset_jitter * (2.0 * rng->Uniform() - 1.0);
+    onset_frac = std::clamp(onset_frac, 0.05, 0.75);
+  }
+  const std::size_t p_onset = static_cast<std::size_t>(
+      onset_frac * static_cast<double>(n));
+
+  // 3. P arrival: Ricker wavelet at the dominant frequency with slight
+  //    per-event frequency scatter.
+  auto add_wavelet = [&](std::size_t onset, double freq, double amplitude) {
+    const std::size_t half = std::max<std::size_t>(
+        2, static_cast<std::size_t>(1.0 / std::max(freq, 0.02)));
+    std::vector<float> wavelet(2 * half + 1);
+    RickerWavelet(freq, half, wavelet.data());
+    for (std::size_t i = 0; i < wavelet.size(); ++i) {
+      const std::ptrdiff_t t = static_cast<std::ptrdiff_t>(onset + i) -
+                               static_cast<std::ptrdiff_t>(half);
+      if (t >= 0 && t < static_cast<std::ptrdiff_t>(n)) {
+        out[t] += static_cast<float>(amplitude) * wavelet[i];
+      }
+    }
+  };
+  const double freq_scatter = 1.0 + 0.2 * (2.0 * rng->Uniform() - 1.0);
+  const double p_freq = p.dominant_freq * freq_scatter;
+  add_wavelet(p_onset, p_freq, 1.0);
+
+  // 4. S arrival: later, stronger, lower frequency (×0.6).
+  const std::size_t s_delay = static_cast<std::size_t>(
+      (0.10 + 0.15 * rng->Uniform()) * static_cast<double>(n));
+  const std::size_t s_onset = p_onset + s_delay;
+  if (s_onset + 2 < n) {
+    add_wavelet(s_onset, p_freq * 0.6, p.s_amplitude);
+  }
+
+  // 5. Coda: band-passed noise around the dominant frequency, decaying
+  //    exponentially after the P onset.
+  shaper_.GenerateRaw(
+      BandPassEnvelope(p.dominant_freq, p.bandwidth * p.dominant_freq + 0.02),
+      rng, scratch_.data());
+  double coda_rms = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    coda_rms += static_cast<double>(scratch_[t]) * scratch_[t];
+  }
+  coda_rms = std::sqrt(coda_rms / static_cast<double>(n)) + 1e-12;
+  const double decay_tau = p.coda_decay * static_cast<double>(n);
+  for (std::size_t t = p_onset; t < n; ++t) {
+    const double age = static_cast<double>(t - p_onset);
+    const double envelope = 0.8 * std::exp(-age / decay_tau) / coda_rms;
+    out[t] += static_cast<float>(envelope) * scratch_[t];
+  }
+
+  ZNormalize(out, n);
+}
+
+}  // namespace datagen
+}  // namespace sofa

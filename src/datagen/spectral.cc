@@ -1,0 +1,69 @@
+#include "datagen/spectral.h"
+
+#include <cmath>
+
+#include "core/znorm.h"
+#include "util/check.h"
+
+namespace sofa {
+namespace datagen {
+
+SpectralEnvelope PowerLawEnvelope(double beta) {
+  return [beta](double f) { return std::pow(f, -beta / 2.0); };
+}
+
+SpectralEnvelope BandPassEnvelope(double f0, double width) {
+  return [f0, width](double f) {
+    const double d = (f - f0) / width;
+    return std::exp(-0.5 * d * d);
+  };
+}
+
+SpectralEnvelope FlatEnvelope() {
+  return [](double) { return 1.0; };
+}
+
+SpectralEnvelope HighPassEnvelope(double f0, double sharpness) {
+  return [f0, sharpness](double f) {
+    return 1.0 / (1.0 + std::exp(-(f - f0) / sharpness));
+  };
+}
+
+SpectralEnvelope MixEnvelopes(SpectralEnvelope a, double weight_a,
+                              SpectralEnvelope b, double weight_b) {
+  return [a = std::move(a), weight_a, b = std::move(b),
+          weight_b](double f) { return weight_a * a(f) + weight_b * b(f); };
+}
+
+SpectralShaper::SpectralShaper(std::size_t length)
+    : length_(length), plan_(length), coeffs_(plan_.num_coefficients()) {
+  SOFA_CHECK(length_ >= 4);
+}
+
+void SpectralShaper::GenerateRaw(const SpectralEnvelope& envelope, Rng* rng,
+                                 float* out) {
+  const std::size_t nc = plan_.num_coefficients();
+  coeffs_[0] = {0.0f, 0.0f};  // zero mean
+  for (std::size_t k = 1; k < nc; ++k) {
+    const double f =
+        static_cast<double>(k) / static_cast<double>(length_);
+    const double amp = envelope(f);
+    if (plan_.IsUnpaired(k)) {
+      // Nyquist: real-valued bin.
+      coeffs_[k] = {static_cast<float>(amp * rng->Gaussian()), 0.0f};
+    } else {
+      coeffs_[k] = {static_cast<float>(amp * rng->Gaussian()),
+                    static_cast<float>(amp * rng->Gaussian())};
+    }
+  }
+  plan_.InverseTransform(coeffs_.data(), out, &scratch_);
+}
+
+void SpectralShaper::Generate(const SpectralEnvelope& envelope, Rng* rng,
+                              float* out) {
+  GenerateRaw(envelope, rng, out);
+  ZNormalize(out, length_);
+}
+
+}  // namespace datagen
+}  // namespace sofa

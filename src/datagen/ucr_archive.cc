@@ -1,0 +1,242 @@
+#include "datagen/ucr_archive.h"
+
+#include <cmath>
+#include <functional>
+
+#include "core/znorm.h"
+#include "util/rng.h"
+
+namespace sofa {
+namespace datagen {
+namespace {
+
+// A shape family fills `out` for class `cls` (0..2) with its own noise.
+using ShapeFn =
+    std::function<void(std::size_t cls, Rng* rng, float* out, std::size_t n)>;
+
+void AddNoise(Rng* rng, float* out, std::size_t n, double level) {
+  for (std::size_t t = 0; t < n; ++t) {
+    out[t] += static_cast<float>(level * rng->Gaussian());
+  }
+}
+
+// Sine with class-dependent frequency.
+void SineFreq(std::size_t cls, Rng* rng, float* out, std::size_t n) {
+  const double freq = 2.0 + 2.0 * static_cast<double>(cls);
+  const double phase = 2.0 * M_PI * rng->Uniform();
+  for (std::size_t t = 0; t < n; ++t) {
+    out[t] = static_cast<float>(
+        std::sin(2.0 * M_PI * freq * t / static_cast<double>(n) + phase));
+  }
+  AddNoise(rng, out, n, 0.2);
+}
+
+// Sine with class-dependent amplitude modulation depth.
+void SineAm(std::size_t cls, Rng* rng, float* out, std::size_t n) {
+  const double depth = 0.2 + 0.4 * static_cast<double>(cls);
+  const double phase = 2.0 * M_PI * rng->Uniform();
+  for (std::size_t t = 0; t < n; ++t) {
+    const double x = static_cast<double>(t) / static_cast<double>(n);
+    const double carrier = std::sin(2.0 * M_PI * 8.0 * x + phase);
+    const double envelope = 1.0 + depth * std::sin(2.0 * M_PI * x);
+    out[t] = static_cast<float>(envelope * carrier);
+  }
+  AddNoise(rng, out, n, 0.15);
+}
+
+// Linear chirp with class-dependent sweep rate.
+void Chirp(std::size_t cls, Rng* rng, float* out, std::size_t n) {
+  const double f0 = 1.0;
+  const double rate = 4.0 + 6.0 * static_cast<double>(cls);
+  const double phase = 2.0 * M_PI * rng->Uniform();
+  for (std::size_t t = 0; t < n; ++t) {
+    const double x = static_cast<double>(t) / static_cast<double>(n);
+    out[t] = static_cast<float>(
+        std::sin(2.0 * M_PI * (f0 * x + 0.5 * rate * x * x) + phase));
+  }
+  AddNoise(rng, out, n, 0.2);
+}
+
+// Square wave with class-dependent duty cycle.
+void Square(std::size_t cls, Rng* rng, float* out, std::size_t n) {
+  const double duty = 0.25 + 0.25 * static_cast<double>(cls);
+  const double freq = 4.0;
+  const double phase = rng->Uniform();
+  for (std::size_t t = 0; t < n; ++t) {
+    const double x = freq * t / static_cast<double>(n) + phase;
+    out[t] = (x - std::floor(x)) < duty ? 1.0f : -1.0f;
+  }
+  AddNoise(rng, out, n, 0.25);
+}
+
+// Triangle wave, class-dependent frequency.
+void Triangle(std::size_t cls, Rng* rng, float* out, std::size_t n) {
+  const double freq = 2.0 + 2.0 * static_cast<double>(cls);
+  const double phase = rng->Uniform();
+  for (std::size_t t = 0; t < n; ++t) {
+    const double x = freq * t / static_cast<double>(n) + phase;
+    const double frac = x - std::floor(x);
+    out[t] = static_cast<float>(4.0 * std::fabs(frac - 0.5) - 1.0);
+  }
+  AddNoise(rng, out, n, 0.15);
+}
+
+// Gaussian bump with class-dependent position.
+void Bump(std::size_t cls, Rng* rng, float* out, std::size_t n) {
+  const double center =
+      (0.25 + 0.25 * static_cast<double>(cls)) * static_cast<double>(n) +
+      0.03 * static_cast<double>(n) * rng->Gaussian();
+  const double width = static_cast<double>(n) / 16.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double d = (static_cast<double>(t) - center) / width;
+    out[t] = static_cast<float>(std::exp(-0.5 * d * d));
+  }
+  AddNoise(rng, out, n, 0.1);
+}
+
+// Two bumps with class-dependent separation.
+void TwoBumps(std::size_t cls, Rng* rng, float* out, std::size_t n) {
+  const double sep = (0.15 + 0.15 * static_cast<double>(cls));
+  const double c1 = (0.5 - sep / 2.0) * static_cast<double>(n);
+  const double c2 = (0.5 + sep / 2.0) * static_cast<double>(n);
+  const double width = static_cast<double>(n) / 20.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double d1 = (static_cast<double>(t) - c1) / width;
+    const double d2 = (static_cast<double>(t) - c2) / width;
+    out[t] = static_cast<float>(std::exp(-0.5 * d1 * d1) +
+                                std::exp(-0.5 * d2 * d2));
+  }
+  AddNoise(rng, out, n, 0.1);
+}
+
+// Random walk with class-dependent smoothing window.
+void SmoothWalk(std::size_t cls, Rng* rng, float* out, std::size_t n) {
+  std::vector<double> walk(n);
+  double level = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    level += rng->Gaussian();
+    walk[t] = level;
+  }
+  const std::size_t window = 1 + 4 * cls;
+  for (std::size_t t = 0; t < n; ++t) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t w = t >= window ? t - window : 0;
+         w <= std::min(n - 1, t + window); ++w) {
+      sum += walk[w];
+      ++count;
+    }
+    out[t] = static_cast<float>(sum / static_cast<double>(count));
+  }
+}
+
+// High-frequency burst at a class-dependent position over quiet noise.
+void Burst(std::size_t cls, Rng* rng, float* out, std::size_t n) {
+  for (std::size_t t = 0; t < n; ++t) {
+    out[t] = static_cast<float>(0.1 * rng->Gaussian());
+  }
+  const std::size_t start = static_cast<std::size_t>(
+      (0.15 + 0.25 * static_cast<double>(cls)) * static_cast<double>(n));
+  const std::size_t burst_len = n / 6;
+  for (std::size_t t = start; t < std::min(n, start + burst_len); ++t) {
+    out[t] += static_cast<float>(
+        std::sin(2.0 * M_PI * 0.4 * static_cast<double>(t)) *
+        (1.0 + 0.3 * rng->Gaussian()));
+  }
+}
+
+// Step function with class-dependent step position.
+void Step(std::size_t cls, Rng* rng, float* out, std::size_t n) {
+  const std::size_t pos = static_cast<std::size_t>(
+      (0.3 + 0.2 * static_cast<double>(cls)) * static_cast<double>(n));
+  for (std::size_t t = 0; t < n; ++t) {
+    out[t] = t < pos ? -1.0f : 1.0f;
+  }
+  AddNoise(rng, out, n, 0.2);
+}
+
+// Sawtooth with class-dependent frequency.
+void Sawtooth(std::size_t cls, Rng* rng, float* out, std::size_t n) {
+  const double freq = 3.0 + 3.0 * static_cast<double>(cls);
+  const double phase = rng->Uniform();
+  for (std::size_t t = 0; t < n; ++t) {
+    const double x = freq * t / static_cast<double>(n) + phase;
+    out[t] = static_cast<float>(2.0 * (x - std::floor(x)) - 1.0);
+  }
+  AddNoise(rng, out, n, 0.15);
+}
+
+// ECG-like beat train: sharp R spikes + smooth T waves, class = heart rate.
+void EcgLike(std::size_t cls, Rng* rng, float* out, std::size_t n) {
+  for (std::size_t t = 0; t < n; ++t) {
+    out[t] = 0.0f;
+  }
+  const double rr =
+      static_cast<double>(n) / (2.0 + static_cast<double>(cls));
+  double beat = rr * rng->Uniform() * 0.5;
+  while (beat < static_cast<double>(n)) {
+    const double r_width = 1.5;
+    const double t_center = beat + rr * 0.3;
+    const double t_width = rr * 0.12;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double dr = (static_cast<double>(t) - beat) / r_width;
+      const double dt = (static_cast<double>(t) - t_center) / t_width;
+      out[t] += static_cast<float>(2.5 * std::exp(-0.5 * dr * dr) +
+                                   0.5 * std::exp(-0.5 * dt * dt));
+    }
+    beat += rr * (1.0 + 0.05 * rng->Gaussian());
+  }
+  AddNoise(rng, out, n, 0.08);
+}
+
+struct ShapeFamily {
+  const char* name;
+  ShapeFn fn;
+};
+
+const ShapeFamily kFamilies[] = {
+    {"SineFreq", SineFreq}, {"SineAM", SineAm},     {"Chirp", Chirp},
+    {"Square", Square},     {"Triangle", Triangle}, {"Bump", Bump},
+    {"TwoBumps", TwoBumps}, {"SmoothWalk", SmoothWalk},
+    {"Burst", Burst},       {"Step", Step},         {"Sawtooth", Sawtooth},
+    {"ECGLike", EcgLike},
+};
+
+constexpr std::size_t kLengths[] = {64, 96, 128, 256};
+
+}  // namespace
+
+std::vector<UcrLikeDataset> MakeUcrArchiveLike(
+    const UcrArchiveOptions& options) {
+  std::vector<UcrLikeDataset> archive;
+  Rng master(options.seed);
+  // Two variants per family at different lengths → 24 datasets.
+  for (std::size_t variant = 0; variant < 2; ++variant) {
+    std::size_t family_index = 0;
+    for (const ShapeFamily& family : kFamilies) {
+      const std::size_t n =
+          kLengths[(family_index + 2 * variant) % std::size(kLengths)];
+      UcrLikeDataset ds{std::string(family.name) +
+                            (variant == 0 ? "Small" : "Large"),
+                        Dataset(n), Dataset(n)};
+      Rng rng = master.Fork();
+      std::vector<float> row(n);
+      auto fill = [&](Dataset* target, std::size_t count) {
+        for (std::size_t i = 0; i < count; ++i) {
+          const std::size_t cls = rng.Below(3);
+          family.fn(cls, &rng, row.data(), n);
+          ZNormalize(row.data(), n);
+          target->Append(row.data());
+        }
+      };
+      fill(&ds.train, options.train_per_dataset);
+      fill(&ds.test, options.test_per_dataset);
+      archive.push_back(std::move(ds));
+      ++family_index;
+    }
+  }
+  return archive;
+}
+
+}  // namespace datagen
+}  // namespace sofa

@@ -1,0 +1,44 @@
+// A UCR-archive-like collection — substitute for the ~120-dataset UCR
+// classification archive used in the paper's TLB ablation (Table V).
+//
+// 24 small train/test datasets spanning heterogeneous shape families
+// (sines, chirps, square/triangle waves, bumps, walks, bursts, steps,
+// ECG-like beats …) at several series lengths. Each dataset mixes a few
+// parameter "classes" like a classification problem; the ablation only
+// needs the train split for learning SFA and the test split as queries.
+
+#ifndef SOFA_DATAGEN_UCR_ARCHIVE_H_
+#define SOFA_DATAGEN_UCR_ARCHIVE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace sofa {
+namespace datagen {
+
+/// One archive entry: a named train/test pair of z-normalized datasets.
+struct UcrLikeDataset {
+  std::string name;
+  Dataset train;
+  Dataset test;
+};
+
+/// Archive generation parameters.
+struct UcrArchiveOptions {
+  std::size_t train_per_dataset = 60;
+  std::size_t test_per_dataset = 20;
+  std::uint64_t seed = 0x0c4;
+};
+
+/// Generates the full 24-dataset archive (deterministic per seed).
+std::vector<UcrLikeDataset> MakeUcrArchiveLike(
+    const UcrArchiveOptions& options = {});
+
+}  // namespace datagen
+}  // namespace sofa
+
+#endif  // SOFA_DATAGEN_UCR_ARCHIVE_H_

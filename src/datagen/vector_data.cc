@@ -1,0 +1,76 @@
+#include "datagen/vector_data.h"
+
+#include <cmath>
+
+#include "core/znorm.h"
+#include "util/check.h"
+
+namespace sofa {
+namespace datagen {
+
+SiftLikeGenerator::SiftLikeGenerator(std::size_t length, std::size_t block)
+    : length_(length), block_(block) {
+  SOFA_CHECK(length_ >= 8);
+  SOFA_CHECK(block_ >= 2);
+}
+
+void SiftLikeGenerator::Generate(Rng* rng, float* out) {
+  // Gradient-histogram model: exponential bins with one dominant
+  // orientation per block — spiky, non-negative, heavy-tailed, and with
+  // *no* smooth ordering structure: neighboring bins are independent, so
+  // segment means carry almost nothing (the Fig. 1 SIFT1b panel where PAA
+  // flattens out) while the value distribution is far from N(0,1).
+  for (std::size_t start = 0; start < length_; start += block_) {
+    const std::size_t end = std::min(length_, start + block_);
+    const std::size_t dominant = start + rng->Below(end - start);
+    for (std::size_t i = start; i < end; ++i) {
+      // Exponential bin magnitudes (−log U), boosted at the dominant bin.
+      double magnitude = -std::log(std::max(1e-12, rng->Uniform()));
+      if (i == dominant) {
+        magnitude *= 6.0;
+      }
+      out[i] = static_cast<float>(magnitude);
+    }
+  }
+  ZNormalize(out, length_);
+}
+
+DeepLikeGenerator::DeepLikeGenerator(std::size_t length, std::size_t rank,
+                                     std::uint64_t dataset_seed)
+    : length_(length), rank_(rank), factors_(rank) {
+  SOFA_CHECK(rank_ >= 1);
+  // Smooth mixing columns: Gaussian bumps at random centers — neighboring
+  // output dimensions end up correlated, concentrating spectral energy in
+  // low frequencies.
+  Rng rng(dataset_seed);
+  mixing_.resize(length_ * rank_);
+  const double sigma = static_cast<double>(length_) / 12.0;
+  for (std::size_t j = 0; j < rank_; ++j) {
+    const double center = rng.Uniform() * static_cast<double>(length_);
+    const double sign = rng.Uniform() < 0.5 ? -1.0 : 1.0;
+    for (std::size_t i = 0; i < length_; ++i) {
+      const double d = (static_cast<double>(i) - center) / sigma;
+      mixing_[i * rank_ + j] =
+          static_cast<float>(sign * std::exp(-0.5 * d * d));
+    }
+  }
+}
+
+void DeepLikeGenerator::Generate(Rng* rng, float* out) {
+  for (auto& g : factors_) {
+    g = static_cast<float>(rng->Gaussian());
+  }
+  for (std::size_t i = 0; i < length_; ++i) {
+    double sum = 0.0;
+    const float* row = mixing_.data() + i * rank_;
+    for (std::size_t j = 0; j < rank_; ++j) {
+      sum += static_cast<double>(row[j]) * factors_[j];
+    }
+    // Small white component so no two vectors are linearly dependent.
+    out[i] = static_cast<float>(sum + 0.05 * rng->Gaussian());
+  }
+  ZNormalize(out, length_);
+}
+
+}  // namespace datagen
+}  // namespace sofa

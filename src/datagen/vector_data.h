@@ -1,0 +1,64 @@
+// Synthetic vector datasets — substitutes for SIFT1b, BigANN and Deep1b.
+//
+// Vector data has no inherent ordering (paper Section III), so when treated
+// as a "series" its variance spreads across high frequencies — exactly the
+// regime where PAA/SAX summarization collapses. SIFT-style vectors are
+// modelled as non-negative gradient-histogram blocks (sparse, spiky →
+// high-frequency variance, heavy right skew like Fig. 1's SIFT1b panel);
+// Deep-style vectors as smooth low-rank embeddings (the one vector dataset
+// where the paper's SOFA gains are smallest).
+
+#ifndef SOFA_DATAGEN_VECTOR_DATA_H_
+#define SOFA_DATAGEN_VECTOR_DATA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sofa {
+namespace datagen {
+
+/// SIFT/BigANN-like generator: blocks of exponentially distributed
+/// non-negative bins with per-block energy scaling. Not thread-safe.
+class SiftLikeGenerator {
+ public:
+  /// `length` = vector dimensionality (128 for SIFT1b, 100 for BigANN);
+  /// `block` = histogram block size (8 orientations in real SIFT).
+  SiftLikeGenerator(std::size_t length, std::size_t block = 8);
+
+  std::size_t length() const { return length_; }
+
+  /// Generates a z-normalized vector-as-series.
+  void Generate(Rng* rng, float* out);
+
+ private:
+  std::size_t length_;
+  std::size_t block_;
+};
+
+/// Deep1b-like generator: L2-normalized smooth low-rank embeddings
+/// x = W·g with a fixed smooth mixing matrix W (per dataset) and
+/// per-vector Gaussian factors g. Not thread-safe.
+class DeepLikeGenerator {
+ public:
+  /// `length` = embedding dimensionality (96 for Deep1b); `rank` = latent
+  /// factor count; `dataset_seed` fixes the mixing matrix.
+  DeepLikeGenerator(std::size_t length, std::size_t rank,
+                    std::uint64_t dataset_seed);
+
+  std::size_t length() const { return length_; }
+
+  void Generate(Rng* rng, float* out);
+
+ private:
+  std::size_t length_;
+  std::size_t rank_;
+  std::vector<float> mixing_;  // length_ × rank_
+  std::vector<float> factors_;
+};
+
+}  // namespace datagen
+}  // namespace sofa
+
+#endif  // SOFA_DATAGEN_VECTOR_DATA_H_

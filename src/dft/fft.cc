@@ -1,0 +1,174 @@
+#include "dft/fft.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sofa {
+namespace dft {
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+namespace {
+
+// e^{-iπ·(t² mod 2n)/n}; reducing t² modulo 2n keeps the angle in
+// [0, 2π) so precision does not degrade for large t.
+std::complex<double> ChirpFactor(std::uint64_t t, std::uint64_t n) {
+  const std::uint64_t t_sq_mod = (t * t) % (2 * n);
+  const double angle =
+      -M_PI * static_cast<double>(t_sq_mod) / static_cast<double>(n);
+  return {std::cos(angle), std::sin(angle)};
+}
+
+}  // namespace
+
+Fft::Fft(std::size_t n) : n_(n) {
+  SOFA_CHECK(n_ >= 1);
+  pow2_n_ = IsPowerOfTwo(n_) ? n_ : NextPowerOfTwo(2 * n_ - 1);
+  if (!IsPowerOfTwo(n_)) {
+    m_ = pow2_n_;
+  }
+
+  // Bit-reversal permutation for the radix-2 size.
+  bit_reverse_.resize(pow2_n_);
+  std::uint32_t bits = 0;
+  while ((std::size_t{1} << bits) < pow2_n_) {
+    ++bits;
+  }
+  for (std::size_t i = 0; i < pow2_n_; ++i) {
+    std::uint32_t reversed = 0;
+    for (std::uint32_t b = 0; b < bits; ++b) {
+      if (i & (std::size_t{1} << b)) {
+        reversed |= std::uint32_t{1} << (bits - 1 - b);
+      }
+    }
+    bit_reverse_[i] = reversed;
+  }
+
+  // Stage twiddles: for each butterfly span len ∈ {2,4,…,pow2_n_}, the
+  // len/2 factors e^{-2πi·j/len}; stages are concatenated.
+  twiddles_.reserve(pow2_n_);
+  for (std::size_t len = 2; len <= pow2_n_; len <<= 1) {
+    for (std::size_t j = 0; j < len / 2; ++j) {
+      const double angle =
+          -2.0 * M_PI * static_cast<double>(j) / static_cast<double>(len);
+      twiddles_.emplace_back(std::cos(angle), std::sin(angle));
+    }
+  }
+
+  if (m_ != 0) {
+    // Bluestein chirp and the pre-transformed convolution kernel.
+    chirp_.resize(n_);
+    for (std::size_t t = 0; t < n_; ++t) {
+      chirp_[t] = ChirpFactor(t, n_);
+    }
+    std::vector<std::complex<double>> b(m_, {0.0, 0.0});
+    b[0] = std::conj(chirp_[0]);
+    for (std::size_t t = 1; t < n_; ++t) {
+      b[t] = std::conj(chirp_[t]);
+      b[m_ - t] = b[t];  // wrap-around for circular convolution
+    }
+    Radix2(b.data(), m_, /*inverse=*/false);
+    b_forward_ = std::move(b);
+  }
+}
+
+void Fft::Radix2(std::complex<double>* data, std::size_t n,
+                 bool inverse) const {
+  SOFA_DCHECK(n == pow2_n_);
+  if (n <= 1) {
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bit_reverse_[i];
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+  std::size_t stage_offset = 0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t block = 0; block < n; block += len) {
+      for (std::size_t j = 0; j < half; ++j) {
+        const std::complex<double> w = inverse
+                                           ? std::conj(twiddles_[stage_offset + j])
+                                           : twiddles_[stage_offset + j];
+        const std::complex<double> u = data[block + j];
+        const std::complex<double> v = data[block + j + half] * w;
+        data[block + j] = u + v;
+        data[block + j + half] = u - v;
+      }
+    }
+    stage_offset += half;
+  }
+}
+
+void Fft::Bluestein(std::complex<double>* data, bool inverse,
+                    Scratch* scratch) const {
+  SOFA_DCHECK(scratch != nullptr);
+  auto& a = scratch->a;
+  a.assign(m_, {0.0, 0.0});
+  if (inverse) {
+    for (std::size_t t = 0; t < n_; ++t) {
+      a[t] = std::conj(data[t]) * chirp_[t];
+    }
+  } else {
+    for (std::size_t t = 0; t < n_; ++t) {
+      a[t] = data[t] * chirp_[t];
+    }
+  }
+  Radix2(a.data(), m_, /*inverse=*/false);
+  for (std::size_t i = 0; i < m_; ++i) {
+    a[i] *= b_forward_[i];
+  }
+  Radix2(a.data(), m_, /*inverse=*/true);
+  const double inv_m = 1.0 / static_cast<double>(m_);
+  if (inverse) {
+    for (std::size_t k = 0; k < n_; ++k) {
+      data[k] = std::conj(a[k] * inv_m * chirp_[k]);
+    }
+  } else {
+    for (std::size_t k = 0; k < n_; ++k) {
+      data[k] = a[k] * inv_m * chirp_[k];
+    }
+  }
+}
+
+void Fft::Forward(std::complex<double>* data, Scratch* scratch) const {
+  if (n_ == 1) {
+    return;
+  }
+  if (m_ == 0) {
+    Radix2(data, n_, /*inverse=*/false);
+  } else {
+    Bluestein(data, /*inverse=*/false, scratch);
+  }
+}
+
+void Fft::Inverse(std::complex<double>* data, Scratch* scratch) const {
+  if (n_ == 1) {
+    return;
+  }
+  if (m_ == 0) {
+    Radix2(data, n_, /*inverse=*/true);
+    const double inv_n = 1.0 / static_cast<double>(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      data[i] *= inv_n;
+    }
+  } else {
+    Bluestein(data, /*inverse=*/true, scratch);
+    const double inv_n = 1.0 / static_cast<double>(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      data[i] *= inv_n;
+    }
+  }
+}
+
+}  // namespace dft
+}  // namespace sofa

@@ -1,0 +1,72 @@
+// Complex FFT of arbitrary length.
+//
+// Power-of-two lengths run an iterative radix-2 Cooley–Tukey with
+// precomputed twiddles and bit-reversal table. All other lengths (the
+// benchmark has series of length 96, 100 …) go through Bluestein's chirp-z
+// algorithm, which reduces them to one power-of-two convolution.
+//
+// A plan is immutable after construction and safe to share across threads;
+// per-transform scratch lives in a Scratch object each caller (thread) owns.
+
+#ifndef SOFA_DFT_FFT_H_
+#define SOFA_DFT_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sofa {
+namespace dft {
+
+/// True if n is a power of two (n ≥ 1).
+constexpr bool IsPowerOfTwo(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two ≥ n.
+std::size_t NextPowerOfTwo(std::size_t n);
+
+/// Precomputed FFT plan for one transform length.
+class Fft {
+ public:
+  /// Reusable per-thread scratch space.
+  struct Scratch {
+    std::vector<std::complex<double>> a;
+    std::vector<std::complex<double>> b;
+  };
+
+  explicit Fft(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place unnormalized forward transform (sign −1 convention).
+  void Forward(std::complex<double>* data, Scratch* scratch) const;
+
+  /// In-place inverse transform, scaled by 1/n (Forward ∘ Inverse == id).
+  void Inverse(std::complex<double>* data, Scratch* scratch) const;
+
+ private:
+  // Radix-2 in-place transform for power-of-two sizes.
+  void Radix2(std::complex<double>* data, std::size_t n, bool inverse) const;
+  // Bluestein chirp-z for arbitrary sizes.
+  void Bluestein(std::complex<double>* data, bool inverse,
+                 Scratch* scratch) const;
+
+  std::size_t n_;
+  // Radix-2 machinery for n_ when it is a power of two, otherwise for the
+  // internal Bluestein length m_.
+  std::size_t pow2_n_;
+  std::vector<std::uint32_t> bit_reverse_;
+  std::vector<std::complex<double>> twiddles_;  // per-stage, concatenated
+
+  // Bluestein state (empty when n_ is a power of two).
+  std::size_t m_ = 0;                            // pow2 convolution length
+  std::vector<std::complex<double>> chirp_;      // e^{-iπ t²/n}, t ∈ [0,n)
+  std::vector<std::complex<double>> b_forward_;  // FFT of the chirp kernel
+};
+
+}  // namespace dft
+}  // namespace sofa
+
+#endif  // SOFA_DFT_FFT_H_

@@ -1,0 +1,35 @@
+#include "dft/naive_dft.h"
+
+#include <cmath>
+
+namespace sofa {
+namespace dft {
+
+void NaiveDft(const float* in, std::size_t n, std::complex<double>* out) {
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> sum(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * M_PI * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      sum += static_cast<double>(in[t]) *
+             std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = sum;
+  }
+}
+
+void NaiveDftComplex(const std::complex<double>* in, std::size_t n,
+                     std::complex<double>* out) {
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> sum(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * M_PI * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      sum += in[t] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = sum;
+  }
+}
+
+}  // namespace dft
+}  // namespace sofa

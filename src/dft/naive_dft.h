@@ -1,0 +1,23 @@
+// O(n²) reference DFT used as the correctness oracle for the FFT stack.
+
+#ifndef SOFA_DFT_NAIVE_DFT_H_
+#define SOFA_DFT_NAIVE_DFT_H_
+
+#include <complex>
+#include <cstddef>
+
+namespace sofa {
+namespace dft {
+
+/// Unnormalized forward DFT of a real input:
+/// out[k] = Σ_t in[t]·e^{−2πi·k·t/n}, k ∈ [0, n).
+void NaiveDft(const float* in, std::size_t n, std::complex<double>* out);
+
+/// Unnormalized forward DFT of a complex input.
+void NaiveDftComplex(const std::complex<double>* in, std::size_t n,
+                     std::complex<double>* out);
+
+}  // namespace dft
+}  // namespace sofa
+
+#endif  // SOFA_DFT_NAIVE_DFT_H_

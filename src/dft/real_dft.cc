@@ -1,0 +1,96 @@
+#include "dft/real_dft.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sofa {
+namespace dft {
+
+RealDftPlan::RealDftPlan(std::size_t n)
+    : n_(n),
+      use_half_packing_(IsPowerOfTwo(n) && n >= 2),
+      fft_(use_half_packing_ ? n / 2 : n),
+      full_fft_(n) {
+  SOFA_CHECK(n_ >= 2) << "series length must be at least 2";
+}
+
+void RealDftPlan::Transform(const float* in, std::complex<float>* out,
+                            Scratch* scratch) const {
+  SOFA_DCHECK(scratch != nullptr);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n_));
+  auto& buf = scratch->buf;
+
+  if (use_half_packing_) {
+    // Pack x[2t] + i·x[2t+1]; one half-size complex FFT recovers the full
+    // real-input spectrum via the even/odd untangling identities.
+    const std::size_t h = n_ / 2;
+    buf.resize(h);
+    for (std::size_t t = 0; t < h; ++t) {
+      buf[t] = {static_cast<double>(in[2 * t]),
+                static_cast<double>(in[2 * t + 1])};
+    }
+    fft_.Forward(buf.data(), &scratch->fft);
+    for (std::size_t k = 0; k <= h; ++k) {
+      const std::size_t k_mod = k % h;
+      const std::size_t conj_k = (h - k_mod) % h;
+      const std::complex<double> z_k = buf[k_mod];
+      const std::complex<double> z_c = std::conj(buf[conj_k]);
+      const std::complex<double> even = 0.5 * (z_k + z_c);
+      const std::complex<double> odd =
+          std::complex<double>(0.0, -0.5) * (z_k - z_c);
+      std::complex<double> coeff;
+      if (k == h) {
+        coeff = even - odd;  // Nyquist bin
+      } else {
+        const double angle =
+            -2.0 * M_PI * static_cast<double>(k) / static_cast<double>(n_);
+        coeff = even + std::complex<double>(std::cos(angle), std::sin(angle)) *
+                           odd;
+      }
+      out[k] = std::complex<float>(static_cast<float>(coeff.real() * scale),
+                                   static_cast<float>(coeff.imag() * scale));
+    }
+    return;
+  }
+
+  buf.resize(n_);
+  for (std::size_t t = 0; t < n_; ++t) {
+    buf[t] = {static_cast<double>(in[t]), 0.0};
+  }
+  fft_.Forward(buf.data(), &scratch->fft);
+  const std::size_t nc = num_coefficients();
+  for (std::size_t k = 0; k < nc; ++k) {
+    out[k] = std::complex<float>(static_cast<float>(buf[k].real() * scale),
+                                 static_cast<float>(buf[k].imag() * scale));
+  }
+}
+
+void RealDftPlan::Transform(const float* in, std::complex<float>* out) const {
+  Scratch scratch;
+  Transform(in, out, &scratch);
+}
+
+void RealDftPlan::InverseTransform(const std::complex<float>* coeffs,
+                                   float* out, Scratch* scratch) const {
+  SOFA_DCHECK(scratch != nullptr);
+  // Rebuild the full conjugate-symmetric spectrum, undo the 1/√n scaling,
+  // and run one complex inverse transform.
+  const double scale = std::sqrt(static_cast<double>(n_));
+  auto& buf = scratch->buf;
+  buf.resize(n_);
+  const std::size_t nc = num_coefficients();
+  for (std::size_t k = 0; k < nc; ++k) {
+    buf[k] = std::complex<double>(coeffs[k].real(), coeffs[k].imag()) * scale;
+  }
+  for (std::size_t k = nc; k < n_; ++k) {
+    buf[k] = std::conj(buf[n_ - k]);
+  }
+  full_fft_.Inverse(buf.data(), &scratch->fft);
+  for (std::size_t t = 0; t < n_; ++t) {
+    out[t] = static_cast<float>(buf[t].real());
+  }
+}
+
+}  // namespace dft
+}  // namespace sofa

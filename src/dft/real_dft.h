@@ -1,0 +1,70 @@
+// Forward/inverse DFT of real data series with the normalization used for
+// lower bounding.
+//
+// Coefficients are scaled by 1/√n so that Parseval reads
+//   Σ_t x_t² = |c_0|² + 2·Σ_{k=1}^{K-1} |c_k|² (+ |c_{n/2}|² once, n even),
+// which is exactly the identity behind the DFT lower bound to the Euclidean
+// distance (paper Eq. 1): any subset of coefficient differences, with weight
+// 2 on paired coefficients and 1 on DC/Nyquist, lower-bounds ED².
+
+#ifndef SOFA_DFT_REAL_DFT_H_
+#define SOFA_DFT_REAL_DFT_H_
+
+#include <complex>
+#include <cstddef>
+
+#include "dft/fft.h"
+
+namespace sofa {
+namespace dft {
+
+/// Immutable, thread-shareable plan for real-input DFTs of one length.
+///
+/// Power-of-two lengths use the half-size complex FFT packing trick; other
+/// lengths run the full-size (Bluestein-backed) complex transform.
+class RealDftPlan {
+ public:
+  /// Per-thread scratch buffers.
+  struct Scratch {
+    Fft::Scratch fft;
+    std::vector<std::complex<double>> buf;
+  };
+
+  explicit RealDftPlan(std::size_t n);
+
+  /// Input series length n.
+  std::size_t input_length() const { return n_; }
+
+  /// Number of unique coefficients: ⌊n/2⌋+1 (k = 0 … ⌊n/2⌋).
+  std::size_t num_coefficients() const { return n_ / 2 + 1; }
+
+  /// True if coefficient k is its own conjugate pair (weight 1 in
+  /// Parseval): DC, and Nyquist for even n.
+  bool IsUnpaired(std::size_t k) const {
+    return k == 0 || (n_ % 2 == 0 && k == n_ / 2);
+  }
+
+  /// Forward transform: writes num_coefficients() normalized coefficients.
+  void Transform(const float* in, std::complex<float>* out,
+                 Scratch* scratch) const;
+
+  /// Convenience overload with internally managed scratch (thread-safe but
+  /// allocates; prefer the scratch version in hot loops).
+  void Transform(const float* in, std::complex<float>* out) const;
+
+  /// Inverse: reconstructs the length-n real series from the unique
+  /// coefficient set produced by Transform.
+  void InverseTransform(const std::complex<float>* coeffs, float* out,
+                        Scratch* scratch) const;
+
+ private:
+  std::size_t n_;
+  bool use_half_packing_;
+  Fft fft_;       // size n/2 when packing, else size n
+  Fft full_fft_;  // size n, used by InverseTransform
+};
+
+}  // namespace dft
+}  // namespace sofa
+
+#endif  // SOFA_DFT_REAL_DFT_H_

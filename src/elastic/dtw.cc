@@ -1,0 +1,95 @@
+#include "elastic/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sofa {
+namespace elastic {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+inline double SquaredCost(float x, float y) {
+  const double diff = static_cast<double>(x) - static_cast<double>(y);
+  return diff * diff;
+}
+
+}  // namespace
+
+double Dtw(const float* a, std::size_t an, const float* b, std::size_t bn,
+           std::size_t band) {
+  SOFA_CHECK(an > 0 && bn > 0);
+  const std::size_t length_gap = an > bn ? an - bn : bn - an;
+  SOFA_CHECK(band == kFullBand || band >= length_gap)
+      << "band " << band << " admits no path for lengths " << an << "/"
+      << bn;
+
+  std::vector<double> previous(bn + 1, kInf);
+  std::vector<double> current(bn + 1, kInf);
+  previous[0] = 0.0;
+  for (std::size_t i = 0; i < an; ++i) {
+    std::size_t j_begin = 0;
+    std::size_t j_end = bn;
+    if (band != kFullBand) {
+      j_begin = i > band ? i - band : 0;
+      j_end = std::min(bn, i + band + 1);
+    }
+    current[0] = kInf;
+    std::fill(current.begin() + 1, current.begin() + j_begin + 1, kInf);
+    for (std::size_t j = j_begin; j < j_end; ++j) {
+      const double best = std::min({previous[j], previous[j + 1],
+                                    current[j]});
+      current[j + 1] = SquaredCost(a[i], b[j]) + best;
+    }
+    std::fill(current.begin() + j_end + 1, current.end(), kInf);
+    std::swap(previous, current);
+  }
+  return previous[bn];
+}
+
+double DtwEarlyAbandon(const float* a, const float* b, std::size_t n,
+                       std::size_t band, double bound, DtwScratch* scratch) {
+  SOFA_CHECK(n > 0);
+  DtwScratch local;
+  if (scratch == nullptr) {
+    scratch = &local;
+  }
+  scratch->previous.assign(n + 1, kInf);
+  scratch->current.assign(n + 1, kInf);
+  scratch->previous[0] = 0.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t j_begin = 0;
+    std::size_t j_end = n;
+    if (band != kFullBand) {
+      j_begin = i > band ? i - band : 0;
+      j_end = std::min(n, i + band + 1);
+    }
+    double* current = scratch->current.data();
+    const double* previous = scratch->previous.data();
+    current[0] = kInf;
+    std::fill(current + 1, current + j_begin + 1, kInf);
+    double row_min = kInf;
+    for (std::size_t j = j_begin; j < j_end; ++j) {
+      const double best =
+          std::min({previous[j], previous[j + 1], current[j]});
+      const double value = SquaredCost(a[i], b[j]) + best;
+      current[j + 1] = value;
+      row_min = std::min(row_min, value);
+    }
+    std::fill(current + j_end + 1, current + n + 1, kInf);
+    // Every path must pass through this row; if the cheapest cell already
+    // exceeds the bound, the final distance will too.
+    if (row_min > bound) {
+      return row_min;
+    }
+    std::swap(scratch->previous, scratch->current);
+  }
+  return scratch->previous[n];
+}
+
+}  // namespace elastic
+}  // namespace sofa

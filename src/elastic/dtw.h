@@ -1,0 +1,53 @@
+// Dynamic Time Warping on squared point costs.
+//
+// The paper restricts itself to Euclidean distance and cites Shieh & Keogh
+// [46]: the 1-NN error of ED approaches that of DTW as collections grow,
+// which is why large-scale indexing favors ED. This module provides the
+// DTW side of that claim — constrained (Sakoe-Chiba band) and
+// unconstrained DTW with the UCR-suite-style early-abandoning recurrence —
+// so bench/relwork_ed_vs_dtw.cpp can measure the convergence and the
+// elastic scan has an exact distance to cascade onto.
+//
+// Conventions: costs are squared point differences, so Dtw(a, b) with band
+// radius 0 equals the squared Euclidean distance and √DTW is comparable to
+// the Neighbor distances used elsewhere. A band radius r allows alignment
+// |i − j| ≤ r (r ≥ |an − bn| is required for a path to exist).
+
+#ifndef SOFA_ELASTIC_DTW_H_
+#define SOFA_ELASTIC_DTW_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace sofa {
+namespace elastic {
+
+/// Band radius meaning "no constraint".
+inline constexpr std::size_t kFullBand =
+    std::numeric_limits<std::size_t>::max();
+
+/// Reusable rolling rows for the DTW recurrence (one per worker thread).
+struct DtwScratch {
+  std::vector<double> previous;
+  std::vector<double> current;
+};
+
+/// Squared DTW between `a` (length an) and `b` (length bn) under a
+/// Sakoe-Chiba band of radius `band` (kFullBand = unconstrained). Aborts
+/// if the band admits no path (band < |an − bn|).
+double Dtw(const float* a, std::size_t an, const float* b, std::size_t bn,
+           std::size_t band = kFullBand);
+
+/// Early-abandoning squared DTW for equal-length series: rows whose
+/// minimum already exceeds `bound` abort the recurrence and return that
+/// row minimum (> bound, signalling "abandoned"). With bound = +inf the
+/// result is exact. `scratch` may be nullptr (allocates internally).
+double DtwEarlyAbandon(const float* a, const float* b, std::size_t n,
+                       std::size_t band, double bound,
+                       DtwScratch* scratch = nullptr);
+
+}  // namespace elastic
+}  // namespace sofa
+
+#endif  // SOFA_ELASTIC_DTW_H_

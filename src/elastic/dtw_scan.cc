@@ -1,0 +1,155 @@
+#include "elastic/dtw_scan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "elastic/dtw.h"
+#include "elastic/envelope.h"
+#include "elastic/lower_bounds.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace sofa {
+namespace elastic {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct HeapEntry {
+  double dist_sq;
+  std::uint32_t id;
+  bool operator<(const HeapEntry& other) const {  // max-heap on distance
+    return dist_sq < other.dist_sq;
+  }
+};
+
+using LocalHeap = std::priority_queue<HeapEntry>;
+
+}  // namespace
+
+void DtwScanProfile::MergeFrom(const DtwScanProfile& other) {
+  candidates += other.candidates;
+  pruned_kim += other.pruned_kim;
+  pruned_keogh_qc += other.pruned_keogh_qc;
+  pruned_keogh_cq += other.pruned_keogh_cq;
+  dtw_abandoned += other.dtw_abandoned;
+  dtw_full += other.dtw_full;
+}
+
+DtwScan::DtwScan(const Dataset* data, ThreadPool* pool,
+                 const Options& options)
+    : data_(data), pool_(pool), options_(options) {
+  SOFA_CHECK(data_ != nullptr);
+  SOFA_CHECK(pool_ != nullptr);
+  if (options_.use_reverse_keogh && !data_->empty()) {
+    const std::size_t n = data_->length();
+    candidate_lower_.resize(data_->size() * n);
+    candidate_upper_.resize(data_->size() * n);
+    ParallelFor(pool_, data_->size(),
+                [&](std::size_t begin, std::size_t end, std::size_t) {
+                  for (std::size_t i = begin; i < end; ++i) {
+                    ComputeEnvelope(data_->row(i), n, options_.band,
+                                    candidate_lower_.data() + i * n,
+                                    candidate_upper_.data() + i * n);
+                  }
+                });
+  }
+}
+
+Neighbor DtwScan::Search1Nn(const float* query,
+                            DtwScanProfile* profile) const {
+  const std::vector<Neighbor> result = SearchKnn(query, 1, profile);
+  SOFA_CHECK(!result.empty()) << "1-NN query on an empty collection";
+  return result[0];
+}
+
+std::vector<Neighbor> DtwScan::SearchKnn(const float* query, std::size_t k,
+                                         DtwScanProfile* profile) const {
+  if (data_->empty() || k == 0) {
+    return {};
+  }
+  k = std::min(k, data_->size());
+  const std::size_t n = data_->length();
+  const Envelope query_envelope = ComputeEnvelope(query, n, options_.band);
+
+  std::vector<LocalHeap> heaps(pool_->size());
+  std::vector<DtwScanProfile> profiles(pool_->size());
+  ParallelFor(pool_, data_->size(), [&](std::size_t begin, std::size_t end,
+                                        std::size_t worker) {
+    LocalHeap& heap = heaps[worker];
+    DtwScanProfile& local = profiles[worker];
+    DtwScratch scratch;
+    for (std::size_t i = begin; i < end; ++i) {
+      const float* candidate = data_->row(i);
+      const double bound = heap.size() == k ? heap.top().dist_sq : kInf;
+      ++local.candidates;
+      if (heap.size() == k) {  // bounds only prune once the heap is warm
+        if (LbKim(query, candidate, n) > bound) {
+          ++local.pruned_kim;
+          continue;
+        }
+        if (LbKeogh(candidate, query_envelope.lower.data(),
+                    query_envelope.upper.data(), n, bound) > bound) {
+          ++local.pruned_keogh_qc;
+          continue;
+        }
+        if (options_.use_reverse_keogh &&
+            LbKeogh(query, candidate_lower_.data() + i * n,
+                    candidate_upper_.data() + i * n, n, bound) > bound) {
+          ++local.pruned_keogh_cq;
+          continue;
+        }
+      }
+      const double d =
+          DtwEarlyAbandon(query, candidate, n, options_.band, bound,
+                          &scratch);
+      if (d > bound) {
+        ++local.dtw_abandoned;
+        continue;
+      }
+      ++local.dtw_full;
+      if (heap.size() < k) {
+        heap.push(HeapEntry{d, static_cast<std::uint32_t>(i)});
+      } else if (d < heap.top().dist_sq) {
+        heap.pop();
+        heap.push(HeapEntry{d, static_cast<std::uint32_t>(i)});
+      }
+    }
+  });
+
+  if (profile != nullptr) {
+    *profile = DtwScanProfile();
+    for (const auto& local : profiles) {
+      profile->MergeFrom(local);
+    }
+  }
+
+  LocalHeap merged;
+  for (auto& heap : heaps) {
+    while (!heap.empty()) {
+      if (merged.size() < k) {
+        merged.push(heap.top());
+      } else if (heap.top().dist_sq < merged.top().dist_sq) {
+        merged.pop();
+        merged.push(heap.top());
+      }
+      heap.pop();
+    }
+  }
+  std::vector<Neighbor> result;
+  result.reserve(merged.size());
+  while (!merged.empty()) {
+    result.push_back(Neighbor{
+        merged.top().id,
+        static_cast<float>(std::sqrt(merged.top().dist_sq))});
+    merged.pop();
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace elastic
+}  // namespace sofa

@@ -1,0 +1,88 @@
+// Exact DTW 1-NN/k-NN scan with the UCR-suite pruning cascade [17].
+//
+// Whole-series matching under banded DTW, parallelized like scan/ucr_scan:
+// each worker owns a contiguous slice of the collection and a thread-local
+// best-so-far; the single synchronization point merges local heaps. Per
+// candidate the cascade is
+//
+//   LB_Kim (O(1))  →  LB_Keogh(Q-env, C)  →  LB_Keogh(C-env, Q)
+//                  →  early-abandoning banded DTW,
+//
+// every tier pruning against the current k-th best squared DTW. Candidate
+// envelopes are precomputed at construction (the memory-for-time trade the
+// UCR suite makes when the collection is fixed and queries stream in).
+//
+// This is the substrate for bench/relwork_ed_vs_dtw.cpp, which measures
+// the Shieh & Keogh convergence claim the paper cites when justifying its
+// ED-only focus (Section III).
+
+#ifndef SOFA_ELASTIC_DTW_SCAN_H_
+#define SOFA_ELASTIC_DTW_SCAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/neighbor.h"
+#include "util/aligned.h"
+
+namespace sofa {
+
+class ThreadPool;
+
+namespace elastic {
+
+/// Per-query work counters (merged over workers).
+struct DtwScanProfile {
+  std::size_t candidates = 0;
+  std::size_t pruned_kim = 0;        // discarded by LB_Kim
+  std::size_t pruned_keogh_qc = 0;   // discarded by LB_Keogh(Q-env, C)
+  std::size_t pruned_keogh_cq = 0;   // discarded by LB_Keogh(C-env, Q)
+  std::size_t dtw_abandoned = 0;     // DTW recurrence aborted early
+  std::size_t dtw_full = 0;          // DTW computed to completion
+
+  void MergeFrom(const DtwScanProfile& other);
+};
+
+/// Parallel exact k-NN scan under banded DTW.
+class DtwScan {
+ public:
+  struct Options {
+    /// Sakoe-Chiba band radius in points. The classic default is 10% of
+    /// the series length; callers set it explicitly.
+    std::size_t band = 10;
+    /// Enables the third cascade tier (candidate-envelope bound). Costs
+    /// 2× the collection in precomputed envelope memory.
+    bool use_reverse_keogh = true;
+  };
+
+  /// `data` must be z-normalized and outlive the scanner; candidate
+  /// envelopes are built here (parallel on `pool`).
+  DtwScan(const Dataset* data, ThreadPool* pool, const Options& options);
+
+  /// Exact nearest neighbor under banded DTW. Neighbor::distance is
+  /// √DTW², comparable to the Euclidean convention used elsewhere.
+  Neighbor Search1Nn(const float* query,
+                     DtwScanProfile* profile = nullptr) const;
+
+  /// Exact k-NN, ascending by distance (k clamped to collection size).
+  std::vector<Neighbor> SearchKnn(const float* query, std::size_t k,
+                                  DtwScanProfile* profile = nullptr) const;
+
+  const Dataset& data() const { return *data_; }
+  std::size_t band() const { return options_.band; }
+
+ private:
+  const Dataset* data_;
+  ThreadPool* pool_;
+  Options options_;
+  // Candidate envelopes, row-major like the dataset (empty when the
+  // reverse-Keogh tier is disabled).
+  AlignedVector<float> candidate_lower_;
+  AlignedVector<float> candidate_upper_;
+};
+
+}  // namespace elastic
+}  // namespace sofa
+
+#endif  // SOFA_ELASTIC_DTW_SCAN_H_

@@ -1,0 +1,67 @@
+#include "elastic/envelope.h"
+
+#include <deque>
+
+#include "util/check.h"
+
+namespace sofa {
+namespace elastic {
+
+void ComputeEnvelope(const float* series, std::size_t n, std::size_t radius,
+                     float* lower, float* upper) {
+  SOFA_CHECK(n > 0);
+  // Sliding window [i−radius, i+radius]; deques hold candidate indices
+  // with monotone values (front = current extremum).
+  std::deque<std::size_t> max_deque;
+  std::deque<std::size_t> min_deque;
+
+  auto push = [&](std::size_t t) {
+    while (!max_deque.empty() && series[max_deque.back()] <= series[t]) {
+      max_deque.pop_back();
+    }
+    max_deque.push_back(t);
+    while (!min_deque.empty() && series[min_deque.back()] >= series[t]) {
+      min_deque.pop_back();
+    }
+    min_deque.push_back(t);
+  };
+
+  // Prime the window for i = 0: indices [0, radius].
+  const std::size_t first_end = radius >= n - 1 ? n - 1 : radius;
+  for (std::size_t t = 0; t <= first_end; ++t) {
+    push(t);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) {
+      // radius may be huge (e.g. kFullBand used as "no constraint"):
+      // guard the index arithmetic against wraparound.
+      const std::size_t enter =
+          radius >= n - i ? n : i + radius;
+      if (enter < n) {
+        push(enter);
+      }
+      const std::size_t window_begin = i >= radius ? i - radius : 0;
+      while (max_deque.front() < window_begin) {
+        max_deque.pop_front();
+      }
+      while (min_deque.front() < window_begin) {
+        min_deque.pop_front();
+      }
+    }
+    upper[i] = series[max_deque.front()];
+    lower[i] = series[min_deque.front()];
+  }
+}
+
+Envelope ComputeEnvelope(const float* series, std::size_t n,
+                         std::size_t radius) {
+  Envelope envelope;
+  envelope.lower.resize(n);
+  envelope.upper.resize(n);
+  ComputeEnvelope(series, n, radius, envelope.lower.data(),
+                  envelope.upper.data());
+  return envelope;
+}
+
+}  // namespace elastic
+}  // namespace sofa

@@ -1,0 +1,40 @@
+// Warping envelopes for DTW lower bounds.
+//
+// The envelope of a series under band radius r is the running min/max over
+// the window [i−r, i+r]:
+//
+//   U[i] = max(a[max(0,i−r)] … a[min(n−1,i+r)]),   L[i] = min(…).
+//
+// Any banded alignment of candidate point c[j] with |i − j| ≤ r matches a
+// query point inside the window, so (c[j] − U[j])² / (L[j] − c[j])² below
+// LB_Keogh never overshoots the true warped cost. Computed with Lemire's
+// monotonic-deque streaming algorithm in O(n) regardless of r.
+
+#ifndef SOFA_ELASTIC_ENVELOPE_H_
+#define SOFA_ELASTIC_ENVELOPE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sofa {
+namespace elastic {
+
+/// Lower/upper warping envelope of one series.
+struct Envelope {
+  std::vector<float> lower;
+  std::vector<float> upper;
+};
+
+/// Writes the radius-r envelope of `series` into lower/upper (each holding
+/// n floats). O(n) via monotonic deques.
+void ComputeEnvelope(const float* series, std::size_t n, std::size_t radius,
+                     float* lower, float* upper);
+
+/// Convenience overload returning a fresh Envelope.
+Envelope ComputeEnvelope(const float* series, std::size_t n,
+                         std::size_t radius);
+
+}  // namespace elastic
+}  // namespace sofa
+
+#endif  // SOFA_ELASTIC_ENVELOPE_H_

@@ -1,0 +1,62 @@
+// Lower bounds to banded DTW — the UCR-suite pruning cascade.
+//
+// Both bounds are against the *squared* DTW of elastic/dtw.h and respect
+// the band radius the envelope was built with:
+//
+//   LB_Kim  ≤ LB-free constant-time endpoint bound,
+//   LB_Keogh(Q, C) = Σ_j max(c_j − U_j, L_j − c_j, 0)²  with Q's envelope.
+//
+// LB_Kim exploits that any warping path must align the first points and
+// the last points of both series, so those two squared costs always
+// contribute. LB_Keogh is the classic envelope bound; swapping roles
+// (candidate envelope against the query) gives a second, differently-tight
+// bound, and the scan cascades Kim → Keogh(Q,C) → Keogh(C,Q) → DTW exactly
+// like the UCR suite [17].
+
+#ifndef SOFA_ELASTIC_LOWER_BOUNDS_H_
+#define SOFA_ELASTIC_LOWER_BOUNDS_H_
+
+#include <cstddef>
+#include <limits>
+
+namespace sofa {
+namespace elastic {
+
+/// Constant-time endpoint bound: (a_0 − b_0)² + (a_{n−1} − b_{n−1})².
+double LbKim(const float* a, const float* b, std::size_t n);
+
+namespace scalar {
+
+/// Portable LB_Keogh; see the dispatching entry point below.
+double LbKeogh(const float* c, const float* lower, const float* upper,
+               std::size_t n, double bound);
+
+}  // namespace scalar
+
+#if defined(SOFA_HAVE_AVX2)
+namespace avx2 {
+
+/// 8-lane LB_Keogh with mask-free branching — the same trick as the
+/// paper's Algorithm 3 for the SFA mindist: the three branches collapse
+/// into d = max(c − U, L − c, 0) evaluated per lane, squared and
+/// accumulated in double pairs; the early-abandon test runs per 8-point
+/// chunk exactly like the paper's Figure 6.
+double LbKeogh(const float* c, const float* lower, const float* upper,
+               std::size_t n, double bound);
+
+}  // namespace avx2
+#endif  // SOFA_HAVE_AVX2
+
+/// Envelope bound of the series `c` against the radius-r envelope
+/// (lower/upper, n floats each) of another series. Early-abandons once the
+/// partial sum exceeds `bound` (the returned prefix sum is itself a valid
+/// lower bound). With bound = +inf the full sum is returned. Dispatches to
+/// the best compiled-in kernel.
+double LbKeogh(const float* c, const float* lower, const float* upper,
+               std::size_t n,
+               double bound = std::numeric_limits<double>::infinity());
+
+}  // namespace elastic
+}  // namespace sofa
+
+#endif  // SOFA_ELASTIC_LOWER_BOUNDS_H_

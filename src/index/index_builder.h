@@ -1,0 +1,46 @@
+// Parallel bulk construction of the tree index (internal to TreeIndex).
+//
+// Pipeline (adapted from MESSI's buffer-based construction to a bulk build
+// with the same resulting structure):
+//   1. symbolize every series in parallel (one scratch per worker),
+//      computing its word and its root key (first bit of each dimension);
+//   2. partition series ids by root key (parallel histogram + scatter);
+//   3. build each non-empty subtree independently on the thread pool,
+//      recursively splitting leaves over capacity by increasing one
+//      dimension's cardinality (split policy: best-balance or round-robin).
+
+#ifndef SOFA_INDEX_INDEX_BUILDER_H_
+#define SOFA_INDEX_INDEX_BUILDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/dataset.h"
+#include "index/tree_index.h"
+#include "quant/summary_scheme.h"
+
+namespace sofa {
+
+class ThreadPool;
+
+namespace index {
+
+/// Result of BuildTree.
+struct BuildResult {
+  std::vector<std::unique_ptr<Node>> root_children;
+  std::vector<std::pair<std::uint32_t, Node*>> subtrees;
+  BuildStats stats;
+};
+
+/// Builds the full tree; `root_bits` = min(word_length, 16).
+BuildResult BuildTree(const Dataset& data,
+                      const quant::SummaryScheme& scheme,
+                      const IndexConfig& config, std::size_t root_bits,
+                      ThreadPool* pool);
+
+}  // namespace index
+}  // namespace sofa
+
+#endif  // SOFA_INDEX_INDEX_BUILDER_H_

@@ -1,0 +1,23 @@
+#include "index/node.h"
+
+#include <algorithm>
+
+namespace sofa {
+namespace index {
+
+void AccumulateStats(const Node& node, std::size_t depth, TreeStats* stats,
+                     std::size_t* depth_sum) {
+  if (node.is_leaf()) {
+    ++stats->num_leaves;
+    stats->total_series += node.leaf_size();
+    stats->max_depth = std::max(stats->max_depth, depth);
+    *depth_sum += depth;
+    return;
+  }
+  ++stats->num_inner;
+  AccumulateStats(*node.left, depth + 1, stats, depth_sum);
+  AccumulateStats(*node.right, depth + 1, stats, depth_sum);
+}
+
+}  // namespace index
+}  // namespace sofa

@@ -1,0 +1,74 @@
+// Tree nodes of the MESSI-style index (paper Section IV-B).
+//
+// Every node carries a variable-cardinality summary: per dimension, the top
+// `cards[dim]` bits of the symbol shared by all series beneath it
+// (cardinality 0 = unconstrained). Root children constrain the first bit of
+// each dimension; a split increases one dimension's cardinality by one bit.
+// Leaves store the series ids plus their full-cardinality words in a dense
+// row-major block scanned by the SIMD LBD kernel.
+
+#ifndef SOFA_INDEX_NODE_H_
+#define SOFA_INDEX_NODE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/aligned.h"
+
+namespace sofa {
+namespace index {
+
+/// Marker for "node has not been split".
+inline constexpr std::uint16_t kNoSplit = 0xffff;
+
+/// One tree node; a leaf until Split() turns it into an inner node.
+struct Node {
+  explicit Node(std::size_t word_length)
+      : prefixes(word_length, 0), cards(word_length, 0) {}
+
+  /// Per-dimension symbol prefix values (only the low cards[d] bits used).
+  std::vector<std::uint8_t> prefixes;
+
+  /// Per-dimension cardinality in bits (0 … scheme bits).
+  std::vector<std::uint8_t> cards;
+
+  /// Children (inner nodes only); left = next bit 0, right = next bit 1.
+  std::unique_ptr<Node> left;
+  std::unique_ptr<Node> right;
+
+  /// Dimension whose cardinality the split increased; kNoSplit for leaves.
+  std::uint16_t split_dim = kNoSplit;
+
+  /// Leaf payload: ids into the indexed dataset...
+  AlignedVector<std::uint32_t> series_ids;
+
+  /// ... and their words, row-major [series][word_length].
+  AlignedVector<std::uint8_t> words;
+
+  bool is_leaf() const { return left == nullptr; }
+
+  /// Number of series stored in this leaf.
+  std::size_t leaf_size() const { return series_ids.size(); }
+};
+
+/// Aggregated structural statistics (Fig. 8).
+struct TreeStats {
+  std::size_t num_subtrees = 0;   // non-empty root children
+  std::size_t num_leaves = 0;
+  std::size_t num_inner = 0;
+  std::size_t total_series = 0;
+  std::size_t max_depth = 0;      // leaf depth below the root child
+  double avg_depth = 0.0;         // mean leaf depth
+  double avg_leaf_size = 0.0;     // mean series per leaf
+};
+
+/// Accumulates stats of the subtree rooted at `node` (depth 0 = `node`).
+void AccumulateStats(const Node& node, std::size_t depth, TreeStats* stats,
+                     std::size_t* depth_sum);
+
+}  // namespace index
+}  // namespace sofa
+
+#endif  // SOFA_INDEX_NODE_H_

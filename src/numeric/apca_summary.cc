@@ -1,0 +1,165 @@
+#include "numeric/apca_summary.h"
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sofa {
+namespace numeric {
+
+namespace {
+
+class ApcaQueryState : public NumericSummary::QueryState {
+ public:
+  std::vector<double> prefix;  // prefix[t] = Σ_{u<t} query[u]
+};
+
+// Live segment during bottom-up merging. Means and merge costs derive from
+// (count, sum) alone: merging neighbors a, b raises the total SSE by
+// count_a·count_b/(count_a+count_b) · (mean_a − mean_b)².
+struct Segment {
+  std::size_t count = 0;
+  double sum = 0.0;
+  std::int64_t prev = -1;
+  std::int64_t next = -1;
+  std::uint32_t version = 0;  // bumped on every change; stale heap entries skip
+  bool alive = false;
+};
+
+struct MergeEntry {
+  double cost;
+  std::size_t left;        // merge segment `left` with its `next`
+  std::uint32_t lversion;  // versions at push time
+  std::uint32_t rversion;
+
+  bool operator>(const MergeEntry& other) const { return cost > other.cost; }
+};
+
+double MergeCost(const Segment& a, const Segment& b) {
+  const double mean_a = a.sum / static_cast<double>(a.count);
+  const double mean_b = b.sum / static_cast<double>(b.count);
+  const double diff = mean_a - mean_b;
+  return static_cast<double>(a.count) * static_cast<double>(b.count) /
+         static_cast<double>(a.count + b.count) * diff * diff;
+}
+
+}  // namespace
+
+ApcaSummary::ApcaSummary(std::size_t n, std::size_t num_values)
+    : n_(n), segments_(num_values / 2) {
+  SOFA_CHECK(num_values >= 2 && num_values % 2 == 0)
+      << "APCA stores (mean, boundary) pairs; num_values=" << num_values;
+  SOFA_CHECK(segments_ <= n)
+      << "more segments (" << segments_ << ") than points (" << n << ")";
+}
+
+void ApcaSummary::Project(const float* series, float* values_out) const {
+  std::vector<Segment> segs(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    segs[i].count = 1;
+    segs[i].sum = series[i];
+    segs[i].prev = static_cast<std::int64_t>(i) - 1;
+    segs[i].next = (i + 1 < n_) ? static_cast<std::int64_t>(i + 1) : -1;
+    segs[i].alive = true;
+  }
+
+  std::priority_queue<MergeEntry, std::vector<MergeEntry>,
+                      std::greater<MergeEntry>>
+      heap;
+  for (std::size_t i = 0; i + 1 < n_; ++i) {
+    heap.push({MergeCost(segs[i], segs[i + 1]), i, 0, 0});
+  }
+
+  std::size_t live = n_;
+  while (live > segments_) {
+    SOFA_DCHECK(!heap.empty());
+    const MergeEntry entry = heap.top();
+    heap.pop();
+    Segment& left = segs[entry.left];
+    if (!left.alive || left.next < 0 ||
+        left.version != entry.lversion ||
+        segs[left.next].version != entry.rversion) {
+      continue;  // stale entry — one endpoint changed since it was pushed
+    }
+    Segment& right = segs[static_cast<std::size_t>(left.next)];
+    left.count += right.count;
+    left.sum += right.sum;
+    left.version++;
+    left.next = right.next;
+    right.alive = false;
+    right.version++;
+    if (left.next >= 0) {
+      segs[static_cast<std::size_t>(left.next)].prev =
+          static_cast<std::int64_t>(entry.left);
+      heap.push({MergeCost(left, segs[static_cast<std::size_t>(left.next)]),
+                 entry.left, left.version,
+                 segs[static_cast<std::size_t>(left.next)].version});
+    }
+    if (left.prev >= 0) {
+      const auto prev = static_cast<std::size_t>(left.prev);
+      heap.push({MergeCost(segs[prev], left), prev, segs[prev].version,
+                 left.version});
+    }
+    --live;
+  }
+
+  std::size_t out = 0;
+  std::size_t end = 0;
+  for (std::int64_t i = 0; i >= 0; i = segs[static_cast<std::size_t>(i)].next) {
+    const Segment& seg = segs[static_cast<std::size_t>(i)];
+    end += seg.count;
+    values_out[2 * out] =
+        static_cast<float>(seg.sum / static_cast<double>(seg.count));
+    values_out[2 * out + 1] = static_cast<float>(end);
+    ++out;
+  }
+  SOFA_DCHECK(out == segments_ && end == n_);
+}
+
+void ApcaSummary::Reconstruct(const float* values, float* series_out) const {
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < segments_; ++i) {
+    const auto end = static_cast<std::size_t>(values[2 * i + 1]);
+    for (std::size_t t = begin; t < end; ++t) {
+      series_out[t] = values[2 * i];
+    }
+    begin = end;
+  }
+}
+
+std::unique_ptr<NumericSummary::QueryState> ApcaSummary::NewQueryState()
+    const {
+  auto state = std::make_unique<ApcaQueryState>();
+  state->prefix.resize(n_ + 1);
+  return state;
+}
+
+void ApcaSummary::PrepareQuery(const float* query, QueryState* state) const {
+  auto* apca_state = static_cast<ApcaQueryState*>(state);
+  apca_state->prefix[0] = 0.0;
+  for (std::size_t t = 0; t < n_; ++t) {
+    apca_state->prefix[t + 1] = apca_state->prefix[t] + query[t];
+  }
+}
+
+float ApcaSummary::LowerBoundSquared(const QueryState& state,
+                                     const float* candidate_values) const {
+  const auto& apca_state = static_cast<const ApcaQueryState&>(state);
+  double sum = 0.0;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < segments_; ++i) {
+    const auto end = static_cast<std::size_t>(candidate_values[2 * i + 1]);
+    const auto len = static_cast<double>(end - begin);
+    const double query_mean =
+        (apca_state.prefix[end] - apca_state.prefix[begin]) / len;
+    const double diff = query_mean - candidate_values[2 * i];
+    sum += len * diff * diff;
+    begin = end;
+  }
+  return static_cast<float>(sum);
+}
+
+}  // namespace numeric
+}  // namespace sofa

@@ -1,0 +1,65 @@
+// APCA — Adaptive Piecewise Constant Approximation (Chakrabarti et al.
+// [29]) as a real-valued GEMINI summarization.
+//
+// Projection: l/2 variable-length segments, each stored as a (mean,
+// right-boundary) pair. Segmentation is bottom-up merging: start from unit
+// segments and repeatedly merge the adjacent pair with the smallest SSE
+// increase until l/2 segments remain. (The original paper seeds the
+// segmentation from the largest Haar coefficients as a speed heuristic;
+// bottom-up merging reaches equal or lower SSE at the same O(n log n) cost
+// on in-memory series — noted as a substitution in DESIGN.md.)
+//
+// Lower bound (the whole-matching D_LB of [29]): the raw query is
+// re-projected onto each candidate's segmentation — q̄_i is the query mean
+// over candidate segment i, computed O(1) per segment from prefix sums —
+// then
+//
+//   LBD²(Q, C) = Σ_i len_i · (q̄_i − c̄_i)².
+//
+// Both (q̄_i) and (c̄_i) are orthogonal projections onto the series
+// piecewise-constant on C's segmentation, so the bound is exact GEMINI.
+// This is why APCA appears in this interface's asymmetric form: its LBD
+// cannot be computed from two independent projections.
+
+#ifndef SOFA_NUMERIC_APCA_SUMMARY_H_
+#define SOFA_NUMERIC_APCA_SUMMARY_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "numeric/numeric_summary.h"
+
+namespace sofa {
+namespace numeric {
+
+/// APCA summarization: l/2 adaptive (mean, right-boundary) segments.
+class ApcaSummary : public NumericSummary {
+ public:
+  /// Plans APCA over length-n series storing num_values floats =
+  /// num_values/2 segments (num_values even, 2 ≤ num_values ≤ 2n).
+  ApcaSummary(std::size_t n, std::size_t num_values);
+
+  std::string name() const override { return "APCA"; }
+  std::size_t series_length() const override { return n_; }
+  std::size_t num_values() const override { return 2 * segments_; }
+
+  /// values_out = [mean_0, end_0, mean_1, end_1, …]; boundaries are
+  /// exclusive end offsets, strictly increasing, last one = n.
+  void Project(const float* series, float* values_out) const override;
+  void Reconstruct(const float* values, float* series_out) const override;
+
+  std::unique_ptr<QueryState> NewQueryState() const override;
+  void PrepareQuery(const float* query, QueryState* state) const override;
+  float LowerBoundSquared(const QueryState& state,
+                          const float* candidate_values) const override;
+
+ private:
+  std::size_t n_;
+  std::size_t segments_;
+};
+
+}  // namespace numeric
+}  // namespace sofa
+
+#endif  // SOFA_NUMERIC_APCA_SUMMARY_H_

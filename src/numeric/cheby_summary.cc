@@ -1,0 +1,128 @@
+#include "numeric/cheby_summary.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sofa {
+namespace numeric {
+
+namespace {
+
+class ChebyQueryState : public NumericSummary::QueryState {
+ public:
+  std::vector<float> values;
+};
+
+}  // namespace
+
+ChebySummary::ChebySummary(std::size_t n, std::size_t num_values)
+    : n_(n), l_(num_values) {
+  SOFA_CHECK(num_values > 0 && num_values <= n)
+      << "Chebyshev needs 0 < l <= n, got l=" << num_values << " n=" << n;
+
+  // Chebyshev recurrence T_{j+1}(x) = 2x·T_j(x) − T_{j−1}(x) on the
+  // midpoint grid, in double precision.
+  std::vector<double> rows(l_ * n_);
+  std::vector<double> grid(n_);
+  for (std::size_t t = 0; t < n_; ++t) {
+    grid[t] = -1.0 + (2.0 * static_cast<double>(t) + 1.0) /
+                         static_cast<double>(n_);
+  }
+  for (std::size_t t = 0; t < n_; ++t) {
+    rows[t] = 1.0;
+  }
+  if (l_ > 1) {
+    for (std::size_t t = 0; t < n_; ++t) {
+      rows[n_ + t] = grid[t];
+    }
+  }
+  for (std::size_t j = 2; j < l_; ++j) {
+    for (std::size_t t = 0; t < n_; ++t) {
+      rows[j * n_ + t] = 2.0 * grid[t] * rows[(j - 1) * n_ + t] -
+                         rows[(j - 2) * n_ + t];
+    }
+  }
+
+  // Modified Gram–Schmidt against the plain dot product. Degree-j
+  // polynomials over n > j distinct points are linearly independent, so no
+  // row collapses.
+  for (std::size_t j = 0; j < l_; ++j) {
+    double* row = rows.data() + j * n_;
+    for (std::size_t k = 0; k < j; ++k) {
+      const double* prev = rows.data() + k * n_;
+      double dot = 0.0;
+      for (std::size_t t = 0; t < n_; ++t) {
+        dot += row[t] * prev[t];
+      }
+      for (std::size_t t = 0; t < n_; ++t) {
+        row[t] -= dot * prev[t];
+      }
+    }
+    double norm_sq = 0.0;
+    for (std::size_t t = 0; t < n_; ++t) {
+      norm_sq += row[t] * row[t];
+    }
+    SOFA_CHECK(norm_sq > 0.0) << "degenerate Chebyshev basis row " << j;
+    const double inv_norm = 1.0 / std::sqrt(norm_sq);
+    for (std::size_t t = 0; t < n_; ++t) {
+      row[t] *= inv_norm;
+    }
+  }
+
+  basis_.resize(l_ * n_);
+  for (std::size_t i = 0; i < l_ * n_; ++i) {
+    basis_[i] = static_cast<float>(rows[i]);
+  }
+}
+
+void ChebySummary::Project(const float* series, float* values_out) const {
+  for (std::size_t j = 0; j < l_; ++j) {
+    const float* row = basis_.data() + j * n_;
+    double dot = 0.0;
+    for (std::size_t t = 0; t < n_; ++t) {
+      dot += static_cast<double>(row[t]) * series[t];
+    }
+    values_out[j] = static_cast<float>(dot);
+  }
+}
+
+void ChebySummary::Reconstruct(const float* values, float* series_out) const {
+  for (std::size_t t = 0; t < n_; ++t) {
+    series_out[t] = 0.0f;
+  }
+  for (std::size_t j = 0; j < l_; ++j) {
+    const float* row = basis_.data() + j * n_;
+    for (std::size_t t = 0; t < n_; ++t) {
+      series_out[t] += values[j] * row[t];
+    }
+  }
+}
+
+std::unique_ptr<NumericSummary::QueryState> ChebySummary::NewQueryState()
+    const {
+  auto state = std::make_unique<ChebyQueryState>();
+  state->values.resize(l_);
+  return state;
+}
+
+void ChebySummary::PrepareQuery(const float* query, QueryState* state) const {
+  auto* cheby_state = static_cast<ChebyQueryState*>(state);
+  Project(query, cheby_state->values.data());
+}
+
+float ChebySummary::LowerBoundSquared(const QueryState& state,
+                                      const float* candidate_values) const {
+  const auto& cheby_state = static_cast<const ChebyQueryState&>(state);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < l_; ++j) {
+    const double diff =
+        static_cast<double>(cheby_state.values[j]) - candidate_values[j];
+    sum += diff * diff;
+  }
+  return static_cast<float>(sum);
+}
+
+}  // namespace numeric
+}  // namespace sofa

@@ -1,0 +1,63 @@
+// Chebyshev polynomials (Cai & Ng [31]) as a real-valued GEMINI
+// summarization.
+//
+// Projection: the series, viewed over the grid x_t = −1 + (2t+1)/n, is
+// projected onto the first l Chebyshev polynomials T_0 … T_{l−1}. Cai & Ng
+// work with the continuous Chebyshev inner product; for discrete series the
+// T_j are not exactly orthogonal under the plain dot product, so the plan
+// orthonormalizes them once (modified Gram–Schmidt in double precision).
+// The projection coefficients are then coordinates in an orthonormal set,
+// and Bessel's inequality gives the bound
+//
+//   LBD²(Q, C) = Σ_j (q_j − c_j)² ≤ ED²(Q, C).
+//
+// Reconstruction is the same basis transposed (the least-squares
+// polynomial of degree < l).
+
+#ifndef SOFA_NUMERIC_CHEBY_SUMMARY_H_
+#define SOFA_NUMERIC_CHEBY_SUMMARY_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "numeric/numeric_summary.h"
+#include "util/aligned.h"
+
+namespace sofa {
+namespace numeric {
+
+/// Chebyshev-polynomial summarization (orthonormalized, Bessel bound).
+class ChebySummary : public NumericSummary {
+ public:
+  /// Plans a degree-(num_values−1) Chebyshev summary of length-n series
+  /// (0 < num_values ≤ n).
+  ChebySummary(std::size_t n, std::size_t num_values);
+
+  std::string name() const override { return "CHEBY"; }
+  std::size_t series_length() const override { return n_; }
+  std::size_t num_values() const override { return l_; }
+
+  void Project(const float* series, float* values_out) const override;
+  void Reconstruct(const float* values, float* series_out) const override;
+
+  std::unique_ptr<QueryState> NewQueryState() const override;
+  void PrepareQuery(const float* query, QueryState* state) const override;
+  float LowerBoundSquared(const QueryState& state,
+                          const float* candidate_values) const override;
+
+  /// Row j of the orthonormal basis (length n) — exposed for tests.
+  const float* basis_row(std::size_t j) const {
+    return basis_.data() + j * n_;
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t l_;
+  AlignedVector<float> basis_;  // l_ × n_, rows orthonormal
+};
+
+}  // namespace numeric
+}  // namespace sofa
+
+#endif  // SOFA_NUMERIC_CHEBY_SUMMARY_H_

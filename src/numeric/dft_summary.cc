@@ -1,0 +1,152 @@
+#include "numeric/dft_summary.h"
+
+#include <algorithm>
+#include <complex>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sofa {
+namespace numeric {
+
+namespace {
+
+class DftQueryState : public NumericSummary::QueryState {
+ public:
+  dft::RealDftPlan::Scratch scratch;
+  std::vector<std::complex<float>> coeffs;
+  std::vector<float> values;
+};
+
+}  // namespace
+
+DftSummary::DftSummary(std::size_t n, std::size_t num_values)
+    : n_(n), first_band_(true), plan_(n) {
+  SOFA_CHECK(num_values >= 2 && num_values % 2 == 0)
+      << "DFT summary stores (re, im) pairs; num_values=" << num_values;
+  SOFA_CHECK(num_values / 2 + 1 <= plan_.num_coefficients())
+      << "only " << plan_.num_coefficients() - 1
+      << " non-DC coefficients exist for n=" << n;
+  ks_.resize(num_values / 2);
+  std::iota(ks_.begin(), ks_.end(), std::size_t{1});
+  InitWeights();
+}
+
+DftSummary::DftSummary(std::size_t n, const std::vector<std::size_t>& ks)
+    : n_(n), first_band_(false), ks_(ks), plan_(n) {
+  SOFA_CHECK(!ks_.empty());
+  for (const std::size_t k : ks_) {
+    SOFA_CHECK(k >= 1 && k < plan_.num_coefficients())
+        << "coefficient index " << k << " out of range for n=" << n;
+  }
+  std::vector<std::size_t> sorted(ks_);
+  std::sort(sorted.begin(), sorted.end());
+  SOFA_CHECK(std::adjacent_find(sorted.begin(), sorted.end()) ==
+             sorted.end())
+      << "duplicate coefficient index";
+  InitWeights();
+}
+
+void DftSummary::InitWeights() {
+  weights_.resize(2 * ks_.size());
+  for (std::size_t i = 0; i < ks_.size(); ++i) {
+    const float w = plan_.IsUnpaired(ks_[i]) ? 1.0f : 2.0f;
+    weights_[2 * i] = w;
+    weights_[2 * i + 1] = w;
+  }
+}
+
+std::vector<std::size_t> DftSummary::SelectByVariance(const Dataset& data,
+                                                      std::size_t count) {
+  SOFA_CHECK(!data.empty());
+  dft::RealDftPlan plan(data.length());
+  const std::size_t num_coeffs = plan.num_coefficients();
+  SOFA_CHECK(count >= 1 && count < num_coeffs)
+      << "cannot select " << count << " of " << num_coeffs - 1
+      << " non-DC coefficients";
+
+  // Streaming mean/M2 per (k, re|im) in double precision (Welford).
+  std::vector<double> mean(2 * num_coeffs, 0.0);
+  std::vector<double> m2(2 * num_coeffs, 0.0);
+  dft::RealDftPlan::Scratch scratch;
+  std::vector<std::complex<float>> coeffs(num_coeffs);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    plan.Transform(data.row(i), coeffs.data(), &scratch);
+    const double inv = 1.0 / static_cast<double>(i + 1);
+    for (std::size_t k = 0; k < num_coeffs; ++k) {
+      for (std::size_t part = 0; part < 2; ++part) {
+        const double x = part == 0 ? coeffs[k].real() : coeffs[k].imag();
+        const double delta = x - mean[2 * k + part];
+        mean[2 * k + part] += delta * inv;
+        m2[2 * k + part] += delta * (x - mean[2 * k + part]);
+      }
+    }
+  }
+
+  std::vector<std::size_t> ks(num_coeffs - 1);
+  std::iota(ks.begin(), ks.end(), std::size_t{1});
+  std::stable_sort(ks.begin(), ks.end(),
+                   [&m2](std::size_t a, std::size_t b) {
+                     return m2[2 * a] + m2[2 * a + 1] >
+                            m2[2 * b] + m2[2 * b + 1];
+                   });
+  ks.resize(count);
+  std::sort(ks.begin(), ks.end());  // canonical storage order
+  return ks;
+}
+
+void DftSummary::Project(const float* series, float* values_out) const {
+  dft::RealDftPlan::Scratch scratch;
+  std::vector<std::complex<float>> coeffs(plan_.num_coefficients());
+  plan_.Transform(series, coeffs.data(), &scratch);
+  for (std::size_t i = 0; i < ks_.size(); ++i) {
+    values_out[2 * i] = coeffs[ks_[i]].real();
+    values_out[2 * i + 1] = coeffs[ks_[i]].imag();
+  }
+}
+
+void DftSummary::Reconstruct(const float* values, float* series_out) const {
+  // Unkept coefficients (including DC) are zero — the least-squares
+  // reconstruction from the stored band.
+  std::vector<std::complex<float>> coeffs(plan_.num_coefficients(),
+                                          std::complex<float>(0.0f, 0.0f));
+  for (std::size_t i = 0; i < ks_.size(); ++i) {
+    coeffs[ks_[i]] =
+        std::complex<float>(values[2 * i], values[2 * i + 1]);
+  }
+  dft::RealDftPlan::Scratch scratch;
+  plan_.InverseTransform(coeffs.data(), series_out, &scratch);
+}
+
+std::unique_ptr<NumericSummary::QueryState> DftSummary::NewQueryState()
+    const {
+  auto state = std::make_unique<DftQueryState>();
+  state->coeffs.resize(plan_.num_coefficients());
+  state->values.resize(num_values());
+  return state;
+}
+
+void DftSummary::PrepareQuery(const float* query, QueryState* state) const {
+  auto* dft_state = static_cast<DftQueryState*>(state);
+  plan_.Transform(query, dft_state->coeffs.data(), &dft_state->scratch);
+  for (std::size_t i = 0; i < ks_.size(); ++i) {
+    dft_state->values[2 * i] = dft_state->coeffs[ks_[i]].real();
+    dft_state->values[2 * i + 1] = dft_state->coeffs[ks_[i]].imag();
+  }
+}
+
+float DftSummary::LowerBoundSquared(const QueryState& state,
+                                    const float* candidate_values) const {
+  const auto& dft_state = static_cast<const DftQueryState&>(state);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 2 * ks_.size(); ++i) {
+    const double diff =
+        static_cast<double>(dft_state.values[i]) - candidate_values[i];
+    sum += weights_[i] * diff * diff;
+  }
+  return static_cast<float>(sum);
+}
+
+}  // namespace numeric
+}  // namespace sofa

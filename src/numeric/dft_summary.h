@@ -1,0 +1,82 @@
+// DFT as a real-valued GEMINI summarization (Agrawal et al. [13],
+// Rafiei & Mendelzon [52]).
+//
+// Projection: the first complex Fourier coefficients of the 1/√n-normalized
+// real DFT, stored as interleaved (re, im) floats starting at k = 1 — for
+// z-normalized series c_0 (the mean) is zero and is skipped, exactly as the
+// paper's Eq. 1 omits the first term. Lower bound (Parseval):
+//
+//   LBD²(Q, C) = Σ_k w_k · |q_k − c_k|²,   w_k = 2 (1 for Nyquist),
+//
+// which is Eq. 1 restricted to the kept coefficients. DFT is the strongest
+// numeric method in the Schäfer & Högqvist comparison the paper cites; SFA
+// is its quantized little sibling, so DFT's TLB is the upper envelope the
+// SFA ablations (Tables V/VI) converge to with growing alphabets.
+
+#ifndef SOFA_NUMERIC_DFT_SUMMARY_H_
+#define SOFA_NUMERIC_DFT_SUMMARY_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "dft/real_dft.h"
+#include "numeric/numeric_summary.h"
+#include "util/aligned.h"
+
+namespace sofa {
+namespace numeric {
+
+/// First-coefficients DFT summarization with the Parseval lower bound.
+class DftSummary : public NumericSummary {
+ public:
+  /// Plans a DFT summary of length-n series keeping num_values floats =
+  /// num_values/2 complex coefficients k = 1 … num_values/2 (num_values
+  /// even, num_values/2 ≤ ⌊n/2⌋).
+  DftSummary(std::size_t n, std::size_t num_values);
+
+  /// Plans a DFT summary keeping the explicit coefficient indices `ks`
+  /// (each in 1 … ⌊n/2⌋, distinct) instead of the leading band — the
+  /// un-quantized core of the paper's variance-based selection
+  /// (Section IV-E2). Reported as "DFT +VAR".
+  DftSummary(std::size_t n, const std::vector<std::size_t>& ks);
+
+  /// Learns the `count` highest-variance coefficient indices of `data`
+  /// (variance of re plus variance of im per index k ≥ 1), the numeric
+  /// analogue of MCB's K-ARGMAX(VAR(DFT(D))) feature selection.
+  static std::vector<std::size_t> SelectByVariance(const Dataset& data,
+                                                   std::size_t count);
+
+  std::string name() const override {
+    return first_band_ ? "DFT" : "DFT +VAR";
+  }
+  std::size_t series_length() const override { return n_; }
+  std::size_t num_values() const override { return 2 * ks_.size(); }
+
+  /// Kept coefficient indices, in storage order.
+  const std::vector<std::size_t>& kept_coefficients() const { return ks_; }
+
+  void Project(const float* series, float* values_out) const override;
+  void Reconstruct(const float* values, float* series_out) const override;
+
+  std::unique_ptr<QueryState> NewQueryState() const override;
+  void PrepareQuery(const float* query, QueryState* state) const override;
+  float LowerBoundSquared(const QueryState& state,
+                          const float* candidate_values) const override;
+
+ private:
+  void InitWeights();
+
+  std::size_t n_;
+  bool first_band_;
+  std::vector<std::size_t> ks_;  // kept coefficient indices, each ≥ 1
+  dft::RealDftPlan plan_;
+  AlignedVector<float> weights_;  // Parseval weight per stored float
+};
+
+}  // namespace numeric
+}  // namespace sofa
+
+#endif  // SOFA_NUMERIC_DFT_SUMMARY_H_

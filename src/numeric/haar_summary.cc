@@ -1,0 +1,121 @@
+#include "numeric/haar_summary.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sofa {
+namespace numeric {
+
+namespace {
+
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+class HaarQueryState : public NumericSummary::QueryState {
+ public:
+  std::vector<float> values;
+};
+
+std::size_t LargestPowerOfTwoAtMost(std::size_t n) {
+  std::size_t m = 1;
+  while (m * 2 <= n) {
+    m *= 2;
+  }
+  return m;
+}
+
+// In-place orthonormal Haar pyramid of w[0..len): after the call,
+// w[0] is the scaling coefficient and details follow coarse-to-fine.
+void ForwardHaar(double* w, std::size_t len) {
+  std::vector<double> tmp(len);
+  for (std::size_t half = len / 2; half >= 1; half /= 2) {
+    for (std::size_t i = 0; i < half; ++i) {
+      tmp[i] = (w[2 * i] + w[2 * i + 1]) * kInvSqrt2;
+      tmp[half + i] = (w[2 * i] - w[2 * i + 1]) * kInvSqrt2;
+    }
+    for (std::size_t i = 0; i < 2 * half; ++i) {
+      w[i] = tmp[i];
+    }
+    if (half == 1) {
+      break;
+    }
+  }
+}
+
+void InverseHaar(double* w, std::size_t len) {
+  std::vector<double> tmp(len);
+  for (std::size_t half = 1; half < len; half *= 2) {
+    for (std::size_t i = 0; i < half; ++i) {
+      tmp[2 * i] = (w[i] + w[half + i]) * kInvSqrt2;
+      tmp[2 * i + 1] = (w[i] - w[half + i]) * kInvSqrt2;
+    }
+    for (std::size_t i = 0; i < 2 * half; ++i) {
+      w[i] = tmp[i];
+    }
+  }
+}
+
+}  // namespace
+
+HaarSummary::HaarSummary(std::size_t n, std::size_t num_values)
+    : n_(n), m_(LargestPowerOfTwoAtMost(n)), l_(num_values) {
+  SOFA_CHECK(n > 0);
+  SOFA_CHECK(num_values > 0 && num_values <= m_)
+      << "Haar keeps at most transform_length()=" << m_
+      << " coefficients, got l=" << num_values;
+}
+
+void HaarSummary::Project(const float* series, float* values_out) const {
+  std::vector<double> w(m_);
+  for (std::size_t t = 0; t < m_; ++t) {
+    w[t] = series[t];
+  }
+  ForwardHaar(w.data(), m_);
+  for (std::size_t j = 0; j < l_; ++j) {
+    values_out[j] = static_cast<float>(w[j]);
+  }
+}
+
+void HaarSummary::Reconstruct(const float* values, float* series_out) const {
+  std::vector<double> w(m_, 0.0);
+  for (std::size_t j = 0; j < l_; ++j) {
+    w[j] = values[j];
+  }
+  InverseHaar(w.data(), m_);
+  for (std::size_t t = 0; t < m_; ++t) {
+    series_out[t] = static_cast<float>(w[t]);
+  }
+  // The tail beyond the dyadic prefix carries no coefficients; the
+  // least-squares completion from the stored set is zero.
+  for (std::size_t t = m_; t < n_; ++t) {
+    series_out[t] = 0.0f;
+  }
+}
+
+std::unique_ptr<NumericSummary::QueryState> HaarSummary::NewQueryState()
+    const {
+  auto state = std::make_unique<HaarQueryState>();
+  state->values.resize(l_);
+  return state;
+}
+
+void HaarSummary::PrepareQuery(const float* query, QueryState* state) const {
+  auto* haar_state = static_cast<HaarQueryState*>(state);
+  Project(query, haar_state->values.data());
+}
+
+float HaarSummary::LowerBoundSquared(const QueryState& state,
+                                     const float* candidate_values) const {
+  const auto& haar_state = static_cast<const HaarQueryState&>(state);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < l_; ++j) {
+    const double diff =
+        static_cast<double>(haar_state.values[j]) - candidate_values[j];
+    sum += diff * diff;
+  }
+  return static_cast<float>(sum);
+}
+
+}  // namespace numeric
+}  // namespace sofa

@@ -1,0 +1,61 @@
+// DHWT — Discrete Haar Wavelet Transform (Popivanov & Miller [32]) as a
+// real-valued GEMINI summarization.
+//
+// Projection: the orthonormal Haar pyramid (pairs (a,b) ↦ ((a+b)/√2,
+// (a−b)/√2), recursing on the approximation half) over the longest
+// power-of-two prefix m ≤ n, keeping the first l coefficients in
+// coarse-to-fine order (scaling coefficient, then detail levels). The
+// transform is orthonormal, so Bessel gives
+//
+//   LBD²(Q, C) = Σ_{j<l} (q_j − c_j)² ≤ ED² over the prefix ≤ ED²(Q, C).
+//
+// Power-of-two restriction: Haar is only orthonormal on dyadic lengths;
+// classic DHWT indexing zero-pads, which distorts distances. Truncating to
+// the m-prefix keeps the bound exact — the discarded tail only loosens it.
+// The paper's series lengths (96–256) make m/n ≥ 0.75 in the worst case
+// and m = n for the 128/256-length majority.
+
+#ifndef SOFA_NUMERIC_HAAR_SUMMARY_H_
+#define SOFA_NUMERIC_HAAR_SUMMARY_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "numeric/numeric_summary.h"
+
+namespace sofa {
+namespace numeric {
+
+/// Haar-wavelet summarization: first l orthonormal pyramid coefficients.
+class HaarSummary : public NumericSummary {
+ public:
+  /// Plans Haar over length-n series keeping num_values coefficients
+  /// (0 < num_values ≤ largest power of two ≤ n).
+  HaarSummary(std::size_t n, std::size_t num_values);
+
+  std::string name() const override { return "DHWT"; }
+  std::size_t series_length() const override { return n_; }
+  std::size_t num_values() const override { return l_; }
+
+  /// Transform length: the largest power of two ≤ series_length().
+  std::size_t transform_length() const { return m_; }
+
+  void Project(const float* series, float* values_out) const override;
+  void Reconstruct(const float* values, float* series_out) const override;
+
+  std::unique_ptr<QueryState> NewQueryState() const override;
+  void PrepareQuery(const float* query, QueryState* state) const override;
+  float LowerBoundSquared(const QueryState& state,
+                          const float* candidate_values) const override;
+
+ private:
+  std::size_t n_;
+  std::size_t m_;
+  std::size_t l_;
+};
+
+}  // namespace numeric
+}  // namespace sofa
+
+#endif  // SOFA_NUMERIC_HAAR_SUMMARY_H_

@@ -1,0 +1,32 @@
+#include "numeric/numeric_summary.h"
+
+#include <vector>
+
+namespace sofa {
+namespace numeric {
+
+float NumericSummary::LowerBoundSquaredRaw(const float* query,
+                                           const float* candidate) const {
+  std::vector<float> values(num_values());
+  Project(candidate, values.data());
+  auto state = NewQueryState();
+  PrepareQuery(query, state.get());
+  return LowerBoundSquared(*state, values.data());
+}
+
+double NumericSummary::ReconstructionError(const float* series) const {
+  const std::size_t n = series_length();
+  std::vector<float> values(num_values());
+  std::vector<float> approx(n);
+  Project(series, values.data());
+  Reconstruct(values.data(), approx.data());
+  double sum = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double diff = static_cast<double>(series[t]) - approx[t];
+    sum += diff * diff;
+  }
+  return sum / static_cast<double>(n);
+}
+
+}  // namespace numeric
+}  // namespace sofa

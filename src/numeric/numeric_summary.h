@@ -1,0 +1,89 @@
+// Real-valued (non-symbolic) summarizations with Euclidean lower bounds.
+//
+// Section III of the paper surveys the numeric dimensionality-reduction
+// family that predates symbolic methods — PAA, APCA, PLA, Chebyshev
+// polynomials, DFT and wavelets — and cites the pruning-power comparison of
+// Schäfer & Högqvist [14]: none of them outperformed DFT, and SFA (the
+// quantized DFT) matched or exceeded all but DFT. This module implements
+// that comparison set so the claim is reproducible (see
+// bench/relwork_numeric_tlb.cpp).
+//
+// Every method is a GEMINI summarization (Definitions 3/4): it maps a
+// length-n series to num_values() floats and provides a distance on the
+// reduced representation that provably lower-bounds the Euclidean distance
+// of the originals. Unlike quant::SummaryScheme there is no quantization
+// step — candidates store raw floats, which is exactly why these methods
+// lost to symbolic ones on memory footprint (Section III) while setting the
+// tightness ceiling that SFA approaches from below.
+//
+// The GEMINI query protocol is asymmetric: the query is available in full,
+// candidates only as summaries. The interface mirrors that: PrepareQuery
+// digests the raw query once (e.g. its DFT, or its prefix sums for APCA's
+// per-candidate re-projection), then LowerBoundSquared is evaluated against
+// many candidate summaries.
+
+#ifndef SOFA_NUMERIC_NUMERIC_SUMMARY_H_
+#define SOFA_NUMERIC_NUMERIC_SUMMARY_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace sofa {
+namespace numeric {
+
+/// Interface of a real-valued summarization with a Euclidean LBD.
+class NumericSummary {
+ public:
+  /// Per-query digest of the raw query series; subclasses extend it. One
+  /// instance per worker thread, reused across queries via PrepareQuery.
+  class QueryState {
+   public:
+    virtual ~QueryState() = default;
+  };
+
+  virtual ~NumericSummary() = default;
+
+  /// Method name for reports ("PAA", "APCA", "PLA", "CHEBY", "DFT",
+  /// "DHWT").
+  virtual std::string name() const = 0;
+
+  /// Length n of the series this summary was planned for.
+  virtual std::size_t series_length() const = 0;
+
+  /// Number of floats stored per summarized series (the reduction target
+  /// l; pair-based methods like APCA/PLA spend them as l/2 pairs).
+  virtual std::size_t num_values() const = 0;
+
+  /// Projects a z-normalized series of series_length() floats into
+  /// num_values() summary floats.
+  virtual void Project(const float* series, float* values_out) const = 0;
+
+  /// Reconstructs a length-n approximation from a summary (for the
+  /// Fig. 1/2-style representation-quality reports).
+  virtual void Reconstruct(const float* values, float* series_out) const = 0;
+
+  /// Creates a query digest compatible with this summary.
+  virtual std::unique_ptr<QueryState> NewQueryState() const = 0;
+
+  /// Digests a raw query series (length series_length()) into `state`.
+  virtual void PrepareQuery(const float* query, QueryState* state) const = 0;
+
+  /// Squared lower bound between the digested query and one candidate
+  /// summary: LowerBoundSquared(q, E(c)) ≤ ED²(q, c) for every series c.
+  virtual float LowerBoundSquared(const QueryState& state,
+                                  const float* candidate_values) const = 0;
+
+  /// Convenience: one-shot LBD² between a raw query and a raw candidate
+  /// (projects the candidate internally; allocates — test/report use).
+  float LowerBoundSquaredRaw(const float* query, const float* candidate) const;
+
+  /// Convenience: mean squared reconstruction error of one series
+  /// (project + reconstruct; allocates — report use).
+  double ReconstructionError(const float* series) const;
+};
+
+}  // namespace numeric
+}  // namespace sofa
+
+#endif  // SOFA_NUMERIC_NUMERIC_SUMMARY_H_

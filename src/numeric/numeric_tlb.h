@@ -1,0 +1,37 @@
+// TLB and pruning power for real-valued summarizations.
+//
+// The numeric twin of sfa/tlb.h: the same sampled (query, candidate)
+// protocol and the same seed defaults, so a numeric method and a symbolic
+// scheme evaluated on the same dataset see the same pairs and their TLBs
+// are directly comparable — which is what the Section III related-work
+// comparison (bench/relwork_numeric_tlb.cpp) needs.
+
+#ifndef SOFA_NUMERIC_NUMERIC_TLB_H_
+#define SOFA_NUMERIC_NUMERIC_TLB_H_
+
+#include "core/dataset.h"
+#include "numeric/numeric_summary.h"
+#include "sfa/tlb.h"
+
+namespace sofa {
+namespace numeric {
+
+/// Sampling options (shared with the symbolic harness so pairs match).
+using TlbOptions = sfa::TlbOptions;
+
+/// Mean TLB = mean of LBD/ED over sampled pairs with nonzero true
+/// distance. Both datasets must be z-normalized series of the summary's
+/// planned length.
+double MeanTlb(const NumericSummary& summary, const Dataset& data,
+               const Dataset& queries, const TlbOptions& options = {});
+
+/// Mean fraction of sampled candidates whose LBD already exceeds the
+/// query's exact 1-NN distance (pruning power, Section V-E).
+double MeanPruningPower(const NumericSummary& summary, const Dataset& data,
+                        const Dataset& queries,
+                        const TlbOptions& options = {});
+
+}  // namespace numeric
+}  // namespace sofa
+
+#endif  // SOFA_NUMERIC_NUMERIC_TLB_H_

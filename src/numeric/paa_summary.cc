@@ -1,0 +1,71 @@
+#include "numeric/paa_summary.h"
+
+#include <vector>
+
+#include "sax/paa.h"
+#include "util/check.h"
+
+namespace sofa {
+namespace numeric {
+
+namespace {
+
+class PaaQueryState : public NumericSummary::QueryState {
+ public:
+  std::vector<float> values;
+};
+
+}  // namespace
+
+PaaSummary::PaaSummary(std::size_t n, std::size_t num_segments)
+    : n_(n), segments_(num_segments) {
+  SOFA_CHECK(num_segments > 0 && num_segments <= n)
+      << "PAA needs 0 < segments <= n, got l=" << num_segments
+      << " n=" << n;
+  weights_.resize(segments_);
+  for (std::size_t i = 0; i < segments_; ++i) {
+    weights_[i] =
+        static_cast<float>(sax::SegmentLength(n_, segments_, i));
+  }
+}
+
+void PaaSummary::Project(const float* series, float* values_out) const {
+  sax::Paa(series, n_, segments_, values_out);
+}
+
+void PaaSummary::Reconstruct(const float* values, float* series_out) const {
+  for (std::size_t i = 0; i < segments_; ++i) {
+    const std::size_t begin = sax::SegmentStart(n_, segments_, i);
+    const std::size_t end = sax::SegmentStart(n_, segments_, i + 1);
+    for (std::size_t t = begin; t < end; ++t) {
+      series_out[t] = values[i];
+    }
+  }
+}
+
+std::unique_ptr<NumericSummary::QueryState> PaaSummary::NewQueryState()
+    const {
+  auto state = std::make_unique<PaaQueryState>();
+  state->values.resize(segments_);
+  return state;
+}
+
+void PaaSummary::PrepareQuery(const float* query, QueryState* state) const {
+  auto* paa_state = static_cast<PaaQueryState*>(state);
+  Project(query, paa_state->values.data());
+}
+
+float PaaSummary::LowerBoundSquared(const QueryState& state,
+                                    const float* candidate_values) const {
+  const auto& paa_state = static_cast<const PaaQueryState&>(state);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < segments_; ++i) {
+    const double diff =
+        static_cast<double>(paa_state.values[i]) - candidate_values[i];
+    sum += weights_[i] * diff * diff;
+  }
+  return static_cast<float>(sum);
+}
+
+}  // namespace numeric
+}  // namespace sofa

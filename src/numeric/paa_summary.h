@@ -1,0 +1,56 @@
+// PAA as a real-valued GEMINI summarization (Keogh et al. [19]).
+//
+// Projection: the l segment means (segments are the integer partitions of
+// sax/paa.h). Lower bound: per-segment mean difference weighted by the
+// segment length,
+//
+//   LBD²(Q, C) = Σ_i len_i · (q̄_i − c̄_i)²,
+//
+// the classic PAA bound — segment means are the orthogonal projection onto
+// the subspace of series piecewise-constant on the segmentation, so the
+// distance of projections never exceeds the distance of the originals.
+// This is the un-quantized core of iSAX: its TLB is the ceiling the iSAX
+// symbolization approaches as the alphabet grows (Tables V/VI).
+
+#ifndef SOFA_NUMERIC_PAA_SUMMARY_H_
+#define SOFA_NUMERIC_PAA_SUMMARY_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "numeric/numeric_summary.h"
+#include "util/aligned.h"
+
+namespace sofa {
+namespace numeric {
+
+/// PAA summarization: l segment means with the length-weighted bound.
+class PaaSummary : public NumericSummary {
+ public:
+  /// Plans PAA over length-n series with `num_segments` segments
+  /// (0 < num_segments ≤ n).
+  PaaSummary(std::size_t n, std::size_t num_segments);
+
+  std::string name() const override { return "PAA"; }
+  std::size_t series_length() const override { return n_; }
+  std::size_t num_values() const override { return segments_; }
+
+  void Project(const float* series, float* values_out) const override;
+  void Reconstruct(const float* values, float* series_out) const override;
+
+  std::unique_ptr<QueryState> NewQueryState() const override;
+  void PrepareQuery(const float* query, QueryState* state) const override;
+  float LowerBoundSquared(const QueryState& state,
+                          const float* candidate_values) const override;
+
+ private:
+  std::size_t n_;
+  std::size_t segments_;
+  AlignedVector<float> weights_;  // per-segment lengths
+};
+
+}  // namespace numeric
+}  // namespace sofa
+
+#endif  // SOFA_NUMERIC_PAA_SUMMARY_H_

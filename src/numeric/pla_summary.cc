@@ -1,0 +1,98 @@
+#include "numeric/pla_summary.h"
+
+#include <vector>
+
+#include "sax/paa.h"
+#include "util/check.h"
+
+namespace sofa {
+namespace numeric {
+
+namespace {
+
+class PlaQueryState : public NumericSummary::QueryState {
+ public:
+  std::vector<float> values;
+};
+
+}  // namespace
+
+PlaSummary::PlaSummary(std::size_t n, std::size_t num_values)
+    : n_(n), segments_(num_values / 2) {
+  SOFA_CHECK(num_values >= 2 && num_values % 2 == 0)
+      << "PLA stores (intercept, slope) pairs; num_values=" << num_values;
+  SOFA_CHECK(segments_ <= n)
+      << "more segments (" << segments_ << ") than points (" << n << ")";
+  moment0_.resize(segments_);
+  moment1_.resize(segments_);
+  moment2_.resize(segments_);
+  for (std::size_t i = 0; i < segments_; ++i) {
+    const auto m = static_cast<double>(sax::SegmentLength(n_, segments_, i));
+    moment0_[i] = m;
+    moment1_[i] = m * (m - 1.0) / 2.0;
+    moment2_[i] = (m - 1.0) * m * (2.0 * m - 1.0) / 6.0;
+  }
+}
+
+void PlaSummary::Project(const float* series, float* values_out) const {
+  for (std::size_t i = 0; i < segments_; ++i) {
+    const std::size_t begin = sax::SegmentStart(n_, segments_, i);
+    const std::size_t end = sax::SegmentStart(n_, segments_, i + 1);
+    double sum_x = 0.0;
+    double sum_tx = 0.0;
+    for (std::size_t t = begin; t < end; ++t) {
+      sum_x += series[t];
+      sum_tx += static_cast<double>(t - begin) * series[t];
+    }
+    const double m = moment0_[i];
+    // Normal equations for x ≈ a + b·t over t = 0 … m−1; a singular system
+    // (m = 1) degenerates to the constant fit.
+    const double denom = moment2_[i] - moment1_[i] * moment1_[i] / m;
+    const double slope =
+        denom > 0.0 ? (sum_tx - moment1_[i] * sum_x / m) / denom : 0.0;
+    const double intercept = (sum_x - slope * moment1_[i]) / m;
+    values_out[2 * i] = static_cast<float>(intercept);
+    values_out[2 * i + 1] = static_cast<float>(slope);
+  }
+}
+
+void PlaSummary::Reconstruct(const float* values, float* series_out) const {
+  for (std::size_t i = 0; i < segments_; ++i) {
+    const std::size_t begin = sax::SegmentStart(n_, segments_, i);
+    const std::size_t end = sax::SegmentStart(n_, segments_, i + 1);
+    for (std::size_t t = begin; t < end; ++t) {
+      series_out[t] = values[2 * i] +
+                      values[2 * i + 1] * static_cast<float>(t - begin);
+    }
+  }
+}
+
+std::unique_ptr<NumericSummary::QueryState> PlaSummary::NewQueryState()
+    const {
+  auto state = std::make_unique<PlaQueryState>();
+  state->values.resize(num_values());
+  return state;
+}
+
+void PlaSummary::PrepareQuery(const float* query, QueryState* state) const {
+  auto* pla_state = static_cast<PlaQueryState*>(state);
+  Project(query, pla_state->values.data());
+}
+
+float PlaSummary::LowerBoundSquared(const QueryState& state,
+                                    const float* candidate_values) const {
+  const auto& pla_state = static_cast<const PlaQueryState&>(state);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < segments_; ++i) {
+    const double da = static_cast<double>(pla_state.values[2 * i]) -
+                      candidate_values[2 * i];
+    const double db = static_cast<double>(pla_state.values[2 * i + 1]) -
+                      candidate_values[2 * i + 1];
+    sum += moment0_[i] * da * da + 2.0 * moment1_[i] * da * db +
+           moment2_[i] * db * db;
+  }
+  return static_cast<float>(sum);
+}
+
+}  // namespace numeric
+}  // namespace sofa

@@ -1,0 +1,61 @@
+// PLA — Piecewise Linear Approximation (Chen et al. [30]) as a real-valued
+// GEMINI summarization.
+//
+// Projection: l/2 equal-length segments (integer partitions), each fit by
+// its least-squares line and stored as an (intercept, slope) pair in the
+// segment-local time frame t = 0 … m−1. Lower bound: the least-squares
+// line is the orthogonal projection onto span{1, t} per segment, so the
+// distance between the fitted lines — in closed form over the grid,
+//
+//   Σ_seg [ m·Δa² + 2·Δa·Δb·Σt + Δb²·Σt² ],   Δa/Δb = parameter deltas,
+//
+// never exceeds the Euclidean distance of the originals (Pythagoras per
+// segment, summed). This mirrors the "indexable PLA" bound of [30] with an
+// orthonormal-projection argument instead of their rotated basis.
+
+#ifndef SOFA_NUMERIC_PLA_SUMMARY_H_
+#define SOFA_NUMERIC_PLA_SUMMARY_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "numeric/numeric_summary.h"
+#include "util/aligned.h"
+
+namespace sofa {
+namespace numeric {
+
+/// PLA summarization: l/2 least-squares line segments.
+class PlaSummary : public NumericSummary {
+ public:
+  /// Plans PLA over length-n series storing num_values floats =
+  /// num_values/2 line segments (num_values even, num_values/2 ≤ n).
+  PlaSummary(std::size_t n, std::size_t num_values);
+
+  std::string name() const override { return "PLA"; }
+  std::size_t series_length() const override { return n_; }
+  std::size_t num_values() const override { return 2 * segments_; }
+
+  /// values_out = [a_0, b_0, a_1, b_1, …] (intercept, slope per segment).
+  void Project(const float* series, float* values_out) const override;
+  void Reconstruct(const float* values, float* series_out) const override;
+
+  std::unique_ptr<QueryState> NewQueryState() const override;
+  void PrepareQuery(const float* query, QueryState* state) const override;
+  float LowerBoundSquared(const QueryState& state,
+                          const float* candidate_values) const override;
+
+ private:
+  std::size_t n_;
+  std::size_t segments_;
+  // Per-segment grid moments for the fit and the bound: m, Σt, Σt².
+  AlignedVector<double> moment0_;
+  AlignedVector<double> moment1_;
+  AlignedVector<double> moment2_;
+};
+
+}  // namespace numeric
+}  // namespace sofa
+
+#endif  // SOFA_NUMERIC_PLA_SUMMARY_H_

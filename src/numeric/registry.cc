@@ -1,0 +1,55 @@
+#include "numeric/registry.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "numeric/apca_summary.h"
+#include "numeric/cheby_summary.h"
+#include "numeric/dft_summary.h"
+#include "numeric/haar_summary.h"
+#include "numeric/paa_summary.h"
+#include "numeric/pla_summary.h"
+#include "util/check.h"
+
+namespace sofa {
+namespace numeric {
+
+std::unique_ptr<NumericSummary> MakeNumericSummary(const std::string& name,
+                                                   std::size_t n,
+                                                   std::size_t l) {
+  std::string upper(name);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "PAA") {
+    return std::make_unique<PaaSummary>(n, l);
+  }
+  if (upper == "APCA") {
+    return std::make_unique<ApcaSummary>(n, l);
+  }
+  if (upper == "PLA") {
+    return std::make_unique<PlaSummary>(n, l);
+  }
+  if (upper == "CHEBY") {
+    return std::make_unique<ChebySummary>(n, l);
+  }
+  if (upper == "DFT") {
+    return std::make_unique<DftSummary>(n, l);
+  }
+  if (upper == "DHWT" || upper == "HAAR") {
+    return std::make_unique<HaarSummary>(n, l);
+  }
+  SOFA_CHECK(false) << "unknown numeric summary '" << name << "'";
+  return nullptr;
+}
+
+std::vector<std::unique_ptr<NumericSummary>> MakeComparisonSet(
+    std::size_t n, std::size_t l) {
+  std::vector<std::unique_ptr<NumericSummary>> set;
+  for (const char* name : {"PAA", "APCA", "PLA", "CHEBY", "DHWT", "DFT"}) {
+    set.push_back(MakeNumericSummary(name, n, l));
+  }
+  return set;
+}
+
+}  // namespace numeric
+}  // namespace sofa

@@ -1,0 +1,32 @@
+// Factory for the full related-work comparison set at one (n, l) budget.
+
+#ifndef SOFA_NUMERIC_REGISTRY_H_
+#define SOFA_NUMERIC_REGISTRY_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "numeric/numeric_summary.h"
+
+namespace sofa {
+namespace numeric {
+
+/// Builds one summary by name ("PAA", "APCA", "PLA", "CHEBY", "DFT",
+/// "DHWT"; case-insensitive) for length-n series at a budget of l stored
+/// floats. Aborts on unknown names or infeasible (n, l) combinations.
+std::unique_ptr<NumericSummary> MakeNumericSummary(const std::string& name,
+                                                   std::size_t n,
+                                                   std::size_t l);
+
+/// The Section III comparison set, in the fixed report order
+/// PAA, APCA, PLA, CHEBY, DHWT, DFT — every method at the same l-float
+/// budget, the apples-to-apples framing of Schäfer & Högqvist [14].
+std::vector<std::unique_ptr<NumericSummary>> MakeComparisonSet(std::size_t n,
+                                                               std::size_t l);
+
+}  // namespace numeric
+}  // namespace sofa
+
+#endif  // SOFA_NUMERIC_REGISTRY_H_

@@ -1,0 +1,84 @@
+#include "quant/binning.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sofa {
+namespace quant {
+
+const char* BinningMethodName(BinningMethod method) {
+  switch (method) {
+    case BinningMethod::kEquiDepth:
+      return "equi-depth";
+    case BinningMethod::kEquiWidth:
+      return "equi-width";
+  }
+  return "unknown";
+}
+
+std::vector<float> EquiDepthBreakpoints(std::vector<float> values,
+                                        std::size_t alphabet) {
+  SOFA_CHECK(alphabet >= 2);
+  SOFA_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  std::vector<float> edges(alphabet - 1);
+  const double n = static_cast<double>(values.size());
+  for (std::size_t i = 1; i < alphabet; ++i) {
+    // Edge at the i/alphabet quantile (nearest-rank with interpolation).
+    const double pos =
+        static_cast<double>(i) / static_cast<double>(alphabet) * (n - 1.0);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    edges[i - 1] = static_cast<float>(values[lo] * (1.0 - frac) +
+                                      values[hi] * frac);
+  }
+  return edges;
+}
+
+std::vector<float> EquiWidthBreakpoints(const std::vector<float>& values,
+                                        std::size_t alphabet) {
+  SOFA_CHECK(alphabet >= 2);
+  SOFA_CHECK(!values.empty());
+  const auto [min_it, max_it] =
+      std::minmax_element(values.begin(), values.end());
+  const double lo = *min_it;
+  const double width = (static_cast<double>(*max_it) - lo) /
+                       static_cast<double>(alphabet);
+  std::vector<float> edges(alphabet - 1);
+  for (std::size_t i = 1; i < alphabet; ++i) {
+    edges[i - 1] = static_cast<float>(lo + width * static_cast<double>(i));
+  }
+  return edges;
+}
+
+std::vector<float> LearnBreakpoints(std::vector<float> values,
+                                    std::size_t alphabet,
+                                    BinningMethod method) {
+  if (method == BinningMethod::kEquiDepth) {
+    return EquiDepthBreakpoints(std::move(values), alphabet);
+  }
+  return EquiWidthBreakpoints(values, alphabet);
+}
+
+std::uint8_t Quantize(float value, const float* edges, std::size_t alphabet) {
+  const std::size_t count = alphabet - 1;
+  // Branch-free-friendly binary search: first edge strictly greater than
+  // value; its index is the bin.
+  std::size_t lo = 0;
+  std::size_t len = count;
+  while (len > 0) {
+    const std::size_t half = len / 2;
+    if (edges[lo + half] <= value) {
+      lo += half + 1;
+      len -= half + 1;
+    } else {
+      len = half;
+    }
+  }
+  return static_cast<std::uint8_t>(lo);
+}
+
+}  // namespace quant
+}  // namespace sofa

@@ -1,0 +1,55 @@
+// Learning quantization bins from empirical value distributions.
+//
+// SFA's MCB step learns, per selected Fourier value, a set of alphabet-many
+// bins from the sample distribution — either equi-depth (equal mass) or
+// equi-width (equal span). The paper's ablation (Section V-E) shows
+// equi-width with variance-based feature selection gives the tightest lower
+// bounds, so that is the SOFA default.
+//
+// Conventions: `alphabet` bins are delimited by alphabet−1 finite interior
+// edges; the outermost bins extend to ±infinity so every real value has a
+// symbol and the mindist of out-of-range values stays a valid lower bound.
+
+#ifndef SOFA_QUANT_BINNING_H_
+#define SOFA_QUANT_BINNING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sofa {
+namespace quant {
+
+/// How bin edges are derived from a sample of values.
+enum class BinningMethod {
+  kEquiDepth,  // edges at empirical quantiles (equal mass per bin)
+  kEquiWidth,  // equally spaced edges across [min, max]
+};
+
+/// Human-readable method name ("equi-depth" / "equi-width").
+const char* BinningMethodName(BinningMethod method);
+
+/// Computes the alphabet−1 interior edges by equi-depth binning of the
+/// sample (consumes/sorts the input). Edges are non-decreasing.
+std::vector<float> EquiDepthBreakpoints(std::vector<float> values,
+                                        std::size_t alphabet);
+
+/// Computes the alphabet−1 interior edges by equi-width binning of the
+/// sample range [min, max]. Degenerate samples (min == max) yield all-equal
+/// edges, mapping every value to the first or last bin.
+std::vector<float> EquiWidthBreakpoints(const std::vector<float>& values,
+                                        std::size_t alphabet);
+
+/// Dispatches on `method`.
+std::vector<float> LearnBreakpoints(std::vector<float> values,
+                                    std::size_t alphabet,
+                                    BinningMethod method);
+
+/// Maps a value to its bin: the number of interior edges ≤ value, i.e. bin
+/// b covers [edges[b−1], edges[b]) with virtual edges ±inf at the ends.
+std::uint8_t Quantize(float value, const float* edges, std::size_t alphabet);
+
+}  // namespace quant
+}  // namespace sofa
+
+#endif  // SOFA_QUANT_BINNING_H_

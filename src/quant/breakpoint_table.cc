@@ -1,0 +1,94 @@
+#include "quant/breakpoint_table.h"
+
+#include <cmath>
+#include <limits>
+
+#include "quant/binning.h"
+#include "util/check.h"
+
+namespace sofa {
+namespace quant {
+
+namespace {
+constexpr float kInf = std::numeric_limits<float>::infinity();
+}  // namespace
+
+BreakpointTable::BreakpointTable(std::size_t word_length,
+                                 std::size_t alphabet)
+    : word_length_(word_length), alphabet_(alphabet) {
+  SOFA_CHECK(word_length_ > 0);
+  SOFA_CHECK(alphabet_ >= 2 && alphabet_ <= 256);
+  SOFA_CHECK((alphabet_ & (alphabet_ - 1)) == 0)
+      << "alphabet must be a power of two for cardinality splits";
+  bits_ = 0;
+  while ((std::size_t{1} << bits_) < alphabet_) {
+    ++bits_;
+  }
+  edges_.assign(word_length_ * (alphabet_ + 1), 0.0f);
+  lower_.resize(word_length_ * alphabet_);
+  upper_.resize(word_length_ * alphabet_);
+  for (std::size_t dim = 0; dim < word_length_; ++dim) {
+    edges_[dim * (alphabet_ + 1)] = -kInf;
+    edges_[dim * (alphabet_ + 1) + alphabet_] = kInf;
+  }
+}
+
+void BreakpointTable::SetDimension(std::size_t dim,
+                                   const std::vector<float>& edges) {
+  SOFA_CHECK(dim < word_length_);
+  SOFA_CHECK_EQ(edges.size(), alphabet_ - 1);
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    SOFA_CHECK(edges[i - 1] <= edges[i]) << "edges must be non-decreasing";
+  }
+  float* padded = edges_.data() + dim * (alphabet_ + 1);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    padded[i + 1] = edges[i];
+  }
+  float* lower = lower_.data() + dim * alphabet_;
+  float* upper = upper_.data() + dim * alphabet_;
+  for (std::size_t s = 0; s < alphabet_; ++s) {
+    lower[s] = padded[s];
+    upper[s] = padded[s + 1];
+  }
+}
+
+std::uint8_t BreakpointTable::Quantize(std::size_t dim, float value) const {
+  SOFA_DCHECK(dim < word_length_);
+  const float* interior = edges_.data() + dim * (alphabet_ + 1) + 1;
+  return quant::Quantize(value, interior, alphabet_);
+}
+
+float BreakpointTable::PrefixLower(std::size_t dim, std::uint32_t prefix,
+                                   std::uint32_t card_bits) const {
+  SOFA_DCHECK(dim < word_length_);
+  SOFA_DCHECK(card_bits >= 1 && card_bits <= bits_);
+  SOFA_DCHECK(prefix < (std::uint32_t{1} << card_bits));
+  const std::uint32_t stride = std::uint32_t{1} << (bits_ - card_bits);
+  return edges_[dim * (alphabet_ + 1) + prefix * stride];
+}
+
+float BreakpointTable::PrefixUpper(std::size_t dim, std::uint32_t prefix,
+                                   std::uint32_t card_bits) const {
+  SOFA_DCHECK(dim < word_length_);
+  SOFA_DCHECK(card_bits >= 1 && card_bits <= bits_);
+  SOFA_DCHECK(prefix < (std::uint32_t{1} << card_bits));
+  const std::uint32_t stride = std::uint32_t{1} << (bits_ - card_bits);
+  return edges_[dim * (alphabet_ + 1) + (prefix + 1) * stride];
+}
+
+float BreakpointTable::MinDistPrefix(std::size_t dim, std::uint32_t prefix,
+                                     std::uint32_t card_bits,
+                                     float value) const {
+  const float lower = PrefixLower(dim, prefix, card_bits);
+  if (value < lower) {
+    return lower - value;
+  }
+  const float upper = PrefixUpper(dim, prefix, card_bits);
+  if (value > upper) {
+    return value - upper;
+  }
+  return 0.0f;
+}
+
+}  // namespace quant
+}  // namespace sofa

@@ -1,0 +1,85 @@
+// Per-dimension quantization intervals with hierarchical cardinality.
+//
+// Both summarizations in this repository quantize l summary values into
+// 8-bit symbols against per-dimension breakpoint tables: iSAX uses one
+// shared N(0,1) quantile table, SFA uses per-value learned (MCB) tables.
+// A node of the tree index uses only the top `c` bits of a symbol
+// ("cardinality c"); its interval is obtained by striding the full table —
+// that is what lets the MESSI tree host any table-based summarization.
+//
+// Layout: per dimension we keep alphabet+1 padded edges
+//   [-inf, e_1, …, e_{alphabet-1}, +inf]
+// so symbol s owns [edge[s], edge[s+1]) and a prefix p at cardinality c owns
+// [edge[p·2^(bits−c)], edge[(p+1)·2^(bits−c)]). Two flat arrays
+// (lower/upper bound per [dim][symbol]) feed the SIMD gather kernel.
+
+#ifndef SOFA_QUANT_BREAKPOINT_TABLE_H_
+#define SOFA_QUANT_BREAKPOINT_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned.h"
+
+namespace sofa {
+namespace quant {
+
+/// Immutable after construction+SetDimension; thread-safe to read.
+class BreakpointTable {
+ public:
+  /// Creates a table for `word_length` dimensions and a power-of-two
+  /// alphabet (2 … 256).
+  BreakpointTable(std::size_t word_length, std::size_t alphabet);
+
+  /// Installs the alphabet−1 interior edges of dimension `dim`
+  /// (non-decreasing).
+  void SetDimension(std::size_t dim, const std::vector<float>& edges);
+
+  std::size_t word_length() const { return word_length_; }
+  std::size_t alphabet() const { return alphabet_; }
+
+  /// Bits per symbol: log2(alphabet).
+  std::uint32_t bits() const { return bits_; }
+
+  /// Full-cardinality symbol of `value` on dimension `dim`.
+  std::uint8_t Quantize(std::size_t dim, float value) const;
+
+  /// Interval bounds of symbol-prefix `prefix` at cardinality `card_bits`
+  /// (1 … bits()) on dimension `dim`. Lower of prefix 0 is −inf; upper of
+  /// the last prefix is +inf.
+  float PrefixLower(std::size_t dim, std::uint32_t prefix,
+                    std::uint32_t card_bits) const;
+  float PrefixUpper(std::size_t dim, std::uint32_t prefix,
+                    std::uint32_t card_bits) const;
+
+  /// mindist (Eq. 2): distance from `value` to the interval of `prefix` at
+  /// `card_bits`; 0 when the value lies inside.
+  float MinDistPrefix(std::size_t dim, std::uint32_t prefix,
+                      std::uint32_t card_bits, float value) const;
+
+  /// mindist at full cardinality.
+  float MinDist(std::size_t dim, std::uint8_t symbol, float value) const {
+    return MinDistPrefix(dim, symbol, bits_, value);
+  }
+
+  /// Flat [dim·alphabet + symbol] arrays of interval bounds at full
+  /// cardinality, ±inf padded — the SIMD gather inputs.
+  const float* lower_bounds() const { return lower_.data(); }
+  const float* upper_bounds() const { return upper_.data(); }
+
+ private:
+  std::size_t word_length_;
+  std::size_t alphabet_;
+  std::uint32_t bits_;
+  // Padded edges, word_length_ × (alphabet_+1).
+  std::vector<float> edges_;
+  // Gather-friendly per-symbol bounds, word_length_ × alphabet_.
+  AlignedVector<float> lower_;
+  AlignedVector<float> upper_;
+};
+
+}  // namespace quant
+}  // namespace sofa
+
+#endif  // SOFA_QUANT_BREAKPOINT_TABLE_H_

@@ -1,0 +1,91 @@
+// Lower-bounding distance (LBD) kernels — the pruning workhorse of the
+// GEMINI engines (paper Section IV-E3 / IV-H, Algorithm 3).
+//
+// All functions return the *squared* LBD:
+//   LBD² = Σ_i weight_i · mindist(query_value_i, interval(word_i))²
+// where mindist is Eq. 2: 0 inside the interval, distance to the nearer
+// breakpoint outside. With iSAX inputs this is the classic mindist; with
+// SFA inputs it is the SFA lower bound.
+//
+// Scalar and AVX2 variants are independently callable (tests assert
+// equality; benches measure the Section IV-H ablation); unqualified
+// functions dispatch to the best compiled-in kernel.
+
+#ifndef SOFA_QUANT_LBD_H_
+#define SOFA_QUANT_LBD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "quant/breakpoint_table.h"
+
+namespace sofa {
+namespace quant {
+
+namespace scalar {
+
+/// Squared LBD between a query projection and a full-cardinality word.
+float LbdSquared(const BreakpointTable& table, const float* weights,
+                 const float* query_values, const std::uint8_t* word);
+
+/// Early-abandoning variant: once the partial sum exceeds `bound` (checked
+/// every 8 dimensions — the paper's SIMD chunk granularity), returns the
+/// partial sum immediately.
+float LbdSquaredEarlyAbandon(const BreakpointTable& table,
+                             const float* weights, const float* query_values,
+                             const std::uint8_t* word, float bound);
+
+}  // namespace scalar
+
+#if defined(SOFA_HAVE_AVX2)
+namespace avx2 {
+
+/// SIMD LBD (Algorithm 3): per-8-lane gather of interval bounds, branch-free
+/// UPPER/LOWER/ZERO masking, weighted FMA accumulation.
+float LbdSquared(const BreakpointTable& table, const float* weights,
+                 const float* query_values, const std::uint8_t* word);
+
+/// SIMD LBD with per-chunk early abandoning against `bound`.
+float LbdSquaredEarlyAbandon(const BreakpointTable& table,
+                             const float* weights, const float* query_values,
+                             const std::uint8_t* word, float bound);
+
+}  // namespace avx2
+#endif  // SOFA_HAVE_AVX2
+
+#if defined(SOFA_COMPILE_AVX512)
+namespace avx512 {
+
+/// 16-lane variant: one iteration covers the default word length l = 16.
+/// Compiled separately; used only when CpuSupportsAvx512() holds.
+float LbdSquared(const BreakpointTable& table, const float* weights,
+                 const float* query_values, const std::uint8_t* word);
+
+float LbdSquaredEarlyAbandon(const BreakpointTable& table,
+                             const float* weights, const float* query_values,
+                             const std::uint8_t* word, float bound);
+
+}  // namespace avx512
+#endif  // SOFA_COMPILE_AVX512
+
+/// Best-available squared LBD.
+float LbdSquared(const BreakpointTable& table, const float* weights,
+                 const float* query_values, const std::uint8_t* word);
+
+/// Best-available early-abandoning squared LBD.
+float LbdSquaredEarlyAbandon(const BreakpointTable& table,
+                             const float* weights, const float* query_values,
+                             const std::uint8_t* word, float bound);
+
+/// Squared LBD between a query projection and a *node* summary: per
+/// dimension a symbol prefix at `card_bits[dim]` bits; dimensions with
+/// cardinality 0 are unconstrained and contribute nothing. Scalar only —
+/// node evaluations are rare compared to per-series LBDs.
+float NodeLbdSquared(const BreakpointTable& table, const float* weights,
+                     const float* query_values, const std::uint8_t* prefixes,
+                     const std::uint8_t* card_bits);
+
+}  // namespace quant
+}  // namespace sofa
+
+#endif  // SOFA_QUANT_LBD_H_

@@ -1,0 +1,135 @@
+// AVX2 implementation of the SIMD lower-bound kernel (paper Section IV-H,
+// Algorithm 3 and Figure 6).
+//
+// Per 8-dimension chunk:
+//   1. "Gather bound": the symbols of the candidate word index two flat
+//      [dim][symbol] tables of interval bounds (one vgatherdps each).
+//   2. "Caldist": distances to the LOWER and UPPER breakpoints.
+//   3. "Genmask": comparison masks for the three branches (query below the
+//      interval / above / inside). The ZERO branch needs no explicit mask —
+//      masking the two non-zero branches and OR-ing them leaves in-interval
+//      lanes at 0, exactly Eq. 2.
+//   4. Weighted FMA accumulation, horizontal sum per chunk, early abandon
+//      against the best-so-far.
+
+#include "quant/lbd.h"
+
+#if defined(SOFA_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace sofa {
+namespace quant {
+namespace avx2 {
+namespace {
+
+inline float HorizontalSum(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 sum = _mm_add_ps(lo, hi);
+  sum = _mm_hadd_ps(sum, sum);
+  sum = _mm_hadd_ps(sum, sum);
+  return _mm_cvtss_f32(sum);
+}
+
+// Weighted squared mindist of one 8-dim chunk starting at `dim`.
+inline __m256 ChunkTerm(const float* lower, const float* upper,
+                        const float* weights, const float* query_values,
+                        const std::uint8_t* word, std::size_t dim,
+                        std::size_t alphabet) {
+  // Indices: (dim+i)*alphabet + word[dim+i].
+  const __m128i symbols8 = _mm_loadl_epi64(
+      reinterpret_cast<const __m128i*>(word + dim));
+  const __m256i symbols = _mm256_cvtepu8_epi32(symbols8);
+  const __m256i lane_base = _mm256_setr_epi32(
+      0, static_cast<int>(alphabet), static_cast<int>(2 * alphabet),
+      static_cast<int>(3 * alphabet), static_cast<int>(4 * alphabet),
+      static_cast<int>(5 * alphabet), static_cast<int>(6 * alphabet),
+      static_cast<int>(7 * alphabet));
+  const __m256i base =
+      _mm256_add_epi32(_mm256_set1_epi32(static_cast<int>(dim * alphabet)),
+                       lane_base);
+  const __m256i idx = _mm256_add_epi32(base, symbols);
+
+  const __m256 q = _mm256_loadu_ps(query_values + dim);
+  const __m256 lo = _mm256_i32gather_ps(lower, idx, 4);
+  const __m256 hi = _mm256_i32gather_ps(upper, idx, 4);
+
+  // Caldist + Genmask + masked combine (Algorithm 3 lines 6-8).
+  const __m256 dist_lower = _mm256_sub_ps(lo, q);   // >0 iff q below interval
+  const __m256 dist_upper = _mm256_sub_ps(q, hi);   // >0 iff q above interval
+  const __m256 mask_lower = _mm256_cmp_ps(q, lo, _CMP_LT_OQ);
+  const __m256 mask_upper = _mm256_cmp_ps(q, hi, _CMP_GT_OQ);
+  const __m256 d = _mm256_or_ps(_mm256_and_ps(mask_lower, dist_lower),
+                                _mm256_and_ps(mask_upper, dist_upper));
+
+  const __m256 w = _mm256_loadu_ps(weights + dim);
+  return _mm256_mul_ps(w, _mm256_mul_ps(d, d));
+}
+
+// Scalar handling of the last (l mod 8) dimensions.
+inline float ScalarTail(const BreakpointTable& table, const float* weights,
+                        const float* query_values, const std::uint8_t* word,
+                        std::size_t dim) {
+  const std::size_t l = table.word_length();
+  const std::size_t alphabet = table.alphabet();
+  const float* lower = table.lower_bounds();
+  const float* upper = table.upper_bounds();
+  float sum = 0.0f;
+  for (; dim < l; ++dim) {
+    const std::size_t idx = dim * alphabet + word[dim];
+    const float q = query_values[dim];
+    float d = 0.0f;
+    if (q < lower[idx]) {
+      d = lower[idx] - q;
+    } else if (q > upper[idx]) {
+      d = q - upper[idx];
+    }
+    sum += weights[dim] * d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+float LbdSquared(const BreakpointTable& table, const float* weights,
+                 const float* query_values, const std::uint8_t* word) {
+  const std::size_t l = table.word_length();
+  const std::size_t alphabet = table.alphabet();
+  const float* lower = table.lower_bounds();
+  const float* upper = table.upper_bounds();
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t dim = 0;
+  for (; dim + 8 <= l; dim += 8) {
+    acc = _mm256_add_ps(
+        acc, ChunkTerm(lower, upper, weights, query_values, word, dim,
+                       alphabet));
+  }
+  return HorizontalSum(acc) +
+         ScalarTail(table, weights, query_values, word, dim);
+}
+
+float LbdSquaredEarlyAbandon(const BreakpointTable& table,
+                             const float* weights, const float* query_values,
+                             const std::uint8_t* word, float bound) {
+  const std::size_t l = table.word_length();
+  const std::size_t alphabet = table.alphabet();
+  const float* lower = table.lower_bounds();
+  const float* upper = table.upper_bounds();
+  float sum = 0.0f;
+  std::size_t dim = 0;
+  for (; dim + 8 <= l; dim += 8) {
+    sum += HorizontalSum(ChunkTerm(lower, upper, weights, query_values, word,
+                                   dim, alphabet));
+    if (sum > bound) {
+      return sum;
+    }
+  }
+  return sum + ScalarTail(table, weights, query_values, word, dim);
+}
+
+}  // namespace avx2
+}  // namespace quant
+}  // namespace sofa
+
+#endif  // SOFA_HAVE_AVX2

@@ -1,0 +1,113 @@
+// AVX-512 implementation of the SIMD lower-bound kernel: one 16-lane
+// iteration covers the paper's default word length l = 16 entirely —
+// gather both interval bounds, mask-select the UPPER/LOWER branches with
+// native predicate masks, and reduce.
+//
+// Compiled with per-file -mavx512* flags; reached only via the runtime
+// dispatch in lbd.cc.
+
+#include "quant/lbd.h"
+
+#if defined(SOFA_COMPILE_AVX512)
+
+#include <immintrin.h>
+
+namespace sofa {
+namespace quant {
+namespace avx512 {
+namespace {
+
+// Weighted squared mindist of one 16-dim chunk starting at `dim`.
+inline __m512 ChunkTerm(const float* lower, const float* upper,
+                        const float* weights, const float* query_values,
+                        const std::uint8_t* word, std::size_t dim,
+                        std::size_t alphabet) {
+  const __m128i symbols16 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(word + dim));
+  const __m512i symbols = _mm512_cvtepu8_epi32(symbols16);
+  alignas(64) std::int32_t base_lanes[16];
+  for (int lane = 0; lane < 16; ++lane) {
+    base_lanes[lane] = static_cast<std::int32_t>((dim + lane) * alphabet);
+  }
+  const __m512i idx = _mm512_add_epi32(
+      _mm512_load_si512(reinterpret_cast<const void*>(base_lanes)), symbols);
+
+  const __m512 q = _mm512_loadu_ps(query_values + dim);
+  const __m512 lo = _mm512_i32gather_ps(idx, lower, 4);
+  const __m512 hi = _mm512_i32gather_ps(idx, upper, 4);
+
+  const __mmask16 below = _mm512_cmp_ps_mask(q, lo, _CMP_LT_OQ);
+  const __mmask16 above = _mm512_cmp_ps_mask(q, hi, _CMP_GT_OQ);
+  __m512 d = _mm512_setzero_ps();
+  d = _mm512_mask_mov_ps(d, below, _mm512_sub_ps(lo, q));
+  d = _mm512_mask_mov_ps(d, above, _mm512_sub_ps(q, hi));
+
+  const __m512 w = _mm512_loadu_ps(weights + dim);
+  return _mm512_mul_ps(w, _mm512_mul_ps(d, d));
+}
+
+inline float ScalarTail(const BreakpointTable& table, const float* weights,
+                        const float* query_values, const std::uint8_t* word,
+                        std::size_t dim) {
+  const std::size_t l = table.word_length();
+  const std::size_t alphabet = table.alphabet();
+  const float* lower = table.lower_bounds();
+  const float* upper = table.upper_bounds();
+  float sum = 0.0f;
+  for (; dim < l; ++dim) {
+    const std::size_t idx = dim * alphabet + word[dim];
+    const float q = query_values[dim];
+    float d = 0.0f;
+    if (q < lower[idx]) {
+      d = lower[idx] - q;
+    } else if (q > upper[idx]) {
+      d = q - upper[idx];
+    }
+    sum += weights[dim] * d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+float LbdSquared(const BreakpointTable& table, const float* weights,
+                 const float* query_values, const std::uint8_t* word) {
+  const std::size_t l = table.word_length();
+  const std::size_t alphabet = table.alphabet();
+  const float* lower = table.lower_bounds();
+  const float* upper = table.upper_bounds();
+  __m512 acc = _mm512_setzero_ps();
+  std::size_t dim = 0;
+  for (; dim + 16 <= l; dim += 16) {
+    acc = _mm512_add_ps(acc, ChunkTerm(lower, upper, weights, query_values,
+                                       word, dim, alphabet));
+  }
+  return _mm512_reduce_add_ps(acc) +
+         ScalarTail(table, weights, query_values, word, dim);
+}
+
+float LbdSquaredEarlyAbandon(const BreakpointTable& table,
+                             const float* weights, const float* query_values,
+                             const std::uint8_t* word, float bound) {
+  const std::size_t l = table.word_length();
+  const std::size_t alphabet = table.alphabet();
+  const float* lower = table.lower_bounds();
+  const float* upper = table.upper_bounds();
+  float sum = 0.0f;
+  std::size_t dim = 0;
+  for (; dim + 16 <= l; dim += 16) {
+    sum += _mm512_reduce_add_ps(ChunkTerm(lower, upper, weights,
+                                          query_values, word, dim,
+                                          alphabet));
+    if (sum > bound) {
+      return sum;
+    }
+  }
+  return sum + ScalarTail(table, weights, query_values, word, dim);
+}
+
+}  // namespace avx512
+}  // namespace quant
+}  // namespace sofa
+
+#endif  // SOFA_COMPILE_AVX512

@@ -1,0 +1,28 @@
+// Quantiles of the standard Normal distribution.
+//
+// iSAX derives its (fixed) breakpoints by equal-depth binning of N(0,1);
+// classic implementations hard-code tables up to alphabet 256. We compute
+// them for any alphabet size with Acklam's rational approximation of the
+// inverse Normal CDF (|relative error| < 1.15e-9), refined by one Halley
+// step against the exact CDF.
+
+#ifndef SOFA_QUANT_NORMAL_QUANTILES_H_
+#define SOFA_QUANT_NORMAL_QUANTILES_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sofa {
+namespace quant {
+
+/// Inverse CDF (quantile function) of N(0,1) for p in (0, 1).
+double InverseStdNormalCdf(double p);
+
+/// The alphabet−1 interior breakpoints splitting N(0,1) into `alphabet`
+/// equal-probability bins — the iSAX breakpoint table.
+std::vector<float> NormalBreakpoints(std::size_t alphabet);
+
+}  // namespace quant
+}  // namespace sofa
+
+#endif  // SOFA_QUANT_NORMAL_QUANTILES_H_

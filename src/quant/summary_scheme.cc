@@ -1,0 +1,23 @@
+#include "quant/summary_scheme.h"
+
+#include <vector>
+
+namespace sofa {
+namespace quant {
+
+void SummaryScheme::Symbolize(const float* series, std::uint8_t* word,
+                              Scratch* scratch, float* values_scratch) const {
+  Project(series, values_scratch, scratch);
+  for (std::size_t dim = 0; dim < word_length(); ++dim) {
+    word[dim] = table_.Quantize(dim, values_scratch[dim]);
+  }
+}
+
+void SummaryScheme::Symbolize(const float* series, std::uint8_t* word) const {
+  auto scratch = NewScratch();
+  std::vector<float> values(word_length());
+  Symbolize(series, word, scratch.get(), values.data());
+}
+
+}  // namespace quant
+}  // namespace sofa

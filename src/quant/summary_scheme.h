@@ -1,0 +1,101 @@
+// The summarization abstraction shared by the index, the LBD kernels and
+// the TLB ablations.
+//
+// A summarization maps a (z-normalized) series of length n to l summary
+// values ("projection"), quantizes each value into an 8-bit symbol against
+// a per-dimension BreakpointTable ("symbolization"), and contributes a
+// per-dimension weight to the lower-bound distance:
+//
+//   LBD²(query, word) = Σ_i weight_i · mindist_i(query_value_i, interval_i)²
+//
+// iSAX: projection = PAA, shared N(0,1) table, weight_i = segment length
+//       (n/l for divisible lengths) — the classic mindist.
+// SFA:  projection = selected DFT values, learned per-value tables,
+//       weight_i = 2 (1 for DC/Nyquist values) — paper Eq. 1/2.
+//
+// Swapping the scheme turns the same tree index into MESSI (iSAX) or SOFA
+// (SFA), which is precisely the paper's design.
+
+#ifndef SOFA_QUANT_SUMMARY_SCHEME_H_
+#define SOFA_QUANT_SUMMARY_SCHEME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "quant/breakpoint_table.h"
+#include "util/aligned.h"
+
+namespace sofa {
+namespace quant {
+
+/// Interface of a table-based symbolic summarization.
+class SummaryScheme {
+ public:
+  /// Opaque per-thread scratch for Project; subclasses extend it.
+  class Scratch {
+   public:
+    virtual ~Scratch() = default;
+  };
+
+  virtual ~SummaryScheme() = default;
+
+  /// Scheme name for reports ("iSAX", "SFA EW +VAR", …).
+  virtual std::string name() const = 0;
+
+  /// Length of the series this scheme was built for.
+  virtual std::size_t series_length() const = 0;
+
+  /// Creates a scratch object; one per worker thread.
+  virtual std::unique_ptr<Scratch> NewScratch() const {
+    return std::make_unique<Scratch>();
+  }
+
+  /// Projects a z-normalized series of series_length() floats into
+  /// word_length() summary values.
+  virtual void Project(const float* series, float* values_out,
+                       Scratch* scratch) const = 0;
+
+  /// Convenience: Project with a temporary scratch (allocates).
+  void Project(const float* series, float* values_out) const {
+    auto scratch = NewScratch();
+    Project(series, values_out, scratch.get());
+  }
+
+  /// Projects and quantizes into word_length() 8-bit symbols.
+  void Symbolize(const float* series, std::uint8_t* word,
+                 Scratch* scratch, float* values_scratch) const;
+
+  /// Convenience Symbolize with temporaries (allocates).
+  void Symbolize(const float* series, std::uint8_t* word) const;
+
+  /// Number of summary dimensions l.
+  std::size_t word_length() const { return table_.word_length(); }
+
+  /// Alphabet size (power of two ≤ 256).
+  std::size_t alphabet() const { return table_.alphabet(); }
+
+  /// Bits per symbol.
+  std::uint32_t bits() const { return table_.bits(); }
+
+  /// Per-dimension quantization intervals.
+  const BreakpointTable& table() const { return table_; }
+
+  /// Per-dimension LBD weights (word_length() entries).
+  const float* weights() const { return weights_.data(); }
+
+ protected:
+  SummaryScheme(std::size_t word_length, std::size_t alphabet)
+      : table_(word_length, alphabet) {
+    weights_.assign(word_length, 1.0f);
+  }
+
+  BreakpointTable table_;
+  AlignedVector<float> weights_;
+};
+
+}  // namespace quant
+}  // namespace sofa
+
+#endif  // SOFA_QUANT_SUMMARY_SCHEME_H_

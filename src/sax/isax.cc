@@ -1,0 +1,40 @@
+#include "sax/isax.h"
+
+namespace sofa {
+namespace sax {
+
+bool WordMatchesPrefix(const std::uint8_t* word, const std::uint8_t* prefixes,
+                       const std::uint8_t* cards, std::size_t word_length,
+                       std::uint32_t bits) {
+  for (std::size_t dim = 0; dim < word_length; ++dim) {
+    if (cards[dim] == 0) {
+      continue;
+    }
+    if (SymbolPrefix(word[dim], bits, cards[dim]) != prefixes[dim]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string WordToString(const std::uint8_t* word, std::size_t word_length,
+                         std::size_t alphabet) {
+  std::string out;
+  if (alphabet <= 26) {
+    out.reserve(word_length);
+    for (std::size_t i = 0; i < word_length; ++i) {
+      out.push_back(static_cast<char>('a' + word[i]));
+    }
+    return out;
+  }
+  for (std::size_t i = 0; i < word_length; ++i) {
+    if (i != 0) {
+      out.push_back('.');
+    }
+    out += std::to_string(static_cast<int>(word[i]));
+  }
+  return out;
+}
+
+}  // namespace sax
+}  // namespace sofa

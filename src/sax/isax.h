@@ -1,0 +1,39 @@
+// iSAX word helpers: textual rendering and variable-cardinality prefix
+// relations shared by the tree index and its tests.
+//
+// A full-cardinality word is one 8-bit symbol per dimension. A node summary
+// keeps, per dimension, only the top `card` bits of the symbol (its
+// "cardinality"); a series belongs under a node iff every dimension's
+// symbol starts with the node's prefix bits.
+
+#ifndef SOFA_SAX_ISAX_H_
+#define SOFA_SAX_ISAX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sofa {
+namespace sax {
+
+/// Top `card_bits` bits of an 8-bit symbol under total width `bits`.
+inline std::uint8_t SymbolPrefix(std::uint8_t symbol, std::uint32_t bits,
+                                 std::uint32_t card_bits) {
+  return static_cast<std::uint8_t>(symbol >> (bits - card_bits));
+}
+
+/// True if `word` falls under the node summary (`prefixes`, `cards`);
+/// dimensions with cardinality 0 are unconstrained.
+bool WordMatchesPrefix(const std::uint8_t* word, const std::uint8_t* prefixes,
+                       const std::uint8_t* cards, std::size_t word_length,
+                       std::uint32_t bits);
+
+/// Renders a word as letters ('a' + symbol) for small alphabets, or
+/// dot-separated numbers for large ones — e.g. "cbed" or "12.0.255.3".
+std::string WordToString(const std::uint8_t* word, std::size_t word_length,
+                         std::size_t alphabet);
+
+}  // namespace sax
+}  // namespace sofa
+
+#endif  // SOFA_SAX_ISAX_H_

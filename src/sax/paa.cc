@@ -1,0 +1,23 @@
+#include "sax/paa.h"
+
+#include "util/check.h"
+
+namespace sofa {
+namespace sax {
+
+void Paa(const float* series, std::size_t n, std::size_t segments,
+         float* out) {
+  SOFA_DCHECK(segments > 0 && segments <= n);
+  for (std::size_t i = 0; i < segments; ++i) {
+    const std::size_t begin = SegmentStart(n, segments, i);
+    const std::size_t end = SegmentStart(n, segments, i + 1);
+    double sum = 0.0;
+    for (std::size_t t = begin; t < end; ++t) {
+      sum += series[t];
+    }
+    out[i] = static_cast<float>(sum / static_cast<double>(end - begin));
+  }
+}
+
+}  // namespace sax
+}  // namespace sofa

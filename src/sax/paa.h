@@ -1,0 +1,36 @@
+// Piecewise Aggregate Approximation (PAA).
+//
+// Splits a series into `segments` contiguous pieces and represents each by
+// its mean. For lengths not divisible by the segment count, segments are
+// the integer partitions [⌊i·n/l⌋, ⌊(i+1)·n/l⌋); the corresponding lower
+// bound then weights each segment by its actual length (Jensen per
+// segment), generalizing the classic √(n/l) factor.
+
+#ifndef SOFA_SAX_PAA_H_
+#define SOFA_SAX_PAA_H_
+
+#include <cstddef>
+
+namespace sofa {
+namespace sax {
+
+/// Start offset of segment `i` of `segments` over a length-n series.
+inline std::size_t SegmentStart(std::size_t n, std::size_t segments,
+                                std::size_t i) {
+  return i * n / segments;
+}
+
+/// Length (in points) of segment `i`.
+inline std::size_t SegmentLength(std::size_t n, std::size_t segments,
+                                 std::size_t i) {
+  return SegmentStart(n, segments, i + 1) - SegmentStart(n, segments, i);
+}
+
+/// Writes the `segments` segment means of `series` into `out`.
+void Paa(const float* series, std::size_t n, std::size_t segments,
+         float* out);
+
+}  // namespace sax
+}  // namespace sofa
+
+#endif  // SOFA_SAX_PAA_H_

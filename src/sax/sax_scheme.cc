@@ -1,0 +1,28 @@
+#include "sax/sax_scheme.h"
+
+#include "quant/normal_quantiles.h"
+#include "sax/paa.h"
+#include "util/check.h"
+
+namespace sofa {
+namespace sax {
+
+SaxScheme::SaxScheme(std::size_t series_length, std::size_t word_length,
+                     std::size_t alphabet)
+    : SummaryScheme(word_length, alphabet), series_length_(series_length) {
+  SOFA_CHECK(word_length <= series_length);
+  const std::vector<float> edges = quant::NormalBreakpoints(alphabet);
+  for (std::size_t dim = 0; dim < word_length; ++dim) {
+    table_.SetDimension(dim, edges);
+    weights_[dim] = static_cast<float>(
+        SegmentLength(series_length, word_length, dim));
+  }
+}
+
+void SaxScheme::Project(const float* series, float* values_out,
+                        Scratch* /*scratch*/) const {
+  Paa(series, series_length_, word_length(), values_out);
+}
+
+}  // namespace sax
+}  // namespace sofa

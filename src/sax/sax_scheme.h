@@ -1,0 +1,45 @@
+// iSAX summarization (paper Section IV-D) as a SummaryScheme.
+//
+// Projection: PAA segment means. Quantization: the fixed N(0,1)
+// equal-depth breakpoints, identical for every dimension. LBD weight per
+// dimension: the segment length (n/l when divisible), which makes
+// Σ wᵢ·mindistᵢ² the classic iSAX mindist² and a valid lower bound of the
+// squared Euclidean distance of z-normalized series.
+//
+// This scheme plugged into the tree index *is* the MESSI baseline.
+
+#ifndef SOFA_SAX_SAX_SCHEME_H_
+#define SOFA_SAX_SAX_SCHEME_H_
+
+#include <cstddef>
+#include <string>
+
+#include "quant/summary_scheme.h"
+
+namespace sofa {
+namespace sax {
+
+/// Fixed (data-independent) SAX summarization.
+class SaxScheme : public quant::SummaryScheme {
+ public:
+  /// Builds the scheme for series of length n, `word_length` segments and a
+  /// power-of-two alphabet (default 256, the paper's setting).
+  SaxScheme(std::size_t series_length, std::size_t word_length,
+            std::size_t alphabet = 256);
+
+  std::string name() const override { return "iSAX"; }
+
+  std::size_t series_length() const override { return series_length_; }
+
+  using quant::SummaryScheme::Project;
+  void Project(const float* series, float* values_out,
+               Scratch* scratch) const override;
+
+ private:
+  std::size_t series_length_;
+};
+
+}  // namespace sax
+}  // namespace sofa
+
+#endif  // SOFA_SAX_SAX_SCHEME_H_

@@ -1,0 +1,96 @@
+#include "scan/ucr_scan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "core/distance.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace sofa {
+namespace scan {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+struct HeapEntry {
+  float dist_sq;
+  std::uint32_t id;
+  bool operator<(const HeapEntry& other) const {  // max-heap on distance
+    return dist_sq < other.dist_sq;
+  }
+};
+
+using LocalHeap = std::priority_queue<HeapEntry>;
+
+// Scans [begin, end) into a bounded local heap with early abandoning
+// against the thread-local k-th best.
+void ScanRange(const Dataset& data, const float* query, std::size_t k,
+               std::size_t begin, std::size_t end, LocalHeap* heap) {
+  const std::size_t n = data.length();
+  for (std::size_t i = begin; i < end; ++i) {
+    const float bound = heap->size() == k ? heap->top().dist_sq : kInf;
+    const float d =
+        SquaredEuclideanEarlyAbandon(query, data.row(i), n, bound);
+    if (heap->size() < k) {
+      heap->push(HeapEntry{d, static_cast<std::uint32_t>(i)});
+    } else if (d < bound) {
+      heap->pop();
+      heap->push(HeapEntry{d, static_cast<std::uint32_t>(i)});
+    }
+  }
+}
+
+}  // namespace
+
+UcrScan::UcrScan(const Dataset* data, ThreadPool* pool)
+    : data_(data), pool_(pool) {
+  SOFA_CHECK(data_ != nullptr);
+  SOFA_CHECK(pool_ != nullptr);
+}
+
+Neighbor UcrScan::Search1Nn(const float* query) const {
+  const std::vector<Neighbor> result = SearchKnn(query, 1);
+  SOFA_CHECK(!result.empty()) << "1-NN query on an empty collection";
+  return result[0];
+}
+
+std::vector<Neighbor> UcrScan::SearchKnn(const float* query,
+                                         std::size_t k) const {
+  if (data_->empty() || k == 0) {
+    return {};
+  }
+  k = std::min(k, data_->size());
+  std::vector<LocalHeap> heaps(pool_->size());
+  ParallelFor(pool_, data_->size(),
+              [&](std::size_t begin, std::size_t end, std::size_t worker) {
+                ScanRange(*data_, query, k, begin, end, &heaps[worker]);
+              });
+  // The single synchronization point: merge the thread-local heaps.
+  LocalHeap merged;
+  for (auto& heap : heaps) {
+    while (!heap.empty()) {
+      if (merged.size() < k) {
+        merged.push(heap.top());
+      } else if (heap.top().dist_sq < merged.top().dist_sq) {
+        merged.pop();
+        merged.push(heap.top());
+      }
+      heap.pop();
+    }
+  }
+  std::vector<Neighbor> result;
+  result.reserve(merged.size());
+  while (!merged.empty()) {
+    result.push_back(
+        Neighbor{merged.top().id, std::sqrt(merged.top().dist_sq)});
+    merged.pop();
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace scan
+}  // namespace sofa

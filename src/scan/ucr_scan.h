@@ -1,0 +1,47 @@
+// UCR Suite-P — the parallel optimized sequential-scan baseline
+// (paper Section V, competitor [17]).
+//
+// Whole-series matching: every thread scans its contiguous segment of the
+// in-memory collection with SIMD early-abandoning Euclidean distance
+// against a thread-local best-so-far; per the paper's description the
+// threads are fully independent and synchronize only once at the end to
+// merge their local results.
+
+#ifndef SOFA_SCAN_UCR_SCAN_H_
+#define SOFA_SCAN_UCR_SCAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/neighbor.h"
+
+namespace sofa {
+
+class ThreadPool;
+
+namespace scan {
+
+/// Parallel exact sequential scan over a z-normalized dataset.
+class UcrScan {
+ public:
+  /// `data` must outlive the scanner; queries run on `pool`.
+  UcrScan(const Dataset* data, ThreadPool* pool);
+
+  /// Exact nearest neighbor.
+  Neighbor Search1Nn(const float* query) const;
+
+  /// Exact k-NN, ascending by distance (k clamped to the collection size).
+  std::vector<Neighbor> SearchKnn(const float* query, std::size_t k) const;
+
+  const Dataset& data() const { return *data_; }
+
+ private:
+  const Dataset* data_;
+  ThreadPool* pool_;
+};
+
+}  // namespace scan
+}  // namespace sofa
+
+#endif  // SOFA_SCAN_UCR_SCAN_H_

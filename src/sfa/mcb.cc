@@ -1,0 +1,133 @@
+#include "sfa/mcb.h"
+
+#include <algorithm>
+#include <complex>
+#include <numeric>
+#include <vector>
+
+#include "dft/real_dft.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace sofa {
+namespace sfa {
+namespace {
+
+// Variance of one candidate value across the sample matrix column.
+double ColumnVariance(const std::vector<float>& column) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (float v : column) {
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(column.size());
+  const double mean = sum / n;
+  return std::max(0.0, sum_sq / n - mean * mean);
+}
+
+}  // namespace
+
+std::string SfaConfigName(const SfaConfig& config) {
+  std::string name = "SFA ";
+  name += (config.binning == quant::BinningMethod::kEquiWidth) ? "EW" : "ED";
+  if (config.variance_selection) {
+    name += " +VAR";
+  }
+  return name;
+}
+
+std::unique_ptr<SfaScheme> TrainSfa(const Dataset& data,
+                                    const SfaConfig& config,
+                                    ThreadPool* pool) {
+  SOFA_CHECK(!data.empty());
+  SOFA_CHECK(config.word_length >= 1);
+  const std::size_t n = data.length();
+  const dft::RealDftPlan plan(n);
+
+  // Candidate pool (Algorithm 1 restricts to the first coefficients).
+  std::vector<ValueRef> candidates;
+  const std::size_t max_coeff = plan.num_coefficients() - 1;  // last index
+  const std::size_t first = config.include_dc ? 0 : 1;
+  const std::size_t last =
+      std::min(max_coeff, first + config.candidate_coefficients - 1);
+  for (std::size_t k = first; k <= last; ++k) {
+    candidates.push_back({static_cast<std::uint16_t>(k), false});
+    if (!plan.IsUnpaired(k)) {
+      candidates.push_back({static_cast<std::uint16_t>(k), true});
+    }
+  }
+  SOFA_CHECK(candidates.size() >= config.word_length)
+      << "candidate pool (" << candidates.size()
+      << " values) smaller than word length " << config.word_length;
+
+  // Step 1: sample without replacement (partial Fisher–Yates).
+  std::size_t sample_count = static_cast<std::size_t>(
+      config.sampling_ratio * static_cast<double>(data.size()));
+  sample_count = std::max(sample_count, config.min_sample);
+  sample_count = std::min(sample_count, data.size());
+  std::vector<std::uint32_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), 0u);
+  Rng rng(config.seed);
+  for (std::size_t i = 0; i < sample_count; ++i) {
+    const std::size_t j = i + rng.Below(indices.size() - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(sample_count);
+
+  // Step 1b: DFT the sample; collect candidate values column-wise.
+  std::vector<std::vector<float>> columns(
+      candidates.size(), std::vector<float>(sample_count));
+  auto transform_range = [&](std::size_t begin, std::size_t end,
+                             std::size_t) {
+    dft::RealDftPlan::Scratch scratch;
+    std::vector<std::complex<float>> coeffs(plan.num_coefficients());
+    for (std::size_t i = begin; i < end; ++i) {
+      plan.Transform(data.row(indices[i]), coeffs.data(), &scratch);
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        const ValueRef ref = candidates[c];
+        columns[c][i] =
+            ref.imag ? coeffs[ref.coeff].imag() : coeffs[ref.coeff].real();
+      }
+    }
+  };
+  if (pool != nullptr) {
+    ParallelFor(pool, sample_count, transform_range);
+  } else {
+    transform_range(0, sample_count, 0);
+  }
+
+  // Step 2: rank candidate values by variance (K-ARGMAX of Algorithm 1).
+  std::vector<double> variances(candidates.size());
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    variances[c] = ColumnVariance(columns[c]);
+  }
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (config.variance_selection) {
+    // Descending variance; evaluation order then favours early abandoning.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return variances[a] > variances[b];
+                     });
+  }
+  order.resize(config.word_length);
+
+  // Step 3: learn per-value bins.
+  SfaSpec spec;
+  spec.series_length = n;
+  spec.alphabet = config.alphabet;
+  spec.name = SfaConfigName(config);
+  spec.selected.reserve(order.size());
+  spec.edges.reserve(order.size());
+  for (const std::size_t c : order) {
+    spec.selected.push_back(candidates[c]);
+    spec.edges.push_back(quant::LearnBreakpoints(
+        std::move(columns[c]), config.alphabet, config.binning));
+  }
+  return std::make_unique<SfaScheme>(spec);
+}
+
+}  // namespace sfa
+}  // namespace sofa

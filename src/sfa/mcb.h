@@ -1,0 +1,73 @@
+// MCB — Multiple Coefficient Binning (paper Algorithm 1).
+//
+// Learns an SFA summarization from a dataset: sample a fraction r of the
+// series, DFT them, rank the real/imaginary coefficient values of the
+// candidate pool by variance, keep the top l, and learn alphabet-many
+// quantization bins per kept value from its sample distribution.
+
+#ifndef SOFA_SFA_MCB_H_
+#define SOFA_SFA_MCB_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "core/dataset.h"
+#include "quant/binning.h"
+#include "sfa/sfa_scheme.h"
+
+namespace sofa {
+
+class ThreadPool;
+
+namespace sfa {
+
+/// Training configuration; defaults mirror the paper's SOFA setup.
+struct SfaConfig {
+  /// Number of real/imaginary values kept (16 values = 8 complex
+  /// coefficients).
+  std::size_t word_length = 16;
+
+  /// Alphabet size (power of two ≤ 256).
+  std::size_t alphabet = 256;
+
+  /// Candidate pool: the first `candidate_coefficients` non-DC complex
+  /// coefficients (the paper selects from the first 16). Clamped to the
+  /// spectrum length.
+  std::size_t candidate_coefficients = 16;
+
+  /// Bin-learning rule; the paper's ablation favours equi-width.
+  quant::BinningMethod binning = quant::BinningMethod::kEquiWidth;
+
+  /// Variance-based value selection (SOFA) vs. low-pass first-l values
+  /// (classic SFA) — the "+VAR" ablation axis.
+  bool variance_selection = true;
+
+  /// Fraction of the dataset sampled for learning (Algorithm 1, default 1%).
+  double sampling_ratio = 0.01;
+
+  /// Lower bound on the sample size (small datasets use everything).
+  std::size_t min_sample = 256;
+
+  /// Include the DC coefficient's real part in the candidate pool. Off by
+  /// default: series are z-normalized, so DC is identically 0.
+  bool include_dc = false;
+
+  /// Sampling seed (reproducibility).
+  std::uint64_t seed = 0x5fa5fa;
+};
+
+/// Human-readable scheme name for a config ("SFA EW +VAR", "SFA ED", …).
+std::string SfaConfigName(const SfaConfig& config);
+
+/// Learns an SFA scheme from `data` (Algorithm 1). `pool` parallelizes the
+/// sample transform when given. The dataset must be z-normalized (or
+/// include_dc set) for exactness.
+std::unique_ptr<SfaScheme> TrainSfa(const Dataset& data,
+                                    const SfaConfig& config,
+                                    ThreadPool* pool = nullptr);
+
+}  // namespace sfa
+}  // namespace sofa
+
+#endif  // SOFA_SFA_MCB_H_

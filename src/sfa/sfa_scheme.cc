@@ -1,0 +1,61 @@
+#include "sfa/sfa_scheme.h"
+
+#include "util/check.h"
+
+namespace sofa {
+namespace sfa {
+
+class SfaScheme::SfaScratch : public quant::SummaryScheme::Scratch {
+ public:
+  explicit SfaScratch(std::size_t num_coefficients)
+      : coeffs(num_coefficients) {}
+
+  dft::RealDftPlan::Scratch dft;
+  std::vector<std::complex<float>> coeffs;
+};
+
+SfaScheme::SfaScheme(const SfaSpec& spec)
+    : SummaryScheme(spec.selected.size(), spec.alphabet),
+      name_(spec.name),
+      series_length_(spec.series_length),
+      plan_(spec.series_length),
+      selected_(spec.selected) {
+  SOFA_CHECK(!selected_.empty());
+  SOFA_CHECK_EQ(spec.edges.size(), selected_.size());
+  for (std::size_t dim = 0; dim < selected_.size(); ++dim) {
+    const ValueRef ref = selected_[dim];
+    SOFA_CHECK_LT(ref.coeff, plan_.num_coefficients());
+    SOFA_CHECK(!(ref.imag && plan_.IsUnpaired(ref.coeff)))
+        << "imaginary part of DC/Nyquist is identically zero";
+    table_.SetDimension(dim, spec.edges[dim]);
+    // Parseval weight: paired coefficients appear twice in the spectrum.
+    weights_[dim] = plan_.IsUnpaired(ref.coeff) ? 1.0f : 2.0f;
+  }
+}
+
+std::unique_ptr<quant::SummaryScheme::Scratch> SfaScheme::NewScratch() const {
+  return std::make_unique<SfaScratch>(plan_.num_coefficients());
+}
+
+void SfaScheme::Project(const float* series, float* values_out,
+                        Scratch* scratch) const {
+  auto* sfa_scratch = static_cast<SfaScratch*>(scratch);
+  SOFA_DCHECK(sfa_scratch != nullptr);
+  plan_.Transform(series, sfa_scratch->coeffs.data(), &sfa_scratch->dft);
+  for (std::size_t dim = 0; dim < selected_.size(); ++dim) {
+    const ValueRef ref = selected_[dim];
+    const std::complex<float>& c = sfa_scratch->coeffs[ref.coeff];
+    values_out[dim] = ref.imag ? c.imag() : c.real();
+  }
+}
+
+double SfaScheme::MeanSelectedCoefficientIndex() const {
+  double sum = 0.0;
+  for (const ValueRef ref : selected_) {
+    sum += static_cast<double>(ref.coeff);
+  }
+  return sum / static_cast<double>(selected_.size());
+}
+
+}  // namespace sfa
+}  // namespace sofa

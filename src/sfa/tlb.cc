@@ -1,0 +1,128 @@
+#include "sfa/tlb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/distance.h"
+#include "quant/lbd.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sofa {
+namespace sfa {
+
+namespace {
+
+// Sampled (query, candidate) evaluation shared by MeanTlb and
+// MeanPruningPower: per query, per candidate, the squared true distance
+// and squared LBD.
+struct PairSamples {
+  std::size_t num_queries = 0;
+  std::size_t num_candidates = 0;
+  // Row-major [query][candidate].
+  std::vector<float> ed_sq;
+  std::vector<float> lbd_sq;
+};
+
+PairSamples SamplePairs(const quant::SummaryScheme& scheme,
+                        const Dataset& data, const Dataset& queries,
+                        const TlbOptions& options) {
+  SOFA_CHECK(!data.empty());
+  SOFA_CHECK(!queries.empty());
+  SOFA_CHECK_EQ(data.length(), scheme.series_length());
+  SOFA_CHECK_EQ(queries.length(), scheme.series_length());
+
+  Rng rng(options.seed);
+  auto pick = [&rng](std::size_t available, std::size_t wanted) {
+    std::vector<std::uint32_t> indices(available);
+    std::iota(indices.begin(), indices.end(), 0u);
+    const std::size_t count = std::min(available, wanted);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t j = i + rng.Below(indices.size() - i);
+      std::swap(indices[i], indices[j]);
+    }
+    indices.resize(count);
+    return indices;
+  };
+  const auto query_ids = pick(queries.size(), options.max_queries);
+  const auto candidate_ids = pick(data.size(), options.max_candidates);
+
+  const std::size_t l = scheme.word_length();
+  auto scratch = scheme.NewScratch();
+  std::vector<float> projection(l);
+
+  // Pre-symbolize the candidates once.
+  std::vector<std::uint8_t> words(candidate_ids.size() * l);
+  for (std::size_t c = 0; c < candidate_ids.size(); ++c) {
+    scheme.Symbolize(data.row(candidate_ids[c]), words.data() + c * l,
+                     scratch.get(), projection.data());
+  }
+
+  PairSamples samples;
+  samples.num_queries = query_ids.size();
+  samples.num_candidates = candidate_ids.size();
+  samples.ed_sq.resize(query_ids.size() * candidate_ids.size());
+  samples.lbd_sq.resize(query_ids.size() * candidate_ids.size());
+  for (std::size_t qi = 0; qi < query_ids.size(); ++qi) {
+    const std::uint32_t q = query_ids[qi];
+    scheme.Project(queries.row(q), projection.data(), scratch.get());
+    for (std::size_t c = 0; c < candidate_ids.size(); ++c) {
+      const std::size_t at = qi * candidate_ids.size() + c;
+      samples.ed_sq[at] = SquaredEuclidean(
+          queries.row(q), data.row(candidate_ids[c]), data.length());
+      samples.lbd_sq[at] = quant::LbdSquared(
+          scheme.table(), scheme.weights(), projection.data(),
+          words.data() + c * l);
+    }
+  }
+  return samples;
+}
+
+}  // namespace
+
+double MeanTlb(const quant::SummaryScheme& scheme, const Dataset& data,
+               const Dataset& queries, const TlbOptions& options) {
+  const PairSamples samples = SamplePairs(scheme, data, queries, options);
+  double sum_tlb = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < samples.ed_sq.size(); ++i) {
+    if (samples.ed_sq[i] <= 0.0f) {
+      continue;
+    }
+    sum_tlb += std::sqrt(static_cast<double>(samples.lbd_sq[i]) /
+                         samples.ed_sq[i]);
+    ++pairs;
+  }
+  return pairs == 0 ? 0.0 : sum_tlb / static_cast<double>(pairs);
+}
+
+double MeanPruningPower(const quant::SummaryScheme& scheme,
+                        const Dataset& data, const Dataset& queries,
+                        const TlbOptions& options) {
+  const PairSamples samples = SamplePairs(scheme, data, queries, options);
+  double sum_power = 0.0;
+  for (std::size_t qi = 0; qi < samples.num_queries; ++qi) {
+    const float* ed_row = samples.ed_sq.data() + qi * samples.num_candidates;
+    const float* lbd_row =
+        samples.lbd_sq.data() + qi * samples.num_candidates;
+    // Exact 1-NN distance among the sampled candidates.
+    float best = ed_row[0];
+    for (std::size_t c = 1; c < samples.num_candidates; ++c) {
+      best = std::min(best, ed_row[c]);
+    }
+    std::size_t pruned = 0;
+    for (std::size_t c = 0; c < samples.num_candidates; ++c) {
+      pruned += (lbd_row[c] > best) ? 1 : 0;
+    }
+    sum_power += static_cast<double>(pruned) /
+                 static_cast<double>(samples.num_candidates);
+  }
+  return samples.num_queries == 0
+             ? 0.0
+             : sum_power / static_cast<double>(samples.num_queries);
+}
+
+}  // namespace sfa
+}  // namespace sofa

@@ -1,0 +1,42 @@
+// TLB — tightness of lower bound (paper Section V-E).
+//
+// TLB(q, s) = LBD(E(q), E(s)) / ED(q, s) ∈ [0, 1]; higher means better
+// pruning. The ablation tables (V, VI) report the mean TLB over query ×
+// candidate pairs for each summarization variant.
+
+#ifndef SOFA_SFA_TLB_H_
+#define SOFA_SFA_TLB_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/dataset.h"
+#include "quant/summary_scheme.h"
+
+namespace sofa {
+namespace sfa {
+
+/// Sampling bounds for the TLB estimate.
+struct TlbOptions {
+  std::size_t max_queries = 32;
+  std::size_t max_candidates = 256;
+  std::uint64_t seed = 0x71b;
+};
+
+/// Mean TLB of `scheme` over sampled (query, candidate) pairs; pairs with
+/// zero true distance are skipped. Both datasets must be z-normalized.
+double MeanTlb(const quant::SummaryScheme& scheme, const Dataset& data,
+               const Dataset& queries, const TlbOptions& options = {});
+
+/// Pruning power (paper Section V-E, after [29]): the mean fraction of
+/// candidates whose LBD already exceeds the query's exact 1-NN distance —
+/// i.e. series a GEMINI engine discards without touching raw data. The
+/// same sampling options as MeanTlb apply.
+double MeanPruningPower(const quant::SummaryScheme& scheme,
+                        const Dataset& data, const Dataset& queries,
+                        const TlbOptions& options = {});
+
+}  // namespace sfa
+}  // namespace sofa
+
+#endif  // SOFA_SFA_TLB_H_

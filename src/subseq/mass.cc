@@ -1,0 +1,134 @@
+#include "subseq/mass.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "subseq/rolling_stats.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace sofa {
+namespace subseq {
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+}  // namespace
+
+MassPlan::MassPlan(std::size_t series_length, std::size_t query_length)
+    : n_(series_length),
+      m_(query_length),
+      fft_(dft::NextPowerOfTwo(series_length + query_length)) {
+  SOFA_CHECK(m_ > 0 && m_ <= n_)
+      << "query length " << m_ << " over series length " << n_;
+}
+
+void MassPlan::DistanceProfile(const float* series, const float* query,
+                               float* profile, Scratch* scratch) const {
+  Scratch local;
+  if (scratch == nullptr) {
+    scratch = &local;
+  }
+  const std::size_t conv = fft_.size();
+
+  // Query stats; a constant query has no z-normalized form.
+  double q_sum = 0.0;
+  double q_sum_sq = 0.0;
+  for (std::size_t j = 0; j < m_; ++j) {
+    q_sum += query[j];
+    q_sum_sq += static_cast<double>(query[j]) * query[j];
+  }
+  const double q_mean = q_sum / static_cast<double>(m_);
+  const double q_var = std::max(
+      0.0, q_sum_sq / static_cast<double>(m_) - q_mean * q_mean);
+  SOFA_CHECK(q_var > 0.0) << "constant query has no z-normalized form";
+  const double q_std = std::sqrt(q_var);
+
+  // Sliding dot products via one convolution: T ⊛ reverse(Q), so
+  // QT[i] = conv[m − 1 + i].
+  auto& t_buf = scratch->series_spectrum;
+  auto& q_buf = scratch->query_spectrum;
+  t_buf.assign(conv, {0.0, 0.0});
+  q_buf.assign(conv, {0.0, 0.0});
+  for (std::size_t t = 0; t < n_; ++t) {
+    t_buf[t] = {static_cast<double>(series[t]), 0.0};
+  }
+  for (std::size_t j = 0; j < m_; ++j) {
+    q_buf[j] = {static_cast<double>(query[m_ - 1 - j]), 0.0};
+  }
+  fft_.Forward(t_buf.data(), &scratch->fft);
+  fft_.Forward(q_buf.data(), &scratch->fft);
+  for (std::size_t t = 0; t < conv; ++t) {
+    t_buf[t] *= q_buf[t];
+  }
+  fft_.Inverse(t_buf.data(), &scratch->fft);
+
+  const RollingStats stats = ComputeRollingStats(series, n_, m_);
+  const auto md = static_cast<double>(m_);
+  for (std::size_t i = 0; i < profile_length(); ++i) {
+    if (stats.std[i] <= 0.0) {
+      profile[i] = kInf;
+      continue;
+    }
+    const double qt = t_buf[m_ - 1 + i].real();
+    // Pearson correlation of the two z-normalized windows, clamped
+    // against floating-point drift, then d² = 2m(1 − r).
+    const double r = (qt - md * q_mean * stats.mean[i]) /
+                     (md * q_std * stats.std[i]);
+    const double clamped = std::clamp(r, -1.0, 1.0);
+    profile[i] = static_cast<float>(std::sqrt(2.0 * md * (1.0 - clamped)));
+  }
+}
+
+std::vector<SubseqMatch> MassPlan::TopK(const float* series,
+                                        const float* query,
+                                        std::size_t k) const {
+  std::vector<float> profile(profile_length());
+  DistanceProfile(series, query, profile.data());
+  return TopKFromProfile(profile.data(), profile.size(), k, m_ / 2);
+}
+
+void ParallelDistanceProfile(const float* series, std::size_t n,
+                             const float* query, std::size_t m,
+                             float* profile, ThreadPool* pool,
+                             std::size_t chunk_windows) {
+  SOFA_CHECK(pool != nullptr);
+  SOFA_CHECK(m > 0 && m <= n);
+  const std::size_t total_windows = n - m + 1;
+  if (chunk_windows == 0) {
+    // Two chunks per worker for load balance, but never so small that the
+    // m − 1 overlap dominates the work.
+    const std::size_t per_worker =
+        (total_windows + 2 * pool->size() - 1) / (2 * pool->size());
+    chunk_windows = std::max(per_worker, 4 * m);
+  }
+  chunk_windows = std::min(chunk_windows, total_windows);
+  const std::size_t num_chunks =
+      (total_windows + chunk_windows - 1) / chunk_windows;
+
+  // One plan for the full-size chunks, one for the (shorter) tail when it
+  // differs; plans are immutable and shared, scratch is per task.
+  const std::size_t full_chunk_points = chunk_windows + m - 1;
+  const MassPlan full_plan(full_chunk_points, m);
+  const std::size_t tail_windows =
+      total_windows - (num_chunks - 1) * chunk_windows;
+  const bool tail_differs = tail_windows != chunk_windows;
+  const MassPlan tail_plan(tail_differs ? tail_windows + m - 1 : m, m);
+
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    pool->Submit([&, c] {
+      const std::size_t first_window = c * chunk_windows;
+      const bool is_tail = tail_differs && c + 1 == num_chunks;
+      const MassPlan& plan = is_tail ? tail_plan : full_plan;
+      MassPlan::Scratch scratch;
+      plan.DistanceProfile(series + first_window, query,
+                           profile + first_window, &scratch);
+    });
+  }
+  pool->Wait();
+}
+
+}  // namespace subseq
+}  // namespace sofa

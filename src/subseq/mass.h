@@ -1,0 +1,90 @@
+// MASS — Mueen's Algorithm for Similarity Search (Zhong & Mueen [50]).
+//
+// Computes the full z-normalized distance profile of a query Q (length m)
+// against every length-m window of a long series T (length n) in
+// O(n log n), independent of m: the sliding dot products QT[i] come from
+// one FFT convolution, and the profile follows from the closed form
+//
+//   d²[i] = 2m · (1 − (QT[i] − m·μ_Q·μ_i) / (m·σ_Q·σ_i)),
+//
+// with rolling window stats (μ_i, σ_i) from prefix sums. Windows with
+// σ_i = 0 cannot be z-normalized and get +inf.
+//
+// The paper contrasts MASS with the UCR suite for whole-series matching
+// (Section III, citing Fig. 3 of [51]): MASS pays the full O(n log n)
+// regardless of pruning opportunities, while an early-abandoning scan
+// often touches a fraction of each window. bench/relwork_subsequence.cpp
+// measures that trade; examples use MASS where the whole profile (not
+// just the 1-NN) is wanted.
+
+#ifndef SOFA_SUBSEQ_MASS_H_
+#define SOFA_SUBSEQ_MASS_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "dft/fft.h"
+#include "subseq/subseq_match.h"
+
+namespace sofa {
+
+class ThreadPool;
+
+namespace subseq {
+
+/// Immutable plan for distance profiles of one (series length, query
+/// length) combination; shareable across threads via per-thread Scratch.
+class MassPlan {
+ public:
+  /// Per-thread buffers.
+  struct Scratch {
+    dft::Fft::Scratch fft;
+    std::vector<std::complex<double>> series_spectrum;
+    std::vector<std::complex<double>> query_spectrum;
+  };
+
+  /// Plans profiles of length-m queries over length-n series
+  /// (0 < m ≤ n).
+  MassPlan(std::size_t series_length, std::size_t query_length);
+
+  std::size_t series_length() const { return n_; }
+  std::size_t query_length() const { return m_; }
+
+  /// Number of windows: n − m + 1.
+  std::size_t profile_length() const { return n_ - m_ + 1; }
+
+  /// Writes the z-normalized Euclidean distance profile (profile_length()
+  /// floats; +inf for flat windows). Aborts if the query is constant.
+  /// `scratch` may be nullptr (allocates internally).
+  void DistanceProfile(const float* series, const float* query,
+                       float* profile, Scratch* scratch = nullptr) const;
+
+  /// Convenience: profile + top-k extraction with the matrix-profile
+  /// exclusion zone m/2 (allocates).
+  std::vector<SubseqMatch> TopK(const float* series, const float* query,
+                                std::size_t k) const;
+
+ private:
+  std::size_t n_;
+  std::size_t m_;
+  dft::Fft fft_;  // convolution length: next pow2 ≥ n + m
+};
+
+/// Chunked, thread-parallel distance profile — the classic batch-MASS
+/// trick: the stream is cut into overlapping pieces (chunk_windows
+/// windows each, so chunk_windows + m − 1 points with m − 1 overlap),
+/// each piece gets its own small-FFT MASS on a pool worker, and the
+/// window ranges are disjoint so results stitch without synchronization.
+/// Produces the same profile as MassPlan::DistanceProfile (up to FFT
+/// rounding) while using cache-sized transforms on every core.
+/// chunk_windows 0 = auto (balanced across the pool, ≥ 4·m).
+void ParallelDistanceProfile(const float* series, std::size_t n,
+                             const float* query, std::size_t m,
+                             float* profile, ThreadPool* pool,
+                             std::size_t chunk_windows = 0);
+
+}  // namespace subseq
+}  // namespace sofa
+
+#endif  // SOFA_SUBSEQ_MASS_H_

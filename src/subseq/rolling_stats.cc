@@ -1,0 +1,42 @@
+#include "subseq/rolling_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sofa {
+namespace subseq {
+
+RollingStats ComputeRollingStats(const float* series, std::size_t n,
+                                 std::size_t m) {
+  SOFA_CHECK(m > 0 && m <= n)
+      << "window length " << m << " over series length " << n;
+  const std::size_t windows = n - m + 1;
+  std::vector<double> sum(n + 1, 0.0);
+  std::vector<double> sum_sq(n + 1, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    sum[t + 1] = sum[t] + series[t];
+    sum_sq[t + 1] = sum_sq[t] + static_cast<double>(series[t]) * series[t];
+  }
+  RollingStats stats;
+  stats.mean.resize(windows);
+  stats.std.resize(windows);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (std::size_t i = 0; i < windows; ++i) {
+    const double mean = (sum[i + m] - sum[i]) * inv_m;
+    const double second_moment = (sum_sq[i + m] - sum_sq[i]) * inv_m;
+    double var = std::max(0.0, second_moment - mean * mean);
+    // Prefix-sum cancellation leaves O(1e-13)-relative residues on
+    // constant windows; below this relative floor the window is flat.
+    if (var <= 1e-10 * std::max(1.0, second_moment)) {
+      var = 0.0;
+    }
+    stats.mean[i] = mean;
+    stats.std[i] = std::sqrt(var);
+  }
+  return stats;
+}
+
+}  // namespace subseq
+}  // namespace sofa

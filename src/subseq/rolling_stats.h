@@ -1,0 +1,31 @@
+// Rolling window statistics for subsequence search.
+//
+// Both MASS and the UCR-style subsequence scan z-normalize every length-m
+// window of a long series on the fly; the per-window mean and standard
+// deviation come from prefix sums of x and x², computed once in O(n).
+
+#ifndef SOFA_SUBSEQ_ROLLING_STATS_H_
+#define SOFA_SUBSEQ_ROLLING_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sofa {
+namespace subseq {
+
+/// Mean and standard deviation of every length-m window.
+struct RollingStats {
+  std::vector<double> mean;  // n − m + 1 entries
+  std::vector<double> std;   // population std; 0 for constant windows
+};
+
+/// Computes rolling stats over `series` (length n) for windows of length m
+/// (0 < m ≤ n). Double-precision prefix sums; tiny negative variances from
+/// cancellation are clamped to zero.
+RollingStats ComputeRollingStats(const float* series, std::size_t n,
+                                 std::size_t m);
+
+}  // namespace subseq
+}  // namespace sofa
+
+#endif  // SOFA_SUBSEQ_ROLLING_STATS_H_

@@ -1,0 +1,47 @@
+#include "subseq/subseq_match.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+namespace sofa {
+namespace subseq {
+
+std::vector<SubseqMatch> TopKFromProfile(const float* profile,
+                                         std::size_t count, std::size_t k,
+                                         std::size_t exclusion) {
+  std::vector<std::uint32_t> order(count);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [profile](std::uint32_t a, std::uint32_t b) {
+              return profile[a] < profile[b] ||
+                     (profile[a] == profile[b] && a < b);
+            });
+  std::vector<SubseqMatch> matches;
+  for (const std::uint32_t position : order) {
+    if (matches.size() == k) {
+      break;
+    }
+    if (std::isinf(profile[position])) {
+      break;  // only degenerate (flat) windows remain
+    }
+    bool excluded = false;
+    for (const SubseqMatch& chosen : matches) {
+      const std::size_t gap = chosen.position > position
+                                  ? chosen.position - position
+                                  : position - chosen.position;
+      if (gap <= exclusion) {
+        excluded = true;
+        break;
+      }
+    }
+    if (!excluded) {
+      matches.push_back(SubseqMatch{position, profile[position]});
+    }
+  }
+  return matches;
+}
+
+}  // namespace subseq
+}  // namespace sofa

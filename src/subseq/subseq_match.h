@@ -1,0 +1,36 @@
+// Shared subsequence-search types: a match, and top-k extraction from a
+// distance profile with an exclusion zone (so the k matches are distinct
+// events, not the same event at k adjacent offsets).
+
+#ifndef SOFA_SUBSEQ_SUBSEQ_MATCH_H_
+#define SOFA_SUBSEQ_SUBSEQ_MATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sofa {
+namespace subseq {
+
+/// One subsequence match: the window start offset and its z-normalized
+/// Euclidean distance to the query.
+struct SubseqMatch {
+  std::size_t position = 0;
+  float distance = 0.0f;
+
+  bool operator==(const SubseqMatch& other) const {
+    return position == other.position && distance == other.distance;
+  }
+};
+
+/// Lowest-k positions of a distance profile, ascending by distance,
+/// suppressing any position within `exclusion` offsets of an already
+/// selected (strictly better) one. exclusion 0 = plain top-k. The matrix-
+/// profile convention is exclusion = m/2 for query length m.
+std::vector<SubseqMatch> TopKFromProfile(const float* profile,
+                                         std::size_t count, std::size_t k,
+                                         std::size_t exclusion);
+
+}  // namespace subseq
+}  // namespace sofa
+
+#endif  // SOFA_SUBSEQ_SUBSEQ_MATCH_H_

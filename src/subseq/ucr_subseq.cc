@@ -1,0 +1,86 @@
+#include "subseq/ucr_subseq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "subseq/rolling_stats.h"
+#include "util/check.h"
+
+namespace sofa {
+namespace subseq {
+
+SubseqMatch FindBestMatch(const float* series, std::size_t n,
+                          const float* query, std::size_t m,
+                          UcrSubseqProfile* profile) {
+  SOFA_CHECK(m > 0 && m <= n)
+      << "query length " << m << " over series length " << n;
+
+  // Z-normalize the query once.
+  double q_sum = 0.0;
+  double q_sum_sq = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    q_sum += query[j];
+    q_sum_sq += static_cast<double>(query[j]) * query[j];
+  }
+  const double q_mean = q_sum / static_cast<double>(m);
+  const double q_var =
+      std::max(0.0, q_sum_sq / static_cast<double>(m) - q_mean * q_mean);
+  SOFA_CHECK(q_var > 0.0) << "constant query has no z-normalized form";
+  const double q_inv_std = 1.0 / std::sqrt(q_var);
+  std::vector<double> qz(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    qz[j] = (query[j] - q_mean) * q_inv_std;
+  }
+
+  // UCR reordering: largest |z(q)| first.
+  std::vector<std::uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&qz](std::uint32_t a, std::uint32_t b) {
+              return std::fabs(qz[a]) > std::fabs(qz[b]);
+            });
+
+  const RollingStats stats = ComputeRollingStats(series, n, m);
+  UcrSubseqProfile local;
+  double best_sq = std::numeric_limits<double>::infinity();
+  std::size_t best_position = 0;
+  bool found = false;
+  for (std::size_t i = 0; i + m <= n; ++i) {
+    if (stats.std[i] <= 0.0) {
+      ++local.flat_windows;
+      continue;
+    }
+    ++local.windows;
+    const double mean = stats.mean[i];
+    const double inv_std = 1.0 / stats.std[i];
+    double sum = 0.0;
+    std::size_t touched = 0;
+    for (const std::uint32_t j : order) {
+      const double diff = qz[j] - (series[i + j] - mean) * inv_std;
+      sum += diff * diff;
+      ++touched;
+      if (sum > best_sq) {
+        break;
+      }
+    }
+    local.points_touched += touched;
+    if (sum < best_sq) {
+      best_sq = sum;
+      best_position = i;
+      found = true;
+    }
+  }
+  SOFA_CHECK(found) << "every window of the series is constant";
+  if (profile != nullptr) {
+    *profile = local;
+  }
+  return SubseqMatch{best_position,
+                     static_cast<float>(std::sqrt(best_sq))};
+}
+
+}  // namespace subseq
+}  // namespace sofa

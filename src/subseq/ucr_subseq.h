@@ -1,0 +1,46 @@
+// UCR-suite-style subsequence search under z-normalized ED [17].
+//
+// The scan alternative to MASS: slide the query over the series, z-
+// normalizing each window on the fly from rolling stats, with the two
+// signature UCR-suite optimizations for whole-matching under ED:
+//
+//   * query reordering — accumulate the squared differences in order of
+//     decreasing |z(q)|, so the largest contributions come first and the
+//     early-abandon test trips as soon as possible;
+//   * early abandoning — stop a window once its partial sum exceeds the
+//     best-so-far distance.
+//
+// Where MASS always pays O(n log n), the scan pays O(n · m) worst case
+// but typically abandons after a handful of points per window; the
+// crossover is measured in bench/relwork_subsequence.cpp.
+
+#ifndef SOFA_SUBSEQ_UCR_SUBSEQ_H_
+#define SOFA_SUBSEQ_UCR_SUBSEQ_H_
+
+#include <cstddef>
+
+#include "subseq/subseq_match.h"
+
+namespace sofa {
+namespace subseq {
+
+/// Work counters for one scan.
+struct UcrSubseqProfile {
+  std::size_t windows = 0;          // windows examined (non-flat)
+  std::size_t flat_windows = 0;     // skipped, σ = 0
+  std::size_t points_touched = 0;   // query points accumulated in total
+};
+
+/// Best z-normalized-ED match of `query` (length m) over all length-m
+/// windows of `series` (length n). Flat windows are skipped; aborts if the
+/// query is constant or every window is flat. `profile` (optional)
+/// receives work counters — points_touched / (windows·m) is the measured
+/// abandon rate.
+SubseqMatch FindBestMatch(const float* series, std::size_t n,
+                          const float* query, std::size_t m,
+                          UcrSubseqProfile* profile = nullptr);
+
+}  // namespace subseq
+}  // namespace sofa
+
+#endif  // SOFA_SUBSEQ_UCR_SUBSEQ_H_

@@ -1,0 +1,152 @@
+// Cache-line / SIMD aligned memory helpers.
+//
+// Data series matrices are stored in 64-byte aligned buffers so that AVX2 /
+// AVX-512 loads can use aligned instructions and rows do not straddle cache
+// lines more than necessary.
+
+#ifndef SOFA_UTIL_ALIGNED_H_
+#define SOFA_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "util/check.h"
+
+namespace sofa {
+
+/// Alignment (bytes) used for all numeric buffers; fits AVX-512 and the
+/// typical x86 cache line.
+inline constexpr std::size_t kBufferAlignment = 64;
+
+/// Rounds `n` up to the next multiple of `multiple` (must be a power of two).
+constexpr std::size_t RoundUp(std::size_t n, std::size_t multiple) {
+  return (n + multiple - 1) & ~(multiple - 1);
+}
+
+/// A minimal aligned, heap-allocated array of trivially-copyable T.
+///
+/// Unlike std::vector it guarantees kBufferAlignment alignment and never
+/// default-constructs elements on resize (contents of grown area are
+/// zero-initialized). Movable, copyable.
+template <typename T>
+class AlignedVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedVector requires trivially copyable element types");
+
+ public:
+  AlignedVector() = default;
+
+  explicit AlignedVector(std::size_t size) { resize(size); }
+
+  AlignedVector(const AlignedVector& other) { CopyFrom(other); }
+
+  AlignedVector& operator=(const AlignedVector& other) {
+    if (this != &other) {
+      Free();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  AlignedVector(AlignedVector&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+
+  AlignedVector& operator=(AlignedVector&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedVector() { Free(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) {
+    SOFA_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    SOFA_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  /// Resizes; newly exposed elements are zero-initialized.
+  void resize(std::size_t new_size) {
+    if (new_size > capacity_) {
+      Reallocate(new_size);
+    }
+    if (new_size > size_) {
+      std::memset(data_ + size_, 0, (new_size - size_) * sizeof(T));
+    }
+    size_ = new_size;
+  }
+
+  void assign(std::size_t count, const T& value) {
+    resize(count);
+    for (std::size_t i = 0; i < count; ++i) data_[i] = value;
+  }
+
+  void clear() { size_ = 0; }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) {
+      Reallocate(capacity_ == 0 ? 16 : capacity_ * 2);
+    }
+    data_[size_++] = value;
+  }
+
+ private:
+  void CopyFrom(const AlignedVector& other) {
+    data_ = nullptr;
+    size_ = capacity_ = 0;
+    if (other.size_ > 0) {
+      Reallocate(other.size_);
+      std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+      size_ = other.size_;
+    }
+  }
+
+  void Reallocate(std::size_t new_capacity) {
+    const std::size_t bytes =
+        RoundUp(new_capacity * sizeof(T), kBufferAlignment);
+    T* fresh = static_cast<T*>(std::aligned_alloc(kBufferAlignment, bytes));
+    SOFA_CHECK(fresh != nullptr) << "aligned_alloc of " << bytes << " bytes";
+    if (size_ > 0) {
+      std::memcpy(fresh, data_, size_ * sizeof(T));
+    }
+    std::free(data_);
+    data_ = fresh;
+    capacity_ = bytes / sizeof(T);
+  }
+
+  void Free() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = capacity_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace sofa
+
+#endif  // SOFA_UTIL_ALIGNED_H_

@@ -1,0 +1,65 @@
+// Contract-checking macros used throughout the library.
+//
+// The library does not use exceptions (Google style); programmer errors and
+// violated invariants abort with a message. SOFA_CHECK is always on,
+// SOFA_DCHECK compiles out in NDEBUG builds.
+
+#ifndef SOFA_UTIL_CHECK_H_
+#define SOFA_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace sofa {
+namespace internal {
+
+/// Prints a fatal check failure to stderr and aborts the process.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+/// Stream collector so call sites can write `SOFA_CHECK(x) << "context"`.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace sofa
+
+#define SOFA_CHECK(condition)                                        \
+  while (!(condition))                                               \
+  ::sofa::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define SOFA_CHECK_EQ(a, b) SOFA_CHECK((a) == (b))
+#define SOFA_CHECK_NE(a, b) SOFA_CHECK((a) != (b))
+#define SOFA_CHECK_LT(a, b) SOFA_CHECK((a) < (b))
+#define SOFA_CHECK_LE(a, b) SOFA_CHECK((a) <= (b))
+#define SOFA_CHECK_GT(a, b) SOFA_CHECK((a) > (b))
+#define SOFA_CHECK_GE(a, b) SOFA_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define SOFA_DCHECK(condition) \
+  while (false && !(condition)) \
+  ::sofa::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+#else
+#define SOFA_DCHECK(condition) SOFA_CHECK(condition)
+#endif
+
+#endif  // SOFA_UTIL_CHECK_H_

@@ -1,0 +1,97 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sofa {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& lane : state_) {
+    lane = SplitMix64(&sm);
+  }
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  SOFA_DCHECK(lo <= hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+std::uint64_t Rng::Below(std::uint64_t bound) {
+  SOFA_DCHECK(bound > 0);
+  // Lemire's nearly-divisionless bounded generation, rejection-free in the
+  // common case.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  while (true) {
+    const std::uint64_t r = Next();
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(r) * bound;
+    if (static_cast<std::uint64_t>(product) >= threshold) {
+      return static_cast<std::uint64_t>(product >> 64);
+    }
+  }
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box–Muller on two fresh uniforms; u is kept away from zero.
+  double u = 0.0;
+  do {
+    u = Uniform();
+  } while (u <= 0.0);
+  const double v = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u));
+  const double angle = 2.0 * M_PI * v;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+Rng Rng::Fork() {
+  // Two draws of the parent feed the child's seed; streams of parent and
+  // child subsequently never share state.
+  const std::uint64_t a = Next();
+  const std::uint64_t b = Next();
+  return Rng(a ^ Rotl(b, 32) ^ 0xa02b'dbf7'bb3c'0a7ULL);
+}
+
+}  // namespace sofa

@@ -1,0 +1,342 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace sofa {
+namespace stats {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    sum_sq += d * d;
+  }
+  return sum_sq / static_cast<double>(n - 1);
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  SOFA_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  const double pos = p / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Median(std::vector<double> values) {
+  return Percentile(std::move(values), 50.0);
+}
+
+double Min(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  return *std::max_element(values.begin(), values.end());
+}
+
+namespace {
+
+// Central moment of the given order.
+double CentralMoment(const std::vector<double>& values, int order) {
+  const double mean = Mean(values);
+  double sum = 0.0;
+  for (double v : values) {
+    sum += std::pow(v - mean, order);
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+double Skewness(const std::vector<double>& values) {
+  if (values.size() < 3) {
+    return 0.0;
+  }
+  const double m2 = CentralMoment(values, 2);
+  if (m2 <= 0.0) {
+    return 0.0;
+  }
+  return CentralMoment(values, 3) / std::pow(m2, 1.5);
+}
+
+double ExcessKurtosis(const std::vector<double>& values) {
+  if (values.size() < 4) {
+    return 0.0;
+  }
+  const double m2 = CentralMoment(values, 2);
+  if (m2 <= 0.0) {
+    return 0.0;
+  }
+  return CentralMoment(values, 4) / (m2 * m2) - 3.0;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  SOFA_CHECK_EQ(x.size(), y.size());
+  const std::size_t n = x.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double StdNormalCdf(double x) {
+  return 0.5 * std::erfc(-x * M_SQRT1_2);
+}
+
+double KsStatisticVsStdNormal(std::vector<double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  double ks = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double cdf = StdNormalCdf(values[i]);
+    const double empirical_hi = static_cast<double>(i + 1) / n;
+    const double empirical_lo = static_cast<double>(i) / n;
+    ks = std::max(ks, std::max(empirical_hi - cdf, cdf - empirical_lo));
+  }
+  return ks;
+}
+
+std::vector<double> FractionalRanks(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) {
+      ++j;
+    }
+    // Positions i..j (0-based) share the average 1-based rank.
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      ranks[order[k]] = avg_rank;
+    }
+    i = j + 1;
+  }
+  return ranks;
+}
+
+std::vector<double> AverageRanks(
+    const std::vector<std::vector<double>>& scores_per_method) {
+  const std::size_t methods = scores_per_method.size();
+  SOFA_CHECK(methods > 0);
+  const std::size_t observations = scores_per_method[0].size();
+  for (const auto& row : scores_per_method) {
+    SOFA_CHECK_EQ(row.size(), observations);
+  }
+  std::vector<double> sums(methods, 0.0);
+  std::vector<double> column(methods);
+  for (std::size_t obs = 0; obs < observations; ++obs) {
+    for (std::size_t m = 0; m < methods; ++m) {
+      column[m] = scores_per_method[m][obs];
+    }
+    const std::vector<double> ranks = FractionalRanks(column);
+    for (std::size_t m = 0; m < methods; ++m) {
+      sums[m] += ranks[m];
+    }
+  }
+  for (double& s : sums) {
+    s /= static_cast<double>(std::max<std::size_t>(1, observations));
+  }
+  return sums;
+}
+
+double WilcoxonSignedRankP(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  SOFA_CHECK_EQ(a.size(), b.size());
+  std::vector<double> diffs;
+  diffs.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d != 0.0) {
+      diffs.push_back(d);
+    }
+  }
+  const std::size_t n = diffs.size();
+  if (n < 1) {
+    return 1.0;
+  }
+  std::vector<double> abs_diffs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    abs_diffs[i] = std::fabs(diffs[i]);
+  }
+  const std::vector<double> ranks = FractionalRanks(abs_diffs);
+  double w_plus = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (diffs[i] > 0.0) {
+      w_plus += ranks[i];
+    }
+  }
+  const double nd = static_cast<double>(n);
+  const double mean_w = nd * (nd + 1.0) / 4.0;
+  // Tie correction: subtract sum(t^3 - t)/48 over tie groups of |diffs|.
+  double tie_term = 0.0;
+  {
+    std::vector<double> sorted_abs = abs_diffs;
+    std::sort(sorted_abs.begin(), sorted_abs.end());
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i;
+      while (j + 1 < n && sorted_abs[j + 1] == sorted_abs[i]) {
+        ++j;
+      }
+      const double t = static_cast<double>(j - i + 1);
+      tie_term += t * t * t - t;
+      i = j + 1;
+    }
+  }
+  const double var_w = nd * (nd + 1.0) * (2.0 * nd + 1.0) / 24.0 - tie_term / 48.0;
+  if (var_w <= 0.0) {
+    return 1.0;
+  }
+  // Continuity-corrected z statistic.
+  const double delta = w_plus - mean_w;
+  const double z = (delta - (delta > 0 ? 0.5 : delta < 0 ? -0.5 : 0.0)) /
+                   std::sqrt(var_w);
+  const double p = 2.0 * (1.0 - StdNormalCdf(std::fabs(z)));
+  return std::min(1.0, std::max(0.0, p));
+}
+
+std::vector<double> HolmAdjust(const std::vector<double>& p_values) {
+  const std::size_t m = p_values.size();
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return p_values[a] < p_values[b];
+  });
+  std::vector<double> adjusted(m, 0.0);
+  double running_max = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double scaled =
+        p_values[order[i]] * static_cast<double>(m - i);
+    running_max = std::max(running_max, std::min(1.0, scaled));
+    adjusted[order[i]] = running_max;
+  }
+  return adjusted;
+}
+
+CriticalDifferenceResult CriticalDifference(
+    const std::vector<std::vector<double>>& scores_per_method, double alpha) {
+  const std::size_t methods = scores_per_method.size();
+  CriticalDifferenceResult result;
+  result.mean_ranks = AverageRanks(scores_per_method);
+
+  // All pairwise Wilcoxon tests, Holm-adjusted jointly.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  std::vector<double> raw_p;
+  for (std::size_t i = 0; i < methods; ++i) {
+    for (std::size_t j = i + 1; j < methods; ++j) {
+      pairs.emplace_back(i, j);
+      raw_p.push_back(
+          WilcoxonSignedRankP(scores_per_method[i], scores_per_method[j]));
+    }
+  }
+  const std::vector<double> adj = HolmAdjust(raw_p);
+  result.pairwise_p.assign(methods, std::vector<double>(methods, 0.0));
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    const auto [i, j] = pairs[k];
+    result.pairwise_p[i][j] = adj[k];
+    result.pairwise_p[j][i] = adj[k];
+  }
+
+  // Build cliques the way CD diagrams draw bars: sort methods by mean rank;
+  // for each start, extend to the longest run whose *all* pairs are
+  // non-significant; keep maximal runs only.
+  std::vector<std::size_t> by_rank(methods);
+  std::iota(by_rank.begin(), by_rank.end(), std::size_t{0});
+  std::sort(by_rank.begin(), by_rank.end(), [&](std::size_t a, std::size_t b) {
+    return result.mean_ranks[a] < result.mean_ranks[b];
+  });
+  std::vector<std::vector<std::size_t>> cliques;
+  for (std::size_t start = 0; start < methods; ++start) {
+    std::size_t end = start;
+    for (std::size_t next = start + 1; next < methods; ++next) {
+      bool all_ns = true;
+      for (std::size_t k = start; k < next && all_ns; ++k) {
+        all_ns = result.pairwise_p[by_rank[k]][by_rank[next]] >= alpha;
+      }
+      if (!all_ns) {
+        break;
+      }
+      end = next;
+    }
+    if (end > start) {
+      // Drop runs contained in the previous (longer) run.
+      if (!cliques.empty()) {
+        const auto& prev = cliques.back();
+        const std::size_t prev_start = static_cast<std::size_t>(
+            std::find(by_rank.begin(), by_rank.end(), prev.front()) -
+            by_rank.begin());
+        const std::size_t prev_end = prev_start + prev.size() - 1;
+        if (start >= prev_start && end <= prev_end) {
+          continue;
+        }
+      }
+      std::vector<std::size_t> clique;
+      for (std::size_t k = start; k <= end; ++k) {
+        clique.push_back(by_rank[k]);
+      }
+      cliques.push_back(std::move(clique));
+    }
+  }
+  result.cliques = std::move(cliques);
+  return result;
+}
+
+}  // namespace stats
+}  // namespace sofa

@@ -1,0 +1,92 @@
+// Descriptive and inferential statistics used by the benchmark harnesses:
+// run-time summaries (mean/median/percentiles), the Fig. 13 correlation, the
+// Fig. 1 distribution diagnostics, and the Fig. 15 critical-difference
+// analysis (average ranks + Wilcoxon signed-rank with Holm correction).
+
+#ifndef SOFA_UTIL_STATS_H_
+#define SOFA_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sofa {
+namespace stats {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance; 0 for fewer than two values.
+double Variance(const std::vector<double>& values);
+
+/// Sample standard deviation.
+double StdDev(const std::vector<double>& values);
+
+/// Linear-interpolated percentile, p in [0, 100]. Input need not be sorted.
+double Percentile(std::vector<double> values, double p);
+
+/// Median (50th percentile).
+double Median(std::vector<double> values);
+
+/// Smallest / largest element; 0 for empty input.
+double Min(const std::vector<double>& values);
+double Max(const std::vector<double>& values);
+
+/// Standardized third moment; 0 for degenerate inputs.
+double Skewness(const std::vector<double>& values);
+
+/// Excess kurtosis (Normal == 0); 0 for degenerate inputs.
+double ExcessKurtosis(const std::vector<double>& values);
+
+/// Pearson product-moment correlation of two equal-length vectors.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Kolmogorov–Smirnov statistic of `values` against the standard Normal
+/// distribution N(0,1); the Fig. 1 (bottom) non-Gaussianity diagnostic.
+double KsStatisticVsStdNormal(std::vector<double> values);
+
+/// Standard normal CDF.
+double StdNormalCdf(double x);
+
+/// Fractional ranks of `values` (1 = smallest); ties get the average rank.
+std::vector<double> FractionalRanks(const std::vector<double>& values);
+
+/// Mean rank per method over a [methods][observations] score matrix where
+/// *lower scores are better* (ranks computed per observation column-wise).
+std::vector<double> AverageRanks(
+    const std::vector<std::vector<double>>& scores_per_method);
+
+/// Two-sided p-value of the Wilcoxon signed-rank test for paired samples,
+/// using the normal approximation with tie correction; pairs with zero
+/// difference are dropped (Wilcoxon's convention). Returns 1.0 if fewer
+/// than one non-zero pair remains.
+double WilcoxonSignedRankP(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// Holm step-down adjustment of p-values (returns adjusted p-values in the
+/// original order, clipped to 1).
+std::vector<double> HolmAdjust(const std::vector<double>& p_values);
+
+/// Result of the Fig. 15-style post-hoc analysis.
+struct CriticalDifferenceResult {
+  /// Mean rank per method (lower is better), original method order.
+  std::vector<double> mean_ranks;
+  /// Groups of method indices that are statistically indistinguishable
+  /// (maximal cliques of non-significant pairwise differences, as drawn by
+  /// the horizontal bars of a critical-difference diagram).
+  std::vector<std::vector<std::size_t>> cliques;
+  /// Holm-adjusted pairwise p-values, indexed [i][j] (symmetric).
+  std::vector<std::vector<double>> pairwise_p;
+};
+
+/// Runs the average-rank + Wilcoxon-Holm analysis over a
+/// [methods][observations] score matrix where lower scores are better.
+CriticalDifferenceResult CriticalDifference(
+    const std::vector<std::vector<double>>& scores_per_method,
+    double alpha = 0.05);
+
+}  // namespace stats
+}  // namespace sofa
+
+#endif  // SOFA_UTIL_STATS_H_

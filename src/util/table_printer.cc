@@ -1,0 +1,92 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace sofa {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SOFA_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  SOFA_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+          << row[c] << ' ';
+    }
+    out << "|\n";
+  };
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << "|" << std::string(widths[c] + 2, '-');
+  }
+  out << "|\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream out;
+  Print(out);
+  return out.str();
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string FormatSeconds(double seconds) {
+  std::ostringstream out;
+  out << std::fixed;
+  if (seconds < 1e-3) {
+    out << std::setprecision(1) << seconds * 1e6 << " us";
+  } else if (seconds < 1.0) {
+    out << std::setprecision(1) << seconds * 1e3 << " ms";
+  } else {
+    out << std::setprecision(2) << seconds << " s";
+  }
+  return out.str();
+}
+
+std::string FormatCount(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string result;
+  result.reserve(digits.size() + digits.size() / 3);
+  std::size_t leading = digits.size() % 3;
+  if (leading == 0) {
+    leading = 3;
+  }
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - leading) % 3 == 0 && i >= leading) {
+      result.push_back(',');
+    }
+    result.push_back(digits[i]);
+  }
+  return result;
+}
+
+}  // namespace sofa

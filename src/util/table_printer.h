@@ -1,0 +1,44 @@
+// Column-aligned plain-text tables; the bench harnesses use this to print
+// the paper's tables and figure series in a terminal-friendly form.
+
+#ifndef SOFA_UTIL_TABLE_PRINTER_H_
+#define SOFA_UTIL_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sofa {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the table (header, separator, rows) to `out`.
+  void Print(std::ostream& out) const;
+
+  /// Returns the rendered table as a string.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` fractional digits.
+std::string FormatDouble(double value, int precision = 2);
+
+/// Formats seconds as "123.4 ms" / "1.23 s" style human text.
+std::string FormatSeconds(double seconds);
+
+/// Formats a count with thousands separators ("1,017,586,504").
+std::string FormatCount(std::uint64_t value);
+
+}  // namespace sofa
+
+#endif  // SOFA_UTIL_TABLE_PRINTER_H_

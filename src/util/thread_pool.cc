@@ -1,0 +1,133 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sofa {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = std::max<std::size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& thread : threads_) {
+    thread.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  SOFA_DCHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutting down and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+std::size_t HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ParallelRun(ThreadPool* pool, std::size_t num_workers,
+                 const std::function<void(std::size_t)>& fn) {
+  SOFA_CHECK(pool != nullptr);
+  SOFA_CHECK(num_workers > 0);
+  if (num_workers == 1) {
+    fn(0);  // inline fast path: no wakeup latency for serial execution
+    return;
+  }
+  std::atomic<std::size_t> remaining(num_workers);
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    pool->Submit([&, w] {
+      fn(w);
+      if (remaining.fetch_sub(1) == 1) {
+        std::unique_lock<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t count,
+                 const std::function<void(std::size_t, std::size_t,
+                                          std::size_t)>& fn) {
+  SOFA_CHECK(pool != nullptr);
+  if (count == 0) {
+    return;
+  }
+  const std::size_t workers = pool->size();
+  const std::size_t chunk = (count + workers - 1) / workers;
+  ParallelRun(pool, workers, [&](std::size_t w) {
+    const std::size_t begin = std::min(count, w * chunk);
+    const std::size_t end = std::min(count, begin + chunk);
+    if (begin < end) {
+      fn(begin, end, w);
+    }
+  });
+}
+
+void DynamicParallelFor(ThreadPool* pool, std::size_t count, std::size_t grain,
+                        const std::function<void(std::size_t, std::size_t,
+                                                 std::size_t)>& fn) {
+  SOFA_CHECK(pool != nullptr);
+  SOFA_CHECK(grain > 0);
+  if (count == 0) {
+    return;
+  }
+  std::atomic<std::size_t> next(0);
+  ParallelRun(pool, pool->size(), [&](std::size_t w) {
+    while (true) {
+      const std::size_t begin = next.fetch_add(grain);
+      if (begin >= count) {
+        return;
+      }
+      fn(begin, std::min(count, begin + grain), w);
+    }
+  });
+}
+
+}  // namespace sofa

@@ -1,0 +1,81 @@
+// A fixed-size worker pool plus the parallel-for helpers used by the index
+// builder, the query engine and the scan baselines.
+//
+// MESSI-style engines want two styles of parallelism:
+//   * "run this closure once per worker" (ParallelRun) — e.g. query workers
+//     that loop over shared priority queues, and
+//   * "split this range across workers" (ParallelFor / DynamicParallelFor) —
+//     e.g. bulk summarization of N series.
+
+#ifndef SOFA_UTIL_THREAD_POOL_H_
+#define SOFA_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sofa {
+
+/// Fixed-size thread pool with a FIFO task queue.
+///
+/// Thread-safe. Tasks may submit further tasks. Wait() blocks until the
+/// queue is drained and all running tasks finished.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (minimum 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return threads_.size(); }
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Number of hardware threads (at least 1).
+std::size_t HardwareThreads();
+
+/// Runs `fn(worker_id)` once on each of `num_workers` pool workers and waits
+/// for all of them.
+void ParallelRun(ThreadPool* pool, std::size_t num_workers,
+                 const std::function<void(std::size_t worker)>& fn);
+
+/// Statically splits [0, count) into one contiguous chunk per worker and
+/// runs `fn(begin, end, worker)` in parallel. Chunks may be empty.
+void ParallelFor(ThreadPool* pool, std::size_t count,
+                 const std::function<void(std::size_t begin, std::size_t end,
+                                          std::size_t worker)>& fn);
+
+/// Dynamically hands out chunks of `grain` indices from [0, count) to
+/// workers; good for skewed per-item costs (e.g. per-subtree build).
+void DynamicParallelFor(
+    ThreadPool* pool, std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t begin, std::size_t end,
+                             std::size_t worker)>& fn);
+
+}  // namespace sofa
+
+#endif  // SOFA_UTIL_THREAD_POOL_H_

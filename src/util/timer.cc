@@ -1,0 +1,11 @@
+#include "util/timer.h"
+
+namespace sofa {
+
+double WallTimer::Seconds() const {
+  const auto elapsed = Clock::now() - start_;
+  return std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+      .count();
+}
+
+}  // namespace sofa

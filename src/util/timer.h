@@ -1,0 +1,39 @@
+// Wall-clock timing helpers for the benchmark harnesses.
+
+#ifndef SOFA_UTIL_TIMER_H_
+#define SOFA_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace sofa {
+
+/// High-resolution wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double Seconds() const;
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` and returns its wall-clock duration in seconds.
+template <typename Fn>
+double TimeIt(Fn&& fn) {
+  WallTimer timer;
+  fn();
+  return timer.Seconds();
+}
+
+}  // namespace sofa
+
+#endif  // SOFA_UTIL_TIMER_H_

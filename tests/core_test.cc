@@ -1,0 +1,285 @@
+// Unit tests for the core substrate: z-normalization, distance kernels
+// (scalar vs AVX2 vs high-precision oracle), dataset container.
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/znorm.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace sofa {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+std::vector<float> RandomSeries(Rng* rng, std::size_t n, double scale = 1.0) {
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = static_cast<float>(rng->Gaussian(0.0, scale));
+  }
+  return v;
+}
+
+double ReferenceSquaredEuclidean(const float* a, const float* b,
+                                 std::size_t n) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    sum += d * d;
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------- znorm
+
+TEST(ZNormTest, MeanStdOfKnownSeries) {
+  const float v[] = {1.0f, 2.0f, 3.0f, 4.0f};
+  const MeanStd ms = ComputeMeanStd(v, 4);
+  EXPECT_FLOAT_EQ(ms.mean, 2.5f);
+  EXPECT_NEAR(ms.std, std::sqrt(1.25f), 1e-6f);
+}
+
+TEST(ZNormTest, NormalizedSeriesHasZeroMeanUnitStd) {
+  Rng rng(1);
+  auto v = RandomSeries(&rng, 257, 5.0);
+  for (auto& x : v) {
+    x += 10.0f;
+  }
+  ZNormalize(v.data(), v.size());
+  const MeanStd ms = ComputeMeanStd(v.data(), v.size());
+  EXPECT_NEAR(ms.mean, 0.0f, 1e-5f);
+  EXPECT_NEAR(ms.std, 1.0f, 1e-4f);
+}
+
+TEST(ZNormTest, ConstantSeriesBecomesZeros) {
+  std::vector<float> v(64, 42.0f);
+  ZNormalize(v.data(), v.size());
+  for (float x : v) {
+    EXPECT_EQ(x, 0.0f);
+  }
+}
+
+TEST(ZNormTest, CopyMatchesInPlace) {
+  Rng rng(2);
+  const auto original = RandomSeries(&rng, 100, 3.0);
+  auto in_place = original;
+  ZNormalize(in_place.data(), in_place.size());
+  std::vector<float> copied(original.size());
+  ZNormalizeCopy(original.data(), copied.data(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(in_place[i], copied[i]);
+  }
+}
+
+TEST(ZNormTest, ZNormalizedEuclideanEqualsPlainEuclideanAfterZnorm) {
+  // The defining property of the pipeline: z-ED(A,B) == ED(znorm A, znorm B).
+  Rng rng(3);
+  const std::size_t n = 128;
+  auto a = RandomSeries(&rng, n, 2.0);
+  auto b = RandomSeries(&rng, n, 7.0);
+  // Direct z-ED.
+  const MeanStd ma = ComputeMeanStd(a.data(), n);
+  const MeanStd mb = ComputeMeanStd(b.data(), n);
+  double direct = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = (a[i] - ma.mean) / ma.std - (b[i] - mb.mean) / mb.std;
+    direct += d * d;
+  }
+  ZNormalize(a.data(), n);
+  ZNormalize(b.data(), n);
+  EXPECT_NEAR(SquaredEuclidean(a.data(), b.data(), n), direct,
+              1e-3 * direct + 1e-4);
+}
+
+// ---------------------------------------------------------------- distance
+
+class DistanceLengthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DistanceLengthTest, ScalarMatchesReference) {
+  Rng rng(GetParam());
+  const std::size_t n = GetParam();
+  const auto a = RandomSeries(&rng, n);
+  const auto b = RandomSeries(&rng, n);
+  const double ref = ReferenceSquaredEuclidean(a.data(), b.data(), n);
+  EXPECT_NEAR(scalar::SquaredEuclidean(a.data(), b.data(), n), ref,
+              1e-4 * (ref + 1.0));
+}
+
+#if defined(SOFA_HAVE_AVX2)
+TEST_P(DistanceLengthTest, Avx2MatchesScalar) {
+  Rng rng(GetParam() + 1000);
+  const std::size_t n = GetParam();
+  const auto a = RandomSeries(&rng, n);
+  const auto b = RandomSeries(&rng, n);
+  const float s = scalar::SquaredEuclidean(a.data(), b.data(), n);
+  const float v = avx2::SquaredEuclidean(a.data(), b.data(), n);
+  EXPECT_NEAR(v, s, 1e-4f * (s + 1.0f));
+}
+
+TEST_P(DistanceLengthTest, Avx2DotProductMatchesScalar) {
+  Rng rng(GetParam() + 2000);
+  const std::size_t n = GetParam();
+  const auto a = RandomSeries(&rng, n);
+  const auto b = RandomSeries(&rng, n);
+  const float s = scalar::DotProduct(a.data(), b.data(), n);
+  const float v = avx2::DotProduct(a.data(), b.data(), n);
+  EXPECT_NEAR(v, s, 1e-3f * (std::fabs(s) + 1.0f));
+}
+#endif  // SOFA_HAVE_AVX2
+
+TEST_P(DistanceLengthTest, EarlyAbandonWithInfiniteBoundIsExact) {
+  Rng rng(GetParam() + 3000);
+  const std::size_t n = GetParam();
+  const auto a = RandomSeries(&rng, n);
+  const auto b = RandomSeries(&rng, n);
+  const float exact = SquaredEuclidean(a.data(), b.data(), n);
+  const float ea = SquaredEuclideanEarlyAbandon(a.data(), b.data(), n, kInf);
+  EXPECT_NEAR(ea, exact, 1e-4f * (exact + 1.0f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, DistanceLengthTest,
+                         ::testing::Values(1, 2, 3, 7, 8, 15, 16, 17, 31, 32,
+                                           63, 96, 100, 128, 255, 256, 1000));
+
+TEST(DistanceTest, IdenticalSeriesHaveZeroDistance) {
+  Rng rng(4);
+  const auto a = RandomSeries(&rng, 256);
+  EXPECT_EQ(SquaredEuclidean(a.data(), a.data(), 256), 0.0f);
+  EXPECT_EQ(SquaredEuclideanEarlyAbandon(a.data(), a.data(), 256, 1.0f), 0.0f);
+}
+
+TEST(DistanceTest, EarlyAbandonStopsAboveBound) {
+  // Two series that differ strongly from the first element on: the partial
+  // sum exceeds the bound quickly and the returned value must exceed it.
+  const std::size_t n = 256;
+  std::vector<float> a(n, 0.0f);
+  std::vector<float> b(n, 10.0f);
+  const float result =
+      SquaredEuclideanEarlyAbandon(a.data(), b.data(), n, 50.0f);
+  EXPECT_GT(result, 50.0f);
+  // And the abandoned partial sum is at most the exact distance.
+  EXPECT_LE(result, SquaredEuclidean(a.data(), b.data(), n) + 1e-3f);
+}
+
+TEST(DistanceTest, EarlyAbandonNeverUnderestimatesDecision) {
+  // Property: for random bounds, "abandoned" implies exact > bound,
+  // and "not abandoned" implies result == exact.
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 64 + rng.Below(192);
+    const auto a = RandomSeries(&rng, n);
+    const auto b = RandomSeries(&rng, n);
+    const float exact = SquaredEuclidean(a.data(), b.data(), n);
+    const float bound = static_cast<float>(rng.Uniform(0.0, exact * 1.5));
+    const float result =
+        SquaredEuclideanEarlyAbandon(a.data(), b.data(), n, bound);
+    if (result > bound) {
+      EXPECT_GT(exact, bound * (1.0f - 1e-5f));
+    } else {
+      EXPECT_NEAR(result, exact, 1e-4f * (exact + 1.0f));
+    }
+  }
+}
+
+TEST(DistanceTest, SquaredNormMatchesSelfDot) {
+  Rng rng(6);
+  const auto a = RandomSeries(&rng, 200);
+  EXPECT_NEAR(SquaredNorm(a.data(), 200),
+              DotProduct(a.data(), a.data(), 200), 1e-3f);
+}
+
+TEST(DistanceTest, DotProductIdentity) {
+  // ‖a-b‖² == ‖a‖² + ‖b‖² − 2·a·b, the flat-index formulation.
+  Rng rng(7);
+  const std::size_t n = 128;
+  const auto a = RandomSeries(&rng, n);
+  const auto b = RandomSeries(&rng, n);
+  const float direct = SquaredEuclidean(a.data(), b.data(), n);
+  const float via_dot = SquaredNorm(a.data(), n) + SquaredNorm(b.data(), n) -
+                        2.0f * DotProduct(a.data(), b.data(), n);
+  EXPECT_NEAR(direct, via_dot, 1e-3f * (direct + 1.0f));
+}
+
+// ---------------------------------------------------------------- dataset
+
+TEST(DatasetTest, AppendStoresRows) {
+  Dataset ds(4);
+  const float row0[] = {1, 2, 3, 4};
+  const float row1[] = {5, 6, 7, 8};
+  ds.Append(row0);
+  ds.Append(row1);
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.length(), 4u);
+  EXPECT_EQ(ds.row(0)[0], 1.0f);
+  EXPECT_EQ(ds.row(1)[3], 8.0f);
+}
+
+TEST(DatasetTest, ResizeZeroFills) {
+  Dataset ds(8);
+  ds.Resize(10);
+  EXPECT_EQ(ds.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      ASSERT_EQ(ds.row(i)[j], 0.0f);
+    }
+  }
+}
+
+TEST(DatasetTest, RowsAreContiguous) {
+  Dataset ds(2, 16);
+  EXPECT_EQ(ds.row(1), ds.row(0) + 16);
+  EXPECT_EQ(ds.data(), ds.row(0));
+}
+
+TEST(DatasetTest, MemoryBytes) {
+  Dataset ds(10, 100);
+  EXPECT_EQ(ds.MemoryBytes(), 10u * 100u * sizeof(float));
+}
+
+TEST(DatasetTest, ParallelZNormMatchesSerial) {
+  Rng rng(8);
+  Dataset serial(64);
+  for (int i = 0; i < 100; ++i) {
+    const auto row = RandomSeries(&rng, 64, 4.0);
+    serial.Append(row.data());
+  }
+  Dataset parallel_ds(64);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    parallel_ds.Append(serial.row(i));
+  }
+  serial.ZNormalizeAll();
+  ThreadPool pool(4);
+  parallel_ds.ZNormalizeAll(&pool);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    for (std::size_t j = 0; j < 64; ++j) {
+      ASSERT_EQ(serial.row(i)[j], parallel_ds.row(i)[j]);
+    }
+  }
+}
+
+TEST(DatasetTest, ZNormalizeAllNormalizesEveryRow) {
+  Rng rng(9);
+  Dataset ds(96);
+  for (int i = 0; i < 50; ++i) {
+    auto row = RandomSeries(&rng, 96, 3.0);
+    for (auto& x : row) {
+      x += 7.0f;
+    }
+    ds.Append(row.data());
+  }
+  ds.ZNormalizeAll();
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const MeanStd ms = ComputeMeanStd(ds.row(i), ds.length());
+    ASSERT_NEAR(ms.mean, 0.0f, 1e-5f);
+    ASSERT_NEAR(ms.std, 1.0f, 1e-4f);
+  }
+}
+
+}  // namespace
+}  // namespace sofa

@@ -1,0 +1,401 @@
+// Tests for the dataset substrate: determinism, normalization, the
+// per-dataset spectral profiles that drive the paper's results, and the
+// UCR-like archive.
+
+#include <cmath>
+#include <complex>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/znorm.h"
+#include "datagen/datasets.h"
+#include "datagen/seismic.h"
+#include "datagen/spectral.h"
+#include "datagen/ucr_archive.h"
+#include "datagen/vector_data.h"
+#include "dft/real_dft.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace sofa {
+namespace datagen {
+namespace {
+
+// Mean spectral centroid (power-weighted mean normalized frequency) over a
+// dataset — the "how high-frequency is this data" statistic.
+double SpectralCentroid(const Dataset& data, std::size_t max_series = 200) {
+  const std::size_t n = data.length();
+  dft::RealDftPlan plan(n);
+  dft::RealDftPlan::Scratch scratch;
+  std::vector<std::complex<float>> coeffs(plan.num_coefficients());
+  double weighted = 0.0;
+  double total = 0.0;
+  const std::size_t count = std::min(max_series, data.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    plan.Transform(data.row(i), coeffs.data(), &scratch);
+    for (std::size_t k = 1; k < plan.num_coefficients(); ++k) {
+      const double power = std::norm(std::complex<double>(
+          coeffs[k].real(), coeffs[k].imag()));
+      const double f = static_cast<double>(k) / static_cast<double>(n);
+      weighted += f * power;
+      total += power;
+    }
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+// ---------------------------------------------------------------- spectral
+
+TEST(SpectralShaperTest, OutputIsZNormalized) {
+  SpectralShaper shaper(128);
+  Rng rng(1);
+  std::vector<float> series(128);
+  shaper.Generate(FlatEnvelope(), &rng, series.data());
+  const MeanStd ms = ComputeMeanStd(series.data(), 128);
+  EXPECT_NEAR(ms.mean, 0.0f, 1e-5f);
+  EXPECT_NEAR(ms.std, 1.0f, 1e-4f);
+}
+
+TEST(SpectralShaperTest, BandPassConcentratesEnergy) {
+  const std::size_t n = 256;
+  SpectralShaper shaper(n);
+  Rng rng(2);
+  Dataset ds(n);
+  std::vector<float> series(n);
+  for (int i = 0; i < 50; ++i) {
+    shaper.Generate(BandPassEnvelope(0.3, 0.02), &rng, series.data());
+    ds.Append(series.data());
+  }
+  EXPECT_NEAR(SpectralCentroid(ds), 0.3, 0.03);
+}
+
+TEST(SpectralShaperTest, PowerLawSkewsLow) {
+  const std::size_t n = 256;
+  SpectralShaper shaper(n);
+  Rng rng(3);
+  Dataset red(n);
+  Dataset white(n);
+  std::vector<float> series(n);
+  for (int i = 0; i < 50; ++i) {
+    shaper.Generate(PowerLawEnvelope(2.0), &rng, series.data());
+    red.Append(series.data());
+    shaper.Generate(FlatEnvelope(), &rng, series.data());
+    white.Append(series.data());
+  }
+  EXPECT_LT(SpectralCentroid(red), 0.1);
+  EXPECT_NEAR(SpectralCentroid(white), 0.25, 0.05);
+}
+
+TEST(SpectralShaperTest, HighPassSkewsHigh) {
+  const std::size_t n = 128;
+  SpectralShaper shaper(n);
+  Rng rng(4);
+  Dataset ds(n);
+  std::vector<float> series(n);
+  for (int i = 0; i < 50; ++i) {
+    shaper.Generate(HighPassEnvelope(0.3, 0.03), &rng, series.data());
+    ds.Append(series.data());
+  }
+  EXPECT_GT(SpectralCentroid(ds), 0.3);
+}
+
+TEST(SpectralShaperTest, NonPowerOfTwoLengths) {
+  for (const std::size_t n : {96u, 100u}) {
+    SpectralShaper shaper(n);
+    Rng rng(5);
+    std::vector<float> series(n);
+    shaper.Generate(PowerLawEnvelope(1.0), &rng, series.data());
+    const MeanStd ms = ComputeMeanStd(series.data(), n);
+    EXPECT_NEAR(ms.std, 1.0f, 1e-3f);
+  }
+}
+
+// ---------------------------------------------------------------- seismic
+
+TEST(SeismicTest, RickerWaveletShape) {
+  float wavelet[21];
+  RickerWavelet(0.25, 10, wavelet);
+  // Peak of 1 at the center, symmetric, negative side lobes.
+  EXPECT_FLOAT_EQ(wavelet[10], 1.0f);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(wavelet[i], wavelet[20 - i], 1e-6f);
+  }
+  EXPECT_LT(wavelet[13], 0.0f);  // side lobe
+}
+
+TEST(SeismicTest, TraceIsZNormalized) {
+  SeismicParams params;
+  SeismicGenerator gen(256, params);
+  Rng rng(6);
+  std::vector<float> trace(256);
+  gen.Generate(&rng, false, trace.data());
+  const MeanStd ms = ComputeMeanStd(trace.data(), 256);
+  EXPECT_NEAR(ms.mean, 0.0f, 1e-5f);
+  EXPECT_NEAR(ms.std, 1.0f, 1e-4f);
+}
+
+TEST(SeismicTest, DominantFrequencyControlsSpectrum) {
+  Dataset low(256);
+  Dataset high(256);
+  std::vector<float> trace(256);
+  {
+    SeismicParams p;
+    p.dominant_freq = 0.05;
+    SeismicGenerator gen(256, p);
+    Rng rng(7);
+    for (int i = 0; i < 60; ++i) {
+      gen.Generate(&rng, false, trace.data());
+      low.Append(trace.data());
+    }
+  }
+  {
+    SeismicParams p;
+    p.dominant_freq = 0.38;
+    p.noise_beta = 0.2;
+    SeismicGenerator gen(256, p);
+    Rng rng(8);
+    for (int i = 0; i < 60; ++i) {
+      gen.Generate(&rng, false, trace.data());
+      high.Append(trace.data());
+    }
+  }
+  EXPECT_GT(SpectralCentroid(high), SpectralCentroid(low) + 0.1);
+}
+
+TEST(SeismicTest, AlignedOnsetIsDeterministicPosition) {
+  // With aligned_onset the energy burst must sit at the same place in
+  // every trace; measure via the position of the maximum |amplitude|.
+  SeismicParams p;
+  p.noise_level = 0.05;  // make the arrival dominate
+  SeismicGenerator gen(256, p);
+  Rng rng(9);
+  std::vector<float> trace(256);
+  std::vector<double> peak_positions;
+  for (int i = 0; i < 20; ++i) {
+    gen.Generate(&rng, true, trace.data());
+    std::size_t arg_max = 0;
+    for (std::size_t t = 1; t < 256; ++t) {
+      if (std::fabs(trace[t]) > std::fabs(trace[arg_max])) {
+        arg_max = t;
+      }
+    }
+    peak_positions.push_back(static_cast<double>(arg_max));
+  }
+  // S arrival (the strongest) varies with its random delay but stays in a
+  // narrow band after the fixed P onset at 0.25·n = 64.
+  EXPECT_GT(stats::Min(peak_positions), 60.0);
+  EXPECT_LT(stats::Max(peak_positions), 160.0);
+}
+
+// ---------------------------------------------------------------- vectors
+
+TEST(VectorDataTest, SiftLikeIsZNormalizedAndSkewed) {
+  SiftLikeGenerator gen(128, 8);
+  Rng rng(10);
+  std::vector<float> v(128);
+  std::vector<double> all_values;
+  for (int i = 0; i < 50; ++i) {
+    gen.Generate(&rng, v.data());
+    const MeanStd ms = ComputeMeanStd(v.data(), 128);
+    ASSERT_NEAR(ms.mean, 0.0f, 1e-5f);
+    ASSERT_NEAR(ms.std, 1.0f, 1e-4f);
+    for (float x : v) {
+      all_values.push_back(x);
+    }
+  }
+  // Right-skewed like real SIFT histograms (Fig. 1 bottom, SIFT1b panel).
+  EXPECT_GT(stats::Skewness(all_values), 0.5);
+}
+
+TEST(VectorDataTest, SiftLikeHasHighFrequencyVariance) {
+  SiftLikeGenerator gen(128, 8);
+  Rng rng(11);
+  Dataset ds(128);
+  std::vector<float> v(128);
+  for (int i = 0; i < 60; ++i) {
+    gen.Generate(&rng, v.data());
+    ds.Append(v.data());
+  }
+  EXPECT_GT(SpectralCentroid(ds), 0.15);
+}
+
+TEST(VectorDataTest, DeepLikeIsSmooth) {
+  DeepLikeGenerator gen(96, 24, 42);
+  Rng rng(12);
+  Dataset ds(96);
+  std::vector<float> v(96);
+  for (int i = 0; i < 60; ++i) {
+    gen.Generate(&rng, v.data());
+    ds.Append(v.data());
+  }
+  EXPECT_LT(SpectralCentroid(ds), 0.12);
+}
+
+TEST(VectorDataTest, DeepLikeMixingFixedPerDatasetSeed) {
+  DeepLikeGenerator a(96, 8, 7);
+  DeepLikeGenerator b(96, 8, 7);
+  Rng rng_a(13);
+  Rng rng_b(13);
+  std::vector<float> va(96);
+  std::vector<float> vb(96);
+  a.Generate(&rng_a, va.data());
+  b.Generate(&rng_b, vb.data());
+  for (std::size_t i = 0; i < 96; ++i) {
+    ASSERT_EQ(va[i], vb[i]);
+  }
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(DatasetRegistryTest, Has17DatasetsMatchingTableI) {
+  const auto& specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), 17u);
+  std::uint64_t total = 0;
+  for (const auto& spec : specs) {
+    EXPECT_GE(spec.series_length, 96u);
+    EXPECT_LE(spec.series_length, 256u);
+    total += spec.paper_count;
+  }
+  // Table I: 1,017,586,504 series in total.
+  EXPECT_EQ(total, 1017586504ULL);
+}
+
+TEST(DatasetRegistryTest, FindByNameCaseInsensitive) {
+  EXPECT_NE(FindDatasetSpec("LenDB"), nullptr);
+  EXPECT_NE(FindDatasetSpec("lendb"), nullptr);
+  EXPECT_NE(FindDatasetSpec("SIFT1B"), nullptr);
+  EXPECT_EQ(FindDatasetSpec("nope"), nullptr);
+}
+
+TEST(DatasetRegistryTest, SeriesLengthsMatchTableI) {
+  EXPECT_EQ(FindDatasetSpec("BigANN")->series_length, 100u);
+  EXPECT_EQ(FindDatasetSpec("Deep1b")->series_length, 96u);
+  EXPECT_EQ(FindDatasetSpec("SALD")->series_length, 128u);
+  EXPECT_EQ(FindDatasetSpec("SIFT1b")->series_length, 128u);
+  EXPECT_EQ(FindDatasetSpec("SCEDC")->series_length, 256u);
+}
+
+TEST(DatasetRegistryTest, GenerationDeterministicAcrossThreadCounts) {
+  const DatasetSpec* spec = FindDatasetSpec("Iquique");
+  GenerateOptions options;
+  options.count = 100;
+  options.num_queries = 10;
+  const LabeledDataset serial = MakeDataset(*spec, options);
+  ThreadPool pool(4);
+  const LabeledDataset parallel = MakeDataset(*spec, options, &pool);
+  ASSERT_EQ(serial.data.size(), parallel.data.size());
+  for (std::size_t i = 0; i < serial.data.size(); ++i) {
+    for (std::size_t t = 0; t < serial.data.length(); ++t) {
+      ASSERT_EQ(serial.data.row(i)[t], parallel.data.row(i)[t]);
+    }
+  }
+  for (std::size_t i = 0; i < serial.queries.size(); ++i) {
+    for (std::size_t t = 0; t < serial.queries.length(); ++t) {
+      ASSERT_EQ(serial.queries.row(i)[t], parallel.queries.row(i)[t]);
+    }
+  }
+}
+
+TEST(DatasetRegistryTest, QueriesDifferFromIndexedData) {
+  GenerateOptions options;
+  options.count = 50;
+  options.num_queries = 50;
+  const LabeledDataset ds = MakeDatasetByName("ETHZ", options);
+  // Same seed space would produce identical rows; query space is disjoint.
+  for (std::size_t t = 0; t < ds.data.length(); ++t) {
+    if (ds.data.row(0)[t] != ds.queries.row(0)[t]) {
+      return;
+    }
+  }
+  FAIL() << "query 0 identical to series 0";
+}
+
+TEST(DatasetRegistryTest, HighFrequencyDatasetsHaveHigherCentroid) {
+  // The designed spread behind Figs. 12/13: LenDB ≫ PNW in frequency.
+  GenerateOptions options;
+  options.count = 100;
+  options.num_queries = 2;
+  const auto lendb = MakeDatasetByName("LenDB", options);
+  const auto pnw = MakeDatasetByName("PNW", options);
+  EXPECT_GT(SpectralCentroid(lendb.data), SpectralCentroid(pnw.data) + 0.1);
+}
+
+TEST(DatasetRegistryTest, AllDatasetsGenerateZNormalizedSeries) {
+  GenerateOptions options;
+  options.count = 5;
+  options.num_queries = 2;
+  for (const auto& spec : AllDatasetSpecs()) {
+    const LabeledDataset ds = MakeDataset(spec, options);
+    ASSERT_EQ(ds.data.size(), 5u);
+    ASSERT_EQ(ds.queries.size(), 2u);
+    for (std::size_t i = 0; i < ds.data.size(); ++i) {
+      const MeanStd ms = ComputeMeanStd(ds.data.row(i), ds.data.length());
+      ASSERT_NEAR(ms.mean, 0.0f, 1e-4f) << spec.name;
+      ASSERT_NEAR(ms.std, 1.0f, 1e-3f) << spec.name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- archive
+
+TEST(UcrArchiveTest, Generates24Datasets) {
+  UcrArchiveOptions options;
+  options.train_per_dataset = 10;
+  options.test_per_dataset = 4;
+  const auto archive = MakeUcrArchiveLike(options);
+  ASSERT_EQ(archive.size(), 24u);
+  std::set<std::string> names;
+  for (const auto& ds : archive) {
+    EXPECT_EQ(ds.train.size(), 10u);
+    EXPECT_EQ(ds.test.size(), 4u);
+    EXPECT_EQ(ds.train.length(), ds.test.length());
+    EXPECT_TRUE(names.insert(ds.name).second) << "duplicate " << ds.name;
+  }
+}
+
+TEST(UcrArchiveTest, SeriesAreZNormalized) {
+  UcrArchiveOptions options;
+  options.train_per_dataset = 5;
+  options.test_per_dataset = 2;
+  for (const auto& ds : MakeUcrArchiveLike(options)) {
+    for (std::size_t i = 0; i < ds.train.size(); ++i) {
+      const MeanStd ms = ComputeMeanStd(ds.train.row(i), ds.train.length());
+      ASSERT_NEAR(ms.mean, 0.0f, 1e-4f) << ds.name;
+      // Constant series are legal (flat classes) but rare.
+      ASSERT_LE(ms.std, 1.01f) << ds.name;
+    }
+  }
+}
+
+TEST(UcrArchiveTest, DeterministicPerSeed) {
+  UcrArchiveOptions options;
+  options.train_per_dataset = 3;
+  options.test_per_dataset = 2;
+  const auto a = MakeUcrArchiveLike(options);
+  const auto b = MakeUcrArchiveLike(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    for (std::size_t i = 0; i < a[d].train.size(); ++i) {
+      for (std::size_t t = 0; t < a[d].train.length(); ++t) {
+        ASSERT_EQ(a[d].train.row(i)[t], b[d].train.row(i)[t]);
+      }
+    }
+  }
+}
+
+TEST(UcrArchiveTest, LengthsVaryAcrossArchive) {
+  UcrArchiveOptions options;
+  options.train_per_dataset = 2;
+  options.test_per_dataset = 1;
+  std::set<std::size_t> lengths;
+  for (const auto& ds : MakeUcrArchiveLike(options)) {
+    lengths.insert(ds.train.length());
+  }
+  EXPECT_GE(lengths.size(), 3u);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace sofa

@@ -1,0 +1,318 @@
+// Tests for the DFT substrate: FFT vs the naive O(n²) oracle, Bluestein for
+// awkward lengths, inverse round trips, and the Parseval normalization that
+// underpins the DFT lower bound (paper Eq. 1).
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/znorm.h"
+#include "dft/fft.h"
+#include "dft/naive_dft.h"
+#include "dft/real_dft.h"
+#include "util/rng.h"
+
+namespace sofa {
+namespace dft {
+namespace {
+
+std::vector<float> RandomSeries(Rng* rng, std::size_t n) {
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = static_cast<float>(rng->Gaussian());
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------- helpers
+
+TEST(FftHelpersTest, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(256));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(96));
+  EXPECT_FALSE(IsPowerOfTwo(100));
+}
+
+TEST(FftHelpersTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(96), 128u);
+  EXPECT_EQ(NextPowerOfTwo(129), 256u);
+}
+
+// ---------------------------------------------------------------- Fft
+
+class FftLengthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftLengthTest, ForwardMatchesNaive) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  const auto series = RandomSeries(&rng, n);
+
+  std::vector<std::complex<double>> expected(n);
+  NaiveDft(series.data(), n, expected.data());
+
+  std::vector<std::complex<double>> actual(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    actual[t] = {static_cast<double>(series[t]), 0.0};
+  }
+  Fft fft(n);
+  Fft::Scratch scratch;
+  fft.Forward(actual.data(), &scratch);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    ASSERT_NEAR(actual[k].real(), expected[k].real(), 1e-7 * (n + 1))
+        << "k=" << k;
+    ASSERT_NEAR(actual[k].imag(), expected[k].imag(), 1e-7 * (n + 1))
+        << "k=" << k;
+  }
+}
+
+TEST_P(FftLengthTest, InverseRoundTrip) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 77);
+  std::vector<std::complex<double>> data(n);
+  for (auto& z : data) {
+    z = {rng.Gaussian(), rng.Gaussian()};
+  }
+  const auto original = data;
+  Fft fft(n);
+  Fft::Scratch scratch;
+  fft.Forward(data.data(), &scratch);
+  fft.Inverse(data.data(), &scratch);
+  for (std::size_t t = 0; t < n; ++t) {
+    ASSERT_NEAR(data[t].real(), original[t].real(), 1e-9 * (n + 1));
+    ASSERT_NEAR(data[t].imag(), original[t].imag(), 1e-9 * (n + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftLengthTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 16, 31, 32,
+                                           45, 64, 96, 97, 100, 128, 255,
+                                           256));
+
+TEST(FftTest, LinearityHolds) {
+  const std::size_t n = 64;
+  Rng rng(123);
+  std::vector<std::complex<double>> a(n);
+  std::vector<std::complex<double>> b(n);
+  std::vector<std::complex<double>> combo(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = {rng.Gaussian(), rng.Gaussian()};
+    b[i] = {rng.Gaussian(), rng.Gaussian()};
+    combo[i] = 2.0 * a[i] + 3.0 * b[i];
+  }
+  Fft fft(n);
+  Fft::Scratch scratch;
+  fft.Forward(a.data(), &scratch);
+  fft.Forward(b.data(), &scratch);
+  fft.Forward(combo.data(), &scratch);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::complex<double> expected = 2.0 * a[k] + 3.0 * b[k];
+    ASSERT_NEAR(combo[k].real(), expected.real(), 1e-8);
+    ASSERT_NEAR(combo[k].imag(), expected.imag(), 1e-8);
+  }
+}
+
+TEST(FftTest, ImpulseHasFlatSpectrum) {
+  const std::size_t n = 128;
+  std::vector<std::complex<double>> data(n, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  Fft fft(n);
+  Fft::Scratch scratch;
+  fft.Forward(data.data(), &scratch);
+  for (std::size_t k = 0; k < n; ++k) {
+    ASSERT_NEAR(data[k].real(), 1.0, 1e-10);
+    ASSERT_NEAR(data[k].imag(), 0.0, 1e-10);
+  }
+}
+
+TEST(FftTest, PlanIsReusableAcrossTransforms) {
+  const std::size_t n = 96;  // Bluestein path
+  Fft fft(n);
+  Fft::Scratch scratch;
+  Rng rng(9);
+  for (int round = 0; round < 5; ++round) {
+    const auto series = RandomSeries(&rng, n);
+    std::vector<std::complex<double>> expected(n);
+    NaiveDft(series.data(), n, expected.data());
+    std::vector<std::complex<double>> actual(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      actual[t] = {static_cast<double>(series[t]), 0.0};
+    }
+    fft.Forward(actual.data(), &scratch);
+    for (std::size_t k = 0; k < n; ++k) {
+      ASSERT_NEAR(std::abs(actual[k] - expected[k]), 0.0, 1e-7);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- RealDft
+
+class RealDftLengthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RealDftLengthTest, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 5);
+  const auto series = RandomSeries(&rng, n);
+
+  std::vector<std::complex<double>> naive(n);
+  NaiveDft(series.data(), n, naive.data());
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n));
+
+  RealDftPlan plan(n);
+  std::vector<std::complex<float>> coeffs(plan.num_coefficients());
+  RealDftPlan::Scratch scratch;
+  plan.Transform(series.data(), coeffs.data(), &scratch);
+
+  for (std::size_t k = 0; k < plan.num_coefficients(); ++k) {
+    ASSERT_NEAR(coeffs[k].real(), naive[k].real() * scale, 2e-4) << "k=" << k;
+    ASSERT_NEAR(coeffs[k].imag(), naive[k].imag() * scale, 2e-4) << "k=" << k;
+  }
+}
+
+TEST_P(RealDftLengthTest, ParsevalHolds) {
+  // Σ x² == |c0|² + 2Σ|ck|² (+ |c_{n/2}|² once for even n): the identity
+  // that makes truncated coefficient distances a lower bound of ED.
+  const std::size_t n = GetParam();
+  Rng rng(n + 6);
+  const auto series = RandomSeries(&rng, n);
+
+  RealDftPlan plan(n);
+  std::vector<std::complex<float>> coeffs(plan.num_coefficients());
+  plan.Transform(series.data(), coeffs.data());
+
+  double time_energy = 0.0;
+  for (float x : series) {
+    time_energy += static_cast<double>(x) * x;
+  }
+  double freq_energy = 0.0;
+  for (std::size_t k = 0; k < plan.num_coefficients(); ++k) {
+    const double mag_sq = static_cast<double>(coeffs[k].real()) * coeffs[k].real() +
+                          static_cast<double>(coeffs[k].imag()) * coeffs[k].imag();
+    freq_energy += plan.IsUnpaired(k) ? mag_sq : 2.0 * mag_sq;
+  }
+  EXPECT_NEAR(freq_energy, time_energy, 1e-3 * (time_energy + 1.0));
+}
+
+TEST_P(RealDftLengthTest, InverseRoundTrip) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 7);
+  const auto series = RandomSeries(&rng, n);
+
+  RealDftPlan plan(n);
+  std::vector<std::complex<float>> coeffs(plan.num_coefficients());
+  RealDftPlan::Scratch scratch;
+  plan.Transform(series.data(), coeffs.data(), &scratch);
+
+  std::vector<float> restored(n);
+  plan.InverseTransform(coeffs.data(), restored.data(), &scratch);
+  for (std::size_t t = 0; t < n; ++t) {
+    ASSERT_NEAR(restored[t], series[t], 1e-3) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, RealDftLengthTest,
+                         ::testing::Values(2, 3, 4, 8, 16, 31, 32, 96, 97, 100,
+                                           128, 256));
+
+TEST(RealDftTest, DcCoefficientIsScaledMean) {
+  const std::size_t n = 64;
+  std::vector<float> series(n, 2.0f);
+  RealDftPlan plan(n);
+  std::vector<std::complex<float>> coeffs(plan.num_coefficients());
+  plan.Transform(series.data(), coeffs.data());
+  // c_0 = (Σ x)/√n = 2n/√n = 2√n.
+  EXPECT_NEAR(coeffs[0].real(), 2.0f * std::sqrt(static_cast<float>(n)),
+              1e-4f);
+  EXPECT_NEAR(coeffs[0].imag(), 0.0f, 1e-5f);
+}
+
+TEST(RealDftTest, ZNormalizedSeriesHasZeroDc) {
+  Rng rng(10);
+  const std::size_t n = 100;
+  auto series = RandomSeries(&rng, n);
+  ZNormalize(series.data(), n);
+  RealDftPlan plan(n);
+  std::vector<std::complex<float>> coeffs(plan.num_coefficients());
+  plan.Transform(series.data(), coeffs.data());
+  EXPECT_NEAR(coeffs[0].real(), 0.0f, 1e-4f);
+  EXPECT_NEAR(coeffs[0].imag(), 0.0f, 1e-4f);
+}
+
+TEST(RealDftTest, IsUnpairedFlagsDcAndNyquist) {
+  RealDftPlan even(64);
+  EXPECT_TRUE(even.IsUnpaired(0));
+  EXPECT_TRUE(even.IsUnpaired(32));
+  EXPECT_FALSE(even.IsUnpaired(1));
+  EXPECT_FALSE(even.IsUnpaired(31));
+  RealDftPlan odd(97);
+  EXPECT_TRUE(odd.IsUnpaired(0));
+  EXPECT_FALSE(odd.IsUnpaired(48));  // no Nyquist bin for odd n
+}
+
+TEST(RealDftTest, NumCoefficients) {
+  EXPECT_EQ(RealDftPlan(256).num_coefficients(), 129u);
+  EXPECT_EQ(RealDftPlan(100).num_coefficients(), 51u);
+  EXPECT_EQ(RealDftPlan(97).num_coefficients(), 49u);
+}
+
+TEST(RealDftTest, PureCosineConcentratesEnergy) {
+  const std::size_t n = 256;
+  std::vector<float> series(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    series[t] = std::cos(2.0 * M_PI * 5.0 * t / n);
+  }
+  RealDftPlan plan(n);
+  std::vector<std::complex<float>> coeffs(plan.num_coefficients());
+  plan.Transform(series.data(), coeffs.data());
+  // All energy in bin 5: |c_5|² · 2 == Σ x² == n/2.
+  for (std::size_t k = 0; k < plan.num_coefficients(); ++k) {
+    const float mag = std::abs(coeffs[k]);
+    if (k == 5) {
+      EXPECT_NEAR(2.0f * mag * mag, n / 2.0f, 0.01f);
+    } else {
+      EXPECT_NEAR(mag, 0.0f, 1e-3f);
+    }
+  }
+}
+
+TEST(RealDftTest, TruncatedCoefficientDistanceLowerBoundsEd) {
+  // Eq. 1 of the paper with our normalization: for any subset S of
+  // coefficients, Σ_{k∈S} w_k·|cA_k − cB_k|² ≤ ‖A−B‖².
+  Rng rng(11);
+  for (std::size_t n : {96u, 128u, 256u}) {
+    RealDftPlan plan(n);
+    std::vector<std::complex<float>> ca(plan.num_coefficients());
+    std::vector<std::complex<float>> cb(plan.num_coefficients());
+    for (int trial = 0; trial < 20; ++trial) {
+      auto a = RandomSeries(&rng, n);
+      auto b = RandomSeries(&rng, n);
+      plan.Transform(a.data(), ca.data());
+      plan.Transform(b.data(), cb.data());
+      double ed_sq = 0.0;
+      for (std::size_t t = 0; t < n; ++t) {
+        const double d = static_cast<double>(a[t]) - b[t];
+        ed_sq += d * d;
+      }
+      // Use the first 8 coefficients (DC..7) as the subset.
+      double lbd_sq = 0.0;
+      for (std::size_t k = 0; k < 8; ++k) {
+        const double dr = static_cast<double>(ca[k].real()) - cb[k].real();
+        const double di = static_cast<double>(ca[k].imag()) - cb[k].imag();
+        lbd_sq += (plan.IsUnpaired(k) ? 1.0 : 2.0) * (dr * dr + di * di);
+      }
+      ASSERT_LE(lbd_sq, ed_sq * (1.0 + 1e-5) + 1e-4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sofa
+}  // namespace dft

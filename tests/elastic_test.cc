@@ -1,0 +1,470 @@
+// Tests for the elastic (DTW) substrate: the recurrence against a naive
+// reference, band semantics, the early-abandoning contract, envelope
+// correctness vs a brute-force window sweep, the LB_Kim/LB_Keogh ≤ DTW
+// invariant as a parameterized sweep, and the cascade scan against a
+// naive DTW oracle.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "elastic/dtw.h"
+#include "elastic/dtw_scan.h"
+#include "elastic/envelope.h"
+#include "elastic/lower_bounds.h"
+#include "test_data.h"
+#include "util/thread_pool.h"
+
+namespace sofa {
+namespace elastic {
+namespace {
+
+using testing_data::Noise;
+using testing_data::Walk;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Reference DTW: full O(an·bn) matrix, no rolling buffers, no band.
+double NaiveDtw(const float* a, std::size_t an, const float* b,
+                std::size_t bn) {
+  std::vector<std::vector<double>> dp(an + 1,
+                                      std::vector<double>(bn + 1, kInf));
+  dp[0][0] = 0.0;
+  for (std::size_t i = 1; i <= an; ++i) {
+    for (std::size_t j = 1; j <= bn; ++j) {
+      const double cost = (static_cast<double>(a[i - 1]) - b[j - 1]) *
+                          (static_cast<double>(a[i - 1]) - b[j - 1]);
+      dp[i][j] = cost + std::min({dp[i - 1][j - 1], dp[i - 1][j],
+                                  dp[i][j - 1]});
+    }
+  }
+  return dp[an][bn];
+}
+
+// ---------------------------------------------------------------------------
+// DTW recurrence
+
+TEST(DtwTest, IdenticalSeriesHaveZeroDistance) {
+  const Dataset data = Walk(4, 64, 0x41);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(Dtw(data.row(i), 64, data.row(i), 64), 0.0);
+    EXPECT_DOUBLE_EQ(Dtw(data.row(i), 64, data.row(i), 64, 3), 0.0);
+  }
+}
+
+TEST(DtwTest, MatchesNaiveReferenceUnconstrained) {
+  const Dataset a = Noise(6, 48, 0x42);
+  const Dataset b = Walk(6, 48, 0x43);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double expected = NaiveDtw(a.row(i), 48, b.row(i), 48);
+    EXPECT_NEAR(Dtw(a.row(i), 48, b.row(i), 48), expected,
+                1e-9 * (1.0 + expected));
+  }
+}
+
+TEST(DtwTest, HandlesUnequalLengths) {
+  const Dataset a = Walk(3, 40, 0x44);
+  const Dataset b = Walk(3, 64, 0x45);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double expected = NaiveDtw(a.row(i), 40, b.row(i), 64);
+    EXPECT_NEAR(Dtw(a.row(i), 40, b.row(i), 64), expected,
+                1e-9 * (1.0 + expected));
+  }
+}
+
+TEST(DtwTest, BandZeroEqualsSquaredEuclidean) {
+  const Dataset a = Noise(4, 96, 0x46);
+  const Dataset b = Noise(4, 96, 0x47);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float ed = SquaredEuclidean(a.row(i), b.row(i), 96);
+    EXPECT_NEAR(Dtw(a.row(i), 96, b.row(i), 96, 0), ed, 1e-3 * (1.0 + ed));
+  }
+}
+
+TEST(DtwTest, WideningTheBandNeverIncreasesTheDistance) {
+  const Dataset a = Walk(4, 64, 0x48);
+  const Dataset b = Walk(4, 64, 0x49);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double previous = kInf;
+    for (const std::size_t band : {0, 1, 2, 4, 8, 16, 32, 64}) {
+      const double d = Dtw(a.row(i), 64, b.row(i), 64, band);
+      EXPECT_LE(d, previous + 1e-9) << "band " << band;
+      previous = d;
+    }
+    EXPECT_NEAR(previous, Dtw(a.row(i), 64, b.row(i), 64), 1e-9);
+  }
+}
+
+TEST(DtwTest, WarpingInvarianceOnShiftedSpikes) {
+  // Two unit spikes three steps apart: ED² sees both, DTW aligns them.
+  std::vector<float> a(32, 0.0f), b(32, 0.0f);
+  a[10] = 1.0f;
+  b[13] = 1.0f;
+  EXPECT_GT(SquaredEuclidean(a.data(), b.data(), 32), 1.9f);
+  EXPECT_NEAR(Dtw(a.data(), 32, b.data(), 32), 0.0, 1e-12);
+  // A band of 3 still reaches the alignment; a band of 2 cannot.
+  EXPECT_NEAR(Dtw(a.data(), 32, b.data(), 32, 3), 0.0, 1e-12);
+  EXPECT_GT(Dtw(a.data(), 32, b.data(), 32, 2), 0.5);
+}
+
+TEST(DtwTest, EarlyAbandonAgreesWhenNotAbandoned) {
+  const Dataset a = Noise(6, 64, 0x4a);
+  const Dataset b = Noise(6, 64, 0x4b);
+  DtwScratch scratch;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (const std::size_t band : {std::size_t{5}, kFullBand}) {
+      const double exact = Dtw(a.row(i), 64, b.row(i), 64, band);
+      const double with_inf =
+          DtwEarlyAbandon(a.row(i), b.row(i), 64, band, kInf, &scratch);
+      EXPECT_NEAR(with_inf, exact, 1e-9 * (1.0 + exact));
+    }
+  }
+}
+
+TEST(DtwTest, EarlyAbandonReturnsValueAboveBoundWhenAbandoned) {
+  const Dataset a = Noise(4, 64, 0x4c);
+  const Dataset b = Walk(4, 64, 0x4d);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double exact = Dtw(a.row(i), 64, b.row(i), 64, 8);
+    const double bound = exact / 4.0;
+    const double result =
+        DtwEarlyAbandon(a.row(i), b.row(i), 64, 8, bound);
+    EXPECT_GT(result, bound);
+  }
+}
+
+TEST(DtwTest, SinglePointSeries) {
+  const float a = 1.5f;
+  const float b = -0.5f;
+  EXPECT_DOUBLE_EQ(Dtw(&a, 1, &b, 1), 4.0);
+  EXPECT_DOUBLE_EQ(Dtw(&a, 1, &b, 1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(DtwEarlyAbandon(&a, &b, 1, kFullBand,
+                                   std::numeric_limits<double>::infinity()),
+                   4.0);
+}
+
+TEST(DtwTest, BandWiderThanSeriesEqualsUnconstrained) {
+  const Dataset a = Walk(2, 48, 0x4e);
+  const Dataset b = Noise(2, 48, 0x4f);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double full = Dtw(a.row(i), 48, b.row(i), 48);
+    EXPECT_NEAR(Dtw(a.row(i), 48, b.row(i), 48, 48), full, 1e-9);
+    EXPECT_NEAR(Dtw(a.row(i), 48, b.row(i), 48, 1000), full, 1e-9);
+  }
+}
+
+TEST(DtwDeathTest, BandNarrowerThanLengthGapAborts) {
+  const Dataset a = Walk(1, 10, 0x50);
+  const Dataset b = Walk(1, 20, 0x51);
+  EXPECT_DEATH(Dtw(a.row(0), 10, b.row(0), 20, 5), "no path");
+}
+
+TEST(DtwScanTest, SingleSeriesCollection) {
+  ThreadPool pool(2);
+  const Dataset data = Walk(1, 32, 0x52);
+  const Dataset queries = Walk(1, 32, 0x53);
+  DtwScan::Options options;
+  options.band = 3;
+  const DtwScan scanner(&data, &pool, options);
+  const Neighbor nn = scanner.Search1Nn(queries.row(0));
+  EXPECT_EQ(nn.id, 0u);
+  const double expected = Dtw(queries.row(0), 32, data.row(0), 32, 3);
+  EXPECT_NEAR(nn.distance, std::sqrt(expected), 1e-4);
+}
+
+// ---------------------------------------------------------------------------
+// Envelopes
+
+TEST(EnvelopeTest, MatchesBruteForceWindows) {
+  const Dataset data = Noise(4, 100, 0x50);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const float* series = data.row(i);
+    for (const std::size_t radius : {0, 1, 5, 10, 99, 200}) {
+      const Envelope envelope = ComputeEnvelope(series, 100, radius);
+      for (std::size_t t = 0; t < 100; ++t) {
+        const std::size_t begin = t >= radius ? t - radius : 0;
+        const std::size_t end = std::min<std::size_t>(100, t + radius + 1);
+        float lo = series[begin];
+        float hi = series[begin];
+        for (std::size_t u = begin; u < end; ++u) {
+          lo = std::min(lo, series[u]);
+          hi = std::max(hi, series[u]);
+        }
+        ASSERT_FLOAT_EQ(envelope.lower[t], lo)
+            << "radius " << radius << " t " << t;
+        ASSERT_FLOAT_EQ(envelope.upper[t], hi)
+            << "radius " << radius << " t " << t;
+      }
+    }
+  }
+}
+
+TEST(EnvelopeTest, HugeRadiusIsGlobalMinMax) {
+  // kFullBand as radius must not overflow the window arithmetic.
+  const Dataset data = Noise(2, 50, 0x52);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const float* series = data.row(i);
+    const Envelope envelope = ComputeEnvelope(series, 50, kFullBand);
+    const float lo = *std::min_element(series, series + 50);
+    const float hi = *std::max_element(series, series + 50);
+    for (std::size_t t = 0; t < 50; ++t) {
+      EXPECT_FLOAT_EQ(envelope.lower[t], lo);
+      EXPECT_FLOAT_EQ(envelope.upper[t], hi);
+    }
+  }
+}
+
+TEST(EnvelopeTest, RadiusZeroIsTheSeriesItself) {
+  const Dataset data = Walk(1, 64, 0x51);
+  const Envelope envelope = ComputeEnvelope(data.row(0), 64, 0);
+  for (std::size_t t = 0; t < 64; ++t) {
+    EXPECT_FLOAT_EQ(envelope.lower[t], data.row(0)[t]);
+    EXPECT_FLOAT_EQ(envelope.upper[t], data.row(0)[t]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lower bounds: the cascade invariant LB ≤ DTW, swept over band × family.
+
+struct LbCase {
+  std::size_t n;
+  std::size_t band;
+  bool noisy;
+};
+
+class DtwLowerBoundTest : public ::testing::TestWithParam<LbCase> {};
+
+TEST_P(DtwLowerBoundTest, KimAndKeoghNeverExceedBandedDtw) {
+  const LbCase param = GetParam();
+  const Dataset queries = param.noisy ? Noise(4, param.n, 0x60)
+                                      : Walk(4, param.n, 0x61);
+  const Dataset data = param.noisy ? Noise(16, param.n, 0x62)
+                                   : Walk(16, param.n, 0x63);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const Envelope query_envelope =
+        ComputeEnvelope(queries.row(q), param.n, param.band);
+    for (std::size_t c = 0; c < data.size(); ++c) {
+      const double dtw =
+          Dtw(queries.row(q), param.n, data.row(c), param.n, param.band);
+      const double kim = LbKim(queries.row(q), data.row(c), param.n);
+      EXPECT_LE(kim, dtw * (1.0 + 1e-9) + 1e-9) << "LB_Kim q=" << q;
+
+      const double keogh_qc =
+          LbKeogh(data.row(c), query_envelope.lower.data(),
+                  query_envelope.upper.data(), param.n);
+      EXPECT_LE(keogh_qc, dtw * (1.0 + 1e-9) + 1e-9)
+          << "LB_Keogh(Q,C) q=" << q << " c=" << c;
+
+      const Envelope candidate_envelope =
+          ComputeEnvelope(data.row(c), param.n, param.band);
+      const double keogh_cq =
+          LbKeogh(queries.row(q), candidate_envelope.lower.data(),
+                  candidate_envelope.upper.data(), param.n);
+      EXPECT_LE(keogh_cq, dtw * (1.0 + 1e-9) + 1e-9)
+          << "LB_Keogh(C,Q) q=" << q << " c=" << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DtwLowerBoundTest,
+    ::testing::Values(LbCase{32, 0, false}, LbCase{32, 3, true},
+                      LbCase{64, 6, false}, LbCase{64, 6, true},
+                      LbCase{96, 9, false}, LbCase{128, 12, true},
+                      LbCase{128, 64, false}),
+    [](const ::testing::TestParamInfo<LbCase>& info) {
+      std::string name = "n";
+      name += std::to_string(info.param.n);
+      name += "_band";
+      name += std::to_string(info.param.band);
+      name += info.param.noisy ? "_noise" : "_walk";
+      return name;
+    });
+
+TEST(LbKeoghTest, EarlyAbandonPrefixIsStillALowerBound) {
+  const Dataset a = Noise(4, 64, 0x64);
+  const Dataset b = Walk(4, 64, 0x65);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Envelope envelope = ComputeEnvelope(a.row(i), 64, 5);
+    const double full = LbKeogh(b.row(i), envelope.lower.data(),
+                                envelope.upper.data(), 64);
+    const double abandoned = LbKeogh(b.row(i), envelope.lower.data(),
+                                     envelope.upper.data(), 64, full / 3.0);
+    EXPECT_LE(abandoned, full + 1e-9);
+    if (full > 0.0) {
+      EXPECT_GT(abandoned, full / 3.0);
+    }
+  }
+}
+
+#if defined(SOFA_HAVE_AVX2)
+TEST(LbKeoghTest, SimdAgreesWithScalar) {
+  // Odd lengths exercise the scalar tail after the 8-lane body.
+  for (const std::size_t n : {7, 8, 16, 63, 96, 100, 128, 256}) {
+    const Dataset a = Noise(4, n, 0x67);
+    const Dataset b = Walk(4, n, 0x68);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const Envelope envelope = ComputeEnvelope(a.row(i), n, 5);
+      const double scalar_sum =
+          scalar::LbKeogh(b.row(i), envelope.lower.data(),
+                          envelope.upper.data(), n, kInf);
+      const double simd_sum =
+          avx2::LbKeogh(b.row(i), envelope.lower.data(),
+                        envelope.upper.data(), n, kInf);
+      EXPECT_NEAR(simd_sum, scalar_sum, 1e-7 * (1.0 + scalar_sum))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(LbKeoghTest, SimdEarlyAbandonStillLowerBounds) {
+  const Dataset a = Noise(4, 128, 0x69);
+  const Dataset b = Walk(4, 128, 0x6a);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Envelope envelope = ComputeEnvelope(a.row(i), 128, 6);
+    const double full = avx2::LbKeogh(b.row(i), envelope.lower.data(),
+                                      envelope.upper.data(), 128, kInf);
+    const double abandoned =
+        avx2::LbKeogh(b.row(i), envelope.lower.data(),
+                      envelope.upper.data(), 128, full / 4.0);
+    EXPECT_LE(abandoned, full + 1e-9);
+    if (full > 0.0) {
+      EXPECT_GT(abandoned, full / 4.0);
+    }
+  }
+}
+#endif  // SOFA_HAVE_AVX2
+
+TEST(LbKeoghTest, ZeroWhenInsideTheEnvelope) {
+  const Dataset data = Walk(1, 64, 0x66);
+  const Envelope envelope = ComputeEnvelope(data.row(0), 64, 4);
+  // The series sits inside its own envelope by construction.
+  EXPECT_DOUBLE_EQ(LbKeogh(data.row(0), envelope.lower.data(),
+                           envelope.upper.data(), 64),
+                   0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Cascade scan vs naive oracle
+
+std::vector<Neighbor> NaiveDtwKnn(const Dataset& data, const float* query,
+                                  std::size_t k, std::size_t band) {
+  std::vector<Neighbor> all(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double d = Dtw(query, data.length(), data.row(i), data.length(),
+                         band);
+    all[i] = Neighbor{static_cast<std::uint32_t>(i),
+                      static_cast<float>(std::sqrt(d))};
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.distance < b.distance ||
+                     (a.distance == b.distance && a.id < b.id);
+            });
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+class DtwScanTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DtwScanTest, MatchesNaiveOracleOn1Nn) {
+  const std::size_t threads = GetParam();
+  ThreadPool pool(threads);
+  const Dataset data = Walk(300, 64, 0x70);
+  const Dataset queries = Walk(6, 64, 0x71);
+  DtwScan::Options options;
+  options.band = 6;
+  const DtwScan scanner(&data, &pool, options);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const Neighbor got = scanner.Search1Nn(queries.row(q));
+    const auto expected = NaiveDtwKnn(data, queries.row(q), 1, 6);
+    EXPECT_NEAR(got.distance, expected[0].distance, 1e-4f)
+        << "threads=" << threads << " q=" << q;
+  }
+}
+
+TEST_P(DtwScanTest, MatchesNaiveOracleOnKnn) {
+  const std::size_t threads = GetParam();
+  ThreadPool pool(threads);
+  const Dataset data = Noise(200, 48, 0x72);
+  const Dataset queries = Noise(4, 48, 0x73);
+  DtwScan::Options options;
+  options.band = 5;
+  const DtwScan scanner(&data, &pool, options);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto got = scanner.SearchKnn(queries.row(q), 10);
+    const auto expected = NaiveDtwKnn(data, queries.row(q), 10, 5);
+    ASSERT_EQ(got.size(), expected.size());
+    EXPECT_TRUE(testing_data::SameDistances(got, expected));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, DtwScanTest, ::testing::Values(1, 2, 4),
+                         [](const ::testing::TestParamInfo<std::size_t>&
+                                info) {
+                           std::string name = "t";
+                           name += std::to_string(info.param);
+                           return name;
+                         });
+
+TEST(DtwScanTest, ReverseKeoghTierOffStillExact) {
+  ThreadPool pool(2);
+  const Dataset data = Walk(250, 64, 0x74);
+  const Dataset queries = Walk(4, 64, 0x75);
+  DtwScan::Options options;
+  options.band = 6;
+  options.use_reverse_keogh = false;
+  const DtwScan scanner(&data, &pool, options);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const Neighbor got = scanner.Search1Nn(queries.row(q));
+    const auto expected = NaiveDtwKnn(data, queries.row(q), 1, 6);
+    EXPECT_NEAR(got.distance, expected[0].distance, 1e-4f);
+  }
+}
+
+TEST(DtwScanTest, ProfileAccountsForEveryCandidate) {
+  ThreadPool pool(2);
+  const Dataset data = Walk(400, 64, 0x76);
+  const Dataset queries = Walk(3, 64, 0x77);
+  DtwScan::Options options;
+  options.band = 6;
+  const DtwScan scanner(&data, &pool, options);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    DtwScanProfile profile;
+    scanner.Search1Nn(queries.row(q), &profile);
+    EXPECT_EQ(profile.candidates, data.size());
+    EXPECT_EQ(profile.pruned_kim + profile.pruned_keogh_qc +
+                  profile.pruned_keogh_cq + profile.dtw_abandoned +
+                  profile.dtw_full,
+              profile.candidates);
+    // On clustered smooth data the cascade must prune something.
+    EXPECT_GT(profile.pruned_kim + profile.pruned_keogh_qc +
+                  profile.pruned_keogh_cq,
+              0u);
+  }
+}
+
+TEST(DtwScanTest, KnnClampsAndHandlesEdgeCases) {
+  ThreadPool pool(2);
+  const Dataset data = Noise(5, 32, 0x78);
+  const Dataset queries = Noise(1, 32, 0x79);
+  DtwScan::Options options;
+  options.band = 3;
+  const DtwScan scanner(&data, &pool, options);
+  EXPECT_TRUE(scanner.SearchKnn(queries.row(0), 0).empty());
+  EXPECT_EQ(scanner.SearchKnn(queries.row(0), 50).size(), 5u);
+  const auto knn = scanner.SearchKnn(queries.row(0), 5);
+  for (std::size_t i = 1; i < knn.size(); ++i) {
+    EXPECT_LE(knn[i - 1].distance, knn[i].distance);
+  }
+}
+
+}  // namespace
+}  // namespace elastic
+}  // namespace sofa

@@ -1,0 +1,422 @@
+// Tests for the tree index: structural build invariants, and above all the
+// exactness property — the index answer equals brute force for every
+// scheme, dataset profile, thread count and k.
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/tree_index.h"
+#include "sax/isax.h"
+#include "sax/sax_scheme.h"
+#include "sfa/mcb.h"
+#include "test_data.h"
+#include "util/thread_pool.h"
+
+namespace sofa {
+namespace index {
+namespace {
+
+using testing_data::BruteForceKnn;
+using testing_data::Duplicates;
+using testing_data::Noise;
+using testing_data::SameDistances;
+using testing_data::Walk;
+
+std::unique_ptr<quant::SummaryScheme> MakeSfaScheme(const Dataset& data,
+                                                    ThreadPool* pool) {
+  sfa::SfaConfig config;
+  config.word_length = 16;
+  config.alphabet = 256;
+  config.sampling_ratio = 0.2;
+  return sfa::TrainSfa(data, config, pool);
+}
+
+std::unique_ptr<quant::SummaryScheme> MakeSaxScheme(const Dataset& data) {
+  return std::make_unique<sax::SaxScheme>(data.length(), 16, 256);
+}
+
+// ------------------------------------------------------- build invariants
+
+class BuildInvariantsTest : public ::testing::Test {
+ protected:
+  void CheckInvariants(const TreeIndex& index) {
+    const Dataset& data = index.data();
+    const auto& scheme = index.scheme();
+    const std::size_t l = scheme.word_length();
+    const std::uint32_t bits = scheme.bits();
+
+    // Every series in exactly one leaf; leaf words match node prefixes.
+    std::set<std::uint32_t> seen;
+    std::size_t total = 0;
+    std::vector<const Node*> stack;
+    for (const auto& [key, node] : index.subtrees()) {
+      stack.push_back(node);
+    }
+    while (!stack.empty()) {
+      const Node* node = stack.back();
+      stack.pop_back();
+      if (!node->is_leaf()) {
+        ASSERT_NE(node->left, nullptr);
+        ASSERT_NE(node->right, nullptr);
+        ASSERT_LT(node->split_dim, l);
+        // Children extend the parent prefix on the split dimension.
+        const std::size_t d = node->split_dim;
+        ASSERT_EQ(node->left->cards[d], node->cards[d] + 1);
+        ASSERT_EQ(node->right->cards[d], node->cards[d] + 1);
+        ASSERT_EQ(node->left->prefixes[d] >> 1, node->prefixes[d]);
+        ASSERT_EQ(node->right->prefixes[d] >> 1, node->prefixes[d]);
+        ASSERT_EQ(node->left->prefixes[d] & 1, 0);
+        ASSERT_EQ(node->right->prefixes[d] & 1, 1);
+        stack.push_back(node->left.get());
+        stack.push_back(node->right.get());
+        continue;
+      }
+      ASSERT_GT(node->leaf_size(), 0u) << "empty leaf";
+      total += node->leaf_size();
+      for (std::size_t i = 0; i < node->leaf_size(); ++i) {
+        const std::uint32_t id = node->series_ids[i];
+        ASSERT_TRUE(seen.insert(id).second) << "series " << id << " twice";
+        // Stored word matches the dataset series.
+        std::vector<std::uint8_t> expected(l);
+        scheme.Symbolize(data.row(id), expected.data());
+        for (std::size_t dim = 0; dim < l; ++dim) {
+          ASSERT_EQ(node->words[i * l + dim], expected[dim]);
+        }
+        // And falls under the node's variable-cardinality summary.
+        ASSERT_TRUE(sax::WordMatchesPrefix(node->words.data() + i * l,
+                                           node->prefixes.data(),
+                                           node->cards.data(), l, bits));
+      }
+    }
+    ASSERT_EQ(total, data.size());
+    ASSERT_EQ(seen.size(), data.size());
+  }
+};
+
+TEST_F(BuildInvariantsTest, SfaIndexOnNoise) {
+  ThreadPool pool(4);
+  const Dataset data = Noise(3000, 128, 1);
+  const auto scheme = MakeSfaScheme(data, &pool);
+  IndexConfig config;
+  config.leaf_capacity = 100;
+  TreeIndex index(&data, scheme.get(), config, &pool);
+  CheckInvariants(index);
+}
+
+TEST_F(BuildInvariantsTest, SaxIndexOnWalk) {
+  ThreadPool pool(4);
+  const Dataset data = Walk(3000, 128, 2);
+  const auto scheme = MakeSaxScheme(data);
+  IndexConfig config;
+  config.leaf_capacity = 100;
+  TreeIndex index(&data, scheme.get(), config, &pool);
+  CheckInvariants(index);
+}
+
+TEST_F(BuildInvariantsTest, RoundRobinPolicy) {
+  ThreadPool pool(2);
+  const Dataset data = Noise(2000, 96, 3);
+  const auto scheme = MakeSfaScheme(data, &pool);
+  IndexConfig config;
+  config.leaf_capacity = 64;
+  config.split_policy = SplitPolicy::kRoundRobin;
+  TreeIndex index(&data, scheme.get(), config, &pool);
+  CheckInvariants(index);
+}
+
+TEST_F(BuildInvariantsTest, LeafCapacityRespectedWhenSplittable) {
+  ThreadPool pool(4);
+  const Dataset data = Noise(5000, 128, 4);
+  const auto scheme = MakeSfaScheme(data, &pool);
+  IndexConfig config;
+  config.leaf_capacity = 200;
+  TreeIndex index(&data, scheme.get(), config, &pool);
+  std::vector<const Node*> stack;
+  for (const auto& [key, node] : index.subtrees()) {
+    stack.push_back(node);
+  }
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf()) {
+      // Distinct noise words are splittable down to capacity.
+      EXPECT_LE(node->leaf_size(), config.leaf_capacity);
+    } else {
+      stack.push_back(node->left.get());
+      stack.push_back(node->right.get());
+    }
+  }
+}
+
+TEST_F(BuildInvariantsTest, DuplicateHeavyDataBuildsOversizedLeaves) {
+  ThreadPool pool(2);
+  // 2000 copies drawn from only 5 distinct series: unsplittable beyond 5
+  // groups, leaves must legally exceed capacity.
+  const Dataset data = Duplicates(2000, 64, 5, 5);
+  const auto scheme = MakeSaxScheme(data);
+  IndexConfig config;
+  config.leaf_capacity = 10;
+  TreeIndex index(&data, scheme.get(), config, &pool);
+  CheckInvariants(index);
+  // Search still exact.
+  const auto expected = BruteForceKnn(data, data.row(0), 3);
+  const auto actual = index.SearchKnn(data.row(0), 3);
+  EXPECT_TRUE(SameDistances(actual, expected));
+}
+
+TEST_F(BuildInvariantsTest, StatsAreConsistent) {
+  ThreadPool pool(4);
+  const Dataset data = Noise(4000, 128, 6);
+  const auto scheme = MakeSfaScheme(data, &pool);
+  IndexConfig config;
+  config.leaf_capacity = 128;
+  TreeIndex index(&data, scheme.get(), config, &pool);
+  const TreeStats stats = index.ComputeStats();
+  EXPECT_EQ(stats.total_series, data.size());
+  EXPECT_EQ(stats.num_subtrees, index.subtrees().size());
+  EXPECT_GT(stats.num_leaves, 0u);
+  EXPECT_GE(stats.avg_leaf_size, 1.0);
+  EXPECT_LE(stats.avg_depth, static_cast<double>(stats.max_depth));
+  // Binary tree: inner = leaves - subtrees (every subtree is a binary tree).
+  EXPECT_EQ(stats.num_inner + stats.num_subtrees, stats.num_leaves);
+  const BuildStats& bs = index.build_stats();
+  EXPECT_GE(bs.symbolize_seconds, 0.0);
+  EXPECT_GE(bs.partition_seconds, 0.0);
+  EXPECT_GE(bs.tree_seconds, 0.0);
+  EXPECT_GE(bs.total_seconds, 0.0);
+}
+
+TEST_F(BuildInvariantsTest, EmptyDatasetBuildsAndAnswersEmpty) {
+  ThreadPool pool(2);
+  Dataset data(128);
+  sax::SaxScheme scheme(128, 16, 256);
+  TreeIndex index(&data, &scheme, IndexConfig{}, &pool);
+  EXPECT_TRUE(index.subtrees().empty());
+  std::vector<float> query(128, 0.0f);
+  EXPECT_TRUE(index.SearchKnn(query.data(), 5).empty());
+}
+
+// ------------------------------------------------------------- exactness
+
+enum class SchemeKind { kSfaEwVar, kSfaEd, kSax };
+enum class DataKind { kNoise, kWalk };
+
+struct ExactnessCase {
+  SchemeKind scheme;
+  DataKind data;
+  std::size_t threads;
+  std::size_t leaf_capacity;
+};
+
+class ExactnessTest : public ::testing::TestWithParam<ExactnessCase> {};
+
+TEST_P(ExactnessTest, IndexMatchesBruteForce) {
+  const ExactnessCase c = GetParam();
+  ThreadPool pool(c.threads);
+  const std::size_t n = 128;
+  const Dataset data = c.data == DataKind::kNoise ? Noise(4000, n, 7)
+                                                  : Walk(4000, n, 8);
+  std::unique_ptr<quant::SummaryScheme> scheme;
+  switch (c.scheme) {
+    case SchemeKind::kSfaEwVar:
+      scheme = MakeSfaScheme(data, &pool);
+      break;
+    case SchemeKind::kSfaEd: {
+      sfa::SfaConfig config;
+      config.word_length = 16;
+      config.alphabet = 256;
+      config.binning = quant::BinningMethod::kEquiDepth;
+      config.sampling_ratio = 0.2;
+      scheme = sfa::TrainSfa(data, config, &pool);
+      break;
+    }
+    case SchemeKind::kSax:
+      scheme = MakeSaxScheme(data);
+      break;
+  }
+  IndexConfig config;
+  config.leaf_capacity = c.leaf_capacity;
+  config.num_threads = c.threads;
+  TreeIndex index(&data, scheme.get(), config, &pool);
+
+  const Dataset queries = c.data == DataKind::kNoise ? Noise(20, n, 9)
+                                                     : Walk(20, n, 10);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto expected1 = BruteForceKnn(data, queries.row(q), 1);
+    const Neighbor actual1 = index.Search1Nn(queries.row(q));
+    ASSERT_TRUE(SameDistances({actual1}, expected1)) << "query " << q;
+
+    const auto expected10 = BruteForceKnn(data, queries.row(q), 10);
+    const auto actual10 = index.SearchKnn(queries.row(q), 10);
+    ASSERT_TRUE(SameDistances(actual10, expected10)) << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExactnessTest,
+    ::testing::Values(
+        ExactnessCase{SchemeKind::kSfaEwVar, DataKind::kNoise, 4, 200},
+        ExactnessCase{SchemeKind::kSfaEwVar, DataKind::kWalk, 4, 200},
+        ExactnessCase{SchemeKind::kSfaEwVar, DataKind::kNoise, 1, 200},
+        ExactnessCase{SchemeKind::kSfaEwVar, DataKind::kNoise, 4, 50},
+        ExactnessCase{SchemeKind::kSfaEd, DataKind::kNoise, 4, 200},
+        ExactnessCase{SchemeKind::kSfaEd, DataKind::kWalk, 2, 100},
+        ExactnessCase{SchemeKind::kSax, DataKind::kNoise, 4, 200},
+        ExactnessCase{SchemeKind::kSax, DataKind::kWalk, 4, 200},
+        ExactnessCase{SchemeKind::kSax, DataKind::kWalk, 1, 50}));
+
+TEST(IndexSearchTest, MemberQueryFindsItself) {
+  ThreadPool pool(4);
+  const Dataset data = Noise(2000, 96, 11);
+  const auto scheme = MakeSfaScheme(data, &pool);
+  IndexConfig config;
+  config.leaf_capacity = 100;
+  TreeIndex index(&data, scheme.get(), config, &pool);
+  for (const std::size_t id : {0u, 500u, 1999u}) {
+    const Neighbor nn = index.Search1Nn(data.row(id));
+    EXPECT_NEAR(nn.distance, 0.0f, 1e-3f);
+  }
+}
+
+TEST(IndexSearchTest, KnnIsSortedAscending) {
+  ThreadPool pool(4);
+  const Dataset data = Noise(3000, 128, 12);
+  const auto scheme = MakeSfaScheme(data, &pool);
+  TreeIndex index(&data, scheme.get(), IndexConfig{}, &pool);
+  const Dataset queries = Noise(5, 128, 13);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto result = index.SearchKnn(queries.row(q), 25);
+    ASSERT_EQ(result.size(), 25u);
+    for (std::size_t i = 1; i < result.size(); ++i) {
+      ASSERT_GE(result[i].distance, result[i - 1].distance);
+    }
+    // No duplicate ids.
+    std::set<std::uint32_t> ids;
+    for (const Neighbor& nb : result) {
+      ASSERT_TRUE(ids.insert(nb.id).second) << "duplicate id " << nb.id;
+    }
+  }
+}
+
+TEST(IndexSearchTest, KLargerThanCollectionClamps) {
+  ThreadPool pool(2);
+  const Dataset data = Noise(50, 64, 14);
+  const auto scheme = MakeSaxScheme(data);
+  TreeIndex index(&data, scheme.get(), IndexConfig{}, &pool);
+  const auto result = index.SearchKnn(data.row(0), 500);
+  EXPECT_EQ(result.size(), 50u);
+  const auto expected = BruteForceKnn(data, data.row(0), 50);
+  EXPECT_TRUE(SameDistances(result, expected));
+}
+
+TEST(IndexSearchTest, RepeatedQueriesAreDeterministic) {
+  ThreadPool pool(4);
+  const Dataset data = Noise(3000, 128, 15);
+  const auto scheme = MakeSfaScheme(data, &pool);
+  TreeIndex index(&data, scheme.get(), IndexConfig{}, &pool);
+  const Dataset queries = Noise(3, 128, 16);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto first = index.SearchKnn(queries.row(q), 10);
+    const auto second = index.SearchKnn(queries.row(q), 10);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      ASSERT_EQ(first[i].distance, second[i].distance);
+    }
+  }
+}
+
+TEST(IndexSearchTest, ThreadCountsAgree) {
+  // The answer must be identical (in distances) regardless of parallelism.
+  const Dataset data = Noise(4000, 128, 17);
+  const Dataset queries = Noise(10, 128, 18);
+  std::vector<std::vector<float>> distances_by_threads;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    const auto scheme = MakeSfaScheme(data, &pool);
+    IndexConfig config;
+    config.num_threads = threads;
+    TreeIndex index(&data, scheme.get(), config, &pool);
+    std::vector<float> distances;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      for (const Neighbor& nb : index.SearchKnn(queries.row(q), 5)) {
+        distances.push_back(nb.distance);
+      }
+    }
+    distances_by_threads.push_back(std::move(distances));
+  }
+  for (std::size_t v = 1; v < distances_by_threads.size(); ++v) {
+    ASSERT_EQ(distances_by_threads[v].size(), distances_by_threads[0].size());
+    for (std::size_t i = 0; i < distances_by_threads[v].size(); ++i) {
+      ASSERT_NEAR(distances_by_threads[v][i], distances_by_threads[0][i],
+                  2e-3f);
+    }
+  }
+}
+
+TEST(IndexSearchTest, SingleSeriesCollection) {
+  ThreadPool pool(2);
+  const Dataset data = Noise(1, 64, 19);
+  const auto scheme = MakeSaxScheme(data);
+  TreeIndex index(&data, scheme.get(), IndexConfig{}, &pool);
+  const Dataset queries = Noise(1, 64, 20);
+  const Neighbor nn = index.Search1Nn(queries.row(0));
+  EXPECT_EQ(nn.id, 0u);
+  const auto expected = BruteForceKnn(data, queries.row(0), 1);
+  EXPECT_NEAR(nn.distance, expected[0].distance, 1e-4f);
+}
+
+TEST(IndexSearchTest, NonPowerOfTwoSeriesLength) {
+  ThreadPool pool(4);
+  const Dataset data = Noise(2000, 100, 21);
+  sfa::SfaConfig config;
+  config.word_length = 16;
+  config.alphabet = 256;
+  config.sampling_ratio = 0.5;
+  const auto scheme = sfa::TrainSfa(data, config, &pool);
+  TreeIndex index(&data, scheme.get(), IndexConfig{}, &pool);
+  const Dataset queries = Noise(10, 100, 22);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto expected = BruteForceKnn(data, queries.row(q), 5);
+    const auto actual = index.SearchKnn(queries.row(q), 5);
+    ASSERT_TRUE(SameDistances(actual, expected)) << "query " << q;
+  }
+}
+
+TEST(IndexSearchTest, RootBitsClampToWordLength) {
+  ThreadPool pool(2);
+  const Dataset data = Noise(1000, 64, 23);
+  sax::SaxScheme scheme(64, 8, 256);  // 8 dims -> at most 256 root children
+  IndexConfig config;
+  config.root_bits = 16;  // requested above the word length
+  TreeIndex index(&data, &scheme, config, &pool);
+  EXPECT_EQ(index.root_bits(), 8u);
+  const auto expected = BruteForceKnn(data, data.row(7), 3);
+  const auto actual = index.SearchKnn(data.row(7), 3);
+  EXPECT_TRUE(SameDistances(actual, expected));
+}
+
+TEST(IndexSearchTest, AutoRootBitsAdaptToCollectionSize) {
+  ThreadPool pool(2);
+  const Dataset small = Noise(100, 64, 24);
+  sax::SaxScheme scheme(64, 16, 256);
+  IndexConfig config;
+  config.leaf_capacity = 100;
+  TreeIndex small_index(&small, &scheme, config, &pool);
+  EXPECT_EQ(small_index.root_bits(), 1u);
+  const Dataset larger = Noise(4000, 64, 25);
+  TreeIndex larger_index(&larger, &scheme, config, &pool);
+  // 2^bits * 100 >= 4000 -> bits >= 6.
+  EXPECT_GE(larger_index.root_bits(), 6u);
+  // Both remain exact.
+  const auto expected = BruteForceKnn(larger, larger.row(3), 5);
+  EXPECT_TRUE(SameDistances(larger_index.SearchKnn(larger.row(3), 5),
+                            expected));
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace sofa

@@ -1,0 +1,153 @@
+// Cross-module integration tests tying the related-work substrates to the
+// core SOFA stack:
+//
+//   * the quantization-looseness invariant — on its own selected Fourier
+//     values, SFA's symbolic LBD can never exceed the numeric (un-
+//     quantized) Parseval bound, which itself lower-bounds ED (this is
+//     the formal sense in which SFA is "DFT plus quantization loss",
+//     paper Sections III/IV-E);
+//   * alphabet growth closes the quantization gap (Tables V/VI trend);
+//   * MASS at m = n degenerates to the core z-normalized ED kernel;
+//   * the DTW cascade scan at band 0 answers exactly like the ED scan.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/znorm.h"
+#include "elastic/dtw_scan.h"
+#include "quant/lbd.h"
+#include "scan/ucr_scan.h"
+#include "sfa/mcb.h"
+#include "sfa/sfa_scheme.h"
+#include "sfa/tlb.h"
+#include "subseq/mass.h"
+#include "test_data.h"
+#include "util/thread_pool.h"
+
+namespace sofa {
+namespace {
+
+using testing_data::Noise;
+using testing_data::Walk;
+
+// Numeric Parseval bound on the scheme's own selected values:
+// Σ_v w_v · (q_v − c_v)².
+float NumericBoundOnSelectedValues(const sfa::SfaScheme& scheme,
+                                   const float* query,
+                                   const float* candidate) {
+  const std::size_t l = scheme.word_length();
+  std::vector<float> q_values(l);
+  std::vector<float> c_values(l);
+  scheme.Project(query, q_values.data());
+  scheme.Project(candidate, c_values.data());
+  double sum = 0.0;
+  for (std::size_t v = 0; v < l; ++v) {
+    const double diff = static_cast<double>(q_values[v]) - c_values[v];
+    sum += scheme.weights()[v] * diff * diff;
+  }
+  return static_cast<float>(sum);
+}
+
+TEST(QuantizationLoosenessTest, SfaLbdNeverExceedsNumericParsevalBound) {
+  for (const bool noisy : {false, true}) {
+    const Dataset data =
+        noisy ? Noise(64, 128, 0xd0) : Walk(64, 128, 0xd1);
+    const Dataset queries =
+        noisy ? Noise(8, 128, 0xd2) : Walk(8, 128, 0xd3);
+    sfa::SfaConfig config;  // paper defaults: 16 values, alphabet 256
+    const auto scheme = sfa::TrainSfa(data, config, nullptr);
+
+    const std::size_t l = scheme->word_length();
+    auto scratch = scheme->NewScratch();
+    std::vector<float> q_values(l);
+    std::vector<std::uint8_t> word(l);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      scheme->Project(queries.row(q), q_values.data(), scratch.get());
+      for (std::size_t c = 0; c < data.size(); ++c) {
+        scheme->Symbolize(data.row(c), word.data());
+        const float symbolic = quant::LbdSquared(
+            scheme->table(), scheme->weights(), q_values.data(),
+            word.data());
+        const float numeric = NumericBoundOnSelectedValues(
+            *scheme, queries.row(q), data.row(c));
+        const float ed =
+            SquaredEuclidean(queries.row(q), data.row(c), 128);
+        // symbolic ≤ numeric ≤ ED — each step can only lose tightness.
+        EXPECT_LE(symbolic, numeric * (1.0f + 1e-4f) + 1e-4f)
+            << "noisy=" << noisy << " q=" << q << " c=" << c;
+        EXPECT_LE(numeric, ed * (1.0f + 1e-4f) + 1e-4f)
+            << "noisy=" << noisy << " q=" << q << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(QuantizationLoosenessTest, LargerAlphabetsCloseTheGap) {
+  const Dataset data = Walk(128, 128, 0xd4);
+  const Dataset queries = Walk(8, 128, 0xd5);
+  double previous = 0.0;
+  for (const std::size_t alphabet : {4, 16, 64, 256}) {
+    sfa::SfaConfig config;
+    config.alphabet = alphabet;
+    const auto scheme = sfa::TrainSfa(data, config, nullptr);
+    const double tlb = sfa::MeanTlb(*scheme, data, queries);
+    EXPECT_GE(tlb, previous - 0.02) << "alphabet " << alphabet;
+    previous = tlb;
+  }
+  EXPECT_GT(previous, 0.5);  // alphabet 256 on smooth data is tight
+}
+
+TEST(MassCoreConsistencyTest, WholeMatchingProfileEqualsCoreKernel) {
+  // m = n with both sides z-normalized: MASS must reproduce the core
+  // Euclidean kernel's answer through a completely different route
+  // (FFT correlation instead of a direct sum).
+  const Dataset data = Noise(6, 256, 0xd6);
+  const Dataset queries = Noise(6, 256, 0xd7);
+  subseq::MassPlan plan(256, 256);
+  float profile[1];
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    plan.DistanceProfile(data.row(i), queries.row(i), profile);
+    const float expected = std::sqrt(
+        SquaredEuclidean(queries.row(i), data.row(i), 256));
+    EXPECT_NEAR(profile[0], expected, 2e-3f * (1.0f + expected));
+  }
+}
+
+class BandZeroEquivalenceTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BandZeroEquivalenceTest, DtwScanAtBandZeroMatchesEdScan) {
+  const std::size_t threads = GetParam();
+  ThreadPool pool(threads);
+  const Dataset data = Walk(500, 96, 0xd8);
+  const Dataset queries = Walk(5, 96, 0xd9);
+  const scan::UcrScan ed_scan(&data, &pool);
+  elastic::DtwScan::Options options;
+  options.band = 0;
+  const elastic::DtwScan dtw_scan(&data, &pool, options);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto ed_knn = ed_scan.SearchKnn(queries.row(q), 5);
+    const auto dtw_knn = dtw_scan.SearchKnn(queries.row(q), 5);
+    ASSERT_EQ(ed_knn.size(), dtw_knn.size());
+    EXPECT_TRUE(testing_data::SameDistances(dtw_knn, ed_knn))
+        << "threads=" << threads << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BandZeroEquivalenceTest,
+                         ::testing::Values(1, 2, 4),
+                         [](const ::testing::TestParamInfo<std::size_t>&
+                                info) {
+                           std::string name = "t";
+                           name += std::to_string(info.param);
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace sofa

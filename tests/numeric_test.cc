@@ -1,0 +1,555 @@
+// Tests for the real-valued related-work summarizations (src/numeric):
+// per-method projection/reconstruction correctness, the GEMINI
+// lower-bounding invariant as a parameterized sweep over method × length ×
+// budget × data family, exactness cases where the projection is lossless,
+// and the numeric TLB harness.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/znorm.h"
+#include "numeric/apca_summary.h"
+#include "numeric/cheby_summary.h"
+#include "numeric/dft_summary.h"
+#include "numeric/haar_summary.h"
+#include "numeric/numeric_tlb.h"
+#include "numeric/paa_summary.h"
+#include "numeric/pla_summary.h"
+#include "numeric/registry.h"
+#include "test_data.h"
+#include "util/rng.h"
+
+namespace sofa {
+namespace numeric {
+namespace {
+
+using testing_data::Noise;
+using testing_data::Walk;
+
+// ---------------------------------------------------------------------------
+// PAA
+
+TEST(PaaSummaryTest, MeansOfDivisibleSegments) {
+  const float series[8] = {1, 1, 2, 2, 3, 3, 10, 20};
+  PaaSummary paa(8, 4);
+  float values[4];
+  paa.Project(series, values);
+  EXPECT_FLOAT_EQ(values[0], 1.0f);
+  EXPECT_FLOAT_EQ(values[1], 2.0f);
+  EXPECT_FLOAT_EQ(values[2], 3.0f);
+  EXPECT_FLOAT_EQ(values[3], 15.0f);
+}
+
+TEST(PaaSummaryTest, NonDivisibleLengthCoversAllPoints) {
+  // n = 10, l = 4: integer partitions [0,2) [2,5) [5,7) [7,10).
+  std::vector<float> series(10);
+  for (std::size_t t = 0; t < 10; ++t) {
+    series[t] = static_cast<float>(t);
+  }
+  PaaSummary paa(10, 4);
+  float values[4];
+  paa.Project(series.data(), values);
+  EXPECT_FLOAT_EQ(values[0], 0.5f);   // (0+1)/2
+  EXPECT_FLOAT_EQ(values[1], 3.0f);   // (2+3+4)/3
+  EXPECT_FLOAT_EQ(values[2], 5.5f);   // (5+6)/2
+  EXPECT_FLOAT_EQ(values[3], 8.0f);   // (7+8+9)/3
+}
+
+TEST(PaaSummaryTest, FullResolutionBoundEqualsEuclidean) {
+  const Dataset data = Noise(2, 32, 0xA0);
+  PaaSummary paa(32, 32);  // one point per segment: projection is lossless
+  const float lbd = paa.LowerBoundSquaredRaw(data.row(0), data.row(1));
+  const float ed = SquaredEuclidean(data.row(0), data.row(1), 32);
+  EXPECT_NEAR(lbd, ed, 1e-4f * ed);
+}
+
+TEST(PaaSummaryTest, ReconstructIsPiecewiseConstant) {
+  const Dataset data = Walk(1, 64, 0xA1);
+  PaaSummary paa(64, 8);
+  float values[8];
+  std::vector<float> approx(64);
+  paa.Project(data.row(0), values);
+  paa.Reconstruct(values, approx.data());
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t t = 8 * i; t < 8 * (i + 1); ++t) {
+      EXPECT_FLOAT_EQ(approx[t], values[i]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DFT
+
+TEST(DftSummaryTest, FullBandBoundEqualsEuclideanForZNormalized) {
+  // n = 16, l = 16 keeps k = 1…8 — every non-DC coefficient of a
+  // z-normalized series — so the Parseval bound is the exact distance.
+  Dataset data = Noise(2, 16, 0xB0);
+  DftSummary dft(16, 16);
+  const float lbd = dft.LowerBoundSquaredRaw(data.row(0), data.row(1));
+  const float ed = SquaredEuclidean(data.row(0), data.row(1), 16);
+  EXPECT_NEAR(lbd, ed, 1e-3f * ed);
+}
+
+TEST(DftSummaryTest, ReconstructionErrorDecreasesWithBudget) {
+  const Dataset data = Walk(1, 128, 0xB1);
+  double previous = 1e30;
+  for (std::size_t l : {4, 8, 16, 32}) {
+    DftSummary dft(128, l);
+    const double err = dft.ReconstructionError(data.row(0));
+    EXPECT_LE(err, previous + 1e-9);
+    previous = err;
+  }
+}
+
+TEST(DftSummaryTest, ProjectionMatchesPlanCoefficients) {
+  const Dataset data = Noise(1, 64, 0xB2);
+  DftSummary dft(64, 8);
+  float values[8];
+  dft.Project(data.row(0), values);
+
+  dft::RealDftPlan plan(64);
+  std::vector<std::complex<float>> coeffs(plan.num_coefficients());
+  plan.Transform(data.row(0), coeffs.data());
+  for (std::size_t k = 1; k <= 4; ++k) {
+    EXPECT_FLOAT_EQ(values[2 * (k - 1)], coeffs[k].real());
+    EXPECT_FLOAT_EQ(values[2 * (k - 1) + 1], coeffs[k].imag());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// APCA
+
+TEST(ApcaSummaryTest, BoundariesAreStrictlyIncreasingAndEndAtN) {
+  const Dataset data = Noise(8, 100, 0xC0);
+  ApcaSummary apca(100, 16);
+  float values[16];
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    apca.Project(data.row(i), values);
+    std::size_t previous = 0;
+    for (std::size_t s = 0; s < 8; ++s) {
+      const auto end = static_cast<std::size_t>(values[2 * s + 1]);
+      EXPECT_GT(end, previous);
+      previous = end;
+    }
+    EXPECT_EQ(previous, 100u);
+  }
+}
+
+TEST(ApcaSummaryTest, SegmentValuesAreMeansOverTheirSpans) {
+  const Dataset data = Walk(1, 64, 0xC1);
+  ApcaSummary apca(64, 8);
+  float values[8];
+  apca.Project(data.row(0), values);
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < 4; ++s) {
+    const auto end = static_cast<std::size_t>(values[2 * s + 1]);
+    double sum = 0.0;
+    for (std::size_t t = begin; t < end; ++t) {
+      sum += data.row(0)[t];
+    }
+    EXPECT_NEAR(values[2 * s], sum / static_cast<double>(end - begin), 1e-4);
+    begin = end;
+  }
+}
+
+TEST(ApcaSummaryTest, AdaptiveSegmentsNailOffGridPlateaus) {
+  // Four plateaus with boundaries at 5, 19, 40 — none on the uniform
+  // 4-segment grid of a 64-point series. APCA recovers them exactly;
+  // equal-width PAA with the same float budget cannot.
+  std::vector<float> series(64);
+  for (std::size_t t = 0; t < 64; ++t) {
+    series[t] = t < 5 ? 3.0f : t < 19 ? -1.0f : t < 40 ? 2.0f : -2.0f;
+  }
+  ApcaSummary apca(64, 8);  // 4 adaptive segments
+  EXPECT_NEAR(apca.ReconstructionError(series.data()), 0.0, 1e-8);
+  PaaSummary paa(64, 4);
+  EXPECT_GT(paa.ReconstructionError(series.data()), 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// PLA
+
+TEST(PlaSummaryTest, RecoversLinearSeriesExactly) {
+  std::vector<float> series(96);
+  for (std::size_t t = 0; t < 96; ++t) {
+    series[t] = 0.25f * static_cast<float>(t) - 3.0f;
+  }
+  PlaSummary pla(96, 8);
+  EXPECT_NEAR(pla.ReconstructionError(series.data()), 0.0, 1e-6);
+}
+
+TEST(PlaSummaryTest, BoundIsExactBetweenTwoLinearSeries) {
+  // Both series live in the per-segment span{1, t} subspace, so the
+  // projection loses nothing and the lower bound is the exact distance.
+  std::vector<float> a(64), b(64);
+  for (std::size_t t = 0; t < 64; ++t) {
+    a[t] = 0.5f * static_cast<float>(t) + 1.0f;
+    b[t] = -0.2f * static_cast<float>(t) + 4.0f;
+  }
+  PlaSummary pla(64, 8);
+  const float lbd = pla.LowerBoundSquaredRaw(a.data(), b.data());
+  const float ed = SquaredEuclidean(a.data(), b.data(), 64);
+  EXPECT_NEAR(lbd, ed, 1e-3f * ed);
+}
+
+TEST(PlaSummaryTest, TighterThanPaaAtTheSameBudgetOnTrends) {
+  // On a smooth trending series the line fit dominates the constant fit
+  // at the same float budget (4 lines vs 8 means).
+  const Dataset data = Walk(4, 128, 0xD0);
+  const Dataset queries = Walk(4, 128, 0xD1);
+  PlaSummary pla(128, 8);
+  PaaSummary paa(128, 8);
+  EXPECT_GT(MeanTlb(pla, data, queries), MeanTlb(paa, data, queries) - 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Chebyshev
+
+TEST(ChebySummaryTest, BasisIsOrthonormal) {
+  ChebySummary cheby(100, 12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = i; j < 12; ++j) {
+      double dot = 0.0;
+      for (std::size_t t = 0; t < 100; ++t) {
+        dot += static_cast<double>(cheby.basis_row(i)[t]) *
+               cheby.basis_row(j)[t];
+      }
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-4) << "rows " << i << "," << j;
+    }
+  }
+}
+
+TEST(ChebySummaryTest, RecoversLowDegreePolynomialsExactly) {
+  // A cubic lies in the span of T_0…T_3, so l = 4 reconstructs it.
+  std::vector<float> series(64);
+  for (std::size_t t = 0; t < 64; ++t) {
+    const double x = -1.0 + (2.0 * t + 1.0) / 64.0;
+    series[t] = static_cast<float>(1.5 * x * x * x - 0.5 * x + 0.25);
+  }
+  ChebySummary cheby(64, 4);
+  EXPECT_NEAR(cheby.ReconstructionError(series.data()), 0.0, 1e-8);
+}
+
+TEST(ChebySummaryTest, FullBasisBoundEqualsEuclidean) {
+  const Dataset data = Noise(2, 24, 0xE0);
+  ChebySummary cheby(24, 24);  // complete orthonormal basis
+  const float lbd = cheby.LowerBoundSquaredRaw(data.row(0), data.row(1));
+  const float ed = SquaredEuclidean(data.row(0), data.row(1), 24);
+  EXPECT_NEAR(lbd, ed, 1e-3f * ed);
+}
+
+// ---------------------------------------------------------------------------
+// Haar
+
+TEST(HaarSummaryTest, TransformPreservesEnergyOverThePrefix) {
+  const Dataset data = Noise(1, 128, 0xF0);
+  HaarSummary haar(128, 128);
+  std::vector<float> values(128);
+  haar.Project(data.row(0), values.data());
+  double energy_in = 0.0, energy_out = 0.0;
+  for (std::size_t t = 0; t < 128; ++t) {
+    energy_in += static_cast<double>(data.row(0)[t]) * data.row(0)[t];
+    energy_out += static_cast<double>(values[t]) * values[t];
+  }
+  EXPECT_NEAR(energy_out, energy_in, 1e-3 * energy_in);
+}
+
+TEST(HaarSummaryTest, PerfectReconstructionWithAllCoefficients) {
+  const Dataset data = Walk(1, 64, 0xF1);
+  HaarSummary haar(64, 64);
+  EXPECT_NEAR(haar.ReconstructionError(data.row(0)), 0.0, 1e-8);
+}
+
+TEST(HaarSummaryTest, NonDyadicLengthUsesLongestPrefix) {
+  HaarSummary haar(100, 16);
+  EXPECT_EQ(haar.transform_length(), 64u);
+  const Dataset data = Noise(2, 100, 0xF2);
+  // Bound over the 64-prefix can never exceed the full distance.
+  const float lbd = haar.LowerBoundSquaredRaw(data.row(0), data.row(1));
+  const float ed = SquaredEuclidean(data.row(0), data.row(1), 100);
+  EXPECT_LE(lbd, ed * (1.0f + 1e-4f));
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(NumericRegistryTest, ComparisonSetHasFixedOrderAndBudget) {
+  const auto set = MakeComparisonSet(128, 16);
+  ASSERT_EQ(set.size(), 6u);
+  const char* expected[] = {"PAA", "APCA", "PLA", "CHEBY", "DHWT", "DFT"};
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(set[i]->name(), expected[i]);
+    EXPECT_EQ(set[i]->num_values(), 16u);
+    EXPECT_EQ(set[i]->series_length(), 128u);
+  }
+}
+
+TEST(NumericRegistryTest, NamesAreCaseInsensitive) {
+  EXPECT_EQ(MakeNumericSummary("paa", 64, 8)->name(), "PAA");
+  EXPECT_EQ(MakeNumericSummary("haar", 64, 8)->name(), "DHWT");
+  EXPECT_EQ(MakeNumericSummary("Dft", 64, 8)->name(), "DFT");
+}
+
+// ---------------------------------------------------------------------------
+// TLB harness
+
+TEST(NumericTlbTest, TlbIsInUnitInterval) {
+  const Dataset data = Walk(64, 96, 0x10);
+  const Dataset queries = Walk(8, 96, 0x11);
+  for (const auto& summary : MakeComparisonSet(96, 8)) {
+    const double tlb = MeanTlb(*summary, data, queries);
+    EXPECT_GE(tlb, 0.0) << summary->name();
+    EXPECT_LE(tlb, 1.0 + 1e-6) << summary->name();
+  }
+}
+
+// Series whose energy sits in a narrow high-frequency band (k ≈ 20–30 of
+// 128) — the regime of the paper's Fig. 1 where mean-based summaries
+// flat-line.
+Dataset HighBand(std::size_t count, std::size_t length, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(length);
+  std::vector<float> row(length);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double f = 20.0 + rng.Uniform() * 10.0;
+    const double phase = rng.Uniform() * 6.2831853;
+    for (std::size_t t = 0; t < length; ++t) {
+      row[t] = static_cast<float>(
+          std::sin(6.2831853 * f * static_cast<double>(t) /
+                       static_cast<double>(length) +
+                   phase) +
+          0.1 * rng.Gaussian());
+    }
+    ZNormalize(row.data(), length);
+    ds.Append(row.data());
+  }
+  return ds;
+}
+
+TEST(NumericTlbTest, AllMethodsAgreeOnSmoothDataDftAmongTheBest) {
+  // The Schäfer & Högqvist result the paper cites: on ordinary
+  // low-frequency series no numeric method outperforms DFT, and the whole
+  // field is within a few TLB points of each other.
+  const Dataset data = Walk(256, 128, 0x12);
+  const Dataset queries = Walk(16, 128, 0x13);
+  std::vector<double> tlbs;
+  double dft_tlb = 0.0;
+  for (const auto& summary : MakeComparisonSet(128, 16)) {
+    const double tlb = MeanTlb(*summary, data, queries);
+    EXPECT_GT(tlb, 0.8) << summary->name();
+    if (summary->name() == "DFT") {
+      dft_tlb = tlb;
+    }
+    tlbs.push_back(tlb);
+  }
+  for (const double tlb : tlbs) {
+    EXPECT_GE(dft_tlb, tlb - 0.06);  // nothing clearly beats DFT
+  }
+}
+
+TEST(NumericTlbTest, EveryFixedMethodCollapsesOnHighFrequencyBands) {
+  // Fig. 1's failure mode, quantified: with energy at k ≈ 20–30, every
+  // fixed-band/fixed-grid method loses most of its tightness. First-band
+  // DFT is hit hardest of all — the kept band holds almost no energy —
+  // which is exactly why SOFA selects coefficients by variance instead.
+  const Dataset data = HighBand(256, 128, 0x14);
+  const Dataset queries = HighBand(16, 128, 0x15);
+  double dft_tlb = 0.0;
+  for (const auto& summary : MakeComparisonSet(128, 16)) {
+    const double tlb = MeanTlb(*summary, data, queries);
+    EXPECT_LT(tlb, 0.4) << summary->name();
+    if (summary->name() == "DFT") {
+      dft_tlb = tlb;
+    }
+  }
+  EXPECT_LT(dft_tlb, 0.15);
+}
+
+TEST(NumericTlbTest, VarianceSelectionRescuesDftOnHighFrequencyBands) {
+  // The un-quantized core of the paper's Section IV-E2 contribution:
+  // selecting coefficients by variance instead of position restores the
+  // bound on band-concentrated data.
+  const Dataset data = HighBand(256, 128, 0x16);
+  const Dataset queries = HighBand(16, 128, 0x17);
+  DftSummary first_band(128, 16);
+  DftSummary by_variance(128, DftSummary::SelectByVariance(data, 8));
+  EXPECT_EQ(by_variance.name(), "DFT +VAR");
+  const double tlb_first = MeanTlb(first_band, data, queries);
+  const double tlb_var = MeanTlb(by_variance, data, queries);
+  EXPECT_GT(tlb_var, tlb_first + 0.3);
+  EXPECT_GT(tlb_var, 0.5);
+}
+
+TEST(NumericTlbTest, VarianceSelectionPicksTheEnergeticBand) {
+  const Dataset data = HighBand(128, 128, 0x18);
+  const auto ks = DftSummary::SelectByVariance(data, 8);
+  ASSERT_EQ(ks.size(), 8u);
+  // All selected indices must fall inside (or hug) the generated band.
+  for (const std::size_t k : ks) {
+    EXPECT_GE(k, 18u);
+    EXPECT_LE(k, 32u);
+  }
+}
+
+TEST(NumericTlbTest, PruningPowerIsAFraction) {
+  const Dataset data = Walk(128, 64, 0x14);
+  const Dataset queries = Walk(8, 64, 0x15);
+  for (const auto& summary : MakeComparisonSet(64, 8)) {
+    const double power = MeanPruningPower(*summary, data, queries);
+    EXPECT_GE(power, 0.0) << summary->name();
+    EXPECT_LE(power, 1.0) << summary->name();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Budget extremes and contract violations
+
+TEST(NumericEdgeTest, SingleValueBudgetsOnZNormalizedData) {
+  // l = 1 (or one pair): the projections of z-normalized series collapse
+  // to (near-)zero means, and the bound must stay valid and tiny.
+  const Dataset data = Noise(4, 64, 0x40);
+  PaaSummary paa(64, 1);
+  ChebySummary cheby(64, 1);
+  HaarSummary haar(64, 1);
+  for (std::size_t i = 0; i + 1 < data.size(); ++i) {
+    const float ed = SquaredEuclidean(data.row(i), data.row(i + 1), 64);
+    for (const NumericSummary* summary :
+         {static_cast<const NumericSummary*>(&paa),
+          static_cast<const NumericSummary*>(&cheby),
+          static_cast<const NumericSummary*>(&haar)}) {
+      const float lbd =
+          summary->LowerBoundSquaredRaw(data.row(i), data.row(i + 1));
+      EXPECT_LE(lbd, ed * (1.0f + 1e-4f)) << summary->name();
+      EXPECT_NEAR(lbd, 0.0f, 1e-3f) << summary->name();
+    }
+  }
+}
+
+TEST(NumericEdgeTest, FullResolutionApcaAndPlaAreLossless) {
+  const Dataset data = Noise(2, 32, 0x41);
+  ApcaSummary apca(32, 64);  // 32 unit segments
+  PlaSummary pla(32, 64);    // 32 one-point lines
+  EXPECT_NEAR(apca.ReconstructionError(data.row(0)), 0.0, 1e-8);
+  EXPECT_NEAR(pla.ReconstructionError(data.row(0)), 0.0, 1e-8);
+  const float ed = SquaredEuclidean(data.row(0), data.row(1), 32);
+  EXPECT_NEAR(apca.LowerBoundSquaredRaw(data.row(0), data.row(1)), ed,
+              1e-3f * ed);
+}
+
+TEST(NumericEdgeTest, OddLengthFullSpectrumDftIsExact) {
+  // n = 33: coefficients 1…16 carry the whole non-DC spectrum, so the
+  // bound equals the distance for z-normalized series.
+  const Dataset data = Noise(2, 33, 0x42);
+  DftSummary dft(33, 32);
+  const float ed = SquaredEuclidean(data.row(0), data.row(1), 33);
+  EXPECT_NEAR(dft.LowerBoundSquaredRaw(data.row(0), data.row(1)), ed,
+              2e-3f * ed);
+}
+
+TEST(NumericEdgeDeathTest, InfeasibleBudgetsAbort) {
+  EXPECT_DEATH(PaaSummary(8, 9), "");       // more segments than points
+  EXPECT_DEATH(DftSummary(8, 3), "");       // odd float budget
+  EXPECT_DEATH(DftSummary(8, 16), "");      // beyond the spectrum
+  EXPECT_DEATH(HaarSummary(100, 65), "");   // beyond the dyadic prefix
+  EXPECT_DEATH(MakeNumericSummary("nope", 64, 8), "unknown");
+}
+
+TEST(NumericEdgeDeathTest, VarianceSelectionRejectsBadCounts) {
+  const Dataset data = Noise(4, 32, 0x43);
+  EXPECT_DEATH(DftSummary::SelectByVariance(data, 0), "");
+  EXPECT_DEATH(DftSummary::SelectByVariance(data, 17), "");
+}
+
+TEST(NumericEdgeDeathTest, ExplicitCoefficientsValidated) {
+  EXPECT_DEATH(DftSummary(32, std::vector<std::size_t>{0}), "");   // DC
+  EXPECT_DEATH(DftSummary(32, std::vector<std::size_t>{17}), "");  // range
+  EXPECT_DEATH(DftSummary(32, std::vector<std::size_t>{3, 3}),
+               "duplicate");
+}
+
+// ---------------------------------------------------------------------------
+// The lower-bounding invariant, swept over method × length × budget ×
+// data family (the GEMINI correctness property every method must satisfy).
+
+struct LowerBoundCase {
+  const char* method;
+  std::size_t n;
+  std::size_t l;
+};
+
+void PrintTo(const LowerBoundCase& param, std::ostream* os) {
+  *os << param.method << "_n" << param.n << "_l" << param.l;
+}
+
+class NumericLowerBoundTest
+    : public ::testing::TestWithParam<LowerBoundCase> {};
+
+TEST_P(NumericLowerBoundTest, NeverExceedsEuclideanDistance) {
+  const LowerBoundCase param = GetParam();
+  const auto summary = MakeNumericSummary(param.method, param.n, param.l);
+
+  for (std::uint64_t family = 0; family < 2; ++family) {
+    const Dataset data = family == 0 ? Noise(24, param.n, 0x20 + param.n)
+                                     : Walk(24, param.n, 0x21 + param.n);
+    const Dataset queries = family == 0 ? Noise(4, param.n, 0x22 + param.n)
+                                        : Walk(4, param.n, 0x23 + param.n);
+
+    std::vector<float> values(summary->num_values());
+    auto state = summary->NewQueryState();
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      summary->PrepareQuery(queries.row(q), state.get());
+      for (std::size_t c = 0; c < data.size(); ++c) {
+        summary->Project(data.row(c), values.data());
+        const float lbd = summary->LowerBoundSquared(*state, values.data());
+        const float ed =
+            SquaredEuclidean(queries.row(q), data.row(c), param.n);
+        EXPECT_LE(lbd, ed * (1.0f + 1e-4f) + 1e-4f)
+            << summary->name() << " family=" << family << " q=" << q
+            << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST_P(NumericLowerBoundTest, SelfBoundIsZero) {
+  const LowerBoundCase param = GetParam();
+  const auto summary = MakeNumericSummary(param.method, param.n, param.l);
+  const Dataset data = Noise(8, param.n, 0x30 + param.n);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const float lbd = summary->LowerBoundSquaredRaw(data.row(i), data.row(i));
+    EXPECT_NEAR(lbd, 0.0f, 1e-4f) << summary->name() << " i=" << i;
+  }
+}
+
+std::vector<LowerBoundCase> AllLowerBoundCases() {
+  std::vector<LowerBoundCase> cases;
+  for (const char* method : {"PAA", "APCA", "PLA", "CHEBY", "DHWT", "DFT"}) {
+    for (std::size_t n : {32, 96, 100, 128, 256}) {
+      for (std::size_t l : {4, 8, 16}) {
+        cases.push_back({method, n, l});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, NumericLowerBoundTest,
+    ::testing::ValuesIn(AllLowerBoundCases()),
+    [](const ::testing::TestParamInfo<LowerBoundCase>& info) {
+      return std::string(info.param.method) + "_n" +
+             std::to_string(info.param.n) + "_l" +
+             std::to_string(info.param.l);
+    });
+
+}  // namespace
+}  // namespace numeric
+}  // namespace sofa

@@ -1,0 +1,222 @@
+// Tests for the iSAX summarization: PAA, symbolization, word helpers, and
+// the central GEMINI invariant — mindist lower-bounds the true distance.
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "core/znorm.h"
+#include "quant/lbd.h"
+#include "sax/isax.h"
+#include "sax/paa.h"
+#include "sax/sax_scheme.h"
+#include "util/rng.h"
+
+namespace sofa {
+namespace sax {
+namespace {
+
+std::vector<float> RandomZNormSeries(Rng* rng, std::size_t n) {
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = static_cast<float>(rng->Gaussian());
+  }
+  ZNormalize(v.data(), n);
+  return v;
+}
+
+// ---------------------------------------------------------------- PAA
+
+TEST(PaaTest, MeansOfExactSegments) {
+  const float series[] = {1, 1, 2, 2, 3, 3, 4, 4};
+  float out[4];
+  Paa(series, 8, 4, out);
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  EXPECT_FLOAT_EQ(out[1], 2.0f);
+  EXPECT_FLOAT_EQ(out[2], 3.0f);
+  EXPECT_FLOAT_EQ(out[3], 4.0f);
+}
+
+TEST(PaaTest, SingleSegmentIsGlobalMean) {
+  const float series[] = {1, 2, 3, 4, 5};
+  float out[1];
+  Paa(series, 5, 1, out);
+  EXPECT_FLOAT_EQ(out[0], 3.0f);
+}
+
+TEST(PaaTest, FullResolutionIsIdentity) {
+  const float series[] = {3, 1, 4, 1, 5};
+  float out[5];
+  Paa(series, 5, 5, out);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FLOAT_EQ(out[i], series[i]);
+  }
+}
+
+TEST(PaaTest, NonDivisibleLengthPartitionsCoverSeries) {
+  // n=100, l=16: segment lengths are 6 or 7 and sum to n.
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::size_t len = SegmentLength(100, 16, i);
+    EXPECT_GE(len, 6u);
+    EXPECT_LE(len, 7u);
+    total += len;
+  }
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(SegmentStart(100, 16, 0), 0u);
+  EXPECT_EQ(SegmentStart(100, 16, 16), 100u);
+}
+
+TEST(PaaTest, PaaOfConstantIsConstant) {
+  std::vector<float> series(96, 2.5f);
+  float out[16];
+  Paa(series.data(), series.size(), 16, out);
+  for (float v : out) {
+    EXPECT_FLOAT_EQ(v, 2.5f);
+  }
+}
+
+// ---------------------------------------------------------------- scheme
+
+TEST(SaxSchemeTest, ConfigurationExposed) {
+  SaxScheme scheme(256, 16, 256);
+  EXPECT_EQ(scheme.series_length(), 256u);
+  EXPECT_EQ(scheme.word_length(), 16u);
+  EXPECT_EQ(scheme.alphabet(), 256u);
+  EXPECT_EQ(scheme.bits(), 8u);
+  EXPECT_EQ(scheme.name(), "iSAX");
+}
+
+TEST(SaxSchemeTest, WeightsAreSegmentLengths) {
+  SaxScheme divisible(256, 16);
+  for (std::size_t d = 0; d < 16; ++d) {
+    EXPECT_FLOAT_EQ(divisible.weights()[d], 16.0f);
+  }
+  SaxScheme ragged(100, 16);
+  float total = 0.0f;
+  for (std::size_t d = 0; d < 16; ++d) {
+    total += ragged.weights()[d];
+  }
+  EXPECT_FLOAT_EQ(total, 100.0f);
+}
+
+TEST(SaxSchemeTest, SymbolizeQuantizesPaa) {
+  SaxScheme scheme(64, 8, 4);
+  Rng rng(1);
+  const auto series = RandomZNormSeries(&rng, 64);
+  float paa[8];
+  Paa(series.data(), 64, 8, paa);
+  std::uint8_t word[8];
+  scheme.Symbolize(series.data(), word);
+  for (std::size_t d = 0; d < 8; ++d) {
+    EXPECT_EQ(word[d], scheme.table().Quantize(d, paa[d]));
+  }
+}
+
+TEST(SaxSchemeTest, AllDimensionsShareBreakpoints) {
+  SaxScheme scheme(128, 16, 256);
+  for (std::size_t d = 1; d < 16; ++d) {
+    for (std::uint32_t s = 0; s < 256; ++s) {
+      ASSERT_EQ(scheme.table().lower_bounds()[d * 256 + s],
+                scheme.table().lower_bounds()[s]);
+    }
+  }
+}
+
+// The GEMINI invariant: iSAX mindist ≤ true Euclidean distance. Swept over
+// alphabet sizes and series lengths including non-divisible ones.
+class SaxLowerBoundTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(SaxLowerBoundTest, MindistLowerBoundsEuclidean) {
+  const auto [series_length, alphabet] = GetParam();
+  SaxScheme scheme(series_length, 16, alphabet);
+  Rng rng(series_length * 131 + alphabet);
+  auto scratch = scheme.NewScratch();
+  std::vector<float> projection(16);
+  std::vector<std::uint8_t> word(16);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto query = RandomZNormSeries(&rng, series_length);
+    const auto candidate = RandomZNormSeries(&rng, series_length);
+    scheme.Project(query.data(), projection.data(), scratch.get());
+    float values[16];
+    scheme.Symbolize(candidate.data(), word.data(), scratch.get(), values);
+    const float lbd_sq = quant::LbdSquared(scheme.table(), scheme.weights(),
+                                           projection.data(), word.data());
+    const float ed_sq =
+        SquaredEuclidean(query.data(), candidate.data(), series_length);
+    ASSERT_LE(lbd_sq, ed_sq * (1.0f + 1e-4f) + 1e-4f)
+        << "n=" << series_length << " alphabet=" << alphabet;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SaxLowerBoundTest,
+    ::testing::Combine(::testing::Values(96, 100, 128, 256),
+                       ::testing::Values(4, 16, 64, 256)));
+
+TEST(SaxSchemeTest, TighterAlphabetGivesTighterBound) {
+  // Mean mindist should not decrease when the alphabet grows.
+  Rng rng(2);
+  const std::size_t n = 128;
+  double mean_small = 0.0;
+  double mean_large = 0.0;
+  const int trials = 200;
+  SaxScheme small(n, 16, 4);
+  SaxScheme large(n, 16, 256);
+  std::vector<float> proj(16);
+  std::vector<std::uint8_t> word_small(16);
+  std::vector<std::uint8_t> word_large(16);
+  for (int t = 0; t < trials; ++t) {
+    const auto query = RandomZNormSeries(&rng, n);
+    const auto candidate = RandomZNormSeries(&rng, n);
+    small.Project(query.data(), proj.data());
+    small.Symbolize(candidate.data(), word_small.data());
+    mean_small += std::sqrt(quant::LbdSquared(small.table(), small.weights(),
+                                              proj.data(), word_small.data()));
+    large.Project(query.data(), proj.data());
+    large.Symbolize(candidate.data(), word_large.data());
+    mean_large += std::sqrt(quant::LbdSquared(large.table(), large.weights(),
+                                              proj.data(), word_large.data()));
+  }
+  EXPECT_GT(mean_large, mean_small);
+}
+
+// ---------------------------------------------------------------- words
+
+TEST(IsaxWordTest, SymbolPrefix) {
+  EXPECT_EQ(SymbolPrefix(0b10110100, 8, 1), 0b1);
+  EXPECT_EQ(SymbolPrefix(0b10110100, 8, 3), 0b101);
+  EXPECT_EQ(SymbolPrefix(0b10110100, 8, 8), 0b10110100);
+}
+
+TEST(IsaxWordTest, WordMatchesPrefix) {
+  const std::uint8_t word[] = {0b10110100, 0b01000000};
+  const std::uint8_t prefixes_match[] = {0b101, 0b0};
+  const std::uint8_t cards_match[] = {3, 1};
+  EXPECT_TRUE(WordMatchesPrefix(word, prefixes_match, cards_match, 2, 8));
+  const std::uint8_t prefixes_miss[] = {0b100, 0b0};
+  EXPECT_FALSE(WordMatchesPrefix(word, prefixes_miss, cards_match, 2, 8));
+  // Cardinality 0 dimensions never exclude.
+  const std::uint8_t cards_loose[] = {0, 0};
+  const std::uint8_t any_prefix[] = {7, 3};
+  EXPECT_TRUE(WordMatchesPrefix(word, any_prefix, cards_loose, 2, 8));
+}
+
+TEST(IsaxWordTest, WordToStringSmallAlphabet) {
+  const std::uint8_t word[] = {2, 1, 4, 3};
+  EXPECT_EQ(WordToString(word, 4, 8), "cbed");
+}
+
+TEST(IsaxWordTest, WordToStringLargeAlphabet) {
+  const std::uint8_t word[] = {12, 0, 255};
+  EXPECT_EQ(WordToString(word, 3, 256), "12.0.255");
+}
+
+}  // namespace
+}  // namespace sax
+}  // namespace sofa

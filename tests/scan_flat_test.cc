@@ -1,0 +1,200 @@
+// Tests for the two baselines: the UCR Suite-P parallel scan and the
+// FAISS-style IndexFlatL2 — plus cross-engine agreement with the tree
+// index.
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "flat/index_flat_l2.h"
+#include "index/tree_index.h"
+#include "scan/ucr_scan.h"
+#include "sax/sax_scheme.h"
+#include "sfa/mcb.h"
+#include "test_data.h"
+#include "util/thread_pool.h"
+
+namespace sofa {
+namespace {
+
+using testing_data::BruteForceKnn;
+using testing_data::Noise;
+using testing_data::SameDistances;
+using testing_data::Walk;
+
+// ---------------------------------------------------------------- scan
+
+TEST(UcrScanTest, OneNnMatchesBruteForce) {
+  ThreadPool pool(4);
+  const Dataset data = Noise(3000, 128, 1);
+  const Dataset queries = Noise(10, 128, 2);
+  scan::UcrScan scanner(&data, &pool);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto expected = BruteForceKnn(data, queries.row(q), 1);
+    const Neighbor actual = scanner.Search1Nn(queries.row(q));
+    ASSERT_TRUE(SameDistances({actual}, expected)) << "query " << q;
+  }
+}
+
+TEST(UcrScanTest, KnnMatchesBruteForce) {
+  ThreadPool pool(4);
+  const Dataset data = Walk(2500, 96, 3);
+  const Dataset queries = Walk(8, 96, 4);
+  scan::UcrScan scanner(&data, &pool);
+  for (const std::size_t k : {1u, 3u, 10u, 50u}) {
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const auto expected = BruteForceKnn(data, queries.row(q), k);
+      const auto actual = scanner.SearchKnn(queries.row(q), k);
+      ASSERT_TRUE(SameDistances(actual, expected))
+          << "k=" << k << " query " << q;
+    }
+  }
+}
+
+TEST(UcrScanTest, ThreadCountsAgree) {
+  const Dataset data = Noise(3000, 128, 5);
+  const Dataset queries = Noise(5, 128, 6);
+  std::vector<float> reference;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    scan::UcrScan scanner(&data, &pool);
+    std::vector<float> distances;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      for (const Neighbor& nb : scanner.SearchKnn(queries.row(q), 7)) {
+        distances.push_back(nb.distance);
+      }
+    }
+    if (reference.empty()) {
+      reference = distances;
+    } else {
+      ASSERT_EQ(distances.size(), reference.size());
+      for (std::size_t i = 0; i < distances.size(); ++i) {
+        ASSERT_NEAR(distances[i], reference[i], 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(UcrScanTest, MemberQueryFindsItself) {
+  ThreadPool pool(2);
+  const Dataset data = Noise(500, 64, 7);
+  scan::UcrScan scanner(&data, &pool);
+  const Neighbor nn = scanner.Search1Nn(data.row(123));
+  EXPECT_EQ(nn.id, 123u);
+  EXPECT_NEAR(nn.distance, 0.0f, 1e-4f);
+}
+
+TEST(UcrScanTest, EmptyAndClampedK) {
+  ThreadPool pool(2);
+  Dataset empty(64);
+  scan::UcrScan empty_scanner(&empty, &pool);
+  std::vector<float> query(64, 0.0f);
+  EXPECT_TRUE(empty_scanner.SearchKnn(query.data(), 5).empty());
+
+  const Dataset small = Noise(10, 64, 8);
+  scan::UcrScan scanner(&small, &pool);
+  EXPECT_EQ(scanner.SearchKnn(small.row(0), 100).size(), 10u);
+  EXPECT_TRUE(scanner.SearchKnn(small.row(0), 0).empty());
+}
+
+// ---------------------------------------------------------------- flat
+
+TEST(IndexFlatL2Test, SingleQueryMatchesBruteForce) {
+  ThreadPool pool(4);
+  const Dataset data = Noise(3000, 128, 9);
+  const Dataset queries = Noise(10, 128, 10);
+  flat::IndexFlatL2 flat_index(&data, &pool);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto expected = BruteForceKnn(data, queries.row(q), 5);
+    const auto actual = flat_index.SearchKnn(queries.row(q), 5);
+    ASSERT_TRUE(SameDistances(actual, expected)) << "query " << q;
+  }
+}
+
+TEST(IndexFlatL2Test, OneNnFastPathMatchesKnn) {
+  ThreadPool pool(2);
+  const Dataset data = Walk(2000, 96, 11);
+  const Dataset queries = Walk(10, 96, 12);
+  flat::IndexFlatL2 flat_index(&data, &pool);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const Neighbor fast = flat_index.Search1Nn(queries.row(q));
+    const auto via_knn = flat_index.SearchKnn(queries.row(q), 1);
+    ASSERT_EQ(via_knn.size(), 1u);
+    ASSERT_NEAR(fast.distance, via_knn[0].distance, 1e-5f);
+  }
+}
+
+TEST(IndexFlatL2Test, BatchEqualsIndividualQueries) {
+  ThreadPool pool(4);
+  const Dataset data = Noise(2000, 128, 13);
+  const Dataset queries = Noise(16, 128, 14);
+  flat::IndexFlatL2 flat_index(&data, &pool);
+  const auto batch = flat_index.SearchBatch(queries, 5);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto individual = flat_index.SearchKnn(queries.row(q), 5);
+    ASSERT_EQ(batch[q].size(), individual.size());
+    for (std::size_t i = 0; i < individual.size(); ++i) {
+      ASSERT_EQ(batch[q][i].id, individual[i].id);
+      ASSERT_EQ(batch[q][i].distance, individual[i].distance);
+    }
+  }
+}
+
+TEST(IndexFlatL2Test, DistancesNonNegativeAndSorted) {
+  ThreadPool pool(2);
+  const Dataset data = Noise(1000, 64, 15);
+  flat::IndexFlatL2 flat_index(&data, &pool);
+  const auto result = flat_index.SearchKnn(data.row(42), 20);
+  ASSERT_EQ(result.size(), 20u);
+  EXPECT_NEAR(result[0].distance, 0.0f, 1e-2f);  // the member itself
+  for (std::size_t i = 1; i < result.size(); ++i) {
+    ASSERT_GE(result[i].distance, result[i - 1].distance);
+    ASSERT_GE(result[i].distance, 0.0f);
+  }
+}
+
+TEST(IndexFlatL2Test, BuildSecondsRecorded) {
+  ThreadPool pool(2);
+  const Dataset data = Noise(500, 64, 16);
+  flat::IndexFlatL2 flat_index(&data, &pool);
+  EXPECT_GE(flat_index.build_seconds(), 0.0);
+}
+
+// ------------------------------------------------------- cross-engine
+
+TEST(CrossEngineTest, AllEnginesAgreeOnOneNn) {
+  ThreadPool pool(4);
+  const std::size_t n = 128;
+  const Dataset data = Noise(3000, n, 17);
+  const Dataset queries = Noise(10, n, 18);
+
+  sfa::SfaConfig sfa_config;
+  sfa_config.word_length = 16;
+  sfa_config.alphabet = 256;
+  sfa_config.sampling_ratio = 0.2;
+  const auto sfa_scheme = sfa::TrainSfa(data, sfa_config, &pool);
+  sax::SaxScheme sax_scheme(n, 16, 256);
+
+  index::TreeIndex sofa_index(&data, sfa_scheme.get(), index::IndexConfig{},
+                              &pool);
+  index::TreeIndex messi_index(&data, &sax_scheme, index::IndexConfig{},
+                               &pool);
+  scan::UcrScan scanner(&data, &pool);
+  flat::IndexFlatL2 flat_index(&data, &pool);
+
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const float d_sofa = sofa_index.Search1Nn(queries.row(q)).distance;
+    const float d_messi = messi_index.Search1Nn(queries.row(q)).distance;
+    const float d_scan = scanner.Search1Nn(queries.row(q)).distance;
+    const float d_flat = flat_index.Search1Nn(queries.row(q)).distance;
+    ASSERT_NEAR(d_sofa, d_scan, 2e-3f * (1.0f + d_scan));
+    ASSERT_NEAR(d_messi, d_scan, 2e-3f * (1.0f + d_scan));
+    ASSERT_NEAR(d_flat, d_scan, 2e-3f * (1.0f + d_scan));
+  }
+}
+
+}  // namespace
+}  // namespace sofa

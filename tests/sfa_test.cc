@@ -1,0 +1,369 @@
+// Tests for the SFA summarization: MCB training (sampling, variance
+// selection, bin learning), the SFA transform, the lower-bounding
+// invariant across all ablation variants, and the TLB metric.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/znorm.h"
+#include "quant/lbd.h"
+#include "sax/sax_scheme.h"
+#include "sfa/mcb.h"
+#include "sfa/sfa_scheme.h"
+#include "sfa/tlb.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace sofa {
+namespace sfa {
+namespace {
+
+// A z-normalized random-walk dataset (low frequency energy).
+Dataset RandomWalkDataset(std::size_t count, std::size_t length,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(length);
+  std::vector<float> row(length);
+  for (std::size_t i = 0; i < count; ++i) {
+    double level = 0.0;
+    for (auto& x : row) {
+      level += rng.Gaussian();
+      x = static_cast<float>(level);
+    }
+    ZNormalize(row.data(), length);
+    ds.Append(row.data());
+  }
+  return ds;
+}
+
+// A z-normalized white-noise dataset (flat spectrum, high-frequency energy).
+Dataset NoiseDataset(std::size_t count, std::size_t length,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(length);
+  std::vector<float> row(length);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (auto& x : row) {
+      x = static_cast<float>(rng.Gaussian());
+    }
+    ZNormalize(row.data(), length);
+    ds.Append(row.data());
+  }
+  return ds;
+}
+
+SfaConfig SmallConfig() {
+  SfaConfig config;
+  config.word_length = 8;
+  config.alphabet = 16;
+  config.candidate_coefficients = 16;
+  config.sampling_ratio = 1.0;  // use everything for the small test sets
+  return config;
+}
+
+// ---------------------------------------------------------------- training
+
+TEST(McbTest, ConfigNames) {
+  SfaConfig config;
+  config.binning = quant::BinningMethod::kEquiWidth;
+  config.variance_selection = true;
+  EXPECT_EQ(SfaConfigName(config), "SFA EW +VAR");
+  config.variance_selection = false;
+  EXPECT_EQ(SfaConfigName(config), "SFA EW");
+  config.binning = quant::BinningMethod::kEquiDepth;
+  EXPECT_EQ(SfaConfigName(config), "SFA ED");
+  config.variance_selection = true;
+  EXPECT_EQ(SfaConfigName(config), "SFA ED +VAR");
+}
+
+TEST(McbTest, TrainedSchemeHasRequestedShape) {
+  const auto data = RandomWalkDataset(500, 128, 1);
+  const auto scheme = TrainSfa(data, SmallConfig());
+  EXPECT_EQ(scheme->word_length(), 8u);
+  EXPECT_EQ(scheme->alphabet(), 16u);
+  EXPECT_EQ(scheme->series_length(), 128u);
+  EXPECT_EQ(scheme->selected_values().size(), 8u);
+}
+
+TEST(McbTest, SelectionIsDeterministicGivenSeed) {
+  const auto data = RandomWalkDataset(300, 96, 2);
+  const auto a = TrainSfa(data, SmallConfig());
+  const auto b = TrainSfa(data, SmallConfig());
+  EXPECT_EQ(a->selected_values().size(), b->selected_values().size());
+  for (std::size_t i = 0; i < a->selected_values().size(); ++i) {
+    EXPECT_TRUE(a->selected_values()[i] == b->selected_values()[i]);
+  }
+}
+
+TEST(McbTest, ParallelTrainingMatchesSerial) {
+  const auto data = RandomWalkDataset(400, 128, 3);
+  ThreadPool pool(4);
+  const auto serial = TrainSfa(data, SmallConfig());
+  const auto parallel = TrainSfa(data, SmallConfig(), &pool);
+  ASSERT_EQ(serial->selected_values().size(),
+            parallel->selected_values().size());
+  for (std::size_t i = 0; i < serial->selected_values().size(); ++i) {
+    EXPECT_TRUE(serial->selected_values()[i] == parallel->selected_values()[i]);
+  }
+  // Identical bins too.
+  for (std::size_t d = 0; d < serial->word_length(); ++d) {
+    for (std::uint32_t s = 0; s < serial->alphabet(); ++s) {
+      ASSERT_EQ(
+          serial->table().lower_bounds()[d * serial->alphabet() + s],
+          parallel->table().lower_bounds()[d * parallel->alphabet() + s]);
+    }
+  }
+}
+
+TEST(McbTest, VarianceSelectionPrefersLowFrequenciesOnRandomWalk) {
+  // Random walks concentrate variance in the lowest coefficients.
+  const auto data = RandomWalkDataset(500, 256, 4);
+  SfaConfig config = SmallConfig();
+  config.candidate_coefficients = 32;
+  const auto scheme = TrainSfa(data, config);
+  EXPECT_LT(scheme->MeanSelectedCoefficientIndex(), 8.0);
+}
+
+TEST(McbTest, VarianceSelectionReachesHighFrequenciesOnNoise) {
+  // White noise spreads variance evenly: the mean selected index on noise
+  // must exceed the random-walk one (the Fig. 13 mechanism).
+  SfaConfig config = SmallConfig();
+  config.candidate_coefficients = 32;
+  const auto walk = TrainSfa(RandomWalkDataset(400, 256, 5), config);
+  const auto noise = TrainSfa(NoiseDataset(400, 256, 6), config);
+  EXPECT_GT(noise->MeanSelectedCoefficientIndex(),
+            walk->MeanSelectedCoefficientIndex());
+}
+
+TEST(McbTest, LowPassModeTakesFirstValuesInOrder) {
+  const auto data = NoiseDataset(300, 128, 7);
+  SfaConfig config = SmallConfig();
+  config.variance_selection = false;
+  const auto scheme = TrainSfa(data, config);
+  const auto& sel = scheme->selected_values();
+  // Expect (1,re),(1,im),(2,re),(2,im),(3,re),(3,im),(4,re),(4,im).
+  ASSERT_EQ(sel.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(sel[i].coeff, 1 + i / 2);
+    EXPECT_EQ(sel[i].imag, i % 2 == 1);
+  }
+}
+
+TEST(McbTest, SelectedValuesAreDistinct) {
+  const auto data = NoiseDataset(300, 96, 8);
+  SfaConfig config = SmallConfig();
+  config.word_length = 16;
+  const auto scheme = TrainSfa(data, config);
+  std::set<std::pair<int, int>> seen;
+  for (const auto ref : scheme->selected_values()) {
+    seen.insert({ref.coeff, ref.imag ? 1 : 0});
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(McbTest, VarianceOrderIsDescending) {
+  // The trainer orders selected values by descending sample variance so
+  // early abandoning touches the widest-spread values first. Verify via the
+  // learned equi-width bin spans, which are proportional to value range.
+  const auto data = NoiseDataset(500, 256, 9);
+  SfaConfig config = SmallConfig();
+  config.word_length = 8;
+  config.binning = quant::BinningMethod::kEquiWidth;
+  const auto scheme = TrainSfa(data, config);
+  // Compute per-dimension total finite span from the table.
+  std::vector<double> spans;
+  const std::size_t alphabet = scheme->alphabet();
+  for (std::size_t d = 0; d < scheme->word_length(); ++d) {
+    const float lo = scheme->table().lower_bounds()[d * alphabet + 1];
+    const float hi =
+        scheme->table().upper_bounds()[d * alphabet + alphabet - 2];
+    spans.push_back(hi - lo);
+  }
+  // Spans need not be strictly sorted (variance != range), but the first
+  // must not be dramatically smaller than the last.
+  EXPECT_GT(spans.front(), 0.5 * spans.back());
+}
+
+TEST(McbTest, SmallDatasetUsesAllSeries) {
+  // min_sample larger than the dataset: trainer must not crash and must
+  // use every series.
+  const auto data = RandomWalkDataset(50, 64, 10);
+  SfaConfig config = SmallConfig();
+  config.sampling_ratio = 0.001;
+  config.min_sample = 256;
+  const auto scheme = TrainSfa(data, config);
+  EXPECT_EQ(scheme->word_length(), 8u);
+}
+
+// ---------------------------------------------------------------- scheme
+
+TEST(SfaSchemeTest, ProjectExtractsSelectedCoefficients) {
+  const auto data = NoiseDataset(200, 64, 11);
+  const auto scheme = TrainSfa(data, SmallConfig());
+  // Manually transform one series and compare.
+  dft::RealDftPlan plan(64);
+  std::vector<std::complex<float>> coeffs(plan.num_coefficients());
+  plan.Transform(data.row(0), coeffs.data());
+  std::vector<float> values(scheme->word_length());
+  scheme->Project(data.row(0), values.data());
+  for (std::size_t d = 0; d < scheme->word_length(); ++d) {
+    const ValueRef ref = scheme->selected_values()[d];
+    const float expected =
+        ref.imag ? coeffs[ref.coeff].imag() : coeffs[ref.coeff].real();
+    ASSERT_NEAR(values[d], expected, 1e-4f);
+  }
+}
+
+TEST(SfaSchemeTest, WeightsAreParsevalFactors) {
+  const auto data = NoiseDataset(200, 64, 12);
+  const auto scheme = TrainSfa(data, SmallConfig());
+  for (std::size_t d = 0; d < scheme->word_length(); ++d) {
+    const ValueRef ref = scheme->selected_values()[d];
+    const float expected =
+        scheme->dft_plan().IsUnpaired(ref.coeff) ? 1.0f : 2.0f;
+    EXPECT_EQ(scheme->weights()[d], expected);
+  }
+}
+
+TEST(SfaSchemeTest, MeanSelectedCoefficientIndex) {
+  SfaSpec spec;
+  spec.series_length = 64;
+  spec.alphabet = 4;
+  spec.selected = {{1, false}, {3, false}, {5, true}, {7, true}};
+  spec.edges.assign(4, {-1.0f, 0.0f, 1.0f});
+  SfaScheme scheme(spec);
+  EXPECT_DOUBLE_EQ(scheme.MeanSelectedCoefficientIndex(), 4.0);
+}
+
+TEST(SfaSchemeTest, RejectsImaginaryPartOfNyquist) {
+  SfaSpec spec;
+  spec.series_length = 64;
+  spec.alphabet = 4;
+  spec.selected = {{32, true}};  // Nyquist imaginary — identically zero
+  spec.edges.assign(1, {-1.0f, 0.0f, 1.0f});
+  EXPECT_DEATH(SfaScheme scheme(spec), "identically zero");
+}
+
+// The central invariant, swept over every paper ablation variant
+// (binning × variance selection) and series lengths incl. non-pow2.
+struct SfaVariant {
+  quant::BinningMethod binning;
+  bool variance;
+  std::size_t series_length;
+};
+
+class SfaLowerBoundTest : public ::testing::TestWithParam<SfaVariant> {};
+
+TEST_P(SfaLowerBoundTest, SfaLbdLowerBoundsEuclidean) {
+  const SfaVariant variant = GetParam();
+  const std::size_t n = variant.series_length;
+  // Train on one distribution, evaluate LBD vs ED on *fresh* series — the
+  // bound must hold for out-of-sample data too (values beyond the learned
+  // range fall into the unbounded outer bins).
+  const auto train = NoiseDataset(300, n, 13);
+  SfaConfig config;
+  config.word_length = 16;
+  config.alphabet = 16;
+  config.binning = variant.binning;
+  config.variance_selection = variant.variance;
+  config.sampling_ratio = 1.0;
+  const auto scheme = TrainSfa(train, config);
+
+  Rng rng(14);
+  auto scratch = scheme->NewScratch();
+  std::vector<float> projection(16);
+  std::vector<float> values(16);
+  std::vector<std::uint8_t> word(16);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Mix of in-distribution and wilder out-of-distribution series.
+    const double scale = (trial % 3 == 0) ? 4.0 : 1.0;
+    std::vector<float> query(n);
+    std::vector<float> candidate(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      query[t] = static_cast<float>(rng.Gaussian(0.0, scale));
+      candidate[t] = static_cast<float>(rng.Gaussian(0.0, scale));
+    }
+    ZNormalize(query.data(), n);
+    ZNormalize(candidate.data(), n);
+    scheme->Project(query.data(), projection.data(), scratch.get());
+    scheme->Symbolize(candidate.data(), word.data(), scratch.get(),
+                      values.data());
+    const float lbd_sq = quant::LbdSquared(scheme->table(), scheme->weights(),
+                                           projection.data(), word.data());
+    const float ed_sq = SquaredEuclidean(query.data(), candidate.data(), n);
+    ASSERT_LE(lbd_sq, ed_sq * (1.0f + 1e-4f) + 1e-4f)
+        << "variant " << SfaConfigName(config) << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, SfaLowerBoundTest,
+    ::testing::Values(
+        SfaVariant{quant::BinningMethod::kEquiWidth, true, 128},
+        SfaVariant{quant::BinningMethod::kEquiWidth, false, 128},
+        SfaVariant{quant::BinningMethod::kEquiDepth, true, 128},
+        SfaVariant{quant::BinningMethod::kEquiDepth, false, 128},
+        SfaVariant{quant::BinningMethod::kEquiWidth, true, 96},
+        SfaVariant{quant::BinningMethod::kEquiDepth, true, 100},
+        SfaVariant{quant::BinningMethod::kEquiWidth, true, 256}));
+
+// ---------------------------------------------------------------- TLB
+
+TEST(TlbTest, TlbWithinUnitInterval) {
+  const auto data = NoiseDataset(300, 128, 15);
+  const auto queries = NoiseDataset(20, 128, 16);
+  const auto scheme = TrainSfa(data, SmallConfig());
+  const double tlb = MeanTlb(*scheme, data, queries);
+  EXPECT_GT(tlb, 0.0);
+  EXPECT_LE(tlb, 1.0);
+}
+
+TEST(TlbTest, LargerAlphabetImprovesTlb) {
+  // The Table V/VI trend: TLB grows with alphabet size.
+  const auto data = NoiseDataset(400, 128, 17);
+  const auto queries = NoiseDataset(20, 128, 18);
+  SfaConfig small = SmallConfig();
+  small.alphabet = 4;
+  SfaConfig large = SmallConfig();
+  large.alphabet = 256;
+  const double tlb_small = MeanTlb(*TrainSfa(data, small), data, queries);
+  const double tlb_large = MeanTlb(*TrainSfa(data, large), data, queries);
+  EXPECT_GT(tlb_large, tlb_small);
+}
+
+TEST(TlbTest, SfaBeatsSaxOnHighFrequencyData) {
+  // The paper's headline ablation: on high-frequency data the SFA lower
+  // bound is tighter than the iSAX one.
+  const std::size_t n = 256;
+  const auto data = NoiseDataset(500, n, 19);
+  const auto queries = NoiseDataset(20, n, 20);
+  SfaConfig config;
+  config.word_length = 16;
+  config.alphabet = 256;
+  config.sampling_ratio = 1.0;
+  const auto sfa = TrainSfa(data, config);
+  sax::SaxScheme sax_scheme(n, 16, 256);
+  const double tlb_sfa = MeanTlb(*sfa, data, queries);
+  const double tlb_sax = MeanTlb(sax_scheme, data, queries);
+  EXPECT_GT(tlb_sfa, tlb_sax);
+}
+
+TEST(TlbTest, DeterministicGivenSeed) {
+  const auto data = NoiseDataset(200, 96, 21);
+  const auto queries = NoiseDataset(10, 96, 22);
+  const auto scheme = TrainSfa(data, SmallConfig());
+  TlbOptions options;
+  options.seed = 99;
+  EXPECT_DOUBLE_EQ(MeanTlb(*scheme, data, queries, options),
+                   MeanTlb(*scheme, data, queries, options));
+}
+
+}  // namespace
+}  // namespace sfa
+}  // namespace sofa

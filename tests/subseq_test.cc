@@ -1,0 +1,440 @@
+// Tests for the subsequence-search substrate: rolling stats vs a naive
+// window sweep, the MASS distance profile against a brute-force sliding
+// z-ED oracle (parameterized over series/query lengths incl. non-dyadic),
+// flat-window handling, MASS/UCR-scan agreement, and top-k extraction
+// with exclusion zones.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/znorm.h"
+#include "subseq/mass.h"
+#include "subseq/rolling_stats.h"
+#include "subseq/subseq_match.h"
+#include "subseq/ucr_subseq.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace sofa {
+namespace subseq {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+std::vector<float> RandomWalk(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> series(n);
+  double level = 0.0;
+  for (auto& x : series) {
+    level += rng.Gaussian();
+    x = static_cast<float>(level);
+  }
+  return series;
+}
+
+std::vector<float> NoiseSeries(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> series(n);
+  for (auto& x : series) {
+    x = static_cast<float>(rng.Gaussian());
+  }
+  return series;
+}
+
+// Brute-force z-normalized sliding distance profile (the oracle).
+std::vector<float> NaiveProfile(const std::vector<float>& series,
+                                const std::vector<float>& query) {
+  const std::size_t n = series.size();
+  const std::size_t m = query.size();
+  std::vector<float> qz(query);
+  ZNormalize(qz.data(), m);
+  std::vector<float> profile(n - m + 1);
+  for (std::size_t i = 0; i + m <= n; ++i) {
+    std::vector<float> window(series.begin() + i, series.begin() + i + m);
+    double mean = 0.0;
+    for (const float x : window) {
+      mean += x;
+    }
+    mean /= static_cast<double>(m);
+    double var = 0.0;
+    for (const float x : window) {
+      var += (x - mean) * (x - mean);
+    }
+    var /= static_cast<double>(m);
+    if (var <= 0.0) {
+      profile[i] = kInf;
+      continue;
+    }
+    const double inv_std = 1.0 / std::sqrt(var);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double diff = qz[j] - (window[j] - mean) * inv_std;
+      sum += diff * diff;
+    }
+    profile[i] = static_cast<float>(std::sqrt(sum));
+  }
+  return profile;
+}
+
+// ---------------------------------------------------------------------------
+// Rolling stats
+
+TEST(RollingStatsTest, MatchesNaiveWindows) {
+  const std::vector<float> series = NoiseSeries(200, 0x90);
+  for (const std::size_t m : {1, 2, 7, 50, 200}) {
+    const RollingStats stats = ComputeRollingStats(series.data(), 200, m);
+    ASSERT_EQ(stats.mean.size(), 200 - m + 1);
+    for (std::size_t i = 0; i + m <= 200; ++i) {
+      double mean = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        mean += series[i + j];
+      }
+      mean /= static_cast<double>(m);
+      double var = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        var += (series[i + j] - mean) * (series[i + j] - mean);
+      }
+      var /= static_cast<double>(m);
+      ASSERT_NEAR(stats.mean[i], mean, 1e-6) << "m=" << m << " i=" << i;
+      ASSERT_NEAR(stats.std[i], std::sqrt(var), 1e-6)
+          << "m=" << m << " i=" << i;
+    }
+  }
+}
+
+TEST(RollingStatsTest, ConstantWindowsHaveZeroStd) {
+  std::vector<float> series(64, 0.0f);
+  for (std::size_t t = 40; t < 64; ++t) {
+    series[t] = static_cast<float>(t);  // ramp after a flat head
+  }
+  const RollingStats stats = ComputeRollingStats(series.data(), 64, 8);
+  EXPECT_DOUBLE_EQ(stats.std[0], 0.0);
+  EXPECT_DOUBLE_EQ(stats.std[32], 0.0);  // last all-flat window [32,40)
+  EXPECT_GT(stats.std[40], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// MASS vs the oracle, parameterized over (n, m)
+
+struct ProfileCase {
+  std::size_t n;
+  std::size_t m;
+};
+
+class MassProfileTest : public ::testing::TestWithParam<ProfileCase> {};
+
+TEST_P(MassProfileTest, MatchesNaiveProfile) {
+  const auto [n, m] = GetParam();
+  for (const bool walk : {false, true}) {
+    const std::vector<float> series =
+        walk ? RandomWalk(n, 0x91 + n) : NoiseSeries(n, 0x92 + n);
+    const std::vector<float> query =
+        walk ? RandomWalk(m, 0x93 + m) : NoiseSeries(m, 0x94 + m);
+    const std::vector<float> expected = NaiveProfile(series, query);
+
+    MassPlan plan(n, m);
+    ASSERT_EQ(plan.profile_length(), expected.size());
+    std::vector<float> profile(plan.profile_length());
+    plan.DistanceProfile(series.data(), query.data(), profile.data());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_NEAR(profile[i], expected[i], 2e-3f * (1.0f + expected[i]))
+          << "walk=" << walk << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MassProfileTest,
+    ::testing::Values(ProfileCase{64, 8}, ProfileCase{100, 17},
+                      ProfileCase{256, 64}, ProfileCase{300, 96},
+                      ProfileCase{1000, 100}, ProfileCase{64, 64},
+                      ProfileCase{129, 2}),
+    [](const ::testing::TestParamInfo<ProfileCase>& info) {
+      std::string name = "n";
+      name += std::to_string(info.param.n);
+      name += "_m";
+      name += std::to_string(info.param.m);
+      return name;
+    });
+
+TEST(MassTest, WholeMatchingDegenerateCase) {
+  // m == n: the profile has exactly one entry — the z-ED of the two
+  // whole series.
+  const std::vector<float> series = RandomWalk(128, 0x95);
+  const std::vector<float> query = RandomWalk(128, 0x96);
+  MassPlan plan(128, 128);
+  float profile[1];
+  plan.DistanceProfile(series.data(), query.data(), profile);
+  const std::vector<float> expected = NaiveProfile(series, query);
+  EXPECT_NEAR(profile[0], expected[0], 2e-3f * (1.0f + expected[0]));
+}
+
+TEST(MassTest, PlantedMotifIsTheArgmin) {
+  // Plant the (noised) query deep inside an unrelated walk; the profile
+  // minimum must be at the planted offset.
+  std::vector<float> series = RandomWalk(2000, 0x97);
+  const std::vector<float> query = RandomWalk(100, 0x98);
+  Rng rng(0x99);
+  const std::size_t planted = 1234;
+  for (std::size_t j = 0; j < 100; ++j) {
+    series[planted + j] =
+        3.0f * query[j] + static_cast<float>(0.05 * rng.Gaussian());
+  }
+  MassPlan plan(2000, 100);
+  std::vector<float> profile(plan.profile_length());
+  plan.DistanceProfile(series.data(), query.data(), profile.data());
+  const std::size_t argmin =
+      std::min_element(profile.begin(), profile.end()) - profile.begin();
+  EXPECT_EQ(argmin, planted);
+  // Scale-invariance of z-ED: the planted copy is near-zero despite 3×.
+  EXPECT_LT(profile[planted], 1.0f);
+}
+
+TEST(MassTest, FlatWindowsAreInfinite) {
+  std::vector<float> series = NoiseSeries(256, 0x9a);
+  std::fill(series.begin() + 100, series.begin() + 140, 2.5f);
+  MassPlan plan(256, 20);
+  std::vector<float> profile(plan.profile_length());
+  const std::vector<float> query = NoiseSeries(20, 0x9b);
+  plan.DistanceProfile(series.data(), query.data(), profile.data());
+  // Windows fully inside the plateau are flat.
+  for (std::size_t i = 100; i + 20 <= 140; ++i) {
+    EXPECT_EQ(profile[i], kInf) << "i=" << i;
+  }
+  EXPECT_LT(profile[0], kInf);
+}
+
+// ---------------------------------------------------------------------------
+// UCR subsequence scan
+
+TEST(UcrSubseqTest, AgreesWithMassArgmin) {
+  for (const std::uint64_t seed : {0xa0, 0xa1, 0xa2, 0xa3}) {
+    const std::vector<float> series = RandomWalk(3000, seed);
+    const std::vector<float> query = RandomWalk(64, seed + 100);
+    MassPlan plan(3000, 64);
+    std::vector<float> profile(plan.profile_length());
+    plan.DistanceProfile(series.data(), query.data(), profile.data());
+    const std::size_t argmin =
+        std::min_element(profile.begin(), profile.end()) - profile.begin();
+
+    const SubseqMatch match =
+        FindBestMatch(series.data(), 3000, query.data(), 64);
+    EXPECT_EQ(match.position, argmin) << "seed=" << seed;
+    EXPECT_NEAR(match.distance, profile[argmin],
+                2e-3f * (1.0f + profile[argmin]));
+  }
+}
+
+TEST(UcrSubseqTest, EarlyAbandoningActuallyPrunes) {
+  const std::vector<float> series = RandomWalk(20000, 0xa4);
+  const std::vector<float> query = RandomWalk(128, 0xa5);
+  UcrSubseqProfile profile;
+  FindBestMatch(series.data(), 20000, query.data(), 128, &profile);
+  ASSERT_GT(profile.windows, 0u);
+  const double touched_fraction =
+      static_cast<double>(profile.points_touched) /
+      (static_cast<double>(profile.windows) * 128.0);
+  // On smooth data with a warm best-so-far, most of each window is
+  // abandoned (paper Section II-B rationale for early abandoning).
+  EXPECT_LT(touched_fraction, 0.5);
+}
+
+TEST(UcrSubseqTest, SkipsFlatWindows) {
+  std::vector<float> series = NoiseSeries(400, 0xa6);
+  std::fill(series.begin() + 50, series.begin() + 150, -1.0f);
+  const std::vector<float> query = NoiseSeries(32, 0xa7);
+  UcrSubseqProfile profile;
+  const SubseqMatch match =
+      FindBestMatch(series.data(), 400, query.data(), 32, &profile);
+  EXPECT_GT(profile.flat_windows, 0u);
+  EXPECT_FALSE(match.position >= 50 && match.position + 32 <= 150);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel (chunked) MASS
+
+struct ParallelCase {
+  std::size_t n;
+  std::size_t m;
+  std::size_t chunk_windows;  // 0 = auto
+  std::size_t threads;
+};
+
+class ParallelMassTest : public ::testing::TestWithParam<ParallelCase> {};
+
+TEST_P(ParallelMassTest, EqualsSingleShotProfile) {
+  const ParallelCase param = GetParam();
+  ThreadPool pool(param.threads);
+  const std::vector<float> series = RandomWalk(param.n, 0xb1 + param.n);
+  const std::vector<float> query = RandomWalk(param.m, 0xb2 + param.m);
+
+  MassPlan plan(param.n, param.m);
+  std::vector<float> expected(plan.profile_length());
+  plan.DistanceProfile(series.data(), query.data(), expected.data());
+
+  std::vector<float> parallel(plan.profile_length(), -1.0f);
+  ParallelDistanceProfile(series.data(), param.n, query.data(), param.m,
+                          parallel.data(), &pool, param.chunk_windows);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(parallel[i], expected[i], 2e-3f * (1.0f + expected[i]))
+        << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelMassTest,
+    ::testing::Values(ParallelCase{5000, 64, 0, 2},
+                      ParallelCase{5000, 64, 333, 3},   // uneven tail
+                      ParallelCase{1000, 100, 901, 2},  // one chunk
+                      ParallelCase{1000, 100, 1, 4},    // chunk = 1 window
+                      ParallelCase{257, 17, 100, 2},    // non-dyadic
+                      ParallelCase{512, 512, 0, 2}),    // whole matching
+    [](const ::testing::TestParamInfo<ParallelCase>& info) {
+      std::string name = "n";
+      name += std::to_string(info.param.n);
+      name += "_m";
+      name += std::to_string(info.param.m);
+      name += "_c";
+      name += std::to_string(info.param.chunk_windows);
+      name += "_t";
+      name += std::to_string(info.param.threads);
+      return name;
+    });
+
+TEST(ParallelMassTest, FlatRegionsSurviveChunking) {
+  ThreadPool pool(2);
+  std::vector<float> series = NoiseSeries(2000, 0xb3);
+  std::fill(series.begin() + 700, series.begin() + 900, 1.0f);
+  const std::vector<float> query = NoiseSeries(50, 0xb4);
+  MassPlan plan(2000, 50);
+  std::vector<float> expected(plan.profile_length());
+  plan.DistanceProfile(series.data(), query.data(), expected.data());
+  std::vector<float> parallel(plan.profile_length());
+  ParallelDistanceProfile(series.data(), 2000, query.data(), 50,
+                          parallel.data(), &pool, 300);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (std::isinf(expected[i])) {
+      ASSERT_EQ(parallel[i], kInf) << "i=" << i;
+    } else {
+      ASSERT_NEAR(parallel[i], expected[i], 2e-3f * (1.0f + expected[i]));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate contracts
+
+TEST(SubseqDeathTest, ConstantQueryAborts) {
+  const std::vector<float> series = NoiseSeries(64, 0xac);
+  const std::vector<float> flat(16, 1.0f);
+  MassPlan plan(64, 16);
+  std::vector<float> profile(plan.profile_length());
+  EXPECT_DEATH(
+      plan.DistanceProfile(series.data(), flat.data(), profile.data()),
+      "constant query");
+  EXPECT_DEATH(FindBestMatch(series.data(), 64, flat.data(), 16),
+               "constant query");
+}
+
+TEST(SubseqDeathTest, AllFlatStreamAborts) {
+  const std::vector<float> flat(64, 3.0f);
+  const std::vector<float> query = NoiseSeries(16, 0xad);
+  EXPECT_DEATH(FindBestMatch(flat.data(), 64, query.data(), 16),
+               "constant");
+}
+
+TEST(SubseqDeathTest, QueryLongerThanStreamAborts) {
+  const std::vector<float> series = NoiseSeries(16, 0xae);
+  const std::vector<float> query = NoiseSeries(32, 0xaf);
+  EXPECT_DEATH(MassPlan(16, 32), "query length");
+}
+
+TEST(MassTest, AllFlatStreamProfileIsAllInfinite) {
+  // MASS tolerates a fully flat stream (unlike the scan, which must
+  // return a position) — every window is just +inf, and TopK is empty.
+  const std::vector<float> flat(64, 3.0f);
+  const std::vector<float> query = NoiseSeries(16, 0xb0);
+  MassPlan plan(64, 16);
+  std::vector<float> profile(plan.profile_length());
+  plan.DistanceProfile(flat.data(), query.data(), profile.data());
+  for (const float d : profile) {
+    EXPECT_EQ(d, kInf);
+  }
+  EXPECT_TRUE(plan.TopK(flat.data(), query.data(), 3).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Top-k extraction
+
+TEST(TopKFromProfileTest, ExclusionZoneSuppressesNeighbors) {
+  // Profile with a deep valley at 50 and its shoulder at 52, plus a
+  // second event at 200.
+  std::vector<float> profile(300, 10.0f);
+  profile[50] = 1.0f;
+  profile[52] = 1.1f;
+  profile[200] = 2.0f;
+  const auto matches = TopKFromProfile(profile.data(), 300, 2, 10);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].position, 50u);
+  EXPECT_EQ(matches[1].position, 200u);  // 52 excluded by the zone
+
+  const auto no_exclusion = TopKFromProfile(profile.data(), 300, 2, 0);
+  EXPECT_EQ(no_exclusion[1].position, 52u);
+}
+
+TEST(TopKFromProfileTest, InfiniteEntriesNeverMatch) {
+  std::vector<float> profile(10, kInf);
+  profile[3] = 1.0f;
+  const auto matches = TopKFromProfile(profile.data(), 10, 5, 0);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].position, 3u);
+}
+
+TEST(TopKFromProfileTest, AscendingByDistance) {
+  const std::vector<float> noise = NoiseSeries(500, 0xa8);
+  std::vector<float> profile(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    profile[i] = std::fabs(noise[i]);
+  }
+  const auto matches = TopKFromProfile(profile.data(), 500, 20, 3);
+  ASSERT_EQ(matches.size(), 20u);
+  for (std::size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_LE(matches[i - 1].distance, matches[i].distance);
+  }
+}
+
+TEST(MassTest, TopKConvenienceFindsRepeatedEvents) {
+  // Three noised copies of the same event; TopK(3) must find all three.
+  std::vector<float> series = RandomWalk(4000, 0xa9);
+  const std::vector<float> event = RandomWalk(80, 0xaa);
+  Rng rng(0xab);
+  const std::size_t offsets[] = {500, 1700, 3200};
+  for (const std::size_t offset : offsets) {
+    for (std::size_t j = 0; j < 80; ++j) {
+      series[offset + j] =
+          event[j] + static_cast<float>(0.05 * rng.Gaussian());
+    }
+  }
+  MassPlan plan(4000, 80);
+  const auto matches = plan.TopK(series.data(), event.data(), 3);
+  ASSERT_EQ(matches.size(), 3u);
+  std::vector<std::size_t> found;
+  for (const auto& match : matches) {
+    found.push_back(match.position);
+  }
+  std::sort(found.begin(), found.end());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(static_cast<double>(found[i]),
+                static_cast<double>(offsets[i]), 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace subseq
+}  // namespace sofa

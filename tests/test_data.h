@@ -1,0 +1,108 @@
+// Shared synthetic data helpers for the engine tests (index, scan, flat).
+
+#ifndef SOFA_TESTS_TEST_DATA_H_
+#define SOFA_TESTS_TEST_DATA_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/neighbor.h"
+#include "core/znorm.h"
+#include "util/rng.h"
+
+namespace sofa {
+namespace testing_data {
+
+/// Z-normalized white-noise dataset (flat spectrum).
+inline Dataset Noise(std::size_t count, std::size_t length,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(length);
+  std::vector<float> row(length);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (auto& x : row) {
+      x = static_cast<float>(rng.Gaussian());
+    }
+    ZNormalize(row.data(), length);
+    ds.Append(row.data());
+  }
+  return ds;
+}
+
+/// Z-normalized random-walk dataset (energy in low frequencies).
+inline Dataset Walk(std::size_t count, std::size_t length,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(length);
+  std::vector<float> row(length);
+  for (std::size_t i = 0; i < count; ++i) {
+    double level = 0.0;
+    for (auto& x : row) {
+      level += rng.Gaussian();
+      x = static_cast<float>(level);
+    }
+    ZNormalize(row.data(), length);
+    ds.Append(row.data());
+  }
+  return ds;
+}
+
+/// Dataset with many exact duplicates (stresses unsplittable leaves).
+inline Dataset Duplicates(std::size_t count, std::size_t length,
+                          std::size_t distinct, std::uint64_t seed) {
+  const Dataset base = Noise(distinct, length, seed);
+  Dataset ds(length);
+  Rng rng(seed + 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    ds.Append(base.row(rng.Below(distinct)));
+  }
+  return ds;
+}
+
+/// Exact k-NN by brute force (float arithmetic, same kernels as the
+/// engines) — the test oracle.
+inline std::vector<Neighbor> BruteForceKnn(const Dataset& data,
+                                           const float* query,
+                                           std::size_t k) {
+  std::vector<Neighbor> all(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    all[i] = Neighbor{
+        static_cast<std::uint32_t>(i),
+        std::sqrt(SquaredEuclidean(query, data.row(i), data.length()))};
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance || (a.distance == b.distance && a.id < b.id);
+  });
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+/// Asserts distance-level equality of two k-NN answers (ids may differ on
+/// exact ties).
+inline ::testing::AssertionResult SameDistances(
+    const std::vector<Neighbor>& actual, const std::vector<Neighbor>& expected,
+    float tolerance = 2e-3f) {
+  if (actual.size() != expected.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << actual.size() << " vs " << expected.size();
+  }
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const float scale = std::max(1.0f, expected[i].distance);
+    if (std::fabs(actual[i].distance - expected[i].distance) >
+        tolerance * scale) {
+      return ::testing::AssertionFailure()
+             << "rank " << i << ": " << actual[i].distance << " (id "
+             << actual[i].id << ") vs expected " << expected[i].distance
+             << " (id " << expected[i].id << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace testing_data
+}  // namespace sofa
+
+#endif  // SOFA_TESTS_TEST_DATA_H_
