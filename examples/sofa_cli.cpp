@@ -11,19 +11,29 @@
 //                     (row 0 of each file = the stream / the pattern)
 //   sofa_cli tlb      --data=data.fvecs --queries=queries.fvecs
 //                     [--method=DFT|PAA|APCA|PLA|CHEBY|DHWT] [--word=16]
+//   sofa_cli serve    --data=data.fvecs --index=index.sofa
+//                     --queries=queries.fvecs [--k=10] [--epsilon=0]
+//                     [--mode=auto|latency|throughput] [--batch=64]
+//                     [--deadline_ms=0] [--repeat=1]
+//                     (streams the queries through the SearchService and
+//                      prints serving metrics: QPS, p50/p95/p99, pruning)
 //
 // Data files may be .fvecs (auto-detected by extension), .bvecs, or raw
 // float32 (pass --length). Demonstrates the full persistence story:
 // generate → save → build → save index → reload → query.
 
 #include <cstdio>
+#include <future>
 #include <string>
+#include <vector>
 
 #include "core/io.h"
 #include "datagen/datasets.h"
 #include "elastic/dtw_scan.h"
 #include "index/serialization.h"
 #include "index/tree_index.h"
+#include "service/search_service.h"
+#include "service/snapshot.h"
 #include "numeric/numeric_tlb.h"
 #include "numeric/registry.h"
 #include "sax/sax_scheme.h"
@@ -181,6 +191,95 @@ int Info(const Flags& flags, ThreadPool* pool) {
   return 0;
 }
 
+// Streams the query file through a SearchService and reports serving
+// metrics — the serving-layer counterpart of `query` (which times one
+// exploratory query at a time).
+int Serve(const Flags& flags, ThreadPool* pool) {
+  const auto data = LoadData(flags, "data");
+  if (!data.has_value()) {
+    return 1;
+  }
+  const auto queries = LoadData(flags, "queries");
+  if (!queries.has_value()) {
+    return 1;
+  }
+  const auto loaded =
+      index::LoadIndex(flags.GetString("index", "index.sofa"), &*data, pool);
+  if (!loaded.has_value()) {
+    std::fprintf(stderr, "failed to load index (wrong dataset?)\n");
+    return 1;
+  }
+  const std::size_t k = static_cast<std::size_t>(flags.GetInt("k", 10));
+  const double epsilon = flags.GetDouble("epsilon", 0.0);
+  const double deadline_ms = flags.GetDouble("deadline_ms", 0.0);
+  const std::size_t repeat =
+      static_cast<std::size_t>(flags.GetInt("repeat", 1));
+  const std::string mode = flags.GetString("mode", "auto");
+
+  service::ServiceConfig config;
+  config.max_batch = static_cast<std::size_t>(flags.GetInt("batch", 64));
+  config.max_pending = queries->size() * repeat + 1;
+  if (mode == "latency") {
+    config.latency_mode_threshold = config.max_batch;  // never cross-query
+  } else if (mode == "throughput") {
+    config.latency_mode_threshold = 0;  // always cross-query
+  }
+  service::SearchService svc(
+      service::WrapIndex(loaded->tree.get()), pool, config);
+
+  WallTimer timer;
+  std::vector<std::future<service::SearchResponse>> futures;
+  futures.reserve(queries->size() * repeat);
+  for (std::size_t r = 0; r < repeat; ++r) {
+    for (std::size_t q = 0; q < queries->size(); ++q) {
+      service::SearchRequest request;
+      request.query.assign(queries->row(q),
+                           queries->row(q) + queries->length());
+      request.k = k;
+      request.epsilon = epsilon;
+      request.collect_profile = true;
+      if (deadline_ms > 0.0) {
+        request.SetDeadlineMs(deadline_ms);
+      }
+      futures.push_back(svc.Submit(std::move(request)));
+    }
+  }
+  for (auto& future : futures) {
+    (void)future.get();
+  }
+  const double wall_seconds = timer.Seconds();
+
+  const service::MetricsSnapshot metrics = svc.Metrics();
+  std::printf("served %zu requests in %.2f s (mode=%s, batch<=%zu)\n",
+              futures.size(), wall_seconds, mode.c_str(),
+              config.max_batch);
+  std::printf("  ok %llu  rejected %llu  expired %llu  invalid %llu\n",
+              static_cast<unsigned long long>(metrics.completed),
+              static_cast<unsigned long long>(metrics.rejected),
+              static_cast<unsigned long long>(metrics.expired),
+              static_cast<unsigned long long>(metrics.invalid));
+  std::printf("  QPS %.1f\n",
+              static_cast<double>(metrics.completed) / wall_seconds);
+  std::printf("  latency ms: mean %.3f  p50 %.3f  p95 %.3f  p99 %.3f  "
+              "max %.3f\n",
+              metrics.latency_mean_ms, metrics.latency_p50_ms,
+              metrics.latency_p95_ms, metrics.latency_p99_ms,
+              metrics.latency_max_ms);
+  std::printf("  scheduling: %llu latency-mode queries, %llu "
+              "throughput batches (%llu queries)\n",
+              static_cast<unsigned long long>(metrics.latency_queries),
+              static_cast<unsigned long long>(metrics.throughput_batches),
+              static_cast<unsigned long long>(metrics.throughput_queries));
+  std::printf("  pruning: %.1f%% of series cut by LBD before raw data "
+              "(%llu LBD checks, %llu real distances)\n",
+              100.0 * metrics.profile.SeriesPruningRatio(),
+              static_cast<unsigned long long>(
+                  metrics.profile.series_lbd_checked),
+              static_cast<unsigned long long>(
+                  metrics.profile.series_ed_computed));
+  return 0;
+}
+
 // Exact k-NN under banded DTW over the whole collection (assumes the
 // files hold z-normalized series, as written by `generate`).
 int DtwScanCommand(const Flags& flags, ThreadPool* pool) {
@@ -297,7 +396,8 @@ int main(int argc, char** argv) {
   if (flags.positional().empty()) {
     std::fprintf(stderr,
                  "usage: sofa_cli "
-                 "generate|build|query|info|dtw-scan|subseq|tlb [flags]\n");
+                 "generate|build|query|serve|info|dtw-scan|subseq|tlb "
+                 "[flags]\n");
     return 1;
   }
   const std::string command = flags.positional()[0];
@@ -309,6 +409,9 @@ int main(int argc, char** argv) {
   }
   if (command == "query") {
     return Query(flags, &pool);
+  }
+  if (command == "serve") {
+    return Serve(flags, &pool);
   }
   if (command == "info") {
     return Info(flags, &pool);

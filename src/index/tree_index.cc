@@ -4,6 +4,7 @@
 
 #include "index/index_builder.h"
 #include "index/query_engine.h"
+#include "service/executor.h"
 #include "util/check.h"
 
 namespace sofa {
@@ -120,18 +121,17 @@ std::vector<Neighbor> TreeIndex::SearchKnnLeafOnly(const float* query,
 std::vector<std::vector<Neighbor>> TreeIndex::SearchKnnBatch(
     const Dataset& queries, std::size_t k) const {
   SOFA_CHECK_EQ(queries.length(), data_->length());
+  // Cross-query parallelism is the serving layer's job; this entry point
+  // is a thin convenience over its executor.
   std::vector<std::vector<Neighbor>> results(queries.size());
-  // Parallelism across queries; each individual query runs single-threaded
-  // (thread override 1) so workers never nest parallel sections.
-  const QueryEngine engine(this);
-  DynamicParallelFor(pool_, queries.size(), 1,
-                     [&](std::size_t begin, std::size_t end, std::size_t) {
-                       for (std::size_t q = begin; q < end; ++q) {
-                         results[q] = engine.Search(
-                             queries.row(q), k, /*epsilon=*/0.0,
-                             /*profile=*/nullptr, /*num_threads=*/1);
-                       }
-                     });
+  std::vector<service::QueryTask> tasks(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    tasks[q].query = queries.row(q);
+    tasks[q].k = k;
+    tasks[q].result = &results[q];
+  }
+  service::RunThroughputBatch(*this, &tasks, pool_,
+                              config_.num_threads);
   return results;
 }
 

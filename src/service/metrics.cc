@@ -1,0 +1,55 @@
+#include "service/metrics.h"
+
+namespace sofa {
+namespace service {
+
+MetricsCollector::MetricsCollector() : latency_ms_(1e-3, 1e5) {}
+
+void MetricsCollector::RecordThroughputBatch(std::uint64_t batch_size) {
+  throughput_batches_.fetch_add(1, std::memory_order_relaxed);
+  throughput_queries_.fetch_add(batch_size, std::memory_order_relaxed);
+}
+
+void MetricsCollector::RecordCompleted(double latency_ms,
+                                       const index::QueryProfile* profile) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  latency_ms_.Record(latency_ms);
+  if (profile != nullptr) {
+    std::lock_guard<std::mutex> lock(profile_mutex_);
+    profile_.Merge(*profile);
+  }
+}
+
+MetricsSnapshot MetricsCollector::Snapshot() const {
+  MetricsSnapshot snapshot;
+  snapshot.submitted = submitted_.load(std::memory_order_relaxed);
+  snapshot.completed = completed_.load(std::memory_order_relaxed);
+  snapshot.rejected = rejected_.load(std::memory_order_relaxed);
+  snapshot.expired = expired_.load(std::memory_order_relaxed);
+  snapshot.invalid = invalid_.load(std::memory_order_relaxed);
+  snapshot.swaps = swaps_.load(std::memory_order_relaxed);
+  snapshot.latency_queries =
+      latency_queries_.load(std::memory_order_relaxed);
+  snapshot.throughput_batches =
+      throughput_batches_.load(std::memory_order_relaxed);
+  snapshot.throughput_queries =
+      throughput_queries_.load(std::memory_order_relaxed);
+  snapshot.uptime_seconds = uptime_.Seconds();
+  snapshot.qps = snapshot.uptime_seconds > 0.0
+                     ? static_cast<double>(snapshot.completed) /
+                           snapshot.uptime_seconds
+                     : 0.0;
+  snapshot.latency_mean_ms = latency_ms_.Mean();
+  snapshot.latency_p50_ms = latency_ms_.Percentile(50.0);
+  snapshot.latency_p95_ms = latency_ms_.Percentile(95.0);
+  snapshot.latency_p99_ms = latency_ms_.Percentile(99.0);
+  snapshot.latency_max_ms = latency_ms_.MaxValue();
+  {
+    std::lock_guard<std::mutex> lock(profile_mutex_);
+    snapshot.profile = profile_;
+  }
+  return snapshot;
+}
+
+}  // namespace service
+}  // namespace sofa

@@ -1,0 +1,92 @@
+// Serving metrics: what a production deployment watches while the engine
+// answers traffic — admission counts, a latency histogram (p50/p95/p99),
+// QPS, scheduling-mode decisions, hot-swap count, and the merged
+// QueryProfile pruning counters of profiled queries.
+
+#ifndef SOFA_SERVICE_METRICS_H_
+#define SOFA_SERVICE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "index/tree_index.h"
+#include "util/histogram.h"
+#include "util/timer.h"
+
+namespace sofa {
+namespace service {
+
+/// Point-in-time copy of the collector, safe to read after the fact.
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;   // admission attempts
+  std::uint64_t completed = 0;   // answered queries
+  std::uint64_t rejected = 0;    // bounced at admission (queue full/shutdown)
+  std::uint64_t expired = 0;     // dropped at dispatch (deadline passed)
+  std::uint64_t invalid = 0;     // malformed (query length mismatch)
+  std::uint64_t swaps = 0;       // index generations published
+
+  std::uint64_t latency_queries = 0;     // ran with intra-query parallelism
+  std::uint64_t throughput_batches = 0;  // cross-query parallel batches
+  std::uint64_t throughput_queries = 0;  // queries inside those batches
+
+  double uptime_seconds = 0.0;
+  double qps = 0.0;  // completed / uptime
+
+  double latency_mean_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+
+  /// Merged pruning counters of all profile-opted queries.
+  index::QueryProfile profile;
+};
+
+/// Thread-safe aggregation; Record* calls are cheap enough for the
+/// dispatch/completion path (atomics + lock-free histogram; only the
+/// optional profile merge takes a mutex).
+class MetricsCollector {
+ public:
+  MetricsCollector();
+
+  void RecordSubmitted() { Bump(&submitted_); }
+  void RecordRejected() { Bump(&rejected_); }
+  void RecordExpired() { Bump(&expired_); }
+  void RecordInvalid() { Bump(&invalid_); }
+  void RecordSwap() { Bump(&swaps_); }
+  void RecordLatencyModeQuery() { Bump(&latency_queries_); }
+  void RecordThroughputBatch(std::uint64_t batch_size);
+
+  /// One answered query: end-to-end latency plus (optionally) its merged
+  /// work counters.
+  void RecordCompleted(double latency_ms,
+                       const index::QueryProfile* profile = nullptr);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  static void Bump(std::atomic<std::uint64_t>* counter) {
+    counter->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  WallTimer uptime_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> invalid_{0};
+  std::atomic<std::uint64_t> swaps_{0};
+  std::atomic<std::uint64_t> latency_queries_{0};
+  std::atomic<std::uint64_t> throughput_batches_{0};
+  std::atomic<std::uint64_t> throughput_queries_{0};
+  LogHistogram latency_ms_;  // 1 µs .. 100 s
+
+  mutable std::mutex profile_mutex_;
+  index::QueryProfile profile_;
+};
+
+}  // namespace service
+}  // namespace sofa
+
+#endif  // SOFA_SERVICE_METRICS_H_

@@ -1,0 +1,254 @@
+#include "service/search_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "index/query_engine.h"
+#include "service/executor.h"
+#include "util/check.h"
+
+namespace sofa {
+namespace service {
+
+SearchService::SearchService(std::shared_ptr<const IndexSnapshot> snapshot,
+                             ThreadPool* pool, ServiceConfig config)
+    : pool_(pool), config_(config), snapshot_(std::move(snapshot)),
+      paused_(config.start_paused) {
+  SOFA_CHECK(pool_ != nullptr);
+  SOFA_CHECK(snapshot_ != nullptr && snapshot_->tree != nullptr);
+  SOFA_CHECK(config_.max_pending > 0);
+  if (config_.max_batch == 0) {
+    config_.max_batch = 1;
+  }
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+SearchService::~SearchService() { Shutdown(); }
+
+double SearchService::ElapsedMs(
+    std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+std::future<SearchResponse> SearchService::Submit(SearchRequest request) {
+  metrics_.RecordSubmitted();
+  PendingRequest pending;
+  pending.request = std::move(request);
+  pending.submit_time = std::chrono::steady_clock::now();
+  std::future<SearchResponse> future = pending.promise.get_future();
+  bool stopped;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!stopping_ && queue_.size() < config_.max_pending) {
+      queue_.push_back(std::move(pending));
+      work_cv_.notify_one();
+      return future;
+    }
+    stopped = stopping_;
+  }
+  // Shed without running: stopped, or the admission queue is full.
+  SearchResponse response;
+  response.status =
+      stopped ? RequestStatus::kShutdown : RequestStatus::kRejected;
+  metrics_.RecordRejected();
+  pending.promise.set_value(std::move(response));
+  return future;
+}
+
+SearchResponse SearchService::Search(SearchRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+std::uint64_t SearchService::Publish(
+    std::shared_ptr<const IndexSnapshot> snapshot) {
+  SOFA_CHECK(snapshot != nullptr && snapshot->tree != nullptr);
+  std::uint64_t version;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot_ = std::move(snapshot);
+    version = ++version_;
+  }
+  metrics_.RecordSwap();
+  return version;
+}
+
+std::shared_ptr<const IndexSnapshot> SearchService::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_;
+}
+
+std::uint64_t SearchService::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
+}
+
+void SearchService::Pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void SearchService::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void SearchService::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [this] {
+    return stopping_ || (queue_.empty() && !executing_);
+  });
+}
+
+void SearchService::Shutdown() {
+  // Serialized: a second caller (e.g. the destructor racing an explicit
+  // Shutdown) blocks here until the first has joined the dispatcher, so
+  // nobody returns while the dispatcher thread is still alive.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  std::deque<PendingRequest> drained;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    drained.swap(queue_);
+  }
+  work_cv_.notify_all();
+  drain_cv_.notify_all();
+  for (PendingRequest& pending : drained) {
+    SearchResponse response;
+    response.status = RequestStatus::kShutdown;
+    response.latency_ms = ElapsedMs(pending.submit_time);
+    metrics_.RecordRejected();
+    pending.promise.set_value(std::move(response));
+  }
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+  }
+}
+
+MetricsSnapshot SearchService::Metrics() const { return metrics_.Snapshot(); }
+
+std::size_t SearchService::PendingCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void SearchService::DispatcherLoop() {
+  while (true) {
+    std::vector<PendingRequest> batch;
+    std::shared_ptr<const IndexSnapshot> snapshot;
+    std::uint64_t version = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (stopping_) {
+        return;  // Shutdown() fails whatever is still queued
+      }
+      const std::size_t n = std::min(queue_.size(), config_.max_batch);
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      snapshot = snapshot_;  // the generation this whole batch runs against
+      version = version_;
+      executing_ = true;
+    }
+    ExecuteBatch(&batch, *snapshot, version);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      executing_ = false;
+      if (queue_.empty()) {
+        drain_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
+                                 const IndexSnapshot& snapshot,
+                                 std::uint64_t version) {
+  const index::TreeIndex& tree = *snapshot.tree;
+  const auto now = std::chrono::steady_clock::now();
+
+  // Admission-time bookkeeping per request; expired/malformed requests are
+  // answered without touching the engine.
+  std::vector<SearchResponse> responses(batch->size());
+  std::vector<std::size_t> runnable;
+  runnable.reserve(batch->size());
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    const SearchRequest& request = (*batch)[i].request;
+    responses[i].index_version = version;
+    if (request.deadline < now) {
+      responses[i].status = RequestStatus::kDeadlineExpired;
+      metrics_.RecordExpired();
+    } else if (request.query.size() != tree.data().length()) {
+      responses[i].status = RequestStatus::kInvalidRequest;
+      metrics_.RecordInvalid();
+    } else {
+      runnable.push_back(i);
+    }
+  }
+
+  if (!runnable.empty()) {
+    const bool latency_mode = runnable.size() <= config_.latency_mode_threshold;
+    if (latency_mode) {
+      const index::QueryEngine engine(&tree);
+      for (const std::size_t i : runnable) {
+        const SearchRequest& request = (*batch)[i].request;
+        // A request can expire while the queries before it in this batch
+        // run; re-check right before execution.
+        if (request.deadline < std::chrono::steady_clock::now()) {
+          responses[i].status = RequestStatus::kDeadlineExpired;
+          metrics_.RecordExpired();
+          continue;
+        }
+        metrics_.RecordLatencyModeQuery();
+        responses[i].neighbors = engine.Search(
+            request.query.data(), request.k, request.epsilon,
+            request.collect_profile ? &responses[i].profile : nullptr,
+            config_.num_threads);
+      }
+    } else {
+      std::vector<QueryTask> tasks(runnable.size());
+      for (std::size_t t = 0; t < runnable.size(); ++t) {
+        const std::size_t i = runnable[t];
+        const SearchRequest& request = (*batch)[i].request;
+        tasks[t].query = request.query.data();
+        tasks[t].k = request.k;
+        tasks[t].epsilon = request.epsilon;
+        tasks[t].deadline = request.deadline;
+        tasks[t].profile =
+            request.collect_profile ? &responses[i].profile : nullptr;
+        tasks[t].result = &responses[i].neighbors;
+      }
+      RunThroughputBatch(tree, &tasks, pool_, config_.num_threads);
+      metrics_.RecordThroughputBatch(runnable.size());
+      for (std::size_t t = 0; t < runnable.size(); ++t) {
+        if (tasks[t].expired) {
+          responses[runnable[t]].status = RequestStatus::kDeadlineExpired;
+          metrics_.RecordExpired();
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    PendingRequest& pending = (*batch)[i];
+    responses[i].latency_ms = ElapsedMs(pending.submit_time);
+    if (responses[i].status == RequestStatus::kOk) {
+      metrics_.RecordCompleted(
+          responses[i].latency_ms,
+          pending.request.collect_profile ? &responses[i].profile : nullptr);
+    }
+    pending.promise.set_value(std::move(responses[i]));
+  }
+}
+
+}  // namespace service
+}  // namespace sofa

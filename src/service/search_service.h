@@ -1,0 +1,197 @@
+// SearchService — the concurrent query-serving layer over the exact
+// engine (ROADMAP: "serves heavy traffic from millions of users").
+//
+// Clients Submit() k-NN requests from any number of threads; a bounded
+// admission queue sheds load beyond its capacity (kRejected). A dedicated
+// dispatcher thread drains the queue in batches and adapts parallelism to
+// load:
+//
+//   * light load (batch ≤ latency_mode_threshold): each query runs with
+//     full intra-query parallelism — the paper's exploratory protocol,
+//     minimal latency;
+//   * heavy load: the batch runs through the cross-query executor, one
+//     worker thread per query — maximal throughput at the same total
+//     core count.
+//
+// Both modes are exact: answers are identical to a sequential
+// QueryEngine::Search. The service owns the live index generation behind
+// a std::shared_ptr<const IndexSnapshot>; Publish() swaps it without
+// stopping traffic (in-flight batches finish on the generation they
+// started with). Serving metrics (QPS, latency percentiles, admission
+// counts, merged pruning profiles) accumulate in a MetricsCollector.
+//
+// Threading contract: Submit() is thread-safe; the blocking helpers
+// (Search, Drain, Shutdown, destructor) must be called from threads that
+// are NOT workers of the service's thread pool — they wait on work the
+// pool must execute.
+
+#ifndef SOFA_SERVICE_SEARCH_SERVICE_H_
+#define SOFA_SERVICE_SEARCH_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/neighbor.h"
+#include "service/metrics.h"
+#include "service/snapshot.h"
+#include "util/thread_pool.h"
+
+namespace sofa {
+namespace service {
+
+/// Outcome of one request.
+enum class RequestStatus {
+  kOk,              // answered exactly (or ε-approximately, as requested)
+  kRejected,        // admission queue full — shed at Submit()
+  kDeadlineExpired, // deadline passed before the query ran
+  kShutdown,        // service stopped before the query ran
+  kInvalidRequest,  // query length does not match the live index
+};
+
+/// One k-NN request. The query series is copied in (the caller's buffer
+/// is free after Submit returns); length must equal the live index's
+/// series length.
+struct SearchRequest {
+  std::vector<float> query;
+  std::size_t k = 1;
+  double epsilon = 0.0;  // ε-approximation; 0 = exact
+
+  /// Absolute drop-dead time; requests still queued past it are answered
+  /// kDeadlineExpired without running. Default: no deadline.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  /// Opt into work counters (QueryProfile) for this request.
+  bool collect_profile = false;
+
+  /// Convenience: sets the deadline relative to now.
+  void SetDeadlineMs(double ms) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(static_cast<std::int64_t>(ms * 1e3));
+  }
+};
+
+/// One answer.
+struct SearchResponse {
+  RequestStatus status = RequestStatus::kOk;
+  std::vector<Neighbor> neighbors;      // ascending by distance; kOk only
+  double latency_ms = 0.0;              // Submit() → completion
+  std::uint64_t index_version = 0;      // which published generation answered
+  index::QueryProfile profile;          // filled when collect_profile
+};
+
+/// Service tuning knobs.
+struct ServiceConfig {
+  /// Admission bound: requests beyond this many pending are kRejected.
+  std::size_t max_pending = 1024;
+
+  /// Most requests drained per dispatch round (one executor batch).
+  std::size_t max_batch = 64;
+
+  /// Batches of at most this many requests run in latency mode (full
+  /// intra-query parallelism); larger batches run in throughput mode
+  /// (one thread per query). 0 forces throughput mode for everything.
+  std::size_t latency_mode_threshold = 1;
+
+  /// Worker threads used per dispatch round (0 = pool size).
+  std::size_t num_threads = 0;
+
+  /// Start with the dispatcher paused (requests queue up until Resume()).
+  bool start_paused = false;
+};
+
+class SearchService {
+ public:
+  /// Starts serving `snapshot` (version 1) on `pool`. The pool must
+  /// outlive the service and should not be shared with blocking callers
+  /// (see the threading contract above).
+  SearchService(std::shared_ptr<const IndexSnapshot> snapshot,
+                ThreadPool* pool, ServiceConfig config = ServiceConfig{});
+
+  /// Stops the dispatcher; pending requests are answered kShutdown.
+  ~SearchService();
+
+  SearchService(const SearchService&) = delete;
+  SearchService& operator=(const SearchService&) = delete;
+
+  /// Enqueues a request; the future resolves when it completes (any
+  /// status). Never blocks on query execution.
+  std::future<SearchResponse> Submit(SearchRequest request);
+
+  /// Synchronous convenience: Submit + wait.
+  SearchResponse Search(SearchRequest request);
+
+  /// Publishes a new index generation; takes effect from the next
+  /// dispatch round, without interrupting in-flight queries. Returns the
+  /// new generation's version number.
+  std::uint64_t Publish(std::shared_ptr<const IndexSnapshot> snapshot);
+
+  /// The currently live generation (and its version, if wanted).
+  std::shared_ptr<const IndexSnapshot> snapshot() const;
+  std::uint64_t version() const;
+
+  /// Pauses/resumes dispatch (admission stays open — useful to stage a
+  /// backlog or quiesce execution around maintenance).
+  void Pause();
+  void Resume();
+
+  /// Blocks until the queue is empty and no batch is executing. With the
+  /// dispatcher paused and work queued this can only return after a
+  /// Resume() from another thread — call Resume() first when staging a
+  /// backlog single-threadedly.
+  void Drain();
+
+  /// Stops accepting work and fails everything still queued with
+  /// kShutdown; idempotent.
+  void Shutdown();
+
+  /// Point-in-time serving metrics.
+  MetricsSnapshot Metrics() const;
+
+  /// Current queue depth (pending, not yet dispatched).
+  std::size_t PendingCount() const;
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct PendingRequest {
+    SearchRequest request;
+    std::promise<SearchResponse> promise;
+    std::chrono::steady_clock::time_point submit_time;
+  };
+
+  void DispatcherLoop();
+  void ExecuteBatch(std::vector<PendingRequest>* batch,
+                    const IndexSnapshot& snapshot, std::uint64_t version);
+  static double ElapsedMs(std::chrono::steady_clock::time_point since);
+
+  ThreadPool* pool_;
+  ServiceConfig config_;
+  MetricsCollector metrics_;
+
+  std::mutex shutdown_mutex_;  // serializes Shutdown() callers
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // dispatcher wakeups
+  std::condition_variable drain_cv_;  // Drain()/Shutdown() waiters
+  std::shared_ptr<const IndexSnapshot> snapshot_;
+  std::uint64_t version_ = 1;
+  std::deque<PendingRequest> queue_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  bool executing_ = false;  // a batch is running outside the lock
+
+  std::thread dispatcher_;
+};
+
+}  // namespace service
+}  // namespace sofa
+
+#endif  // SOFA_SERVICE_SEARCH_SERVICE_H_

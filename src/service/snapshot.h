@@ -1,0 +1,71 @@
+// The unit of index hot-swapping: an immutable bundle of everything one
+// published index generation needs to stay alive while queries run
+// against it.
+//
+// SearchService publishes snapshots behind a std::shared_ptr; every batch
+// of queries acquires the pointer once and holds it for the duration of
+// execution, so a Publish() of a rebuilt or freshly LoadIndex-ed index
+// never invalidates an in-flight query — the old generation is destroyed
+// when its last running query drops the reference.
+
+#ifndef SOFA_SERVICE_SNAPSHOT_H_
+#define SOFA_SERVICE_SNAPSHOT_H_
+
+#include <memory>
+#include <utility>
+
+#include "core/dataset.h"
+#include "index/serialization.h"
+#include "index/tree_index.h"
+
+namespace sofa {
+namespace service {
+
+/// One published index generation. `tree` is the index queries run
+/// against and is never null; the remaining members are optional
+/// keep-alive handles for whatever parts of the generation the snapshot
+/// owns (a borrowed index leaves them empty — the caller then guarantees
+/// the lifetime instead).
+struct IndexSnapshot {
+  std::shared_ptr<const Dataset> data;
+  std::unique_ptr<quant::SummaryScheme> scheme;
+  std::unique_ptr<index::TreeIndex> owned_tree;
+  const index::TreeIndex* tree = nullptr;
+};
+
+/// Wraps an externally owned index (the common case for benches and tests:
+/// index, scheme and dataset outlive the service).
+inline std::shared_ptr<const IndexSnapshot> WrapIndex(
+    const index::TreeIndex* tree) {
+  auto snapshot = std::make_shared<IndexSnapshot>();
+  snapshot->tree = tree;
+  return snapshot;
+}
+
+/// Takes ownership of a snapshot's parts — e.g. a freshly built index
+/// generation. Any handle may be null except `tree`.
+inline std::shared_ptr<const IndexSnapshot> MakeSnapshot(
+    std::shared_ptr<const Dataset> data,
+    std::unique_ptr<quant::SummaryScheme> scheme,
+    std::unique_ptr<index::TreeIndex> tree) {
+  auto snapshot = std::make_shared<IndexSnapshot>();
+  snapshot->data = std::move(data);
+  snapshot->scheme = std::move(scheme);
+  snapshot->owned_tree = std::move(tree);
+  snapshot->tree = snapshot->owned_tree.get();
+  return snapshot;
+}
+
+/// Adopts the result of index::LoadIndex (scheme + tree), optionally with
+/// a keep-alive handle on the collection it was loaded against — the
+/// serialization → hot-swap path.
+inline std::shared_ptr<const IndexSnapshot> AdoptLoadedIndex(
+    index::LoadedIndex loaded, std::shared_ptr<const Dataset> data = nullptr) {
+  return MakeSnapshot(std::move(data), std::move(loaded.scheme),
+                      std::move(loaded.tree));
+}
+
+}  // namespace service
+}  // namespace sofa
+
+#endif  // SOFA_SERVICE_SNAPSHOT_H_

@@ -1,0 +1,116 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sofa {
+namespace {
+
+// fetch_add / fetch_max for atomic<double> via CAS (C++17 has no native
+// floating-point RMW operations).
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (current < value &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+LogHistogram::LogHistogram(double min_value, double max_value,
+                           std::size_t buckets_per_decade) {
+  SOFA_CHECK(min_value > 0.0);
+  SOFA_CHECK(max_value > min_value);
+  SOFA_CHECK(buckets_per_decade > 0);
+  min_value_ = min_value;
+  log_min_ = std::log(min_value);
+  log_growth_ = std::log(10.0) / static_cast<double>(buckets_per_decade);
+  inv_log_growth_ = 1.0 / log_growth_;
+  const double span = std::log(max_value) - log_min_;
+  const std::size_t buckets =
+      static_cast<std::size_t>(std::ceil(span * inv_log_growth_)) + 1;
+  counts_ = std::vector<std::atomic<std::uint64_t>>(buckets);
+}
+
+std::size_t LogHistogram::BucketIndex(double value) const {
+  if (value <= min_value_) {
+    return 0;
+  }
+  const double raw = (std::log(value) - log_min_) * inv_log_growth_;
+  const std::size_t bucket = static_cast<std::size_t>(raw);
+  return std::min(bucket, counts_.size() - 1);
+}
+
+double LogHistogram::BucketLowerEdge(std::size_t bucket) const {
+  return std::exp(log_min_ + static_cast<double>(bucket) * log_growth_);
+}
+
+void LogHistogram::Record(double value) {
+  value = std::max(value, 0.0);
+  counts_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicMax(&max_, value);
+}
+
+std::uint64_t LogHistogram::TotalCount() const {
+  return total_.load(std::memory_order_relaxed);
+}
+
+double LogHistogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double LogHistogram::Mean() const {
+  const std::uint64_t n = TotalCount();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double LogHistogram::MaxValue() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double LogHistogram::Percentile(double p) const {
+  const std::uint64_t total = TotalCount();
+  if (total == 0) {
+    return 0.0;
+  }
+  p = std::min(100.0, std::max(0.0, p));
+  const double target = p / 100.0 * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::uint64_t count = counts_[b].load(std::memory_order_relaxed);
+    if (count == 0) {
+      continue;
+    }
+    if (static_cast<double>(cumulative + count) >= target) {
+      // Interpolate inside the bucket, capped by the observed maximum.
+      const double lower = BucketLowerEdge(b);
+      const double upper = BucketLowerEdge(b + 1);
+      const double within =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(count);
+      return std::min(lower + (upper - lower) * within, MaxValue());
+    }
+    cumulative += count;
+  }
+  return MaxValue();
+}
+
+void LogHistogram::Reset() {
+  for (auto& count : counts_) {
+    count.store(0, std::memory_order_relaxed);
+  }
+  total_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace sofa

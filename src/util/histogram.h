@@ -1,0 +1,67 @@
+// Concurrent log-bucketed histogram for positive measurements (latencies,
+// queue depths). Recording is lock-free (relaxed atomic bucket counters),
+// so pool workers can record from the hot path; reading produces a
+// consistent-enough snapshot for serving dashboards and benches.
+
+#ifndef SOFA_UTIL_HISTOGRAM_H_
+#define SOFA_UTIL_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sofa {
+
+/// Geometric-bucket histogram over [min_value, max_value): bucket edges
+/// grow by a constant factor, giving bounded relative error for
+/// percentiles. Values outside the range are clamped into the first/last
+/// bucket.
+class LogHistogram {
+ public:
+  /// `buckets_per_decade` controls resolution: 20 gives ~12% relative
+  /// error, plenty for pXX latency reporting.
+  LogHistogram(double min_value, double max_value,
+               std::size_t buckets_per_decade = 20);
+
+  LogHistogram(const LogHistogram&) = delete;
+  LogHistogram& operator=(const LogHistogram&) = delete;
+
+  /// Records one measurement. Thread-safe, lock-free.
+  void Record(double value);
+
+  /// Number of recorded measurements.
+  std::uint64_t TotalCount() const;
+
+  /// Sum of recorded measurements (for the mean).
+  double Sum() const;
+
+  /// Mean of recorded measurements; 0 when empty.
+  double Mean() const;
+
+  /// Largest recorded measurement; 0 when empty.
+  double MaxValue() const;
+
+  /// Linear-interpolated percentile estimate, p in [0, 100]; 0 when empty.
+  double Percentile(double p) const;
+
+  /// Resets all counters to zero. Not atomic w.r.t. concurrent Record().
+  void Reset();
+
+ private:
+  std::size_t BucketIndex(double value) const;
+  double BucketLowerEdge(std::size_t bucket) const;
+
+  double min_value_;
+  double log_min_;
+  double inv_log_growth_;  // 1 / ln(growth factor)
+  double log_growth_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+}  // namespace sofa
+
+#endif  // SOFA_UTIL_HISTOGRAM_H_
