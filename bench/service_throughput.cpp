@@ -2,22 +2,31 @@
 // executor versus the paper's sequential one-query-at-a-time protocol, at
 // matched total thread counts, on a synthetic random-walk (RW) collection.
 //
-// Three execution styles per thread count T:
+// Four execution styles per thread count T:
 //   sequential  — the paper's protocol: one query at a time, each with
 //                 T-way intra-query parallelism (QueryEngine::Search);
 //   executor    — raw cross-query fan-out: T workers, one thread per
 //                 query (service::RunThroughputBatch);
 //   service     — end-to-end SearchService in throughput mode (admission
-//                 queue + dispatcher + metrics), swept over batch sizes.
+//                 queue + dispatcher + metrics), swept over batch sizes;
+//   shardS      — SearchService over a shard::ShardedIndex of S shards
+//                 (scatter-gather merge), swept over --shards, so QPS and
+//                 p99 are comparable shard count by shard count against
+//                 the single-index rows above.
 //
 // Expected shape: under cross-query parallelism QPS scales with T while
 // per-query sync overhead (queue locks, worker handoffs) is amortized
 // away, so `executor`/`service` clear the sequential baseline — the
-// FAISS/FLASH batching result. The final verdict line compares the best
-// throughput-mode QPS against the sequential baseline at the same T.
+// FAISS/FLASH batching result. Sharding adds a per-query scatter/merge
+// cost in exchange for smaller per-shard trees; at these in-memory sizes
+// it is roughly QPS-neutral (its payoff is per-shard rebuild/republish
+// and collections too large for one index). The final verdict lines
+// compare the best throughput-mode and the best sharded QPS against the
+// sequential baseline at the same T.
 //
 // Flags: --n_series=50000 --n_queries=400 --length=256 --k=10
-//        --threads=1,2,4 --batches=1,8,32,128 --leaf_size=1000 --seed=7
+//        --threads=1,2,4 --batches=1,8,32,128 --shards=1,2,4
+//        --leaf_size=1000 --seed=7
 
 #include <algorithm>
 #include <cstdio>
@@ -34,6 +43,7 @@
 #include "service/search_service.h"
 #include "service/snapshot.h"
 #include "sfa/mcb.h"
+#include "shard/sharded_index.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -93,6 +103,8 @@ int main(int argc, char** argv) {
       ParseSizeList(flags, "threads", {1, 2, 4, 8});
   const std::vector<std::size_t> batch_sizes =
       ParseSizeList(flags, "batches", {1, 8, 32, 128});
+  const std::vector<std::size_t> shard_counts =
+      ParseSizeList(flags, "shards", {1, 2, 4});
 
   std::printf("service_throughput — RW collection, %zu series x %zu, "
               "%zu queries, k=%zu (%zu hardware threads)\n\n",
@@ -110,7 +122,8 @@ int main(int argc, char** argv) {
   sfa::SfaConfig sfa_config;
   sfa_config.word_length = 16;
   sfa_config.alphabet = 256;
-  const auto scheme = sfa::TrainSfa(data, sfa_config, &pool);
+  const std::shared_ptr<const quant::SummaryScheme> scheme =
+      sfa::TrainSfa(data, sfa_config, &pool);
   index::IndexConfig index_config;
   index_config.leaf_capacity = leaf_size;
   WallTimer build_timer;
@@ -121,8 +134,10 @@ int main(int argc, char** argv) {
                       "p99 (ms)", "vs sequential"});
   double best_speedup = 0.0;
   std::size_t best_threads = 0;
+  std::vector<double> seq_qps_at(thread_counts.size(), 0.0);
 
-  for (const std::size_t threads : thread_counts) {
+  for (std::size_t ti = 0; ti < thread_counts.size(); ++ti) {
+    const std::size_t threads = thread_counts[ti];
     // --- sequential baseline: the paper's protocol at T threads.
     const index::QueryEngine engine(&tree);
     std::vector<double> latencies;
@@ -136,6 +151,7 @@ int main(int argc, char** argv) {
     }
     const double seq_seconds = timer.Seconds();
     const double seq_qps = static_cast<double>(n_queries) / seq_seconds;
+    seq_qps_at[ti] = seq_qps;
     table.AddRow({std::to_string(threads), "sequential", "-",
                   FormatDouble(seq_qps, 1),
                   FormatDouble(stats::Percentile(latencies, 50.0), 3),
@@ -201,10 +217,67 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- sharded service: scatter-gather over S shards, throughput mode.
+  double best_shard_speedup = 0.0;
+  std::size_t best_shard_count = 0, best_shard_threads = 0;
+  const std::size_t shard_batch =
+      *std::max_element(batch_sizes.begin(), batch_sizes.end());
+  for (const std::size_t shards : shard_counts) {
+    shard::ShardingConfig shard_config;
+    shard_config.num_shards = shards;
+    shard_config.index.leaf_capacity = leaf_size;
+    WallTimer shard_build_timer;
+    const auto sharded =
+        shard::ShardedIndex::Build(data, shard_config, scheme, &pool);
+    std::printf("sharded index (S=%zu) built in %.2f s\n", shards,
+                shard_build_timer.Seconds());
+    for (std::size_t ti = 0; ti < thread_counts.size(); ++ti) {
+      const std::size_t threads = thread_counts[ti];
+      service::ServiceConfig config;
+      config.latency_mode_threshold = 0;  // throughput mode
+      config.max_batch = shard_batch;
+      config.max_pending = queries.size();
+      config.num_threads = threads;
+      config.start_paused = true;
+      service::SearchService svc(service::WrapShardedIndex(sharded), &pool,
+                                 config);
+      std::vector<std::future<service::SearchResponse>> futures;
+      futures.reserve(queries.size());
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        service::SearchRequest request;
+        request.query.assign(queries.row(q), queries.row(q) + length);
+        request.k = k;
+        futures.push_back(svc.Submit(std::move(request)));
+      }
+      WallTimer timer;
+      svc.Resume();
+      for (auto& future : futures) {
+        (void)future.get();
+      }
+      const double qps = static_cast<double>(n_queries) / timer.Seconds();
+      const double speedup = qps / seq_qps_at[ti];
+      const service::MetricsSnapshot metrics = svc.Metrics();
+      table.AddRow({std::to_string(threads), "shard" + std::to_string(shards),
+                    std::to_string(shard_batch), FormatDouble(qps, 1),
+                    FormatDouble(metrics.latency_p50_ms, 3),
+                    FormatDouble(metrics.latency_p99_ms, 3),
+                    FormatDouble(speedup, 2) + "x"});
+      if (speedup > best_shard_speedup) {
+        best_shard_speedup = speedup;
+        best_shard_count = shards;
+        best_shard_threads = threads;
+      }
+    }
+  }
+  std::printf("\n");
+
   table.Print(std::cout);
   std::printf("\nbest throughput-mode speedup vs sequential at matched "
               "thread count: %.2fx (T=%zu) — target >= 2x\n",
               best_speedup, best_threads);
+  std::printf("best sharded scatter-gather speedup vs sequential at matched "
+              "thread count: %.2fx (S=%zu, T=%zu)\n",
+              best_shard_speedup, best_shard_count, best_shard_threads);
   std::size_t max_threads_requested = 0;
   for (const std::size_t t : thread_counts) {
     max_threads_requested = std::max(max_threads_requested, t);

@@ -2,6 +2,9 @@
 //
 //   sofa_cli generate --dataset=SCEDC --n_series=20000 --out=data.fvecs
 //   sofa_cli build    --data=data.fvecs --index=index.sofa [--scheme=sfa|sax]
+//                     [--shards=N] [--assignment=contiguous|hash]
+//                     (N > 1 partitions the collection and writes one
+//                      index file per shard: index.sofa.shard0 … shardN-1)
 //   sofa_cli query    --data=data.fvecs --index=index.sofa
 //                     --queries=queries.fvecs [--k=10] [--epsilon=0]
 //   sofa_cli info     --data=data.fvecs --index=index.sofa
@@ -15,8 +18,12 @@
 //                     --queries=queries.fvecs [--k=10] [--epsilon=0]
 //                     [--mode=auto|latency|throughput] [--batch=64]
 //                     [--deadline_ms=0] [--repeat=1]
+//                     [--shards=N] [--assignment=contiguous|hash]
 //                     (streams the queries through the SearchService and
-//                      prints serving metrics: QPS, p50/p95/p99, pruning)
+//                      prints serving metrics: QPS, p50/p95/p99, pruning;
+//                      --shards reloads the per-shard files written by
+//                      `build --shards` and serves the scatter-gather
+//                      sharded index — answers are identical)
 //
 // Data files may be .fvecs (auto-detected by extension), .bvecs, or raw
 // float32 (pass --length). Demonstrates the full persistence story:
@@ -34,6 +41,7 @@
 #include "index/tree_index.h"
 #include "service/search_service.h"
 #include "service/snapshot.h"
+#include "shard/sharded_index.h"
 #include "numeric/numeric_tlb.h"
 #include "numeric/registry.h"
 #include "sax/sax_scheme.h"
@@ -72,6 +80,46 @@ std::optional<Dataset> LoadData(const Flags& flags, const std::string& flag) {
     std::fprintf(stderr, "failed to read %s\n", path.c_str());
   }
   return data;
+}
+
+std::string ShardPath(const std::string& index_path, std::size_t s) {
+  return index_path + ".shard" + std::to_string(s);
+}
+
+shard::ShardAssignment ParseAssignment(const Flags& flags) {
+  return flags.GetString("assignment", "contiguous") == "hash"
+             ? shard::ShardAssignment::kHash
+             : shard::ShardAssignment::kContiguous;
+}
+
+// Re-creates the build-time partition and reloads one index file per
+// shard; build and serve must be run with the same --shards/--assignment.
+std::shared_ptr<const shard::ShardedIndex> LoadShardedIndex(
+    const Flags& flags, const std::string& index_path, const Dataset& data,
+    std::size_t num_shards, ThreadPool* pool) {
+  shard::ShardingConfig config;
+  config.num_shards = num_shards;
+  config.assignment = ParseAssignment(flags);
+  const shard::ShardPartition partition =
+      shard::ShardedIndex::Partition(data, num_shards, config.assignment);
+  std::vector<shard::Shard> shards(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    auto loaded = index::LoadIndex(ShardPath(index_path, s),
+                                   partition.data[s].get(), pool);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr,
+                   "failed to load %s (wrong dataset, --shards or "
+                   "--assignment?)\n",
+                   ShardPath(index_path, s).c_str());
+      return nullptr;
+    }
+    shards[s].data = partition.data[s];
+    shards[s].scheme = std::move(loaded->scheme);
+    shards[s].tree = std::move(loaded->tree);
+    shards[s].global_ids = partition.global_ids[s];
+  }
+  return shard::ShardedIndex::FromShards(std::move(shards), config,
+                                         data.length(), pool);
 }
 
 int Generate(const Flags& flags, ThreadPool* pool) {
@@ -124,6 +172,35 @@ int Build(const Flags& flags, ThreadPool* pool) {
   index::IndexConfig config;
   config.leaf_capacity =
       static_cast<std::size_t>(flags.GetInt("leaf_size", 2000));
+
+  const std::size_t num_shards =
+      static_cast<std::size_t>(flags.GetInt("shards", 1));
+  if (num_shards > 1) {
+    shard::ShardingConfig shard_config;
+    shard_config.num_shards = num_shards;
+    shard_config.assignment = ParseAssignment(flags);
+    shard_config.index = config;
+    const std::shared_ptr<const quant::SummaryScheme> shared_scheme =
+        std::move(scheme);
+    const auto sharded =
+        shard::ShardedIndex::Build(*data, shard_config, shared_scheme, pool);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      if (!index::SaveIndex(*sharded->shard(s).tree, ShardPath(index_path, s))) {
+        std::fprintf(stderr, "failed to save shard %zu\n", s);
+        return 1;
+      }
+    }
+    std::printf("built %s index over %zu series in %.2f s, sharded %zux "
+                "(%s) -> %s.shard0..%zu\n",
+                shared_scheme->name().c_str(), data->size(), timer.Seconds(),
+                num_shards,
+                shard_config.assignment == shard::ShardAssignment::kHash
+                    ? "hash"
+                    : "contiguous",
+                index_path.c_str(), num_shards - 1);
+    return 0;
+  }
+
   const index::TreeIndex index(&*data, scheme.get(), config, pool);
   if (!index::SaveIndex(index, index_path)) {
     std::fprintf(stderr, "failed to save index\n");
@@ -203,11 +280,25 @@ int Serve(const Flags& flags, ThreadPool* pool) {
   if (!queries.has_value()) {
     return 1;
   }
-  const auto loaded =
-      index::LoadIndex(flags.GetString("index", "index.sofa"), &*data, pool);
-  if (!loaded.has_value()) {
-    std::fprintf(stderr, "failed to load index (wrong dataset?)\n");
-    return 1;
+  const std::string index_path = flags.GetString("index", "index.sofa");
+  const std::size_t num_shards =
+      static_cast<std::size_t>(flags.GetInt("shards", 1));
+  std::optional<index::LoadedIndex> loaded;  // single-index keep-alive
+  std::shared_ptr<const service::IndexSnapshot> snapshot;
+  if (num_shards > 1) {
+    const auto sharded =
+        LoadShardedIndex(flags, index_path, *data, num_shards, pool);
+    if (sharded == nullptr) {
+      return 1;
+    }
+    snapshot = service::WrapShardedIndex(sharded);
+  } else {
+    loaded = index::LoadIndex(index_path, &*data, pool);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "failed to load index (wrong dataset?)\n");
+      return 1;
+    }
+    snapshot = service::WrapIndex(loaded->tree.get());
   }
   const std::size_t k = static_cast<std::size_t>(flags.GetInt("k", 10));
   const double epsilon = flags.GetDouble("epsilon", 0.0);
@@ -224,8 +315,7 @@ int Serve(const Flags& flags, ThreadPool* pool) {
   } else if (mode == "throughput") {
     config.latency_mode_threshold = 0;  // always cross-query
   }
-  service::SearchService svc(
-      service::WrapIndex(loaded->tree.get()), pool, config);
+  service::SearchService svc(std::move(snapshot), pool, config);
 
   WallTimer timer;
   std::vector<std::future<service::SearchResponse>> futures;
@@ -250,9 +340,10 @@ int Serve(const Flags& flags, ThreadPool* pool) {
   const double wall_seconds = timer.Seconds();
 
   const service::MetricsSnapshot metrics = svc.Metrics();
-  std::printf("served %zu requests in %.2f s (mode=%s, batch<=%zu)\n",
-              futures.size(), wall_seconds, mode.c_str(),
-              config.max_batch);
+  std::printf("served %zu requests in %.2f s (mode=%s, batch<=%zu, "
+              "shards=%zu)\n",
+              futures.size(), wall_seconds, mode.c_str(), config.max_batch,
+              num_shards);
   std::printf("  ok %llu  rejected %llu  expired %llu  invalid %llu\n",
               static_cast<unsigned long long>(metrics.completed),
               static_cast<unsigned long long>(metrics.rejected),

@@ -8,10 +8,12 @@
 
 namespace sofa {
 namespace service {
+namespace {
 
-void RunThroughputBatch(const index::TreeIndex& index,
-                        std::vector<QueryTask>* tasks, ThreadPool* pool,
-                        std::size_t num_workers) {
+// Shared worker loop: tasks with a null index fall back to `default_index`
+// (null only when every task names its own).
+void RunTasks(std::vector<QueryTask>* tasks, ThreadPool* pool,
+              std::size_t num_workers, const index::TreeIndex* default_index) {
   SOFA_CHECK(tasks != nullptr);
   SOFA_CHECK(pool != nullptr);
   if (tasks->empty()) {
@@ -21,7 +23,6 @@ void RunThroughputBatch(const index::TreeIndex& index,
     num_workers = pool->size();
   }
   num_workers = std::min(num_workers, tasks->size());
-  const index::QueryEngine engine(&index);
   // Grain 1: per-query costs are skewed (pruning power varies wildly
   // between queries), so workers pull one query at a time.
   std::atomic<std::size_t> next(0);
@@ -33,15 +34,32 @@ void RunThroughputBatch(const index::TreeIndex& index,
       }
       QueryTask& task = (*tasks)[t];
       SOFA_DCHECK(task.result != nullptr);
+      const index::TreeIndex* index =
+          task.index != nullptr ? task.index : default_index;
+      SOFA_DCHECK(index != nullptr);
       if (task.deadline != std::chrono::steady_clock::time_point::max() &&
           task.deadline < std::chrono::steady_clock::now()) {
         task.expired = true;
         continue;
       }
+      const index::QueryEngine engine(index);
       *task.result = engine.Search(task.query, task.k, task.epsilon,
                                    task.profile, /*num_threads=*/1);
     }
   });
+}
+
+}  // namespace
+
+void RunThroughputBatch(const index::TreeIndex& index,
+                        std::vector<QueryTask>* tasks, ThreadPool* pool,
+                        std::size_t num_workers) {
+  RunTasks(tasks, pool, num_workers, &index);
+}
+
+void RunTaskBatch(std::vector<QueryTask>* tasks, ThreadPool* pool,
+                  std::size_t num_workers) {
+  RunTasks(tasks, pool, num_workers, /*default_index=*/nullptr);
 }
 
 }  // namespace service

@@ -4,8 +4,10 @@
 // traffic the same cores are better spent running many queries at once,
 // each single-threaded (FAISS-style batched execution, FLASH's inter-query
 // parallelism on CPUs). This executor is the one implementation of that
-// fan-out: SearchService dispatches admitted batches through it, and
-// TreeIndex::SearchKnnBatch delegates to it.
+// fan-out: SearchService dispatches admitted batches through it,
+// TreeIndex::SearchKnnBatch delegates to it, and ShardedIndex scatters a
+// query across its shards as one task per shard (every task naming its
+// own index).
 
 #ifndef SOFA_SERVICE_EXECUTOR_H_
 #define SOFA_SERVICE_EXECUTOR_H_
@@ -30,6 +32,11 @@ struct QueryTask {
   index::QueryProfile* profile = nullptr;
   std::vector<Neighbor>* result = nullptr;
 
+  /// Index this task runs against. Required by RunTaskBatch; with
+  /// RunThroughputBatch a null entry falls back to the batch-wide index
+  /// (the homogeneous single-index case).
+  const index::TreeIndex* index = nullptr;
+
   /// Drop-dead time, re-checked when a worker picks the task up (a task
   /// can expire while earlier tasks of the same batch run). Expired
   /// tasks are skipped and flagged instead of executed.
@@ -41,10 +48,17 @@ struct QueryTask {
 /// Answers all tasks exactly, parallel across queries: `num_workers` pool
 /// workers (0 = pool size) dynamically pull tasks and run each query
 /// single-threaded, so per-query work never nests parallel sections.
+/// Tasks without an explicit index run against `index`.
 /// Safe to call from a non-pool thread only (it blocks on the pool).
 void RunThroughputBatch(const index::TreeIndex& index,
                         std::vector<QueryTask>* tasks, ThreadPool* pool,
                         std::size_t num_workers = 0);
+
+/// Heterogeneous variant: every task names its own index (the shard
+/// scatter path — one query fanned into one task per shard, or a mixed
+/// batch over several generations). Same threading contract as above.
+void RunTaskBatch(std::vector<QueryTask>* tasks, ThreadPool* pool,
+                  std::size_t num_workers = 0);
 
 }  // namespace service
 }  // namespace sofa

@@ -15,7 +15,8 @@ SearchService::SearchService(std::shared_ptr<const IndexSnapshot> snapshot,
     : pool_(pool), config_(config), snapshot_(std::move(snapshot)),
       paused_(config.start_paused) {
   SOFA_CHECK(pool_ != nullptr);
-  SOFA_CHECK(snapshot_ != nullptr && snapshot_->tree != nullptr);
+  SOFA_CHECK(snapshot_ != nullptr &&
+             (snapshot_->tree != nullptr || snapshot_->sharded != nullptr));
   SOFA_CHECK(config_.max_pending > 0);
   if (config_.max_batch == 0) {
     config_.max_batch = 1;
@@ -63,7 +64,8 @@ SearchResponse SearchService::Search(SearchRequest request) {
 
 std::uint64_t SearchService::Publish(
     std::shared_ptr<const IndexSnapshot> snapshot) {
-  SOFA_CHECK(snapshot != nullptr && snapshot->tree != nullptr);
+  SOFA_CHECK(snapshot != nullptr &&
+             (snapshot->tree != nullptr || snapshot->sharded != nullptr));
   std::uint64_t version;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -173,7 +175,7 @@ void SearchService::DispatcherLoop() {
 void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
                                  const IndexSnapshot& snapshot,
                                  std::uint64_t version) {
-  const index::TreeIndex& tree = *snapshot.tree;
+  const std::size_t series_length = snapshot.series_length();
   const auto now = std::chrono::steady_clock::now();
 
   // Admission-time bookkeeping per request; expired/malformed requests are
@@ -187,7 +189,7 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
     if (request.deadline < now) {
       responses[i].status = RequestStatus::kDeadlineExpired;
       metrics_.RecordExpired();
-    } else if (request.query.size() != tree.data().length()) {
+    } else if (request.query.size() != series_length) {
       responses[i].status = RequestStatus::kInvalidRequest;
       metrics_.RecordInvalid();
     } else {
@@ -198,7 +200,6 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
   if (!runnable.empty()) {
     const bool latency_mode = runnable.size() <= config_.latency_mode_threshold;
     if (latency_mode) {
-      const index::QueryEngine engine(&tree);
       for (const std::size_t i : runnable) {
         const SearchRequest& request = (*batch)[i].request;
         // A request can expire while the queries before it in this batch
@@ -209,11 +210,25 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
           continue;
         }
         metrics_.RecordLatencyModeQuery();
-        responses[i].neighbors = engine.Search(
-            request.query.data(), request.k, request.epsilon,
-            request.collect_profile ? &responses[i].profile : nullptr,
-            config_.num_threads);
+        index::QueryProfile* profile =
+            request.collect_profile ? &responses[i].profile : nullptr;
+        if (snapshot.is_sharded()) {
+          // Intra-query parallelism of a sharded generation = one worker
+          // per shard, gathered by the exact merge. Scatter on the
+          // service's pool, not the pool the index was built with (which
+          // may be a short-lived builder pool).
+          responses[i].neighbors = snapshot.sharded->SearchKnn(
+              request.query.data(), request.k, request.epsilon, profile,
+              config_.num_threads, pool_);
+        } else {
+          const index::QueryEngine engine(snapshot.tree);
+          responses[i].neighbors =
+              engine.Search(request.query.data(), request.k, request.epsilon,
+                            profile, config_.num_threads);
+        }
       }
+    } else if (snapshot.is_sharded()) {
+      ExecuteShardedThroughput(*snapshot.sharded, batch, runnable, &responses);
     } else {
       std::vector<QueryTask> tasks(runnable.size());
       for (std::size_t t = 0; t < runnable.size(); ++t) {
@@ -227,7 +242,7 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
             request.collect_profile ? &responses[i].profile : nullptr;
         tasks[t].result = &responses[i].neighbors;
       }
-      RunThroughputBatch(tree, &tasks, pool_, config_.num_threads);
+      RunThroughputBatch(*snapshot.tree, &tasks, pool_, config_.num_threads);
       metrics_.RecordThroughputBatch(runnable.size());
       for (std::size_t t = 0; t < runnable.size(); ++t) {
         if (tasks[t].expired) {
@@ -247,6 +262,60 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
           pending.request.collect_profile ? &responses[i].profile : nullptr);
     }
     pending.promise.set_value(std::move(responses[i]));
+  }
+}
+
+// Throughput mode over a sharded generation: the whole batch flattens to
+// (query × shard) single-threaded tasks — the executor load-balances the
+// scatter of all queries at once — then each query's per-shard heaps are
+// gathered into its exact global top-k.
+void SearchService::ExecuteShardedThroughput(
+    const shard::ShardedIndex& sharded, std::vector<PendingRequest>* batch,
+    const std::vector<std::size_t>& runnable,
+    std::vector<SearchResponse>* responses) {
+  const std::size_t num_shards = sharded.num_shards();
+  std::vector<std::vector<Neighbor>> results(runnable.size() * num_shards);
+  std::vector<index::QueryProfile> profiles(runnable.size() * num_shards);
+  std::vector<QueryTask> tasks(runnable.size() * num_shards);
+  for (std::size_t q = 0; q < runnable.size(); ++q) {
+    const SearchRequest& request = (*batch)[runnable[q]].request;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      QueryTask& task = tasks[q * num_shards + s];
+      task.index = sharded.shard(s).tree.get();
+      task.query = request.query.data();
+      task.k = request.k;
+      task.epsilon = request.epsilon;
+      task.deadline = request.deadline;
+      task.result = &results[q * num_shards + s];
+      task.profile =
+          request.collect_profile ? &profiles[q * num_shards + s] : nullptr;
+    }
+  }
+  RunTaskBatch(&tasks, pool_, config_.num_threads);
+  metrics_.RecordThroughputBatch(runnable.size());
+
+  for (std::size_t q = 0; q < runnable.size(); ++q) {
+    SearchResponse& response = (*responses)[runnable[q]];
+    const SearchRequest& request = (*batch)[runnable[q]].request;
+    // A query whose scatter partially expired has no exact answer — fail
+    // it whole rather than merge a subset of shards.
+    bool expired = false;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      expired = expired || tasks[q * num_shards + s].expired;
+    }
+    if (expired) {
+      response.status = RequestStatus::kDeadlineExpired;
+      metrics_.RecordExpired();
+      continue;
+    }
+    std::vector<std::vector<Neighbor>> per_shard(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      per_shard[s] = std::move(results[q * num_shards + s]);
+      if (request.collect_profile) {
+        response.profile.Merge(profiles[q * num_shards + s]);
+      }
+    }
+    response.neighbors = sharded.MergeTopK(per_shard, request.k);
   }
 }
 

@@ -20,6 +20,14 @@
 // started with). Serving metrics (QPS, latency percentiles, admission
 // counts, merged pruning profiles) accumulate in a MetricsCollector.
 //
+// A generation may be sharded (shard::ShardedIndex): queries then
+// scatter across the shards — in latency mode one query at a time with
+// one worker per shard, in throughput mode the whole batch flattened to
+// (query × shard) tasks — and gather through the exact tournament merge,
+// so sharded answers are identical to single-index answers over the same
+// collection. Publishing a derived generation with a single shard
+// rebuilt/replaced is the per-shard republish path.
+//
 // Threading contract: Submit() is thread-safe; the blocking helpers
 // (Search, Drain, Shutdown, destructor) must be called from threads that
 // are NOT workers of the service's thread pool — they wait on work the
@@ -171,6 +179,10 @@ class SearchService {
   void DispatcherLoop();
   void ExecuteBatch(std::vector<PendingRequest>* batch,
                     const IndexSnapshot& snapshot, std::uint64_t version);
+  void ExecuteShardedThroughput(const shard::ShardedIndex& sharded,
+                                std::vector<PendingRequest>* batch,
+                                const std::vector<std::size_t>& runnable,
+                                std::vector<SearchResponse>* responses);
   static double ElapsedMs(std::chrono::steady_clock::time_point since);
 
   ThreadPool* pool_;

@@ -7,6 +7,11 @@
 // execution, so a Publish() of a rebuilt or freshly LoadIndex-ed index
 // never invalidates an in-flight query — the old generation is destroyed
 // when its last running query drops the reference.
+//
+// A generation is either a single TreeIndex (`tree`) or a sharded one
+// (`sharded`), never both: a sharded index is swappable exactly like a
+// single one, and a derived sharded generation (one shard rebuilt or
+// replaced) republishes through the same path.
 
 #ifndef SOFA_SERVICE_SNAPSHOT_H_
 #define SOFA_SERVICE_SNAPSHOT_H_
@@ -17,20 +22,29 @@
 #include "core/dataset.h"
 #include "index/serialization.h"
 #include "index/tree_index.h"
+#include "shard/sharded_index.h"
 
 namespace sofa {
 namespace service {
 
-/// One published index generation. `tree` is the index queries run
-/// against and is never null; the remaining members are optional
-/// keep-alive handles for whatever parts of the generation the snapshot
-/// owns (a borrowed index leaves them empty — the caller then guarantees
-/// the lifetime instead).
+/// One published index generation. Exactly one of `tree` and `sharded` is
+/// set; the remaining members are optional keep-alive handles for
+/// whatever parts of the generation the snapshot owns (a borrowed index
+/// leaves them empty — the caller then guarantees the lifetime instead;
+/// a ShardedIndex always keeps its own parts alive).
 struct IndexSnapshot {
   std::shared_ptr<const Dataset> data;
   std::unique_ptr<quant::SummaryScheme> scheme;
   std::unique_ptr<index::TreeIndex> owned_tree;
   const index::TreeIndex* tree = nullptr;
+  std::shared_ptr<const shard::ShardedIndex> sharded;
+
+  bool is_sharded() const { return sharded != nullptr; }
+
+  /// Series length queries against this generation must have.
+  std::size_t series_length() const {
+    return sharded != nullptr ? sharded->length() : tree->data().length();
+  }
 };
 
 /// Wraps an externally owned index (the common case for benches and tests:
@@ -39,6 +53,15 @@ inline std::shared_ptr<const IndexSnapshot> WrapIndex(
     const index::TreeIndex* tree) {
   auto snapshot = std::make_shared<IndexSnapshot>();
   snapshot->tree = tree;
+  return snapshot;
+}
+
+/// Wraps a sharded index; the ShardedIndex shares ownership of its shards,
+/// so the snapshot needs no further keep-alive handles.
+inline std::shared_ptr<const IndexSnapshot> WrapShardedIndex(
+    std::shared_ptr<const shard::ShardedIndex> sharded) {
+  auto snapshot = std::make_shared<IndexSnapshot>();
+  snapshot->sharded = std::move(sharded);
   return snapshot;
 }
 

@@ -1,0 +1,209 @@
+#include "shard/sharded_index.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "service/executor.h"
+#include "util/check.h"
+
+namespace sofa {
+namespace shard {
+namespace {
+
+// splitmix64 finalizer: a full-avalanche mix so consecutive ids spread
+// uniformly (plain `id % N` would stripe, defeating the point of a hash
+// assignment under sequential inserts).
+std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::size_t ShardedIndex::AssignShard(ShardAssignment assignment,
+                                      std::uint32_t id, std::size_t total,
+                                      std::size_t num_shards) {
+  SOFA_DCHECK(num_shards > 0);
+  if (assignment == ShardAssignment::kHash) {
+    return static_cast<std::size_t>(Mix64(id) % num_shards);
+  }
+  // Contiguous: the first (total % num_shards) shards hold one extra row,
+  // so shard sizes differ by at most one.
+  const std::size_t base = total / num_shards;
+  const std::size_t extra = total % num_shards;
+  const std::size_t boundary = extra * (base + 1);
+  if (id < boundary) {
+    return id / (base + 1);
+  }
+  return base == 0 ? num_shards - 1 : extra + (id - boundary) / base;
+}
+
+ShardPartition ShardedIndex::Partition(const Dataset& data,
+                                       std::size_t num_shards,
+                                       ShardAssignment assignment) {
+  SOFA_CHECK(num_shards > 0);
+  std::vector<std::shared_ptr<Dataset>> slices;
+  std::vector<std::shared_ptr<std::vector<std::uint32_t>>> ids;
+  slices.reserve(num_shards);
+  ids.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    slices.push_back(std::make_shared<Dataset>(data.length()));
+    ids.push_back(std::make_shared<std::vector<std::uint32_t>>());
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint32_t id = static_cast<std::uint32_t>(i);
+    const std::size_t s = AssignShard(assignment, id, data.size(), num_shards);
+    slices[s]->Append(data.row(i));
+    ids[s]->push_back(id);
+  }
+  ShardPartition partition;
+  partition.data.assign(slices.begin(), slices.end());
+  partition.global_ids.assign(ids.begin(), ids.end());
+  return partition;
+}
+
+ShardedIndex::ShardedIndex(std::vector<Shard> shards,
+                           const ShardingConfig& config, std::size_t length,
+                           ThreadPool* pool)
+    : shards_(std::move(shards)), config_(config), length_(length),
+      pool_(pool) {
+  SOFA_CHECK(pool_ != nullptr);
+  SOFA_CHECK(!shards_.empty());
+  for (const Shard& shard : shards_) {
+    SOFA_CHECK(shard.data != nullptr && shard.tree != nullptr &&
+               shard.global_ids != nullptr);
+    SOFA_CHECK(shard.data->length() == length_);
+    SOFA_CHECK(shard.global_ids->size() == shard.data->size());
+    total_size_ += shard.data->size();
+  }
+}
+
+std::shared_ptr<const ShardedIndex> ShardedIndex::Build(
+    const Dataset& data, const ShardingConfig& config,
+    std::shared_ptr<const quant::SummaryScheme> scheme, ThreadPool* pool) {
+  SOFA_CHECK(scheme != nullptr);
+  ShardPartition partition =
+      Partition(data, config.num_shards, config.assignment);
+  std::vector<Shard> shards(config.num_shards);
+  for (std::size_t s = 0; s < config.num_shards; ++s) {
+    shards[s].data = partition.data[s];
+    shards[s].scheme = scheme;
+    shards[s].global_ids = partition.global_ids[s];
+    shards[s].tree = std::make_shared<index::TreeIndex>(
+        shards[s].data.get(), scheme.get(), config.index, pool);
+  }
+  return std::shared_ptr<const ShardedIndex>(
+      new ShardedIndex(std::move(shards), config, data.length(), pool));
+}
+
+std::shared_ptr<const ShardedIndex> ShardedIndex::FromShards(
+    std::vector<Shard> shards, const ShardingConfig& config,
+    std::size_t length, ThreadPool* pool) {
+  return std::shared_ptr<const ShardedIndex>(
+      new ShardedIndex(std::move(shards), config, length, pool));
+}
+
+std::shared_ptr<const ShardedIndex> ShardedIndex::WithShardRebuilt(
+    std::size_t shard_id) const {
+  SOFA_CHECK(shard_id < shards_.size());
+  Shard rebuilt = shards_[shard_id];
+  rebuilt.tree = std::make_shared<index::TreeIndex>(
+      rebuilt.data.get(), rebuilt.scheme.get(), config_.index, pool_);
+  return WithShardReplaced(shard_id, std::move(rebuilt));
+}
+
+std::shared_ptr<const ShardedIndex> ShardedIndex::WithShardReplaced(
+    std::size_t shard_id, Shard shard) const {
+  SOFA_CHECK(shard_id < shards_.size());
+  SOFA_CHECK(shard.data != nullptr && shard.data->length() == length_);
+  shard.generation = shards_[shard_id].generation + 1;
+  std::vector<Shard> shards = shards_;  // aliases: every handle is shared
+  shards[shard_id] = std::move(shard);
+  return std::shared_ptr<const ShardedIndex>(
+      new ShardedIndex(std::move(shards), config_, length_, pool_));
+}
+
+std::vector<Neighbor> ShardedIndex::SearchKnn(const float* query,
+                                              std::size_t k, double epsilon,
+                                              index::QueryProfile* profile,
+                                              std::size_t num_workers,
+                                              ThreadPool* pool) const {
+  if (total_size_ == 0 || k == 0) {
+    return {};
+  }
+  if (pool == nullptr) {
+    pool = pool_;
+  }
+  std::vector<std::vector<Neighbor>> per_shard(shards_.size());
+  std::vector<index::QueryProfile> profiles(
+      profile != nullptr ? shards_.size() : 0);
+  std::vector<service::QueryTask> tasks(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    tasks[s].index = shards_[s].tree.get();
+    tasks[s].query = query;
+    tasks[s].k = k;
+    tasks[s].epsilon = epsilon;
+    tasks[s].result = &per_shard[s];
+    tasks[s].profile = profile != nullptr ? &profiles[s] : nullptr;
+  }
+  service::RunTaskBatch(&tasks, pool, num_workers);
+  if (profile != nullptr) {
+    for (const index::QueryProfile& shard_profile : profiles) {
+      profile->Merge(shard_profile);
+    }
+  }
+  return MergeTopK(per_shard, k);
+}
+
+std::vector<Neighbor> ShardedIndex::MergeTopK(
+    const std::vector<std::vector<Neighbor>>& per_shard,
+    std::size_t k) const {
+  SOFA_CHECK(per_shard.size() == shards_.size());
+  // Tournament merge: every per-shard list is ascending, so a min-heap of
+  // one cursor per shard yields the global answer in order. Ties break by
+  // ascending global id — the same total order a flat scan produces.
+  struct Cursor {
+    float distance;
+    std::uint32_t id;  // already global
+    std::uint32_t shard;
+    std::uint32_t pos;
+    bool operator>(const Cursor& other) const {
+      if (distance != other.distance) {
+        return distance > other.distance;
+      }
+      return id > other.id;
+    }
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, std::greater<Cursor>> heap;
+  const auto cursor_at = [&](std::uint32_t s, std::uint32_t pos) {
+    const Neighbor& nb = per_shard[s][pos];
+    const std::uint32_t global = (*shards_[s].global_ids)[nb.id];
+    return Cursor{nb.distance, global, s, pos};
+  };
+  for (std::uint32_t s = 0; s < per_shard.size(); ++s) {
+    if (!per_shard[s].empty()) {
+      heap.push(cursor_at(s, 0));
+    }
+  }
+  k = std::min(k, total_size_);
+  std::vector<Neighbor> merged;
+  merged.reserve(k);
+  while (merged.size() < k && !heap.empty()) {
+    const Cursor top = heap.top();
+    heap.pop();
+    merged.push_back(Neighbor{top.id, top.distance});
+    const std::uint32_t next = top.pos + 1;
+    if (next < per_shard[top.shard].size()) {
+      heap.push(cursor_at(top.shard, next));
+    }
+  }
+  return merged;
+}
+
+}  // namespace shard
+}  // namespace sofa

@@ -1,0 +1,165 @@
+// Scatter-gather sharding over the exact tree index (ROADMAP: "shard one
+// logical service across multiple indexes").
+//
+// A ShardedIndex partitions one logical collection across N TreeIndex
+// shards, assigned at build time either by contiguous range or by a hash
+// of the global series id. A query scatters through the service executor
+// — one single-threaded task per shard — and the per-shard top-k heaps
+// are gathered by a tournament (k-way) merge into the exact global top-k,
+// FAISS-style (Johnson et al., billion-scale similarity search). The
+// merge remaps shard-local ids to global ids and merges the per-shard
+// QueryProfile pruning counters, so exactness accounting over the whole
+// collection still holds: on tie-free collections every reported
+// neighbor is bit-identical (same id, same float distance) to what the
+// single-index engine reports for the same query. When distinct series
+// tie at exactly equal distance across the k boundary (duplicate rows),
+// the reported distances are still exact; the merge then picks ids
+// deterministically (lowest global id first) whereas the single-index
+// heap keeps whichever tied candidate its scan reached first.
+//
+// A ShardedIndex is immutable (it is published behind the same
+// shared_ptr snapshot that SearchService hot-swaps); "updating" one
+// shard means deriving a new generation that shares the N-1 untouched
+// shards and replaces one — WithShardRebuilt / WithShardReplaced — and
+// publishing the derived index. That per-shard republish is the first
+// step toward index updates between generations.
+
+#ifndef SOFA_SHARD_SHARDED_INDEX_H_
+#define SOFA_SHARD_SHARDED_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/neighbor.h"
+#include "index/tree_index.h"
+#include "quant/summary_scheme.h"
+#include "util/thread_pool.h"
+
+namespace sofa {
+namespace shard {
+
+/// How global series ids map to shards (fixed at build time; queries do
+/// not depend on it, only the partition does).
+enum class ShardAssignment {
+  kContiguous,  // shard s holds one contiguous global-id range (default)
+  kHash,        // shard = mix64(global id) % N — spreads hot inserts
+};
+
+/// Sharded-build parameters. `index` configures every per-shard tree.
+struct ShardingConfig {
+  std::size_t num_shards = 2;
+  ShardAssignment assignment = ShardAssignment::kContiguous;
+  index::IndexConfig index;
+};
+
+/// One shard: its slice of the collection, the tree over that slice, and
+/// the mapping from shard-local row ids back to global collection ids.
+/// All handles are shared so a derived generation (one shard replaced)
+/// aliases the untouched shards instead of copying them.
+struct Shard {
+  std::shared_ptr<const Dataset> data;
+  std::shared_ptr<const quant::SummaryScheme> scheme;
+  std::shared_ptr<const index::TreeIndex> tree;
+  std::shared_ptr<const std::vector<std::uint32_t>> global_ids;
+  std::uint64_t generation = 1;  // bumped by WithShardRebuilt/Replaced
+};
+
+/// The row slices and id mappings of one deterministic partition —
+/// exposed so index persistence can re-create the identical split when
+/// reloading per-shard index files against the full collection.
+struct ShardPartition {
+  std::vector<std::shared_ptr<const Dataset>> data;
+  std::vector<std::shared_ptr<const std::vector<std::uint32_t>>> global_ids;
+};
+
+class ShardedIndex {
+ public:
+  /// Shard of global id `id` under `assignment` (deterministic; the
+  /// contract Partition() and any loader must agree on).
+  static std::size_t AssignShard(ShardAssignment assignment, std::uint32_t id,
+                                 std::size_t total, std::size_t num_shards);
+
+  /// Splits `data` into per-shard datasets + id maps. Every shard of a
+  /// contiguous split is non-empty when num_shards <= data.size(); a hash
+  /// split may leave tiny collections with empty shards (still valid).
+  static ShardPartition Partition(const Dataset& data, std::size_t num_shards,
+                                  ShardAssignment assignment);
+
+  /// Partitions `data` and builds one tree per shard, all with the same
+  /// summarization scheme (trained once over the full collection) and the
+  /// same per-shard index config. `pool` is used for the builds and for
+  /// query scatter; it must outlive the index.
+  static std::shared_ptr<const ShardedIndex> Build(
+      const Dataset& data, const ShardingConfig& config,
+      std::shared_ptr<const quant::SummaryScheme> scheme, ThreadPool* pool);
+
+  /// Assembles an index from already-built shards (the persistence path:
+  /// Partition() the collection, LoadIndex each shard file, wrap here).
+  /// All shards must share the series length.
+  static std::shared_ptr<const ShardedIndex> FromShards(
+      std::vector<Shard> shards, const ShardingConfig& config,
+      std::size_t length, ThreadPool* pool);
+
+  /// Exact global k-NN: scatters one single-threaded task per shard
+  /// through the service executor on `num_workers` workers (0 = pool
+  /// size) of `pool` (null = the pool the index was built with), then
+  /// tournament-merges the per-shard answers. `profile`, if given,
+  /// receives the work counters merged across all shards. Must be called
+  /// from a thread that is not a worker of the chosen pool (it blocks).
+  ///
+  /// With epsilon > 0 the per-rank (1+ε) bound survives the merge: the
+  /// global exact top-i splits as counts c_s per shard, shard s's local
+  /// rank-c_s exact distance is ≤ the global rank-i distance, and each
+  /// shard answers within (1+ε) of its local exact ranks — so the merged
+  /// rank-i answer is within (1+ε) of the global rank-i distance.
+  std::vector<Neighbor> SearchKnn(const float* query, std::size_t k,
+                                  double epsilon = 0.0,
+                                  index::QueryProfile* profile = nullptr,
+                                  std::size_t num_workers = 0,
+                                  ThreadPool* pool = nullptr) const;
+
+  /// Gathers per-shard answers (ascending, shard-local ids; indexed by
+  /// shard) into the exact global top-k with global ids: a k-way heap
+  /// merge, ties broken by ascending global id. Exposed for the service's
+  /// batched scatter, which runs the shard tasks itself.
+  std::vector<Neighbor> MergeTopK(
+      const std::vector<std::vector<Neighbor>>& per_shard,
+      std::size_t k) const;
+
+  /// A new generation with shard `shard_id`'s tree rebuilt from its own
+  /// rows (same scheme and config); the other shards are shared, not
+  /// copied. The rebuild is deterministic, so answers are bit-identical.
+  std::shared_ptr<const ShardedIndex> WithShardRebuilt(
+      std::size_t shard_id) const;
+
+  /// A new generation with shard `shard_id` replaced wholesale (e.g.
+  /// reloaded from disk); the replacement's generation counter is bumped
+  /// past the current one. Series length must match.
+  std::shared_ptr<const ShardedIndex> WithShardReplaced(std::size_t shard_id,
+                                                        Shard shard) const;
+
+  std::size_t num_shards() const { return shards_.size(); }
+  const Shard& shard(std::size_t s) const { return shards_[s]; }
+  std::size_t size() const { return total_size_; }    // total series
+  std::size_t length() const { return length_; }      // series length
+  ThreadPool* pool() const { return pool_; }
+  const ShardingConfig& config() const { return config_; }
+
+ private:
+  ShardedIndex(std::vector<Shard> shards, const ShardingConfig& config,
+               std::size_t length, ThreadPool* pool);
+
+  std::vector<Shard> shards_;
+  ShardingConfig config_;
+  std::size_t length_;
+  std::size_t total_size_ = 0;
+  ThreadPool* pool_;
+};
+
+}  // namespace shard
+}  // namespace sofa
+
+#endif  // SOFA_SHARD_SHARDED_INDEX_H_

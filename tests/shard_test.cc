@@ -1,0 +1,427 @@
+// Tests for the scatter-gather sharding layer: the partition covers the
+// collection exactly once, sharded answers are bit-identical to the
+// single-index engine (ids and float distances) — standalone, under
+// concurrent service traffic, in both scheduling modes, and across a
+// mid-traffic single-shard hot-swap — and the per-shard republish shares
+// untouched shards instead of copying them.
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/query_engine.h"
+#include "index/tree_index.h"
+#include "service/search_service.h"
+#include "service/snapshot.h"
+#include "sfa/mcb.h"
+#include "shard/sharded_index.h"
+#include "test_data.h"
+#include "util/thread_pool.h"
+
+namespace sofa {
+namespace shard {
+namespace {
+
+using testing_data::BruteForceKnn;
+using testing_data::Walk;
+
+// One collection, its single-index engine, and the shared scheme sharded
+// builds reuse (trained once over the full collection, as Build expects).
+struct Fixture {
+  ThreadPool pool;
+  Dataset data;
+  std::shared_ptr<const quant::SummaryScheme> scheme;
+  std::unique_ptr<index::TreeIndex> single;
+
+  explicit Fixture(std::size_t count = 2000, std::size_t length = 96,
+                   std::uint64_t seed = 71, std::size_t threads = 4)
+      : pool(threads), data(Walk(count, length, seed)) {
+    sfa::SfaConfig config;
+    config.word_length = 16;
+    config.alphabet = 256;
+    config.sampling_ratio = 0.2;
+    scheme = sfa::TrainSfa(data, config, &pool);
+    index::IndexConfig index_config;
+    index_config.leaf_capacity = 100;
+    single = std::make_unique<index::TreeIndex>(&data, scheme.get(),
+                                                index_config, &pool);
+  }
+
+  std::shared_ptr<const ShardedIndex> MakeSharded(
+      std::size_t num_shards,
+      ShardAssignment assignment = ShardAssignment::kContiguous) {
+    ShardingConfig config;
+    config.num_shards = num_shards;
+    config.assignment = assignment;
+    config.index.leaf_capacity = 100;
+    return ShardedIndex::Build(data, config, scheme, &pool);
+  }
+};
+
+// Bit-exact comparison: same ids AND same float distances at every rank.
+::testing::AssertionResult BitIdentical(const std::vector<Neighbor>& actual,
+                                        const std::vector<Neighbor>& expected) {
+  if (actual.size() != expected.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << actual.size() << " vs " << expected.size();
+  }
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i].id != expected[i].id ||
+        actual[i].distance != expected[i].distance) {
+      return ::testing::AssertionFailure()
+             << "rank " << i << ": " << actual[i].id << "(" << actual[i].distance
+             << ") vs expected " << expected[i].id << "("
+             << expected[i].distance << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// ------------------------------------------------------------ partition
+
+TEST(ShardPartitionTest, CoversEveryIdExactlyOnce) {
+  const Dataset data = Walk(533, 32, 11);
+  for (const ShardAssignment assignment :
+       {ShardAssignment::kContiguous, ShardAssignment::kHash}) {
+    for (const std::size_t shards : {1u, 2u, 3u, 7u}) {
+      const ShardPartition partition =
+          ShardedIndex::Partition(data, shards, assignment);
+      ASSERT_EQ(partition.data.size(), shards);
+      ASSERT_EQ(partition.global_ids.size(), shards);
+      std::vector<int> seen(data.size(), 0);
+      for (std::size_t s = 0; s < shards; ++s) {
+        ASSERT_EQ(partition.data[s]->size(), partition.global_ids[s]->size());
+        for (std::size_t r = 0; r < partition.global_ids[s]->size(); ++r) {
+          const std::uint32_t id = (*partition.global_ids[s])[r];
+          ASSERT_LT(id, data.size());
+          ++seen[id];
+          // The shard row is a verbatim copy of the global row.
+          for (std::size_t d = 0; d < data.length(); ++d) {
+            ASSERT_EQ(partition.data[s]->row(r)[d], data.row(id)[d]);
+          }
+        }
+      }
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        EXPECT_EQ(seen[i], 1) << "id " << i;
+      }
+    }
+  }
+}
+
+TEST(ShardPartitionTest, ContiguousSplitIsBalanced) {
+  const Dataset data = Walk(100, 32, 12);
+  const ShardPartition partition =
+      ShardedIndex::Partition(data, 3, ShardAssignment::kContiguous);
+  std::size_t min_size = data.size(), max_size = 0;
+  for (const auto& slice : partition.data) {
+    min_size = std::min(min_size, slice->size());
+    max_size = std::max(max_size, slice->size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+  // Contiguous: global ids of shard s all precede those of shard s+1.
+  EXPECT_LT(partition.global_ids[0]->back(), partition.global_ids[1]->front());
+  EXPECT_LT(partition.global_ids[1]->back(), partition.global_ids[2]->front());
+}
+
+// ---------------------------------------------- scatter-gather exactness
+
+TEST(ShardedIndexTest, MatchesSingleIndexBitExact) {
+  Fixture fx;
+  const Dataset queries = Walk(15, 96, 72);
+  for (const ShardAssignment assignment :
+       {ShardAssignment::kContiguous, ShardAssignment::kHash}) {
+    for (const std::size_t shards : {1u, 2u, 3u, 5u}) {
+      const auto sharded = fx.MakeSharded(shards, assignment);
+      EXPECT_EQ(sharded->size(), fx.data.size());
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        const auto expected = fx.single->SearchKnn(queries.row(q), 10);
+        const auto actual = sharded->SearchKnn(queries.row(q), 10);
+        EXPECT_TRUE(BitIdentical(actual, expected))
+            << "shards=" << shards << " query " << q;
+      }
+    }
+  }
+}
+
+TEST(ShardedIndexTest, KLargerThanAnyShardStaysExact) {
+  Fixture fx(600, 64, 73);
+  const auto sharded = fx.MakeSharded(4);
+  const Dataset queries = Walk(5, 64, 74);
+  // k = 200 exceeds every ~150-series shard; the merge must still produce
+  // the global top-k, and clamp at the collection size for k > N.
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_TRUE(BitIdentical(sharded->SearchKnn(queries.row(q), 200),
+                             fx.single->SearchKnn(queries.row(q), 200)));
+    EXPECT_EQ(sharded->SearchKnn(queries.row(q), 10000).size(), fx.data.size());
+  }
+}
+
+TEST(ShardedIndexTest, EmptyShardsAreHarmless) {
+  // More shards than series: the surplus shards are empty and contribute
+  // nothing to the merge.
+  Fixture fx(40, 64, 75, /*threads=*/2);
+  const auto sharded = fx.MakeSharded(8, ShardAssignment::kHash);
+  const Dataset queries = Walk(4, 64, 76);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_TRUE(BitIdentical(sharded->SearchKnn(queries.row(q), 5),
+                             fx.single->SearchKnn(queries.row(q), 5)));
+  }
+}
+
+TEST(ShardedIndexTest, MergedProfileAccountsAllShards) {
+  Fixture fx;
+  const auto sharded = fx.MakeSharded(3);
+  const Dataset queries = Walk(5, 96, 77);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    // The scatter profile merged over shards equals the sum of per-shard
+    // profiles — exactness accounting still holds shard by shard. The
+    // oracle runs each shard single-threaded, exactly like the scatter
+    // tasks (multi-threaded counters depend on BSF races).
+    index::QueryProfile merged;
+    (void)sharded->SearchKnn(queries.row(q), 5, 0.0, &merged);
+    index::QueryProfile summed;
+    for (std::size_t s = 0; s < sharded->num_shards(); ++s) {
+      const index::QueryEngine engine(sharded->shard(s).tree.get());
+      (void)engine.Search(queries.row(q), 5, 0.0, &summed, /*num_threads=*/1);
+    }
+    EXPECT_EQ(merged.series_ed_computed, summed.series_ed_computed);
+    EXPECT_EQ(merged.series_lbd_checked, summed.series_lbd_checked);
+    EXPECT_EQ(merged.nodes_visited, summed.nodes_visited);
+    EXPECT_GT(merged.series_ed_computed, 0u);
+  }
+}
+
+TEST(ShardedIndexTest, EpsilonApproximateWithinBound) {
+  Fixture fx;
+  const auto sharded = fx.MakeSharded(3);
+  const Dataset queries = Walk(6, 96, 78);
+  const double epsilon = 0.1;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto exact = BruteForceKnn(fx.data, queries.row(q), 5);
+    const auto approx = sharded->SearchKnn(queries.row(q), 5, epsilon);
+    ASSERT_EQ(approx.size(), exact.size());
+    // Per-shard (1+ε) guarantees survive the merge (each global exact
+    // rank-i distance bounds some shard's local rank, see sharded_index.h).
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_LE(approx[i].distance, exact[i].distance * (1.0 + epsilon) + 1e-4);
+    }
+  }
+}
+
+// ------------------------------------------------- per-shard republish
+
+TEST(ShardedIndexTest, RebuiltShardSharesUntouchedShards) {
+  Fixture fx;
+  const auto original = fx.MakeSharded(3);
+  const auto rebuilt = original->WithShardRebuilt(1);
+  EXPECT_EQ(rebuilt->num_shards(), 3u);
+  EXPECT_EQ(rebuilt->size(), original->size());
+  // Untouched shards alias the originals; shard 1 is a new generation.
+  EXPECT_EQ(rebuilt->shard(0).tree.get(), original->shard(0).tree.get());
+  EXPECT_EQ(rebuilt->shard(2).tree.get(), original->shard(2).tree.get());
+  EXPECT_NE(rebuilt->shard(1).tree.get(), original->shard(1).tree.get());
+  EXPECT_EQ(rebuilt->shard(1).data.get(), original->shard(1).data.get());
+  EXPECT_EQ(rebuilt->shard(0).generation, 1u);
+  EXPECT_EQ(rebuilt->shard(1).generation, 2u);
+  // The deterministic rebuild answers bit-identically.
+  const Dataset queries = Walk(8, 96, 79);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_TRUE(BitIdentical(rebuilt->SearchKnn(queries.row(q), 7),
+                             original->SearchKnn(queries.row(q), 7)));
+  }
+}
+
+// -------------------------------------------------- service integration
+
+TEST(ShardedServiceTest, LatencyModeBitExact) {
+  Fixture fx;
+  const auto sharded = fx.MakeSharded(3);
+  service::SearchService svc(service::WrapShardedIndex(sharded), &fx.pool);
+  const Dataset queries = Walk(10, 96, 80);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    service::SearchRequest request;
+    request.query.assign(queries.row(q), queries.row(q) + 96);
+    request.k = 10;
+    request.collect_profile = true;
+    const service::SearchResponse response = svc.Search(std::move(request));
+    ASSERT_EQ(response.status, service::RequestStatus::kOk);
+    EXPECT_TRUE(
+        BitIdentical(response.neighbors, fx.single->SearchKnn(queries.row(q), 10)));
+    EXPECT_GT(response.profile.series_ed_computed, 0u);
+  }
+  const service::MetricsSnapshot metrics = svc.Metrics();
+  EXPECT_EQ(metrics.completed, queries.size());
+  EXPECT_GT(metrics.profile.series_ed_computed, 0u);
+}
+
+TEST(ShardedServiceTest, ThroughputModeBitExact) {
+  Fixture fx;
+  const auto sharded = fx.MakeSharded(4, ShardAssignment::kHash);
+  service::ServiceConfig config;
+  config.latency_mode_threshold = 0;  // force the flattened scatter
+  config.start_paused = true;         // stage a backlog → real batches
+  service::SearchService svc(service::WrapShardedIndex(sharded), &fx.pool,
+                             config);
+  const Dataset queries = Walk(20, 96, 81);
+  std::vector<std::future<service::SearchResponse>> futures;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    service::SearchRequest request;
+    request.query.assign(queries.row(q), queries.row(q) + 96);
+    request.k = 10;
+    futures.push_back(svc.Submit(std::move(request)));
+  }
+  svc.Resume();
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const service::SearchResponse response = futures[q].get();
+    ASSERT_EQ(response.status, service::RequestStatus::kOk);
+    EXPECT_TRUE(BitIdentical(response.neighbors,
+                             fx.single->SearchKnn(queries.row(q), 10)))
+        << "query " << q;
+  }
+  const service::MetricsSnapshot metrics = svc.Metrics();
+  EXPECT_EQ(metrics.latency_queries, 0u);
+  EXPECT_GT(metrics.throughput_batches, 0u);
+  EXPECT_EQ(metrics.throughput_queries, queries.size());
+}
+
+TEST(ShardedServiceTest, ConcurrentClientsStayBitExact) {
+  Fixture fx;
+  const auto sharded = fx.MakeSharded(3);
+  service::ServiceConfig config;
+  config.latency_mode_threshold = 2;  // mixed-mode under load
+  config.max_batch = 8;
+  service::SearchService svc(service::WrapShardedIndex(sharded), &fx.pool,
+                             config);
+  const Dataset queries = Walk(24, 96, 82);
+  // Precompute expected answers so client threads only compare.
+  std::vector<std::vector<Neighbor>> expected;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    expected.push_back(fx.single->SearchKnn(queries.row(q), 5));
+  }
+  constexpr std::size_t kClients = 3;
+  std::atomic<std::size_t> failures(0);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t q = c; q < queries.size(); q += kClients) {
+        service::SearchRequest request;
+        request.query.assign(queries.row(q), queries.row(q) + 96);
+        request.k = 5;
+        const service::SearchResponse response = svc.Search(std::move(request));
+        if (response.status != service::RequestStatus::kOk ||
+            !BitIdentical(response.neighbors, expected[q])) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) {
+    client.join();
+  }
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(svc.Metrics().completed, queries.size());
+}
+
+TEST(ShardedServiceTest, SingleShardHotSwapMidTrafficStaysBitExact) {
+  Fixture fx;
+  auto sharded = fx.MakeSharded(3);
+  service::ServiceConfig config;
+  config.latency_mode_threshold = 1;
+  service::SearchService svc(service::WrapShardedIndex(sharded), &fx.pool,
+                             config);
+  const Dataset queries = Walk(30, 96, 83);
+  std::vector<std::vector<Neighbor>> expected;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    expected.push_back(fx.single->SearchKnn(queries.row(q), 5));
+  }
+
+  // Republish one rebuilt shard at a time (round-robin) under live
+  // traffic: every published generation shares two shards with its
+  // predecessor and answers identically, so no client may ever observe a
+  // different result.
+  std::atomic<bool> stop_swapping(false);
+  std::thread swapper([&] {
+    std::size_t swaps = 0;
+    while (!stop_swapping.load() || swaps < 6) {
+      sharded = sharded->WithShardRebuilt(swaps % sharded->num_shards());
+      svc.Publish(service::WrapShardedIndex(sharded));
+      ++swaps;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::atomic<std::size_t> failures(0);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t q = c; q < queries.size(); q += 2) {
+        service::SearchRequest request;
+        request.query.assign(queries.row(q), queries.row(q) + 96);
+        request.k = 5;
+        const service::SearchResponse response = svc.Search(std::move(request));
+        if (response.status != service::RequestStatus::kOk ||
+            !BitIdentical(response.neighbors, expected[q])) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) {
+    client.join();
+  }
+  stop_swapping.store(true);
+  swapper.join();
+  EXPECT_EQ(failures.load(), 0u);
+  const service::MetricsSnapshot metrics = svc.Metrics();
+  EXPECT_GE(metrics.swaps, 6u);
+  // The last published generation carries per-shard generation counters.
+  std::uint64_t max_generation = 0;
+  for (std::size_t s = 0; s < sharded->num_shards(); ++s) {
+    max_generation = std::max(max_generation, sharded->shard(s).generation);
+  }
+  EXPECT_GE(max_generation, 2u);
+}
+
+TEST(ShardedServiceTest, DeadlinePressureDropsExpiredOnly) {
+  Fixture fx(1000, 64, 84, /*threads=*/2);
+  const auto sharded = fx.MakeSharded(2);
+  service::ServiceConfig config;
+  config.latency_mode_threshold = 0;  // exercise the flattened scatter
+  service::SearchService svc(service::WrapShardedIndex(sharded), &fx.pool,
+                             config);
+  const Dataset queries = Walk(2, 64, 85);
+
+  service::SearchRequest expired;
+  expired.query.assign(queries.row(0), queries.row(0) + 64);
+  expired.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(10);
+  const service::SearchResponse dropped = svc.Search(std::move(expired));
+  EXPECT_EQ(dropped.status, service::RequestStatus::kDeadlineExpired);
+  EXPECT_TRUE(dropped.neighbors.empty());
+
+  service::SearchRequest fresh;
+  fresh.query.assign(queries.row(1), queries.row(1) + 64);
+  fresh.SetDeadlineMs(60000.0);
+  fresh.k = 5;
+  const service::SearchResponse answered = svc.Search(std::move(fresh));
+  ASSERT_EQ(answered.status, service::RequestStatus::kOk);
+  EXPECT_TRUE(
+      BitIdentical(answered.neighbors, fx.single->SearchKnn(queries.row(1), 5)));
+  const service::MetricsSnapshot metrics = svc.Metrics();
+  EXPECT_EQ(metrics.expired, 1u);
+  EXPECT_EQ(metrics.completed, 1u);
+
+  // Wrong-length queries are refused by the sharded generation too.
+  service::SearchRequest invalid;
+  invalid.query.assign(32, 0.0f);
+  EXPECT_EQ(svc.Search(std::move(invalid)).status,
+            service::RequestStatus::kInvalidRequest);
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace sofa

@@ -1,5 +1,6 @@
 // Unit tests for the utility substrate: RNG, statistics, thread pool,
-// table printer, flags, aligned vectors.
+// table printer, flags, aligned vectors, and the serving-metrics
+// histogram (percentile edge cases).
 
 #include <algorithm>
 #include <atomic>
@@ -13,6 +14,7 @@
 
 #include "util/aligned.h"
 #include "util/flags.h"
+#include "util/histogram.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
@@ -520,6 +522,115 @@ TEST(AlignedVectorTest, AssignFills) {
   for (std::size_t i = 0; i < 10; ++i) {
     EXPECT_EQ(v[i], 3.5f);
   }
+}
+
+// ------------------------------------------------------- LogHistogram
+
+TEST(LogHistogramTest, EmptyHistogramReportsZeros) {
+  LogHistogram h(1e-3, 1e5);
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.Sum(), 0.0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.MaxValue(), 0.0);
+  EXPECT_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_EQ(h.Percentile(100.0), 0.0);
+}
+
+TEST(LogHistogramTest, SingleSampleAtEveryPercentile) {
+  LogHistogram h(1e-3, 1e5);
+  h.Record(7.5);
+  EXPECT_EQ(h.TotalCount(), 1u);
+  EXPECT_EQ(h.Mean(), 7.5);
+  EXPECT_EQ(h.MaxValue(), 7.5);
+  // Every percentile lands in the sample's bucket: at most one bucket of
+  // relative error below (~12% at 20 buckets/decade), capped at the
+  // observed maximum above.
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_GE(h.Percentile(p), 7.5 / 1.13) << "p" << p;
+    EXPECT_LE(h.Percentile(p), 7.5) << "p" << p;
+  }
+}
+
+TEST(LogHistogramTest, OutOfRangePercentilesAreClamped) {
+  LogHistogram h(1e-3, 1e5);
+  h.Record(2.0);
+  h.Record(4.0);
+  EXPECT_EQ(h.Percentile(-10.0), h.Percentile(0.0));
+  EXPECT_EQ(h.Percentile(250.0), h.Percentile(100.0));
+}
+
+TEST(LogHistogramTest, SaturatingBucketsClampNotDrop) {
+  LogHistogram h(1.0, 100.0);
+  // Above the range: counted in the last bucket, percentile capped at the
+  // true observed maximum (not at the bucket edge).
+  h.Record(1e9);
+  EXPECT_EQ(h.TotalCount(), 1u);
+  EXPECT_EQ(h.MaxValue(), 1e9);
+  EXPECT_LE(h.Percentile(99.0), 1e9);
+  EXPECT_GE(h.Percentile(99.0), 100.0 / 1.13);  // at least the last edge
+  // Below the range (and zero): clamped into the first bucket; the cap by
+  // MaxValue keeps the reported percentile at the tiny observed value.
+  LogHistogram low(1.0, 100.0);
+  low.Record(1e-9);
+  EXPECT_EQ(low.TotalCount(), 1u);
+  EXPECT_EQ(low.Percentile(50.0), 1e-9);
+  low.Record(0.0);
+  EXPECT_EQ(low.TotalCount(), 2u);
+}
+
+TEST(LogHistogramTest, PercentilesAreMonotoneAndBounded) {
+  LogHistogram h(1e-3, 1e4, /*buckets_per_decade=*/20);
+  Rng rng(9);
+  double max_seen = 0.0;
+  double sum = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = std::exp(rng.Gaussian());  // log-normal latencies
+    h.Record(v);
+    max_seen = std::max(max_seen, v);
+    sum += v;
+  }
+  EXPECT_EQ(h.TotalCount(), 2000u);
+  EXPECT_NEAR(h.Mean(), sum / 2000.0, 1e-9);
+  EXPECT_EQ(h.MaxValue(), max_seen);
+  double previous = 0.0;
+  for (const double p : {1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+    const double value = h.Percentile(p);
+    EXPECT_GE(value, previous) << "p" << p;
+    EXPECT_LE(value, max_seen) << "p" << p;
+    previous = value;
+  }
+  EXPECT_EQ(h.Percentile(100.0), max_seen);
+}
+
+TEST(LogHistogramTest, ResetReturnsToEmpty) {
+  LogHistogram h(1e-3, 1e5);
+  h.Record(1.0);
+  h.Record(10.0);
+  ASSERT_EQ(h.TotalCount(), 2u);
+  h.Reset();
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.MaxValue(), 0.0);
+  EXPECT_EQ(h.Percentile(99.0), 0.0);
+  // Recording after a reset starts a fresh population.
+  h.Record(5.0);
+  EXPECT_EQ(h.TotalCount(), 1u);
+  EXPECT_EQ(h.Mean(), 5.0);
+}
+
+TEST(LogHistogramTest, ConcurrentRecordingLosesNothing) {
+  LogHistogram h(1e-3, 1e5);
+  ThreadPool pool(4);
+  constexpr std::size_t kPerWorker = 5000;
+  ParallelRun(&pool, 4, [&](std::size_t worker) {
+    for (std::size_t i = 0; i < kPerWorker; ++i) {
+      h.Record(static_cast<double>(worker + 1));
+    }
+  });
+  EXPECT_EQ(h.TotalCount(), 4 * kPerWorker);
+  EXPECT_EQ(h.MaxValue(), 4.0);
+  EXPECT_NEAR(h.Sum(), kPerWorker * (1.0 + 2.0 + 3.0 + 4.0), 1e-6);
 }
 
 TEST(RoundUpTest, RoundsToMultiples) {
