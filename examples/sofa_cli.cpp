@@ -19,19 +19,29 @@
 //                     [--mode=auto|latency|throughput] [--batch=64]
 //                     [--deadline_ms=0] [--repeat=1]
 //                     [--shards=N] [--assignment=contiguous|hash]
+//                     [--insert-file=rows.fvecs] [--compact-threshold=1024]
 //                     (streams the queries through the SearchService and
 //                      prints serving metrics: QPS, p50/p95/p99, pruning;
 //                      --shards reloads the per-shard files written by
 //                      `build --shards` and serves the scatter-gather
-//                      sharded index — answers are identical)
+//                      sharded index — answers are identical;
+//                      --insert-file additionally streams rows through the
+//                      incremental ingest path concurrently with the query
+//                      traffic: rows buffer per shard, stay exactly
+//                      searchable from the moment they are accepted, and
+//                      compact into rebuilt shard trees every
+//                      --compact-threshold rows — ingest metrics print
+//                      alongside the serving metrics)
 //
 // Data files may be .fvecs (auto-detected by extension), .bvecs, or raw
 // float32 (pass --length). Demonstrates the full persistence story:
 // generate → save → build → save index → reload → query.
 
+#include <chrono>
 #include <cstdio>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/io.h"
@@ -39,6 +49,7 @@
 #include "elastic/dtw_scan.h"
 #include "index/serialization.h"
 #include "index/tree_index.h"
+#include "ingest/compactor.h"
 #include "service/search_service.h"
 #include "service/snapshot.h"
 #include "shard/sharded_index.h"
@@ -94,6 +105,8 @@ shard::ShardAssignment ParseAssignment(const Flags& flags) {
 
 // Re-creates the build-time partition and reloads one index file per
 // shard; build and serve must be run with the same --shards/--assignment.
+// num_shards == 1 wraps the plain single-index file as a one-shard
+// generation (the ingest path always serves shards).
 std::shared_ptr<const shard::ShardedIndex> LoadShardedIndex(
     const Flags& flags, const std::string& index_path, const Dataset& data,
     std::size_t num_shards, ThreadPool* pool) {
@@ -104,13 +117,14 @@ std::shared_ptr<const shard::ShardedIndex> LoadShardedIndex(
       shard::ShardedIndex::Partition(data, num_shards, config.assignment);
   std::vector<shard::Shard> shards(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
-    auto loaded = index::LoadIndex(ShardPath(index_path, s),
-                                   partition.data[s].get(), pool);
+    const std::string path =
+        num_shards > 1 ? ShardPath(index_path, s) : index_path;
+    auto loaded = index::LoadIndex(path, partition.data[s].get(), pool);
     if (!loaded.has_value()) {
       std::fprintf(stderr,
                    "failed to load %s (wrong dataset, --shards or "
                    "--assignment?)\n",
-                   ShardPath(index_path, s).c_str());
+                   path.c_str());
       return nullptr;
     }
     shards[s].data = partition.data[s];
@@ -283,11 +297,26 @@ int Serve(const Flags& flags, ThreadPool* pool) {
   const std::string index_path = flags.GetString("index", "index.sofa");
   const std::size_t num_shards =
       static_cast<std::size_t>(flags.GetInt("shards", 1));
+  const std::string insert_path = flags.GetString("insert-file", "");
+  std::optional<Dataset> insert_rows;
+  if (!insert_path.empty()) {
+    insert_rows = LoadData(flags, "insert-file");
+    if (!insert_rows.has_value()) {
+      return 1;
+    }
+    if (insert_rows->length() != data->length()) {
+      std::fprintf(stderr, "--insert-file rows have length %zu, need %zu\n",
+                   insert_rows->length(), data->length());
+      return 1;
+    }
+  }
   std::optional<index::LoadedIndex> loaded;  // single-index keep-alive
+  std::shared_ptr<const shard::ShardedIndex> sharded;
   std::shared_ptr<const service::IndexSnapshot> snapshot;
-  if (num_shards > 1) {
-    const auto sharded =
-        LoadShardedIndex(flags, index_path, *data, num_shards, pool);
+  if (num_shards > 1 || insert_rows.has_value()) {
+    // The ingest path always serves a (possibly one-shard) sharded
+    // generation — that is the unit of per-shard compaction/republish.
+    sharded = LoadShardedIndex(flags, index_path, *data, num_shards, pool);
     if (sharded == nullptr) {
       return 1;
     }
@@ -317,6 +346,31 @@ int Serve(const Flags& flags, ThreadPool* pool) {
   }
   service::SearchService svc(std::move(snapshot), pool, config);
 
+  // With --insert-file, attach the incremental ingest path and stream the
+  // rows in from a side thread while the query traffic runs: rows are
+  // exactly searchable the moment Insert() accepts them, and shards whose
+  // buffers cross the threshold compact and republish under the traffic.
+  std::optional<ingest::Compactor> compactor;
+  if (insert_rows.has_value()) {
+    ingest::IngestConfig ingest_config;
+    ingest_config.compact_threshold = static_cast<std::size_t>(
+        flags.GetInt("compact-threshold", 1024));
+    compactor.emplace(&svc, sharded, ingest_config);
+  }
+  std::thread inserter;
+  if (insert_rows.has_value()) {
+    inserter = std::thread([&] {
+      for (std::size_t r = 0; r < insert_rows->size(); ++r) {
+        while (compactor->Insert(insert_rows->row(r),
+                                 insert_rows->length()) ==
+               ingest::InsertStatus::kRejected) {
+          // Admission backpressure: compaction is behind, yield briefly.
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    });
+  }
+
   WallTimer timer;
   std::vector<std::future<service::SearchResponse>> futures;
   futures.reserve(queries->size() * repeat);
@@ -336,6 +390,10 @@ int Serve(const Flags& flags, ThreadPool* pool) {
   }
   for (auto& future : futures) {
     (void)future.get();
+  }
+  if (inserter.joinable()) {
+    inserter.join();
+    compactor->Flush();  // drain the buffers into the trees
   }
   const double wall_seconds = timer.Seconds();
 
@@ -368,6 +426,15 @@ int Serve(const Flags& flags, ThreadPool* pool) {
                   metrics.profile.series_lbd_checked),
               static_cast<unsigned long long>(
                   metrics.profile.series_ed_computed));
+  if (compactor.has_value()) {
+    const ingest::IngestMetrics ingest_metrics = compactor->Metrics();
+    std::printf("  ingest: %llu inserted (%llu rejected), %llu compactions, "
+                "%zu still buffered, collection now %zu series\n",
+                static_cast<unsigned long long>(ingest_metrics.inserted),
+                static_cast<unsigned long long>(ingest_metrics.rejected),
+                static_cast<unsigned long long>(ingest_metrics.compactions),
+                ingest_metrics.pending, ingest_metrics.total_rows);
+  }
   return 0;
 }
 

@@ -142,9 +142,11 @@ class TreeIndex {
     return subtrees_;
   }
 
-  /// Root child for a key, or nullptr.
+  /// Root child for a key, or nullptr — also for keys outside the root
+  /// fan-out [0, 2^root_bits): an out-of-range key has no child, it is
+  /// not undefined behavior (callers feed externally derived keys here).
   const Node* root_child(std::uint32_t key) const {
-    return root_children_[key].get();
+    return key < root_children_.size() ? root_children_[key].get() : nullptr;
   }
 
   /// Reassembles an index from deserialized parts (LoadIndex's back door);

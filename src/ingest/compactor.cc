@@ -1,0 +1,268 @@
+#include "ingest/compactor.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace sofa {
+namespace ingest {
+
+Compactor::Compactor(service::SearchService* service,
+                     std::shared_ptr<const shard::ShardedIndex> base,
+                     IngestConfig config)
+    : service_(service),
+      config_(config),
+      base_total_(base == nullptr ? 0 : base->size()),
+      length_(base == nullptr ? 0 : base->length()),
+      num_shards_(base == nullptr ? 0 : base->num_shards()),
+      assignment_(base == nullptr ? shard::ShardAssignment::kContiguous
+                                  : base->config().assignment) {
+  SOFA_CHECK(service_ != nullptr);
+  SOFA_CHECK(base != nullptr);
+  SOFA_CHECK(base_total_ < std::numeric_limits<std::uint32_t>::max());
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    SOFA_CHECK(base->shard(s).scheme != nullptr)
+        << "compaction rebuilds need per-shard scheme handles";
+  }
+  if (config_.compact_threshold == 0) {
+    config_.compact_threshold = 1;
+  }
+  if (config_.chunk_capacity == 0) {
+    config_.chunk_capacity = 1024;
+  }
+  if (config_.max_pending == 0) {
+    config_.max_pending = 8 * config_.compact_threshold * num_shards_;
+  }
+  sharded_ = std::move(base);
+  buffers_.reserve(num_shards_);
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    buffers_.push_back(
+        std::make_shared<InsertBuffer>(length_, config_.chunk_capacity));
+  }
+  tree_covered_.assign(num_shards_, 0);
+  next_id_ = static_cast<std::uint32_t>(base_total_);
+  {
+    // Publish the initial ingesting generation: base trees, empty buffer
+    // views. From here on every query sees tree ∪ buffer.
+    std::unique_lock<std::mutex> lock(mutex_);
+    PublishLocked(sharded_, &lock);
+  }
+  compaction_thread_ = std::thread([this] { CompactorLoop(); });
+}
+
+Compactor::~Compactor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  flush_cv_.notify_all();
+  if (compaction_thread_.joinable()) {
+    compaction_thread_.join();
+  }
+}
+
+std::size_t Compactor::RouteShard(std::uint32_t id) const {
+  return shard::ShardedIndex::AssignShard(assignment_, id, base_total_,
+                                          num_shards_);
+}
+
+InsertStatus Compactor::Insert(const float* row, std::size_t length) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (length != length_) {
+    ++invalid_;
+    return InsertStatus::kInvalid;
+  }
+  if (stopping_) {
+    return InsertStatus::kShutdown;
+  }
+  if (pending_ >= config_.max_pending) {
+    ++rejected_;
+    return InsertStatus::kRejected;
+  }
+  if (next_id_ == std::numeric_limits<std::uint32_t>::max()) {
+    // Global-id space exhausted: the row can never be accepted (kRejected
+    // would invite a futile retry loop), and a wrapped id would collide
+    // with an existing row and break the ascending-id invariant.
+    ++invalid_;
+    return InsertStatus::kInvalid;
+  }
+  const std::uint32_t id = next_id_++;
+  const std::size_t s = RouteShard(id);
+  // Id assignment and append share the lock so each buffer sees strictly
+  // ascending global ids (the merge's tie rule depends on it).
+  buffers_[s]->Append(row, id);
+  ++pending_;
+  ++inserted_;
+  if (config_.auto_compact &&
+      buffers_[s]->size() - tree_covered_[s] >= config_.compact_threshold) {
+    work_cv_.notify_one();
+  }
+  return InsertStatus::kOk;
+}
+
+void Compactor::Flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_ && pending_ > 0) {
+    flush_requested_ = true;
+    work_cv_.notify_all();
+    flush_cv_.wait(lock);
+  }
+}
+
+IngestMetrics Compactor::Metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  IngestMetrics metrics;
+  metrics.inserted = inserted_;
+  metrics.rejected = rejected_;
+  metrics.invalid = invalid_;
+  metrics.compactions = compactions_;
+  metrics.pending = pending_;
+  metrics.total_rows = base_total_ + inserted_;
+  return metrics;
+}
+
+std::shared_ptr<const shard::ShardedIndex> Compactor::current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sharded_;
+}
+
+std::shared_ptr<const service::ShardBuffers> Compactor::MakeBuffers(
+    const std::vector<std::size_t>& start) const {
+  auto buffers = std::make_shared<service::ShardBuffers>();
+  buffers->buffers.assign(buffers_.begin(), buffers_.end());
+  buffers->start = start;
+  return buffers;
+}
+
+void Compactor::PublishLocked(
+    std::shared_ptr<const shard::ShardedIndex> sharded,
+    std::unique_lock<std::mutex>* lock) {
+  SOFA_CHECK(lock != nullptr && lock->owns_lock());
+  std::shared_ptr<const service::IndexSnapshot> snapshot =
+      service::WrapIngestingIndex(std::move(sharded),
+                                  MakeBuffers(tree_covered_));
+  live_.push_back(LiveGeneration{snapshot, tree_covered_});
+  service_->Publish(std::move(snapshot));
+  TrimRetiredLocked();
+}
+
+void Compactor::TrimRetiredLocked() {
+  // The smallest buffer start any still-live generation scans from bounds
+  // what may be reclaimed; generations retire when their last in-flight
+  // query batch drops the snapshot reference.
+  std::vector<std::size_t> min_start = tree_covered_;
+  for (auto it = live_.begin(); it != live_.end();) {
+    if (it->snapshot.expired()) {
+      it = live_.erase(it);
+      continue;
+    }
+    for (std::size_t s = 0; s < num_shards_; ++s) {
+      min_start[s] = std::min(min_start[s], it->start[s]);
+    }
+    ++it;
+  }
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    buffers_[s]->TrimBelow(min_start[s]);
+  }
+}
+
+void Compactor::CompactorLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [this] {
+      if (stopping_ || flush_requested_) {
+        return true;
+      }
+      if (!config_.auto_compact) {
+        return false;
+      }
+      for (std::size_t s = 0; s < num_shards_; ++s) {
+        if (buffers_[s]->size() - tree_covered_[s] >=
+            config_.compact_threshold) {
+          return true;
+        }
+      }
+      return false;
+    });
+    if (stopping_) {
+      return;
+    }
+    while (!stopping_) {
+      // Most-pending shard first: under sustained ingest this keeps the
+      // flat-scanned delta sets as small as possible.
+      std::size_t best = num_shards_;
+      std::size_t best_pending = 0;
+      for (std::size_t s = 0; s < num_shards_; ++s) {
+        const std::size_t shard_pending =
+            buffers_[s]->size() - tree_covered_[s];
+        if (shard_pending > best_pending) {
+          best = s;
+          best_pending = shard_pending;
+        }
+      }
+      const bool flushing = flush_requested_;
+      if (best_pending == 0 ||
+          (!flushing && (!config_.auto_compact ||
+                         best_pending < config_.compact_threshold))) {
+        break;
+      }
+      lock.unlock();
+      CompactShard(best);
+      lock.lock();
+    }
+    if (flush_requested_ && pending_ == 0) {
+      flush_requested_ = false;
+      flush_cv_.notify_all();
+    }
+  }
+}
+
+void Compactor::CompactShard(std::size_t s) {
+  std::shared_ptr<const shard::ShardedIndex> base;
+  std::size_t start;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    base = sharded_;
+    start = tree_covered_[s];
+  }
+  // The cut: rows below it move into the rebuilt tree; rows appended
+  // during the rebuild stay above it and remain buffer-visible.
+  const std::size_t cut = buffers_[s]->size();
+  if (cut == start) {
+    return;
+  }
+  const shard::Shard& old_shard = base->shard(s);
+  auto data = std::make_shared<Dataset>(length_);
+  auto ids = std::make_shared<std::vector<std::uint32_t>>(
+      *old_shard.global_ids);
+  ids->reserve(old_shard.data->size() + (cut - start));
+  for (std::size_t i = 0; i < old_shard.data->size(); ++i) {
+    data->Append(old_shard.data->row(i));
+  }
+  buffers_[s]->CopyRange(start, cut, data.get(), ids.get());
+
+  // Deterministic rebuild over slice ∪ buffered rows with the build-time
+  // scheme and per-shard index config; runs on the serving pool, under
+  // whatever traffic is live.
+  shard::Shard rebuilt;
+  rebuilt.data = data;
+  rebuilt.scheme = old_shard.scheme;
+  rebuilt.global_ids = ids;
+  rebuilt.tree = std::make_shared<index::TreeIndex>(
+      data.get(), old_shard.scheme.get(), base->config().index, base->pool());
+  std::shared_ptr<const shard::ShardedIndex> derived =
+      base->WithShardReplaced(s, std::move(rebuilt));
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  sharded_ = derived;
+  tree_covered_[s] = cut;
+  pending_ -= cut - start;
+  ++compactions_;
+  PublishLocked(std::move(derived), &lock);
+}
+
+}  // namespace ingest
+}  // namespace sofa

@@ -1,0 +1,179 @@
+// The compaction half of the incremental ingest path: insert buffer →
+// per-shard rebuild → WithShardReplaced republish, all under live
+// traffic (ROADMAP: "per-shard incremental updates — the CoW plumbing
+// exists, the insert path does not").
+//
+// A Compactor attaches to a SearchService serving a sharded generation
+// and becomes its sole publisher. It owns one InsertBuffer per shard and
+// an insert API with admission control: Insert() assigns the next global
+// collection id, routes the row to its shard's buffer (contiguous
+// assignment extends the last shard's range; hash assignment hashes the
+// id as at build time) and publishes it to queries immediately through
+// the live buffer — no snapshot republish per insert. Once a shard's
+// pending rows reach `compact_threshold`, a dedicated background thread
+// rebuilds that shard's TreeIndex over slice ∪ buffered rows and
+// republishes through ShardedIndex::WithShardReplaced +
+// SearchService::Publish.
+//
+// Exactness invariant, held at every instant including mid-compaction:
+// each generation's shard-s tree covers that shard's rows below a cut
+// offset and its buffer view starts exactly at the cut, so every row is
+// answered by exactly one of tree or buffer. A compaction samples the
+// buffer size as the new cut, rebuilds over [0, cut), and publishes with
+// the view advanced to cut — queries in flight on the old generation
+// keep the old cut (old tree + wider buffer range), queries on the new
+// one get the new tree + narrower range; both cover every row once.
+// Inserts that land during the rebuild stay above the new cut and remain
+// buffer-visible in both generations. Buffer chunks below the smallest
+// cut of any still-live generation are reclaimed (tracked via weak
+// references to the published snapshots).
+//
+// Deliberate non-goals of this first cut (see ROADMAP follow-ons):
+// deletes/tombstones, write-ahead logging (inserts are in-memory only —
+// a restart reloads the base collection), and summary-scheme retraining
+// (rebuilt shards reuse the build-time scheme; exactness never depends
+// on it, only pruning power does).
+
+#ifndef SOFA_INGEST_COMPACTOR_H_
+#define SOFA_INGEST_COMPACTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ingest/insert_buffer.h"
+#include "service/search_service.h"
+#include "service/snapshot.h"
+#include "shard/sharded_index.h"
+
+namespace sofa {
+namespace ingest {
+
+/// Outcome of one insert.
+enum class InsertStatus {
+  kOk,        // buffered; visible to every query submitted afterwards
+  kRejected,  // admission bound hit — compaction is behind, retry later
+  kInvalid,   // refused permanently: wrong row length, or the 32-bit
+              // global-id space is exhausted
+  kShutdown,  // compactor is stopping
+};
+
+struct IngestConfig {
+  /// Pending (uncompacted) rows per shard that trigger a background
+  /// rebuild of that shard.
+  std::size_t compact_threshold = 1024;
+
+  /// Admission bound: inserts are rejected while the total pending rows
+  /// across all shards are at or beyond this (backpressure when
+  /// compaction cannot keep up). 0 = 8 × compact_threshold × num_shards.
+  std::size_t max_pending = 0;
+
+  /// Rows per buffer chunk (storage granularity; chunks never move).
+  std::size_t chunk_capacity = 1024;
+
+  /// When false, no threshold-triggered compactions run — only Flush()
+  /// compacts (deterministic stepping for tests and benches).
+  bool auto_compact = true;
+};
+
+/// Point-in-time ingest counters.
+struct IngestMetrics {
+  std::uint64_t inserted = 0;     // rows accepted
+  std::uint64_t rejected = 0;     // rows bounced at admission
+  std::uint64_t invalid = 0;      // rows refused (length mismatch)
+  std::uint64_t compactions = 0;  // shard rebuilds published
+  std::size_t pending = 0;        // rows currently buffered, not yet in trees
+  std::size_t total_rows = 0;     // base + accepted rows
+};
+
+class Compactor {
+ public:
+  /// Attaches to `service`, which must currently serve (or be about to
+  /// serve) `base`; the constructor publishes the initial ingesting
+  /// generation (base trees + empty buffers). While a Compactor is
+  /// attached it must be the service's only publisher. Tree rebuilds run
+  /// on `base`'s thread pool, competing with query scatter — compaction
+  /// under live traffic by design.
+  Compactor(service::SearchService* service,
+            std::shared_ptr<const shard::ShardedIndex> base,
+            IngestConfig config = IngestConfig{});
+
+  /// Stops the compaction thread. The service keeps serving the last
+  /// published generation — already-buffered rows stay visible, they are
+  /// just never compacted further.
+  ~Compactor();
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  /// Inserts one row (`length` floats, z-normalized like the base
+  /// collection). On kOk the row is visible to every query submitted
+  /// after this returns. Thread-safe; concurrent inserts serialize.
+  InsertStatus Insert(const float* row, std::size_t length);
+
+  /// Blocks until every row pending at call time is compacted into its
+  /// shard's tree and the resulting generations are published.
+  void Flush();
+
+  IngestMetrics Metrics() const;
+
+  /// The latest generation this compactor derived (base trees + all
+  /// published compactions).
+  std::shared_ptr<const shard::ShardedIndex> current() const;
+
+  /// Shard that global id `id` routes to: the build-time AssignShard
+  /// partition, with inserted ids (>= the base collection size) extending
+  /// the last shard under contiguous assignment.
+  std::size_t RouteShard(std::uint32_t id) const;
+
+ private:
+  void CompactorLoop();
+  void CompactShard(std::size_t s);
+  std::shared_ptr<const service::ShardBuffers> MakeBuffers(
+      const std::vector<std::size_t>& start) const;
+  void PublishLocked(std::shared_ptr<const shard::ShardedIndex> sharded,
+                     std::unique_lock<std::mutex>* lock);
+  void TrimRetiredLocked();
+
+  service::SearchService* service_;
+  IngestConfig config_;
+  const std::size_t base_total_;  // collection size the partition was built at
+  const std::size_t length_;
+  const std::size_t num_shards_;
+  const shard::ShardAssignment assignment_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // compaction thread wakeups
+  std::condition_variable flush_cv_;  // Flush() waiters
+  std::shared_ptr<const shard::ShardedIndex> sharded_;  // latest generation
+  std::vector<std::shared_ptr<InsertBuffer>> buffers_;  // one per shard
+  std::vector<std::size_t> tree_covered_;  // per shard: buffer rows in tree
+  std::uint32_t next_id_;
+  std::size_t pending_ = 0;
+  std::uint64_t inserted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t invalid_ = 0;
+  std::uint64_t compactions_ = 0;
+  bool flush_requested_ = false;
+  bool stopping_ = false;
+
+  // Published generations still possibly in flight (weak: expired entries
+  // are pruned); per entry, the per-shard buffer starts it scans from.
+  // The minimum start across live entries bounds what TrimBelow may drop.
+  struct LiveGeneration {
+    std::weak_ptr<const service::IndexSnapshot> snapshot;
+    std::vector<std::size_t> start;
+  };
+  std::vector<LiveGeneration> live_;
+
+  std::thread compaction_thread_;
+};
+
+}  // namespace ingest
+}  // namespace sofa
+
+#endif  // SOFA_INGEST_COMPACTOR_H_

@@ -1,0 +1,141 @@
+#include "ingest/insert_buffer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <queue>
+
+#include "core/distance.h"
+#include "util/check.h"
+
+namespace sofa {
+namespace ingest {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+// Max-heap entry ordered by (distance, id): the worst retained candidate —
+// largest distance, largest id among equal distances — sits on top, so
+// eviction always discards the highest global id of a tie.
+struct HeapEntry {
+  float dist_sq;
+  std::uint32_t id;
+  bool operator<(const HeapEntry& other) const {
+    if (dist_sq != other.dist_sq) {
+      return dist_sq < other.dist_sq;
+    }
+    return id < other.id;
+  }
+};
+
+}  // namespace
+
+InsertBuffer::InsertBuffer(std::size_t length, std::size_t chunk_capacity)
+    : length_(length), chunk_capacity_(chunk_capacity) {
+  SOFA_CHECK(length_ > 0);
+  SOFA_CHECK(chunk_capacity_ > 0);
+}
+
+std::size_t InsertBuffer::Append(const float* row, std::uint32_t global_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t slot = count_ - base_;
+  if (slot == chunks_.size() * chunk_capacity_) {
+    chunks_.push_back(std::make_shared<Chunk>(length_, chunk_capacity_));
+  }
+  Chunk& chunk = *chunks_[slot / chunk_capacity_];
+  const std::size_t at = slot % chunk_capacity_;
+  std::memcpy(chunk.rows.mutable_row(at), row, length_ * sizeof(float));
+  chunk.ids[at] = global_id;
+  return ++count_;  // row fully written before the count publishes it
+}
+
+std::size_t InsertBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+std::size_t InsertBuffer::first_retained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return base_;
+}
+
+InsertBuffer::View InsertBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  View view;
+  view.chunks.assign(chunks_.begin(), chunks_.end());
+  view.base = base_;
+  view.count = count_;
+  return view;
+}
+
+std::size_t InsertBuffer::SearchKnn(const float* query, std::size_t k,
+                                    std::size_t begin,
+                                    std::vector<Neighbor>* out) const {
+  SOFA_CHECK(out != nullptr);
+  const View view = Snapshot();
+  SOFA_CHECK(begin >= view.base)
+      << "scan from " << begin << " below first retained row " << view.base;
+  if (begin >= view.count || k == 0) {
+    return 0;
+  }
+  // Flat scan in ascending global-id order with the tree engine's
+  // early-abandoning kernel. Strict `<` against the k-th best keeps the
+  // first-seen — lowest — global id on exact distance ties; a completed
+  // (non-abandoned) sum is the exact distance, bit-identical to what the
+  // tree reports for the same row.
+  std::priority_queue<HeapEntry> heap;
+  for (std::size_t r = begin; r < view.count; ++r) {
+    const std::size_t slot = r - view.base;
+    const Chunk& chunk = *view.chunks[slot / chunk_capacity_];
+    const std::size_t at = slot % chunk_capacity_;
+    const float bound = heap.size() < k ? kInf : heap.top().dist_sq;
+    const float d = SquaredEuclideanEarlyAbandon(query, chunk.rows.row(at),
+                                                 length_, bound);
+    if (heap.size() < k) {
+      heap.push(HeapEntry{d, chunk.ids[at]});
+    } else if (d < bound) {
+      heap.pop();
+      heap.push(HeapEntry{d, chunk.ids[at]});
+    }
+  }
+  std::vector<Neighbor> result(heap.size());
+  for (std::size_t i = heap.size(); i-- > 0;) {
+    result[i] = Neighbor{heap.top().id, std::sqrt(heap.top().dist_sq)};
+    heap.pop();
+  }
+  out->insert(out->end(), result.begin(), result.end());
+  return view.count - begin;
+}
+
+void InsertBuffer::CopyRange(std::size_t begin, std::size_t end, Dataset* rows,
+                             std::vector<std::uint32_t>* ids) const {
+  SOFA_CHECK(rows != nullptr && ids != nullptr);
+  SOFA_CHECK_EQ(rows->length(), length_);
+  const View view = Snapshot();
+  SOFA_CHECK(begin >= view.base && end <= view.count && begin <= end);
+  for (std::size_t r = begin; r < end; ++r) {
+    const std::size_t slot = r - view.base;
+    const Chunk& chunk = *view.chunks[slot / chunk_capacity_];
+    const std::size_t at = slot % chunk_capacity_;
+    rows->Append(chunk.rows.row(at));
+    ids->push_back(chunk.ids[at]);
+  }
+}
+
+void InsertBuffer::TrimBelow(std::size_t offset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t drop = 0;
+  while (base_ + (drop + 1) * chunk_capacity_ <= offset &&
+         drop < chunks_.size()) {
+    ++drop;
+  }
+  if (drop > 0) {
+    chunks_.erase(chunks_.begin(),
+                  chunks_.begin() + static_cast<std::ptrdiff_t>(drop));
+    base_ += drop * chunk_capacity_;
+  }
+}
+
+}  // namespace ingest
+}  // namespace sofa

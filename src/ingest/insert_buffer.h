@@ -1,0 +1,113 @@
+// The mutable half of the incremental ingest path (ROADMAP: "per-shard
+// incremental updates — insert buffer → rebuild → WithShardReplaced
+// republish").
+//
+// An InsertBuffer is the append-only delta set of one shard: rows inserted
+// since that shard's tree was last rebuilt, each carrying its global
+// collection id. Queries answer exactly over tree ∪ buffer, FAISS-style
+// (Johnson et al., billion-scale similarity search: a pruned index over
+// the bulk plus a brute-force flat scan over a small delta): the shard's
+// TreeIndex covers the compacted prefix and the buffer is scanned flat.
+// The scan uses the same early-abandoning SIMD distance kernel as the tree
+// engine (not the flat index's ‖x‖²+‖y‖²−2x·y trick, whose rounding
+// differs), so a row reports the *bit-identical* distance whether it is
+// answered from the buffer or — after compaction — from the tree.
+//
+// Storage is chunked: rows live in fixed-capacity 64-byte-aligned chunks
+// that never move or reallocate, so readers scan without copying while a
+// writer appends. All methods are thread-safe; appends serialize on an
+// internal mutex, scans briefly take the same mutex to snapshot the chunk
+// list and published row count, then run lock-free. Rows already handed
+// to a rebuilt tree are reclaimed chunk-wise via TrimBelow once no live
+// generation can still scan them (the Compactor tracks that).
+
+#ifndef SOFA_INGEST_INSERT_BUFFER_H_
+#define SOFA_INGEST_INSERT_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/neighbor.h"
+
+namespace sofa {
+namespace ingest {
+
+class InsertBuffer {
+ public:
+  /// Buffer for rows of `length` floats, stored in chunks of
+  /// `chunk_capacity` rows.
+  explicit InsertBuffer(std::size_t length, std::size_t chunk_capacity = 1024);
+
+  InsertBuffer(const InsertBuffer&) = delete;
+  InsertBuffer& operator=(const InsertBuffer&) = delete;
+
+  /// Appends one row (length() floats, z-normalized like the base
+  /// collection) carrying `global_id`, and returns the buffer size after
+  /// the append. Callers must append global ids in ascending order — the
+  /// merge's lowest-global-id-first tie rule and the ascending-global-ids
+  /// invariant of compacted shards both rely on it.
+  std::size_t Append(const float* row, std::uint32_t global_id);
+
+  /// Rows ever appended (monotonic; trims do not shrink it).
+  std::size_t size() const;
+
+  /// First row offset still retained (everything below was trimmed).
+  std::size_t first_retained() const;
+
+  std::size_t length() const { return length_; }
+
+  /// Exact top-k over rows [begin, size()-at-call), appended to `out` as
+  /// neighbors with *global* ids, ascending by (distance, id) — on ties
+  /// the lowest global id wins, deterministically. Returns the number of
+  /// rows scanned (one early-abandoning distance evaluation each, for
+  /// QueryProfile accounting). `begin` must be >= first_retained().
+  std::size_t SearchKnn(const float* query, std::size_t k, std::size_t begin,
+                        std::vector<Neighbor>* out) const;
+
+  /// Copies rows [begin, end) and their global ids into `rows`/`ids`
+  /// (appending) — the compaction handoff into the rebuilt shard slice.
+  void CopyRange(std::size_t begin, std::size_t end, Dataset* rows,
+                 std::vector<std::uint32_t>* ids) const;
+
+  /// Releases whole chunks lying entirely below row offset `offset`.
+  /// Only safe once no live generation scans from below `offset`; scans
+  /// already in flight keep their chunks alive via shared ownership.
+  void TrimBelow(std::size_t offset);
+
+ private:
+  // One fixed-capacity chunk; `rows` is pre-sized so row storage never
+  // moves after construction.
+  struct Chunk {
+    Chunk(std::size_t length, std::size_t capacity)
+        : rows(capacity, length), ids(capacity, 0) {}
+    Dataset rows;
+    std::vector<std::uint32_t> ids;
+  };
+
+  // Snapshot of the readable state: chunks (shared — survive a concurrent
+  // trim), the offset of chunks[0], and the published row count.
+  struct View {
+    std::vector<std::shared_ptr<const Chunk>> chunks;
+    std::size_t base = 0;
+    std::size_t count = 0;
+  };
+  View Snapshot() const;
+
+  const std::size_t length_;
+  const std::size_t chunk_capacity_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Chunk>> chunks_;  // chunk c starts at row
+                                                // base_ + c * chunk_capacity_
+  std::size_t base_ = 0;   // offset of chunks_[0] (chunk-aligned)
+  std::size_t count_ = 0;  // rows ever appended
+};
+
+}  // namespace ingest
+}  // namespace sofa
+
+#endif  // SOFA_INGEST_INSERT_BUFFER_H_

@@ -9,6 +9,34 @@
 
 namespace sofa {
 namespace service {
+namespace {
+
+// Scans the insert buffers of an ingesting generation for one query:
+// appends one ascending already-global top-k list per non-empty buffer
+// range to `extras` and counts the scanned rows (one early-abandoning
+// real-distance evaluation each) into `profile`, if given. The scan is
+// exact over whatever rows are published at call time, so inserts become
+// visible to queries without a republish.
+void ScanBuffers(const ShardBuffers& buffers, const float* query,
+                 std::size_t k, std::vector<std::vector<Neighbor>>* extras,
+                 index::QueryProfile* profile) {
+  for (std::size_t s = 0; s < buffers.buffers.size(); ++s) {
+    if (buffers.buffers[s] == nullptr) {
+      continue;
+    }
+    std::vector<Neighbor> found;
+    const std::size_t scanned =
+        buffers.buffers[s]->SearchKnn(query, k, buffers.start[s], &found);
+    if (profile != nullptr) {
+      profile->series_ed_computed += scanned;
+    }
+    if (!found.empty()) {
+      extras->push_back(std::move(found));
+    }
+  }
+}
+
+}  // namespace
 
 SearchService::SearchService(std::shared_ptr<const IndexSnapshot> snapshot,
                              ThreadPool* pool, ServiceConfig config)
@@ -214,12 +242,28 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
             request.collect_profile ? &responses[i].profile : nullptr;
         if (snapshot.is_sharded()) {
           // Intra-query parallelism of a sharded generation = one worker
-          // per shard, gathered by the exact merge. Scatter on the
-          // service's pool, not the pool the index was built with (which
-          // may be a short-lived builder pool).
-          responses[i].neighbors = snapshot.sharded->SearchKnn(
-              request.query.data(), request.k, request.epsilon, profile,
-              config_.num_threads, pool_);
+          // per shard, gathered by the exact merge — together with the
+          // insert-buffer answers when the generation is ingesting.
+          // Scatter on the service's pool, not the pool the index was
+          // built with (which may be a short-lived builder pool).
+          std::vector<std::vector<Neighbor>> per_shard;
+          std::vector<index::QueryProfile> profiles;
+          snapshot.sharded->ScatterKnn(
+              request.query.data(), request.k, request.epsilon, &per_shard,
+              profile != nullptr ? &profiles : nullptr, config_.num_threads,
+              pool_);
+          if (profile != nullptr) {
+            for (const index::QueryProfile& shard_profile : profiles) {
+              profile->Merge(shard_profile);
+            }
+          }
+          std::vector<std::vector<Neighbor>> extras;
+          if (snapshot.is_ingesting()) {
+            ScanBuffers(*snapshot.buffers, request.query.data(), request.k,
+                        &extras, profile);
+          }
+          responses[i].neighbors = snapshot.sharded->MergeTopK(
+              per_shard, request.k, std::move(extras));
         } else {
           const index::QueryEngine engine(snapshot.tree);
           responses[i].neighbors =
@@ -228,7 +272,7 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
         }
       }
     } else if (snapshot.is_sharded()) {
-      ExecuteShardedThroughput(*snapshot.sharded, batch, runnable, &responses);
+      ExecuteShardedThroughput(snapshot, batch, runnable, &responses);
     } else {
       std::vector<QueryTask> tasks(runnable.size());
       for (std::size_t t = 0; t < runnable.size(); ++t) {
@@ -268,11 +312,13 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
 // Throughput mode over a sharded generation: the whole batch flattens to
 // (query × shard) single-threaded tasks — the executor load-balances the
 // scatter of all queries at once — then each query's per-shard heaps are
-// gathered into its exact global top-k.
+// gathered into its exact global top-k, merged with the insert-buffer
+// answers when the generation is ingesting.
 void SearchService::ExecuteShardedThroughput(
-    const shard::ShardedIndex& sharded, std::vector<PendingRequest>* batch,
+    const IndexSnapshot& snapshot, std::vector<PendingRequest>* batch,
     const std::vector<std::size_t>& runnable,
     std::vector<SearchResponse>* responses) {
+  const shard::ShardedIndex& sharded = *snapshot.sharded;
   const std::size_t num_shards = sharded.num_shards();
   std::vector<std::vector<Neighbor>> results(runnable.size() * num_shards);
   std::vector<index::QueryProfile> profiles(runnable.size() * num_shards);
@@ -315,7 +361,13 @@ void SearchService::ExecuteShardedThroughput(
         response.profile.Merge(profiles[q * num_shards + s]);
       }
     }
-    response.neighbors = sharded.MergeTopK(per_shard, request.k);
+    std::vector<std::vector<Neighbor>> extras;
+    if (snapshot.is_ingesting()) {
+      ScanBuffers(*snapshot.buffers, request.query.data(), request.k, &extras,
+                  request.collect_profile ? &response.profile : nullptr);
+    }
+    response.neighbors =
+        sharded.MergeTopK(per_shard, request.k, std::move(extras));
   }
 }
 

@@ -179,7 +179,7 @@ class SearchService {
   void DispatcherLoop();
   void ExecuteBatch(std::vector<PendingRequest>* batch,
                     const IndexSnapshot& snapshot, std::uint64_t version);
-  void ExecuteShardedThroughput(const shard::ShardedIndex& sharded,
+  void ExecuteShardedThroughput(const IndexSnapshot& snapshot,
                                 std::vector<PendingRequest>* batch,
                                 const std::vector<std::size_t>& runnable,
                                 std::vector<SearchResponse>* responses);

@@ -12,20 +12,44 @@
 // (`sharded`), never both: a sharded index is swappable exactly like a
 // single one, and a derived sharded generation (one shard rebuilt or
 // replaced) republishes through the same path.
+//
+// An *ingesting* sharded generation additionally carries ShardBuffers:
+// live per-shard insert buffers plus, per shard, the first buffer row its
+// tree does NOT cover. A query then merges each shard's tree answer with
+// an exact flat scan of that shard's buffer rows [start[s], live size),
+// so rows inserted after the generation was published are visible
+// immediately — no republish per insert — and every row is answered
+// exactly once (tree below the cut, buffer at or above it). Compaction
+// publishes a derived generation whose rebuilt shard covers the rows up
+// to a new cut, with start[s] advanced to match.
 
 #ifndef SOFA_SERVICE_SNAPSHOT_H_
 #define SOFA_SERVICE_SNAPSHOT_H_
 
+#include <cstddef>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "core/dataset.h"
 #include "index/serialization.h"
 #include "index/tree_index.h"
+#include "ingest/insert_buffer.h"
 #include "shard/sharded_index.h"
 
 namespace sofa {
 namespace service {
+
+/// The mutable delta sets of an ingesting sharded generation. `buffers`
+/// and `start` are indexed by shard id; `start[s]` is the first row of
+/// `buffers[s]` the generation's shard-s tree does not already cover.
+/// The struct itself is immutable per generation (compaction republishes
+/// with advanced starts); the buffers it points at are live and
+/// internally synchronized.
+struct ShardBuffers {
+  std::vector<std::shared_ptr<const ingest::InsertBuffer>> buffers;
+  std::vector<std::size_t> start;
+};
 
 /// One published index generation. Exactly one of `tree` and `sharded` is
 /// set; the remaining members are optional keep-alive handles for
@@ -39,7 +63,11 @@ struct IndexSnapshot {
   const index::TreeIndex* tree = nullptr;
   std::shared_ptr<const shard::ShardedIndex> sharded;
 
+  /// Set only on an ingesting sharded generation (see header comment).
+  std::shared_ptr<const ShardBuffers> buffers;
+
   bool is_sharded() const { return sharded != nullptr; }
+  bool is_ingesting() const { return buffers != nullptr; }
 
   /// Series length queries against this generation must have.
   std::size_t series_length() const {
@@ -62,6 +90,17 @@ inline std::shared_ptr<const IndexSnapshot> WrapShardedIndex(
     std::shared_ptr<const shard::ShardedIndex> sharded) {
   auto snapshot = std::make_shared<IndexSnapshot>();
   snapshot->sharded = std::move(sharded);
+  return snapshot;
+}
+
+/// Wraps an ingesting sharded generation: the trees of `sharded` plus the
+/// live per-shard insert buffers (the ingest::Compactor's publish path).
+inline std::shared_ptr<const IndexSnapshot> WrapIngestingIndex(
+    std::shared_ptr<const shard::ShardedIndex> sharded,
+    std::shared_ptr<const ShardBuffers> buffers) {
+  auto snapshot = std::make_shared<IndexSnapshot>();
+  snapshot->sharded = std::move(sharded);
+  snapshot->buffers = std::move(buffers);
   return snapshot;
 }
 

@@ -33,7 +33,12 @@ std::size_t ShardedIndex::AssignShard(ShardAssignment assignment,
     return static_cast<std::size_t>(Mix64(id) % num_shards);
   }
   // Contiguous: the first (total % num_shards) shards hold one extra row,
-  // so shard sizes differ by at most one.
+  // so shard sizes differ by at most one. Ids beyond the build-time total
+  // (the ingest path's inserts) extend the last shard's range — without
+  // this the arithmetic below would yield a shard index >= num_shards.
+  if (id >= total) {
+    return num_shards - 1;
+  }
   const std::size_t base = total / num_shards;
   const std::size_t extra = total % num_shards;
   const std::size_t boundary = extra * (base + 1);
@@ -136,22 +141,10 @@ std::vector<Neighbor> ShardedIndex::SearchKnn(const float* query,
   if (total_size_ == 0 || k == 0) {
     return {};
   }
-  if (pool == nullptr) {
-    pool = pool_;
-  }
-  std::vector<std::vector<Neighbor>> per_shard(shards_.size());
-  std::vector<index::QueryProfile> profiles(
-      profile != nullptr ? shards_.size() : 0);
-  std::vector<service::QueryTask> tasks(shards_.size());
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    tasks[s].index = shards_[s].tree.get();
-    tasks[s].query = query;
-    tasks[s].k = k;
-    tasks[s].epsilon = epsilon;
-    tasks[s].result = &per_shard[s];
-    tasks[s].profile = profile != nullptr ? &profiles[s] : nullptr;
-  }
-  service::RunTaskBatch(&tasks, pool, num_workers);
+  std::vector<std::vector<Neighbor>> per_shard;
+  std::vector<index::QueryProfile> profiles;
+  ScatterKnn(query, k, epsilon, &per_shard,
+             profile != nullptr ? &profiles : nullptr, num_workers, pool);
   if (profile != nullptr) {
     for (const index::QueryProfile& shard_profile : profiles) {
       profile->Merge(shard_profile);
@@ -160,17 +153,64 @@ std::vector<Neighbor> ShardedIndex::SearchKnn(const float* query,
   return MergeTopK(per_shard, k);
 }
 
-std::vector<Neighbor> ShardedIndex::MergeTopK(
-    const std::vector<std::vector<Neighbor>>& per_shard,
-    std::size_t k) const {
-  SOFA_CHECK(per_shard.size() == shards_.size());
-  // Tournament merge: every per-shard list is ascending, so a min-heap of
-  // one cursor per shard yields the global answer in order. Ties break by
-  // ascending global id — the same total order a flat scan produces.
+void ShardedIndex::ScatterKnn(const float* query, std::size_t k,
+                              double epsilon,
+                              std::vector<std::vector<Neighbor>>* per_shard,
+                              std::vector<index::QueryProfile>* profiles,
+                              std::size_t num_workers,
+                              ThreadPool* pool) const {
+  SOFA_CHECK(per_shard != nullptr);
+  if (pool == nullptr) {
+    pool = pool_;
+  }
+  per_shard->assign(shards_.size(), {});
+  if (profiles != nullptr) {
+    profiles->assign(shards_.size(), index::QueryProfile{});
+  }
+  if (k == 0) {
+    return;
+  }
+  std::vector<service::QueryTask> tasks(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    tasks[s].index = shards_[s].tree.get();
+    tasks[s].query = query;
+    tasks[s].k = k;
+    tasks[s].epsilon = epsilon;
+    tasks[s].result = &(*per_shard)[s];
+    tasks[s].profile = profiles != nullptr ? &(*profiles)[s] : nullptr;
+  }
+  service::RunTaskBatch(&tasks, pool, num_workers);
+}
+
+std::vector<Neighbor> MergeNeighborLists(
+    std::vector<std::vector<Neighbor>> lists, std::size_t k) {
+  // Per-source engines report ties in scan order; normalize each run of
+  // equal distances to ascending id so the cursor merge below emits the
+  // one total order (distance, id) — and a k boundary inside a tie run
+  // keeps the lowest global ids, deterministically.
+  std::size_t available = 0;
+  for (std::vector<Neighbor>& list : lists) {
+    available += list.size();
+    auto run = list.begin();
+    while (run != list.end()) {
+      auto end = run + 1;
+      while (end != list.end() && end->distance == run->distance) {
+        ++end;
+      }
+      if (end - run > 1) {
+        std::sort(run, end, [](const Neighbor& a, const Neighbor& b) {
+          return a.id < b.id;
+        });
+      }
+      run = end;
+    }
+  }
+  // Tournament merge: every list is ascending by (distance, id), so a
+  // min-heap of one cursor per list yields the global answer in order.
   struct Cursor {
     float distance;
-    std::uint32_t id;  // already global
-    std::uint32_t shard;
+    std::uint32_t id;
+    std::uint32_t list;
     std::uint32_t pos;
     bool operator>(const Cursor& other) const {
       if (distance != other.distance) {
@@ -180,29 +220,45 @@ std::vector<Neighbor> ShardedIndex::MergeTopK(
     }
   };
   std::priority_queue<Cursor, std::vector<Cursor>, std::greater<Cursor>> heap;
-  const auto cursor_at = [&](std::uint32_t s, std::uint32_t pos) {
-    const Neighbor& nb = per_shard[s][pos];
-    const std::uint32_t global = (*shards_[s].global_ids)[nb.id];
-    return Cursor{nb.distance, global, s, pos};
-  };
-  for (std::uint32_t s = 0; s < per_shard.size(); ++s) {
-    if (!per_shard[s].empty()) {
-      heap.push(cursor_at(s, 0));
+  for (std::uint32_t s = 0; s < lists.size(); ++s) {
+    if (!lists[s].empty()) {
+      heap.push(Cursor{lists[s][0].distance, lists[s][0].id, s, 0});
     }
   }
-  k = std::min(k, total_size_);
   std::vector<Neighbor> merged;
-  merged.reserve(k);
+  merged.reserve(std::min(k, available));
   while (merged.size() < k && !heap.empty()) {
     const Cursor top = heap.top();
     heap.pop();
     merged.push_back(Neighbor{top.id, top.distance});
     const std::uint32_t next = top.pos + 1;
-    if (next < per_shard[top.shard].size()) {
-      heap.push(cursor_at(top.shard, next));
+    if (next < lists[top.list].size()) {
+      heap.push(Cursor{lists[top.list][next].distance,
+                       lists[top.list][next].id, top.list, next});
     }
   }
   return merged;
+}
+
+std::vector<Neighbor> ShardedIndex::MergeTopK(
+    const std::vector<std::vector<Neighbor>>& per_shard, std::size_t k,
+    std::vector<std::vector<Neighbor>> extras) const {
+  SOFA_CHECK(per_shard.size() == shards_.size());
+  std::vector<std::vector<Neighbor>> lists;
+  lists.reserve(per_shard.size() + extras.size());
+  for (std::size_t s = 0; s < per_shard.size(); ++s) {
+    std::vector<Neighbor> mapped(per_shard[s].size());
+    const std::vector<std::uint32_t>& global_ids = *shards_[s].global_ids;
+    for (std::size_t i = 0; i < per_shard[s].size(); ++i) {
+      mapped[i] =
+          Neighbor{global_ids[per_shard[s][i].id], per_shard[s][i].distance};
+    }
+    lists.push_back(std::move(mapped));
+  }
+  for (std::vector<Neighbor>& extra : extras) {
+    lists.push_back(std::move(extra));
+  }
+  return MergeNeighborLists(std::move(lists), k);
 }
 
 }  // namespace shard

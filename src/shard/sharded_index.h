@@ -14,8 +14,10 @@
 // single-index engine reports for the same query. When distinct series
 // tie at exactly equal distance across the k boundary (duplicate rows),
 // the reported distances are still exact; the merge then picks ids
-// deterministically (lowest global id first) whereas the single-index
-// heap keeps whichever tied candidate its scan reached first.
+// deterministically (lowest global id first — both across source lists
+// and within one list, whose tie runs are normalized before merging)
+// whereas the single-index heap keeps whichever tied candidate its scan
+// reached first.
 //
 // A ShardedIndex is immutable (it is published behind the same
 // shared_ptr snapshot that SearchService hot-swaps); "updating" one
@@ -75,10 +77,28 @@ struct ShardPartition {
   std::vector<std::shared_ptr<const std::vector<std::uint32_t>>> global_ids;
 };
 
+/// Merges per-source exact top-k lists — each ascending by distance and
+/// carrying *global* ids — into the global top-k, ascending by
+/// (distance, id). Ties at equal distance resolve to the lowest global id
+/// deterministically, across lists and within one list (per-source
+/// engines emit tie runs in scan order, so each run is id-normalized
+/// before the tournament merge). The guarantee is over the candidates the
+/// source lists surfaced: a source engine that truncated a tie run at its
+/// own internal k boundary already chose which tied ids to keep (the tree
+/// engine keeps scan order there — see the class comment above; the
+/// insert buffer keeps lowest ids). This is the one gather everything
+/// funnels through: shard scatter (via ShardedIndex::MergeTopK) and the
+/// tree-∪-insert-buffer merge of the ingest path.
+std::vector<Neighbor> MergeNeighborLists(
+    std::vector<std::vector<Neighbor>> lists, std::size_t k);
+
 class ShardedIndex {
  public:
   /// Shard of global id `id` under `assignment` (deterministic; the
-  /// contract Partition() and any loader must agree on).
+  /// contract Partition() and any loader must agree on). Ids at or beyond
+  /// `total` — inserted after the build-time partition — map to the last
+  /// shard under kContiguous (which owns the open-ended tail range) and
+  /// hash normally under kHash.
   static std::size_t AssignShard(ShardAssignment assignment, std::uint32_t id,
                                  std::size_t total, std::size_t num_shards);
 
@@ -121,13 +141,27 @@ class ShardedIndex {
                                   std::size_t num_workers = 0,
                                   ThreadPool* pool = nullptr) const;
 
+  /// The scatter half of SearchKnn without the gather: fills
+  /// `per_shard[s]` with shard s's exact top-k (shard-local ids) and, when
+  /// `profiles` is non-null, `(*profiles)[s]` with shard s's work counters
+  /// (each counter lands in exactly one entry — callers merge once).
+  /// Exposed so the serving layer can gather tree answers together with
+  /// insert-buffer answers in a single MergeTopK. Same threading contract
+  /// as SearchKnn.
+  void ScatterKnn(const float* query, std::size_t k, double epsilon,
+                  std::vector<std::vector<Neighbor>>* per_shard,
+                  std::vector<index::QueryProfile>* profiles,
+                  std::size_t num_workers = 0, ThreadPool* pool = nullptr) const;
+
   /// Gathers per-shard answers (ascending, shard-local ids; indexed by
-  /// shard) into the exact global top-k with global ids: a k-way heap
-  /// merge, ties broken by ascending global id. Exposed for the service's
-  /// batched scatter, which runs the shard tasks itself.
+  /// shard) into the exact global top-k with global ids via
+  /// MergeNeighborLists (ties: lowest global id first). `extras` are
+  /// additional already-global ascending lists merged alongside — the
+  /// ingest path's per-shard insert-buffer answers. Exposed for the
+  /// service's batched scatter, which runs the shard tasks itself.
   std::vector<Neighbor> MergeTopK(
-      const std::vector<std::vector<Neighbor>>& per_shard,
-      std::size_t k) const;
+      const std::vector<std::vector<Neighbor>>& per_shard, std::size_t k,
+      std::vector<std::vector<Neighbor>> extras = {}) const;
 
   /// A new generation with shard `shard_id`'s tree rebuilt from its own
   /// rows (same scheme and config); the other shards are shared, not

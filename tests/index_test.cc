@@ -200,6 +200,27 @@ TEST_F(BuildInvariantsTest, EmptyDatasetBuildsAndAnswersEmpty) {
   EXPECT_TRUE(index.SearchKnn(query.data(), 5).empty());
 }
 
+// Regression: root_child(key) used to index the dense fan-out array with
+// no bounds check — an out-of-range key (externally derived, e.g. from a
+// stale word length) was undefined behavior. It must answer "no child".
+TEST_F(BuildInvariantsTest, RootChildOutOfRangeKeyIsNull) {
+  ThreadPool pool(2);
+  const Dataset data = Noise(500, 64, 21);
+  sax::SaxScheme scheme(64, 16, 256);
+  TreeIndex index(&data, &scheme, IndexConfig{}, &pool);
+  const std::size_t fan_out = std::size_t{1} << index.root_bits();
+  // Every in-range key answers (possibly null for empty children)...
+  std::size_t non_null = 0;
+  for (std::size_t key = 0; key < fan_out; ++key) {
+    non_null +=
+        index.root_child(static_cast<std::uint32_t>(key)) != nullptr ? 1 : 0;
+  }
+  EXPECT_EQ(non_null, index.subtrees().size());
+  // ...and out-of-range keys answer null instead of reading out of bounds.
+  EXPECT_EQ(index.root_child(static_cast<std::uint32_t>(fan_out)), nullptr);
+  EXPECT_EQ(index.root_child(0xffffffffu), nullptr);
+}
+
 // ------------------------------------------------------------- exactness
 
 enum class SchemeKind { kSfaEwVar, kSfaEd, kSax };

@@ -1,0 +1,572 @@
+// Tests for the incremental ingest path (insert buffer → shard compaction
+// → republish): the InsertBuffer's exact deterministic flat scan, the
+// tree-∪-buffer merge determinism on cross-source distance ties, the
+// QueryProfile accounting of the sharded batched path (merged counters
+// equal the per-shard + buffer sums exactly once), and the headline
+// exactness invariant — after N inserts, with compactions racing live
+// query traffic, SearchService answers are bit-identical to a
+// from-scratch single-index build over the full base + inserted
+// collection.
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/query_engine.h"
+#include "index/tree_index.h"
+#include "ingest/compactor.h"
+#include "ingest/insert_buffer.h"
+#include "service/search_service.h"
+#include "service/snapshot.h"
+#include "sfa/mcb.h"
+#include "shard/sharded_index.h"
+#include "test_data.h"
+#include "util/thread_pool.h"
+
+namespace sofa {
+namespace ingest {
+namespace {
+
+using testing_data::BruteForceKnn;
+using testing_data::Walk;
+
+// Bit-exact comparison: same ids AND same float distances at every rank.
+::testing::AssertionResult BitIdentical(const std::vector<Neighbor>& actual,
+                                        const std::vector<Neighbor>& expected) {
+  if (actual.size() != expected.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << actual.size() << " vs " << expected.size();
+  }
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i].id != expected[i].id ||
+        actual[i].distance != expected[i].distance) {
+      return ::testing::AssertionFailure()
+             << "rank " << i << ": " << actual[i].id << "("
+             << actual[i].distance << ") vs expected " << expected[i].id << "("
+             << expected[i].distance << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// A base collection, a sharded generation over it, the service serving
+// it, and a from-scratch oracle over base ∪ inserts.
+struct IngestFixture {
+  ThreadPool pool;
+  Dataset base;
+  Dataset inserts;
+  Dataset combined;  // base rows then insert rows, in insertion order
+  std::shared_ptr<const quant::SummaryScheme> scheme;
+  std::shared_ptr<const shard::ShardedIndex> sharded;
+  std::unique_ptr<index::TreeIndex> oracle;  // over `combined`
+
+  IngestFixture(std::size_t base_count, std::size_t insert_count,
+                std::size_t length, std::size_t num_shards,
+                shard::ShardAssignment assignment, std::uint64_t seed,
+                std::size_t threads = 4)
+      : pool(threads),
+        base(Walk(base_count, length, seed)),
+        inserts(Walk(insert_count, length, seed + 1)),
+        combined(length) {
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      combined.Append(base.row(i));
+    }
+    for (std::size_t i = 0; i < inserts.size(); ++i) {
+      combined.Append(inserts.row(i));
+    }
+    sfa::SfaConfig sfa_config;
+    sfa_config.word_length = 16;
+    sfa_config.alphabet = 256;
+    sfa_config.sampling_ratio = 0.2;
+    scheme = sfa::TrainSfa(base, sfa_config, &pool);
+    shard::ShardingConfig config;
+    config.num_shards = num_shards;
+    config.assignment = assignment;
+    config.index.leaf_capacity = 100;
+    sharded = shard::ShardedIndex::Build(base, config, scheme, &pool);
+    index::IndexConfig oracle_config;
+    oracle_config.leaf_capacity = 100;
+    oracle = std::make_unique<index::TreeIndex>(&combined, scheme.get(),
+                                                oracle_config, &pool);
+  }
+};
+
+service::SearchRequest MakeRequest(const Dataset& queries, std::size_t q,
+                                   std::size_t k, bool profile = false) {
+  service::SearchRequest request;
+  request.query.assign(queries.row(q), queries.row(q) + queries.length());
+  request.k = k;
+  request.collect_profile = profile;
+  return request;
+}
+
+// ---------------------------------------------------------- InsertBuffer
+
+TEST(InsertBufferTest, ScanMatchesBruteForceAcrossChunks) {
+  const std::size_t length = 48;
+  const Dataset rows = Walk(37, length, 91);
+  InsertBuffer buffer(length, /*chunk_capacity=*/8);  // forces many chunks
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(buffer.Append(rows.row(i), 100 + static_cast<std::uint32_t>(i)),
+              i + 1);
+  }
+  const Dataset queries = Walk(6, length, 92);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    std::vector<Neighbor> found;
+    const std::size_t scanned = buffer.SearchKnn(queries.row(q), 5, 0, &found);
+    EXPECT_EQ(scanned, rows.size());
+    const auto expected = BruteForceKnn(rows, queries.row(q), 5);
+    ASSERT_EQ(found.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(found[i].id, expected[i].id + 100) << "rank " << i;
+      EXPECT_FLOAT_EQ(found[i].distance, expected[i].distance) << "rank " << i;
+    }
+  }
+}
+
+TEST(InsertBufferTest, ScanFromOffsetSeesOnlyNewerRows) {
+  const std::size_t length = 32;
+  const Dataset rows = Walk(20, length, 93);
+  InsertBuffer buffer(length, 4);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    buffer.Append(rows.row(i), static_cast<std::uint32_t>(i));
+  }
+  std::vector<Neighbor> found;
+  const std::size_t scanned =
+      buffer.SearchKnn(rows.row(0), rows.size(), 12, &found);
+  EXPECT_EQ(scanned, rows.size() - 12);
+  ASSERT_EQ(found.size(), rows.size() - 12);
+  for (const Neighbor& nb : found) {
+    EXPECT_GE(nb.id, 12u);  // rows below the offset belong to the tree
+  }
+}
+
+TEST(InsertBufferTest, TiesKeepLowestGlobalIdDeterministically) {
+  const std::size_t length = 24;
+  const Dataset distinct = Walk(3, length, 94);
+  InsertBuffer buffer(length, 4);
+  // Ids 10,11,12 then duplicates 13,14,15 of the same three rows.
+  for (std::uint32_t round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < distinct.size(); ++i) {
+      buffer.Append(distinct.row(i),
+                    10 + round * 3 + static_cast<std::uint32_t>(i));
+    }
+  }
+  // k = 1: both copies of row 0 are at distance 0; the lower id must win.
+  std::vector<Neighbor> found;
+  buffer.SearchKnn(distinct.row(0), 1, 0, &found);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].id, 10u);
+  EXPECT_EQ(found[0].distance, 0.0f);
+  // k = 4: ascending (distance, id) throughout the tie runs.
+  found.clear();
+  buffer.SearchKnn(distinct.row(0), 4, 0, &found);
+  ASSERT_EQ(found.size(), 4u);
+  EXPECT_EQ(found[0].id, 10u);
+  EXPECT_EQ(found[1].id, 13u);
+  for (std::size_t i = 1; i < found.size(); ++i) {
+    EXPECT_TRUE(found[i - 1].distance < found[i].distance ||
+                (found[i - 1].distance == found[i].distance &&
+                 found[i - 1].id < found[i].id));
+  }
+}
+
+TEST(InsertBufferTest, TrimBelowReclaimsOnlyWholeChunks) {
+  const std::size_t length = 16;
+  const Dataset rows = Walk(20, length, 95);
+  InsertBuffer buffer(length, 4);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    buffer.Append(rows.row(i), static_cast<std::uint32_t>(i));
+  }
+  buffer.TrimBelow(10);  // chunks [0,4) and [4,8) go; [8,12) stays (row 10,11)
+  EXPECT_EQ(buffer.first_retained(), 8u);
+  EXPECT_EQ(buffer.size(), rows.size());
+  std::vector<Neighbor> found;
+  buffer.SearchKnn(rows.row(12), rows.size(), 10, &found);
+  EXPECT_EQ(found.size(), rows.size() - 10);
+  // Appends continue seamlessly after a trim.
+  buffer.Append(rows.row(0), 99);
+  EXPECT_EQ(buffer.size(), rows.size() + 1);
+}
+
+// ------------------------------------------------- merge determinism
+
+TEST(MergeNeighborListsTest, NormalizesTieRunsWithinAndAcrossLists) {
+  // List A emits a tie run in scan order (7 before 3); list B ties at the
+  // same distance with id 5. The merge must emit 3,5,7 and a k boundary
+  // inside the run must keep the lowest ids.
+  std::vector<std::vector<Neighbor>> lists;
+  lists.push_back({Neighbor{1, 0.5f}, Neighbor{7, 2.0f}, Neighbor{3, 2.0f}});
+  lists.push_back({Neighbor{5, 2.0f}, Neighbor{2, 9.0f}});
+  const auto all = shard::MergeNeighborLists(lists, 10);
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0].id, 1u);
+  EXPECT_EQ(all[1].id, 3u);
+  EXPECT_EQ(all[2].id, 5u);
+  EXPECT_EQ(all[3].id, 7u);
+  EXPECT_EQ(all[4].id, 2u);
+  const auto cut = shard::MergeNeighborLists(lists, 2);
+  ASSERT_EQ(cut.size(), 2u);
+  EXPECT_EQ(cut[0].id, 1u);
+  EXPECT_EQ(cut[1].id, 3u);  // lowest id of the tie run crosses the boundary
+}
+
+// Cross-shard / cross-structure distance ties straddling the k boundary:
+// the documented lowest-global-id-first rule must hold with the duplicate
+// in the insert buffer AND after a compaction moves it into the tree.
+TEST(IngestTieTest, DuplicateStraddlingKBoundaryStaysDeterministic) {
+  IngestFixture fx(40, 0, 64, 2, shard::ShardAssignment::kContiguous, 97,
+                   /*threads=*/2);
+  service::SearchService svc(service::WrapShardedIndex(fx.sharded), &fx.pool);
+  IngestConfig config;
+  config.auto_compact = false;  // compaction only when the test says so
+  Compactor compactor(&svc, fx.sharded, config);
+
+  // Duplicate base row 5 (shard 0's tree) twice: ids 40 and 41 route to
+  // the last shard's buffer under contiguous assignment.
+  ASSERT_EQ(compactor.Insert(fx.base.row(5), fx.base.length()),
+            InsertStatus::kOk);
+  ASSERT_EQ(compactor.Insert(fx.base.row(5), fx.base.length()),
+            InsertStatus::kOk);
+  ASSERT_EQ(compactor.RouteShard(40), 1u);
+  ASSERT_EQ(compactor.RouteShard(41), 1u);
+
+  const auto query_topk = [&](std::size_t k) {
+    service::SearchResponse response =
+        svc.Search(MakeRequest(fx.base, 5, k));
+    EXPECT_EQ(response.status, service::RequestStatus::kOk);
+    return response.neighbors;
+  };
+
+  // Three copies tie at distance 0; every k boundary keeps the lowest ids.
+  auto top = query_topk(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 5u);
+  EXPECT_EQ(top[0].distance, 0.0f);
+  top = query_topk(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 5u);
+  EXPECT_EQ(top[1].id, 40u);
+  EXPECT_EQ(top[1].distance, 0.0f);
+
+  // Compact: the duplicates move from buffer to shard 1's rebuilt tree.
+  compactor.Flush();
+  EXPECT_EQ(compactor.Metrics().pending, 0u);
+  EXPECT_GE(compactor.Metrics().compactions, 1u);
+  top = query_topk(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 5u);
+  top = query_topk(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 5u);
+  EXPECT_EQ(top[1].id, 40u);
+  EXPECT_EQ(top[1].distance, 0.0f);
+}
+
+// ------------------------------------------------- profile accounting
+
+// The sharded batched (throughput) path runs shard tasks itself and
+// merges counters per (query, shard) plus the buffer scans; the merged
+// counters must equal the per-shard + buffer sums exactly once — and the
+// service-level metrics must merge each profiled response exactly once.
+TEST(IngestProfileTest, BatchedShardedProfileMergesExactlyOnce) {
+  IngestFixture fx(1200, 60, 96, 3, shard::ShardAssignment::kContiguous, 98);
+  service::ServiceConfig config;
+  config.latency_mode_threshold = 0;  // force the flattened scatter
+  config.start_paused = true;         // stage a backlog -> real batches
+  service::SearchService svc(service::WrapShardedIndex(fx.sharded), &fx.pool,
+                             config);
+  IngestConfig ingest_config;
+  ingest_config.auto_compact = false;  // keep all inserts buffered
+  Compactor compactor(&svc, fx.sharded, ingest_config);
+  for (std::size_t i = 0; i < fx.inserts.size(); ++i) {
+    ASSERT_EQ(compactor.Insert(fx.inserts.row(i), fx.inserts.length()),
+              InsertStatus::kOk);
+  }
+
+  const Dataset queries = Walk(8, 96, 99);
+  const std::size_t k = 7;
+  std::vector<std::future<service::SearchResponse>> futures;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    futures.push_back(svc.Submit(MakeRequest(queries, q, k, true)));
+  }
+  svc.Resume();
+
+  index::QueryProfile responses_total;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const service::SearchResponse response = futures[q].get();
+    ASSERT_EQ(response.status, service::RequestStatus::kOk);
+    // Oracle: each shard tree searched single-threaded (like the scatter
+    // tasks) plus one buffer-row distance evaluation per pending row.
+    index::QueryProfile expected;
+    const auto current = compactor.current();
+    for (std::size_t s = 0; s < current->num_shards(); ++s) {
+      const index::QueryEngine engine(current->shard(s).tree.get());
+      (void)engine.Search(queries.row(q), k, 0.0, &expected,
+                          /*num_threads=*/1);
+    }
+    expected.series_ed_computed += fx.inserts.size();  // buffered rows
+    EXPECT_EQ(response.profile.series_ed_computed,
+              expected.series_ed_computed)
+        << "query " << q;
+    EXPECT_EQ(response.profile.series_lbd_checked,
+              expected.series_lbd_checked);
+    EXPECT_EQ(response.profile.nodes_visited, expected.nodes_visited);
+    EXPECT_EQ(response.profile.leaves_collected, expected.leaves_collected);
+    responses_total.Merge(response.profile);
+  }
+  // Metrics merge each profiled response exactly once — no double-merge.
+  const service::MetricsSnapshot metrics = svc.Metrics();
+  EXPECT_EQ(metrics.profile.series_ed_computed,
+            responses_total.series_ed_computed);
+  EXPECT_EQ(metrics.profile.nodes_visited, responses_total.nodes_visited);
+  EXPECT_EQ(metrics.profile.series_lbd_checked,
+            responses_total.series_lbd_checked);
+}
+
+// Same invariant on the latency-mode (per-query scatter) path.
+TEST(IngestProfileTest, LatencyModeShardedProfileMergesExactlyOnce) {
+  IngestFixture fx(900, 40, 64, 2, shard::ShardAssignment::kHash, 101,
+                   /*threads=*/2);
+  service::SearchService svc(service::WrapShardedIndex(fx.sharded), &fx.pool);
+  IngestConfig ingest_config;
+  ingest_config.auto_compact = false;
+  Compactor compactor(&svc, fx.sharded, ingest_config);
+  for (std::size_t i = 0; i < fx.inserts.size(); ++i) {
+    ASSERT_EQ(compactor.Insert(fx.inserts.row(i), fx.inserts.length()),
+              InsertStatus::kOk);
+  }
+  const Dataset queries = Walk(5, 64, 102);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const service::SearchResponse response =
+        svc.Search(MakeRequest(queries, q, 5, true));
+    ASSERT_EQ(response.status, service::RequestStatus::kOk);
+    index::QueryProfile expected;
+    const auto current = compactor.current();
+    for (std::size_t s = 0; s < current->num_shards(); ++s) {
+      const index::QueryEngine engine(current->shard(s).tree.get());
+      (void)engine.Search(queries.row(q), 5, 0.0, &expected,
+                          /*num_threads=*/1);
+    }
+    expected.series_ed_computed += fx.inserts.size();
+    EXPECT_EQ(response.profile.series_ed_computed,
+              expected.series_ed_computed)
+        << "query " << q;
+    EXPECT_EQ(response.profile.nodes_visited, expected.nodes_visited);
+  }
+}
+
+// ------------------------------------------------- exactness invariant
+
+// Buffered-only (no compaction yet): inserts are immediately searchable
+// and answers equal the from-scratch oracle bit for bit.
+TEST(IngestExactnessTest, BufferedInsertsAnswerBitExact) {
+  for (const shard::ShardAssignment assignment :
+       {shard::ShardAssignment::kContiguous, shard::ShardAssignment::kHash}) {
+    IngestFixture fx(800, 150, 64, 3, assignment, 103, /*threads=*/2);
+    service::SearchService svc(service::WrapShardedIndex(fx.sharded),
+                               &fx.pool);
+    IngestConfig config;
+    config.auto_compact = false;
+    Compactor compactor(&svc, fx.sharded, config);
+    for (std::size_t i = 0; i < fx.inserts.size(); ++i) {
+      ASSERT_EQ(compactor.Insert(fx.inserts.row(i), fx.inserts.length()),
+                InsertStatus::kOk);
+    }
+    EXPECT_EQ(compactor.Metrics().pending, fx.inserts.size());
+    const Dataset queries = Walk(10, 64, 104);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const service::SearchResponse response =
+          svc.Search(MakeRequest(queries, q, 10));
+      ASSERT_EQ(response.status, service::RequestStatus::kOk);
+      EXPECT_TRUE(BitIdentical(response.neighbors,
+                               fx.oracle->SearchKnn(queries.row(q), 10)))
+          << "assignment " << static_cast<int>(assignment) << " query " << q;
+    }
+    // After Flush every row lives in a tree; still bit-exact.
+    compactor.Flush();
+    EXPECT_EQ(compactor.Metrics().pending, 0u);
+    EXPECT_EQ(compactor.current()->size(),
+              fx.base.size() + fx.inserts.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const service::SearchResponse response =
+          svc.Search(MakeRequest(queries, q, 10));
+      ASSERT_EQ(response.status, service::RequestStatus::kOk);
+      EXPECT_TRUE(BitIdentical(response.neighbors,
+                               fx.oracle->SearchKnn(queries.row(q), 10)));
+    }
+  }
+}
+
+// Inserts are rejected (not dropped, not blocking) once the admission
+// bound fills, and invalid-length rows are refused.
+TEST(IngestExactnessTest, AdmissionBoundsAndInvalidRows) {
+  IngestFixture fx(200, 0, 32, 2, shard::ShardAssignment::kContiguous, 105,
+                   /*threads=*/2);
+  service::SearchService svc(service::WrapShardedIndex(fx.sharded), &fx.pool);
+  IngestConfig config;
+  config.auto_compact = false;
+  config.compact_threshold = 4;
+  config.max_pending = 6;
+  Compactor compactor(&svc, fx.sharded, config);
+  const Dataset rows = Walk(10, 32, 106);
+  std::size_t ok = 0, rejected = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const InsertStatus status = compactor.Insert(rows.row(i), rows.length());
+    if (status == InsertStatus::kOk) {
+      ++ok;
+    } else if (status == InsertStatus::kRejected) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok, 6u);
+  EXPECT_EQ(rejected, 4u);
+  std::vector<float> short_row(16, 0.0f);
+  EXPECT_EQ(compactor.Insert(short_row.data(), short_row.size()),
+            InsertStatus::kInvalid);
+  const IngestMetrics metrics = compactor.Metrics();
+  EXPECT_EQ(metrics.inserted, 6u);
+  EXPECT_EQ(metrics.rejected, 4u);
+  EXPECT_EQ(metrics.invalid, 1u);
+  // A Flush drains the backlog and reopens admission.
+  compactor.Flush();
+  EXPECT_EQ(compactor.Insert(rows.row(0), rows.length()), InsertStatus::kOk);
+}
+
+// The acceptance soak: inserts stream in while client threads query and
+// the compactor rebuilds/republishes shards under the traffic. Once the
+// last insert lands, every answer — including those racing the remaining
+// compactions and the final flush — must be bit-identical to the
+// from-scratch single-index oracle over the full collection.
+TEST(IngestExactnessTest, ExactUnderConcurrentTrafficAndCompaction) {
+  IngestFixture fx(1200, 600, 64, 3, shard::ShardAssignment::kContiguous,
+                   107);
+  service::ServiceConfig service_config;
+  service_config.latency_mode_threshold = 2;  // mixed scheduling under load
+  service_config.max_batch = 8;
+  service::SearchService svc(service::WrapShardedIndex(fx.sharded), &fx.pool,
+                             service_config);
+  IngestConfig config;
+  config.compact_threshold = 64;
+  // A tight admission bound throttles the inserter behind the compactor
+  // (the retry loop below backs off on kRejected), guaranteeing several
+  // compaction rounds race the query traffic instead of one big one.
+  config.max_pending = 128;
+  Compactor compactor(&svc, fx.sharded, config);
+
+  const Dataset queries = Walk(16, 64, 108);
+  std::vector<std::vector<Neighbor>> expected;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    expected.push_back(fx.oracle->SearchKnn(queries.row(q), 10));
+  }
+
+  std::atomic<bool> all_inserted(false);
+  std::atomic<std::size_t> failures(0);
+  std::thread inserter([&] {
+    for (std::size_t i = 0; i < fx.inserts.size(); ++i) {
+      while (compactor.Insert(fx.inserts.row(i), fx.inserts.length()) ==
+             InsertStatus::kRejected) {
+        std::this_thread::yield();
+      }
+    }
+    all_inserted.store(true);
+  });
+
+  constexpr std::size_t kClients = 2;
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::size_t q = c;
+      // Phase 1: while inserts stream in, answers are exact over a prefix
+      // of the inserts — assert they complete OK.
+      while (!all_inserted.load()) {
+        const service::SearchResponse response =
+            svc.Search(MakeRequest(queries, q % queries.size(), 10));
+        if (response.status != service::RequestStatus::kOk) {
+          failures.fetch_add(1);
+        }
+        q += kClients;
+      }
+      // Phase 2: every insert is visible; compactions may still be
+      // racing — answers must already be bit-identical to the oracle.
+      for (std::size_t round = 0; round < 30; ++round) {
+        const std::size_t idx = (q + round * kClients) % queries.size();
+        const service::SearchResponse response =
+            svc.Search(MakeRequest(queries, idx, 10));
+        if (response.status != service::RequestStatus::kOk ||
+            !BitIdentical(response.neighbors, expected[idx])) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  inserter.join();
+  // Flush concurrently with the phase-2 clients: compaction-under-traffic.
+  compactor.Flush();
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(compactor.Metrics().pending, 0u);
+  EXPECT_EQ(compactor.Metrics().inserted, fx.inserts.size());
+  EXPECT_GE(compactor.Metrics().compactions, 3u);
+  EXPECT_EQ(compactor.current()->size(), fx.combined.size());
+
+  // Steady state after the flush: still bit-identical.
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const service::SearchResponse response =
+        svc.Search(MakeRequest(queries, q, 10));
+    ASSERT_EQ(response.status, service::RequestStatus::kOk);
+    EXPECT_TRUE(BitIdentical(response.neighbors, expected[q])) << "query "
+                                                               << q;
+  }
+  const service::MetricsSnapshot metrics = svc.Metrics();
+  EXPECT_GE(metrics.swaps, compactor.Metrics().compactions);
+}
+
+// Hash-assigned ingest spreads inserts across shards and stays exact
+// through multiple compaction rounds (several cuts per shard).
+TEST(IngestExactnessTest, HashAssignmentMultiRoundCompaction) {
+  IngestFixture fx(600, 300, 64, 4, shard::ShardAssignment::kHash, 109,
+                   /*threads=*/2);
+  service::SearchService svc(service::WrapShardedIndex(fx.sharded), &fx.pool);
+  IngestConfig config;
+  config.auto_compact = false;  // step compactions manually via Flush
+  Compactor compactor(&svc, fx.sharded, config);
+  const Dataset queries = Walk(6, 64, 110);
+  // Three rounds: insert a third, flush, verify against a fresh oracle of
+  // the prefix each time.
+  const std::size_t third = fx.inserts.size() / 3;
+  for (std::size_t round = 0; round < 3; ++round) {
+    for (std::size_t i = round * third; i < (round + 1) * third; ++i) {
+      ASSERT_EQ(compactor.Insert(fx.inserts.row(i), fx.inserts.length()),
+                InsertStatus::kOk);
+    }
+    compactor.Flush();
+    Dataset prefix(fx.combined.length());
+    for (std::size_t i = 0; i < fx.base.size() + (round + 1) * third; ++i) {
+      prefix.Append(fx.combined.row(i));
+    }
+    index::IndexConfig oracle_config;
+    oracle_config.leaf_capacity = 100;
+    const index::TreeIndex oracle(&prefix, fx.scheme.get(), oracle_config,
+                                  &fx.pool);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const service::SearchResponse response =
+          svc.Search(MakeRequest(queries, q, 8));
+      ASSERT_EQ(response.status, service::RequestStatus::kOk);
+      EXPECT_TRUE(BitIdentical(response.neighbors,
+                               oracle.SearchKnn(queries.row(q), 8)))
+          << "round " << round << " query " << q;
+    }
+  }
+  EXPECT_GE(compactor.Metrics().compactions, 3u);
+}
+
+}  // namespace
+}  // namespace ingest
+}  // namespace sofa

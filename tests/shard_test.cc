@@ -6,14 +6,17 @@
 // untouched shards instead of copying them.
 
 #include <atomic>
+#include <cstdio>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "index/query_engine.h"
+#include "index/serialization.h"
 #include "index/tree_index.h"
 #include "service/search_service.h"
 #include "service/snapshot.h"
@@ -107,6 +110,35 @@ TEST(ShardPartitionTest, CoversEveryIdExactlyOnce) {
       }
       for (std::size_t i = 0; i < data.size(); ++i) {
         EXPECT_EQ(seen[i], 1) << "id " << i;
+      }
+    }
+  }
+}
+
+TEST(ShardPartitionTest, AssignShardClampsIdsBeyondBuildTimeTotal) {
+  // Regression: contiguous assignment of an id at or beyond the
+  // build-time total used to compute a shard index >= num_shards (the
+  // ingest path routes freshly inserted ids through this). The tail range
+  // belongs to the last shard; hash ids always land in range.
+  for (const std::size_t total : {0u, 1u, 7u, 100u, 101u}) {
+    for (const std::size_t shards : {1u, 2u, 3u, 8u}) {
+      for (const std::uint32_t id :
+           {static_cast<std::uint32_t>(total),
+            static_cast<std::uint32_t>(total + 1),
+            static_cast<std::uint32_t>(total + 1000), 0xffffffffu}) {
+        EXPECT_EQ(ShardedIndex::AssignShard(ShardAssignment::kContiguous, id,
+                                            total, shards),
+                  shards - 1)
+            << "total=" << total << " shards=" << shards << " id=" << id;
+        EXPECT_LT(ShardedIndex::AssignShard(ShardAssignment::kHash, id, total,
+                                            shards),
+                  shards);
+      }
+      // In-range ids are untouched: the partition still covers exactly.
+      for (std::uint32_t id = 0; id < total; ++id) {
+        EXPECT_LT(ShardedIndex::AssignShard(ShardAssignment::kContiguous, id,
+                                            total, shards),
+                  shards);
       }
     }
   }
@@ -209,6 +241,74 @@ TEST(ShardedIndexTest, EpsilonApproximateWithinBound) {
     for (std::size_t i = 0; i < exact.size(); ++i) {
       EXPECT_LE(approx[i].distance, exact[i].distance * (1.0 + epsilon) + 1e-4);
     }
+  }
+}
+
+// ----------------------------------------------- persistence round trip
+
+// Satellite regression: hash assignment over a tiny collection leaves
+// some shards empty. Build → per-shard SaveIndex → Partition →
+// per-shard LoadIndex → FromShards (the `sofa_cli build/serve --shards`
+// path) must round-trip cleanly — empty shards build, save as loadable
+// files, reload, and contribute nothing to the merge.
+TEST(ShardPersistenceTest, TinyHashCollectionRoundTripsThroughEmptyShards) {
+  ThreadPool pool(2);
+  const Dataset data = Walk(5, 64, 86);
+  sfa::SfaConfig sfa_config;
+  sfa_config.word_length = 16;
+  sfa_config.alphabet = 256;
+  sfa_config.sampling_ratio = 1.0;
+  const std::shared_ptr<const quant::SummaryScheme> scheme =
+      sfa::TrainSfa(data, sfa_config, &pool);
+  ShardingConfig config;
+  config.num_shards = 8;  // 5 series in 8 shards: >= 3 empty by pigeonhole
+  config.assignment = ShardAssignment::kHash;
+  config.index.leaf_capacity = 100;
+  const auto built = ShardedIndex::Build(data, config, scheme, &pool);
+  std::size_t empty_shards = 0;
+  for (std::size_t s = 0; s < built->num_shards(); ++s) {
+    empty_shards += built->shard(s).data->empty() ? 1 : 0;
+  }
+  ASSERT_GE(empty_shards, 3u);
+
+  // Save every shard — including the empty ones — and reload against the
+  // deterministic re-partition, exactly as the CLI does.
+  std::vector<std::string> paths;
+  for (std::size_t s = 0; s < built->num_shards(); ++s) {
+    paths.push_back(::testing::TempDir() + "/tiny_hash.shard" +
+                    std::to_string(s));
+    ASSERT_TRUE(index::SaveIndex(*built->shard(s).tree, paths[s]))
+        << "shard " << s;
+  }
+  const ShardPartition partition =
+      ShardedIndex::Partition(data, config.num_shards, config.assignment);
+  std::vector<Shard> reloaded(config.num_shards);
+  for (std::size_t s = 0; s < config.num_shards; ++s) {
+    auto loaded = index::LoadIndex(paths[s], partition.data[s].get(), &pool);
+    ASSERT_TRUE(loaded.has_value()) << "shard " << s << " failed to reload";
+    reloaded[s].data = partition.data[s];
+    reloaded[s].scheme = std::move(loaded->scheme);
+    reloaded[s].tree = std::move(loaded->tree);
+    reloaded[s].global_ids = partition.global_ids[s];
+  }
+  const auto round_tripped = ShardedIndex::FromShards(
+      std::move(reloaded), config, data.length(), &pool);
+  ASSERT_EQ(round_tripped->size(), data.size());
+
+  // Answers bit-identical to the single-index engine over the same rows.
+  index::IndexConfig single_config;
+  single_config.leaf_capacity = 100;
+  const index::TreeIndex single(&data, scheme.get(), single_config, &pool);
+  const Dataset queries = Walk(4, 64, 87);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_TRUE(BitIdentical(round_tripped->SearchKnn(queries.row(q), 3),
+                             single.SearchKnn(queries.row(q), 3)))
+        << "query " << q;
+    EXPECT_EQ(round_tripped->SearchKnn(queries.row(q), 100).size(),
+              data.size());
+  }
+  for (const std::string& path : paths) {
+    std::remove(path.c_str());
   }
 }
 
