@@ -1,23 +1,36 @@
-// Ingest-vs-query throughput: what live insertion costs the serving
-// layer, swept over the compaction threshold.
+// Ingest-vs-query throughput: what live mutation costs the serving
+// layer, swept over the compaction threshold, the delete ratio, and the
+// WAL fsync interval.
 //
 // One SearchService serves a sharded RW collection while a Compactor
 // streams --n_insert fresh rows through the incremental ingest path
-// (insert buffer → per-shard rebuild → republish). Query clients hammer
-// the service for the whole run. Per compaction threshold the table
-// reports the insert rate, the query QPS and tail latency sustained
-// *during* ingest, and the compaction count — against a query-only
-// baseline row (no ingest attached) at the same thread count.
+// (insert buffer → per-shard rebuild → republish), deleting a random
+// already-live row after a --delete_ratio fraction of inserts
+// (tombstone → masked from answers → physically removed at that shard's
+// next compaction). Query clients hammer the service for the whole run.
+// Per configuration the table reports the mutation rates, the query QPS
+// and tail latency sustained *during* ingest, and the compaction count —
+// against a query-only baseline row (no ingest attached) at the same
+// thread count.
+//
+// With --wal-dir set, every run also sweeps --fsyncs: each accepted
+// mutation is appended to a write-ahead log in a per-run subdirectory,
+// fsynced every N records (1 = per record — the durability-latency
+// worst case; 0 = only at rotation/close — the throughput best case).
+// The delta against the "-" (no WAL) rows is the price of durability.
 //
 // Expected shape: small thresholds compact often (more rebuild work,
 // query time lost to republish churn, but tiny flat-scanned delta sets);
 // large thresholds amortize rebuilds but leave queries scanning a larger
-// buffer. Every answer is exact at every threshold — the knob trades
-// throughput against itself, never against correctness.
+// buffer. Deletes grow the tombstone set between compactions, widening
+// the per-shard top-k the merge filters. Every answer is exact at every
+// setting — the knobs trade throughput against itself, never against
+// correctness.
 //
 // Flags: --n_series=40000 --n_insert=8000 --n_queries=200 --length=256
 //        --k=10 --threads=4 --shards=2 --leaf_size=1000
 //        --thresholds=500,2000,8000 --clients=2 --seed=7
+//        --delete_ratio=0.1 --wal-dir= --fsyncs=1,64,0
 
 #include <algorithm>
 #include <atomic>
@@ -26,11 +39,13 @@
 #include <iostream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/dataset.h"
 #include "core/znorm.h"
 #include "ingest/compactor.h"
+#include "ingest/wal.h"
 #include "service/search_service.h"
 #include "service/snapshot.h"
 #include "sfa/mcb.h"
@@ -75,6 +90,10 @@ std::vector<std::size_t> ParseSizeList(const Flags& flags,
 
 struct RunResult {
   double insert_per_sec = 0.0;  // 0 on the query-only baseline
+  double delete_per_sec = 0.0;
+  std::uint64_t inserts = 0;  // rows actually accepted
+  std::uint64_t deletes = 0;
+  std::uint64_t dropped = 0;  // mutations lost to kIoError/kInvalid
   double qps = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
@@ -83,11 +102,14 @@ struct RunResult {
 };
 
 // Serves query traffic from `clients` threads until `stop`; when
-// `compactor` is given, an inserter thread concurrently streams every row
-// of `inserts` through it (retrying on admission backpressure).
+// `compactor` is given, a mutator thread concurrently streams every row
+// of `inserts` through it (retrying on admission backpressure),
+// interleaving one delete of a random already-live id per 1/delete_ratio
+// inserts.
 RunResult Run(service::SearchService* svc, ingest::Compactor* compactor,
-              const Dataset& queries, const Dataset* inserts, std::size_t k,
-              std::size_t clients) {
+              const Dataset& queries, const Dataset* inserts,
+              std::size_t base_rows, double delete_ratio, std::size_t k,
+              std::size_t clients, std::uint64_t seed) {
   RunResult result;
   std::atomic<bool> stop(false);
   std::atomic<std::uint64_t> answered(0);
@@ -111,15 +133,49 @@ RunResult Run(service::SearchService* svc, ingest::Compactor* compactor,
 
   WallTimer timer;
   if (compactor != nullptr) {
+    Rng rng(seed);
+    std::uint64_t inserts_done = 0;
+    std::uint64_t deletes_done = 0;
+    std::uint64_t dropped = 0;
     for (std::size_t i = 0; i < inserts->size(); ++i) {
-      while (compactor->Insert(inserts->row(i), inserts->length()) ==
+      ingest::InsertStatus status;
+      while ((status = compactor->Insert(inserts->row(i),
+                                         inserts->length())) ==
              ingest::InsertStatus::kRejected) {
         std::this_thread::yield();
       }
+      if (status == ingest::InsertStatus::kOk) {
+        ++inserts_done;
+      } else {
+        ++dropped;  // kIoError/kInvalid: count it, keep the run honest
+      }
+      const std::uint64_t deletes_due = static_cast<std::uint64_t>(
+          static_cast<double>(i + 1) * delete_ratio);
+      std::size_t attempts = 0;
+      while (deletes_done < deletes_due && attempts++ < 64) {
+        // A random already-live id; skip the (rare) ids already deleted
+        // or never allocated (dropped inserts shrink the id space).
+        const std::uint32_t victim =
+            static_cast<std::uint32_t>(rng.Below(base_rows + i + 1));
+        const ingest::DeleteStatus status_d = compactor->Delete(victim);
+        if (status_d == ingest::DeleteStatus::kOk) {
+          ++deletes_done;
+        } else if (status_d != ingest::DeleteStatus::kAlreadyDeleted &&
+                   status_d != ingest::DeleteStatus::kNotFound) {
+          ++dropped;  // shutdown / I/O failure: stop this round
+          break;
+        }
+      }
     }
     compactor->Flush();
-    result.insert_per_sec =
-        static_cast<double>(inserts->size()) / timer.Seconds();
+    const double seconds = timer.Seconds();
+    // Rates over mutations that actually happened — a failing WAL disk
+    // must show up as a collapsed rate, not a fictional one.
+    result.insert_per_sec = static_cast<double>(inserts_done) / seconds;
+    result.delete_per_sec = static_cast<double>(deletes_done) / seconds;
+    result.inserts = inserts_done;
+    result.deletes = deletes_done;
+    result.dropped = dropped;
   } else {
     // Query-only baseline: match a typical ingest-run duration.
     std::this_thread::sleep_for(std::chrono::milliseconds(500));
@@ -165,10 +221,19 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(flags.GetInt("seed", 7));
   const std::vector<std::size_t> thresholds =
       ParseSizeList(flags, "thresholds", {500, 2000, 8000});
+  const double delete_ratio = flags.GetDouble("delete_ratio", 0.1);
+  const std::string wal_dir = flags.GetString("wal-dir", "");
+  // fsync intervals swept when --wal-dir is set; "off" (no WAL) always
+  // runs as the baseline mutation row.
+  const std::vector<std::size_t> fsyncs =
+      ParseSizeList(flags, "fsyncs", {1, 64, 0});
 
   std::printf("ingest_throughput — RW collection, %zu series x %zu + %zu "
-              "inserts, %zu shards, k=%zu, T=%zu, %zu query clients\n\n",
-              n_series, length, n_insert, shards, k, threads, clients);
+              "inserts (delete ratio %.2f), %zu shards, k=%zu, T=%zu, "
+              "%zu query clients%s\n\n",
+              n_series, length, n_insert, delete_ratio, shards, k, threads,
+              clients,
+              wal_dir.empty() ? "" : ", WAL fsync sweep");
 
   const Dataset base = RandomWalk(n_series, length, seed);
   const Dataset inserts = RandomWalk(n_insert, length, seed + 1);
@@ -189,33 +254,69 @@ int main(int argc, char** argv) {
   std::printf("base sharded index built in %.2f s\n\n",
               build_timer.Seconds());
 
-  TablePrinter table({"Threshold", "Inserts/s", "QPS", "p50 (ms)",
-                      "p99 (ms)", "Compactions", "Final rows"});
+  TablePrinter table({"Threshold", "WAL fsync", "Inserts/s", "Deletes/s",
+                      "QPS", "p50 (ms)", "p99 (ms)", "Compactions",
+                      "Id space"});
 
   {
     service::SearchService svc(service::WrapShardedIndex(sharded), &pool);
-    const RunResult r = Run(&svc, nullptr, queries, nullptr, k, clients);
-    table.AddRow({"query-only", "-", FormatDouble(r.qps, 1),
+    const RunResult r = Run(&svc, nullptr, queries, nullptr, n_series, 0.0,
+                            k, clients, seed + 3);
+    table.AddRow({"query-only", "-", "-", "-", FormatDouble(r.qps, 1),
                   FormatDouble(r.p50_ms, 3), FormatDouble(r.p99_ms, 3), "-",
                   std::to_string(n_series)});
   }
 
+  // Per threshold: a no-WAL mutation row, plus one row per fsync
+  // interval when --wal-dir is given. Each configuration logs into its
+  // own subdirectory, cleared first — the bench never recovers, and
+  // stale segments from earlier runs would otherwise pile up
+  // indefinitely (nothing here checkpoints or truncates).
   for (const std::size_t threshold : thresholds) {
-    service::SearchService svc(service::WrapShardedIndex(sharded), &pool);
-    ingest::IngestConfig ingest_config;
-    ingest_config.compact_threshold = threshold;
-    ingest::Compactor compactor(&svc, sharded, ingest_config);
-    const RunResult r = Run(&svc, &compactor, queries, &inserts, k, clients);
-    table.AddRow({std::to_string(threshold),
-                  FormatDouble(r.insert_per_sec, 1), FormatDouble(r.qps, 1),
-                  FormatDouble(r.p50_ms, 3), FormatDouble(r.p99_ms, 3),
-                  std::to_string(r.compactions),
-                  std::to_string(compactor.Metrics().total_rows)});
+    std::vector<std::pair<std::string, int>> variants = {{"-", -1}};
+    if (!wal_dir.empty()) {
+      for (const std::size_t sync : fsyncs) {
+        variants.emplace_back(std::to_string(sync), static_cast<int>(sync));
+      }
+    }
+    for (const auto& [label, sync] : variants) {
+      service::SearchService svc(service::WrapShardedIndex(sharded), &pool);
+      ingest::IngestConfig ingest_config;
+      ingest_config.compact_threshold = threshold;
+      if (sync >= 0) {
+        ingest_config.wal_dir = wal_dir + "/t" + std::to_string(threshold) +
+                                "_s" + label;
+        for (const std::string& segment :
+             ingest::WriteAheadLog::ListSegments(ingest_config.wal_dir)) {
+          std::remove(segment.c_str());
+        }
+        ingest_config.wal.sync_every = static_cast<std::size_t>(sync);
+      }
+      ingest::Compactor compactor(&svc, sharded, ingest_config);
+      const RunResult r = Run(&svc, &compactor, queries, &inserts, n_series,
+                              delete_ratio, k, clients, seed + 4);
+      if (r.dropped > 0) {
+        std::fprintf(stderr,
+                     "WARNING: threshold=%zu fsync=%s dropped %llu "
+                     "mutations (WAL I/O errors?) — rates cover only what "
+                     "was accepted\n",
+                     threshold, label.c_str(),
+                     static_cast<unsigned long long>(r.dropped));
+      }
+      table.AddRow({std::to_string(threshold), label,
+                    FormatDouble(r.insert_per_sec, 1),
+                    FormatDouble(r.delete_per_sec, 1),
+                    FormatDouble(r.qps, 1), FormatDouble(r.p50_ms, 3),
+                    FormatDouble(r.p99_ms, 3), std::to_string(r.compactions),
+                    std::to_string(compactor.Metrics().total_rows)});
+    }
   }
 
   table.Print(std::cout);
-  std::printf("\nall rows exact at every threshold: compaction trades "
-              "rebuild churn against buffer-scan width, never "
+  std::printf("\nall rows exact at every setting: compaction trades rebuild "
+              "churn against buffer-scan width, deletes trade tombstone "
+              "filtering against rebuild timing, and the WAL trades fsync "
+              "latency against the durability window — never "
               "correctness.\n");
   return 0;
 }

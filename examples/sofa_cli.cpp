@@ -20,6 +20,8 @@
 //                     [--deadline_ms=0] [--repeat=1]
 //                     [--shards=N] [--assignment=contiguous|hash]
 //                     [--insert-file=rows.fvecs] [--compact-threshold=1024]
+//                     [--delete-file=ids.txt] [--wal-dir=DIR]
+//                     [--wal-sync=64]
 //                     (streams the queries through the SearchService and
 //                      prints serving metrics: QPS, p50/p95/p99, pruning;
 //                      --shards reloads the per-shard files written by
@@ -30,16 +32,31 @@
 //                      traffic: rows buffer per shard, stay exactly
 //                      searchable from the moment they are accepted, and
 //                      compact into rebuilt shard trees every
-//                      --compact-threshold rows — ingest metrics print
-//                      alongside the serving metrics)
+//                      --compact-threshold rows;
+//                      --delete-file streams deletes (one global id per
+//                      line) after the inserts: deleted rows vanish from
+//                      answers immediately and are physically removed at
+//                      the next compaction of their shard;
+//                      --wal-dir makes every mutation durable in a
+//                      write-ahead log (fsync batched every --wal-sync
+//                      records) and REPLAYS any log already in the
+//                      directory before serving — re-running serve with
+//                      the same --wal-dir recovers all previous
+//                      inserts/deletes on top of the base collection.
+//                      Ingest metrics print alongside the serving
+//                      metrics.)
 //
 // Data files may be .fvecs (auto-detected by extension), .bvecs, or raw
 // float32 (pass --length). Demonstrates the full persistence story:
 // generate → save → build → save index → reload → query.
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <future>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -95,6 +112,47 @@ std::optional<Dataset> LoadData(const Flags& flags, const std::string& flag) {
 
 std::string ShardPath(const std::string& index_path, std::size_t s) {
   return index_path + ".shard" + std::to_string(s);
+}
+
+// --delete-file format: one decimal global id per line (blank lines and
+// lines starting with '#' are skipped). Malformed or out-of-range lines
+// fail the whole file with a diagnostic rather than aborting the
+// process or silently truncating ids.
+bool ReadDeleteIds(const std::string& path,
+                   std::vector<std::uint32_t>* ids) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return false;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' ||
+            line.back() == '\t')) {
+      line.pop_back();
+    }
+    std::size_t at = 0;
+    while (at < line.size() && (line[at] == ' ' || line[at] == '\t')) {
+      ++at;
+    }
+    if (at == line.size() || line[at] == '#') {
+      continue;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value =
+        std::strtoull(line.c_str() + at, &end, 10);
+    if (end == line.c_str() + at || *end != '\0' || errno != 0 ||
+        value > std::numeric_limits<std::uint32_t>::max()) {
+      std::fprintf(stderr, "%s:%zu: not a 32-bit id: '%s'\n", path.c_str(),
+                   line_no, line.c_str());
+      return false;
+    }
+    ids->push_back(static_cast<std::uint32_t>(value));
+  }
+  return true;
 }
 
 shard::ShardAssignment ParseAssignment(const Flags& flags) {
@@ -298,6 +356,8 @@ int Serve(const Flags& flags, ThreadPool* pool) {
   const std::size_t num_shards =
       static_cast<std::size_t>(flags.GetInt("shards", 1));
   const std::string insert_path = flags.GetString("insert-file", "");
+  const std::string delete_path = flags.GetString("delete-file", "");
+  const std::string wal_dir = flags.GetString("wal-dir", "");
   std::optional<Dataset> insert_rows;
   if (!insert_path.empty()) {
     insert_rows = LoadData(flags, "insert-file");
@@ -310,12 +370,23 @@ int Serve(const Flags& flags, ThreadPool* pool) {
       return 1;
     }
   }
+  std::vector<std::uint32_t> delete_ids;
+  if (!delete_path.empty()) {
+    if (!ReadDeleteIds(delete_path, &delete_ids)) {
+      std::fprintf(stderr, "failed to read --delete-file %s\n",
+                   delete_path.c_str());
+      return 1;
+    }
+  }
+  // Any mutation source — inserts, deletes, or a WAL to recover — runs
+  // through the ingest path, which always serves a (possibly one-shard)
+  // sharded generation: that is the unit of per-shard compaction.
+  const bool ingesting =
+      insert_rows.has_value() || !delete_ids.empty() || !wal_dir.empty();
   std::optional<index::LoadedIndex> loaded;  // single-index keep-alive
   std::shared_ptr<const shard::ShardedIndex> sharded;
   std::shared_ptr<const service::IndexSnapshot> snapshot;
-  if (num_shards > 1 || insert_rows.has_value()) {
-    // The ingest path always serves a (possibly one-shard) sharded
-    // generation — that is the unit of per-shard compaction/republish.
+  if (num_shards > 1 || ingesting) {
     sharded = LoadShardedIndex(flags, index_path, *data, num_shards, pool);
     if (sharded == nullptr) {
       return 1;
@@ -346,26 +417,71 @@ int Serve(const Flags& flags, ThreadPool* pool) {
   }
   service::SearchService svc(std::move(snapshot), pool, config);
 
-  // With --insert-file, attach the incremental ingest path and stream the
-  // rows in from a side thread while the query traffic runs: rows are
-  // exactly searchable the moment Insert() accepts them, and shards whose
-  // buffers cross the threshold compact and republish under the traffic.
+  // With any mutation source, attach the incremental ingest path and
+  // stream the mutations from a side thread while the query traffic
+  // runs: rows are exactly searchable the moment Insert() accepts them,
+  // deletes vanish the moment Delete() returns, and shards whose buffers
+  // cross the threshold compact and republish under the traffic. With
+  // --wal-dir every mutation is logged before it becomes visible, and
+  // any log already present is replayed first — recover-on-start.
   std::optional<ingest::Compactor> compactor;
-  if (insert_rows.has_value()) {
+  if (ingesting) {
     ingest::IngestConfig ingest_config;
     ingest_config.compact_threshold = static_cast<std::size_t>(
         flags.GetInt("compact-threshold", 1024));
+    ingest_config.wal_dir = wal_dir;
+    ingest_config.wal.sync_every =
+        static_cast<std::size_t>(flags.GetInt("wal-sync", 64));
     compactor.emplace(&svc, sharded, ingest_config);
+    if (!wal_dir.empty()) {
+      const ingest::RecoverStats recovered = compactor->Recover();
+      if (!recovered.ok) {
+        std::fprintf(stderr,
+                     "WAL in %s does not match the base collection "
+                     "(replayed what fit: %llu inserts, %llu deletes)\n",
+                     wal_dir.c_str(),
+                     static_cast<unsigned long long>(
+                         recovered.inserts_applied),
+                     static_cast<unsigned long long>(
+                         recovered.deletes_applied));
+        return 1;
+      }
+      std::printf("recovered from WAL %s: %llu inserts, %llu deletes "
+                  "replayed (%llu already in base)\n",
+                  wal_dir.c_str(),
+                  static_cast<unsigned long long>(recovered.inserts_applied),
+                  static_cast<unsigned long long>(recovered.deletes_applied),
+                  static_cast<unsigned long long>(
+                      recovered.inserts_skipped));
+      if (recovered.tail_truncated) {
+        std::fprintf(stderr,
+                     "WARNING: WAL replay hit a torn/corrupt record. A "
+                     "crashed writer's unsynced tail is expected; on a "
+                     "multi-segment log, interior corruption may also "
+                     "have dropped delete records undetectably (see "
+                     "docs/FILE_FORMATS.md, replay semantics).\n");
+      }
+    }
   }
-  std::thread inserter;
-  if (insert_rows.has_value()) {
-    inserter = std::thread([&] {
-      for (std::size_t r = 0; r < insert_rows->size(); ++r) {
-        while (compactor->Insert(insert_rows->row(r),
-                                 insert_rows->length()) ==
-               ingest::InsertStatus::kRejected) {
-          // Admission backpressure: compaction is behind, yield briefly.
-          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::thread mutator;
+  if (insert_rows.has_value() || !delete_ids.empty()) {
+    mutator = std::thread([&] {
+      if (insert_rows.has_value()) {
+        for (std::size_t r = 0; r < insert_rows->size(); ++r) {
+          while (compactor->Insert(insert_rows->row(r),
+                                   insert_rows->length()) ==
+                 ingest::InsertStatus::kRejected) {
+            // Admission backpressure: compaction is behind, yield briefly.
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+      }
+      for (const std::uint32_t id : delete_ids) {
+        const ingest::DeleteStatus status = compactor->Delete(id);
+        if (status != ingest::DeleteStatus::kOk &&
+            status != ingest::DeleteStatus::kAlreadyDeleted) {
+          std::fprintf(stderr, "delete of id %u failed (%d)\n", id,
+                       static_cast<int>(status));
         }
       }
     });
@@ -391,8 +507,8 @@ int Serve(const Flags& flags, ThreadPool* pool) {
   for (auto& future : futures) {
     (void)future.get();
   }
-  if (inserter.joinable()) {
-    inserter.join();
+  if (mutator.joinable()) {
+    mutator.join();
     compactor->Flush();  // drain the buffers into the trees
   }
   const double wall_seconds = timer.Seconds();
@@ -428,12 +544,15 @@ int Serve(const Flags& flags, ThreadPool* pool) {
                   metrics.profile.series_ed_computed));
   if (compactor.has_value()) {
     const ingest::IngestMetrics ingest_metrics = compactor->Metrics();
-    std::printf("  ingest: %llu inserted (%llu rejected), %llu compactions, "
-                "%zu still buffered, collection now %zu series\n",
+    std::printf("  ingest: %llu inserted (%llu rejected), %llu deleted, "
+                "%llu compactions, %zu still buffered, %zu tombstones "
+                "pending purge, id space now %zu series\n",
                 static_cast<unsigned long long>(ingest_metrics.inserted),
                 static_cast<unsigned long long>(ingest_metrics.rejected),
+                static_cast<unsigned long long>(ingest_metrics.deleted),
                 static_cast<unsigned long long>(ingest_metrics.compactions),
-                ingest_metrics.pending, ingest_metrics.total_rows);
+                ingest_metrics.pending, ingest_metrics.tombstones,
+                ingest_metrics.total_rows);
   }
   return 0;
 }

@@ -94,6 +94,7 @@ void QueryProfile::Merge(const QueryProfile& other) {
   series_lbd_checked += other.series_lbd_checked;
   series_lbd_pruned += other.series_lbd_pruned;
   series_ed_computed += other.series_ed_computed;
+  candidates_filtered += other.candidates_filtered;
 }
 
 Neighbor TreeIndex::Search1Nn(const float* query) const {

@@ -67,6 +67,9 @@ struct QueryProfile {
   std::uint64_t series_lbd_checked = 0; // per-series LBD evaluations
   std::uint64_t series_lbd_pruned = 0;  // series cut without touching data
   std::uint64_t series_ed_computed = 0; // real-distance evaluations
+  std::uint64_t candidates_filtered = 0; // tombstoned candidates dropped at
+                                         // the gather merge (deleted rows
+                                         // still present in a tree)
 
   /// Fraction of LBD-checked series pruned before any raw-data access.
   double SeriesPruningRatio() const {

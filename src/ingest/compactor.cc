@@ -41,11 +41,21 @@ Compactor::Compactor(service::SearchService* service,
     buffers_.push_back(
         std::make_shared<InsertBuffer>(length_, config_.chunk_capacity));
   }
+  tombstones_ = std::make_shared<TombstoneSet>();
+  shard_tombstone_counts_ =
+      std::make_shared<std::vector<std::atomic<std::size_t>>>(num_shards_);
+  if (!config_.wal_dir.empty()) {
+    wal_ = WriteAheadLog::Open(config_.wal_dir, length_, config_.wal);
+    SOFA_CHECK(wal_ != nullptr)
+        << "cannot open write-ahead log in " << config_.wal_dir;
+  }
   tree_covered_.assign(num_shards_, 0);
+  shard_tombstoned_.assign(num_shards_, 0);
   next_id_ = static_cast<std::uint32_t>(base_total_);
   {
     // Publish the initial ingesting generation: base trees, empty buffer
-    // views. From here on every query sees tree ∪ buffer.
+    // views, empty tombstones. From here on every query sees
+    // (tree ∪ buffer) \ tombstones.
     std::unique_lock<std::mutex> lock(mutex_);
     PublishLocked(sharded_, &lock);
   }
@@ -62,6 +72,8 @@ Compactor::~Compactor() {
   if (compaction_thread_.joinable()) {
     compaction_thread_.join();
   }
+  // wal_'s destructor syncs the tail, so every acknowledged mutation is
+  // on stable storage before the process can exit cleanly.
 }
 
 std::size_t Compactor::RouteShard(std::uint32_t id) const {
@@ -89,23 +101,183 @@ InsertStatus Compactor::Insert(const float* row, std::size_t length) {
     ++invalid_;
     return InsertStatus::kInvalid;
   }
-  const std::uint32_t id = next_id_++;
+  const std::uint32_t id = next_id_;
+  // Write-ahead: the row must be logged before any query can see it, and
+  // a failed append must leave no trace (the id is not consumed).
+  if (wal_ != nullptr && !wal_->AppendInsert(id, row)) {
+    ++io_errors_;
+    return InsertStatus::kIoError;
+  }
+  ++next_id_;
   const std::size_t s = RouteShard(id);
   // Id assignment and append share the lock so each buffer sees strictly
   // ascending global ids (the merge's tie rule depends on it).
   buffers_[s]->Append(row, id);
   ++pending_;
   ++inserted_;
-  if (config_.auto_compact &&
-      buffers_[s]->size() - tree_covered_[s] >= config_.compact_threshold) {
+  if (config_.auto_compact && ShardWorkLocked(s) >= config_.compact_threshold) {
     work_cv_.notify_one();
   }
   return InsertStatus::kOk;
 }
 
+DeleteStatus Compactor::Delete(std::uint32_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) {
+    return DeleteStatus::kShutdown;
+  }
+  if (id >= next_id_) {
+    return DeleteStatus::kNotFound;
+  }
+  // deleted_ever_, not the tombstone set: a tombstone is purged once the
+  // row is compacted away, but the id stays deleted forever.
+  if (deleted_ever_.count(id) != 0) {
+    return DeleteStatus::kAlreadyDeleted;
+  }
+  // Write-ahead, like Insert: log, then make the tombstone visible. The
+  // live TombstoneSet is shared with every published snapshot, so the
+  // very next query (in either scheduling mode) masks the id — no
+  // republish.
+  if (wal_ != nullptr && !wal_->AppendDelete(id)) {
+    ++io_errors_;
+    return DeleteStatus::kIoError;
+  }
+  const std::size_t s = RouteShard(id);
+  // Count before Add: a reader whose view contains the id then provably
+  // sees the incremented count (the TombstoneSet mutex orders them).
+  (*shard_tombstone_counts_)[s].fetch_add(1, std::memory_order_relaxed);
+  tombstones_->Add(id);
+  deleted_ever_.insert(id);
+  ++deleted_;
+  ++shard_tombstoned_[s];
+  if (config_.auto_compact && ShardWorkLocked(s) >= config_.compact_threshold) {
+    work_cv_.notify_one();
+  }
+  return DeleteStatus::kOk;
+}
+
+RecoverStats Compactor::Recover() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  SOFA_CHECK(!recovered_ && inserted_ == 0 && deleted_ == 0)
+      << "Recover() must run once, before any mutation";
+  recovered_ = true;
+  RecoverStats stats;
+  if (wal_ == nullptr) {
+    return stats;
+  }
+  // Replay in log order under the mutation lock. Application is
+  // idempotent against the base: ids the base already covers are
+  // skipped, so a log whose prefix predates a checkpointed base replays
+  // cleanly; a genuine gap or contradiction flips ok and ignores the
+  // rest (the log belongs to a different base).
+  const WalReplayStats replayed = WriteAheadLog::Replay(
+      config_.wal_dir, length_, [&](const WalRecord& record) {
+        if (!stats.ok) {
+          return;
+        }
+        switch (record.type) {
+          case WalRecordType::kInsert: {
+            if (record.id < next_id_) {
+              ++stats.inserts_skipped;
+              return;
+            }
+            if (record.id != next_id_) {
+              stats.ok = false;  // gap: records before this one are gone
+              return;
+            }
+            const std::size_t s = RouteShard(record.id);
+            buffers_[s]->Append(record.row.data(), record.id);
+            ++next_id_;
+            ++pending_;
+            ++inserted_;
+            ++stats.inserts_applied;
+            return;
+          }
+          case WalRecordType::kDelete: {
+            if (record.id >= next_id_) {
+              stats.ok = false;  // delete of a row this log never created
+              return;
+            }
+            const std::size_t s = RouteShard(record.id);
+            (*shard_tombstone_counts_)[s].fetch_add(
+                1, std::memory_order_relaxed);
+            if (tombstones_->Add(record.id)) {
+              deleted_ever_.insert(record.id);
+              ++shard_tombstoned_[s];
+              ++deleted_;
+              ++stats.deletes_applied;
+            } else {
+              // Duplicate record (malformed log): undo the count.
+              (*shard_tombstone_counts_)[s].fetch_sub(
+                  1, std::memory_order_relaxed);
+            }
+            return;
+          }
+          case WalRecordType::kCheckpoint: {
+            // The checkpoint asserts the base holds rows [0, next_id);
+            // anything else means base and log disagree.
+            if (record.next_id > base_total_ || stats.inserts_applied != 0) {
+              stats.ok = false;
+              return;
+            }
+            for (std::size_t s = 0; s < num_shards_; ++s) {
+              (*shard_tombstone_counts_)[s].store(0,
+                                                  std::memory_order_relaxed);
+            }
+            shard_tombstoned_.assign(num_shards_, 0);
+            for (const std::uint32_t id : record.tombstones) {
+              const std::size_t s = RouteShard(id);
+              ++shard_tombstoned_[s];
+              (*shard_tombstone_counts_)[s].fetch_add(
+                  1, std::memory_order_relaxed);
+            }
+            tombstones_->ResetTo(record.tombstones);
+            deleted_ever_.clear();
+            deleted_ever_.insert(record.tombstones.begin(),
+                                 record.tombstones.end());
+            deleted_ = record.tombstones.size();
+            stats.deletes_applied = record.tombstones.size();
+            ++stats.checkpoints;
+            return;
+          }
+        }
+      });
+  stats.tail_truncated = replayed.tail_truncated;
+  if (config_.auto_compact) {
+    work_cv_.notify_one();  // replayed buffers may already cross thresholds
+  }
+  return stats;
+}
+
+bool Compactor::Checkpoint() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (wal_ == nullptr) {
+    return false;
+  }
+  return wal_->AppendCheckpoint(next_id_, tombstones_->SortedIds());
+}
+
+std::size_t Compactor::ShardWorkLocked(std::size_t s) const {
+  // The compaction trigger's unit of work: buffered rows not yet in the
+  // tree plus tombstoned rows not yet removed from it.
+  return buffers_[s]->size() - tree_covered_[s] + shard_tombstoned_[s];
+}
+
+bool Compactor::HasMutationWorkLocked() const {
+  if (pending_ > 0) {
+    return true;
+  }
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    if (shard_tombstoned_[s] > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void Compactor::Flush() {
   std::unique_lock<std::mutex> lock(mutex_);
-  while (!stopping_ && pending_ > 0) {
+  while (!stopping_ && HasMutationWorkLocked()) {
     flush_requested_ = true;
     work_cv_.notify_all();
     flush_cv_.wait(lock);
@@ -118,8 +290,11 @@ IngestMetrics Compactor::Metrics() const {
   metrics.inserted = inserted_;
   metrics.rejected = rejected_;
   metrics.invalid = invalid_;
+  metrics.deleted = deleted_;
+  metrics.io_errors = io_errors_;
   metrics.compactions = compactions_;
   metrics.pending = pending_;
+  metrics.tombstones = tombstones_->size();
   metrics.total_rows = base_total_ + inserted_;
   return metrics;
 }
@@ -134,26 +309,38 @@ std::shared_ptr<const service::ShardBuffers> Compactor::MakeBuffers(
   auto buffers = std::make_shared<service::ShardBuffers>();
   buffers->buffers.assign(buffers_.begin(), buffers_.end());
   buffers->start = start;
+  buffers->tombstones = tombstones_;
+  buffers->tombstone_shard_counts = shard_tombstone_counts_;
   return buffers;
 }
 
 void Compactor::PublishLocked(
     std::shared_ptr<const shard::ShardedIndex> sharded,
-    std::unique_lock<std::mutex>* lock) {
+    std::unique_lock<std::mutex>* lock,
+    std::vector<std::uint32_t> purgeable) {
   SOFA_CHECK(lock != nullptr && lock->owns_lock());
   std::shared_ptr<const service::IndexSnapshot> snapshot =
       service::WrapIngestingIndex(std::move(sharded),
                                   MakeBuffers(tree_covered_));
-  live_.push_back(LiveGeneration{snapshot, tree_covered_});
+  const std::uint64_t seq = ++publish_seq_;
+  if (!purgeable.empty()) {
+    // These ids left every structure of the generation published right
+    // here; the purge waits until all earlier generations retire.
+    pending_purge_ids_.insert(purgeable.begin(), purgeable.end());
+    pending_purges_.push_back(PendingPurge{seq, std::move(purgeable)});
+  }
+  live_.push_back(LiveGeneration{snapshot, tree_covered_, seq});
   service_->Publish(std::move(snapshot));
   TrimRetiredLocked();
 }
 
 void Compactor::TrimRetiredLocked() {
   // The smallest buffer start any still-live generation scans from bounds
-  // what may be reclaimed; generations retire when their last in-flight
-  // query batch drops the snapshot reference.
+  // what may be reclaimed, and the smallest live publish sequence bounds
+  // which queued tombstone purges may apply; generations retire when
+  // their last in-flight query batch drops the snapshot reference.
   std::vector<std::size_t> min_start = tree_covered_;
+  std::uint64_t min_seq = publish_seq_;
   for (auto it = live_.begin(); it != live_.end();) {
     if (it->snapshot.expired()) {
       it = live_.erase(it);
@@ -162,10 +349,31 @@ void Compactor::TrimRetiredLocked() {
     for (std::size_t s = 0; s < num_shards_; ++s) {
       min_start[s] = std::min(min_start[s], it->start[s]);
     }
+    min_seq = std::min(min_seq, it->seq);
     ++it;
   }
   for (std::size_t s = 0; s < num_shards_; ++s) {
     buffers_[s]->TrimBelow(min_start[s]);
+  }
+  std::vector<std::uint32_t> purgeable;
+  for (auto it = pending_purges_.begin(); it != pending_purges_.end();) {
+    if (it->seq <= min_seq) {
+      purgeable.insert(purgeable.end(), it->ids.begin(), it->ids.end());
+      it = pending_purges_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+  for (const std::uint32_t id : purgeable) {
+    pending_purge_ids_.erase(id);
+  }
+  tombstones_->Erase(purgeable);
+  // Narrow the per-shard k-widening only after the erase: a reader whose
+  // view still contains a purged id needs no width for it (the purge
+  // gating guarantees no live generation's tree holds its row).
+  for (const std::uint32_t id : purgeable) {
+    (*shard_tombstone_counts_)[RouteShard(id)].fetch_sub(
+        1, std::memory_order_relaxed);
   }
 }
 
@@ -180,8 +388,7 @@ void Compactor::CompactorLoop() {
         return false;
       }
       for (std::size_t s = 0; s < num_shards_; ++s) {
-        if (buffers_[s]->size() - tree_covered_[s] >=
-            config_.compact_threshold) {
+        if (ShardWorkLocked(s) >= config_.compact_threshold) {
           return true;
         }
       }
@@ -191,29 +398,30 @@ void Compactor::CompactorLoop() {
       return;
     }
     while (!stopping_) {
-      // Most-pending shard first: under sustained ingest this keeps the
-      // flat-scanned delta sets as small as possible.
+      // Most-work shard first (buffered rows + resident tombstones):
+      // under sustained ingest this keeps the flat-scanned delta sets as
+      // small as possible, and under sustained deletes it keeps the
+      // tombstone set — and with it the merge's k-widening — bounded.
       std::size_t best = num_shards_;
-      std::size_t best_pending = 0;
+      std::size_t best_work = 0;
       for (std::size_t s = 0; s < num_shards_; ++s) {
-        const std::size_t shard_pending =
-            buffers_[s]->size() - tree_covered_[s];
-        if (shard_pending > best_pending) {
+        const std::size_t shard_work = ShardWorkLocked(s);
+        if (shard_work > best_work) {
           best = s;
-          best_pending = shard_pending;
+          best_work = shard_work;
         }
       }
       const bool flushing = flush_requested_;
-      if (best_pending == 0 ||
+      if (best_work == 0 ||
           (!flushing && (!config_.auto_compact ||
-                         best_pending < config_.compact_threshold))) {
+                         best_work < config_.compact_threshold))) {
         break;
       }
       lock.unlock();
       CompactShard(best);
       lock.lock();
     }
-    if (flush_requested_ && pending_ == 0) {
+    if (flush_requested_ && !HasMutationWorkLocked()) {
       flush_requested_ = false;
       flush_cv_.notify_all();
     }
@@ -223,30 +431,51 @@ void Compactor::CompactorLoop() {
 void Compactor::CompactShard(std::size_t s) {
   std::shared_ptr<const shard::ShardedIndex> base;
   std::size_t start;
+  std::size_t tomb_resident;
+  std::shared_ptr<const std::unordered_set<std::uint32_t>> tomb;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     base = sharded_;
     start = tree_covered_[s];
+    tomb_resident = shard_tombstoned_[s];
+    // The delete view of this rebuild. Rows deleted after this point may
+    // land in the new tree; they stay masked by their live tombstones
+    // and fall out at the shard's next compaction.
+    tomb = tombstones_->view();
   }
-  // The cut: rows below it move into the rebuilt tree; rows appended
-  // during the rebuild stay above it and remain buffer-visible.
+  // The cut: live rows below it move into the rebuilt tree; rows appended
+  // during the rebuild stay above it and remain buffer-visible. A shard
+  // with no new rows but resident tombstones still rebuilds — that is
+  // how a delete-only workload sheds deleted rows and purges.
   const std::size_t cut = buffers_[s]->size();
-  if (cut == start) {
+  if (cut == start && tomb_resident == 0) {
     return;
   }
   const shard::Shard& old_shard = base->shard(s);
+  const std::unordered_set<std::uint32_t>* exclude =
+      tomb->empty() ? nullptr : tomb.get();
   auto data = std::make_shared<Dataset>(length_);
-  auto ids = std::make_shared<std::vector<std::uint32_t>>(
-      *old_shard.global_ids);
+  auto ids = std::make_shared<std::vector<std::uint32_t>>();
   ids->reserve(old_shard.data->size() + (cut - start));
+  // Ids excluded here leave every structure of the generation published
+  // below — the slice loses them now, the buffer view starts past them —
+  // so their tombstones become purgeable once older generations retire.
+  std::vector<std::uint32_t> purgeable;
+  const std::vector<std::uint32_t>& old_ids = *old_shard.global_ids;
   for (std::size_t i = 0; i < old_shard.data->size(); ++i) {
+    if (exclude != nullptr && exclude->count(old_ids[i]) != 0) {
+      purgeable.push_back(old_ids[i]);
+      continue;
+    }
     data->Append(old_shard.data->row(i));
+    ids->push_back(old_ids[i]);
   }
-  buffers_[s]->CopyRange(start, cut, data.get(), ids.get());
+  buffers_[s]->CopyRange(start, cut, data.get(), ids.get(), exclude,
+                         &purgeable);
 
-  // Deterministic rebuild over slice ∪ buffered rows with the build-time
-  // scheme and per-shard index config; runs on the serving pool, under
-  // whatever traffic is live.
+  // Deterministic rebuild over (slice ∪ buffered rows) \ tombstones with
+  // the build-time scheme and per-shard index config; runs on the serving
+  // pool, under whatever traffic is live.
   shard::Shard rebuilt;
   rebuilt.data = data;
   rebuilt.scheme = old_shard.scheme;
@@ -257,11 +486,39 @@ void Compactor::CompactShard(std::size_t s) {
       base->WithShardReplaced(s, std::move(rebuilt));
 
   std::unique_lock<std::mutex> lock(mutex_);
+  if (exclude != nullptr) {
+    // Phantom tombstones: sampled ids routed to this shard whose row
+    // exists in none of its structures and that no earlier compaction
+    // already queued — e.g. an id re-deleted after its tombstone was
+    // purged following a checkpointed recovery. Nothing will ever
+    // exclude them again, so queue them for purge alongside the rows
+    // removed here; every sampled tombstone of this shard is provably
+    // either in the slice, in buffer [start, cut), already queued, or
+    // phantom.
+    const std::unordered_set<std::uint32_t> removed(purgeable.begin(),
+                                                    purgeable.end());
+    for (const std::uint32_t id : *tomb) {
+      if (RouteShard(id) == s && removed.count(id) == 0 &&
+          pending_purge_ids_.count(id) == 0) {
+        purgeable.push_back(id);
+      }
+    }
+  }
+  // Every purgeable id was counted as resident work for this shard
+  // (excluded rows existed here; phantoms were never queued before), so
+  // the counter drops by exactly that many — tombstones added during
+  // the rebuild stay counted for the next round.
+  shard_tombstoned_[s] -= purgeable.size();
   sharded_ = derived;
   tree_covered_[s] = cut;
   pending_ -= cut - start;
   ++compactions_;
-  PublishLocked(std::move(derived), &lock);
+  PublishLocked(std::move(derived), &lock, std::move(purgeable));
+  if (config_.checkpoint_on_compact && wal_ != nullptr) {
+    // Opt-in only: sound solely when the embedder persists the full
+    // collection state by publish time (see IngestConfig).
+    wal_->AppendCheckpoint(next_id_, tombstones_->SortedIds());
+  }
 }
 
 }  // namespace ingest

@@ -1,38 +1,55 @@
-// The compaction half of the incremental ingest path: insert buffer →
-// per-shard rebuild → WithShardReplaced republish, all under live
-// traffic (ROADMAP: "per-shard incremental updates — the CoW plumbing
-// exists, the insert path does not").
+// The mutation front end of the incremental ingest path: inserts and
+// deletes → per-shard buffers + tombstones → background rebuild →
+// WithShardReplaced republish, all under live traffic, with an optional
+// write-ahead log making every accepted mutation survive a restart.
 //
 // A Compactor attaches to a SearchService serving a sharded generation
-// and becomes its sole publisher. It owns one InsertBuffer per shard and
-// an insert API with admission control: Insert() assigns the next global
-// collection id, routes the row to its shard's buffer (contiguous
-// assignment extends the last shard's range; hash assignment hashes the
-// id as at build time) and publishes it to queries immediately through
-// the live buffer — no snapshot republish per insert. Once a shard's
-// pending rows reach `compact_threshold`, a dedicated background thread
-// rebuilds that shard's TreeIndex over slice ∪ buffered rows and
-// republishes through ShardedIndex::WithShardReplaced +
-// SearchService::Publish.
+// and becomes its sole publisher. It owns one InsertBuffer per shard, a
+// TombstoneSet of deleted ids, and (when IngestConfig::wal_dir is set) a
+// WriteAheadLog. Insert() assigns the next global collection id, logs
+// the row, routes it to its shard's buffer (contiguous assignment
+// extends the last shard's range; hash assignment hashes the id as at
+// build time) and publishes it to queries immediately through the live
+// buffer — no snapshot republish per insert. Delete() logs and
+// tombstones the id; queries mask tombstoned ids out of buffer scans and
+// the gather merge immediately, whether the row lives in a tree or a
+// buffer. Once a shard's pending rows reach `compact_threshold`, a
+// dedicated background thread rebuilds that shard's TreeIndex over
+// (slice ∪ buffered rows) \ tombstones and republishes through
+// ShardedIndex::WithShardReplaced + SearchService::Publish.
 //
 // Exactness invariant, held at every instant including mid-compaction:
 // each generation's shard-s tree covers that shard's rows below a cut
-// offset and its buffer view starts exactly at the cut, so every row is
-// answered by exactly one of tree or buffer. A compaction samples the
-// buffer size as the new cut, rebuilds over [0, cut), and publishes with
-// the view advanced to cut — queries in flight on the old generation
-// keep the old cut (old tree + wider buffer range), queries on the new
-// one get the new tree + narrower range; both cover every row once.
-// Inserts that land during the rebuild stay above the new cut and remain
-// buffer-visible in both generations. Buffer chunks below the smallest
-// cut of any still-live generation are reclaimed (tracked via weak
-// references to the published snapshots).
+// offset and its buffer view starts exactly at the cut, so every live
+// row is answered by exactly one of tree or buffer, and every deleted
+// row by neither (masked by the tombstone set until a compaction
+// physically removes it). A compaction samples the buffer size as the
+// new cut and the tombstone set as the delete view, rebuilds over the
+// live rows of [0, cut), and publishes with the view advanced to cut —
+// queries in flight on the old generation keep the old cut (old tree +
+// wider buffer range) and still filter the excluded ids, because their
+// tombstones are only purged once every generation published before the
+// compaction has retired (the same weak-reference tracking that bounds
+// buffer-chunk reclamation). Rows deleted *during* a rebuild may land in
+// the new tree; they stay masked and are removed by that shard's next
+// compaction.
 //
-// Deliberate non-goals of this first cut (see ROADMAP follow-ons):
-// deletes/tombstones, write-ahead logging (inserts are in-memory only —
-// a restart reloads the base collection), and summary-scheme retraining
-// (rebuilt shards reuse the build-time scheme; exactness never depends
-// on it, only pruning power does).
+// Durability (IngestConfig::wal_dir): every mutation is appended to the
+// WAL *before* it becomes visible (see wal.h for framing, fsync batching
+// and the crash-safety contract). After a restart, reconstruct the base
+// generation exactly as at build time, attach a new Compactor with the
+// same wal_dir, and call Recover() before serving traffic: it replays
+// the retained records into buffers + tombstones and leaves the service
+// answering bit-identically to the pre-crash process. Compaction does
+// NOT truncate the log by itself — rebuilt trees are in-memory, so the
+// log remains the only durable copy of the mutations; Checkpoint() is
+// for embedders that persist the full collection state out of band.
+//
+// Still out of scope (ROADMAP follow-ons): summary-scheme retraining
+// when the delta distribution drifts (rebuilt shards reuse the
+// build-time scheme; exactness never depends on it, only pruning power
+// does), and fanning the per-shard buffer scans into the executor
+// scatter.
 
 #ifndef SOFA_INGEST_COMPACTOR_H_
 #define SOFA_INGEST_COMPACTOR_H_
@@ -42,10 +59,14 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "ingest/insert_buffer.h"
+#include "ingest/tombstone_set.h"
+#include "ingest/wal.h"
 #include "service/search_service.h"
 #include "service/snapshot.h"
 #include "shard/sharded_index.h"
@@ -55,16 +76,31 @@ namespace ingest {
 
 /// Outcome of one insert.
 enum class InsertStatus {
-  kOk,        // buffered; visible to every query submitted afterwards
+  kOk,        // logged + buffered; visible to every query submitted after
   kRejected,  // admission bound hit — compaction is behind, retry later
   kInvalid,   // refused permanently: wrong row length, or the 32-bit
               // global-id space is exhausted
   kShutdown,  // compactor is stopping
+  kIoError,   // WAL append failed — the row is NOT logged and NOT
+              // visible; the caller may retry (disk may recover)
+};
+
+/// Outcome of one delete.
+enum class DeleteStatus {
+  kOk,              // logged + tombstoned; invisible to queries submitted
+                    // after this returns
+  kNotFound,        // no row with this id was ever inserted
+  kAlreadyDeleted,  // id is already tombstoned or compacted away after a
+                    // delete — nothing to do, nothing logged
+  kShutdown,        // compactor is stopping
+  kIoError,         // WAL append failed — the delete is NOT applied
 };
 
 struct IngestConfig {
-  /// Pending (uncompacted) rows per shard that trigger a background
-  /// rebuild of that shard.
+  /// Pending work per shard that triggers a background rebuild of that
+  /// shard: buffered (uncompacted) rows plus tombstoned rows not yet
+  /// physically removed — so sustained deletes compact (and purge their
+  /// tombstones) even with no inserts flowing.
   std::size_t compact_threshold = 1024;
 
   /// Admission bound: inserts are rejected while the total pending rows
@@ -78,6 +114,25 @@ struct IngestConfig {
   /// When false, no threshold-triggered compactions run — only Flush()
   /// compacts (deterministic stepping for tests and benches).
   bool auto_compact = true;
+
+  /// When non-empty, open (or create) a write-ahead log in this
+  /// directory; every accepted Insert/Delete is appended there before it
+  /// becomes visible, and Recover() replays any records already present.
+  /// Empty (default): mutations are in-memory only, as in PR 3.
+  std::string wal_dir;
+
+  /// WAL tuning (fsync batching, segment rotation); used only when
+  /// wal_dir is set.
+  WalConfig wal;
+
+  /// When true, every compaction also writes a WAL checkpoint and
+  /// truncates older segments. ONLY sound when the embedder durably
+  /// persists the full collection state (all rows and the tombstone set)
+  /// no later than each publish — e.g. a deployment whose publish hook
+  /// snapshots generations to disk. With the default in-memory trees the
+  /// log is the only durable copy of the mutations, so leave this off
+  /// and let the log grow until an explicit Checkpoint().
+  bool checkpoint_on_compact = false;
 };
 
 /// Point-in-time ingest counters.
@@ -85,38 +140,94 @@ struct IngestMetrics {
   std::uint64_t inserted = 0;     // rows accepted
   std::uint64_t rejected = 0;     // rows bounced at admission
   std::uint64_t invalid = 0;      // rows refused (length mismatch)
+  std::uint64_t deleted = 0;      // deletes accepted (incl. recovered)
+  std::uint64_t io_errors = 0;    // mutations refused on WAL failure
   std::uint64_t compactions = 0;  // shard rebuilds published
   std::size_t pending = 0;        // rows currently buffered, not yet in trees
-  std::size_t total_rows = 0;     // base + accepted rows
+  std::size_t tombstones = 0;     // deleted ids not yet purged by compaction
+  std::size_t total_rows = 0;     // ids allocated: base + accepted inserts
+                                  // (deleted rows included — the id space
+                                  // never shrinks)
+};
+
+/// What Recover() replayed. `ok == false` means the log does not fit the
+/// supplied base generation (a gap in the id sequence, a delete of an
+/// unknown id, or a checkpoint claiming rows the base lacks); everything
+/// applied up to the first inconsistency stays applied, records after it
+/// are ignored.
+struct RecoverStats {
+  bool ok = true;
+  std::uint64_t inserts_applied = 0;  // rows appended to buffers
+  std::uint64_t inserts_skipped = 0;  // ids the base already covers
+  std::uint64_t deletes_applied = 0;  // tombstones restored
+  std::uint64_t checkpoints = 0;      // state resets replayed
+  bool tail_truncated = false;        // replay stopped at a torn/corrupt
+                                      // record (see WalReplayStats)
 };
 
 class Compactor {
  public:
   /// Attaches to `service`, which must currently serve (or be about to
   /// serve) `base`; the constructor publishes the initial ingesting
-  /// generation (base trees + empty buffers). While a Compactor is
-  /// attached it must be the service's only publisher. Tree rebuilds run
-  /// on `base`'s thread pool, competing with query scatter — compaction
-  /// under live traffic by design.
+  /// generation (base trees + empty buffers + empty tombstones). While a
+  /// Compactor is attached it must be the service's only publisher. Tree
+  /// rebuilds run on `base`'s thread pool, competing with query scatter
+  /// — compaction under live traffic by design. With config.wal_dir set
+  /// the constructor opens the log (aborting via SOFA_CHECK when the
+  /// directory cannot be created) but does not replay it — call
+  /// Recover() before serving traffic if records may be present.
   Compactor(service::SearchService* service,
             std::shared_ptr<const shard::ShardedIndex> base,
             IngestConfig config = IngestConfig{});
 
-  /// Stops the compaction thread. The service keeps serving the last
-  /// published generation — already-buffered rows stay visible, they are
-  /// just never compacted further.
+  /// Stops the compaction thread and syncs/closes the WAL. The service
+  /// keeps serving the last published generation — already-buffered rows
+  /// stay visible, they are just never compacted further.
   ~Compactor();
 
   Compactor(const Compactor&) = delete;
   Compactor& operator=(const Compactor&) = delete;
 
   /// Inserts one row (`length` floats, z-normalized like the base
-  /// collection). On kOk the row is visible to every query submitted
-  /// after this returns. Thread-safe; concurrent inserts serialize.
+  /// collection). On kOk the row is logged (if a WAL is attached) and
+  /// visible to every query submitted after this returns. Thread-safe;
+  /// concurrent mutations serialize. With fsync batching a power failure
+  /// may lose up to WalConfig::sync_every acknowledged rows — a process
+  /// crash loses nothing.
   InsertStatus Insert(const float* row, std::size_t length);
 
-  /// Blocks until every row pending at call time is compacted into its
-  /// shard's tree and the resulting generations are published.
+  /// Deletes the row with global id `id` (a base row or an inserted
+  /// one). On kOk the id is logged and masked from every query submitted
+  /// after this returns; the row is physically removed by its shard's
+  /// next compaction, which also purges the tombstone once no in-flight
+  /// generation can still surface it. Re-deleting an id returns
+  /// kAlreadyDeleted whether its tombstone is still live or long purged.
+  /// Thread-safe.
+  DeleteStatus Delete(std::uint32_t id);
+
+  /// Replays the WAL into buffers + tombstones. Must be called before
+  /// the first Insert/Delete (SOFA_CHECK-enforced) and, for coherent
+  /// answers, before queries are admitted. `base` must be exactly the
+  /// generation the log was written against (same rows [0, base size),
+  /// same partition). No-op (ok, zero counts) without a WAL. Replayed
+  /// records are NOT re-appended — the segments that hold them are
+  /// retained until a checkpoint truncates them.
+  RecoverStats Recover();
+
+  /// Writes a WAL checkpoint (current id watermark + live tombstones)
+  /// and truncates every older segment. Contract: the caller has durably
+  /// persisted the full collection state — every row in [0, next id) and
+  /// the tombstone set — somewhere the next recovery will rebuild its
+  /// base generation from; after truncation the log can no longer
+  /// re-create mutations from before the checkpoint. Returns false (log
+  /// unchanged or partially rotated, never truncated) on I/O failure or
+  /// without a WAL.
+  bool Checkpoint();
+
+  /// Blocks until every mutation pending at call time is folded into the
+  /// trees and published: buffered rows compacted in, tombstoned rows
+  /// compacted out (their purge may still wait on in-flight generations
+  /// retiring — see Metrics().tombstones).
   void Flush();
 
   IngestMetrics Metrics() const;
@@ -133,10 +244,13 @@ class Compactor {
  private:
   void CompactorLoop();
   void CompactShard(std::size_t s);
+  std::size_t ShardWorkLocked(std::size_t s) const;
+  bool HasMutationWorkLocked() const;
   std::shared_ptr<const service::ShardBuffers> MakeBuffers(
       const std::vector<std::size_t>& start) const;
   void PublishLocked(std::shared_ptr<const shard::ShardedIndex> sharded,
-                     std::unique_lock<std::mutex>* lock);
+                     std::unique_lock<std::mutex>* lock,
+                     std::vector<std::uint32_t> purgeable = {});
   void TrimRetiredLocked();
 
   service::SearchService* service_;
@@ -151,24 +265,63 @@ class Compactor {
   std::condition_variable flush_cv_;  // Flush() waiters
   std::shared_ptr<const shard::ShardedIndex> sharded_;  // latest generation
   std::vector<std::shared_ptr<InsertBuffer>> buffers_;  // one per shard
+  std::shared_ptr<TombstoneSet> tombstones_;  // live, shared with snapshots
+  // Every id ever deleted, purged or not — Delete() statuses must tell
+  // "already deleted" from "never existed" even after the tombstone was
+  // purged. Never shrinks (except to a checkpoint's set on recovery).
+  std::unordered_set<std::uint32_t> deleted_ever_;
+  std::unique_ptr<WriteAheadLog> wal_;        // null without wal_dir
   std::vector<std::size_t> tree_covered_;  // per shard: buffer rows in tree
+  // Per shard: tombstoned ids not yet physically removed from that
+  // shard's structures. Counts toward the compaction trigger, so a
+  // delete-only workload still compacts, purges its tombstones, and
+  // keeps the merge's k-widening bounded.
+  std::vector<std::size_t> shard_tombstoned_;
+  // Per shard: un-purged tombstones routed there — the query path's
+  // per-shard k-widening (shared live with every snapshot via
+  // ShardBuffers). Differs from shard_tombstoned_ in when it drops:
+  // only at purge (when no live generation's tree can still hold the
+  // row), not at compaction — an in-flight query on a pre-compaction
+  // generation still needs the width. Incremented BEFORE the tombstone
+  // is added (the TombstoneSet mutex then publishes it to any reader
+  // whose view contains the id), decremented after the purge erases it.
+  std::shared_ptr<std::vector<std::atomic<std::size_t>>>
+      shard_tombstone_counts_;
   std::uint32_t next_id_;
   std::size_t pending_ = 0;
   std::uint64_t inserted_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t invalid_ = 0;
+  std::uint64_t deleted_ = 0;
+  std::uint64_t io_errors_ = 0;
   std::uint64_t compactions_ = 0;
+  std::uint64_t publish_seq_ = 0;  // generations published, monotonic
+  bool recovered_ = false;         // Recover() may run at most once
   bool flush_requested_ = false;
   bool stopping_ = false;
 
   // Published generations still possibly in flight (weak: expired entries
-  // are pruned); per entry, the per-shard buffer starts it scans from.
-  // The minimum start across live entries bounds what TrimBelow may drop.
+  // are pruned); per entry, the per-shard buffer starts it scans from and
+  // its publish sequence number. The minimum start across live entries
+  // bounds what TrimBelow may drop; the minimum sequence bounds which
+  // queued tombstone purges may apply.
   struct LiveGeneration {
     std::weak_ptr<const service::IndexSnapshot> snapshot;
     std::vector<std::size_t> start;
+    std::uint64_t seq = 0;
   };
   std::vector<LiveGeneration> live_;
+
+  // Tombstones a compaction excluded from a rebuilt shard, purgeable
+  // once every generation published before `seq` has retired.
+  // `pending_purge_ids_` mirrors the queued ids as a set so CompactShard
+  // can tell an already-queued tombstone from a phantom one.
+  struct PendingPurge {
+    std::uint64_t seq = 0;
+    std::vector<std::uint32_t> ids;
+  };
+  std::vector<PendingPurge> pending_purges_;
+  std::unordered_set<std::uint32_t> pending_purge_ids_;
 
   std::thread compaction_thread_;
 };

@@ -69,9 +69,10 @@ InsertBuffer::View InsertBuffer::Snapshot() const {
   return view;
 }
 
-std::size_t InsertBuffer::SearchKnn(const float* query, std::size_t k,
-                                    std::size_t begin,
-                                    std::vector<Neighbor>* out) const {
+std::size_t InsertBuffer::SearchKnn(
+    const float* query, std::size_t k, std::size_t begin,
+    std::vector<Neighbor>* out,
+    const std::unordered_set<std::uint32_t>* exclude) const {
   SOFA_CHECK(out != nullptr);
   const View view = Snapshot();
   SOFA_CHECK(begin >= view.base)
@@ -79,16 +80,25 @@ std::size_t InsertBuffer::SearchKnn(const float* query, std::size_t k,
   if (begin >= view.count || k == 0) {
     return 0;
   }
+  if (exclude != nullptr && exclude->empty()) {
+    exclude = nullptr;
+  }
   // Flat scan in ascending global-id order with the tree engine's
   // early-abandoning kernel. Strict `<` against the k-th best keeps the
   // first-seen — lowest — global id on exact distance ties; a completed
   // (non-abandoned) sum is the exact distance, bit-identical to what the
-  // tree reports for the same row.
+  // tree reports for the same row. Tombstoned rows are masked before any
+  // distance work: the scan behaves as if they were never appended.
   std::priority_queue<HeapEntry> heap;
+  std::size_t scanned = 0;
   for (std::size_t r = begin; r < view.count; ++r) {
     const std::size_t slot = r - view.base;
     const Chunk& chunk = *view.chunks[slot / chunk_capacity_];
     const std::size_t at = slot % chunk_capacity_;
+    if (exclude != nullptr && exclude->count(chunk.ids[at]) != 0) {
+      continue;
+    }
+    ++scanned;
     const float bound = heap.size() < k ? kInf : heap.top().dist_sq;
     const float d = SquaredEuclideanEarlyAbandon(query, chunk.rows.row(at),
                                                  length_, bound);
@@ -105,11 +115,13 @@ std::size_t InsertBuffer::SearchKnn(const float* query, std::size_t k,
     heap.pop();
   }
   out->insert(out->end(), result.begin(), result.end());
-  return view.count - begin;
+  return scanned;
 }
 
 void InsertBuffer::CopyRange(std::size_t begin, std::size_t end, Dataset* rows,
-                             std::vector<std::uint32_t>* ids) const {
+                             std::vector<std::uint32_t>* ids,
+                             const std::unordered_set<std::uint32_t>* exclude,
+                             std::vector<std::uint32_t>* excluded) const {
   SOFA_CHECK(rows != nullptr && ids != nullptr);
   SOFA_CHECK_EQ(rows->length(), length_);
   const View view = Snapshot();
@@ -118,6 +130,12 @@ void InsertBuffer::CopyRange(std::size_t begin, std::size_t end, Dataset* rows,
     const std::size_t slot = r - view.base;
     const Chunk& chunk = *view.chunks[slot / chunk_capacity_];
     const std::size_t at = slot % chunk_capacity_;
+    if (exclude != nullptr && exclude->count(chunk.ids[at]) != 0) {
+      if (excluded != nullptr) {
+        excluded->push_back(chunk.ids[at]);
+      }
+      continue;
+    }
     rows->Append(chunk.rows.row(at));
     ids->push_back(chunk.ids[at]);
   }

@@ -4,10 +4,11 @@
 //
 // An InsertBuffer is the append-only delta set of one shard: rows inserted
 // since that shard's tree was last rebuilt, each carrying its global
-// collection id. Queries answer exactly over tree ∪ buffer, FAISS-style
-// (Johnson et al., billion-scale similarity search: a pruned index over
-// the bulk plus a brute-force flat scan over a small delta): the shard's
-// TreeIndex covers the compacted prefix and the buffer is scanned flat.
+// collection id. Queries answer exactly over (tree ∪ buffer) \ tombstones,
+// FAISS-style (Johnson et al., billion-scale similarity search: a pruned
+// index over the bulk plus a brute-force flat scan over a small delta):
+// the shard's TreeIndex covers the compacted prefix and the buffer is
+// scanned flat, with deleted ids masked inline (SearchKnn's `exclude`).
 // The scan uses the same early-abandoning SIMD distance kernel as the tree
 // engine (not the flat index's ‖x‖²+‖y‖²−2x·y trick, whose rounding
 // differs), so a row reports the *bit-identical* distance whether it is
@@ -28,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "core/dataset.h"
@@ -62,16 +64,30 @@ class InsertBuffer {
 
   /// Exact top-k over rows [begin, size()-at-call), appended to `out` as
   /// neighbors with *global* ids, ascending by (distance, id) — on ties
-  /// the lowest global id wins, deterministically. Returns the number of
-  /// rows scanned (one early-abandoning distance evaluation each, for
-  /// QueryProfile accounting). `begin` must be >= first_retained().
-  std::size_t SearchKnn(const float* query, std::size_t k, std::size_t begin,
-                        std::vector<Neighbor>* out) const;
+  /// the lowest global id wins, deterministically. Rows whose global id
+  /// is in `exclude` (the live tombstone view of the generation being
+  /// queried) are masked: skipped without a distance evaluation, exactly
+  /// as if the row had never been inserted. Returns the number of rows
+  /// actually scanned (one early-abandoning distance evaluation each,
+  /// for QueryProfile accounting — masked rows are not counted). `begin`
+  /// must be >= first_retained(). Thread-safe against concurrent appends
+  /// and trims; the scan sees every row published before the call.
+  std::size_t SearchKnn(
+      const float* query, std::size_t k, std::size_t begin,
+      std::vector<Neighbor>* out,
+      const std::unordered_set<std::uint32_t>* exclude = nullptr) const;
 
   /// Copies rows [begin, end) and their global ids into `rows`/`ids`
   /// (appending) — the compaction handoff into the rebuilt shard slice.
+  /// Rows whose global id is in `exclude` are dropped instead (the
+  /// delete-before-compaction case: a tombstoned buffered row must not
+  /// enter the rebuilt tree) and their ids are appended to `excluded`
+  /// when non-null, so the compaction can queue the tombstones for
+  /// purging once no live generation still scans this range.
   void CopyRange(std::size_t begin, std::size_t end, Dataset* rows,
-                 std::vector<std::uint32_t>* ids) const;
+                 std::vector<std::uint32_t>* ids,
+                 const std::unordered_set<std::uint32_t>* exclude = nullptr,
+                 std::vector<std::uint32_t>* excluded = nullptr) const;
 
   /// Releases whole chunks lying entirely below row offset `offset`.
   /// Only safe once no live generation scans from below `offset`; scans

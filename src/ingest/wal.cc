@@ -1,0 +1,419 @@
+#include "ingest/wal.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/check.h"
+#include "util/crc32.h"
+
+namespace sofa {
+namespace ingest {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'O', 'F', 'A', 'W', 'A', 'L', '1'};
+constexpr char kSegmentPrefix[] = "wal-";
+constexpr char kSegmentSuffix[] = ".log";
+// 8-byte frame header + payload; the cap rejects absurd sizes from a
+// corrupted length field before any allocation happens.
+constexpr std::size_t kMaxPayload = 256ull << 20;
+
+std::string SegmentName(std::uint64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s%010llu%s", kSegmentPrefix,
+                static_cast<unsigned long long>(seq), kSegmentSuffix);
+  return name;
+}
+
+std::string SegmentPath(const std::string& dir, std::uint64_t seq) {
+  return dir + "/" + SegmentName(seq);
+}
+
+// Sequence number of a segment file name, or false for foreign files.
+bool ParseSegmentSeq(const std::string& name, std::uint64_t* seq) {
+  const std::size_t prefix = sizeof(kSegmentPrefix) - 1;
+  const std::size_t suffix = sizeof(kSegmentSuffix) - 1;
+  if (name.size() <= prefix + suffix ||
+      name.compare(0, prefix, kSegmentPrefix) != 0 ||
+      name.compare(name.size() - suffix, suffix, kSegmentSuffix) != 0) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = prefix; i < name.size() - suffix; ++i) {
+    if (name[i] < '0' || name[i] > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+void PutU32(std::vector<unsigned char>* out, std::uint32_t v) {
+  const std::size_t at = out->size();
+  out->resize(at + sizeof(v));
+  std::memcpy(out->data() + at, &v, sizeof(v));
+}
+
+void PutU64(std::vector<unsigned char>* out, std::uint64_t v) {
+  const std::size_t at = out->size();
+  out->resize(at + sizeof(v));
+  std::memcpy(out->data() + at, &v, sizeof(v));
+}
+
+// mkdir -p: creates every missing component; true when `dir` exists (or
+// already existed) afterwards.
+bool MakeDirs(const std::string& dir) {
+  std::string prefix;
+  std::size_t at = 0;
+  while (at < dir.size()) {
+    const std::size_t next = dir.find('/', at);
+    const std::size_t end = next == std::string::npos ? dir.size() : next;
+    prefix.append(dir, at, end - at + (next == std::string::npos ? 0 : 1));
+    at = end + 1;
+    if (prefix.empty() || prefix == "/") {
+      continue;
+    }
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return false;
+    }
+  }
+  struct stat info;
+  return ::stat(dir.c_str(), &info) == 0 && S_ISDIR(info.st_mode);
+}
+
+struct SegmentEntry {
+  std::uint64_t seq;
+  std::string path;
+};
+
+std::vector<SegmentEntry> ListSegmentEntries(const std::string& dir) {
+  std::vector<SegmentEntry> entries;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    return entries;
+  }
+  while (const dirent* entry = ::readdir(handle)) {
+    std::uint64_t seq = 0;
+    if (ParseSegmentSeq(entry->d_name, &seq)) {
+      entries.push_back(SegmentEntry{seq, dir + "/" + entry->d_name});
+    }
+  }
+  ::closedir(handle);
+  std::sort(entries.begin(), entries.end(),
+            [](const SegmentEntry& a, const SegmentEntry& b) {
+              return a.seq < b.seq;
+            });
+  return entries;
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(std::string dir, std::size_t length,
+                             WalConfig config)
+    : dir_(std::move(dir)), length_(length), config_(config) {}
+
+std::unique_ptr<WriteAheadLog> WriteAheadLog::Open(const std::string& dir,
+                                                   std::size_t length,
+                                                   WalConfig config) {
+  SOFA_CHECK(length > 0);
+  if (!MakeDirs(dir)) {
+    return nullptr;
+  }
+  if (config.segment_bytes == 0) {
+    config.segment_bytes = 64ull << 20;
+  }
+  std::unique_ptr<WriteAheadLog> wal(
+      new WriteAheadLog(dir, length, config));
+  // Never append to an existing segment — its tail may be torn; a fresh
+  // segment keeps "torn implies last record of last segment" true.
+  const std::vector<SegmentEntry> existing = ListSegmentEntries(dir);
+  const std::uint64_t seq = existing.empty() ? 0 : existing.back().seq + 1;
+  if (!wal->OpenSegment(seq)) {
+    return nullptr;
+  }
+  return wal;
+}
+
+WriteAheadLog::~WriteAheadLog() { CloseSegment(/*sync=*/true); }
+
+bool WriteAheadLog::OpenSegment(std::uint64_t seq) {
+  const std::string path = SegmentPath(dir_, seq);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return false;
+  }
+  file_ = file;
+  seq_ = seq;
+  segment_size_ = 0;
+  const std::uint64_t seq64 = seq;
+  const std::uint64_t len64 = length_;
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), file_) != sizeof(kMagic) ||
+      std::fwrite(&seq64, 1, sizeof(seq64), file_) != sizeof(seq64) ||
+      std::fwrite(&len64, 1, sizeof(len64), file_) != sizeof(len64) ||
+      std::fflush(file_) != 0) {
+    // Remove the header-less husk so replay never has to skip it; a
+    // retry uses the next sequence number (gaps are fine).
+    CloseSegment(/*sync=*/false);
+    ::unlink(path.c_str());
+    return false;
+  }
+  segment_size_ = sizeof(kMagic) + sizeof(seq64) + sizeof(len64);
+  return true;
+}
+
+bool WriteAheadLog::CloseSegment(bool sync) {
+  if (file_ == nullptr) {
+    return true;
+  }
+  bool ok = std::fflush(file_) == 0;
+  if (sync && ok) {
+    ok = ::fsync(::fileno(file_)) == 0;
+    if (ok) {
+      unsynced_ = 0;
+    }
+  }
+  ok = (std::fclose(file_) == 0) && ok;
+  file_ = nullptr;
+  return ok;
+}
+
+bool WriteAheadLog::Sync() {
+  if (file_ == nullptr) {
+    return false;
+  }
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    return false;
+  }
+  unsynced_ = 0;
+  return true;
+}
+
+bool WriteAheadLog::AppendRecord(const std::vector<unsigned char>& payload) {
+  if (file_ != nullptr && segment_size_ >= config_.segment_bytes) {
+    // Rotation syncs the full segment before retiring it, so its records
+    // are durable regardless of the batching window. A close/sync
+    // failure here widens the power-loss window for that segment's tail
+    // (the records were fflushed, so a mere process crash still loses
+    // nothing) but must not poison the log.
+    CloseSegment(/*sync=*/true);
+  }
+  if (file_ == nullptr && !OpenSegment(seq_ + 1)) {
+    // No live segment (a previous rotation or open failed): the append
+    // fails, but the next one retries a fresh segment — a transient
+    // disk error must not leave the log permanently read-only.
+    return false;
+  }
+  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = Crc32(payload.data(), payload.size());
+  bool ok = std::fwrite(&size, 1, sizeof(size), file_) == sizeof(size) &&
+            std::fwrite(&crc, 1, sizeof(crc), file_) == sizeof(crc) &&
+            std::fwrite(payload.data(), 1, payload.size(), file_) ==
+                payload.size() &&
+            std::fflush(file_) == 0;
+  if (ok && config_.sync_every > 0 && unsynced_ + 1 >= config_.sync_every) {
+    ok = ::fsync(::fileno(file_)) == 0;
+    if (ok) {
+      unsynced_ = 0;
+      segment_size_ += sizeof(size) + sizeof(crc) + payload.size();
+      return true;
+    }
+  } else if (ok) {
+    segment_size_ += sizeof(size) + sizeof(crc) + payload.size();
+    ++unsynced_;
+    return true;
+  }
+  // Refused record: roll the segment back to the last record boundary so
+  // the partially — or, on an fsync failure, fully — written frame can
+  // never replay (the caller was told "not logged"; a later accepted
+  // record will reuse this id). If the rollback itself fails, abandon
+  // the segment: the torn frame stays at its tail where replay stops
+  // cleanly, and the next append rotates to a fresh segment.
+  std::fflush(file_);
+  if (::ftruncate(::fileno(file_), static_cast<off_t>(segment_size_)) != 0 ||
+      std::fseek(file_, static_cast<long>(segment_size_), SEEK_SET) != 0) {
+    CloseSegment(/*sync=*/true);
+  }
+  return false;
+}
+
+bool WriteAheadLog::AppendInsert(std::uint32_t id, const float* row) {
+  std::vector<unsigned char> payload;
+  payload.reserve(1 + sizeof(id) + length_ * sizeof(float));
+  payload.push_back(static_cast<unsigned char>(WalRecordType::kInsert));
+  PutU32(&payload, id);
+  const std::size_t at = payload.size();
+  payload.resize(at + length_ * sizeof(float));
+  std::memcpy(payload.data() + at, row, length_ * sizeof(float));
+  return AppendRecord(payload);
+}
+
+bool WriteAheadLog::AppendDelete(std::uint32_t id) {
+  std::vector<unsigned char> payload;
+  payload.reserve(1 + sizeof(id));
+  payload.push_back(static_cast<unsigned char>(WalRecordType::kDelete));
+  PutU32(&payload, id);
+  return AppendRecord(payload);
+}
+
+bool WriteAheadLog::AppendCheckpoint(
+    std::uint64_t next_id, const std::vector<std::uint32_t>& tombstones) {
+  // The checkpoint always heads its own fresh segment: truncation then
+  // reduces to "delete every segment with a lower sequence number", and
+  // replay meeting the checkpoint first discards any stale prefix a
+  // crash may have left behind. A failed close is tolerated (the
+  // checkpoint supersedes that segment's records anyway); a failed open
+  // leaves the log reopenable by the next append.
+  CloseSegment(/*sync=*/true);
+  if (!OpenSegment(seq_ + 1)) {
+    return false;
+  }
+  std::vector<unsigned char> payload;
+  payload.reserve(1 + 2 * sizeof(std::uint64_t) +
+                  tombstones.size() * sizeof(std::uint32_t));
+  payload.push_back(static_cast<unsigned char>(WalRecordType::kCheckpoint));
+  PutU64(&payload, next_id);
+  PutU64(&payload, tombstones.size());
+  for (const std::uint32_t id : tombstones) {
+    PutU32(&payload, id);
+  }
+  if (!AppendRecord(payload) || !Sync()) {
+    return false;
+  }
+  // Only after the checkpoint is durable may its predecessors go.
+  for (const SegmentEntry& entry : ListSegmentEntries(dir_)) {
+    if (entry.seq < seq_) {
+      ::unlink(entry.path.c_str());
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> WriteAheadLog::ListSegments(const std::string& dir) {
+  std::vector<std::string> paths;
+  for (const SegmentEntry& entry : ListSegmentEntries(dir)) {
+    paths.push_back(entry.path);
+  }
+  return paths;
+}
+
+WalReplayStats WriteAheadLog::Replay(
+    const std::string& dir, std::size_t length,
+    const std::function<void(const WalRecord&)>& apply) {
+  WalReplayStats stats;
+  for (const SegmentEntry& entry : ListSegmentEntries(dir)) {
+    std::FILE* file = std::fopen(entry.path.c_str(), "rb");
+    if (file == nullptr) {
+      // Skip, like a bad header: later segments still replay, and the
+      // id-sequence validation layered on top (Compactor::Recover) then
+      // sees the gap this segment's records leave and fails the
+      // recovery instead of silently serving without them.
+      stats.tail_truncated = true;
+      continue;
+    }
+    ++stats.segments;
+    char magic[8];
+    std::uint64_t seq = 0;
+    std::uint64_t file_length = 0;
+    if (std::fread(magic, 1, sizeof(magic), file) != sizeof(magic) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 ||
+        std::fread(&seq, 1, sizeof(seq), file) != sizeof(seq) ||
+        std::fread(&file_length, 1, sizeof(file_length), file) !=
+            sizeof(file_length) ||
+        file_length != length) {
+      // Unreadable header: skip the whole segment. Later segments are
+      // still replayed — a writer that appended them recovered exactly
+      // the valid prefix first, and consumers validate the id sequence
+      // (Compactor::Recover) to detect genuine loss.
+      std::fclose(file);
+      stats.tail_truncated = true;
+      continue;
+    }
+    while (true) {
+      std::uint32_t size = 0;
+      std::uint32_t crc = 0;
+      const std::size_t header_read = std::fread(&size, 1, sizeof(size), file);
+      if (header_read == 0) {
+        break;  // clean end of segment
+      }
+      if (header_read != sizeof(size) ||
+          std::fread(&crc, 1, sizeof(crc), file) != sizeof(crc) ||
+          size == 0 || size > kMaxPayload) {
+        stats.tail_truncated = true;  // torn frame header
+        break;
+      }
+      std::vector<unsigned char> payload(size);
+      if (std::fread(payload.data(), 1, size, file) != size ||
+          Crc32(payload.data(), size) != crc) {
+        stats.tail_truncated = true;  // torn or corrupt payload
+        break;
+      }
+      WalRecord record;
+      const unsigned char* body = payload.data() + 1;
+      const std::size_t body_size = size - 1;
+      bool valid = true;
+      switch (static_cast<WalRecordType>(payload[0])) {
+        case WalRecordType::kInsert: {
+          record.type = WalRecordType::kInsert;
+          if (body_size != sizeof(record.id) + length * sizeof(float)) {
+            valid = false;
+            break;
+          }
+          std::memcpy(&record.id, body, sizeof(record.id));
+          record.row.resize(length);
+          std::memcpy(record.row.data(), body + sizeof(record.id),
+                      length * sizeof(float));
+          ++stats.inserts;
+          break;
+        }
+        case WalRecordType::kDelete: {
+          record.type = WalRecordType::kDelete;
+          if (body_size != sizeof(record.id)) {
+            valid = false;
+            break;
+          }
+          std::memcpy(&record.id, body, sizeof(record.id));
+          ++stats.deletes;
+          break;
+        }
+        case WalRecordType::kCheckpoint: {
+          record.type = WalRecordType::kCheckpoint;
+          std::uint64_t count = 0;
+          if (body_size < sizeof(record.next_id) + sizeof(count)) {
+            valid = false;
+            break;
+          }
+          std::memcpy(&record.next_id, body, sizeof(record.next_id));
+          std::memcpy(&count, body + sizeof(record.next_id), sizeof(count));
+          if (body_size != sizeof(record.next_id) + sizeof(count) +
+                               count * sizeof(std::uint32_t)) {
+            valid = false;
+            break;
+          }
+          record.tombstones.resize(count);
+          std::memcpy(record.tombstones.data(),
+                      body + sizeof(record.next_id) + sizeof(count),
+                      count * sizeof(std::uint32_t));
+          ++stats.checkpoints;
+          break;
+        }
+        default:
+          valid = false;
+      }
+      if (!valid) {
+        stats.tail_truncated = true;  // unknown type or malformed body
+        break;
+      }
+      apply(record);
+    }
+    std::fclose(file);
+  }
+  return stats;
+}
+
+}  // namespace ingest
+}  // namespace sofa

@@ -1,6 +1,8 @@
 #include "service/search_service.h"
 
 #include <algorithm>
+#include <atomic>
+#include <unordered_set>
 #include <utility>
 
 #include "index/query_engine.h"
@@ -14,19 +16,22 @@ namespace {
 // Scans the insert buffers of an ingesting generation for one query:
 // appends one ascending already-global top-k list per non-empty buffer
 // range to `extras` and counts the scanned rows (one early-abandoning
-// real-distance evaluation each) into `profile`, if given. The scan is
-// exact over whatever rows are published at call time, so inserts become
-// visible to queries without a republish.
+// real-distance evaluation each) into `profile`, if given. Tombstoned
+// rows (`exclude`) are masked inside the scan — no distance work, no
+// count. The scan is exact over whatever live rows are published at call
+// time, so inserts become visible to queries without a republish and
+// deletes vanish the same way.
 void ScanBuffers(const ShardBuffers& buffers, const float* query,
                  std::size_t k, std::vector<std::vector<Neighbor>>* extras,
-                 index::QueryProfile* profile) {
+                 index::QueryProfile* profile,
+                 const std::unordered_set<std::uint32_t>* exclude) {
   for (std::size_t s = 0; s < buffers.buffers.size(); ++s) {
     if (buffers.buffers[s] == nullptr) {
       continue;
     }
     std::vector<Neighbor> found;
-    const std::size_t scanned =
-        buffers.buffers[s]->SearchKnn(query, k, buffers.start[s], &found);
+    const std::size_t scanned = buffers.buffers[s]->SearchKnn(
+        query, k, buffers.start[s], &found, exclude);
     if (profile != nullptr) {
       profile->series_ed_computed += scanned;
     }
@@ -34,6 +39,42 @@ void ScanBuffers(const ShardBuffers& buffers, const float* query,
       extras->push_back(std::move(found));
     }
   }
+}
+
+// One consistent tombstone snapshot for a query (or a whole batch): the
+// live set can grow concurrently, and tree scatter + buffer scan + merge
+// must all filter the same ids. Null when the generation has no delete
+// path or nothing is tombstoned — the fast path skips all filtering.
+std::shared_ptr<const std::unordered_set<std::uint32_t>> TombstoneViewOf(
+    const IndexSnapshot& snapshot) {
+  if (!snapshot.is_ingesting() || snapshot.buffers->tombstones == nullptr) {
+    return nullptr;
+  }
+  auto view = snapshot.buffers->tombstones->view();
+  if (view->empty()) {
+    return nullptr;
+  }
+  return view;
+}
+
+// Per-shard widening for the tree searches of a query whose filter view
+// is non-empty: a deleted row still inside shard s's tree can displace
+// at most one live candidate from shard s's own list, so each shard
+// over-fetches by the tombstones routed to it, not by the global count.
+// Must be sampled AFTER TombstoneViewOf (see ShardBuffers); falls back
+// to the global view size when the snapshot carries no counts.
+std::vector<std::size_t> ShardKExtra(
+    const IndexSnapshot& snapshot,
+    const std::unordered_set<std::uint32_t>& view) {
+  const std::size_t num_shards = snapshot.sharded->num_shards();
+  std::vector<std::size_t> extra(num_shards, view.size());
+  const auto& counts = snapshot.buffers->tombstone_shard_counts;
+  if (counts != nullptr && counts->size() == num_shards) {
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      extra[s] = (*counts)[s].load(std::memory_order_relaxed);
+    }
+  }
+  return extra;
 }
 
 }  // namespace
@@ -228,6 +269,18 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
   if (!runnable.empty()) {
     const bool latency_mode = runnable.size() <= config_.latency_mode_threshold;
     if (latency_mode) {
+      // One tombstone snapshot for the whole batch (every request here
+      // was submitted before the batch started, so batch-time visibility
+      // satisfies the delete contract) — recomputing per request would
+      // copy the set once per query under concurrent deletes.
+      std::shared_ptr<const std::unordered_set<std::uint32_t>> tombstones;
+      std::vector<std::size_t> k_extra;
+      if (snapshot.is_sharded()) {
+        tombstones = TombstoneViewOf(snapshot);
+        if (tombstones != nullptr) {
+          k_extra = ShardKExtra(snapshot, *tombstones);
+        }
+      }
       for (const std::size_t i : runnable) {
         const SearchRequest& request = (*batch)[i].request;
         // A request can expire while the queries before it in this batch
@@ -251,7 +304,7 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
           snapshot.sharded->ScatterKnn(
               request.query.data(), request.k, request.epsilon, &per_shard,
               profile != nullptr ? &profiles : nullptr, config_.num_threads,
-              pool_);
+              pool_, k_extra.empty() ? nullptr : &k_extra);
           if (profile != nullptr) {
             for (const index::QueryProfile& shard_profile : profiles) {
               profile->Merge(shard_profile);
@@ -260,10 +313,15 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
           std::vector<std::vector<Neighbor>> extras;
           if (snapshot.is_ingesting()) {
             ScanBuffers(*snapshot.buffers, request.query.data(), request.k,
-                        &extras, profile);
+                        &extras, profile, tombstones.get());
           }
+          std::uint64_t filtered = 0;
           responses[i].neighbors = snapshot.sharded->MergeTopK(
-              per_shard, request.k, std::move(extras));
+              per_shard, request.k, std::move(extras), tombstones.get(),
+              &filtered);
+          if (profile != nullptr) {
+            profile->candidates_filtered += filtered;
+          }
         } else {
           const index::QueryEngine engine(snapshot.tree);
           responses[i].neighbors =
@@ -320,6 +378,15 @@ void SearchService::ExecuteShardedThroughput(
     std::vector<SearchResponse>* responses) {
   const shard::ShardedIndex& sharded = *snapshot.sharded;
   const std::size_t num_shards = sharded.num_shards();
+  // One tombstone snapshot for the whole batch (it runs against one
+  // generation); each shard task over-fetches by that shard's resident
+  // tombstone count so the per-query merges can filter without losing
+  // live candidates.
+  const auto tombstones = TombstoneViewOf(snapshot);
+  std::vector<std::size_t> k_extra;
+  if (tombstones != nullptr) {
+    k_extra = ShardKExtra(snapshot, *tombstones);
+  }
   std::vector<std::vector<Neighbor>> results(runnable.size() * num_shards);
   std::vector<index::QueryProfile> profiles(runnable.size() * num_shards);
   std::vector<QueryTask> tasks(runnable.size() * num_shards);
@@ -329,7 +396,7 @@ void SearchService::ExecuteShardedThroughput(
       QueryTask& task = tasks[q * num_shards + s];
       task.index = sharded.shard(s).tree.get();
       task.query = request.query.data();
-      task.k = request.k;
+      task.k = request.k + (k_extra.empty() ? 0 : k_extra[s]);
       task.epsilon = request.epsilon;
       task.deadline = request.deadline;
       task.result = &results[q * num_shards + s];
@@ -364,10 +431,16 @@ void SearchService::ExecuteShardedThroughput(
     std::vector<std::vector<Neighbor>> extras;
     if (snapshot.is_ingesting()) {
       ScanBuffers(*snapshot.buffers, request.query.data(), request.k, &extras,
-                  request.collect_profile ? &response.profile : nullptr);
+                  request.collect_profile ? &response.profile : nullptr,
+                  tombstones.get());
     }
-    response.neighbors =
-        sharded.MergeTopK(per_shard, request.k, std::move(extras));
+    std::uint64_t filtered = 0;
+    response.neighbors = sharded.MergeTopK(per_shard, request.k,
+                                           std::move(extras),
+                                           tombstones.get(), &filtered);
+    if (request.collect_profile) {
+      response.profile.candidates_filtered += filtered;
+    }
   }
 }
 

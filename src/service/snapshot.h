@@ -15,17 +15,21 @@
 //
 // An *ingesting* sharded generation additionally carries ShardBuffers:
 // live per-shard insert buffers plus, per shard, the first buffer row its
-// tree does NOT cover. A query then merges each shard's tree answer with
-// an exact flat scan of that shard's buffer rows [start[s], live size),
-// so rows inserted after the generation was published are visible
-// immediately — no republish per insert — and every row is answered
+// tree does NOT cover, plus the live tombstone set of deleted ids. A
+// query then merges each shard's tree answer with an exact flat scan of
+// that shard's buffer rows [start[s], live size), masking tombstoned
+// rows everywhere — so rows inserted after the generation was published
+// are visible immediately and rows deleted after it vanish immediately,
+// with no republish per mutation — and every live row is answered
 // exactly once (tree below the cut, buffer at or above it). Compaction
-// publishes a derived generation whose rebuilt shard covers the rows up
-// to a new cut, with start[s] advanced to match.
+// publishes a derived generation whose rebuilt shard covers the live
+// rows up to a new cut, with start[s] advanced to match; the tombstones
+// it folded away are purged once every older generation retires.
 
 #ifndef SOFA_SERVICE_SNAPSHOT_H_
 #define SOFA_SERVICE_SNAPSHOT_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <utility>
@@ -35,6 +39,7 @@
 #include "index/serialization.h"
 #include "index/tree_index.h"
 #include "ingest/insert_buffer.h"
+#include "ingest/tombstone_set.h"
 #include "shard/sharded_index.h"
 
 namespace sofa {
@@ -43,12 +48,31 @@ namespace service {
 /// The mutable delta sets of an ingesting sharded generation. `buffers`
 /// and `start` are indexed by shard id; `start[s]` is the first row of
 /// `buffers[s]` the generation's shard-s tree does not already cover.
-/// The struct itself is immutable per generation (compaction republishes
-/// with advanced starts); the buffers it points at are live and
-/// internally synchronized.
+/// `tombstones` is the generation's view of deleted global ids: a query
+/// takes one immutable snapshot of it (TombstoneSet::view) and masks
+/// those ids out of the buffer scans and the gather merge. The struct
+/// itself is immutable per generation (compaction republishes with
+/// advanced starts); the buffers and tombstone set it points at are live
+/// and internally synchronized, which is what makes mutations visible
+/// between publishes. `tombstones` may be null (no delete path attached —
+/// treated as empty).
 struct ShardBuffers {
   std::vector<std::shared_ptr<const ingest::InsertBuffer>> buffers;
   std::vector<std::size_t> start;
+  std::shared_ptr<const ingest::TombstoneSet> tombstones;
+
+  /// Live per-shard counts of un-purged tombstones routed to each shard
+  /// (maintained by the Compactor: incremented before the tombstone
+  /// becomes visible, decremented only when it is purged). A deleted row
+  /// can displace candidates only within its own shard, so the query
+  /// path widens shard s's tree search by counts[s] — not by the global
+  /// tombstone count, which over-fetches num_shards-fold under
+  /// delete-heavy load. Sample counts AFTER TombstoneSet::view(): every
+  /// view id still resident in a live generation's tree is then
+  /// guaranteed to be counted (purge ordering — see
+  /// ingest/tombstone_set.h). Null means "use |view|" (conservative).
+  std::shared_ptr<const std::vector<std::atomic<std::size_t>>>
+      tombstone_shard_counts;
 };
 
 /// One published index generation. Exactly one of `tree` and `sharded` is
@@ -94,7 +118,8 @@ inline std::shared_ptr<const IndexSnapshot> WrapShardedIndex(
 }
 
 /// Wraps an ingesting sharded generation: the trees of `sharded` plus the
-/// live per-shard insert buffers (the ingest::Compactor's publish path).
+/// live per-shard insert buffers and tombstone set (the
+/// ingest::Compactor's publish path).
 inline std::shared_ptr<const IndexSnapshot> WrapIngestingIndex(
     std::shared_ptr<const shard::ShardedIndex> sharded,
     std::shared_ptr<const ShardBuffers> buffers) {

@@ -157,9 +157,10 @@ void ShardedIndex::ScatterKnn(const float* query, std::size_t k,
                               double epsilon,
                               std::vector<std::vector<Neighbor>>* per_shard,
                               std::vector<index::QueryProfile>* profiles,
-                              std::size_t num_workers,
-                              ThreadPool* pool) const {
+                              std::size_t num_workers, ThreadPool* pool,
+                              const std::vector<std::size_t>* k_extra) const {
   SOFA_CHECK(per_shard != nullptr);
+  SOFA_CHECK(k_extra == nullptr || k_extra->size() == shards_.size());
   if (pool == nullptr) {
     pool = pool_;
   }
@@ -174,7 +175,7 @@ void ShardedIndex::ScatterKnn(const float* query, std::size_t k,
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     tasks[s].index = shards_[s].tree.get();
     tasks[s].query = query;
-    tasks[s].k = k;
+    tasks[s].k = k + (k_extra != nullptr ? (*k_extra)[s] : 0);
     tasks[s].epsilon = epsilon;
     tasks[s].result = &(*per_shard)[s];
     tasks[s].profile = profiles != nullptr ? &(*profiles)[s] : nullptr;
@@ -183,7 +184,25 @@ void ShardedIndex::ScatterKnn(const float* query, std::size_t k,
 }
 
 std::vector<Neighbor> MergeNeighborLists(
-    std::vector<std::vector<Neighbor>> lists, std::size_t k) {
+    std::vector<std::vector<Neighbor>> lists, std::size_t k,
+    const std::unordered_set<std::uint32_t>* exclude,
+    std::uint64_t* filtered) {
+  // Tombstone filter first: a deleted row may still sit inside a tree
+  // until its shard compacts; dropping it here (the caller searched each
+  // source k + |exclude| deep) keeps the surviving per-source lists
+  // ascending and complete for the merge below.
+  if (exclude != nullptr && !exclude->empty()) {
+    for (std::vector<Neighbor>& list : lists) {
+      const auto is_deleted = [exclude](const Neighbor& nb) {
+        return exclude->count(nb.id) != 0;
+      };
+      const auto end = std::remove_if(list.begin(), list.end(), is_deleted);
+      if (filtered != nullptr) {
+        *filtered += static_cast<std::uint64_t>(list.end() - end);
+      }
+      list.erase(end, list.end());
+    }
+  }
   // Per-source engines report ties in scan order; normalize each run of
   // equal distances to ascending id so the cursor merge below emits the
   // one total order (distance, id) — and a k boundary inside a tie run
@@ -242,7 +261,9 @@ std::vector<Neighbor> MergeNeighborLists(
 
 std::vector<Neighbor> ShardedIndex::MergeTopK(
     const std::vector<std::vector<Neighbor>>& per_shard, std::size_t k,
-    std::vector<std::vector<Neighbor>> extras) const {
+    std::vector<std::vector<Neighbor>> extras,
+    const std::unordered_set<std::uint32_t>* exclude,
+    std::uint64_t* filtered) const {
   SOFA_CHECK(per_shard.size() == shards_.size());
   std::vector<std::vector<Neighbor>> lists;
   lists.reserve(per_shard.size() + extras.size());
@@ -258,7 +279,7 @@ std::vector<Neighbor> ShardedIndex::MergeTopK(
   for (std::vector<Neighbor>& extra : extras) {
     lists.push_back(std::move(extra));
   }
-  return MergeNeighborLists(std::move(lists), k);
+  return MergeNeighborLists(std::move(lists), k, exclude, filtered);
 }
 
 }  // namespace shard

@@ -32,6 +32,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "core/dataset.h"
@@ -89,8 +90,19 @@ struct ShardPartition {
 /// insert buffer keeps lowest ids). This is the one gather everything
 /// funnels through: shard scatter (via ShardedIndex::MergeTopK) and the
 /// tree-∪-insert-buffer merge of the ingest path.
+///
+/// `exclude`, when given, drops every candidate whose global id is in the
+/// set before the merge — the ingest path's tombstone filter for deleted
+/// rows still physically present in a tree. The caller must have widened
+/// the per-source k by |exclude| (a deleted row can displace at most one
+/// live candidate per source list), so the surviving candidates still
+/// contain each source's true top-k; `filtered`, when non-null, is
+/// incremented by the number of candidates dropped (QueryProfile
+/// accounting).
 std::vector<Neighbor> MergeNeighborLists(
-    std::vector<std::vector<Neighbor>> lists, std::size_t k);
+    std::vector<std::vector<Neighbor>> lists, std::size_t k,
+    const std::unordered_set<std::uint32_t>* exclude = nullptr,
+    std::uint64_t* filtered = nullptr);
 
 class ShardedIndex {
  public:
@@ -145,23 +157,33 @@ class ShardedIndex {
   /// `per_shard[s]` with shard s's exact top-k (shard-local ids) and, when
   /// `profiles` is non-null, `(*profiles)[s]` with shard s's work counters
   /// (each counter lands in exactly one entry — callers merge once).
-  /// Exposed so the serving layer can gather tree answers together with
-  /// insert-buffer answers in a single MergeTopK. Same threading contract
-  /// as SearchKnn.
+  /// `k_extra`, when given (size num_shards), deepens shard s's search to
+  /// k + (*k_extra)[s] — the ingest path's per-shard tombstone widening,
+  /// so the true live top-k survives the merge filter without every
+  /// shard over-fetching by the global tombstone count. Exposed so the
+  /// serving layer can gather tree answers together with insert-buffer
+  /// answers in a single MergeTopK. Same threading contract as
+  /// SearchKnn.
   void ScatterKnn(const float* query, std::size_t k, double epsilon,
                   std::vector<std::vector<Neighbor>>* per_shard,
                   std::vector<index::QueryProfile>* profiles,
-                  std::size_t num_workers = 0, ThreadPool* pool = nullptr) const;
+                  std::size_t num_workers = 0, ThreadPool* pool = nullptr,
+                  const std::vector<std::size_t>* k_extra = nullptr) const;
 
   /// Gathers per-shard answers (ascending, shard-local ids; indexed by
   /// shard) into the exact global top-k with global ids via
   /// MergeNeighborLists (ties: lowest global id first). `extras` are
   /// additional already-global ascending lists merged alongside — the
-  /// ingest path's per-shard insert-buffer answers. Exposed for the
-  /// service's batched scatter, which runs the shard tasks itself.
+  /// ingest path's per-shard insert-buffer answers. `exclude`/`filtered`
+  /// are the tombstone filter and its profile counter, applied after the
+  /// shard-local → global id remap (see MergeNeighborLists for the
+  /// contract). Exposed for the service's batched scatter, which runs the
+  /// shard tasks itself.
   std::vector<Neighbor> MergeTopK(
       const std::vector<std::vector<Neighbor>>& per_shard, std::size_t k,
-      std::vector<std::vector<Neighbor>> extras = {}) const;
+      std::vector<std::vector<Neighbor>> extras = {},
+      const std::unordered_set<std::uint32_t>* exclude = nullptr,
+      std::uint64_t* filtered = nullptr) const;
 
   /// A new generation with shard `shard_id`'s tree rebuilt from its own
   /// rows (same scheme and config); the other shards are shared, not

@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// framing every write-ahead-log record (src/ingest/wal.h). Table-driven,
+// byte-at-a-time: fast enough that WAL appends stay I/O-bound, with no
+// SSE4.2 dependency (the SIMD policy reserves -m flags for the distance
+// kernels).
+
+#ifndef SOFA_UTIL_CRC32_H_
+#define SOFA_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sofa {
+
+/// CRC-32 of `size` bytes at `data`. `seed` chains incremental updates:
+/// Crc32(b, n1+n2) == Crc32(b+n1, n2, Crc32(b, n1)). The empty buffer
+/// with seed 0 hashes to 0.
+std::uint32_t Crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+}  // namespace sofa
+
+#endif  // SOFA_UTIL_CRC32_H_

@@ -1,17 +1,26 @@
-// Tests for the incremental ingest path (insert buffer → shard compaction
-// → republish): the InsertBuffer's exact deterministic flat scan, the
-// tree-∪-buffer merge determinism on cross-source distance ties, the
-// QueryProfile accounting of the sharded batched path (merged counters
-// equal the per-shard + buffer sums exactly once), and the headline
-// exactness invariant — after N inserts, with compactions racing live
-// query traffic, SearchService answers are bit-identical to a
-// from-scratch single-index build over the full base + inserted
-// collection.
+// Tests for the incremental ingest path (insert buffer + tombstones →
+// shard compaction → republish, with a write-ahead log underneath): the
+// InsertBuffer's exact deterministic flat scan and tombstone masking,
+// the tree-∪-buffer merge determinism on cross-source distance ties,
+// the QueryProfile accounting of the sharded paths (merged counters
+// equal the per-shard + buffer sums exactly once, filtered candidates
+// included), the WAL's framing/corruption/rotation/checkpoint edge
+// cases, and the headline exactness invariants — after N inserts and D
+// deletes, with compactions racing live query traffic, SearchService
+// answers are bit-identical to a from-scratch single-index build over
+// base ∪ inserts \ deletes; and after a simulated crash, WAL replay
+// (Compactor::Recover) restores bit-identical answers.
+
+#include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
+#include <cstring>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -20,6 +29,8 @@
 #include "index/tree_index.h"
 #include "ingest/compactor.h"
 #include "ingest/insert_buffer.h"
+#include "ingest/tombstone_set.h"
+#include "ingest/wal.h"
 #include "service/search_service.h"
 #include "service/snapshot.h"
 #include "sfa/mcb.h"
@@ -102,6 +113,77 @@ service::SearchRequest MakeRequest(const Dataset& queries, std::size_t q,
   request.k = k;
   request.collect_profile = profile;
   return request;
+}
+
+// From-scratch oracle over base ∪ inserts \ deleted: a single tree built
+// over the surviving rows, with answers remapped back to the original
+// global ids — what the service must match bit for bit after deletes.
+struct FilteredOracle {
+  Dataset data;
+  std::vector<std::uint32_t> kept;
+  std::unique_ptr<index::TreeIndex> tree;
+
+  FilteredOracle(IngestFixture& fx, const std::vector<std::uint32_t>& deleted)
+      : data(fx.combined.length()) {
+    const std::unordered_set<std::uint32_t> dead(deleted.begin(),
+                                                 deleted.end());
+    for (std::size_t i = 0; i < fx.combined.size(); ++i) {
+      if (dead.count(static_cast<std::uint32_t>(i)) == 0) {
+        data.Append(fx.combined.row(i));
+        kept.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    index::IndexConfig config;
+    config.leaf_capacity = 100;
+    tree = std::make_unique<index::TreeIndex>(&data, fx.scheme.get(), config,
+                                              &fx.pool);
+  }
+
+  std::vector<Neighbor> SearchKnn(const float* query, std::size_t k) const {
+    std::vector<Neighbor> result = tree->SearchKnn(query, k);
+    for (Neighbor& nb : result) {
+      nb.id = kept[nb.id];
+    }
+    return result;
+  }
+};
+
+// Per-test scratch WAL directory under /tmp; removed before and after so
+// reruns never replay a previous run's segments.
+std::string WalTestDir(const std::string& name) {
+  return "/tmp/sofa_wal_" + name + "_" + std::to_string(::getpid());
+}
+
+void RemoveWalDir(const std::string& dir) {
+  for (const std::string& path : WriteAheadLog::ListSegments(dir)) {
+    ::unlink(path.c_str());
+  }
+  ::rmdir(dir.c_str());
+}
+
+// Whole-file byte copy — used to resurrect a truncated segment and
+// simulate a crash between checkpoint write and old-segment unlink.
+std::vector<unsigned char> ReadFileBytes(const std::string& path) {
+  std::vector<unsigned char> bytes;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return bytes;
+  }
+  unsigned char chunk[4096];
+  std::size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<unsigned char>& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), file), bytes.size());
+  std::fclose(file);
 }
 
 // ---------------------------------------------------------- InsertBuffer
@@ -565,6 +647,779 @@ TEST(IngestExactnessTest, HashAssignmentMultiRoundCompaction) {
     }
   }
   EXPECT_GE(compactor.Metrics().compactions, 3u);
+}
+
+// ------------------------------------------------------- tombstone set
+
+TEST(TombstoneSetTest, ViewsAreImmutableSnapshots) {
+  TombstoneSet set;
+  EXPECT_TRUE(set.Add(7));
+  EXPECT_FALSE(set.Add(7));  // second delete of the same id is a no-op
+  const auto before = set.view();
+  EXPECT_EQ(before->count(7u), 1u);
+  EXPECT_TRUE(set.Add(9));
+  set.Erase({7});
+  // The earlier snapshot is frozen; a fresh one sees the mutations.
+  EXPECT_EQ(before->count(7u), 1u);
+  EXPECT_EQ(before->count(9u), 0u);
+  const auto after = set.view();
+  EXPECT_EQ(after->count(7u), 0u);
+  EXPECT_EQ(after->count(9u), 1u);
+  EXPECT_EQ(set.size(), 1u);
+  set.ResetTo({1, 2, 3});
+  EXPECT_EQ(set.SortedIds(), (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+TEST(InsertBufferTest, SearchAndCopyRangeMaskExcludedIds) {
+  const std::size_t length = 32;
+  const Dataset rows = Walk(12, length, 301);
+  InsertBuffer buffer(length, 4);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    buffer.Append(rows.row(i), static_cast<std::uint32_t>(i));
+  }
+  const std::unordered_set<std::uint32_t> dead = {3, 7};
+  // Query = row 3 exactly: without masking it wins at distance 0; with
+  // masking it must vanish and the scan count must drop by |dead|.
+  std::vector<Neighbor> found;
+  const std::size_t scanned =
+      buffer.SearchKnn(rows.row(3), rows.size(), 0, &found, &dead);
+  EXPECT_EQ(scanned, rows.size() - dead.size());
+  for (const Neighbor& nb : found) {
+    EXPECT_NE(nb.id, 3u);
+    EXPECT_NE(nb.id, 7u);
+  }
+  // CopyRange drops the same ids and reports them.
+  Dataset copied(length);
+  std::vector<std::uint32_t> ids;
+  std::vector<std::uint32_t> excluded;
+  buffer.CopyRange(0, rows.size(), &copied, &ids, &dead, &excluded);
+  EXPECT_EQ(copied.size(), rows.size() - dead.size());
+  EXPECT_EQ(ids.size(), copied.size());
+  ASSERT_EQ(excluded.size(), dead.size());
+  EXPECT_EQ(excluded[0], 3u);
+  EXPECT_EQ(excluded[1], 7u);
+  for (const std::uint32_t id : ids) {
+    EXPECT_EQ(dead.count(id), 0u);
+  }
+}
+
+// ------------------------------------------------------------- deletes
+
+TEST(IngestDeleteTest, StatusTransitions) {
+  IngestFixture fx(100, 0, 32, 2, shard::ShardAssignment::kContiguous, 303,
+                   /*threads=*/2);
+  service::SearchService svc(service::WrapShardedIndex(fx.sharded), &fx.pool);
+  IngestConfig config;
+  config.auto_compact = false;
+  Compactor compactor(&svc, fx.sharded, config);
+  EXPECT_EQ(compactor.Delete(100), DeleteStatus::kNotFound);  // never existed
+  EXPECT_EQ(compactor.Delete(42), DeleteStatus::kOk);
+  EXPECT_EQ(compactor.Delete(42), DeleteStatus::kAlreadyDeleted);
+  const IngestMetrics metrics = compactor.Metrics();
+  EXPECT_EQ(metrics.deleted, 1u);
+  EXPECT_EQ(metrics.tombstones, 1u);
+}
+
+// Deletes of tree rows (base) and of still-buffered rows both vanish
+// from answers immediately, in both scheduling modes, and answers stay
+// bit-identical to the from-scratch filtered oracle before and after the
+// compactions that physically remove the rows.
+TEST(IngestDeleteTest, DeletesAnswerBitExactAgainstFilteredOracle) {
+  for (const shard::ShardAssignment assignment :
+       {shard::ShardAssignment::kContiguous, shard::ShardAssignment::kHash}) {
+    IngestFixture fx(700, 120, 64, 3, assignment, 307, /*threads=*/2);
+    // Delete a spread of base rows (tree-resident) and inserted rows
+    // (buffer-resident at delete time).
+    std::vector<std::uint32_t> deleted;
+    for (std::uint32_t id = 0; id < 700; id += 53) {
+      deleted.push_back(id);
+    }
+    for (std::uint32_t i = 0; i < 120; i += 11) {
+      deleted.push_back(700 + i);
+    }
+    FilteredOracle oracle(fx, deleted);
+
+    service::SearchService svc(service::WrapShardedIndex(fx.sharded),
+                               &fx.pool);
+    IngestConfig config;
+    config.auto_compact = false;
+    Compactor compactor(&svc, fx.sharded, config);
+    for (std::size_t i = 0; i < fx.inserts.size(); ++i) {
+      ASSERT_EQ(compactor.Insert(fx.inserts.row(i), fx.inserts.length()),
+                InsertStatus::kOk);
+    }
+    for (const std::uint32_t id : deleted) {
+      ASSERT_EQ(compactor.Delete(id), DeleteStatus::kOk);
+    }
+    EXPECT_EQ(compactor.Metrics().deleted, deleted.size());
+
+    const Dataset queries = Walk(8, 64, 308);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const service::SearchResponse response =
+          svc.Search(MakeRequest(queries, q, 10));
+      ASSERT_EQ(response.status, service::RequestStatus::kOk);
+      EXPECT_TRUE(BitIdentical(response.neighbors,
+                               oracle.SearchKnn(queries.row(q), 10)))
+          << "pre-compaction, assignment " << static_cast<int>(assignment)
+          << " query " << q;
+    }
+    // A deleted row queried by its own values must not come back even at
+    // rank 1 (its distance would be 0 — the hardest resurrection case).
+    const service::SearchResponse self =
+        svc.Search(MakeRequest(fx.base, deleted[0], 1));
+    ASSERT_EQ(self.status, service::RequestStatus::kOk);
+    ASSERT_EQ(self.neighbors.size(), 1u);
+    EXPECT_NE(self.neighbors[0].id, deleted[0]);
+
+    // Compact everything; deleted rows are physically gone, answers
+    // unchanged.
+    compactor.Flush();
+    EXPECT_EQ(compactor.Metrics().pending, 0u);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const service::SearchResponse response =
+          svc.Search(MakeRequest(queries, q, 10));
+      ASSERT_EQ(response.status, service::RequestStatus::kOk);
+      EXPECT_TRUE(BitIdentical(response.neighbors,
+                               oracle.SearchKnn(queries.row(q), 10)))
+          << "post-compaction, assignment " << static_cast<int>(assignment)
+          << " query " << q;
+    }
+  }
+}
+
+// Regression (delete-then-compact ordering): a row that only ever lived
+// in an un-compacted InsertBuffer and was deleted there must not
+// resurrect when its shard compacts — the rebuild excludes it, and its
+// tombstone is purged once the pre-compaction generations retire,
+// without ever letting the row back in.
+TEST(IngestDeleteTest, BufferedDeleteDoesNotResurrectAfterCompaction) {
+  IngestFixture fx(80, 6, 32, 2, shard::ShardAssignment::kContiguous, 311,
+                   /*threads=*/2);
+  service::SearchService svc(service::WrapShardedIndex(fx.sharded), &fx.pool);
+  IngestConfig config;
+  config.auto_compact = false;
+  Compactor compactor(&svc, fx.sharded, config);
+  for (std::size_t i = 0; i < fx.inserts.size(); ++i) {
+    ASSERT_EQ(compactor.Insert(fx.inserts.row(i), fx.inserts.length()),
+              InsertStatus::kOk);
+  }
+  // Row 82 exists only in the buffer; delete it, then fold the buffer.
+  const std::uint32_t victim = 82;
+  ASSERT_EQ(compactor.Delete(victim), DeleteStatus::kOk);
+  EXPECT_EQ(compactor.Metrics().tombstones, 1u);
+  compactor.Flush();
+
+  // Query the victim's own values with k covering the whole collection:
+  // it must be absent outright, not merely out-ranked.
+  const std::size_t victim_row = victim - fx.base.size();
+  service::SearchResponse response = svc.Search(
+      MakeRequest(fx.inserts, victim_row, fx.base.size() + fx.inserts.size()));
+  ASSERT_EQ(response.status, service::RequestStatus::kOk);
+  EXPECT_EQ(response.neighbors.size(),
+            fx.base.size() + fx.inserts.size() - 1);
+  for (const Neighbor& nb : response.neighbors) {
+    EXPECT_NE(nb.id, victim);
+  }
+
+  // Another mutation round forces a publish whose retirement sweep can
+  // purge the folded tombstone (no old generation is in flight here) —
+  // and the row must stay gone afterwards.
+  ASSERT_EQ(compactor.Insert(fx.inserts.row(0), fx.inserts.length()),
+            InsertStatus::kOk);
+  compactor.Flush();
+  EXPECT_EQ(compactor.Metrics().tombstones, 0u);
+  response = svc.Search(MakeRequest(fx.inserts, victim_row, 5));
+  ASSERT_EQ(response.status, service::RequestStatus::kOk);
+  for (const Neighbor& nb : response.neighbors) {
+    EXPECT_NE(nb.id, victim);
+  }
+
+  // Re-deleting an id whose tombstone was already purged must still
+  // report kAlreadyDeleted (not kOk), and must not install a fresh
+  // never-purgeable tombstone.
+  EXPECT_EQ(compactor.Delete(victim), DeleteStatus::kAlreadyDeleted);
+  EXPECT_EQ(compactor.Metrics().tombstones, 0u);
+  EXPECT_EQ(compactor.Metrics().deleted, 1u);
+}
+
+// A delete-only workload (no inserts at all) must still trigger
+// compactions: the rebuilt shard sheds the deleted rows, the tombstones
+// are purged, and the merge's k-widening returns to zero — instead of
+// the tombstone set (and every query's per-shard k) growing without
+// bound.
+TEST(IngestDeleteTest, DeleteOnlyWorkloadCompactsAndPurges) {
+  IngestFixture fx(300, 0, 32, 2, shard::ShardAssignment::kContiguous, 331,
+                   /*threads=*/2);
+  service::SearchService svc(service::WrapShardedIndex(fx.sharded), &fx.pool);
+  IngestConfig config;
+  config.compact_threshold = 32;  // auto compaction, delete-driven
+  Compactor compactor(&svc, fx.sharded, config);
+  std::vector<std::uint32_t> deleted;
+  for (std::uint32_t id = 0; id < 40; ++id) {  // all route to shard 0
+    deleted.push_back(id);
+    ASSERT_EQ(compactor.Delete(id), DeleteStatus::kOk);
+  }
+  // Flush drains tombstone work too; with no queries in flight the
+  // retirement sweep at the final publish purges everything folded.
+  compactor.Flush();
+  const IngestMetrics metrics = compactor.Metrics();
+  EXPECT_GE(metrics.compactions, 1u);
+  EXPECT_EQ(metrics.tombstones, 0u);
+  EXPECT_EQ(metrics.deleted, 40u);
+  // Physically gone, not merely masked — and answers match the oracle.
+  EXPECT_EQ(compactor.current()->size(), 300u - 40u);
+  FilteredOracle oracle(fx, deleted);
+  const Dataset queries = Walk(5, 32, 332);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const service::SearchResponse response =
+        svc.Search(MakeRequest(queries, q, 8));
+    ASSERT_EQ(response.status, service::RequestStatus::kOk);
+    EXPECT_TRUE(BitIdentical(response.neighbors,
+                             oracle.SearchKnn(queries.row(q), 8)));
+  }
+}
+
+// Filtered-candidate accounting on the batched (throughput) path: each
+// shard's tree is searched k + (tombstones routed to that shard) deep —
+// per-shard widening, not the global count — masked buffer rows are not
+// counted as scanned, and candidates_filtered equals exactly the number
+// of tombstoned ids the widened tree answers surfaced.
+TEST(IngestDeleteTest, ProfileAccountsFilteredCandidates) {
+  IngestFixture fx(900, 50, 96, 3, shard::ShardAssignment::kContiguous, 313);
+  service::ServiceConfig service_config;
+  service_config.latency_mode_threshold = 0;  // force the flattened scatter
+  service_config.start_paused = true;
+  service::SearchService svc(service::WrapShardedIndex(fx.sharded), &fx.pool,
+                             service_config);
+  IngestConfig config;
+  config.auto_compact = false;
+  Compactor compactor(&svc, fx.sharded, config);
+  for (std::size_t i = 0; i < fx.inserts.size(); ++i) {
+    ASSERT_EQ(compactor.Insert(fx.inserts.row(i), fx.inserts.length()),
+              InsertStatus::kOk);
+  }
+  std::vector<std::uint32_t> deleted;
+  for (std::uint32_t id = 0; id < 900; id += 97) {
+    deleted.push_back(id);  // tree-resident
+  }
+  deleted.push_back(905);  // buffer-resident
+  deleted.push_back(931);
+  for (const std::uint32_t id : deleted) {
+    ASSERT_EQ(compactor.Delete(id), DeleteStatus::kOk);
+  }
+  ASSERT_EQ(compactor.Metrics().tombstones, deleted.size());
+  const std::unordered_set<std::uint32_t> dead(deleted.begin(),
+                                               deleted.end());
+  // The per-shard widening the service applies: tombstones routed to
+  // each shard (none are purged here — no compactions ran).
+  std::vector<std::size_t> shard_widening(3, 0);
+  for (const std::uint32_t id : deleted) {
+    ++shard_widening[compactor.RouteShard(id)];
+  }
+
+  const Dataset queries = Walk(6, 96, 314);
+  const std::size_t k = 7;
+  std::vector<std::future<service::SearchResponse>> futures;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    futures.push_back(svc.Submit(MakeRequest(queries, q, k, true)));
+  }
+  svc.Resume();
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const service::SearchResponse response = futures[q].get();
+    ASSERT_EQ(response.status, service::RequestStatus::kOk);
+    index::QueryProfile expected;
+    std::uint64_t expected_filtered = 0;
+    const auto current = compactor.current();
+    for (std::size_t s = 0; s < current->num_shards(); ++s) {
+      const index::QueryEngine engine(current->shard(s).tree.get());
+      const std::vector<Neighbor> shard_topk =
+          engine.Search(queries.row(q), k + shard_widening[s], 0.0, &expected,
+                        /*num_threads=*/1);
+      for (const Neighbor& nb : shard_topk) {
+        expected_filtered +=
+            dead.count((*current->shard(s).global_ids)[nb.id]) != 0 ? 1 : 0;
+      }
+    }
+    // Buffer scan: only live buffered rows cost a distance evaluation.
+    expected.series_ed_computed += fx.inserts.size() - 2;
+    EXPECT_EQ(response.profile.series_ed_computed,
+              expected.series_ed_computed)
+        << "query " << q;
+    EXPECT_EQ(response.profile.nodes_visited, expected.nodes_visited);
+    EXPECT_EQ(response.profile.series_lbd_checked,
+              expected.series_lbd_checked);
+    EXPECT_EQ(response.profile.candidates_filtered, expected_filtered)
+        << "query " << q;
+  }
+}
+
+// The deletes acceptance soak: inserts and deletes stream in while client
+// threads query and the compactor rebuilds/republishes under the
+// traffic. Once the last mutation lands, every answer — including those
+// racing the remaining compactions and the final flush — must be
+// bit-identical to the from-scratch oracle over base ∪ inserts \ deletes.
+TEST(IngestExactnessTest, ExactUnderTrafficCompactionAndDeletes) {
+  IngestFixture fx(1000, 400, 64, 3, shard::ShardAssignment::kContiguous,
+                   317);
+  std::vector<std::uint32_t> delete_base;
+  for (std::uint32_t id = 0; id < 1000; id += 23) {
+    delete_base.push_back(id);
+  }
+  std::vector<std::uint32_t> delete_inserted;
+  for (std::uint32_t i = 0; i < 400; i += 9) {
+    delete_inserted.push_back(1000 + i);
+  }
+  std::vector<std::uint32_t> deleted = delete_base;
+  deleted.insert(deleted.end(), delete_inserted.begin(),
+                 delete_inserted.end());
+  FilteredOracle oracle(fx, deleted);
+
+  service::ServiceConfig service_config;
+  service_config.latency_mode_threshold = 2;  // mixed scheduling under load
+  service_config.max_batch = 8;
+  service::SearchService svc(service::WrapShardedIndex(fx.sharded), &fx.pool,
+                             service_config);
+  IngestConfig config;
+  config.compact_threshold = 64;
+  config.max_pending = 128;  // throttle the mutator behind the compactor
+  Compactor compactor(&svc, fx.sharded, config);
+
+  const Dataset queries = Walk(16, 64, 318);
+  std::vector<std::vector<Neighbor>> expected;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    expected.push_back(oracle.SearchKnn(queries.row(q), 10));
+  }
+
+  std::atomic<bool> all_mutated(false);
+  std::atomic<std::size_t> failures(0);
+  std::thread mutator([&] {
+    // Base-row deletes interleave with the insert stream (deleting rows
+    // that sit in trees while those trees are being rebuilt); deletes of
+    // inserted rows run after their inserts.
+    std::size_t base_next = 0;
+    for (std::size_t i = 0; i < fx.inserts.size(); ++i) {
+      while (compactor.Insert(fx.inserts.row(i), fx.inserts.length()) ==
+             InsertStatus::kRejected) {
+        std::this_thread::yield();
+      }
+      if (i % 3 == 0 && base_next < delete_base.size()) {
+        if (compactor.Delete(delete_base[base_next++]) != DeleteStatus::kOk) {
+          failures.fetch_add(1);
+        }
+      }
+    }
+    while (base_next < delete_base.size()) {
+      if (compactor.Delete(delete_base[base_next++]) != DeleteStatus::kOk) {
+        failures.fetch_add(1);
+      }
+    }
+    for (const std::uint32_t id : delete_inserted) {
+      if (compactor.Delete(id) != DeleteStatus::kOk) {
+        failures.fetch_add(1);
+      }
+    }
+    all_mutated.store(true);
+  });
+
+  constexpr std::size_t kClients = 2;
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::size_t q = c;
+      // Phase 1: mutations still streaming — answers are exact over a
+      // prefix of them; assert they complete OK.
+      while (!all_mutated.load()) {
+        const service::SearchResponse response =
+            svc.Search(MakeRequest(queries, q % queries.size(), 10));
+        if (response.status != service::RequestStatus::kOk) {
+          failures.fetch_add(1);
+        }
+        q += kClients;
+      }
+      // Phase 2: every mutation visible; compactions may still race —
+      // answers must already match the filtered oracle bit for bit.
+      for (std::size_t round = 0; round < 30; ++round) {
+        const std::size_t idx = (q + round * kClients) % queries.size();
+        const service::SearchResponse response =
+            svc.Search(MakeRequest(queries, idx, 10));
+        if (response.status != service::RequestStatus::kOk ||
+            !BitIdentical(response.neighbors, expected[idx])) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  mutator.join();
+  compactor.Flush();  // compaction-under-traffic with the phase-2 clients
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(compactor.Metrics().pending, 0u);
+  EXPECT_EQ(compactor.Metrics().inserted, fx.inserts.size());
+  EXPECT_EQ(compactor.Metrics().deleted, deleted.size());
+  EXPECT_GE(compactor.Metrics().compactions, 3u);
+
+  // Steady state after the flush: still bit-identical.
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const service::SearchResponse response =
+        svc.Search(MakeRequest(queries, q, 10));
+    ASSERT_EQ(response.status, service::RequestStatus::kOk);
+    EXPECT_TRUE(BitIdentical(response.neighbors, expected[q]))
+        << "query " << q;
+  }
+}
+
+// ------------------------------------------------------ write-ahead log
+
+TEST(WalTest, RoundTripAcrossRotation) {
+  const std::string dir = WalTestDir("roundtrip");
+  RemoveWalDir(dir);
+  const std::size_t length = 8;
+  const Dataset rows = Walk(10, length, 401);
+  {
+    WalConfig config;
+    config.segment_bytes = 128;  // a few records per segment
+    config.sync_every = 3;
+    auto wal = WriteAheadLog::Open(dir, length, config);
+    ASSERT_NE(wal, nullptr);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_TRUE(wal->AppendInsert(static_cast<std::uint32_t>(100 + i),
+                                    rows.row(i)));
+    }
+    ASSERT_TRUE(wal->AppendDelete(103));
+    ASSERT_TRUE(wal->Sync());
+    EXPECT_EQ(wal->unsynced_records(), 0u);
+    EXPECT_GT(wal->segment_seq(), 0u);  // rotation happened
+  }
+  std::vector<WalRecord> records;
+  const WalReplayStats stats = WriteAheadLog::Replay(
+      dir, length, [&](const WalRecord& r) { records.push_back(r); });
+  EXPECT_FALSE(stats.tail_truncated);
+  EXPECT_EQ(stats.inserts, rows.size());
+  EXPECT_EQ(stats.deletes, 1u);
+  EXPECT_GT(stats.segments, 1u);
+  ASSERT_EQ(records.size(), rows.size() + 1);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(records[i].type, WalRecordType::kInsert);
+    EXPECT_EQ(records[i].id, 100 + i);
+    ASSERT_EQ(records[i].row.size(), length);
+    EXPECT_EQ(std::memcmp(records[i].row.data(), rows.row(i),
+                          length * sizeof(float)),
+              0);  // payload survives byte-exact
+  }
+  EXPECT_EQ(records.back().type, WalRecordType::kDelete);
+  EXPECT_EQ(records.back().id, 103u);
+  RemoveWalDir(dir);
+}
+
+TEST(WalTest, TornFinalRecordStopsCleanly) {
+  const std::string dir = WalTestDir("torn");
+  RemoveWalDir(dir);
+  const std::size_t length = 16;
+  const Dataset rows = Walk(4, length, 403);
+  {
+    auto wal = WriteAheadLog::Open(dir, length);
+    ASSERT_NE(wal, nullptr);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_TRUE(wal->AppendInsert(static_cast<std::uint32_t>(i),
+                                    rows.row(i)));
+    }
+  }
+  // Cut the last record mid-frame: a crash between the frame header and
+  // the payload hitting disk.
+  const std::vector<std::string> segments = WriteAheadLog::ListSegments(dir);
+  ASSERT_EQ(segments.size(), 1u);
+  std::vector<unsigned char> bytes = ReadFileBytes(segments[0]);
+  bytes.resize(bytes.size() - length * sizeof(float) / 2);
+  WriteFileBytes(segments[0], bytes);
+
+  std::vector<WalRecord> records;
+  const WalReplayStats stats = WriteAheadLog::Replay(
+      dir, length, [&](const WalRecord& r) { records.push_back(r); });
+  EXPECT_TRUE(stats.tail_truncated);
+  ASSERT_EQ(records.size(), rows.size() - 1);  // last valid record kept
+  EXPECT_EQ(records.back().id, rows.size() - 2);
+  RemoveWalDir(dir);
+}
+
+TEST(WalTest, CrcCorruptionDetected) {
+  const std::string dir = WalTestDir("crc");
+  RemoveWalDir(dir);
+  const std::size_t length = 12;
+  const Dataset rows = Walk(3, length, 405);
+  {
+    auto wal = WriteAheadLog::Open(dir, length);
+    ASSERT_NE(wal, nullptr);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_TRUE(wal->AppendInsert(static_cast<std::uint32_t>(i),
+                                    rows.row(i)));
+    }
+  }
+  const std::vector<std::string> segments = WriteAheadLog::ListSegments(dir);
+  ASSERT_EQ(segments.size(), 1u);
+  std::vector<unsigned char> bytes = ReadFileBytes(segments[0]);
+  bytes[bytes.size() - 1] ^= 0xFF;  // flip a bit inside the last payload
+  WriteFileBytes(segments[0], bytes);
+
+  std::vector<WalRecord> records;
+  const WalReplayStats stats = WriteAheadLog::Replay(
+      dir, length, [&](const WalRecord& r) { records.push_back(r); });
+  EXPECT_TRUE(stats.tail_truncated);
+  EXPECT_EQ(records.size(), rows.size() - 1);  // corrupt record dropped
+  RemoveWalDir(dir);
+}
+
+TEST(WalTest, EmptySegmentsReplayClean) {
+  const std::string dir = WalTestDir("empty");
+  RemoveWalDir(dir);
+  const std::size_t length = 8;
+  // Two opens, zero records: recovery over header-only segments.
+  { ASSERT_NE(WriteAheadLog::Open(dir, length), nullptr); }
+  { ASSERT_NE(WriteAheadLog::Open(dir, length), nullptr); }
+  EXPECT_EQ(WriteAheadLog::ListSegments(dir).size(), 2u);
+  std::size_t records = 0;
+  const WalReplayStats stats = WriteAheadLog::Replay(
+      dir, length, [&](const WalRecord&) { ++records; });
+  EXPECT_FALSE(stats.tail_truncated);
+  EXPECT_EQ(stats.segments, 2u);
+  EXPECT_EQ(records, 0u);
+  RemoveWalDir(dir);
+}
+
+TEST(WalTest, CheckpointTruncatesAndResetsReplay) {
+  const std::string dir = WalTestDir("checkpoint");
+  RemoveWalDir(dir);
+  const std::size_t length = 8;
+  const Dataset rows = Walk(6, length, 407);
+  auto wal = WriteAheadLog::Open(dir, length);
+  ASSERT_NE(wal, nullptr);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        wal->AppendInsert(static_cast<std::uint32_t>(i), rows.row(i)));
+  }
+  ASSERT_TRUE(wal->Sync());
+  // Keep a copy of the pre-checkpoint segment so we can simulate a crash
+  // between the checkpoint write and the old-segment unlink.
+  const std::vector<std::string> before = WriteAheadLog::ListSegments(dir);
+  ASSERT_EQ(before.size(), 1u);
+  const std::vector<unsigned char> stale = ReadFileBytes(before[0]);
+
+  ASSERT_TRUE(wal->AppendCheckpoint(/*next_id=*/4, /*tombstones=*/{1, 3}));
+  // Truncation: only the checkpoint-headed segment survives.
+  const std::vector<std::string> after = WriteAheadLog::ListSegments(dir);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_NE(after[0], before[0]);
+  ASSERT_TRUE(wal->AppendInsert(4, rows.row(4)));
+  ASSERT_TRUE(wal->AppendInsert(5, rows.row(5)));
+  wal.reset();
+
+  // Replay of the truncated log: checkpoint first, then the tail.
+  std::vector<WalRecord> records;
+  WalReplayStats stats = WriteAheadLog::Replay(
+      dir, length, [&](const WalRecord& r) { records.push_back(r); });
+  EXPECT_FALSE(stats.tail_truncated);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].type, WalRecordType::kCheckpoint);
+  EXPECT_EQ(records[0].next_id, 4u);
+  EXPECT_EQ(records[0].tombstones, (std::vector<std::uint32_t>{1, 3}));
+  EXPECT_EQ(records[1].id, 4u);
+  EXPECT_EQ(records[2].id, 5u);
+
+  // Crash-before-unlink: resurrect the stale prefix segment. Replay now
+  // sees the old inserts first, then the checkpoint — consumers that
+  // reset at checkpoints (Compactor::Recover) end in the identical
+  // state, which is what makes checkpoint-truncation idempotent.
+  WriteFileBytes(before[0], stale);
+  records.clear();
+  stats = WriteAheadLog::Replay(
+      dir, length, [&](const WalRecord& r) { records.push_back(r); });
+  EXPECT_FALSE(stats.tail_truncated);
+  ASSERT_EQ(records.size(), 7u);  // 4 stale inserts + checkpoint + 2 tail
+  EXPECT_EQ(records[4].type, WalRecordType::kCheckpoint);
+  RemoveWalDir(dir);
+}
+
+// ------------------------------------------------------------- recovery
+
+// The durability acceptance test: a mid-stream "crash" (Compactor and
+// service destroyed with rows still buffered and tombstones live, trees
+// lost) followed by reopen + Recover() yields answers bit-identical to
+// both the uninterrupted run and the from-scratch filtered oracle —
+// with query traffic racing the replay (TSan-covered via the
+// concurrency label).
+TEST(IngestRecoveryTest, CrashReplayBitIdentical) {
+  const std::string dir = WalTestDir("recover");
+  RemoveWalDir(dir);
+  IngestFixture fx(600, 200, 64, 2, shard::ShardAssignment::kContiguous, 411,
+                   /*threads=*/2);
+  std::vector<std::uint32_t> deleted;
+  for (std::uint32_t id = 5; id < 600; id += 61) {
+    deleted.push_back(id);  // base rows
+  }
+  for (std::uint32_t i = 0; i < 200; i += 17) {
+    deleted.push_back(600 + i);  // inserted rows
+  }
+  FilteredOracle oracle(fx, deleted);
+  const Dataset queries = Walk(8, 64, 412);
+
+  IngestConfig config;
+  config.wal_dir = dir;
+  config.wal.sync_every = 16;      // batched fsync on the hot path
+  config.compact_threshold = 64;   // some rows compact, some stay buffered
+  std::vector<std::vector<Neighbor>> pre_crash;
+  {
+    service::SearchService svc(service::WrapShardedIndex(fx.sharded),
+                               &fx.pool);
+    Compactor compactor(&svc, fx.sharded, config);
+    const RecoverStats fresh = compactor.Recover();  // empty log: no-op
+    EXPECT_TRUE(fresh.ok);
+    EXPECT_EQ(fresh.inserts_applied, 0u);
+    for (std::size_t i = 0; i < fx.inserts.size(); ++i) {
+      while (compactor.Insert(fx.inserts.row(i), fx.inserts.length()) ==
+             InsertStatus::kRejected) {
+        std::this_thread::yield();
+      }
+    }
+    for (const std::uint32_t id : deleted) {
+      ASSERT_EQ(compactor.Delete(id), DeleteStatus::kOk);
+    }
+    // Deliberately no Flush: the crash point leaves a mix of compacted
+    // shards, buffered rows and un-purged tombstones.
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const service::SearchResponse response =
+          svc.Search(MakeRequest(queries, q, 10));
+      ASSERT_EQ(response.status, service::RequestStatus::kOk);
+      pre_crash.push_back(response.neighbors);
+      EXPECT_TRUE(BitIdentical(pre_crash[q],
+                               oracle.SearchKnn(queries.row(q), 10)));
+    }
+  }  // "crash": trees and buffers gone; the WAL is all that survives
+
+  {
+    service::SearchService svc(service::WrapShardedIndex(fx.sharded),
+                               &fx.pool);
+    Compactor compactor(&svc, fx.sharded, config);
+    // Traffic racing the replay: answers during recovery are exact over
+    // the prefix of mutations applied so far and must complete OK.
+    std::atomic<bool> recovering(true);
+    std::thread client([&] {
+      std::size_t q = 0;
+      while (recovering.load()) {
+        const service::SearchResponse response =
+            svc.Search(MakeRequest(queries, q++ % queries.size(), 10));
+        EXPECT_EQ(response.status, service::RequestStatus::kOk);
+      }
+    });
+    const RecoverStats stats = compactor.Recover();
+    recovering.store(false);
+    client.join();
+    EXPECT_TRUE(stats.ok);
+    EXPECT_FALSE(stats.tail_truncated);
+    EXPECT_EQ(stats.inserts_applied, fx.inserts.size());
+    EXPECT_EQ(stats.deletes_applied, deleted.size());
+    EXPECT_EQ(compactor.Metrics().inserted, fx.inserts.size());
+    EXPECT_EQ(compactor.Metrics().deleted, deleted.size());
+
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const service::SearchResponse response =
+          svc.Search(MakeRequest(queries, q, 10));
+      ASSERT_EQ(response.status, service::RequestStatus::kOk);
+      EXPECT_TRUE(BitIdentical(response.neighbors, pre_crash[q]))
+          << "recovered answer differs from pre-crash, query " << q;
+    }
+    // Compactions after recovery keep the invariant.
+    compactor.Flush();
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const service::SearchResponse response =
+          svc.Search(MakeRequest(queries, q, 10));
+      ASSERT_EQ(response.status, service::RequestStatus::kOk);
+      EXPECT_TRUE(BitIdentical(response.neighbors,
+                               oracle.SearchKnn(queries.row(q), 10)));
+    }
+  }
+  RemoveWalDir(dir);
+}
+
+// Checkpoint → truncate → more mutations → crash → Recover: replay
+// starts from the checkpoint state (tombstones restored, log prefix
+// gone) and applies only the tail — and doing so twice (the stale-prefix
+// case is covered at the WAL level) ends in the same state.
+TEST(IngestRecoveryTest, CheckpointTruncationLeavesReplayIdempotent) {
+  const std::string dir = WalTestDir("cp_recover");
+  RemoveWalDir(dir);
+  IngestFixture fx(300, 0, 32, 2, shard::ShardAssignment::kContiguous, 417,
+                   /*threads=*/2);
+  std::vector<std::uint32_t> first_deletes = {3, 250, 77};
+  std::vector<std::uint32_t> second_deletes = {10, 120};
+  IngestConfig config;
+  config.wal_dir = dir;
+  config.auto_compact = false;
+  {
+    service::SearchService svc(service::WrapShardedIndex(fx.sharded),
+                               &fx.pool);
+    Compactor compactor(&svc, fx.sharded, config);
+    for (const std::uint32_t id : first_deletes) {
+      ASSERT_EQ(compactor.Delete(id), DeleteStatus::kOk);
+    }
+    // The caller's durable store here is the unchanged base collection
+    // (no inserts happened), so checkpointing is sound: rows [0, 300)
+    // are recoverable without the log, tombstones ride in the record.
+    ASSERT_TRUE(compactor.Checkpoint());
+    EXPECT_EQ(WriteAheadLog::ListSegments(dir).size(), 1u);
+    for (const std::uint32_t id : second_deletes) {
+      ASSERT_EQ(compactor.Delete(id), DeleteStatus::kOk);
+    }
+  }
+  std::vector<std::uint32_t> all_deleted = first_deletes;
+  all_deleted.insert(all_deleted.end(), second_deletes.begin(),
+                     second_deletes.end());
+  FilteredOracle oracle(fx, all_deleted);
+  const Dataset queries = Walk(5, 32, 418);
+  {
+    service::SearchService svc(service::WrapShardedIndex(fx.sharded),
+                               &fx.pool);
+    Compactor compactor(&svc, fx.sharded, config);
+    const RecoverStats stats = compactor.Recover();
+    EXPECT_TRUE(stats.ok);
+    EXPECT_EQ(stats.checkpoints, 1u);
+    EXPECT_EQ(compactor.Metrics().tombstones, all_deleted.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const service::SearchResponse response =
+          svc.Search(MakeRequest(queries, q, 8));
+      ASSERT_EQ(response.status, service::RequestStatus::kOk);
+      EXPECT_TRUE(BitIdentical(response.neighbors,
+                               oracle.SearchKnn(queries.row(q), 8)));
+    }
+  }
+  RemoveWalDir(dir);
+}
+
+// A log that does not belong to the supplied base (its first insert id
+// leaves a gap) is refused instead of silently corrupting the state.
+TEST(IngestRecoveryTest, RecoverRejectsForeignLog) {
+  const std::string dir = WalTestDir("foreign");
+  RemoveWalDir(dir);
+  const std::size_t length = 32;
+  const Dataset rows = Walk(2, length, 421);
+  {
+    auto wal = WriteAheadLog::Open(dir, length);
+    ASSERT_NE(wal, nullptr);
+    // Base below has 120 rows; id 500 leaves a gap of missing records.
+    ASSERT_TRUE(wal->AppendInsert(500, rows.row(0)));
+  }
+  IngestFixture fx(120, 0, length, 2, shard::ShardAssignment::kContiguous,
+                   422, /*threads=*/2);
+  service::SearchService svc(service::WrapShardedIndex(fx.sharded), &fx.pool);
+  IngestConfig config;
+  config.wal_dir = dir;
+  config.auto_compact = false;
+  Compactor compactor(&svc, fx.sharded, config);
+  const RecoverStats stats = compactor.Recover();
+  EXPECT_FALSE(stats.ok);
+  EXPECT_EQ(stats.inserts_applied, 0u);
+  EXPECT_EQ(compactor.Metrics().inserted, 0u);
+  RemoveWalDir(dir);
 }
 
 }  // namespace

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Fails when any intra-repo markdown link in README.md or docs/*.md
+# points at a file that does not exist. External links (http/https/
+# mailto) and pure in-page anchors (#...) are skipped; a link's own
+# anchor suffix (FILE.md#section) is stripped before the existence
+# check. Run from anywhere; paths resolve relative to the linking file,
+# with the repo root taken as the directory above this script.
+#
+# CI runs this as the `docs` job; locally it is also registered as the
+# `docs_links` ctest (label: unit).
+
+set -u
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+broken="$(
+  for md in "$root/README.md" "$root"/docs/*.md; do
+    [ -e "$md" ] || continue
+    dir="$(dirname "$md")"
+    # Markdown inline links: the (...) target of every [...](...).
+    # Image links ![...](...) match too, which is what we want.
+    grep -o '\[[^]]*\]([^)]*)' "$md" 2>/dev/null |
+      sed 's/.*(\(.*\))/\1/' |
+      while IFS= read -r target; do
+        case "$target" in
+          http://*|https://*|mailto:*|'#'*) continue ;;
+        esac
+        path="${target%%#*}"          # strip any anchor suffix
+        [ -z "$path" ] && continue
+        resolved="$(realpath -m "$dir/$path")"
+        case "$resolved" in
+          "$root"/*) ;;  # intra-repo: must exist
+          *) continue ;; # escapes the repo (e.g. GitHub badge URLs)
+        esac
+        if [ ! -e "$resolved" ]; then
+          echo "BROKEN: ${md#"$root"/} -> $target"
+        fi
+      done
+  done
+)"
+
+if [ -n "$broken" ]; then
+  echo "$broken"
+  echo "docs link check FAILED"
+  exit 1
+fi
+echo "docs link check OK"
