@@ -27,16 +27,24 @@
 // setting — the knobs trade throughput against itself, never against
 // correctness.
 //
+// With --persist-dir additionally set (WAL runs only), every compaction
+// also persists the published generation to a GenerationStore and
+// truncates the WAL to the tail — the fully durable deployment. The
+// delta against the WAL-only rows is the price of crash-consistent
+// checkpointing (slice writing is O(changed shard) via hardlink reuse).
+//
 // Flags: --n_series=40000 --n_insert=8000 --n_queries=200 --length=256
 //        --k=10 --threads=4 --shards=2 --leaf_size=1000
 //        --thresholds=500,2000,8000 --clients=2 --seed=7
-//        --delete_ratio=0.1 --wal-dir= --fsyncs=1,64,0
+//        --delete_ratio=0.1 --wal-dir= --fsyncs=1,64,0 --persist-dir=
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <limits>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -46,6 +54,7 @@
 #include "core/znorm.h"
 #include "ingest/compactor.h"
 #include "ingest/wal.h"
+#include "persist/generation_store.h"
 #include "service/search_service.h"
 #include "service/snapshot.h"
 #include "sfa/mcb.h"
@@ -254,15 +263,15 @@ int main(int argc, char** argv) {
   std::printf("base sharded index built in %.2f s\n\n",
               build_timer.Seconds());
 
-  TablePrinter table({"Threshold", "WAL fsync", "Inserts/s", "Deletes/s",
-                      "QPS", "p50 (ms)", "p99 (ms)", "Compactions",
-                      "Id space"});
+  TablePrinter table({"Threshold", "WAL fsync", "Persist", "Inserts/s",
+                      "Deletes/s", "QPS", "p50 (ms)", "p99 (ms)",
+                      "Compactions", "Id space"});
 
   {
     service::SearchService svc(service::WrapShardedIndex(sharded), &pool);
     const RunResult r = Run(&svc, nullptr, queries, nullptr, n_series, 0.0,
                             k, clients, seed + 3);
-    table.AddRow({"query-only", "-", "-", "-", FormatDouble(r.qps, 1),
+    table.AddRow({"query-only", "-", "-", "-", "-", FormatDouble(r.qps, 1),
                   FormatDouble(r.p50_ms, 3), FormatDouble(r.p99_ms, 3), "-",
                   std::to_string(n_series)});
   }
@@ -272,25 +281,54 @@ int main(int argc, char** argv) {
   // own subdirectory, cleared first — the bench never recovers, and
   // stale segments from earlier runs would otherwise pile up
   // indefinitely (nothing here checkpoints or truncates).
+  const std::string persist_dir = flags.GetString("persist-dir", "");
   for (const std::size_t threshold : thresholds) {
-    std::vector<std::pair<std::string, int>> variants = {{"-", -1}};
+    // Variants: no-WAL baseline, then per fsync interval a WAL-only run
+    // and (with --persist-dir) a WAL+generation-store run.
+    struct Variant {
+      std::string fsync_label;
+      int sync;
+      bool persist;
+    };
+    std::vector<Variant> variants = {{"-", -1, false}};
     if (!wal_dir.empty()) {
       for (const std::size_t sync : fsyncs) {
-        variants.emplace_back(std::to_string(sync), static_cast<int>(sync));
+        variants.push_back({std::to_string(sync), static_cast<int>(sync),
+                            false});
+        if (!persist_dir.empty()) {
+          variants.push_back({std::to_string(sync), static_cast<int>(sync),
+                              true});
+        }
       }
     }
-    for (const auto& [label, sync] : variants) {
+    for (const auto& [label, sync, persist] : variants) {
       service::SearchService svc(service::WrapShardedIndex(sharded), &pool);
       ingest::IngestConfig ingest_config;
       ingest_config.compact_threshold = threshold;
+      const std::string run_tag =
+          "/t" + std::to_string(threshold) + "_s" + label +
+          (persist ? "_p" : "");
       if (sync >= 0) {
-        ingest_config.wal_dir = wal_dir + "/t" + std::to_string(threshold) +
-                                "_s" + label;
+        ingest_config.wal_dir = wal_dir + run_tag;
         for (const std::string& segment :
              ingest::WriteAheadLog::ListSegments(ingest_config.wal_dir)) {
           std::remove(segment.c_str());
         }
         ingest_config.wal.sync_every = static_cast<std::size_t>(sync);
+      }
+      std::unique_ptr<persist::GenerationStore> store;
+      if (persist) {
+        store = persist::GenerationStore::Open(persist_dir + run_tag);
+        if (store == nullptr) {
+          std::fprintf(stderr, "cannot open persist dir %s%s\n",
+                       persist_dir.c_str(), run_tag.c_str());
+          return 1;
+        }
+        // The bench never recovers: clear generations left by earlier
+        // runs so they cannot pile up.
+        store->RemoveGenerationsBelow(
+            std::numeric_limits<std::uint64_t>::max());
+        ingest_config.store = store.get();
       }
       ingest::Compactor compactor(&svc, sharded, ingest_config);
       const RunResult r = Run(&svc, &compactor, queries, &inserts, n_series,
@@ -303,12 +341,14 @@ int main(int argc, char** argv) {
                      threshold, label.c_str(),
                      static_cast<unsigned long long>(r.dropped));
       }
+      const ingest::IngestMetrics metrics = compactor.Metrics();
       table.AddRow({std::to_string(threshold), label,
+                    persist ? std::to_string(metrics.persisted) : "-",
                     FormatDouble(r.insert_per_sec, 1),
                     FormatDouble(r.delete_per_sec, 1),
                     FormatDouble(r.qps, 1), FormatDouble(r.p50_ms, 3),
                     FormatDouble(r.p99_ms, 3), std::to_string(r.compactions),
-                    std::to_string(compactor.Metrics().total_rows)});
+                    std::to_string(metrics.total_rows)});
     }
   }
 

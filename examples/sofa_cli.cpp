@@ -21,7 +21,7 @@
 //                     [--shards=N] [--assignment=contiguous|hash]
 //                     [--insert-file=rows.fvecs] [--compact-threshold=1024]
 //                     [--delete-file=ids.txt] [--wal-dir=DIR]
-//                     [--wal-sync=64]
+//                     [--wal-sync=64] [--data-dir=DIR]
 //                     (streams the queries through the SearchService and
 //                      prints serving metrics: QPS, p50/p95/p99, pruning;
 //                      --shards reloads the per-shard files written by
@@ -42,9 +42,18 @@
 //                      records) and REPLAYS any log already in the
 //                      directory before serving — re-running serve with
 //                      the same --wal-dir recovers all previous
-//                      inserts/deletes on top of the base collection.
-//                      Ingest metrics print alongside the serving
-//                      metrics.)
+//                      inserts/deletes on top of the base collection;
+//                      --data-dir=DIR is the fully durable deployment: a
+//                      WAL in DIR/wal plus a generation store in
+//                      DIR/generations that persists every compacted
+//                      generation and truncates the WAL to the tail. The
+//                      FIRST run needs --data/--index to bootstrap (the
+//                      base generation is persisted immediately); every
+//                      later run restarts from the store alone — no
+//                      --data/--index required — replaying only the
+//                      mutations since the last compaction, and answers
+//                      bit-identical to the pre-crash process. Ingest
+//                      metrics print alongside the serving metrics.)
 //
 // Data files may be .fvecs (auto-detected by extension), .bvecs, or raw
 // float32 (pass --length). Demonstrates the full persistence story:
@@ -67,6 +76,7 @@
 #include "index/serialization.h"
 #include "index/tree_index.h"
 #include "ingest/compactor.h"
+#include "persist/generation_store.h"
 #include "service/search_service.h"
 #include "service/snapshot.h"
 #include "shard/sharded_index.h"
@@ -344,29 +354,49 @@ int Info(const Flags& flags, ThreadPool* pool) {
 // metrics — the serving-layer counterpart of `query` (which times one
 // exploratory query at a time).
 int Serve(const Flags& flags, ThreadPool* pool) {
-  const auto data = LoadData(flags, "data");
-  if (!data.has_value()) {
-    return 1;
+  // --data-dir: the durable deployment root. A generation already in its
+  // store supersedes --data/--index — the serving state restarts from
+  // (newest intact generation + WAL tail) alone.
+  const std::string data_dir = flags.GetString("data-dir", "");
+  std::string wal_dir = flags.GetString("wal-dir", "");
+  std::unique_ptr<persist::GenerationStore> store;
+  std::optional<persist::LoadedGeneration> restored;
+  if (!data_dir.empty()) {
+    if (wal_dir.empty()) {
+      wal_dir = data_dir + "/wal";
+    }
+    store = persist::GenerationStore::Open(data_dir + "/generations");
+    if (store == nullptr) {
+      std::fprintf(stderr, "cannot open --data-dir %s\n", data_dir.c_str());
+      return 1;
+    }
+    restored = store->LoadLatest(pool);
+  }
+  std::optional<Dataset> data;
+  if (!restored.has_value()) {
+    data = LoadData(flags, "data");
+    if (!data.has_value()) {
+      return 1;
+    }
   }
   const auto queries = LoadData(flags, "queries");
   if (!queries.has_value()) {
     return 1;
   }
   const std::string index_path = flags.GetString("index", "index.sofa");
-  const std::size_t num_shards =
-      static_cast<std::size_t>(flags.GetInt("shards", 1));
   const std::string insert_path = flags.GetString("insert-file", "");
   const std::string delete_path = flags.GetString("delete-file", "");
-  const std::string wal_dir = flags.GetString("wal-dir", "");
+  const std::size_t series_length =
+      restored.has_value() ? restored->sharded->length() : data->length();
   std::optional<Dataset> insert_rows;
   if (!insert_path.empty()) {
     insert_rows = LoadData(flags, "insert-file");
     if (!insert_rows.has_value()) {
       return 1;
     }
-    if (insert_rows->length() != data->length()) {
+    if (insert_rows->length() != series_length) {
       std::fprintf(stderr, "--insert-file rows have length %zu, need %zu\n",
-                   insert_rows->length(), data->length());
+                   insert_rows->length(), series_length);
       return 1;
     }
   }
@@ -378,15 +408,27 @@ int Serve(const Flags& flags, ThreadPool* pool) {
       return 1;
     }
   }
-  // Any mutation source — inserts, deletes, or a WAL to recover — runs
-  // through the ingest path, which always serves a (possibly one-shard)
-  // sharded generation: that is the unit of per-shard compaction.
-  const bool ingesting =
-      insert_rows.has_value() || !delete_ids.empty() || !wal_dir.empty();
+  // Any mutation source — inserts, deletes, a WAL to recover, or a
+  // generation store — runs through the ingest path, which always serves
+  // a (possibly one-shard) sharded generation: that is the unit of
+  // per-shard compaction and persistence.
+  const bool ingesting = insert_rows.has_value() || !delete_ids.empty() ||
+                         !wal_dir.empty() || store != nullptr;
   std::optional<index::LoadedIndex> loaded;  // single-index keep-alive
   std::shared_ptr<const shard::ShardedIndex> sharded;
   std::shared_ptr<const service::IndexSnapshot> snapshot;
-  if (num_shards > 1 || ingesting) {
+  std::size_t num_shards = static_cast<std::size_t>(flags.GetInt("shards", 1));
+  if (restored.has_value()) {
+    sharded = restored->sharded;
+    num_shards = sharded->num_shards();
+    snapshot = service::WrapShardedIndex(sharded);
+    std::printf("restored generation %llu from %s: %zu series x %zu, "
+                "%zu shards, %zu tombstones\n",
+                static_cast<unsigned long long>(
+                    restored->manifest.generation_seq),
+                data_dir.c_str(), sharded->size(), sharded->length(),
+                num_shards, restored->manifest.tombstones.size());
+  } else if (num_shards > 1 || ingesting) {
     sharded = LoadShardedIndex(flags, index_path, *data, num_shards, pool);
     if (sharded == nullptr) {
       return 1;
@@ -432,13 +474,26 @@ int Serve(const Flags& flags, ThreadPool* pool) {
     ingest_config.wal_dir = wal_dir;
     ingest_config.wal.sync_every =
         static_cast<std::size_t>(flags.GetInt("wal-sync", 64));
-    compactor.emplace(&svc, sharded, ingest_config);
+    ingest_config.store = store.get();
+    if (restored.has_value()) {
+      const ingest::RecoveredBase recovered_base =
+          ingest::MakeRecoveredBase(*restored);
+      compactor.emplace(&svc, sharded, ingest_config, &recovered_base);
+    } else {
+      compactor.emplace(&svc, sharded, ingest_config);
+    }
     if (!wal_dir.empty()) {
       const ingest::RecoverStats recovered = compactor->Recover();
       if (!recovered.ok) {
         std::fprintf(stderr,
-                     "WAL in %s does not match the base collection "
-                     "(replayed what fit: %llu inserts, %llu deletes)\n",
+                     recovered.sequence_gap
+                         ? "WAL in %s has lost interior records "
+                           "(sequence gap) — refusing to serve "
+                           "(replayed what fit: %llu inserts, %llu "
+                           "deletes)\n"
+                         : "WAL in %s does not match the base collection "
+                           "(replayed what fit: %llu inserts, %llu "
+                           "deletes)\n",
                      wal_dir.c_str(),
                      static_cast<unsigned long long>(
                          recovered.inserts_applied),
@@ -452,14 +507,25 @@ int Serve(const Flags& flags, ThreadPool* pool) {
                   static_cast<unsigned long long>(recovered.inserts_applied),
                   static_cast<unsigned long long>(recovered.deletes_applied),
                   static_cast<unsigned long long>(
-                      recovered.inserts_skipped));
+                      recovered.inserts_skipped + recovered.records_skipped));
       if (recovered.tail_truncated) {
         std::fprintf(stderr,
-                     "WARNING: WAL replay hit a torn/corrupt record. A "
-                     "crashed writer's unsynced tail is expected; on a "
-                     "multi-segment log, interior corruption may also "
-                     "have dropped delete records undetectably (see "
-                     "docs/FILE_FORMATS.md, replay semantics).\n");
+                     "WARNING: WAL replay hit a torn/corrupt record at a "
+                     "segment tail — the crashed-writer pattern (the "
+                     "record seqno chain is intact, so no interior loss; "
+                     "see docs/FILE_FORMATS.md, replay semantics).\n");
+      }
+    }
+    if (store != nullptr && !restored.has_value()) {
+      // Bootstrap: make the base generation itself durable so the next
+      // run restarts from the store alone.
+      if (compactor->PersistNow()) {
+        std::printf("persisted base generation to %s/generations\n",
+                    data_dir.c_str());
+      } else {
+        std::fprintf(stderr,
+                     "WARNING: could not persist the base generation "
+                     "(serving continues; restart cost stays O(WAL))\n");
       }
     }
   }
@@ -553,6 +619,14 @@ int Serve(const Flags& flags, ThreadPool* pool) {
                 static_cast<unsigned long long>(ingest_metrics.compactions),
                 ingest_metrics.pending, ingest_metrics.tombstones,
                 ingest_metrics.total_rows);
+    if (store != nullptr) {
+      std::printf("  persist: %llu generations committed (%llu failures) "
+                  "-> %s/generations\n",
+                  static_cast<unsigned long long>(ingest_metrics.persisted),
+                  static_cast<unsigned long long>(
+                      ingest_metrics.persist_failures),
+                  data_dir.c_str());
+    }
   }
   return 0;
 }

@@ -9,12 +9,28 @@
 namespace sofa {
 namespace ingest {
 
+RecoveredBase MakeRecoveredBase(const persist::LoadedGeneration& loaded) {
+  RecoveredBase base;
+  base.generation_seq = loaded.manifest.generation_seq;
+  base.route_total =
+      static_cast<std::size_t>(loaded.manifest.route_total);
+  base.next_id = static_cast<std::uint32_t>(loaded.manifest.next_id);
+  base.wal_last_seqno = loaded.manifest.wal_last_seqno;
+  base.tombstones = loaded.manifest.tombstones;
+  base.buffer_rows = loaded.buffer_rows;
+  base.buffer_ids = loaded.buffer_ids;
+  return base;
+}
+
 Compactor::Compactor(service::SearchService* service,
                      std::shared_ptr<const shard::ShardedIndex> base,
-                     IngestConfig config)
+                     IngestConfig config, const RecoveredBase* recovered)
     : service_(service),
       config_(config),
-      base_total_(base == nullptr ? 0 : base->size()),
+      base_total_(base == nullptr
+                      ? 0
+                      : (recovered != nullptr ? recovered->route_total
+                                              : base->size())),
       length_(base == nullptr ? 0 : base->length()),
       num_shards_(base == nullptr ? 0 : base->num_shards()),
       assignment_(base == nullptr ? shard::ShardAssignment::kContiguous
@@ -51,10 +67,52 @@ Compactor::Compactor(service::SearchService* service,
   }
   tree_covered_.assign(num_shards_, 0);
   shard_tombstoned_.assign(num_shards_, 0);
-  next_id_ = static_cast<std::uint32_t>(base_total_);
+  if (recovered != nullptr) {
+    // Resume from a persisted generation: the manifest's bookkeeping and
+    // buffered tails become the pre-replay state, already durable — they
+    // are NOT re-logged. Recover() then applies only the WAL tail past
+    // the manifest's fold point.
+    SOFA_CHECK(recovered->buffer_rows.size() == num_shards_ &&
+               recovered->buffer_ids.size() == num_shards_);
+    SOFA_CHECK(recovered->next_id >= base_total_ ||
+               assignment_ == shard::ShardAssignment::kHash);
+    next_id_ = recovered->next_id;
+    id_base_ = recovered->next_id;
+    from_recovered_ = true;
+    publish_seq_ = recovered->generation_seq;
+    wal_skip_seqno_ = recovered->wal_last_seqno;
+    for (std::size_t s = 0; s < num_shards_; ++s) {
+      const Dataset* rows = recovered->buffer_rows[s].get();
+      const std::vector<std::uint32_t>& ids = recovered->buffer_ids[s];
+      if (rows == nullptr) {
+        SOFA_CHECK(ids.empty());
+        continue;
+      }
+      SOFA_CHECK(rows->length() == length_ && ids.size() == rows->size());
+      for (std::size_t r = 0; r < rows->size(); ++r) {
+        buffers_[s]->Append(rows->row(r), ids[r]);
+      }
+      pending_ += rows->size();
+    }
+    for (const std::uint32_t id : recovered->tombstones) {
+      const std::size_t s = RouteShard(id);
+      (*shard_tombstone_counts_)[s].fetch_add(1, std::memory_order_relaxed);
+      if (tombstones_->Add(id)) {
+        deleted_ever_.insert(id);
+        ++shard_tombstoned_[s];
+        ++deleted_;
+      } else {
+        (*shard_tombstone_counts_)[s].fetch_sub(1,
+                                                std::memory_order_relaxed);
+      }
+    }
+  } else {
+    next_id_ = static_cast<std::uint32_t>(base_total_);
+    id_base_ = next_id_;
+  }
   {
-    // Publish the initial ingesting generation: base trees, empty buffer
-    // views, empty tombstones. From here on every query sees
+    // Publish the initial ingesting generation: base trees, buffer views
+    // (seeded when resuming), tombstones. From here on every query sees
     // (tree ∪ buffer) \ tombstones.
     std::unique_lock<std::mutex> lock(mutex_);
     PublishLocked(sharded_, &lock);
@@ -69,6 +127,7 @@ Compactor::~Compactor() {
   }
   work_cv_.notify_all();
   flush_cv_.notify_all();
+  commit_cv_.notify_all();
   if (compaction_thread_.joinable()) {
     compaction_thread_.join();
   }
@@ -81,16 +140,137 @@ std::size_t Compactor::RouteShard(std::uint32_t id) const {
                                           num_shards_);
 }
 
+bool Compactor::CommitStaged(std::unique_lock<std::mutex>* lock,
+                             const std::shared_ptr<StagedMutation>& entry) {
+  while (!entry->done) {
+    if (commit_leader_active_) {
+      // A leader is writing; it (or a successor) will take this entry in
+      // its next batch — group commit's whole point.
+      commit_cv_.wait(*lock);
+      continue;
+    }
+    LeaderCommitLocked(lock);
+  }
+  return entry->ok;
+}
+
+void Compactor::LeaderCommitLocked(std::unique_lock<std::mutex>* lock) {
+  SOFA_DCHECK(!commit_leader_active_);
+  commit_leader_active_ = true;
+  std::vector<std::shared_ptr<StagedMutation>> batch(commit_queue_.begin(),
+                                                     commit_queue_.end());
+  commit_queue_.clear();
+  std::vector<WalAppend> appends;
+  appends.reserve(batch.size());
+  for (const std::shared_ptr<StagedMutation>& staged : batch) {
+    WalAppend record;
+    record.type = staged->is_insert ? WalRecordType::kInsert
+                                    : WalRecordType::kDelete;
+    record.id = staged->id;
+    record.row = staged->is_insert ? staged->row.data() : nullptr;
+    appends.push_back(record);
+  }
+  // The one unlocked window of a mutation: the leader writes the whole
+  // batch as consecutive frames (one fwrite + fflush, at most one
+  // fsync). Mutations arriving meanwhile stage behind the queue and are
+  // picked up by the next leader.
+  lock->unlock();
+  const bool ok = wal_->AppendBatch(appends);
+  lock->lock();
+  if (ok) {
+    // Visibility, in staged (= id = log) order, exactly as if each
+    // mutation had applied under the lock it was staged under.
+    for (const std::shared_ptr<StagedMutation>& staged : batch) {
+      if (staged->is_insert) {
+        buffers_[staged->shard]->Append(staged->row.data(), staged->id);
+        --staged_inserts_;
+        ++pending_;
+        ++inserted_;
+      } else {
+        ApplyDeleteLocked(staged->id, staged->shard);
+      }
+      staged->done = true;
+      staged->ok = true;
+    }
+    if (config_.auto_compact) {
+      for (const std::shared_ptr<StagedMutation>& staged : batch) {
+        if (ShardWorkLocked(staged->shard) >= config_.compact_threshold) {
+          work_cv_.notify_one();
+          break;
+        }
+      }
+    }
+  } else {
+    // The batch never reached the log (AppendBatch rolled the segment
+    // back). Fail it — and everything staged behind it while we wrote:
+    // those ids are higher than the failed ones, and committing them
+    // would leave an id gap no recovery could replay across. Rolling
+    // next_id_ back to the smallest refused insert id keeps the id
+    // sequence dense for the next accepted insert.
+    batch.insert(batch.end(), commit_queue_.begin(), commit_queue_.end());
+    commit_queue_.clear();
+    std::uint32_t min_failed = std::numeric_limits<std::uint32_t>::max();
+    for (const std::shared_ptr<StagedMutation>& staged : batch) {
+      if (staged->is_insert) {
+        min_failed = std::min(min_failed, staged->id);
+        --staged_inserts_;
+      }
+      ++io_errors_;
+      staged->done = true;
+      staged->ok = false;
+    }
+    if (min_failed != std::numeric_limits<std::uint32_t>::max()) {
+      next_id_ = min_failed;
+    }
+  }
+  commit_leader_active_ = false;
+  commit_cv_.notify_all();
+  if (flush_requested_) {
+    work_cv_.notify_all();
+  }
+}
+
+void Compactor::ApplyDeleteLocked(std::uint32_t id, std::size_t s) {
+  // Count before Add: a reader whose view contains the id then provably
+  // sees the incremented count (the TombstoneSet mutex orders them).
+  (*shard_tombstone_counts_)[s].fetch_add(1, std::memory_order_relaxed);
+  if (tombstones_->Add(id)) {
+    deleted_ever_.insert(id);
+    ++deleted_;
+    ++shard_tombstoned_[s];
+  } else {
+    // Duplicate (two deletes of one id raced through staging): the
+    // second record is a no-op on replay too.
+    (*shard_tombstone_counts_)[s].fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Compactor::DrainCommitQueueLocked(std::unique_lock<std::mutex>* lock) {
+  // Retires every staged mutation. Callers set persist_barrier_ first
+  // when they need the queue to STAY empty afterwards (staging waits on
+  // the barrier, so this terminates even under mutation pressure).
+  while (commit_leader_active_ || !commit_queue_.empty()) {
+    if (commit_leader_active_) {
+      commit_cv_.wait(*lock);
+    } else {
+      LeaderCommitLocked(lock);
+    }
+  }
+}
+
 InsertStatus Compactor::Insert(const float* row, std::size_t length) {
   std::unique_lock<std::mutex> lock(mutex_);
   if (length != length_) {
     ++invalid_;
     return InsertStatus::kInvalid;
   }
+  while (persist_barrier_ && !stopping_) {
+    commit_cv_.wait(lock);  // a persist fold point is being taken
+  }
   if (stopping_) {
     return InsertStatus::kShutdown;
   }
-  if (pending_ >= config_.max_pending) {
+  if (pending_ + staged_inserts_ >= config_.max_pending) {
     ++rejected_;
     return InsertStatus::kRejected;
   }
@@ -102,27 +282,41 @@ InsertStatus Compactor::Insert(const float* row, std::size_t length) {
     return InsertStatus::kInvalid;
   }
   const std::uint32_t id = next_id_;
-  // Write-ahead: the row must be logged before any query can see it, and
-  // a failed append must leave no trace (the id is not consumed).
-  if (wal_ != nullptr && !wal_->AppendInsert(id, row)) {
-    ++io_errors_;
-    return InsertStatus::kIoError;
-  }
-  ++next_id_;
   const std::size_t s = RouteShard(id);
-  // Id assignment and append share the lock so each buffer sees strictly
-  // ascending global ids (the merge's tie rule depends on it).
-  buffers_[s]->Append(row, id);
-  ++pending_;
-  ++inserted_;
-  if (config_.auto_compact && ShardWorkLocked(s) >= config_.compact_threshold) {
-    work_cv_.notify_one();
+  if (wal_ == nullptr) {
+    // In-memory path: id assignment and append share the lock so each
+    // buffer sees strictly ascending global ids (the merge's tie rule
+    // depends on it).
+    ++next_id_;
+    buffers_[s]->Append(row, id);
+    ++pending_;
+    ++inserted_;
+    if (config_.auto_compact &&
+        ShardWorkLocked(s) >= config_.compact_threshold) {
+      work_cv_.notify_one();
+    }
+    return InsertStatus::kOk;
   }
-  return InsertStatus::kOk;
+  // Write-ahead via group commit: the id is consumed at stage time (the
+  // staged order IS the id and log order), the row becomes visible only
+  // after its batch is on the log, and a refused batch returns the ids.
+  ++next_id_;
+  auto staged = std::make_shared<StagedMutation>();
+  staged->is_insert = true;
+  staged->id = id;
+  staged->shard = s;
+  staged->row.assign(row, row + length_);
+  commit_queue_.push_back(staged);
+  ++staged_inserts_;
+  return CommitStaged(&lock, staged) ? InsertStatus::kOk
+                                     : InsertStatus::kIoError;
 }
 
 DeleteStatus Compactor::Delete(std::uint32_t id) {
   std::unique_lock<std::mutex> lock(mutex_);
+  while (persist_barrier_ && !stopping_) {
+    commit_cv_.wait(lock);
+  }
   if (stopping_) {
     return DeleteStatus::kShutdown;
   }
@@ -130,35 +324,34 @@ DeleteStatus Compactor::Delete(std::uint32_t id) {
     return DeleteStatus::kNotFound;
   }
   // deleted_ever_, not the tombstone set: a tombstone is purged once the
-  // row is compacted away, but the id stays deleted forever.
+  // row is compacted away, but the id stays deleted forever. (A delete
+  // staged but not yet committed is NOT in deleted_ever_ yet; a racing
+  // second delete of the same id just stages a duplicate record, which
+  // both apply and replay treat as a no-op.)
   if (deleted_ever_.count(id) != 0) {
     return DeleteStatus::kAlreadyDeleted;
   }
-  // Write-ahead, like Insert: log, then make the tombstone visible. The
-  // live TombstoneSet is shared with every published snapshot, so the
-  // very next query (in either scheduling mode) masks the id — no
-  // republish.
-  if (wal_ != nullptr && !wal_->AppendDelete(id)) {
-    ++io_errors_;
-    return DeleteStatus::kIoError;
-  }
   const std::size_t s = RouteShard(id);
-  // Count before Add: a reader whose view contains the id then provably
-  // sees the incremented count (the TombstoneSet mutex orders them).
-  (*shard_tombstone_counts_)[s].fetch_add(1, std::memory_order_relaxed);
-  tombstones_->Add(id);
-  deleted_ever_.insert(id);
-  ++deleted_;
-  ++shard_tombstoned_[s];
-  if (config_.auto_compact && ShardWorkLocked(s) >= config_.compact_threshold) {
-    work_cv_.notify_one();
+  if (wal_ == nullptr) {
+    ApplyDeleteLocked(id, s);
+    if (config_.auto_compact &&
+        ShardWorkLocked(s) >= config_.compact_threshold) {
+      work_cv_.notify_one();
+    }
+    return DeleteStatus::kOk;
   }
-  return DeleteStatus::kOk;
+  auto staged = std::make_shared<StagedMutation>();
+  staged->is_insert = false;
+  staged->id = id;
+  staged->shard = s;
+  commit_queue_.push_back(staged);
+  return CommitStaged(&lock, staged) ? DeleteStatus::kOk
+                                     : DeleteStatus::kIoError;
 }
 
 RecoverStats Compactor::Recover() {
   std::unique_lock<std::mutex> lock(mutex_);
-  SOFA_CHECK(!recovered_ && inserted_ == 0 && deleted_ == 0)
+  SOFA_CHECK(!recovered_ && inserted_ == 0)
       << "Recover() must run once, before any mutation";
   recovered_ = true;
   RecoverStats stats;
@@ -166,13 +359,26 @@ RecoverStats Compactor::Recover() {
     return stats;
   }
   // Replay in log order under the mutation lock. Application is
-  // idempotent against the base: ids the base already covers are
-  // skipped, so a log whose prefix predates a checkpointed base replays
-  // cleanly; a genuine gap or contradiction flips ok and ignores the
-  // rest (the log belongs to a different base).
+  // idempotent against the base: records at or below the recovered fold
+  // point are skipped outright (the generation directory already holds
+  // them — the crash-between-commit-and-truncate case), ids the base
+  // already covers are skipped, so a log whose prefix predates a
+  // checkpointed base replays cleanly; a genuine gap or contradiction
+  // flips ok and ignores the rest (the log belongs to a different base,
+  // or acknowledged records are gone).
+  // Manifest-recovered logs must start no later than the fold point + 1;
+  // classic logs may legitimately start anywhere (a checkpoint record
+  // truncation reset the front), so no expectation is imposed there.
+  const std::uint64_t expected_first =
+      from_recovered_ ? wal_skip_seqno_ + 1 : 0;
   const WalReplayStats replayed = WriteAheadLog::Replay(
-      config_.wal_dir, length_, [&](const WalRecord& record) {
+      config_.wal_dir, length_,
+      [&](const WalRecord& record) {
         if (!stats.ok) {
+          return;
+        }
+        if (record.seqno <= wal_skip_seqno_) {
+          ++stats.records_skipped;
           return;
         }
         switch (record.type) {
@@ -207,7 +413,7 @@ RecoverStats Compactor::Recover() {
               ++deleted_;
               ++stats.deletes_applied;
             } else {
-              // Duplicate record (malformed log): undo the count.
+              // Duplicate record (raced deletes): undo the count.
               (*shard_tombstone_counts_)[s].fetch_sub(
                   1, std::memory_order_relaxed);
             }
@@ -216,13 +422,13 @@ RecoverStats Compactor::Recover() {
           case WalRecordType::kCheckpoint: {
             // The checkpoint asserts the base holds rows [0, next_id);
             // anything else means base and log disagree.
-            if (record.next_id > base_total_ || stats.inserts_applied != 0) {
+            if (record.next_id > id_base_ || stats.inserts_applied != 0) {
               stats.ok = false;
               return;
             }
             for (std::size_t s = 0; s < num_shards_; ++s) {
-              (*shard_tombstone_counts_)[s].store(0,
-                                                  std::memory_order_relaxed);
+              (*shard_tombstone_counts_)[s].store(
+                  0, std::memory_order_relaxed);
             }
             shard_tombstoned_.assign(num_shards_, 0);
             for (const std::uint32_t id : record.tombstones) {
@@ -241,8 +447,19 @@ RecoverStats Compactor::Recover() {
             return;
           }
         }
-      });
+      },
+      expected_first);
   stats.tail_truncated = replayed.tail_truncated;
+  stats.sequence_gap = replayed.sequence_gap;
+  stats.last_seqno = replayed.last_seqno;
+  if (replayed.sequence_gap) {
+    // The seqno chain broke: acknowledged records are missing from the
+    // retained log (an interior segment was lost or the tail starts past
+    // the manifest's fold point). Deletes can vanish this way without
+    // any id-sequence evidence — refuse instead of serving resurrected
+    // rows.
+    stats.ok = false;
+  }
   if (config_.auto_compact) {
     work_cv_.notify_one();  // replayed buffers may already cross thresholds
   }
@@ -254,7 +471,120 @@ bool Compactor::Checkpoint() {
   if (wal_ == nullptr) {
     return false;
   }
-  return wal_->AppendCheckpoint(next_id_, tombstones_->SortedIds());
+  // The checkpoint must capture a state no in-flight batch can skew, and
+  // the WAL writer admits one writer at a time — barrier + drain, like
+  // the persist fold point.
+  persist_barrier_ = true;
+  DrainCommitQueueLocked(&lock);
+  const bool ok = wal_->AppendCheckpoint(next_id_, tombstones_->SortedIds());
+  persist_barrier_ = false;
+  commit_cv_.notify_all();
+  return ok;
+}
+
+bool Compactor::PersistNow() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (config_.store == nullptr || stopping_) {
+    return false;
+  }
+  return PersistLocked(&lock);
+}
+
+bool Compactor::PersistLocked(std::unique_lock<std::mutex>* lock) {
+  SOFA_CHECK(config_.store != nullptr);
+  // One persist at a time: the heavy I/O below runs unlocked, and two
+  // interleaved fold points would race on the store's staging directory.
+  while (persist_in_flight_ && !stopping_) {
+    commit_cv_.wait(*lock);
+  }
+  if (stopping_) {
+    return false;
+  }
+  // Nothing new since the last commit (same publish, same WAL position):
+  // re-persisting would only churn the committed directory.
+  if (persisted_seq_ == publish_seq_ && commit_queue_.empty() &&
+      !commit_leader_active_ &&
+      (wal_ == nullptr || wal_->last_seqno() == persisted_wal_seqno_)) {
+    return true;
+  }
+  persist_in_flight_ = true;
+  // Fold point: pause staging, retire every in-flight mutation, then
+  // capture state + rotate the log under the lock. After the rotation,
+  // every record ≤ the captured seqno sits in segments below the new
+  // one, and every later mutation lands above it — the manifest's
+  // "replay only the tail" contract.
+  persist_barrier_ = true;
+  DrainCommitQueueLocked(lock);
+  persist::PersistRequest request;
+  request.generation_seq = publish_seq_;
+  request.next_id = next_id_;
+  request.route_total = base_total_;
+  request.sharded = sharded_;
+  request.tombstones = tombstones_->SortedIds();
+  request.buffer_ids.resize(num_shards_);
+  request.buffer_rows.reserve(num_shards_);
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    Dataset rows(length_);
+    buffers_[s]->CopyRange(tree_covered_[s], buffers_[s]->size(), &rows,
+                           &request.buffer_ids[s]);
+    request.buffer_rows.push_back(std::move(rows));
+  }
+  std::uint64_t tail_segment = 0;
+  if (wal_ != nullptr) {
+    request.wal_last_seqno = wal_->last_seqno();
+    if (!wal_->Rotate(&tail_segment)) {
+      // No fold point, no persist: the untruncated log still covers
+      // every mutation, so nothing is lost — only restart cost.
+      persist_barrier_ = false;
+      persist_in_flight_ = false;
+      commit_cv_.notify_all();
+      ++persist_failures_;
+      return false;
+    }
+    request.wal_segment_seq = tail_segment;
+  }
+  persist_barrier_ = false;
+  commit_cv_.notify_all();
+  const std::uint64_t min_live = MinLiveSeqLocked();
+
+  // The heavy I/O runs unlocked: the captured request is immutable (the
+  // sharded generation by construction, the tails and tombstones by
+  // copy). Mutations and queries flow meanwhile.
+  lock->unlock();
+  const bool ok = config_.store->Persist(request);
+  if (ok) {
+    if (wal_ != nullptr) {
+      // Only after the generation commit is durable may the pre-fold
+      // segments go — they held the only other copy of those mutations.
+      wal_->TruncateBelow(tail_segment);
+    }
+    // GC of superseded generation directories, gated on the publish-seq
+    // retirement logic: never past the generation just committed, and
+    // never past a generation some in-flight query batch still pins.
+    config_.store->RemoveGenerationsBelow(
+        std::min(request.generation_seq, min_live));
+  }
+  lock->lock();
+  if (ok) {
+    ++persisted_;
+    persisted_seq_ = request.generation_seq;
+    persisted_wal_seqno_ = request.wal_last_seqno;
+  } else {
+    ++persist_failures_;
+  }
+  persist_in_flight_ = false;
+  commit_cv_.notify_all();
+  return ok;
+}
+
+std::uint64_t Compactor::MinLiveSeqLocked() const {
+  std::uint64_t min_seq = publish_seq_;
+  for (const LiveGeneration& live : live_) {
+    if (!live.snapshot.expired()) {
+      min_seq = std::min(min_seq, live.seq);
+    }
+  }
+  return min_seq;
 }
 
 std::size_t Compactor::ShardWorkLocked(std::size_t s) const {
@@ -277,7 +607,9 @@ bool Compactor::HasMutationWorkLocked() const {
 
 void Compactor::Flush() {
   std::unique_lock<std::mutex> lock(mutex_);
-  while (!stopping_ && HasMutationWorkLocked()) {
+  while (!stopping_ &&
+         (HasMutationWorkLocked() || !commit_queue_.empty() ||
+          commit_leader_active_)) {
     flush_requested_ = true;
     work_cv_.notify_all();
     flush_cv_.wait(lock);
@@ -293,9 +625,11 @@ IngestMetrics Compactor::Metrics() const {
   metrics.deleted = deleted_;
   metrics.io_errors = io_errors_;
   metrics.compactions = compactions_;
+  metrics.persisted = persisted_;
+  metrics.persist_failures = persist_failures_;
   metrics.pending = pending_;
   metrics.tombstones = tombstones_->size();
-  metrics.total_rows = base_total_ + inserted_;
+  metrics.total_rows = id_base_ + inserted_;
   return metrics;
 }
 
@@ -381,8 +715,15 @@ void Compactor::CompactorLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     work_cv_.wait(lock, [this] {
-      if (stopping_ || flush_requested_) {
+      if (stopping_) {
         return true;
+      }
+      if (flush_requested_) {
+        if (HasMutationWorkLocked()) {
+          return true;  // compactable work exists
+        }
+        // The flush can complete once no mutation is still staged.
+        return commit_queue_.empty() && !commit_leader_active_;
       }
       if (!config_.auto_compact) {
         return false;
@@ -421,7 +762,8 @@ void Compactor::CompactorLoop() {
       CompactShard(best);
       lock.lock();
     }
-    if (flush_requested_ && !HasMutationWorkLocked()) {
+    if (flush_requested_ && !HasMutationWorkLocked() &&
+        commit_queue_.empty() && !commit_leader_active_) {
       flush_requested_ = false;
       flush_cv_.notify_all();
     }
@@ -514,10 +856,20 @@ void Compactor::CompactShard(std::size_t s) {
   pending_ -= cut - start;
   ++compactions_;
   PublishLocked(std::move(derived), &lock, std::move(purgeable));
-  if (config_.checkpoint_on_compact && wal_ != nullptr) {
+  if (config_.store != nullptr) {
+    // Persist the generation just published, then truncate the WAL to
+    // the tail — the step that finally bounds restart cost to "replay
+    // mutations since the last compaction" in the default deployment. A
+    // failure keeps serving from memory with the full log retained.
+    PersistLocked(&lock);
+  } else if (config_.checkpoint_on_compact && wal_ != nullptr) {
     // Opt-in only: sound solely when the embedder persists the full
     // collection state by publish time (see IngestConfig).
+    persist_barrier_ = true;
+    DrainCommitQueueLocked(&lock);
     wal_->AppendCheckpoint(next_id_, tombstones_->SortedIds());
+    persist_barrier_ = false;
+    commit_cv_.notify_all();
   }
 }
 

@@ -1,7 +1,10 @@
 // The mutation front end of the incremental ingest path: inserts and
 // deletes → per-shard buffers + tombstones → background rebuild →
 // WithShardReplaced republish, all under live traffic, with an optional
-// write-ahead log making every accepted mutation survive a restart.
+// write-ahead log making every accepted mutation survive a restart and
+// an optional generation store making the *compacted* state itself
+// durable — so restart cost is the WAL tail since the last compaction,
+// not the full mutation history.
 //
 // A Compactor attaches to a SearchService serving a sharded generation
 // and becomes its sole publisher. It owns one InsertBuffer per shard, a
@@ -35,21 +38,36 @@
 // compaction.
 //
 // Durability (IngestConfig::wal_dir): every mutation is appended to the
-// WAL *before* it becomes visible (see wal.h for framing, fsync batching
-// and the crash-safety contract). After a restart, reconstruct the base
-// generation exactly as at build time, attach a new Compactor with the
-// same wal_dir, and call Recover() before serving traffic: it replays
-// the retained records into buffers + tombstones and leaves the service
-// answering bit-identically to the pre-crash process. Compaction does
-// NOT truncate the log by itself — rebuilt trees are in-memory, so the
-// log remains the only durable copy of the mutations; Checkpoint() is
-// for embedders that persist the full collection state out of band.
+// WAL *before* it becomes visible (see wal.h for framing and the
+// crash-safety contract). Concurrent mutations group-commit: each
+// staged mutation joins a commit queue under the mutation lock, and one
+// caller — the leader — writes every queued record as a single frame
+// batch with one fflush and at most one fsync, then applies the whole
+// batch to buffers + tombstones in staged (id) order. Followers just
+// wait for their record's fate. A failed batch rolls the log back to
+// the last durable boundary, refuses every staged-but-unwritten
+// mutation behind it and releases their ids for reuse, so a refused
+// record can never replay.
+//
+// Persistence (IngestConfig::store): after each compaction publish the
+// Compactor snapshots the full collection state — the published sharded
+// generation, each shard's buffered tail, the live tombstones, the id
+// watermark — at a WAL fold point (the commit queue drained, the log
+// rotated), persists it as an atomic generation directory, and only
+// after that commit truncates the WAL below the rotation. Recovery
+// (persist::GenerationStore::LoadLatest → MakeRecoveredBase → this
+// constructor → Recover()) reassembles the generation and replays ONLY
+// records past the manifest's fold point; a torn commit falls back to
+// the previous generation, whose longer WAL tail is still intact
+// because truncation never precedes the commit. Superseded generation
+// directories are garbage-collected gated on the same publish-seq
+// retirement logic that bounds buffer-chunk reclamation, and never past
+// the newest committed generation.
 //
 // Still out of scope (ROADMAP follow-ons): summary-scheme retraining
 // when the delta distribution drifts (rebuilt shards reuse the
 // build-time scheme; exactness never depends on it, only pruning power
-// does), and fanning the per-shard buffer scans into the executor
-// scatter.
+// does).
 
 #ifndef SOFA_INGEST_COMPACTOR_H_
 #define SOFA_INGEST_COMPACTOR_H_
@@ -57,6 +75,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -67,6 +86,7 @@
 #include "ingest/insert_buffer.h"
 #include "ingest/tombstone_set.h"
 #include "ingest/wal.h"
+#include "persist/generation_store.h"
 #include "service/search_service.h"
 #include "service/snapshot.h"
 #include "shard/sharded_index.h"
@@ -104,8 +124,9 @@ struct IngestConfig {
   std::size_t compact_threshold = 1024;
 
   /// Admission bound: inserts are rejected while the total pending rows
-  /// across all shards are at or beyond this (backpressure when
-  /// compaction cannot keep up). 0 = 8 × compact_threshold × num_shards.
+  /// across all shards (staged-for-commit ones included) are at or
+  /// beyond this (backpressure when compaction cannot keep up).
+  /// 0 = 8 × compact_threshold × num_shards.
   std::size_t max_pending = 0;
 
   /// Rows per buffer chunk (storage granularity; chunks never move).
@@ -125,13 +146,19 @@ struct IngestConfig {
   /// wal_dir is set.
   WalConfig wal;
 
-  /// When true, every compaction also writes a WAL checkpoint and
-  /// truncates older segments. ONLY sound when the embedder durably
-  /// persists the full collection state (all rows and the tombstone set)
-  /// no later than each publish — e.g. a deployment whose publish hook
-  /// snapshots generations to disk. With the default in-memory trees the
-  /// log is the only durable copy of the mutations, so leave this off
-  /// and let the log grow until an explicit Checkpoint().
+  /// When non-null, every compaction publish is persisted to this
+  /// generation store and the WAL is truncated to the post-fold tail
+  /// (see the class comment). The store must outlive the Compactor and
+  /// have this Compactor as its only writer. Without a WAL the store
+  /// still persists generations, but mutations between publishes do not
+  /// survive a crash.
+  persist::GenerationStore* store = nullptr;
+
+  /// When true (and `store` is null), every compaction also writes a
+  /// WAL checkpoint *record* and truncates older segments. ONLY sound
+  /// when the embedder durably persists the full collection state out
+  /// of band no later than each publish. With `store` set this flag is
+  /// ignored — the store's fold-point truncation supersedes it.
   bool checkpoint_on_compact = false;
 };
 
@@ -143,6 +170,8 @@ struct IngestMetrics {
   std::uint64_t deleted = 0;      // deletes accepted (incl. recovered)
   std::uint64_t io_errors = 0;    // mutations refused on WAL failure
   std::uint64_t compactions = 0;  // shard rebuilds published
+  std::uint64_t persisted = 0;          // generation directories committed
+  std::uint64_t persist_failures = 0;   // failed Persist() attempts
   std::size_t pending = 0;        // rows currently buffered, not yet in trees
   std::size_t tombstones = 0;     // deleted ids not yet purged by compaction
   std::size_t total_rows = 0;     // ids allocated: base + accepted inserts
@@ -151,34 +180,64 @@ struct IngestMetrics {
 };
 
 /// What Recover() replayed. `ok == false` means the log does not fit the
-/// supplied base generation (a gap in the id sequence, a delete of an
-/// unknown id, or a checkpoint claiming rows the base lacks); everything
-/// applied up to the first inconsistency stays applied, records after it
-/// are ignored.
+/// supplied base generation — a gap in the id sequence, a broken record
+/// seqno chain (interior segment loss), a delete of an unknown id, or a
+/// checkpoint claiming rows the base lacks; everything applied up to the
+/// first inconsistency stays applied, records after it are ignored, and
+/// the embedder must refuse to serve.
 struct RecoverStats {
   bool ok = true;
   std::uint64_t inserts_applied = 0;  // rows appended to buffers
   std::uint64_t inserts_skipped = 0;  // ids the base already covers
   std::uint64_t deletes_applied = 0;  // tombstones restored
   std::uint64_t checkpoints = 0;      // state resets replayed
+  std::uint64_t records_skipped = 0;  // records at or below the recovered
+                                      // fold point (already in the base)
+  std::uint64_t last_seqno = 0;       // highest record seqno on disk
   bool tail_truncated = false;        // replay stopped at a torn/corrupt
                                       // record (see WalReplayStats)
+  bool sequence_gap = false;          // interior records are gone (ok is
+                                      // forced false)
 };
+
+/// The bootstrap state of a Compactor resuming from a persisted
+/// generation (persist::GenerationStore::LoadLatest): everything the
+/// manifest recorded beyond the reassembled index itself. Build with
+/// MakeRecoveredBase and pass alongside the loaded generation's sharded
+/// index; then call Recover() to replay the WAL tail.
+struct RecoveredBase {
+  std::uint64_t generation_seq = 0;  // publish seqs resume after this
+  std::size_t route_total = 0;       // build-time partition total (routing)
+  std::uint32_t next_id = 0;         // first unallocated global id
+  std::uint64_t wal_last_seqno = 0;  // WAL records ≤ this are folded in
+  std::vector<std::uint32_t> tombstones;
+  // Per shard: rows already durable in the generation directory but not
+  // in its trees — seeded into the insert buffers before tail replay.
+  std::vector<std::shared_ptr<const Dataset>> buffer_rows;
+  std::vector<std::vector<std::uint32_t>> buffer_ids;
+};
+
+/// The manifest-side half of resuming from disk.
+RecoveredBase MakeRecoveredBase(const persist::LoadedGeneration& loaded);
 
 class Compactor {
  public:
   /// Attaches to `service`, which must currently serve (or be about to
   /// serve) `base`; the constructor publishes the initial ingesting
-  /// generation (base trees + empty buffers + empty tombstones). While a
-  /// Compactor is attached it must be the service's only publisher. Tree
-  /// rebuilds run on `base`'s thread pool, competing with query scatter
-  /// — compaction under live traffic by design. With config.wal_dir set
-  /// the constructor opens the log (aborting via SOFA_CHECK when the
-  /// directory cannot be created) but does not replay it — call
-  /// Recover() before serving traffic if records may be present.
+  /// generation (base trees + buffers + tombstones — empty on a fresh
+  /// start, seeded from `recovered` when resuming from a persisted
+  /// generation). While a Compactor is attached it must be the service's
+  /// only publisher. Tree rebuilds run on `base`'s thread pool,
+  /// competing with query scatter — compaction under live traffic by
+  /// design. With config.wal_dir set the constructor opens the log
+  /// (aborting via SOFA_CHECK when the directory cannot be created) but
+  /// does not replay it — call Recover() before serving traffic if
+  /// records may be present. `recovered`, when given, must describe the
+  /// exact generation `base` was loaded from (MakeRecoveredBase).
   Compactor(service::SearchService* service,
             std::shared_ptr<const shard::ShardedIndex> base,
-            IngestConfig config = IngestConfig{});
+            IngestConfig config = IngestConfig{},
+            const RecoveredBase* recovered = nullptr);
 
   /// Stops the compaction thread and syncs/closes the WAL. The service
   /// keeps serving the last published generation — already-buffered rows
@@ -191,9 +250,10 @@ class Compactor {
   /// Inserts one row (`length` floats, z-normalized like the base
   /// collection). On kOk the row is logged (if a WAL is attached) and
   /// visible to every query submitted after this returns. Thread-safe;
-  /// concurrent mutations serialize. With fsync batching a power failure
-  /// may lose up to WalConfig::sync_every acknowledged rows — a process
-  /// crash loses nothing.
+  /// concurrent mutations group-commit through a shared WAL batch (one
+  /// frame write + fsync for the whole batch). With fsync batching a
+  /// power failure may lose up to WalConfig::sync_every acknowledged
+  /// rows — a process crash loses nothing.
   InsertStatus Insert(const float* row, std::size_t length);
 
   /// Deletes the row with global id `id` (a base row or an inserted
@@ -208,10 +268,13 @@ class Compactor {
   /// Replays the WAL into buffers + tombstones. Must be called before
   /// the first Insert/Delete (SOFA_CHECK-enforced) and, for coherent
   /// answers, before queries are admitted. `base` must be exactly the
-  /// generation the log was written against (same rows [0, base size),
-  /// same partition). No-op (ok, zero counts) without a WAL. Replayed
-  /// records are NOT re-appended — the segments that hold them are
-  /// retained until a checkpoint truncates them.
+  /// generation the log was written against. When the Compactor was
+  /// constructed with a RecoveredBase, records at or below the fold
+  /// point are skipped and the retained tail must start no later than
+  /// fold+1 (a hole there flips `sequence_gap` and fails the recovery).
+  /// No-op (ok, zero counts) without a WAL. Replayed records are NOT
+  /// re-appended — the segments that hold them are retained until a
+  /// persist (or checkpoint) truncates them.
   RecoverStats Recover();
 
   /// Writes a WAL checkpoint (current id watermark + live tombstones)
@@ -221,8 +284,17 @@ class Compactor {
   /// base generation from; after truncation the log can no longer
   /// re-create mutations from before the checkpoint. Returns false (log
   /// unchanged or partially rotated, never truncated) on I/O failure or
-  /// without a WAL.
+  /// without a WAL. Embedders with IngestConfig::store use PersistNow()
+  /// instead — the store IS that durable copy.
   bool Checkpoint();
+
+  /// Persists the current collection state to IngestConfig::store right
+  /// now (same fold-point protocol as the per-compaction persist) and
+  /// truncates the WAL to the new tail. The bootstrap call of a fresh
+  /// deployment — persist the base generation once so restarts need only
+  /// the store + WAL. Returns false without a store or on I/O failure
+  /// (the WAL is then left untruncated; nothing is lost).
+  bool PersistNow();
 
   /// Blocks until every mutation pending at call time is folded into the
   /// trees and published: buffered rows compacted in, tombstoned rows
@@ -237,11 +309,23 @@ class Compactor {
   std::shared_ptr<const shard::ShardedIndex> current() const;
 
   /// Shard that global id `id` routes to: the build-time AssignShard
-  /// partition, with inserted ids (>= the base collection size) extending
-  /// the last shard under contiguous assignment.
+  /// partition, with inserted ids (>= the build-time collection total)
+  /// extending the last shard under contiguous assignment.
   std::size_t RouteShard(std::uint32_t id) const;
 
  private:
+  // One mutation staged for group commit: its WAL payload source, its
+  // routing, and the caller's result slot (the commit leader resolves
+  // `done`/`ok` for every record of its batch).
+  struct StagedMutation {
+    bool is_insert = true;
+    std::uint32_t id = 0;
+    std::size_t shard = 0;
+    std::vector<float> row;  // inserts only
+    bool done = false;
+    bool ok = false;
+  };
+
   void CompactorLoop();
   void CompactShard(std::size_t s);
   std::size_t ShardWorkLocked(std::size_t s) const;
@@ -252,6 +336,18 @@ class Compactor {
                      std::unique_lock<std::mutex>* lock,
                      std::vector<std::uint32_t> purgeable = {});
   void TrimRetiredLocked();
+  std::uint64_t MinLiveSeqLocked() const;
+  // Group commit (see the class comment). CommitStaged blocks until
+  // `entry` is resolved, becoming the batch leader when none is active;
+  // LeaderCommitLocked writes and applies (or fails) one whole batch;
+  // DrainCommitQueueLocked retires every staged mutation (the persist
+  // path's barrier step).
+  bool CommitStaged(std::unique_lock<std::mutex>* lock,
+                    const std::shared_ptr<StagedMutation>& entry);
+  void LeaderCommitLocked(std::unique_lock<std::mutex>* lock);
+  void ApplyDeleteLocked(std::uint32_t id, std::size_t s);
+  void DrainCommitQueueLocked(std::unique_lock<std::mutex>* lock);
+  bool PersistLocked(std::unique_lock<std::mutex>* lock);
 
   service::SearchService* service_;
   IngestConfig config_;
@@ -263,6 +359,7 @@ class Compactor {
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;   // compaction thread wakeups
   std::condition_variable flush_cv_;  // Flush() waiters
+  std::condition_variable commit_cv_;  // group-commit followers + barrier
   std::shared_ptr<const shard::ShardedIndex> sharded_;  // latest generation
   std::vector<std::shared_ptr<InsertBuffer>> buffers_;  // one per shard
   std::shared_ptr<TombstoneSet> tombstones_;  // live, shared with snapshots
@@ -287,7 +384,25 @@ class Compactor {
   // whose view contains the id), decremented after the purge erases it.
   std::shared_ptr<std::vector<std::atomic<std::size_t>>>
       shard_tombstone_counts_;
+  // Group-commit state: staged mutations awaiting a leader, whether a
+  // leader is mid-write, staged-insert count (admission accounting), and
+  // the persist barrier that pauses staging while a fold point is taken.
+  std::deque<std::shared_ptr<StagedMutation>> commit_queue_;
+  bool commit_leader_active_ = false;
+  std::size_t staged_inserts_ = 0;
+  bool persist_barrier_ = false;
+  // One persist at a time: PersistLocked releases the lock for the heavy
+  // store I/O, and a concurrent PersistNow() (or the compaction thread)
+  // must not start a second fold/commit meanwhile.
+  bool persist_in_flight_ = false;
+  // The fold point last committed: a PersistNow() with nothing new since
+  // (same publish, same WAL position) is a no-op, not a directory churn.
+  std::uint64_t persisted_seq_ = 0;
+  std::uint64_t persisted_wal_seqno_ = 0;
   std::uint32_t next_id_;
+  std::uint32_t id_base_;          // initial next_id (metrics, checkpoints)
+  bool from_recovered_ = false;    // bootstrapped from a RecoveredBase
+  std::uint64_t wal_skip_seqno_ = 0;  // Recover() skips records ≤ this
   std::size_t pending_ = 0;
   std::uint64_t inserted_ = 0;
   std::uint64_t rejected_ = 0;
@@ -295,6 +410,8 @@ class Compactor {
   std::uint64_t deleted_ = 0;
   std::uint64_t io_errors_ = 0;
   std::uint64_t compactions_ = 0;
+  std::uint64_t persisted_ = 0;
+  std::uint64_t persist_failures_ = 0;
   std::uint64_t publish_seq_ = 0;  // generations published, monotonic
   bool recovered_ = false;         // Recover() may run at most once
   bool flush_requested_ = false;
@@ -304,7 +421,8 @@ class Compactor {
   // are pruned); per entry, the per-shard buffer starts it scans from and
   // its publish sequence number. The minimum start across live entries
   // bounds what TrimBelow may drop; the minimum sequence bounds which
-  // queued tombstone purges may apply.
+  // queued tombstone purges may apply — and which persisted generation
+  // directories GC may remove.
   struct LiveGeneration {
     std::weak_ptr<const service::IndexSnapshot> snapshot;
     std::vector<std::size_t> start;

@@ -10,17 +10,23 @@
 
 #include "util/check.h"
 #include "util/crc32.h"
+#include "util/fsutil.h"
 
 namespace sofa {
 namespace ingest {
 namespace {
 
-constexpr char kMagic[8] = {'S', 'O', 'F', 'A', 'W', 'A', 'L', '1'};
+constexpr char kMagic[8] = {'S', 'O', 'F', 'A', 'W', 'A', 'L', '2'};
 constexpr char kSegmentPrefix[] = "wal-";
 constexpr char kSegmentSuffix[] = ".log";
-// 8-byte frame header + payload; the cap rejects absurd sizes from a
-// corrupted length field before any allocation happens.
+// Frame header + payload; the cap rejects absurd sizes from a corrupted
+// length field before any allocation happens.
 constexpr std::size_t kMaxPayload = 256ull << 20;
+// magic + segment_seq + series_length + first_seqno.
+constexpr std::size_t kSegmentHeaderBytes = sizeof(kMagic) + 3 * sizeof(std::uint64_t);
+// payload_size + crc + seqno.
+constexpr std::size_t kFrameHeaderBytes =
+    2 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
 
 std::string SegmentName(std::uint64_t seq) {
   char name[32];
@@ -65,27 +71,6 @@ void PutU64(std::vector<unsigned char>* out, std::uint64_t v) {
   std::memcpy(out->data() + at, &v, sizeof(v));
 }
 
-// mkdir -p: creates every missing component; true when `dir` exists (or
-// already existed) afterwards.
-bool MakeDirs(const std::string& dir) {
-  std::string prefix;
-  std::size_t at = 0;
-  while (at < dir.size()) {
-    const std::size_t next = dir.find('/', at);
-    const std::size_t end = next == std::string::npos ? dir.size() : next;
-    prefix.append(dir, at, end - at + (next == std::string::npos ? 0 : 1));
-    at = end + 1;
-    if (prefix.empty() || prefix == "/") {
-      continue;
-    }
-    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
-      return false;
-    }
-  }
-  struct stat info;
-  return ::stat(dir.c_str(), &info) == 0 && S_ISDIR(info.st_mode);
-}
-
 struct SegmentEntry {
   std::uint64_t seq;
   std::string path;
@@ -111,6 +96,87 @@ std::vector<SegmentEntry> ListSegmentEntries(const std::string& dir) {
   return entries;
 }
 
+// Reads a segment header; returns false on short read / wrong magic /
+// wrong series length.
+bool ReadSegmentHeader(std::FILE* file, std::size_t length,
+                       std::uint64_t* first_seqno) {
+  char magic[8];
+  std::uint64_t seq = 0;
+  std::uint64_t file_length = 0;
+  std::uint64_t first = 0;
+  if (std::fread(magic, 1, sizeof(magic), file) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 ||
+      std::fread(&seq, 1, sizeof(seq), file) != sizeof(seq) ||
+      std::fread(&file_length, 1, sizeof(file_length), file) !=
+          sizeof(file_length) ||
+      std::fread(&first, 1, sizeof(first), file) != sizeof(first) ||
+      file_length != length) {
+    return false;
+  }
+  *first_seqno = first;
+  return true;
+}
+
+// Reads one frame; returns the payload (empty on a torn/corrupt frame,
+// with *end set), validating the CRC over seqno‖payload.
+bool ReadFrame(std::FILE* file, std::vector<unsigned char>* payload,
+               std::uint64_t* seqno, bool* clean_end) {
+  *clean_end = false;
+  std::uint32_t size = 0;
+  std::uint32_t crc = 0;
+  std::uint64_t sq = 0;
+  const std::size_t header_read = std::fread(&size, 1, sizeof(size), file);
+  if (header_read == 0) {
+    *clean_end = true;  // clean end of segment
+    return false;
+  }
+  if (header_read != sizeof(size) ||
+      std::fread(&crc, 1, sizeof(crc), file) != sizeof(crc) ||
+      std::fread(&sq, 1, sizeof(sq), file) != sizeof(sq) || size == 0 ||
+      size > kMaxPayload) {
+    return false;  // torn frame header
+  }
+  payload->resize(size);
+  if (std::fread(payload->data(), 1, size, file) != size) {
+    return false;  // torn payload
+  }
+  if (Crc32(payload->data(), size, Crc32(&sq, sizeof(sq))) != crc) {
+    return false;  // corrupt seqno or payload
+  }
+  *seqno = sq;
+  return true;
+}
+
+// The sequence number the next record appended to `dir` must carry:
+// one past the last valid record of the newest readable segment (the
+// torn tail of a crashed writer is skipped — its records were never
+// acknowledged as a whole frame), or that segment's header first_seqno
+// when it holds no records, or 1 for a fresh directory.
+std::uint64_t ScanNextSeqno(const std::string& dir, std::size_t length) {
+  const std::vector<SegmentEntry> entries = ListSegmentEntries(dir);
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    std::FILE* file = std::fopen(it->path.c_str(), "rb");
+    if (file == nullptr) {
+      continue;
+    }
+    std::uint64_t first_seqno = 0;
+    if (!ReadSegmentHeader(file, length, &first_seqno)) {
+      std::fclose(file);
+      continue;  // foreign or truncated header: try an older segment
+    }
+    std::uint64_t next = first_seqno;
+    std::vector<unsigned char> payload;
+    std::uint64_t seqno = 0;
+    bool clean_end = false;
+    while (ReadFrame(file, &payload, &seqno, &clean_end)) {
+      next = seqno + 1;
+    }
+    std::fclose(file);
+    return next == 0 ? 1 : next;
+  }
+  return 1;
+}
+
 }  // namespace
 
 WriteAheadLog::WriteAheadLog(std::string dir, std::size_t length,
@@ -130,9 +196,13 @@ std::unique_ptr<WriteAheadLog> WriteAheadLog::Open(const std::string& dir,
   std::unique_ptr<WriteAheadLog> wal(
       new WriteAheadLog(dir, length, config));
   // Never append to an existing segment — its tail may be torn; a fresh
-  // segment keeps "torn implies last record of last segment" true.
+  // segment keeps "torn implies last record of a retired writer" true.
+  // The record sequence continues where the retained log ends, so the
+  // chain stays contiguous across process restarts and a re-used torn
+  // tail's seqnos are re-issued to the records that replace them.
   const std::vector<SegmentEntry> existing = ListSegmentEntries(dir);
   const std::uint64_t seq = existing.empty() ? 0 : existing.back().seq + 1;
+  wal->next_seqno_ = ScanNextSeqno(dir, length);
   if (!wal->OpenSegment(seq)) {
     return nullptr;
   }
@@ -152,9 +222,11 @@ bool WriteAheadLog::OpenSegment(std::uint64_t seq) {
   segment_size_ = 0;
   const std::uint64_t seq64 = seq;
   const std::uint64_t len64 = length_;
+  const std::uint64_t first = next_seqno_;
   if (std::fwrite(kMagic, 1, sizeof(kMagic), file_) != sizeof(kMagic) ||
       std::fwrite(&seq64, 1, sizeof(seq64), file_) != sizeof(seq64) ||
       std::fwrite(&len64, 1, sizeof(len64), file_) != sizeof(len64) ||
+      std::fwrite(&first, 1, sizeof(first), file_) != sizeof(first) ||
       std::fflush(file_) != 0) {
     // Remove the header-less husk so replay never has to skip it; a
     // retry uses the next sequence number (gaps are fine).
@@ -162,7 +234,7 @@ bool WriteAheadLog::OpenSegment(std::uint64_t seq) {
     ::unlink(path.c_str());
     return false;
   }
-  segment_size_ = sizeof(kMagic) + sizeof(seq64) + sizeof(len64);
+  segment_size_ = kSegmentHeaderBytes;
   return true;
 }
 
@@ -193,7 +265,11 @@ bool WriteAheadLog::Sync() {
   return true;
 }
 
-bool WriteAheadLog::AppendRecord(const std::vector<unsigned char>& payload) {
+bool WriteAheadLog::AppendFrames(
+    const std::vector<std::vector<unsigned char>>& payloads) {
+  if (payloads.empty()) {
+    return true;
+  }
   if (file_ != nullptr && segment_size_ >= config_.segment_bytes) {
     // Rotation syncs the full segment before retiring it, so its records
     // are durable regardless of the batching window. A close/sync
@@ -208,31 +284,50 @@ bool WriteAheadLog::AppendRecord(const std::vector<unsigned char>& payload) {
     // disk error must not leave the log permanently read-only.
     return false;
   }
-  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
-  const std::uint32_t crc = Crc32(payload.data(), payload.size());
-  bool ok = std::fwrite(&size, 1, sizeof(size), file_) == sizeof(size) &&
-            std::fwrite(&crc, 1, sizeof(crc), file_) == sizeof(crc) &&
-            std::fwrite(payload.data(), 1, payload.size(), file_) ==
-                payload.size() &&
+  // One contiguous buffer for the whole batch: the group-commit leader
+  // pays a single fwrite + fflush (+ at most one fsync) for every record
+  // staged behind it.
+  std::vector<unsigned char> frames;
+  std::size_t total = 0;
+  for (const std::vector<unsigned char>& payload : payloads) {
+    total += kFrameHeaderBytes + payload.size();
+  }
+  frames.reserve(total);
+  std::uint64_t seqno = next_seqno_;
+  for (const std::vector<unsigned char>& payload : payloads) {
+    const std::uint32_t crc =
+        Crc32(payload.data(), payload.size(), Crc32(&seqno, sizeof(seqno)));
+    PutU32(&frames, static_cast<std::uint32_t>(payload.size()));
+    PutU32(&frames, crc);
+    PutU64(&frames, seqno);
+    frames.insert(frames.end(), payload.begin(), payload.end());
+    ++seqno;
+  }
+  bool ok = std::fwrite(frames.data(), 1, frames.size(), file_) ==
+                frames.size() &&
             std::fflush(file_) == 0;
-  if (ok && config_.sync_every > 0 && unsynced_ + 1 >= config_.sync_every) {
+  if (ok && config_.sync_every > 0 &&
+      unsynced_ + payloads.size() >= config_.sync_every) {
     ok = ::fsync(::fileno(file_)) == 0;
     if (ok) {
       unsynced_ = 0;
-      segment_size_ += sizeof(size) + sizeof(crc) + payload.size();
+      segment_size_ += frames.size();
+      next_seqno_ = seqno;
       return true;
     }
   } else if (ok) {
-    segment_size_ += sizeof(size) + sizeof(crc) + payload.size();
-    ++unsynced_;
+    segment_size_ += frames.size();
+    unsynced_ += payloads.size();
+    next_seqno_ = seqno;
     return true;
   }
-  // Refused record: roll the segment back to the last record boundary so
-  // the partially — or, on an fsync failure, fully — written frame can
-  // never replay (the caller was told "not logged"; a later accepted
-  // record will reuse this id). If the rollback itself fails, abandon
-  // the segment: the torn frame stays at its tail where replay stops
-  // cleanly, and the next append rotates to a fresh segment.
+  // Refused batch: roll the segment back to the batch's start boundary
+  // so no partially — or, on an fsync failure, fully — written frame of
+  // it can ever replay (the callers were told "not logged"; later
+  // accepted records will reuse these ids and seqnos). If the rollback
+  // itself fails, abandon the segment: the torn frames stay at its tail
+  // where replay stops cleanly, and the next append rotates to a fresh
+  // segment.
   std::fflush(file_);
   if (::ftruncate(::fileno(file_), static_cast<off_t>(segment_size_)) != 0 ||
       std::fseek(file_, static_cast<long>(segment_size_), SEEK_SET) != 0) {
@@ -241,23 +336,45 @@ bool WriteAheadLog::AppendRecord(const std::vector<unsigned char>& payload) {
   return false;
 }
 
+bool WriteAheadLog::AppendBatch(const std::vector<WalAppend>& batch) {
+  std::vector<std::vector<unsigned char>> payloads;
+  payloads.reserve(batch.size());
+  for (const WalAppend& record : batch) {
+    std::vector<unsigned char> payload;
+    switch (record.type) {
+      case WalRecordType::kInsert: {
+        SOFA_DCHECK(record.row != nullptr);
+        payload.reserve(1 + sizeof(record.id) + length_ * sizeof(float));
+        payload.push_back(
+            static_cast<unsigned char>(WalRecordType::kInsert));
+        PutU32(&payload, record.id);
+        const std::size_t at = payload.size();
+        payload.resize(at + length_ * sizeof(float));
+        std::memcpy(payload.data() + at, record.row,
+                    length_ * sizeof(float));
+        break;
+      }
+      case WalRecordType::kDelete: {
+        payload.reserve(1 + sizeof(record.id));
+        payload.push_back(
+            static_cast<unsigned char>(WalRecordType::kDelete));
+        PutU32(&payload, record.id);
+        break;
+      }
+      case WalRecordType::kCheckpoint:
+        return false;  // checkpoints go through AppendCheckpoint only
+    }
+    payloads.push_back(std::move(payload));
+  }
+  return AppendFrames(payloads);
+}
+
 bool WriteAheadLog::AppendInsert(std::uint32_t id, const float* row) {
-  std::vector<unsigned char> payload;
-  payload.reserve(1 + sizeof(id) + length_ * sizeof(float));
-  payload.push_back(static_cast<unsigned char>(WalRecordType::kInsert));
-  PutU32(&payload, id);
-  const std::size_t at = payload.size();
-  payload.resize(at + length_ * sizeof(float));
-  std::memcpy(payload.data() + at, row, length_ * sizeof(float));
-  return AppendRecord(payload);
+  return AppendBatch({WalAppend{WalRecordType::kInsert, id, row}});
 }
 
 bool WriteAheadLog::AppendDelete(std::uint32_t id) {
-  std::vector<unsigned char> payload;
-  payload.reserve(1 + sizeof(id));
-  payload.push_back(static_cast<unsigned char>(WalRecordType::kDelete));
-  PutU32(&payload, id);
-  return AppendRecord(payload);
+  return AppendBatch({WalAppend{WalRecordType::kDelete, id, nullptr}});
 }
 
 bool WriteAheadLog::AppendCheckpoint(
@@ -281,7 +398,7 @@ bool WriteAheadLog::AppendCheckpoint(
   for (const std::uint32_t id : tombstones) {
     PutU32(&payload, id);
   }
-  if (!AppendRecord(payload) || !Sync()) {
+  if (!AppendFrames({payload}) || !Sync()) {
     return false;
   }
   // Only after the checkpoint is durable may its predecessors go.
@@ -291,6 +408,29 @@ bool WriteAheadLog::AppendCheckpoint(
     }
   }
   return true;
+}
+
+bool WriteAheadLog::Rotate(std::uint64_t* new_segment_seq) {
+  SOFA_CHECK(new_segment_seq != nullptr);
+  // The close must sync: the fold point promises every record below the
+  // new segment is durable, batching window included.
+  if (file_ != nullptr && !CloseSegment(/*sync=*/true)) {
+    return false;
+  }
+  if (!OpenSegment(seq_ + 1)) {
+    return false;
+  }
+  *new_segment_seq = seq_;
+  return true;
+}
+
+void WriteAheadLog::TruncateBelow(std::uint64_t keep_segment_seq) {
+  const std::uint64_t keep = std::min(keep_segment_seq, seq_);
+  for (const SegmentEntry& entry : ListSegmentEntries(dir_)) {
+    if (entry.seq < keep) {
+      ::unlink(entry.path.c_str());
+    }
+  }
 }
 
 std::vector<std::string> WriteAheadLog::ListSegments(const std::string& dir) {
@@ -303,58 +443,72 @@ std::vector<std::string> WriteAheadLog::ListSegments(const std::string& dir) {
 
 WalReplayStats WriteAheadLog::Replay(
     const std::string& dir, std::size_t length,
-    const std::function<void(const WalRecord&)>& apply) {
+    const std::function<void(const WalRecord&)>& apply,
+    std::uint64_t expected_first_seqno) {
   WalReplayStats stats;
+  // Highest stream position the retained log provably reached: record
+  // seqnos + segment-header first_seqnos. A log that never reaches the
+  // caller's expected fold point was recreated or lost wholesale — a
+  // hole with zero surviving records, flagged at the end.
+  std::uint64_t max_position = 0;
   for (const SegmentEntry& entry : ListSegmentEntries(dir)) {
     std::FILE* file = std::fopen(entry.path.c_str(), "rb");
     if (file == nullptr) {
       // Skip, like a bad header: later segments still replay, and the
-      // id-sequence validation layered on top (Compactor::Recover) then
-      // sees the gap this segment's records leave and fails the
-      // recovery instead of silently serving without them.
+      // seqno chain then shows the hole this segment's records leave
+      // (sequence_gap) instead of the loss passing as a torn tail.
       stats.tail_truncated = true;
       continue;
     }
     ++stats.segments;
-    char magic[8];
-    std::uint64_t seq = 0;
-    std::uint64_t file_length = 0;
-    if (std::fread(magic, 1, sizeof(magic), file) != sizeof(magic) ||
-        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 ||
-        std::fread(&seq, 1, sizeof(seq), file) != sizeof(seq) ||
-        std::fread(&file_length, 1, sizeof(file_length), file) !=
-            sizeof(file_length) ||
-        file_length != length) {
-      // Unreadable header: skip the whole segment. Later segments are
-      // still replayed — a writer that appended them recovered exactly
-      // the valid prefix first, and consumers validate the id sequence
-      // (Compactor::Recover) to detect genuine loss.
+    std::uint64_t header_first_seqno = 0;
+    if (!ReadSegmentHeader(file, length, &header_first_seqno)) {
+      // Unreadable or foreign header: skip the whole segment. If it held
+      // records of this log, the chain check below flags the gap.
       std::fclose(file);
       stats.tail_truncated = true;
       continue;
     }
+    // Header-level chain check: the writer stamps each segment with the
+    // seqno its first record will carry, so even an EMPTY retained
+    // segment proves where the stream had advanced to. A header past
+    // the expected chain position means the records in between are gone
+    // (e.g. a generation directory was lost after its commit truncated
+    // the log) — detectable even when no record survives at all.
+    const std::uint64_t chain_next =
+        stats.last_seqno != 0 ? stats.last_seqno + 1 : expected_first_seqno;
+    if (chain_next != 0 && header_first_seqno > chain_next) {
+      stats.sequence_gap = true;
+    }
+    max_position = std::max(max_position, header_first_seqno);
     while (true) {
-      std::uint32_t size = 0;
-      std::uint32_t crc = 0;
-      const std::size_t header_read = std::fread(&size, 1, sizeof(size), file);
-      if (header_read == 0) {
-        break;  // clean end of segment
-      }
-      if (header_read != sizeof(size) ||
-          std::fread(&crc, 1, sizeof(crc), file) != sizeof(crc) ||
-          size == 0 || size > kMaxPayload) {
-        stats.tail_truncated = true;  // torn frame header
+      std::vector<unsigned char> payload;
+      std::uint64_t seqno = 0;
+      bool clean_end = false;
+      if (!ReadFrame(file, &payload, &seqno, &clean_end)) {
+        if (!clean_end) {
+          stats.tail_truncated = true;  // torn or corrupt frame
+        }
         break;
       }
-      std::vector<unsigned char> payload(size);
-      if (std::fread(payload.data(), 1, size, file) != size ||
-          Crc32(payload.data(), size) != crc) {
-        stats.tail_truncated = true;  // torn or corrupt payload
-        break;
+      // The chain check: records must be delivered with contiguous
+      // seqnos. The first delivered record anchors the chain (and must
+      // not start past the caller's expected fold point); after that,
+      // any jump or repeat means interior records are gone or the log
+      // was tampered with — either way, not a state to serve from.
+      if (stats.last_seqno == 0) {
+        stats.first_seqno = seqno;
+        if (expected_first_seqno != 0 && seqno > expected_first_seqno) {
+          stats.sequence_gap = true;
+        }
+      } else if (seqno != stats.last_seqno + 1) {
+        stats.sequence_gap = true;
       }
+      stats.last_seqno = seqno;
       WalRecord record;
+      record.seqno = seqno;
       const unsigned char* body = payload.data() + 1;
-      const std::size_t body_size = size - 1;
+      const std::size_t body_size = payload.size() - 1;
       bool valid = true;
       switch (static_cast<WalRecordType>(payload[0])) {
         case WalRecordType::kInsert: {
@@ -408,9 +562,17 @@ WalReplayStats WriteAheadLog::Replay(
         stats.tail_truncated = true;  // unknown type or malformed body
         break;
       }
+      max_position = std::max(max_position, seqno + 1);
       apply(record);
     }
     std::fclose(file);
+  }
+  if (expected_first_seqno != 0 && max_position < expected_first_seqno) {
+    // The retained log never even reached the fold point the caller
+    // recovered to — it was deleted and recreated (seqnos restarted) or
+    // its entire tail is gone. Nothing here is trustworthy relative to
+    // that manifest.
+    stats.sequence_gap = true;
   }
   return stats;
 }

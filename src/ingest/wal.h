@@ -13,42 +13,56 @@
 // by CRC32-framed records:
 //
 //   segment  := header record*
-//   header   := magic "SOFAWAL1" | u64 segment_seq | u64 series_length
-//   record   := u32 payload_size | u32 crc32(payload) | payload
+//   header   := magic "SOFAWAL2" | u64 segment_seq | u64 series_length
+//             | u64 first_seqno
+//   record   := u32 payload_size | u32 crc32(seqno | payload)
+//             | u64 seqno | payload
 //   payload  := u8 type | body          (insert / delete / checkpoint)
 //
-// The CRC framing makes the torn tail of a crashed writer detectable:
-// replay stops cleanly at the first record whose frame is incomplete or
-// whose checksum mismatches, and everything before it is trusted. A
-// writer never appends to an existing segment (the tail may be torn) —
-// Open always starts a fresh segment after the highest retained one.
+// Every record carries a global sequence number, contiguous from 1
+// across segments and record types. The CRC framing makes a torn tail
+// detectable (replay stops cleanly at the first incomplete or
+// mismatching frame); the seqno chain makes *interior* loss detectable:
+// replay tracks the expected next seqno across segment boundaries, and a
+// retained segment whose first record does not continue the chain means
+// a whole segment (or its trusted prefix) went missing — flagged as
+// `sequence_gap`, which consumers must treat as refuse-to-serve, unlike
+// the benign `tail_truncated` crash pattern. A writer never appends to
+// an existing segment (the tail may be torn) — Open always starts a
+// fresh segment after the highest retained one, continuing the seqno
+// chain from the last valid record on disk.
 //
-// Checkpoints and truncation: a checkpoint record carries the collection
-// row count (`next_id`) and the live tombstone set at a moment when the
-// *caller guarantees* that state is durable elsewhere (e.g. the embedder
-// persisted the compacted generation). AppendCheckpoint rotates to a
-// fresh segment headed by the checkpoint, syncs it, and then deletes
-// every older segment — so the retained log is always "one checkpoint
-// (or nothing) followed by the mutation tail". Replay *resets* its
-// accumulated state whenever it meets a checkpoint record, which makes
-// recovery idempotent with or without truncation having completed: a
-// crash between writing the checkpoint and unlinking the old segments
-// replays the stale prefix and then discards it at the checkpoint.
-// Compaction alone does NOT make mutations durable (rebuilt trees live
-// in memory), which is why the Compactor only checkpoints when its
-// embedder explicitly opts in — see IngestConfig::checkpoint_on_compact.
+// Checkpoints and truncation — two mechanisms, two callers:
 //
-// Fsync policy: appends are buffered and fflush()ed per record (visible
+//   * AppendCheckpoint (embedder-driven, Compactor::Checkpoint): a
+//     checkpoint *record* carries the collection row count and live
+//     tombstone set at a moment the caller guarantees is durable
+//     elsewhere; it heads a fresh segment and every older segment is
+//     deleted. Replay resets its accumulated state at a checkpoint
+//     record, which keeps recovery idempotent when a crash lands
+//     between the checkpoint write and the old-segment unlink.
+//   * Rotate + TruncateBelow (the persist::GenerationStore path): the
+//     Compactor captures the full collection state at sequence number L,
+//     rotates so that records ≤ L live strictly below the returned
+//     segment, persists the generation directory, and only after that
+//     commit truncates the segments below the rotation point. The
+//     manifest records L; recovery replays only records with seqno > L —
+//     the "WAL tail". A crash between commit and truncation merely
+//     leaves stale segments whose records replay idempotently.
+//
+// Fsync policy: appends are buffered and fflush()ed per batch (visible
 // to a reader immediately), but fsync()ed only every `sync_every`
-// records — classic group-commit batching. A power failure can lose at
-// most the records since the last sync; Sync(), AppendCheckpoint and the
-// destructor always force one.
+// records — classic group-commit batching, one fsync covering a whole
+// concurrent batch (see Compactor's staged commit queue). A power
+// failure can lose at most the records since the last sync; Sync(),
+// AppendCheckpoint, Rotate and the destructor always force one.
 //
 // Thread-safety: the writer methods are NOT internally synchronized —
-// the Compactor serializes all appends under its own mutation lock.
-// Replay (static) touches only closed files and may run concurrently
-// with nothing, i.e. call it before constructing the writer's Compactor
-// traffic, as Compactor::Recover does.
+// the Compactor guarantees one writer at a time (the group-commit
+// leader, or the persist path holding the mutation lock with the commit
+// queue drained). TruncateBelow only unlinks closed files below the
+// writer's current segment and may run concurrently with appends.
+// Replay (static) touches only closed files.
 
 #ifndef SOFA_INGEST_WAL_H_
 #define SOFA_INGEST_WAL_H_
@@ -83,13 +97,23 @@ enum class WalRecordType : std::uint8_t {
 };
 
 /// One decoded record, as handed to the replay callback. Only the fields
-/// of the record's type are meaningful.
+/// of the record's type are meaningful (seqno always is).
 struct WalRecord {
   WalRecordType type = WalRecordType::kInsert;
+  std::uint64_t seqno = 0;                 // global, contiguous from 1
   std::uint32_t id = 0;                    // kInsert / kDelete
   std::vector<float> row;                  // kInsert
   std::uint64_t next_id = 0;               // kCheckpoint
   std::vector<std::uint32_t> tombstones;   // kCheckpoint
+};
+
+/// One staged record of a group-commit batch (see AppendBatch). `row`
+/// must stay valid until the call returns and hold the series length
+/// passed to Open; it is read only for kInsert.
+struct WalAppend {
+  WalRecordType type = WalRecordType::kInsert;
+  std::uint32_t id = 0;
+  const float* row = nullptr;  // kInsert only
 };
 
 /// What a replay pass saw.
@@ -98,15 +122,25 @@ struct WalReplayStats {
   std::uint64_t inserts = 0;      // insert records delivered
   std::uint64_t deletes = 0;      // delete records delivered
   std::uint64_t checkpoints = 0;  // checkpoint records delivered
+  std::uint64_t first_seqno = 0;  // seqno of the first delivered record
+  std::uint64_t last_seqno = 0;   // seqno of the last delivered record
   /// True when replay stopped at a torn or corrupt record instead of a
   /// clean end-of-stream; everything delivered before it is trustworthy.
   bool tail_truncated = false;
+  /// True when the seqno chain broke: a retained segment's first record
+  /// does not continue where the previous segment's trusted prefix
+  /// ended (or where `expected_first_seqno` said the stream must
+  /// start). Unlike tail_truncated this means interior records are
+  /// GONE — acknowledged mutations may be lost — and consumers must
+  /// refuse to serve from this log (Compactor::Recover does).
+  bool sequence_gap = false;
 };
 
 class WriteAheadLog {
  public:
   /// Opens `dir` (created if missing) for rows of `length` floats and
-  /// starts a fresh segment after the highest existing one. Existing
+  /// starts a fresh segment after the highest existing one, continuing
+  /// the record sequence from the last valid record on disk. Existing
   /// segments are left untouched — replay them first (Replay /
   /// Compactor::Recover) if their records matter. Returns nullptr when
   /// the directory or first segment cannot be created.
@@ -119,21 +153,21 @@ class WriteAheadLog {
   /// callers reset their accumulated state on it (Compactor::Recover
   /// does). A torn or corrupt record stops the current *segment* cleanly
   /// (flagged via WalReplayStats::tail_truncated) and replay continues
-  /// with the next segment: that is exactly the crash-then-reopen
-  /// pattern, where a later run recovered the valid prefix and appended
-  /// its records to a fresh segment. Detection limits, stated honestly:
-  /// the id-sequence validation consumers layer on top
-  /// (Compactor::Recover) catches lost *insert* records (a gap fails
-  /// the recovery), but a corrupt interior segment that held only
-  /// delete records is structurally indistinguishable from the benign
-  /// crash-reopen pattern — such loss surfaces only as tail_truncated,
-  /// which operators should treat as suspicious on a multi-segment log
-  /// (per-record sequence numbers are the ROADMAP fix). A missing or
-  /// empty directory replays nothing; segments whose header does not
-  /// match `length` are skipped as foreign and flagged the same way.
+  /// with the next segment — the crash-then-reopen pattern. The per-
+  /// record seqno chain is validated across segments: a discontinuity
+  /// flips `sequence_gap` (interior loss — refuse) instead of being
+  /// mistaken for the benign torn tail. `expected_first_seqno`, when
+  /// nonzero, additionally requires the first delivered record's seqno
+  /// to be at most that value — the persist path passes (manifest
+  /// last_seqno + 1) so a WAL whose retained tail starts *after* the
+  /// manifest's fold point (a deleted or lost segment) is refused
+  /// rather than silently replayed with a hole. A missing or empty
+  /// directory replays nothing; segments whose header does not match
+  /// `length` are skipped as foreign and flagged tail_truncated.
   static WalReplayStats Replay(
       const std::string& dir, std::size_t length,
-      const std::function<void(const WalRecord&)>& apply);
+      const std::function<void(const WalRecord&)>& apply,
+      std::uint64_t expected_first_seqno = 0);
 
   /// Segment files currently in `dir`, sorted by sequence number —
   /// exposed for tests and operational tooling.
@@ -147,16 +181,24 @@ class WriteAheadLog {
 
   /// Appends one record; returns false on I/O failure, in which case the
   /// record must be treated as not logged (the Compactor then refuses
-  /// the mutation and a later accepted record may reuse the id): the
-  /// frame is rolled back to the previous record boundary so a refused
-  /// record cannot replay. A failure never bricks the log — the next
-  /// append retries, rotating to a fresh segment if the current one was
-  /// abandoned. Residual double-fault window: when both the fsync of a
-  /// fully written frame AND the rollback ftruncate fail, the refused
-  /// frame stays on disk and would replay under the reused id. `row`
-  /// must have the series length passed to Open.
+  /// the mutation and a later accepted record may reuse the id and
+  /// seqno): the frame is rolled back to the previous record boundary so
+  /// a refused record cannot replay. A failure never bricks the log —
+  /// the next append retries, rotating to a fresh segment if the current
+  /// one was abandoned. Residual double-fault window: when both the
+  /// fsync of a fully written frame AND the rollback ftruncate fail, the
+  /// refused frame stays on disk and would replay under the reused id.
+  /// `row` must have the series length passed to Open.
   bool AppendInsert(std::uint32_t id, const float* row);
   bool AppendDelete(std::uint32_t id);
+
+  /// Appends a whole batch of insert/delete records as consecutive
+  /// frames with ONE buffered write, one fflush and (per sync policy)
+  /// one fsync — the group-commit fast path: N concurrent mutations pay
+  /// one I/O round instead of N. All-or-nothing: on failure the segment
+  /// rolls back to the batch's start boundary, no record of the batch
+  /// replays, and every staged id/seqno may be reused.
+  bool AppendBatch(const std::vector<WalAppend>& batch);
 
   /// Rotates to a fresh segment, writes a checkpoint record carrying
   /// `next_id` and `tombstones`, fsyncs it, and deletes every older
@@ -166,6 +208,23 @@ class WriteAheadLog {
   bool AppendCheckpoint(std::uint64_t next_id,
                         const std::vector<std::uint32_t>& tombstones);
 
+  /// Syncs and closes the current segment and opens a fresh one, whose
+  /// sequence number is returned in `new_segment_seq`. Every record
+  /// appended before the call lives in segments strictly below it — the
+  /// persist path's fold point: capture state, Rotate, persist, then
+  /// TruncateBelow(new_segment_seq) once the generation commit is
+  /// durable. On failure the log stays reopenable by the next append
+  /// and `new_segment_seq` is untouched.
+  bool Rotate(std::uint64_t* new_segment_seq);
+
+  /// Unlinks every segment whose sequence number is below
+  /// `keep_segment_seq` (clamped to the segment currently being
+  /// written). Only sound after the records in those segments are
+  /// durable elsewhere — i.e. after the generation directory recording
+  /// the fold point has committed. Safe to call while appends run: it
+  /// touches only closed files below the writer's segment.
+  void TruncateBelow(std::uint64_t keep_segment_seq);
+
   /// Forces buffered records to stable storage (fsync).
   bool Sync();
 
@@ -173,6 +232,10 @@ class WriteAheadLog {
 
   /// Sequence number of the segment currently being written.
   std::uint64_t segment_seq() const { return seq_; }
+
+  /// Sequence number of the last successfully appended record (0 when
+  /// nothing was ever appended to this log directory).
+  std::uint64_t last_seqno() const { return next_seqno_ - 1; }
 
   /// Records appended since the last fsync (0 right after a sync).
   std::size_t unsynced_records() const { return unsynced_; }
@@ -182,13 +245,14 @@ class WriteAheadLog {
 
   bool OpenSegment(std::uint64_t seq);
   bool CloseSegment(bool sync);
-  bool AppendRecord(const std::vector<unsigned char>& payload);
+  bool AppendFrames(const std::vector<std::vector<unsigned char>>& payloads);
 
   const std::string dir_;
   const std::size_t length_;
   const WalConfig config_;
   std::FILE* file_ = nullptr;
   std::uint64_t seq_ = 0;
+  std::uint64_t next_seqno_ = 1;  // seqno the next record will carry
   std::size_t segment_size_ = 0;
   std::size_t unsynced_ = 0;
 };

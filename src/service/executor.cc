@@ -34,14 +34,25 @@ void RunTasks(std::vector<QueryTask>* tasks, ThreadPool* pool,
       }
       QueryTask& task = (*tasks)[t];
       SOFA_DCHECK(task.result != nullptr);
-      const index::TreeIndex* index =
-          task.index != nullptr ? task.index : default_index;
-      SOFA_DCHECK(index != nullptr);
       if (task.deadline != std::chrono::steady_clock::time_point::max() &&
           task.deadline < std::chrono::steady_clock::now()) {
         task.expired = true;
         continue;
       }
+      if (task.buffer != nullptr) {
+        // Delta-set half of an ingesting query: exact flat scan of the
+        // shard's insert buffer, tombstones masked inline.
+        const std::size_t scanned = task.buffer->SearchKnn(
+            task.query, task.k, task.buffer_start, task.result,
+            task.exclude);
+        if (task.profile != nullptr) {
+          task.profile->series_ed_computed += scanned;
+        }
+        continue;
+      }
+      const index::TreeIndex* index =
+          task.index != nullptr ? task.index : default_index;
+      SOFA_DCHECK(index != nullptr);
       const index::QueryEngine engine(index);
       *task.result = engine.Search(task.query, task.k, task.epsilon,
                                    task.profile, /*num_threads=*/1);

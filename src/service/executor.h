@@ -14,10 +14,13 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "core/neighbor.h"
 #include "index/tree_index.h"
+#include "ingest/insert_buffer.h"
 #include "util/thread_pool.h"
 
 namespace sofa {
@@ -36,6 +39,17 @@ struct QueryTask {
   /// RunThroughputBatch a null entry falls back to the batch-wide index
   /// (the homogeneous single-index case).
   const index::TreeIndex* index = nullptr;
+
+  /// Insert-buffer scan unit: when `buffer` is non-null the task is an
+  /// exact flat scan of the buffer rows [buffer_start, live size)
+  /// instead of a tree search (`index` is then ignored) — the ingest
+  /// path's delta-set half of a query, load-balanced through the same
+  /// executor scatter as the tree halves. `exclude` masks tombstoned
+  /// global ids inside the scan; rows scanned land in
+  /// profile->series_ed_computed like any other real-distance work.
+  const ingest::InsertBuffer* buffer = nullptr;
+  std::size_t buffer_start = 0;
+  const std::unordered_set<std::uint32_t>* exclude = nullptr;
 
   /// Drop-dead time, re-checked when a worker picks the task up (a task
   /// can expire while earlier tasks of the same batch run). Expired

@@ -13,32 +13,53 @@ namespace sofa {
 namespace service {
 namespace {
 
-// Scans the insert buffers of an ingesting generation for one query:
-// appends one ascending already-global top-k list per non-empty buffer
-// range to `extras` and counts the scanned rows (one early-abandoning
-// real-distance evaluation each) into `profile`, if given. Tombstoned
-// rows (`exclude`) are masked inside the scan — no distance work, no
-// count. The scan is exact over whatever live rows are published at call
-// time, so inserts become visible to queries without a republish and
-// deletes vanish the same way.
-void ScanBuffers(const ShardBuffers& buffers, const float* query,
-                 std::size_t k, std::vector<std::vector<Neighbor>>* extras,
-                 index::QueryProfile* profile,
-                 const std::unordered_set<std::uint32_t>* exclude) {
+// The insert-buffer scan half of an ingesting query runs as executor
+// tasks alongside the tree scatter (one task per non-null buffer), so
+// the delta-set work is load-balanced across the same workers instead of
+// serializing on the dispatcher thread. These helpers size and fill the
+// buffer-task block appended after a query's tree-task block.
+std::size_t BufferTaskCount(const IndexSnapshot& snapshot) {
+  if (!snapshot.is_ingesting()) {
+    return 0;
+  }
+  std::size_t count = 0;
+  for (const auto& buffer : snapshot.buffers->buffers) {
+    if (buffer != nullptr) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+// Fills `tasks[at...]` with one scan task per non-null buffer; each
+// task's result/profile slot comes from the parallel arrays at the same
+// offset. Returns one past the last filled slot.
+std::size_t FillBufferTasks(
+    const IndexSnapshot& snapshot, const SearchRequest& request,
+    const std::unordered_set<std::uint32_t>* exclude, bool with_deadline,
+    std::vector<QueryTask>* tasks, std::size_t at,
+    std::vector<std::vector<Neighbor>>* results,
+    std::vector<index::QueryProfile>* profiles) {
+  const ShardBuffers& buffers = *snapshot.buffers;
   for (std::size_t s = 0; s < buffers.buffers.size(); ++s) {
     if (buffers.buffers[s] == nullptr) {
       continue;
     }
-    std::vector<Neighbor> found;
-    const std::size_t scanned = buffers.buffers[s]->SearchKnn(
-        query, k, buffers.start[s], &found, exclude);
-    if (profile != nullptr) {
-      profile->series_ed_computed += scanned;
+    QueryTask& task = (*tasks)[at];
+    task.query = request.query.data();
+    task.k = request.k;
+    if (with_deadline) {
+      task.deadline = request.deadline;
     }
-    if (!found.empty()) {
-      extras->push_back(std::move(found));
-    }
+    task.buffer = buffers.buffers[s].get();
+    task.buffer_start = buffers.start[s];
+    task.exclude = exclude;
+    task.result = &(*results)[at];
+    task.profile =
+        request.collect_profile ? &(*profiles)[at] : nullptr;
+    ++at;
   }
+  return at;
 }
 
 // One consistent tombstone snapshot for a query (or a whole batch): the
@@ -295,28 +316,51 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
             request.collect_profile ? &responses[i].profile : nullptr;
         if (snapshot.is_sharded()) {
           // Intra-query parallelism of a sharded generation = one worker
-          // per shard, gathered by the exact merge — together with the
-          // insert-buffer answers when the generation is ingesting.
+          // per shard task plus one per insert-buffer scan when the
+          // generation is ingesting — the whole query fans through a
+          // single executor batch and gathers in the exact merge.
           // Scatter on the service's pool, not the pool the index was
           // built with (which may be a short-lived builder pool).
-          std::vector<std::vector<Neighbor>> per_shard;
-          std::vector<index::QueryProfile> profiles;
-          snapshot.sharded->ScatterKnn(
-              request.query.data(), request.k, request.epsilon, &per_shard,
-              profile != nullptr ? &profiles : nullptr, config_.num_threads,
-              pool_, k_extra.empty() ? nullptr : &k_extra);
+          const shard::ShardedIndex& sharded = *snapshot.sharded;
+          const std::size_t num_shards = sharded.num_shards();
+          const std::size_t buffer_tasks = BufferTaskCount(snapshot);
+          const std::size_t total_tasks = num_shards + buffer_tasks;
+          std::vector<std::vector<Neighbor>> results(total_tasks);
+          std::vector<index::QueryProfile> profiles(
+              profile != nullptr ? total_tasks : 0);
+          std::vector<QueryTask> tasks(total_tasks);
+          for (std::size_t s = 0; s < num_shards; ++s) {
+            QueryTask& task = tasks[s];
+            task.index = sharded.shard(s).tree.get();
+            task.query = request.query.data();
+            task.k = request.k + (k_extra.empty() ? 0 : k_extra[s]);
+            task.epsilon = request.epsilon;
+            task.result = &results[s];
+            task.profile = profile != nullptr ? &profiles[s] : nullptr;
+          }
+          if (buffer_tasks > 0) {
+            FillBufferTasks(snapshot, request, tombstones.get(),
+                            /*with_deadline=*/false, &tasks, num_shards,
+                            &results, &profiles);
+          }
+          RunTaskBatch(&tasks, pool_, config_.num_threads);
           if (profile != nullptr) {
-            for (const index::QueryProfile& shard_profile : profiles) {
-              profile->Merge(shard_profile);
+            for (const index::QueryProfile& task_profile : profiles) {
+              profile->Merge(task_profile);
             }
           }
+          std::vector<std::vector<Neighbor>> per_shard(
+              std::make_move_iterator(results.begin()),
+              std::make_move_iterator(
+                  results.begin() + static_cast<std::ptrdiff_t>(num_shards)));
           std::vector<std::vector<Neighbor>> extras;
-          if (snapshot.is_ingesting()) {
-            ScanBuffers(*snapshot.buffers, request.query.data(), request.k,
-                        &extras, profile, tombstones.get());
+          for (std::size_t t = num_shards; t < total_tasks; ++t) {
+            if (!results[t].empty()) {
+              extras.push_back(std::move(results[t]));
+            }
           }
           std::uint64_t filtered = 0;
-          responses[i].neighbors = snapshot.sharded->MergeTopK(
+          responses[i].neighbors = sharded.MergeTopK(
               per_shard, request.k, std::move(extras), tombstones.get(),
               &filtered);
           if (profile != nullptr) {
@@ -368,10 +412,11 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
 }
 
 // Throughput mode over a sharded generation: the whole batch flattens to
-// (query × shard) single-threaded tasks — the executor load-balances the
-// scatter of all queries at once — then each query's per-shard heaps are
-// gathered into its exact global top-k, merged with the insert-buffer
-// answers when the generation is ingesting.
+// (query × shard) single-threaded tasks — plus one (query × buffer) scan
+// task per non-null insert buffer when the generation is ingesting — so
+// the executor load-balances the scatter of all queries at once; then
+// each query's per-shard heaps and buffer answers are gathered into its
+// exact global top-k.
 void SearchService::ExecuteShardedThroughput(
     const IndexSnapshot& snapshot, std::vector<PendingRequest>* batch,
     const std::vector<std::size_t>& runnable,
@@ -387,9 +432,16 @@ void SearchService::ExecuteShardedThroughput(
   if (tombstones != nullptr) {
     k_extra = ShardKExtra(snapshot, *tombstones);
   }
-  std::vector<std::vector<Neighbor>> results(runnable.size() * num_shards);
-  std::vector<index::QueryProfile> profiles(runnable.size() * num_shards);
-  std::vector<QueryTask> tasks(runnable.size() * num_shards);
+  // Task layout: the (query × shard) tree block first, then one
+  // per-query buffer block — every slot of `results`/`profiles` lines up
+  // with its task index.
+  const std::size_t tree_tasks = runnable.size() * num_shards;
+  const std::size_t buffer_tasks = BufferTaskCount(snapshot);
+  const std::size_t total_tasks =
+      tree_tasks + runnable.size() * buffer_tasks;
+  std::vector<std::vector<Neighbor>> results(total_tasks);
+  std::vector<index::QueryProfile> profiles(total_tasks);
+  std::vector<QueryTask> tasks(total_tasks);
   for (std::size_t q = 0; q < runnable.size(); ++q) {
     const SearchRequest& request = (*batch)[runnable[q]].request;
     for (std::size_t s = 0; s < num_shards; ++s) {
@@ -403,6 +455,11 @@ void SearchService::ExecuteShardedThroughput(
       task.profile =
           request.collect_profile ? &profiles[q * num_shards + s] : nullptr;
     }
+    if (buffer_tasks > 0) {
+      FillBufferTasks(snapshot, request, tombstones.get(),
+                      /*with_deadline=*/true, &tasks,
+                      tree_tasks + q * buffer_tasks, &results, &profiles);
+    }
   }
   RunTaskBatch(&tasks, pool_, config_.num_threads);
   metrics_.RecordThroughputBatch(runnable.size());
@@ -411,10 +468,13 @@ void SearchService::ExecuteShardedThroughput(
     SearchResponse& response = (*responses)[runnable[q]];
     const SearchRequest& request = (*batch)[runnable[q]].request;
     // A query whose scatter partially expired has no exact answer — fail
-    // it whole rather than merge a subset of shards.
+    // it whole rather than merge a subset of its tree/buffer sources.
     bool expired = false;
     for (std::size_t s = 0; s < num_shards; ++s) {
       expired = expired || tasks[q * num_shards + s].expired;
+    }
+    for (std::size_t b = 0; b < buffer_tasks; ++b) {
+      expired = expired || tasks[tree_tasks + q * buffer_tasks + b].expired;
     }
     if (expired) {
       response.status = RequestStatus::kDeadlineExpired;
@@ -429,10 +489,14 @@ void SearchService::ExecuteShardedThroughput(
       }
     }
     std::vector<std::vector<Neighbor>> extras;
-    if (snapshot.is_ingesting()) {
-      ScanBuffers(*snapshot.buffers, request.query.data(), request.k, &extras,
-                  request.collect_profile ? &response.profile : nullptr,
-                  tombstones.get());
+    for (std::size_t b = 0; b < buffer_tasks; ++b) {
+      const std::size_t t = tree_tasks + q * buffer_tasks + b;
+      if (request.collect_profile) {
+        response.profile.Merge(profiles[t]);
+      }
+      if (!results[t].empty()) {
+        extras.push_back(std::move(results[t]));
+      }
     }
     std::uint64_t filtered = 0;
     response.neighbors = sharded.MergeTopK(per_shard, request.k,

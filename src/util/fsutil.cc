@@ -1,0 +1,41 @@
+#include "util/fsutil.h"
+
+#include <cerrno>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace sofa {
+
+bool MakeDirs(const std::string& dir) {
+  std::string prefix;
+  std::size_t at = 0;
+  while (at < dir.size()) {
+    const std::size_t next = dir.find('/', at);
+    const std::size_t end = next == std::string::npos ? dir.size() : next;
+    prefix.append(dir, at, end - at + (next == std::string::npos ? 0 : 1));
+    at = end + 1;
+    if (prefix.empty() || prefix == "/") {
+      continue;
+    }
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return false;
+    }
+  }
+  struct stat info;
+  return ::stat(dir.c_str(), &info) == 0 && S_ISDIR(info.st_mode);
+}
+
+bool FsyncPath(const std::string& path, bool directory) {
+  const int fd =
+      ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd < 0) {
+    return false;
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace sofa

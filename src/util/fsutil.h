@@ -1,0 +1,22 @@
+// Small filesystem helpers shared by the durability layers (WAL segment
+// directories, generation stores): recursive directory creation and
+// fsync of files/directories by path.
+
+#ifndef SOFA_UTIL_FSUTIL_H_
+#define SOFA_UTIL_FSUTIL_H_
+
+#include <string>
+
+namespace sofa {
+
+/// mkdir -p: creates every missing component; true when `dir` exists (or
+/// already existed) as a directory afterwards.
+bool MakeDirs(const std::string& dir);
+
+/// Opens `path` read-only (O_DIRECTORY when `directory`) and fsyncs it —
+/// how renames and freshly written files are made durable.
+bool FsyncPath(const std::string& path, bool directory);
+
+}  // namespace sofa
+
+#endif  // SOFA_UTIL_FSUTIL_H_
