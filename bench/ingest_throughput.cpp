@@ -37,6 +37,11 @@
 //        --k=10 --threads=4 --shards=2 --leaf_size=1000
 //        --thresholds=500,2000,8000 --clients=2 --seed=7
 //        --delete_ratio=0.1 --wal-dir= --fsyncs=1,64,0 --persist-dir=
+//        --stats-json=FILE
+//
+// The run ends with a JSON dump of the shared metrics registry (service,
+// ingest, WAL and persist instruments aggregated over the whole sweep);
+// --stats-json also writes it to a file for machine consumption.
 
 #include <algorithm>
 #include <atomic>
@@ -54,6 +59,8 @@
 #include "core/znorm.h"
 #include "ingest/compactor.h"
 #include "ingest/wal.h"
+#include "obs/exposition.h"
+#include "obs/registry.h"
 #include "persist/generation_store.h"
 #include "service/search_service.h"
 #include "service/snapshot.h"
@@ -95,6 +102,26 @@ std::vector<std::size_t> ParseSizeList(const Flags& flags,
     values.push_back(static_cast<std::size_t>(std::stoull(item)));
   }
   return values.empty() ? fallback : values;
+}
+
+// End-of-run registry dump: printed to stdout and, with --stats-json,
+// written to a file (what the bench-smoke CI step validates).
+void DumpRegistry(obs::Registry* registry, const Flags& flags) {
+  const std::string rendered = obs::RenderJson(registry->Collect());
+  std::printf("\nregistry snapshot (JSON):\n%s", rendered.c_str());
+  const std::string path = flags.GetString("stats-json", "");
+  if (path.empty()) {
+    return;
+  }
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr ||
+      std::fwrite(rendered.data(), 1, rendered.size(), out) !=
+          rendered.size() ||
+      std::fclose(out) != 0) {
+    std::fprintf(stderr, "failed to write --stats-json %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote registry snapshot to %s\n", path.c_str());
 }
 
 struct RunResult {
@@ -248,6 +275,9 @@ int main(int argc, char** argv) {
   const Dataset inserts = RandomWalk(n_insert, length, seed + 1);
   const Dataset queries = RandomWalk(n_queries, length, seed + 2);
   ThreadPool pool(threads);
+  // One registry across every configuration: service + ingest + WAL +
+  // persist instruments aggregate over the whole sweep.
+  obs::Registry registry;
 
   sfa::SfaConfig sfa_config;
   sfa_config.word_length = 16;
@@ -268,7 +298,10 @@ int main(int argc, char** argv) {
                       "Compactions", "Id space"});
 
   {
-    service::SearchService svc(service::WrapShardedIndex(sharded), &pool);
+    service::ServiceConfig service_config;
+    service_config.registry = &registry;
+    service::SearchService svc(service::WrapShardedIndex(sharded), &pool,
+                               service_config);
     const RunResult r = Run(&svc, nullptr, queries, nullptr, n_series, 0.0,
                             k, clients, seed + 3);
     table.AddRow({"query-only", "-", "-", "-", "-", FormatDouble(r.qps, 1),
@@ -302,9 +335,13 @@ int main(int argc, char** argv) {
       }
     }
     for (const auto& [label, sync, persist] : variants) {
-      service::SearchService svc(service::WrapShardedIndex(sharded), &pool);
+      service::ServiceConfig service_config;
+      service_config.registry = &registry;
+      service::SearchService svc(service::WrapShardedIndex(sharded), &pool,
+                                 service_config);
       ingest::IngestConfig ingest_config;
       ingest_config.compact_threshold = threshold;
+      ingest_config.registry = &registry;
       const std::string run_tag =
           "/t" + std::to_string(threshold) + "_s" + label +
           (persist ? "_p" : "");
@@ -318,7 +355,8 @@ int main(int argc, char** argv) {
       }
       std::unique_ptr<persist::GenerationStore> store;
       if (persist) {
-        store = persist::GenerationStore::Open(persist_dir + run_tag);
+        store = persist::GenerationStore::Open(persist_dir + run_tag,
+                                               &registry);
         if (store == nullptr) {
           std::fprintf(stderr, "cannot open persist dir %s%s\n",
                        persist_dir.c_str(), run_tag.c_str());
@@ -358,5 +396,6 @@ int main(int argc, char** argv) {
               "filtering against rebuild timing, and the WAL trades fsync "
               "latency against the durability window — never "
               "correctness.\n");
+  DumpRegistry(&registry, flags);
   return 0;
 }

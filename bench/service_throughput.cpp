@@ -26,7 +26,11 @@
 //
 // Flags: --n_series=50000 --n_queries=400 --length=256 --k=10
 //        --threads=1,2,4 --batches=1,8,32,128 --shards=1,2,4
-//        --leaf_size=1000 --seed=7
+//        --leaf_size=1000 --seed=7 --stats-json=FILE
+//
+// The run ends with a JSON dump of the shared metrics registry (all
+// service instances aggregate into it); --stats-json also writes it to a
+// file for machine consumption.
 
 #include <algorithm>
 #include <cstdio>
@@ -39,6 +43,8 @@
 #include "core/znorm.h"
 #include "index/query_engine.h"
 #include "index/tree_index.h"
+#include "obs/exposition.h"
+#include "obs/registry.h"
 #include "service/executor.h"
 #include "service/search_service.h"
 #include "service/snapshot.h"
@@ -84,6 +90,26 @@ std::vector<std::size_t> ParseSizeList(const Flags& flags,
   return values.empty() ? fallback : values;
 }
 
+// End-of-run registry dump: printed to stdout and, with --stats-json,
+// written to a file (what the bench-smoke CI step validates).
+void DumpRegistry(obs::Registry* registry, const Flags& flags) {
+  const std::string rendered = obs::RenderJson(registry->Collect());
+  std::printf("\nregistry snapshot (JSON):\n%s", rendered.c_str());
+  const std::string path = flags.GetString("stats-json", "");
+  if (path.empty()) {
+    return;
+  }
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr ||
+      std::fwrite(rendered.data(), 1, rendered.size(), out) !=
+          rendered.size() ||
+      std::fclose(out) != 0) {
+    std::fprintf(stderr, "failed to write --stats-json %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote registry snapshot to %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -118,6 +144,10 @@ int main(int argc, char** argv) {
     max_threads = std::max(max_threads, t);
   }
   ThreadPool pool(max_threads);
+  // One registry shared by every service instance in the sweep: the same
+  // instrument names resolve to the same counters, so the final snapshot
+  // aggregates the whole run.
+  obs::Registry registry;
 
   sfa::SfaConfig sfa_config;
   sfa_config.word_length = 16;
@@ -188,6 +218,7 @@ int main(int argc, char** argv) {
       config.max_pending = queries.size();
       config.num_threads = threads;
       config.start_paused = true;  // stage the backlog, then go
+      config.registry = &registry;
       service::SearchService svc(service::WrapIndex(&tree), &pool, config);
       std::vector<std::future<service::SearchResponse>> futures;
       futures.reserve(queries.size());
@@ -239,6 +270,7 @@ int main(int argc, char** argv) {
       config.max_pending = queries.size();
       config.num_threads = threads;
       config.start_paused = true;
+      config.registry = &registry;
       service::SearchService svc(service::WrapShardedIndex(sharded), &pool,
                                  config);
       std::vector<std::future<service::SearchResponse>> futures;
@@ -289,5 +321,6 @@ int main(int argc, char** argv) {
                 "coordination overhead that throughput mode removes.\n",
                 HardwareThreads());
   }
+  DumpRegistry(&registry, flags);
   return 0;
 }

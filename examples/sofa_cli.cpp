@@ -22,6 +22,12 @@
 //                     [--insert-file=rows.fvecs] [--compact-threshold=1024]
 //                     [--delete-file=ids.txt] [--wal-dir=DIR]
 //                     [--wal-sync=64] [--data-dir=DIR]
+//                     [--stats-file=PATH] [--stats-interval=SECONDS]
+//                     [--stats-format=json|prometheus]
+//                     [--trace-sample=N] [--slow-query-ms=MS]
+//                     [--slow-log=64]
+//   sofa_cli stats    --stats-file=PATH [--format=pretty|prometheus|json]
+//                     (pretty-prints a JSON stats dump written by serve)
 //                     (streams the queries through the SearchService and
 //                      prints serving metrics: QPS, p50/p95/p99, pruning;
 //                      --shards reloads the per-shard files written by
@@ -53,7 +59,15 @@
 //                      --data/--index required — replaying only the
 //                      mutations since the last compaction, and answers
 //                      bit-identical to the pre-crash process. Ingest
-//                      metrics print alongside the serving metrics.)
+//                      metrics print alongside the serving metrics;
+//                      --stats-file dumps the unified metrics registry
+//                      (service + ingest + WAL + persist) there at exit —
+//                      and every --stats-interval seconds while serving —
+//                      as JSON or Prometheus text exposition;
+//                      --trace-sample=N traces every Nth query;
+//                      --slow-query-ms traces every query and keeps the
+//                      last --slow-log traces that crossed the threshold
+//                      (or expired their deadline), printed at exit.)
 //
 // Data files may be .fvecs (auto-detected by extension), .bvecs, or raw
 // float32 (pass --length). Demonstrates the full persistence story:
@@ -61,11 +75,14 @@
 
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <future>
 #include <limits>
+#include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -76,6 +93,9 @@
 #include "index/serialization.h"
 #include "index/tree_index.h"
 #include "ingest/compactor.h"
+#include "obs/exposition.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "persist/generation_store.h"
 #include "service/search_service.h"
 #include "service/snapshot.h"
@@ -350,10 +370,69 @@ int Info(const Flags& flags, ThreadPool* pool) {
   return 0;
 }
 
+// Collects the registry and writes it to `path` atomically (tmp +
+// rename), in the chosen exposition format. The periodic dump thread and
+// the final dump share this.
+bool WriteStatsFile(obs::Registry* registry, const std::string& path,
+                    const std::string& format) {
+  const std::vector<obs::InstrumentSnapshot> snapshot = registry->Collect();
+  const std::string body = format == "prometheus"
+                               ? obs::RenderPrometheus(snapshot)
+                               : obs::RenderJson(snapshot);
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) {
+    return false;
+  }
+  bool ok = body.empty() ||
+            std::fwrite(body.data(), 1, body.size(), out) == body.size();
+  ok = (std::fclose(out) == 0) && ok;
+  return ok && std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+// `sofa_cli stats` — pretty-prints (or re-renders) a JSON stats dump
+// written by `serve --stats-file`.
+int StatsCommand(const Flags& flags) {
+  const std::string path = flags.GetString("stats-file", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "missing --stats-file\n");
+    return 1;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::vector<obs::InstrumentSnapshot> snapshot;
+  std::string error;
+  if (!obs::ParseStatsJson(buffer.str(), &snapshot, &error)) {
+    std::fprintf(stderr, "%s: not a stats JSON dump (%s)\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  const std::string format = flags.GetString("format", "pretty");
+  std::string rendered;
+  if (format == "prometheus") {
+    rendered = obs::RenderPrometheus(snapshot);
+  } else if (format == "json") {
+    rendered = obs::RenderJson(snapshot);
+  } else {
+    rendered = obs::RenderPretty(snapshot);
+  }
+  std::fputs(rendered.c_str(), stdout);
+  return 0;
+}
+
 // Streams the query file through a SearchService and reports serving
 // metrics — the serving-layer counterpart of `query` (which times one
 // exploratory query at a time).
 int Serve(const Flags& flags, ThreadPool* pool) {
+  // One registry for every layer: the service, the ingest path, the WAL
+  // and the generation store all register their instruments here, so one
+  // Collect() (stats dump, `sofa_cli stats`) covers the whole process.
+  obs::Registry registry;
   // --data-dir: the durable deployment root. A generation already in its
   // store supersedes --data/--index — the serving state restarts from
   // (newest intact generation + WAL tail) alone.
@@ -365,7 +444,8 @@ int Serve(const Flags& flags, ThreadPool* pool) {
     if (wal_dir.empty()) {
       wal_dir = data_dir + "/wal";
     }
-    store = persist::GenerationStore::Open(data_dir + "/generations");
+    store = persist::GenerationStore::Open(data_dir + "/generations",
+                                           &registry);
     if (store == nullptr) {
       std::fprintf(stderr, "cannot open --data-dir %s\n", data_dir.c_str());
       return 1;
@@ -457,6 +537,12 @@ int Serve(const Flags& flags, ThreadPool* pool) {
   } else if (mode == "throughput") {
     config.latency_mode_threshold = 0;  // always cross-query
   }
+  config.registry = &registry;
+  config.trace.sample_every =
+      static_cast<std::uint32_t>(flags.GetInt("trace-sample", 0));
+  config.trace.slow_query_ms = flags.GetDouble("slow-query-ms", 0.0);
+  config.trace.slow_log_capacity =
+      static_cast<std::size_t>(flags.GetInt("slow-log", 64));
   service::SearchService svc(std::move(snapshot), pool, config);
 
   // With any mutation source, attach the incremental ingest path and
@@ -475,6 +561,7 @@ int Serve(const Flags& flags, ThreadPool* pool) {
     ingest_config.wal.sync_every =
         static_cast<std::size_t>(flags.GetInt("wal-sync", 64));
     ingest_config.store = store.get();
+    ingest_config.registry = &registry;
     if (restored.has_value()) {
       const ingest::RecoveredBase recovered_base =
           ingest::MakeRecoveredBase(*restored);
@@ -553,6 +640,30 @@ int Serve(const Flags& flags, ThreadPool* pool) {
     });
   }
 
+  // Periodic stats dump: a background thread re-renders the registry to
+  // --stats-file every --stats-interval seconds (atomic tmp + rename, so
+  // a reader never sees a torn file); the final state is dumped at exit
+  // regardless of the interval.
+  const std::string stats_file = flags.GetString("stats-file", "");
+  const double stats_interval = flags.GetDouble("stats-interval", 0.0);
+  const std::string stats_format = flags.GetString("stats-format", "json");
+  std::mutex stats_mutex;
+  std::condition_variable stats_cv;
+  bool stats_stop = false;
+  std::thread stats_thread;
+  if (!stats_file.empty() && stats_interval > 0.0) {
+    stats_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(stats_mutex);
+      while (!stats_cv.wait_for(
+          lock, std::chrono::duration<double>(stats_interval),
+          [&] { return stats_stop; })) {
+        lock.unlock();
+        WriteStatsFile(&registry, stats_file, stats_format);
+        lock.lock();
+      }
+    });
+  }
+
   WallTimer timer;
   std::vector<std::future<service::SearchResponse>> futures;
   futures.reserve(queries->size() * repeat);
@@ -602,12 +713,15 @@ int Serve(const Flags& flags, ThreadPool* pool) {
               static_cast<unsigned long long>(metrics.throughput_batches),
               static_cast<unsigned long long>(metrics.throughput_queries));
   std::printf("  pruning: %.1f%% of series cut by LBD before raw data "
-              "(%llu LBD checks, %llu real distances)\n",
+              "(%llu LBD checks, %llu real distances, %llu candidates "
+              "filtered post-scan)\n",
               100.0 * metrics.profile.SeriesPruningRatio(),
               static_cast<unsigned long long>(
                   metrics.profile.series_lbd_checked),
               static_cast<unsigned long long>(
-                  metrics.profile.series_ed_computed));
+                  metrics.profile.series_ed_computed),
+              static_cast<unsigned long long>(
+                  metrics.profile.candidates_filtered));
   if (compactor.has_value()) {
     const ingest::IngestMetrics ingest_metrics = compactor->Metrics();
     std::printf("  ingest: %llu inserted (%llu rejected), %llu deleted, "
@@ -626,6 +740,43 @@ int Serve(const Flags& flags, ThreadPool* pool) {
                   static_cast<unsigned long long>(
                       ingest_metrics.persist_failures),
                   data_dir.c_str());
+    }
+  }
+
+  // Slow-query dump: every retained trace, oldest first.
+  if (config.trace.slow_query_ms > 0.0) {
+    const obs::SlowQueryLog& slow_log = svc.slow_query_log();
+    const std::vector<obs::TraceRecord> slow = slow_log.Dump();
+    std::printf("  slow queries over %.2f ms: %llu total, %zu retained "
+                "(%llu evicted from the %zu-entry ring)\n",
+                config.trace.slow_query_ms,
+                static_cast<unsigned long long>(slow_log.TotalPushed()),
+                slow.size(),
+                static_cast<unsigned long long>(slow_log.TotalEvicted()),
+                slow_log.capacity());
+    for (const obs::TraceRecord& record : slow) {
+      std::fputs(obs::FormatTrace(record).c_str(), stdout);
+    }
+  }
+
+  // Final stats dump — after the ingest Flush and every printout above,
+  // so the file covers the complete run.
+  if (stats_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      stats_stop = true;
+    }
+    stats_cv.notify_all();
+    stats_thread.join();
+  }
+  if (!stats_file.empty()) {
+    if (WriteStatsFile(&registry, stats_file, stats_format)) {
+      std::printf("  stats: wrote %s (%s)\n", stats_file.c_str(),
+                  stats_format.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write --stats-file %s\n",
+                   stats_file.c_str());
+      return 1;
     }
   }
   return 0;
@@ -747,7 +898,7 @@ int main(int argc, char** argv) {
   if (flags.positional().empty()) {
     std::fprintf(stderr,
                  "usage: sofa_cli "
-                 "generate|build|query|serve|info|dtw-scan|subseq|tlb "
+                 "generate|build|query|serve|stats|info|dtw-scan|subseq|tlb "
                  "[flags]\n");
     return 1;
   }
@@ -763,6 +914,9 @@ int main(int argc, char** argv) {
   }
   if (command == "serve") {
     return Serve(flags, &pool);
+  }
+  if (command == "stats") {
+    return StatsCommand(flags);
   }
   if (command == "info") {
     return Info(flags, &pool);

@@ -61,6 +61,9 @@ Compactor::Compactor(service::SearchService* service,
   shard_tombstone_counts_ =
       std::make_shared<std::vector<std::atomic<std::size_t>>>(num_shards_);
   if (!config_.wal_dir.empty()) {
+    if (config_.wal.registry == nullptr) {
+      config_.wal.registry = config_.registry;
+    }
     wal_ = WriteAheadLog::Open(config_.wal_dir, length_, config_.wal);
     SOFA_CHECK(wal_ != nullptr)
         << "cannot open write-ahead log in " << config_.wal_dir;
@@ -117,10 +120,64 @@ Compactor::Compactor(service::SearchService* service,
     std::unique_lock<std::mutex> lock(mutex_);
     PublishLocked(sharded_, &lock);
   }
+  if (config_.registry != nullptr) {
+    obs::Registry* reg = config_.registry;
+    static const char* kNames[8] = {
+        "sofa_ingest_inserted_total",        "sofa_ingest_rejected_total",
+        "sofa_ingest_invalid_total",         "sofa_ingest_deleted_total",
+        "sofa_ingest_io_errors_total",       "sofa_ingest_compactions_total",
+        "sofa_ingest_persisted_total",       "sofa_ingest_persist_failures_total"};
+    static const char* kHelp[8] = {
+        "Rows accepted by Insert()",
+        "Rows bounced at the ingest admission bound",
+        "Rows refused permanently (length mismatch, id exhaustion)",
+        "Deletes accepted (recovered ones included)",
+        "Mutations refused on WAL I/O failure",
+        "Shard rebuilds published",
+        "Generation directories committed to the store",
+        "Failed generation persist attempts"};
+    for (std::size_t i = 0; i < 8; ++i) {
+      ing_counters_[i] = reg->GetCounter(kNames[i], {}, kHelp[i]);
+    }
+    ing_pending_ = reg->GetGauge("sofa_ingest_pending_rows", {},
+                                 "Rows buffered, not yet folded into trees");
+    ing_tombstones_ =
+        reg->GetGauge("sofa_ingest_tombstones", {},
+                      "Deleted ids not yet purged by compaction");
+    ing_total_rows_ =
+        reg->GetGauge("sofa_ingest_total_rows", {},
+                      "Ids allocated: base + accepted inserts");
+    SyncRegistry();
+    collect_hook_id_ = reg->AddCollectHook([this] { SyncRegistry(); });
+    collect_hook_registered_ = true;
+  }
   compaction_thread_ = std::thread([this] { CompactorLoop(); });
 }
 
+void Compactor::SyncRegistry() {
+  const IngestMetrics m = Metrics();
+  ing_counters_[0]->Set(m.inserted);
+  ing_counters_[1]->Set(m.rejected);
+  ing_counters_[2]->Set(m.invalid);
+  ing_counters_[3]->Set(m.deleted);
+  ing_counters_[4]->Set(m.io_errors);
+  ing_counters_[5]->Set(m.compactions);
+  ing_counters_[6]->Set(m.persisted);
+  ing_counters_[7]->Set(m.persist_failures);
+  ing_pending_->Set(static_cast<double>(m.pending));
+  ing_tombstones_->Set(static_cast<double>(m.tombstones));
+  ing_total_rows_->Set(static_cast<double>(m.total_rows));
+}
+
 Compactor::~Compactor() {
+  if (collect_hook_registered_) {
+    // Before anything else: a Collect() racing the teardown must not call
+    // back into a half-destroyed compactor. One last sync so the final
+    // values outlive the hook.
+    config_.registry->RemoveCollectHook(collect_hook_id_);
+    collect_hook_registered_ = false;
+    SyncRegistry();
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;

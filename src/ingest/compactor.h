@@ -86,6 +86,7 @@
 #include "ingest/insert_buffer.h"
 #include "ingest/tombstone_set.h"
 #include "ingest/wal.h"
+#include "obs/registry.h"
 #include "persist/generation_store.h"
 #include "service/search_service.h"
 #include "service/snapshot.h"
@@ -160,6 +161,12 @@ struct IngestConfig {
   /// of band no later than each publish. With `store` set this flag is
   /// ignored — the store's fold-point truncation supersedes it.
   bool checkpoint_on_compact = false;
+
+  /// Metrics registry the compactor mirrors its counters into (as
+  /// sofa_ingest_* instruments, refreshed on every Collect). Also passed
+  /// through to the WAL (WalConfig::registry) unless that is set
+  /// explicitly. Null (default): Metrics() is the only readout.
+  obs::Registry* registry = nullptr;
 };
 
 /// Point-in-time ingest counters.
@@ -348,6 +355,9 @@ class Compactor {
   void ApplyDeleteLocked(std::uint32_t id, std::size_t s);
   void DrainCommitQueueLocked(std::unique_lock<std::mutex>* lock);
   bool PersistLocked(std::unique_lock<std::mutex>* lock);
+  // Mirrors the locked counters into the registry instruments; runs as a
+  // registry collect hook (outside the registry mutex — see Registry).
+  void SyncRegistry();
 
   service::SearchService* service_;
   IngestConfig config_;
@@ -440,6 +450,18 @@ class Compactor {
   };
   std::vector<PendingPurge> pending_purges_;
   std::unordered_set<std::uint32_t> pending_purge_ids_;
+
+  // sofa_ingest_* instruments (null without IngestConfig::registry).
+  // Counters are Set(), not Add()ed, from the locked counters above —
+  // checkpoint replay *assigns* (e.g. deleted_ = tombstones.size()), so
+  // mirroring is the only faithful mapping.
+  obs::Counter* ing_counters_[8] = {nullptr, nullptr, nullptr, nullptr,
+                                    nullptr, nullptr, nullptr, nullptr};
+  obs::Gauge* ing_pending_ = nullptr;
+  obs::Gauge* ing_tombstones_ = nullptr;
+  obs::Gauge* ing_total_rows_ = nullptr;
+  std::uint64_t collect_hook_id_ = 0;
+  bool collect_hook_registered_ = false;
 
   std::thread compaction_thread_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include <dirent.h>
@@ -181,7 +182,41 @@ std::uint64_t ScanNextSeqno(const std::string& dir, std::size_t length) {
 
 WriteAheadLog::WriteAheadLog(std::string dir, std::size_t length,
                              WalConfig config)
-    : dir_(std::move(dir)), length_(length), config_(config) {}
+    : dir_(std::move(dir)), length_(length), config_(config) {
+  if (config_.registry != nullptr) {
+    obs::Registry* registry = config_.registry;
+    fsync_total_ = registry->GetCounter("sofa_wal_fsync_total", {},
+                                        "WAL fsync calls");
+    obs::HistogramOptions fsync_options;
+    fsync_options.min_value = 1e-3;
+    fsync_options.max_value = 1e4;
+    fsync_ms_ = registry->GetHistogram("sofa_wal_fsync_ms", fsync_options,
+                                       {}, "WAL fsync latency (ms)");
+    records_total_ = registry->GetCounter("sofa_wal_appended_records_total",
+                                          {}, "Records appended to the WAL");
+    segments_total_ = registry->GetCounter("sofa_wal_segments_opened_total",
+                                           {}, "WAL segment files opened");
+    obs::HistogramOptions batch_options;
+    batch_options.min_value = 1.0;
+    batch_options.max_value = 1e5;
+    batch_options.buckets_per_decade = 10;
+    batch_size_ = registry->GetHistogram(
+        "sofa_wal_commit_batch_size", batch_options, {},
+        "Records per group-commit batch (AppendBatch)");
+  }
+}
+
+bool WriteAheadLog::FsyncTimed() {
+  const auto start = std::chrono::steady_clock::now();
+  const bool ok = ::fsync(::fileno(file_)) == 0;
+  if (fsync_total_ != nullptr) {
+    fsync_total_->Add();
+    fsync_ms_->Record(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
+  }
+  return ok;
+}
 
 std::unique_ptr<WriteAheadLog> WriteAheadLog::Open(const std::string& dir,
                                                    std::size_t length,
@@ -235,6 +270,9 @@ bool WriteAheadLog::OpenSegment(std::uint64_t seq) {
     return false;
   }
   segment_size_ = kSegmentHeaderBytes;
+  if (segments_total_ != nullptr) {
+    segments_total_->Add();
+  }
   return true;
 }
 
@@ -244,7 +282,7 @@ bool WriteAheadLog::CloseSegment(bool sync) {
   }
   bool ok = std::fflush(file_) == 0;
   if (sync && ok) {
-    ok = ::fsync(::fileno(file_)) == 0;
+    ok = FsyncTimed();
     if (ok) {
       unsynced_ = 0;
     }
@@ -258,7 +296,7 @@ bool WriteAheadLog::Sync() {
   if (file_ == nullptr) {
     return false;
   }
-  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+  if (std::fflush(file_) != 0 || !FsyncTimed()) {
     return false;
   }
   unsynced_ = 0;
@@ -303,22 +341,31 @@ bool WriteAheadLog::AppendFrames(
     frames.insert(frames.end(), payload.begin(), payload.end());
     ++seqno;
   }
+  if (batch_size_ != nullptr) {
+    batch_size_->Record(static_cast<double>(payloads.size()));
+  }
   bool ok = std::fwrite(frames.data(), 1, frames.size(), file_) ==
                 frames.size() &&
             std::fflush(file_) == 0;
   if (ok && config_.sync_every > 0 &&
       unsynced_ + payloads.size() >= config_.sync_every) {
-    ok = ::fsync(::fileno(file_)) == 0;
+    ok = FsyncTimed();
     if (ok) {
       unsynced_ = 0;
       segment_size_ += frames.size();
       next_seqno_ = seqno;
+      if (records_total_ != nullptr) {
+        records_total_->Add(payloads.size());
+      }
       return true;
     }
   } else if (ok) {
     segment_size_ += frames.size();
     unsynced_ += payloads.size();
     next_seqno_ = seqno;
+    if (records_total_ != nullptr) {
+      records_total_->Add(payloads.size());
+    }
     return true;
   }
   // Refused batch: roll the segment back to the batch's start boundary

@@ -75,6 +75,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.h"
+
 namespace sofa {
 namespace ingest {
 
@@ -87,6 +89,12 @@ struct WalConfig {
   /// durability, minimal throughput; 0 = only on Sync()/checkpoint/
   /// close). The unsynced window is what a power failure can lose.
   std::size_t sync_every = 64;
+
+  /// When non-null the writer registers its instruments here (fsync
+  /// count/latency, appended records, group-commit batch sizes, segments
+  /// opened) — see docs/OBSERVABILITY.md. The registry must outlive the
+  /// log.
+  obs::Registry* registry = nullptr;
 };
 
 /// Record kinds in the stream (the on-disk u8 tag).
@@ -246,6 +254,7 @@ class WriteAheadLog {
   bool OpenSegment(std::uint64_t seq);
   bool CloseSegment(bool sync);
   bool AppendFrames(const std::vector<std::vector<unsigned char>>& payloads);
+  bool FsyncTimed();  // fsync(file_) + fsync count/latency instruments
 
   const std::string dir_;
   const std::size_t length_;
@@ -255,6 +264,13 @@ class WriteAheadLog {
   std::uint64_t next_seqno_ = 1;  // seqno the next record will carry
   std::size_t segment_size_ = 0;
   std::size_t unsynced_ = 0;
+
+  // Registry instruments; null when WalConfig::registry is unset.
+  obs::Counter* fsync_total_ = nullptr;
+  obs::Histogram* fsync_ms_ = nullptr;
+  obs::Counter* records_total_ = nullptr;
+  obs::Counter* segments_total_ = nullptr;
+  obs::Histogram* batch_size_ = nullptr;
 };
 
 }  // namespace ingest

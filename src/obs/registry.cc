@@ -1,0 +1,176 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sofa {
+namespace obs {
+namespace {
+
+// Encodes name + sorted labels into one map key. \x1f/\x1e cannot appear
+// in metric names or label strings (both are printable identifiers), so
+// the encoding cannot collide.
+std::string EncodeKey(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& label : labels) {
+    key += '\x1f';
+    key += label.first;
+    key += '\x1e';
+    key += label.second;
+  }
+  return key;
+}
+
+}  // namespace
+
+void Gauge::Add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Registry::Entry* Registry::FindOrCreate(const std::string& name,
+                                        Labels* labels,
+                                        const std::string& help,
+                                        InstrumentKind kind,
+                                        const HistogramOptions* options) {
+  SOFA_CHECK(!name.empty());
+  std::sort(labels->begin(), labels->end());
+  const std::string key = EncodeKey(name, *labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Same name+labels must keep the same kind: metric names are a
+    // contract between layers, and a silent kind flip would corrupt
+    // every exposition consumer.
+    SOFA_CHECK(it->second.kind == kind);
+    return &it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.name = name;
+  entry.labels = *labels;
+  entry.help = help;
+  switch (kind) {
+    case InstrumentKind::kCounter:
+      entry.counter.reset(new Counter());
+      break;
+    case InstrumentKind::kGauge:
+      entry.gauge.reset(new Gauge());
+      break;
+    case InstrumentKind::kHistogram:
+      entry.histogram.reset(new Histogram(*options));
+      break;
+  }
+  auto inserted = entries_.emplace(key, std::move(entry));
+  return &inserted.first->second;
+}
+
+Counter* Registry::GetCounter(const std::string& name, Labels labels,
+                              const std::string& help) {
+  return FindOrCreate(name, &labels, help, InstrumentKind::kCounter, nullptr)
+      ->counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, Labels labels,
+                          const std::string& help) {
+  return FindOrCreate(name, &labels, help, InstrumentKind::kGauge, nullptr)
+      ->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const HistogramOptions& options,
+                                  Labels labels, const std::string& help) {
+  return FindOrCreate(name, &labels, help, InstrumentKind::kHistogram,
+                      &options)
+      ->histogram.get();
+}
+
+std::uint64_t Registry::AddCollectHook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_hook_id_++;
+  hooks_.emplace(id, std::move(hook));
+  return id;
+}
+
+void Registry::RemoveCollectHook(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hooks_.erase(id);
+}
+
+std::vector<InstrumentSnapshot> Registry::Collect() const {
+  // Hooks run outside the registry mutex: they may take their owner's
+  // lock (e.g. Compactor::Metrics), and holding both here would order
+  // the locks against every other path.
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hooks.reserve(hooks_.size());
+    for (const auto& entry : hooks_) {
+      hooks.push_back(entry.second);
+    }
+  }
+  for (const auto& hook : hooks) {
+    hook();
+  }
+
+  std::vector<InstrumentSnapshot> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(entries_.size());
+  for (const auto& pair : entries_) {
+    const Entry& entry = pair.second;
+    InstrumentSnapshot snap;
+    snap.name = entry.name;
+    snap.labels = entry.labels;
+    snap.help = entry.help;
+    snap.kind = entry.kind;
+    switch (entry.kind) {
+      case InstrumentKind::kCounter:
+        snap.counter = entry.counter->Value();
+        break;
+      case InstrumentKind::kGauge:
+        snap.gauge = entry.gauge->Value();
+        break;
+      case InstrumentKind::kHistogram: {
+        const LogHistogram& h = entry.histogram->data();
+        snap.count = h.TotalCount();
+        snap.sum = h.Sum();
+        snap.max = h.MaxValue();
+        snap.p50 = h.Percentile(50.0);
+        snap.p95 = h.Percentile(95.0);
+        snap.p99 = h.Percentile(99.0);
+        std::uint64_t cumulative = 0;
+        const std::size_t buckets = h.NumBuckets();
+        for (std::size_t b = 0; b + 1 < buckets; ++b) {
+          const std::uint64_t count = h.BucketCount(b);
+          if (count == 0) {
+            continue;
+          }
+          cumulative += count;
+          HistogramBucket bucket;
+          bucket.upper_edge = h.BucketUpperEdge(b);
+          bucket.cumulative = cumulative;
+          snap.buckets.push_back(bucket);
+        }
+        // The terminal bucket absorbs overflow and is always rendered as
+        // the +Inf bucket. Deriving the total from the bucket walk (not
+        // TotalCount) keeps _count == the +Inf cumulative even when
+        // records land concurrently with this snapshot.
+        cumulative += h.BucketCount(buckets - 1);
+        HistogramBucket overflow;
+        overflow.overflow = true;
+        overflow.cumulative = cumulative;
+        snap.buckets.push_back(overflow);
+        snap.count = cumulative;
+        break;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace sofa

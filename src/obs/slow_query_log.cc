@@ -1,0 +1,47 @@
+#include "obs/slow_query_log.h"
+
+#include <utility>
+
+namespace sofa {
+namespace obs {
+
+SlowQueryLog::SlowQueryLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SlowQueryLog::Push(TraceRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() == capacity_) {
+    ring_.pop_front();
+    ++evicted_;
+  }
+  ring_.push_back(std::move(record));
+  ++pushed_;
+}
+
+std::vector<TraceRecord> SlowQueryLog::Dump() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<TraceRecord>(ring_.begin(), ring_.end());
+}
+
+std::size_t SlowQueryLog::Size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t SlowQueryLog::TotalPushed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pushed_;
+}
+
+std::uint64_t SlowQueryLog::TotalEvicted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evicted_;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+}
+
+}  // namespace obs
+}  // namespace sofa

@@ -1,0 +1,55 @@
+// Bounded ring buffer of slow-query traces. The service pushes a
+// finished TraceRecord whenever a query exceeds the configured latency
+// threshold (or expires its deadline); the oldest record is evicted when
+// the ring is full. Dump() hands back a copy for printing on demand and
+// at shutdown.
+
+#ifndef SOFA_OBS_SLOW_QUERY_LOG_H_
+#define SOFA_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace sofa {
+namespace obs {
+
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(std::size_t capacity);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Appends a record, evicting the oldest when full. Thread-safe.
+  void Push(TraceRecord record);
+
+  /// Oldest-first copy of the retained records.
+  std::vector<TraceRecord> Dump() const;
+
+  std::size_t Size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Lifetime totals — pushed counts every Push(), evicted counts the
+  /// records that aged out of the ring.
+  std::uint64_t TotalPushed() const;
+  std::uint64_t TotalEvicted() const;
+
+  void Clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<TraceRecord> ring_;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace obs
+}  // namespace sofa
+
+#endif  // SOFA_OBS_SLOW_QUERY_LOG_H_

@@ -1,0 +1,146 @@
+// Per-query tracing: a lightweight span timeline answering "where did
+// this query's latency go?" — admission wait, scatter, per-shard tree
+// scans, buffer scans, merge. Designed for ~zero cost when sampling is
+// off: the service checks one atomic counter per query and allocates a
+// QueryTrace only for sampled queries; untraced queries carry a null
+// pointer through the whole pipeline.
+//
+// Threading model: the coordinating thread Begin/EndSpan()s its own
+// sequential stages and pre-AllocateSpan()s one slot per scattered task;
+// each worker stamps only its own slot (StampSpan), so slot writes never
+// race. Finish() must happen after the coordinator has joined all
+// workers (the service's batch barrier provides this).
+
+#ifndef SOFA_OBS_TRACE_H_
+#define SOFA_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sofa {
+namespace obs {
+
+/// One timed stage. `name` must point at a string literal (spans are
+/// recorded on the hot path; no ownership, no copies). Times are
+/// milliseconds relative to the trace origin.
+struct TraceSpan {
+  const char* name = "";
+  int parent = -1;  // index of the enclosing span, -1 for top level
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+};
+
+/// A work counter attached to a finished trace (QueryProfile values).
+struct TraceCounterSample {
+  const char* name = "";
+  std::uint64_t value = 0;
+};
+
+/// Immutable result of a finished trace — what the slow-query log stores
+/// and the CLI prints.
+struct TraceRecord {
+  std::uint64_t query_id = 0;
+  double total_ms = 0.0;
+  bool deadline_expired = false;
+  std::vector<TraceSpan> spans;  // allocation order
+  std::vector<TraceCounterSample> counters;
+};
+
+/// Span collector for one query. Slots are preallocated at construction
+/// so recording never allocates; spans beyond the capacity are dropped
+/// (return -1), never reallocated under a worker's feet.
+class QueryTrace {
+ public:
+  explicit QueryTrace(std::size_t max_spans = 64);
+
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+
+  /// Milliseconds elapsed since the trace was constructed.
+  double NowMs() const;
+
+  /// Opens a span starting now. Returns its index, or -1 if full.
+  int BeginSpan(const char* name, int parent = -1);
+
+  /// Closes a span opened by BeginSpan. Ignores -1.
+  void EndSpan(int span);
+
+  /// Reserves a slot for a scattered task; a worker later fills it with
+  /// StampSpan. Returns -1 if full (the worker must tolerate it).
+  int AllocateSpan(const char* name, int parent = -1);
+
+  /// Fills a reserved slot. Each slot must be stamped by exactly one
+  /// thread; times are NowMs()-relative milliseconds.
+  void StampSpan(int span, double start_ms, double end_ms);
+
+  /// Attaches a named work counter (e.g. QueryProfile fields).
+  void AddCounter(const char* name, std::uint64_t value);
+
+  /// Seals the trace: returns the used spans and counters. The trace is
+  /// spent afterwards.
+  TraceRecord Finish(std::uint64_t query_id, double total_ms,
+                     bool deadline_expired);
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  std::vector<TraceSpan> spans_;  // fixed capacity, never reallocated
+  std::atomic<std::size_t> used_{0};
+  std::vector<TraceCounterSample> counters_;
+};
+
+/// Decides which queries get a trace: every Nth submission when
+/// `sample_every` > 0, none when 0. Thread-safe; one relaxed fetch_add
+/// per decision.
+class TraceSampler {
+ public:
+  explicit TraceSampler(std::uint32_t sample_every)
+      : every_(sample_every) {}
+
+  bool ShouldSample() {
+    if (every_ == 0) {
+      return false;
+    }
+    return counter_.fetch_add(1, std::memory_order_relaxed) % every_ == 0;
+  }
+
+  std::uint32_t sample_every() const { return every_; }
+
+ private:
+  std::uint32_t every_;
+  std::atomic<std::uint64_t> counter_{0};
+};
+
+/// Tracing knobs carried in ServiceConfig.
+struct TraceConfig {
+  /// Trace every Nth query (1 = all, 0 = tracing off).
+  std::uint32_t sample_every = 0;
+
+  /// Queries slower than this (or expiring their deadline) land in the
+  /// slow-query log with their full trace. > 0 implies every query is
+  /// traced — a slow query cannot be predicted in advance.
+  double slow_query_ms = 0.0;
+
+  /// Ring-buffer capacity of the slow-query log.
+  std::size_t slow_log_capacity = 64;
+
+  /// Span slots preallocated per traced query. Must cover the sequential
+  /// stages plus one slot per (shard + buffer) task.
+  std::size_t max_spans = 128;
+
+  bool TracingEnabled() const {
+    return sample_every > 0 || slow_query_ms > 0.0;
+  }
+};
+
+/// Renders a finished trace as an indented timeline (for the slow-query
+/// dump and the CLI).
+std::string FormatTrace(const TraceRecord& record);
+
+}  // namespace obs
+}  // namespace sofa
+
+#endif  // SOFA_OBS_TRACE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
@@ -70,7 +71,11 @@ bool ParseGenName(const std::string& name, std::uint64_t* seq, bool* tmp) {
 }
 
 // rm -rf for one generation directory (flat: no nested directories).
-void RemoveDirRecursive(const std::string& dir) {
+// Returns the bytes reclaimed (regular-file sizes; hardlinked files
+// count at every unlink — the accounting is per directory, not per
+// inode).
+std::uint64_t RemoveDirRecursive(const std::string& dir) {
+  std::uint64_t reclaimed = 0;
   DIR* handle = ::opendir(dir.c_str());
   if (handle != nullptr) {
     while (const dirent* entry = ::readdir(handle)) {
@@ -78,11 +83,25 @@ void RemoveDirRecursive(const std::string& dir) {
       if (name == "." || name == "..") {
         continue;
       }
-      ::unlink((dir + "/" + name).c_str());
+      const std::string path = dir + "/" + name;
+      struct stat st;
+      if (::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+        reclaimed += static_cast<std::uint64_t>(st.st_size);
+      }
+      ::unlink(path.c_str());
     }
     ::closedir(handle);
   }
   ::rmdir(dir.c_str());
+  return reclaimed;
+}
+
+// FsyncPath with call accounting (persist observability: how many fsync
+// barriers one commit costs).
+bool CountedFsync(const std::string& path, bool directory,
+                  std::uint64_t* fsyncs) {
+  ++*fsyncs;
+  return FsyncPath(path, directory);
 }
 
 // Atomically swaps two paths (renameat2 + RENAME_EXCHANGE); false when
@@ -162,8 +181,9 @@ class Decoder {
 // files are whole-file checksummed in the manifest.
 class CrcFileWriter {
  public:
-  explicit CrcFileWriter(const std::string& path)
-      : file_(std::fopen(path.c_str(), "wb")) {}
+  explicit CrcFileWriter(const std::string& path,
+                         std::uint64_t* fsyncs = nullptr)
+      : file_(std::fopen(path.c_str(), "wb")), fsyncs_(fsyncs) {}
   ~CrcFileWriter() {
     if (file_ != nullptr) {
       std::fclose(file_);
@@ -197,8 +217,13 @@ class CrcFileWriter {
     if (!ok()) {
       return false;
     }
-    bool committed = std::fflush(file_) == 0 &&
-                     ::fsync(::fileno(file_)) == 0;
+    bool committed = std::fflush(file_) == 0;
+    if (committed) {
+      if (fsyncs_ != nullptr) {
+        ++*fsyncs_;
+      }
+      committed = ::fsync(::fileno(file_)) == 0;
+    }
     committed = (std::fclose(file_) == 0) && committed;
     file_ = nullptr;
     return committed;
@@ -206,6 +231,7 @@ class CrcFileWriter {
 
  private:
   std::FILE* file_;
+  std::uint64_t* fsyncs_;
   bool ok_ = true;
   std::uint64_t bytes_ = 0;
   std::uint32_t crc_ = 0;
@@ -252,8 +278,8 @@ bool ReadFileBytes(const std::string& path, std::vector<unsigned char>* out,
 // Writes one slice file (rows + global ids) and reports its size + CRC.
 bool WriteSliceFile(const std::string& path, const Dataset& rows,
                     const std::uint32_t* ids, std::uint64_t* bytes,
-                    std::uint32_t* crc) {
-  CrcFileWriter w(path);
+                    std::uint32_t* crc, std::uint64_t* fsyncs = nullptr) {
+  CrcFileWriter w(path, fsyncs);
   w.Write(kSliceMagic, sizeof(kSliceMagic));
   w.Pod(static_cast<std::uint64_t>(rows.size()));
   w.Pod(static_cast<std::uint64_t>(rows.length()));
@@ -388,7 +414,8 @@ bool ReadValidatedFile(const std::string& path, std::uint64_t want_bytes,
 // Hardlink `from` as `to`, falling back to a byte copy (cross-device
 // stores, filesystems without hardlinks). Returns the linked/copied
 // file's existence.
-bool LinkOrCopy(const std::string& from, const std::string& to) {
+bool LinkOrCopy(const std::string& from, const std::string& to,
+                std::uint64_t* fsyncs = nullptr) {
   if (::link(from.c_str(), to.c_str()) == 0) {
     return true;
   }
@@ -411,6 +438,9 @@ bool LinkOrCopy(const std::string& from, const std::string& to) {
     }
     ok = std::fwrite(chunk, 1, n, out) == n;
   }
+  if (ok && fsyncs != nullptr) {
+    ++*fsyncs;
+  }
   ok = ok && std::fflush(out) == 0 && ::fsync(::fileno(out)) == 0;
   std::fclose(in);
   ok = (std::fclose(out) == 0) && ok;
@@ -419,15 +449,31 @@ bool LinkOrCopy(const std::string& from, const std::string& to) {
 
 }  // namespace
 
-GenerationStore::GenerationStore(std::string root)
-    : root_(std::move(root)) {}
+GenerationStore::GenerationStore(std::string root, obs::Registry* registry)
+    : root_(std::move(root)) {
+  if (registry != nullptr) {
+    obs::HistogramOptions commit_opts;
+    commit_opts.min_value = 1e-2;   // 10 µs
+    commit_opts.max_value = 1e6;    // 1000 s — big collections fsync slowly
+    commit_ms_ = registry->GetHistogram(
+        "sofa_persist_commit_ms", commit_opts, {},
+        "Wall time of one generation Persist() (staging through commit)");
+    fsync_total_ = registry->GetCounter(
+        "sofa_persist_fsync_total", {},
+        "fsync barriers issued by generation persists");
+    gc_reclaimed_bytes_ = registry->GetCounter(
+        "sofa_persist_gc_reclaimed_bytes_total", {},
+        "Bytes reclaimed by generation garbage collection");
+  }
+}
 
 std::unique_ptr<GenerationStore> GenerationStore::Open(
-    const std::string& root) {
+    const std::string& root, obs::Registry* registry) {
   if (!MakeDirs(root)) {
     return nullptr;
   }
-  return std::unique_ptr<GenerationStore>(new GenerationStore(root));
+  return std::unique_ptr<GenerationStore>(
+      new GenerationStore(root, registry));
 }
 
 std::string GenerationStore::GenerationDir(std::uint64_t seq) const {
@@ -453,6 +499,25 @@ std::vector<std::uint64_t> GenerationStore::ListGenerations() const {
 }
 
 bool GenerationStore::Persist(const PersistRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t fsyncs = 0;
+  const bool ok = PersistImpl(request, &fsyncs);
+  if (fsync_total_ != nullptr) {
+    fsync_total_->Add(fsyncs);
+  }
+  if (commit_ms_ != nullptr) {
+    // Failed attempts are recorded too — a persist that spends seconds
+    // before failing is exactly what the histogram should surface.
+    commit_ms_->Record(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  return ok;
+}
+
+bool GenerationStore::PersistImpl(const PersistRequest& request,
+                                  std::uint64_t* fsyncs) {
   SOFA_CHECK(request.sharded != nullptr);
   const shard::ShardedIndex& sharded = *request.sharded;
   const std::size_t num_shards = sharded.num_shards();
@@ -492,8 +557,8 @@ bool GenerationStore::Persist(const PersistRequest& request) {
     const bool reused =
         can_reuse &&
         last_manifest_->shards[s].shard_generation == shard.generation &&
-        LinkOrCopy(ShardFile(last_dir_, s, "idx"), idx) &&
-        LinkOrCopy(ShardFile(last_dir_, s, "rows"), rows);
+        LinkOrCopy(ShardFile(last_dir_, s, "idx"), idx, fsyncs) &&
+        LinkOrCopy(ShardFile(last_dir_, s, "rows"), rows, fsyncs);
     if (reused) {
       entry.index_bytes = last_manifest_->shards[s].index_bytes;
       entry.index_crc = last_manifest_->shards[s].index_crc;
@@ -505,11 +570,11 @@ bool GenerationStore::Persist(const PersistRequest& request) {
       }
       if (!ReadFileBytes(idx, /*out=*/nullptr, &entry.index_bytes,
                          &entry.index_crc) ||
-          !FsyncPath(idx, /*directory=*/false)) {
+          !CountedFsync(idx, /*directory=*/false, fsyncs)) {
         return false;
       }
       if (!WriteSliceFile(rows, *shard.data, shard.global_ids->data(),
-                          &entry.slice_bytes, &entry.slice_crc)) {
+                          &entry.slice_bytes, &entry.slice_crc, fsyncs)) {
         return false;
       }
     }
@@ -517,7 +582,7 @@ bool GenerationStore::Persist(const PersistRequest& request) {
     if (!WriteSliceFile(ShardFile(tmp_dir, s, "tail"),
                         request.buffer_rows[s],
                         request.buffer_ids[s].data(), &entry.tail_bytes,
-                        &entry.tail_crc)) {
+                        &entry.tail_crc, fsyncs)) {
       return false;
     }
   }
@@ -526,7 +591,7 @@ bool GenerationStore::Persist(const PersistRequest& request) {
   // commits, whatever else it holds.
   {
     const std::vector<unsigned char> payload = EncodeManifest(manifest);
-    CrcFileWriter w(tmp_dir + "/" + kManifestName);
+    CrcFileWriter w(tmp_dir + "/" + kManifestName, fsyncs);
     w.Write(kManifestMagic, sizeof(kManifestMagic));
     w.Pod(kManifestVersion);
     w.Pod(static_cast<std::uint32_t>(payload.size()));
@@ -545,7 +610,7 @@ bool GenerationStore::Persist(const PersistRequest& request) {
   // never an instant with no committed generation; the fallback shrinks
   // the window to two back-to-back renames (old aside — as an ignored
   // .tmp name — then commit).
-  if (!FsyncPath(tmp_dir, /*directory=*/true)) {
+  if (!CountedFsync(tmp_dir, /*directory=*/true, fsyncs)) {
     return false;
   }
   struct stat existing;
@@ -564,7 +629,7 @@ bool GenerationStore::Persist(const PersistRequest& request) {
   } else if (::rename(tmp_dir.c_str(), final_dir.c_str()) != 0) {
     return false;
   }
-  if (!FsyncPath(root_, /*directory=*/true)) {
+  if (!CountedFsync(root_, /*directory=*/true, fsyncs)) {
     return false;
   }
   last_manifest_ = std::move(manifest);
@@ -678,8 +743,12 @@ void GenerationStore::RemoveGenerationsBelow(std::uint64_t keep_seq) {
     }
   }
   ::closedir(handle);
+  std::uint64_t reclaimed = 0;
   for (const std::string& dir : doomed) {
-    RemoveDirRecursive(dir);
+    reclaimed += RemoveDirRecursive(dir);
+  }
+  if (gc_reclaimed_bytes_ != nullptr && reclaimed > 0) {
+    gc_reclaimed_bytes_->Add(reclaimed);
   }
 }
 

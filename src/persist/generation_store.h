@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "obs/registry.h"
 #include "shard/sharded_index.h"
 #include "util/thread_pool.h"
 
@@ -120,8 +121,12 @@ struct LoadedGeneration {
 class GenerationStore {
  public:
   /// Opens (creating if missing) the store rooted at `root`. Returns
-  /// nullptr when the directory cannot be created.
-  static std::unique_ptr<GenerationStore> Open(const std::string& root);
+  /// nullptr when the directory cannot be created. With `registry` set
+  /// the store publishes sofa_persist_* instruments there (commit
+  /// duration, fsync count, GC-reclaimed bytes); the registry must
+  /// outlive the store.
+  static std::unique_ptr<GenerationStore> Open(
+      const std::string& root, obs::Registry* registry = nullptr);
 
   /// Committed generation sequence numbers, ascending. (.tmp husks and
   /// foreign files are ignored.)
@@ -153,11 +158,17 @@ class GenerationStore {
   const std::string& root() const { return root_; }
 
  private:
-  explicit GenerationStore(std::string root);
+  GenerationStore(std::string root, obs::Registry* registry);
 
   std::string GenerationDir(std::uint64_t seq) const;
+  bool PersistImpl(const PersistRequest& request, std::uint64_t* fsyncs);
 
   const std::string root_;
+
+  // sofa_persist_* instruments (null without a registry).
+  obs::Histogram* commit_ms_ = nullptr;
+  obs::Counter* fsync_total_ = nullptr;
+  obs::Counter* gc_reclaimed_bytes_ = nullptr;
 
   // Hardlink-reuse memo: the last manifest this *process* committed and
   // its directory. Empty after open — the first persist of a process

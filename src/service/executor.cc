@@ -10,6 +10,33 @@ namespace sofa {
 namespace service {
 namespace {
 
+// One task: deadline check, then either the buffer flat scan or the
+// single-threaded tree search.
+void ExecuteTask(QueryTask* task_ptr, const index::TreeIndex* default_index) {
+  QueryTask& task = *task_ptr;
+  if (task.deadline != std::chrono::steady_clock::time_point::max() &&
+      task.deadline < std::chrono::steady_clock::now()) {
+    task.expired = true;
+    return;
+  }
+  if (task.buffer != nullptr) {
+    // Delta-set half of an ingesting query: exact flat scan of the
+    // shard's insert buffer, tombstones masked inline.
+    const std::size_t scanned = task.buffer->SearchKnn(
+        task.query, task.k, task.buffer_start, task.result, task.exclude);
+    if (task.profile != nullptr) {
+      task.profile->series_ed_computed += scanned;
+    }
+    return;
+  }
+  const index::TreeIndex* index =
+      task.index != nullptr ? task.index : default_index;
+  SOFA_DCHECK(index != nullptr);
+  const index::QueryEngine engine(index);
+  *task.result = engine.Search(task.query, task.k, task.epsilon,
+                               task.profile, /*num_threads=*/1);
+}
+
 // Shared worker loop: tasks with a null index fall back to `default_index`
 // (null only when every task names its own).
 void RunTasks(std::vector<QueryTask>* tasks, ThreadPool* pool,
@@ -34,28 +61,14 @@ void RunTasks(std::vector<QueryTask>* tasks, ThreadPool* pool,
       }
       QueryTask& task = (*tasks)[t];
       SOFA_DCHECK(task.result != nullptr);
-      if (task.deadline != std::chrono::steady_clock::time_point::max() &&
-          task.deadline < std::chrono::steady_clock::now()) {
-        task.expired = true;
-        continue;
+      const double span_start =
+          task.trace != nullptr ? task.trace->NowMs() : 0.0;
+      ExecuteTask(&task, default_index);
+      if (task.trace != nullptr) {
+        // Expired tasks stamp a zero-length span at pickup time — the
+        // timeline then shows where the deadline cut the scatter.
+        task.trace->StampSpan(task.span, span_start, task.trace->NowMs());
       }
-      if (task.buffer != nullptr) {
-        // Delta-set half of an ingesting query: exact flat scan of the
-        // shard's insert buffer, tombstones masked inline.
-        const std::size_t scanned = task.buffer->SearchKnn(
-            task.query, task.k, task.buffer_start, task.result,
-            task.exclude);
-        if (task.profile != nullptr) {
-          task.profile->series_ed_computed += scanned;
-        }
-        continue;
-      }
-      const index::TreeIndex* index =
-          task.index != nullptr ? task.index : default_index;
-      SOFA_DCHECK(index != nullptr);
-      const index::QueryEngine engine(index);
-      *task.result = engine.Search(task.query, task.k, task.epsilon,
-                                   task.profile, /*num_threads=*/1);
     }
   });
 }

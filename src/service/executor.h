@@ -21,6 +21,7 @@
 #include "core/neighbor.h"
 #include "index/tree_index.h"
 #include "ingest/insert_buffer.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace sofa {
@@ -57,6 +58,13 @@ struct QueryTask {
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
   bool expired = false;  // output: set by the executor
+
+  /// Optional per-query tracing: when `trace` is non-null the worker
+  /// stamps slot `span` (pre-allocated by the coordinator) with this
+  /// task's execution window. Each slot belongs to exactly one task, so
+  /// stamping never races.
+  obs::QueryTrace* trace = nullptr;
+  int span = -1;
 };
 
 /// Answers all tasks exactly, parallel across queries: `num_workers` pool

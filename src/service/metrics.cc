@@ -2,18 +2,100 @@
 
 namespace sofa {
 namespace service {
+namespace {
 
-MetricsCollector::MetricsCollector() : latency_ms_(1e-3, 1e5) {}
+constexpr const char* kProfileCounterNames[8] = {
+    "nodes_visited",     "nodes_pruned",      "leaves_collected",
+    "leaves_abandoned",  "series_lbd_checked", "series_lbd_pruned",
+    "series_ed_computed", "candidates_filtered"};
+
+}  // namespace
+
+MetricsCollector::MetricsCollector(obs::Registry* registry) {
+  if (registry == nullptr) {
+    owned_registry_.reset(new obs::Registry());
+    registry = owned_registry_.get();
+  }
+  registry_ = registry;
+
+  const char* kRequests = "sofa_service_requests_total";
+  const char* kRequestsHelp = "Requests by admission/completion status";
+  submitted_ =
+      registry_->GetCounter(kRequests, {{"status", "submitted"}}, kRequestsHelp);
+  completed_ =
+      registry_->GetCounter(kRequests, {{"status", "completed"}}, kRequestsHelp);
+  rejected_ =
+      registry_->GetCounter(kRequests, {{"status", "rejected"}}, kRequestsHelp);
+  expired_ =
+      registry_->GetCounter(kRequests, {{"status", "expired"}}, kRequestsHelp);
+  invalid_ =
+      registry_->GetCounter(kRequests, {{"status", "invalid"}}, kRequestsHelp);
+  swaps_ = registry_->GetCounter("sofa_service_index_swaps_total", {},
+                                 "Index generations published");
+  const char* kMode = "sofa_service_mode_queries_total";
+  const char* kModeHelp = "Queries by scheduling mode";
+  latency_queries_ =
+      registry_->GetCounter(kMode, {{"mode", "latency"}}, kModeHelp);
+  throughput_queries_ =
+      registry_->GetCounter(kMode, {{"mode", "throughput"}}, kModeHelp);
+  throughput_batches_ =
+      registry_->GetCounter("sofa_service_throughput_batches_total", {},
+                            "Cross-query parallel batches dispatched");
+  obs::HistogramOptions latency_options;
+  latency_options.min_value = 1e-3;
+  latency_options.max_value = 1e5;
+  latency_ms_ = registry_->GetHistogram("sofa_service_latency_ms",
+                                        latency_options, {},
+                                        "End-to-end query latency (ms)");
+  uptime_gauge_ = registry_->GetGauge("sofa_service_uptime_seconds", {},
+                                      "Seconds since the collector started");
+  qps_gauge_ = registry_->GetGauge("sofa_service_qps", {},
+                                   "Completed queries per uptime second");
+  for (std::size_t i = 0; i < 8; ++i) {
+    profile_counters_[i] = registry_->GetCounter(
+        "sofa_service_profile_total", {{"counter", kProfileCounterNames[i]}},
+        "Merged QueryProfile work counters of profiled queries");
+  }
+  hook_id_ = registry_->AddCollectHook([this] { SyncDerived(); });
+}
+
+MetricsCollector::~MetricsCollector() {
+  registry_->RemoveCollectHook(hook_id_);
+  // Final sync: a Collect() on a shared registry after this service is
+  // gone still sees the closing uptime/QPS/profile values.
+  SyncDerived();
+}
+
+void MetricsCollector::SyncDerived() {
+  const double uptime = uptime_.Seconds();
+  uptime_gauge_->Set(uptime);
+  const std::uint64_t completed = completed_->Value();
+  qps_gauge_->Set(uptime > 0.0 ? static_cast<double>(completed) / uptime
+                               : 0.0);
+  index::QueryProfile profile;
+  {
+    std::lock_guard<std::mutex> lock(profile_mutex_);
+    profile = profile_;
+  }
+  const std::uint64_t values[8] = {
+      profile.nodes_visited,      profile.nodes_pruned,
+      profile.leaves_collected,   profile.leaves_abandoned,
+      profile.series_lbd_checked, profile.series_lbd_pruned,
+      profile.series_ed_computed, profile.candidates_filtered};
+  for (std::size_t i = 0; i < 8; ++i) {
+    profile_counters_[i]->Set(values[i]);
+  }
+}
 
 void MetricsCollector::RecordThroughputBatch(std::uint64_t batch_size) {
-  throughput_batches_.fetch_add(1, std::memory_order_relaxed);
-  throughput_queries_.fetch_add(batch_size, std::memory_order_relaxed);
+  throughput_batches_->Add();
+  throughput_queries_->Add(batch_size);
 }
 
 void MetricsCollector::RecordCompleted(double latency_ms,
                                        const index::QueryProfile* profile) {
-  completed_.fetch_add(1, std::memory_order_relaxed);
-  latency_ms_.Record(latency_ms);
+  completed_->Add();
+  latency_ms_->Record(latency_ms);
   if (profile != nullptr) {
     std::lock_guard<std::mutex> lock(profile_mutex_);
     profile_.Merge(*profile);
@@ -22,28 +104,26 @@ void MetricsCollector::RecordCompleted(double latency_ms,
 
 MetricsSnapshot MetricsCollector::Snapshot() const {
   MetricsSnapshot snapshot;
-  snapshot.submitted = submitted_.load(std::memory_order_relaxed);
-  snapshot.completed = completed_.load(std::memory_order_relaxed);
-  snapshot.rejected = rejected_.load(std::memory_order_relaxed);
-  snapshot.expired = expired_.load(std::memory_order_relaxed);
-  snapshot.invalid = invalid_.load(std::memory_order_relaxed);
-  snapshot.swaps = swaps_.load(std::memory_order_relaxed);
-  snapshot.latency_queries =
-      latency_queries_.load(std::memory_order_relaxed);
-  snapshot.throughput_batches =
-      throughput_batches_.load(std::memory_order_relaxed);
-  snapshot.throughput_queries =
-      throughput_queries_.load(std::memory_order_relaxed);
+  snapshot.submitted = submitted_->Value();
+  snapshot.completed = completed_->Value();
+  snapshot.rejected = rejected_->Value();
+  snapshot.expired = expired_->Value();
+  snapshot.invalid = invalid_->Value();
+  snapshot.swaps = swaps_->Value();
+  snapshot.latency_queries = latency_queries_->Value();
+  snapshot.throughput_batches = throughput_batches_->Value();
+  snapshot.throughput_queries = throughput_queries_->Value();
   snapshot.uptime_seconds = uptime_.Seconds();
   snapshot.qps = snapshot.uptime_seconds > 0.0
                      ? static_cast<double>(snapshot.completed) /
                            snapshot.uptime_seconds
                      : 0.0;
-  snapshot.latency_mean_ms = latency_ms_.Mean();
-  snapshot.latency_p50_ms = latency_ms_.Percentile(50.0);
-  snapshot.latency_p95_ms = latency_ms_.Percentile(95.0);
-  snapshot.latency_p99_ms = latency_ms_.Percentile(99.0);
-  snapshot.latency_max_ms = latency_ms_.MaxValue();
+  const LogHistogram& latency = latency_ms_->data();
+  snapshot.latency_mean_ms = latency.Mean();
+  snapshot.latency_p50_ms = latency.Percentile(50.0);
+  snapshot.latency_p95_ms = latency.Percentile(95.0);
+  snapshot.latency_p99_ms = latency.Percentile(99.0);
+  snapshot.latency_max_ms = latency.MaxValue();
   {
     std::lock_guard<std::mutex> lock(profile_mutex_);
     snapshot.profile = profile_;

@@ -2,16 +2,24 @@
 // answers traffic — admission counts, a latency histogram (p50/p95/p99),
 // QPS, scheduling-mode decisions, hot-swap count, and the merged
 // QueryProfile pruning counters of profiled queries.
+//
+// Since the unified observability layer (src/obs/), the collector is a
+// facade over registry instruments: every Record* call lands in a named
+// obs::Counter / obs::Histogram, so the same numbers the Snapshot() API
+// reports are exportable through obs::RenderPrometheus / RenderJson. By
+// default each collector owns a private registry (test isolation); pass
+// a shared registry through ServiceConfig to co-expose service, ingest,
+// and persist metrics from one endpoint.
 
 #ifndef SOFA_SERVICE_METRICS_H_
 #define SOFA_SERVICE_METRICS_H_
 
-#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 
 #include "index/tree_index.h"
-#include "util/histogram.h"
+#include "obs/registry.h"
 #include "util/timer.h"
 
 namespace sofa {
@@ -44,18 +52,25 @@ struct MetricsSnapshot {
 };
 
 /// Thread-safe aggregation; Record* calls are cheap enough for the
-/// dispatch/completion path (atomics + lock-free histogram; only the
+/// dispatch/completion path (lock-free registry instruments; only the
 /// optional profile merge takes a mutex).
 class MetricsCollector {
  public:
-  MetricsCollector();
+  /// Registers the service instruments into `registry`; with nullptr the
+  /// collector owns a private registry (per-instance semantics, as every
+  /// existing test expects).
+  explicit MetricsCollector(obs::Registry* registry = nullptr);
+  ~MetricsCollector();
 
-  void RecordSubmitted() { Bump(&submitted_); }
-  void RecordRejected() { Bump(&rejected_); }
-  void RecordExpired() { Bump(&expired_); }
-  void RecordInvalid() { Bump(&invalid_); }
-  void RecordSwap() { Bump(&swaps_); }
-  void RecordLatencyModeQuery() { Bump(&latency_queries_); }
+  MetricsCollector(const MetricsCollector&) = delete;
+  MetricsCollector& operator=(const MetricsCollector&) = delete;
+
+  void RecordSubmitted() { submitted_->Add(); }
+  void RecordRejected() { rejected_->Add(); }
+  void RecordExpired() { expired_->Add(); }
+  void RecordInvalid() { invalid_->Add(); }
+  void RecordSwap() { swaps_->Add(); }
+  void RecordLatencyModeQuery() { latency_queries_->Add(); }
   void RecordThroughputBatch(std::uint64_t batch_size);
 
   /// One answered query: end-to-end latency plus (optionally) its merged
@@ -65,22 +80,30 @@ class MetricsCollector {
 
   MetricsSnapshot Snapshot() const;
 
+  /// The registry the instruments live in (owned or shared).
+  obs::Registry* registry() const { return registry_; }
+
  private:
-  static void Bump(std::atomic<std::uint64_t>* counter) {
-    counter->fetch_add(1, std::memory_order_relaxed);
-  }
+  void SyncDerived();  // collect hook: uptime/qps gauges, profile counters
+
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_;
 
   WallTimer uptime_;
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> rejected_{0};
-  std::atomic<std::uint64_t> expired_{0};
-  std::atomic<std::uint64_t> invalid_{0};
-  std::atomic<std::uint64_t> swaps_{0};
-  std::atomic<std::uint64_t> latency_queries_{0};
-  std::atomic<std::uint64_t> throughput_batches_{0};
-  std::atomic<std::uint64_t> throughput_queries_{0};
-  LogHistogram latency_ms_;  // 1 µs .. 100 s
+  obs::Counter* submitted_;
+  obs::Counter* completed_;
+  obs::Counter* rejected_;
+  obs::Counter* expired_;
+  obs::Counter* invalid_;
+  obs::Counter* swaps_;
+  obs::Counter* latency_queries_;
+  obs::Counter* throughput_batches_;
+  obs::Counter* throughput_queries_;
+  obs::Histogram* latency_ms_;  // 1 µs .. 100 s
+  obs::Gauge* uptime_gauge_;
+  obs::Gauge* qps_gauge_;
+  obs::Counter* profile_counters_[8];
+  std::uint64_t hook_id_;
 
   mutable std::mutex profile_mutex_;
   index::QueryProfile profile_;

@@ -98,12 +98,24 @@ std::vector<std::size_t> ShardKExtra(
   return extra;
 }
 
+// Span names used by this TU and matched by pointer in StageHistogram —
+// every span is begun/allocated with one of these arrays, so identity
+// comparison is exact and free.
+constexpr char kSpanAdmission[] = "admission";
+constexpr char kSpanScatter[] = "scatter";
+constexpr char kSpanShardScan[] = "shard_scan";
+constexpr char kSpanBufferScan[] = "buffer_scan";
+constexpr char kSpanMerge[] = "merge";
+constexpr char kSpanSearch[] = "search";
+
 }  // namespace
 
 SearchService::SearchService(std::shared_ptr<const IndexSnapshot> snapshot,
                              ThreadPool* pool, ServiceConfig config)
-    : pool_(pool), config_(config), snapshot_(std::move(snapshot)),
-      paused_(config.start_paused) {
+    : pool_(pool), config_(config), metrics_(config.registry),
+      sampler_(config.trace.sample_every),
+      slow_log_(config.trace.slow_log_capacity),
+      snapshot_(std::move(snapshot)), paused_(config.start_paused) {
   SOFA_CHECK(pool_ != nullptr);
   SOFA_CHECK(snapshot_ != nullptr &&
              (snapshot_->tree != nullptr || snapshot_->sharded != nullptr));
@@ -111,6 +123,27 @@ SearchService::SearchService(std::shared_ptr<const IndexSnapshot> snapshot,
   if (config_.max_batch == 0) {
     config_.max_batch = 1;
   }
+  obs::Registry* registry = metrics_.registry();
+  traces_total_ = registry->GetCounter("sofa_query_traces_total", {},
+                                       "Queries that carried a trace");
+  slow_queries_total_ =
+      registry->GetCounter("sofa_slow_queries_total", {},
+                           "Queries recorded in the slow-query log");
+  const char* kStage = "sofa_query_stage_ms";
+  const char* kStageHelp = "Per-stage time of traced queries (ms)";
+  const obs::HistogramOptions stage_options;  // 1 µs .. 100 s
+  stage_admission_ = registry->GetHistogram(
+      kStage, stage_options, {{"stage", "admission"}}, kStageHelp);
+  stage_scatter_ = registry->GetHistogram(
+      kStage, stage_options, {{"stage", "scatter"}}, kStageHelp);
+  stage_shard_scan_ = registry->GetHistogram(
+      kStage, stage_options, {{"stage", "shard_scan"}}, kStageHelp);
+  stage_buffer_scan_ = registry->GetHistogram(
+      kStage, stage_options, {{"stage", "buffer_scan"}}, kStageHelp);
+  stage_merge_ = registry->GetHistogram(
+      kStage, stage_options, {{"stage", "merge"}}, kStageHelp);
+  stage_search_ = registry->GetHistogram(
+      kStage, stage_options, {{"stage", "search"}}, kStageHelp);
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
@@ -128,6 +161,16 @@ std::future<SearchResponse> SearchService::Submit(SearchRequest request) {
   PendingRequest pending;
   pending.request = std::move(request);
   pending.submit_time = std::chrono::steady_clock::now();
+  // Tracing decision: explicit opt-in, trace-everything (slow-query log
+  // armed), or every Nth by the sampler. When all three are off this is
+  // one branch + one relaxed load — the zero-cost path.
+  if (pending.request.collect_trace || config_.trace.slow_query_ms > 0.0 ||
+      sampler_.ShouldSample()) {
+    pending.trace.reset(new obs::QueryTrace(config_.trace.max_spans));
+    pending.query_id =
+        next_query_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    pending.admission_span = pending.trace->BeginSpan(kSpanAdmission);
+  }
   std::future<SearchResponse> future = pending.promise.get_future();
   bool stopped;
   {
@@ -276,6 +319,10 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
   for (std::size_t i = 0; i < batch->size(); ++i) {
     const SearchRequest& request = (*batch)[i].request;
     responses[i].index_version = version;
+    if ((*batch)[i].trace != nullptr) {
+      // Queue wait ends when the batch picks the request up.
+      (*batch)[i].trace->EndSpan((*batch)[i].admission_span);
+    }
     if (request.deadline < now) {
       responses[i].status = RequestStatus::kDeadlineExpired;
       metrics_.RecordExpired();
@@ -312,8 +359,13 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
           continue;
         }
         metrics_.RecordLatencyModeQuery();
-        index::QueryProfile* profile =
-            request.collect_profile ? &responses[i].profile : nullptr;
+        obs::QueryTrace* trace = (*batch)[i].trace.get();
+        // Traced queries always collect work counters — the trace
+        // attaches them — so the profile lands in the response either way.
+        index::QueryProfile* profile = request.collect_profile ||
+                                               trace != nullptr
+                                           ? &responses[i].profile
+                                           : nullptr;
         if (snapshot.is_sharded()) {
           // Intra-query parallelism of a sharded generation = one worker
           // per shard task plus one per insert-buffer scan when the
@@ -329,6 +381,8 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
           std::vector<index::QueryProfile> profiles(
               profile != nullptr ? total_tasks : 0);
           std::vector<QueryTask> tasks(total_tasks);
+          const int scatter_span =
+              trace != nullptr ? trace->BeginSpan(kSpanScatter) : -1;
           for (std::size_t s = 0; s < num_shards; ++s) {
             QueryTask& task = tasks[s];
             task.index = sharded.shard(s).tree.get();
@@ -337,13 +391,33 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
             task.epsilon = request.epsilon;
             task.result = &results[s];
             task.profile = profile != nullptr ? &profiles[s] : nullptr;
+            if (trace != nullptr) {
+              task.trace = trace;
+              task.span = trace->AllocateSpan(kSpanShardScan, scatter_span);
+            }
           }
           if (buffer_tasks > 0) {
             FillBufferTasks(snapshot, request, tombstones.get(),
                             /*with_deadline=*/false, &tasks, num_shards,
                             &results, &profiles);
+            if (trace != nullptr) {
+              for (std::size_t t = num_shards; t < total_tasks; ++t) {
+                tasks[t].trace = trace;
+                tasks[t].span =
+                    trace->AllocateSpan(kSpanBufferScan, scatter_span);
+                // FillBufferTasks only wires profiles for collect_profile
+                // requests; traced queries want the buffer work counted
+                // too.
+                if (tasks[t].profile == nullptr) {
+                  tasks[t].profile = &profiles[t];
+                }
+              }
+            }
           }
           RunTaskBatch(&tasks, pool_, config_.num_threads);
+          if (trace != nullptr) {
+            trace->EndSpan(scatter_span);
+          }
           if (profile != nullptr) {
             for (const index::QueryProfile& task_profile : profiles) {
               profile->Merge(task_profile);
@@ -360,17 +434,27 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
             }
           }
           std::uint64_t filtered = 0;
+          const int merge_span =
+              trace != nullptr ? trace->BeginSpan(kSpanMerge) : -1;
           responses[i].neighbors = sharded.MergeTopK(
               per_shard, request.k, std::move(extras), tombstones.get(),
               &filtered);
+          if (trace != nullptr) {
+            trace->EndSpan(merge_span);
+          }
           if (profile != nullptr) {
             profile->candidates_filtered += filtered;
           }
         } else {
+          const int search_span =
+              trace != nullptr ? trace->BeginSpan(kSpanSearch) : -1;
           const index::QueryEngine engine(snapshot.tree);
           responses[i].neighbors =
               engine.Search(request.query.data(), request.k, request.epsilon,
                             profile, config_.num_threads);
+          if (trace != nullptr) {
+            trace->EndSpan(search_span);
+          }
         }
       }
     } else if (snapshot.is_sharded()) {
@@ -380,13 +464,19 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
       for (std::size_t t = 0; t < runnable.size(); ++t) {
         const std::size_t i = runnable[t];
         const SearchRequest& request = (*batch)[i].request;
+        obs::QueryTrace* trace = (*batch)[i].trace.get();
         tasks[t].query = request.query.data();
         tasks[t].k = request.k;
         tasks[t].epsilon = request.epsilon;
         tasks[t].deadline = request.deadline;
-        tasks[t].profile =
-            request.collect_profile ? &responses[i].profile : nullptr;
+        tasks[t].profile = request.collect_profile || trace != nullptr
+                               ? &responses[i].profile
+                               : nullptr;
         tasks[t].result = &responses[i].neighbors;
+        if (trace != nullptr) {
+          tasks[t].trace = trace;
+          tasks[t].span = trace->AllocateSpan(kSpanSearch);
+        }
       }
       RunThroughputBatch(*snapshot.tree, &tasks, pool_, config_.num_threads);
       metrics_.RecordThroughputBatch(runnable.size());
@@ -407,7 +497,54 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
           responses[i].latency_ms,
           pending.request.collect_profile ? &responses[i].profile : nullptr);
     }
+    if (pending.trace != nullptr) {
+      FinishTrace(&pending, &responses[i]);
+    }
     pending.promise.set_value(std::move(responses[i]));
+  }
+}
+
+obs::Histogram* SearchService::StageHistogram(const char* span_name) {
+  if (span_name == kSpanAdmission) return stage_admission_;
+  if (span_name == kSpanScatter) return stage_scatter_;
+  if (span_name == kSpanShardScan) return stage_shard_scan_;
+  if (span_name == kSpanBufferScan) return stage_buffer_scan_;
+  if (span_name == kSpanMerge) return stage_merge_;
+  if (span_name == kSpanSearch) return stage_search_;
+  return nullptr;
+}
+
+void SearchService::FinishTrace(PendingRequest* pending,
+                                SearchResponse* response) {
+  obs::QueryTrace& trace = *pending->trace;
+  const index::QueryProfile& profile = response->profile;
+  trace.AddCounter("nodes_visited", profile.nodes_visited);
+  trace.AddCounter("nodes_pruned", profile.nodes_pruned);
+  trace.AddCounter("leaves_collected", profile.leaves_collected);
+  trace.AddCounter("leaves_abandoned", profile.leaves_abandoned);
+  trace.AddCounter("series_lbd_checked", profile.series_lbd_checked);
+  trace.AddCounter("series_lbd_pruned", profile.series_lbd_pruned);
+  trace.AddCounter("series_ed_computed", profile.series_ed_computed);
+  trace.AddCounter("candidates_filtered", profile.candidates_filtered);
+  const bool expired =
+      response->status == RequestStatus::kDeadlineExpired;
+  obs::TraceRecord record =
+      trace.Finish(pending->query_id, response->latency_ms, expired);
+  traces_total_->Add();
+  for (const obs::TraceSpan& span : record.spans) {
+    obs::Histogram* histogram = StageHistogram(span.name);
+    if (histogram != nullptr) {
+      histogram->Record(std::max(0.0, span.end_ms - span.start_ms));
+    }
+  }
+  if (config_.trace.slow_query_ms > 0.0 &&
+      (expired || response->latency_ms >= config_.trace.slow_query_ms)) {
+    slow_queries_total_->Add();
+    slow_log_.Push(record);  // copy — the caller may want the record too
+  }
+  if (pending->request.collect_trace) {
+    response->trace =
+        std::make_shared<const obs::TraceRecord>(std::move(record));
   }
 }
 
@@ -442,8 +579,16 @@ void SearchService::ExecuteShardedThroughput(
   std::vector<std::vector<Neighbor>> results(total_tasks);
   std::vector<index::QueryProfile> profiles(total_tasks);
   std::vector<QueryTask> tasks(total_tasks);
+  // One scatter span per traced query: it brackets the shared executor
+  // run, inside which the per-task shard/buffer spans get stamped.
+  std::vector<int> scatter_spans(runnable.size(), -1);
   for (std::size_t q = 0; q < runnable.size(); ++q) {
     const SearchRequest& request = (*batch)[runnable[q]].request;
+    obs::QueryTrace* trace = (*batch)[runnable[q]].trace.get();
+    const bool want_profile = request.collect_profile || trace != nullptr;
+    if (trace != nullptr) {
+      scatter_spans[q] = trace->BeginSpan(kSpanScatter);
+    }
     for (std::size_t s = 0; s < num_shards; ++s) {
       QueryTask& task = tasks[q * num_shards + s];
       task.index = sharded.shard(s).tree.get();
@@ -453,20 +598,41 @@ void SearchService::ExecuteShardedThroughput(
       task.deadline = request.deadline;
       task.result = &results[q * num_shards + s];
       task.profile =
-          request.collect_profile ? &profiles[q * num_shards + s] : nullptr;
+          want_profile ? &profiles[q * num_shards + s] : nullptr;
+      if (trace != nullptr) {
+        task.trace = trace;
+        task.span = trace->AllocateSpan(kSpanShardScan, scatter_spans[q]);
+      }
     }
     if (buffer_tasks > 0) {
       FillBufferTasks(snapshot, request, tombstones.get(),
                       /*with_deadline=*/true, &tasks,
                       tree_tasks + q * buffer_tasks, &results, &profiles);
+      if (trace != nullptr) {
+        for (std::size_t b = 0; b < buffer_tasks; ++b) {
+          QueryTask& task = tasks[tree_tasks + q * buffer_tasks + b];
+          task.trace = trace;
+          task.span = trace->AllocateSpan(kSpanBufferScan, scatter_spans[q]);
+          if (task.profile == nullptr) {
+            task.profile = &profiles[tree_tasks + q * buffer_tasks + b];
+          }
+        }
+      }
     }
   }
   RunTaskBatch(&tasks, pool_, config_.num_threads);
+  for (std::size_t q = 0; q < runnable.size(); ++q) {
+    if ((*batch)[runnable[q]].trace != nullptr) {
+      (*batch)[runnable[q]].trace->EndSpan(scatter_spans[q]);
+    }
+  }
   metrics_.RecordThroughputBatch(runnable.size());
 
   for (std::size_t q = 0; q < runnable.size(); ++q) {
     SearchResponse& response = (*responses)[runnable[q]];
     const SearchRequest& request = (*batch)[runnable[q]].request;
+    obs::QueryTrace* trace = (*batch)[runnable[q]].trace.get();
+    const bool want_profile = request.collect_profile || trace != nullptr;
     // A query whose scatter partially expired has no exact answer — fail
     // it whole rather than merge a subset of its tree/buffer sources.
     bool expired = false;
@@ -484,14 +650,14 @@ void SearchService::ExecuteShardedThroughput(
     std::vector<std::vector<Neighbor>> per_shard(num_shards);
     for (std::size_t s = 0; s < num_shards; ++s) {
       per_shard[s] = std::move(results[q * num_shards + s]);
-      if (request.collect_profile) {
+      if (want_profile) {
         response.profile.Merge(profiles[q * num_shards + s]);
       }
     }
     std::vector<std::vector<Neighbor>> extras;
     for (std::size_t b = 0; b < buffer_tasks; ++b) {
       const std::size_t t = tree_tasks + q * buffer_tasks + b;
-      if (request.collect_profile) {
+      if (want_profile) {
         response.profile.Merge(profiles[t]);
       }
       if (!results[t].empty()) {
@@ -499,10 +665,15 @@ void SearchService::ExecuteShardedThroughput(
       }
     }
     std::uint64_t filtered = 0;
+    const int merge_span =
+        trace != nullptr ? trace->BeginSpan(kSpanMerge) : -1;
     response.neighbors = sharded.MergeTopK(per_shard, request.k,
                                            std::move(extras),
                                            tombstones.get(), &filtered);
-    if (request.collect_profile) {
+    if (trace != nullptr) {
+      trace->EndSpan(merge_span);
+    }
+    if (want_profile) {
       response.profile.candidates_filtered += filtered;
     }
   }

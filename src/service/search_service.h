@@ -36,6 +36,7 @@
 #ifndef SOFA_SERVICE_SEARCH_SERVICE_H_
 #define SOFA_SERVICE_SEARCH_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -48,6 +49,8 @@
 #include <vector>
 
 #include "core/neighbor.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "service/metrics.h"
 #include "service/snapshot.h"
 #include "util/thread_pool.h"
@@ -80,6 +83,11 @@ struct SearchRequest {
   /// Opt into work counters (QueryProfile) for this request.
   bool collect_profile = false;
 
+  /// Opt into per-query tracing for this request regardless of the
+  /// service's sampling config; the finished trace (span timeline +
+  /// work counters) comes back in SearchResponse::trace.
+  bool collect_trace = false;
+
   /// Convenience: sets the deadline relative to now.
   void SetDeadlineMs(double ms) {
     deadline = std::chrono::steady_clock::now() +
@@ -94,6 +102,11 @@ struct SearchResponse {
   double latency_ms = 0.0;              // Submit() → completion
   std::uint64_t index_version = 0;      // which published generation answered
   index::QueryProfile profile;          // filled when collect_profile
+                                        // (and for traced queries)
+
+  /// Span timeline of this query; non-null only when the request set
+  /// collect_trace.
+  std::shared_ptr<const obs::TraceRecord> trace;
 };
 
 /// Service tuning knobs.
@@ -114,6 +127,15 @@ struct ServiceConfig {
 
   /// Start with the dispatcher paused (requests queue up until Resume()).
   bool start_paused = false;
+
+  /// Metrics registry the service registers its instruments into; null =
+  /// a private registry owned by the collector (per-instance semantics).
+  /// Pass one shared registry to co-expose service + ingest + persist
+  /// metrics from a single endpoint.
+  obs::Registry* registry = nullptr;
+
+  /// Per-query tracing & slow-query log (off by default; see TraceConfig).
+  obs::TraceConfig trace;
 };
 
 class SearchService {
@@ -164,6 +186,14 @@ class SearchService {
   /// Point-in-time serving metrics.
   MetricsSnapshot Metrics() const;
 
+  /// The registry the service's instruments live in (owned or the one
+  /// passed through ServiceConfig).
+  obs::Registry* registry() const { return metrics_.registry(); }
+
+  /// Traces of queries that exceeded the slow threshold (or expired
+  /// their deadline) — dump on demand and at shutdown.
+  const obs::SlowQueryLog& slow_query_log() const { return slow_log_; }
+
   /// Current queue depth (pending, not yet dispatched).
   std::size_t PendingCount() const;
 
@@ -174,6 +204,11 @@ class SearchService {
     SearchRequest request;
     std::promise<SearchResponse> promise;
     std::chrono::steady_clock::time_point submit_time;
+
+    // Tracing state of a sampled/opted-in query (null otherwise).
+    std::unique_ptr<obs::QueryTrace> trace;
+    int admission_span = -1;
+    std::uint64_t query_id = 0;
   };
 
   void DispatcherLoop();
@@ -183,11 +218,27 @@ class SearchService {
                                 std::vector<PendingRequest>* batch,
                                 const std::vector<std::size_t>& runnable,
                                 std::vector<SearchResponse>* responses);
+  /// Seals a traced request: attaches profile counters, feeds the stage
+  /// histograms, pushes to the slow log, hands the record to the caller
+  /// when requested. Must run before the response promise resolves.
+  void FinishTrace(PendingRequest* pending, SearchResponse* response);
+  obs::Histogram* StageHistogram(const char* span_name);
   static double ElapsedMs(std::chrono::steady_clock::time_point since);
 
   ThreadPool* pool_;
   ServiceConfig config_;
   MetricsCollector metrics_;
+  obs::TraceSampler sampler_;
+  obs::SlowQueryLog slow_log_;
+  std::atomic<std::uint64_t> next_query_id_{0};
+  obs::Counter* traces_total_ = nullptr;
+  obs::Counter* slow_queries_total_ = nullptr;
+  obs::Histogram* stage_admission_ = nullptr;
+  obs::Histogram* stage_scatter_ = nullptr;
+  obs::Histogram* stage_shard_scan_ = nullptr;
+  obs::Histogram* stage_buffer_scan_ = nullptr;
+  obs::Histogram* stage_merge_ = nullptr;
+  obs::Histogram* stage_search_ = nullptr;
 
   std::mutex shutdown_mutex_;  // serializes Shutdown() callers
   mutable std::mutex mutex_;

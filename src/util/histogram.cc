@@ -92,9 +92,13 @@ double LogHistogram::Percentile(double p) const {
       continue;
     }
     if (static_cast<double>(cumulative + count) >= target) {
-      // Interpolate inside the bucket, capped by the observed maximum.
+      // Interpolate inside the bucket, capped by the observed maximum. The
+      // terminal bucket has no meaningful upper edge (it absorbs overflow),
+      // so there the interpolation runs up to the observed maximum itself.
       const double lower = BucketLowerEdge(b);
-      const double upper = BucketLowerEdge(b + 1);
+      const double upper = b + 1 == counts_.size()
+                               ? std::max(MaxValue(), lower)
+                               : BucketLowerEdge(b + 1);
       const double within =
           (target - static_cast<double>(cumulative)) / static_cast<double>(count);
       return std::min(lower + (upper - lower) * within, MaxValue());
@@ -102,6 +106,33 @@ double LogHistogram::Percentile(double p) const {
     cumulative += count;
   }
   return MaxValue();
+}
+
+std::uint64_t LogHistogram::BucketCount(std::size_t b) const {
+  SOFA_CHECK(b < counts_.size());
+  return counts_[b].load(std::memory_order_relaxed);
+}
+
+double LogHistogram::BucketUpperEdge(std::size_t b) const {
+  SOFA_CHECK(b < counts_.size());
+  return BucketLowerEdge(b + 1);
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  SOFA_CHECK(counts_.size() == other.counts_.size());
+  SOFA_CHECK(min_value_ == other.min_value_);
+  SOFA_CHECK(log_growth_ == other.log_growth_);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::uint64_t count =
+        other.counts_[b].load(std::memory_order_relaxed);
+    if (count != 0) {
+      counts_[b].fetch_add(count, std::memory_order_relaxed);
+    }
+  }
+  total_.fetch_add(other.total_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  AtomicAdd(&sum_, other.sum_.load(std::memory_order_relaxed));
+  AtomicMax(&max_, other.max_.load(std::memory_order_relaxed));
 }
 
 void LogHistogram::Reset() {

@@ -43,7 +43,28 @@ class LogHistogram {
   double MaxValue() const;
 
   /// Linear-interpolated percentile estimate, p in [0, 100]; 0 when empty.
+  /// Within the terminal (overflow) bucket the interpolation runs from the
+  /// bucket's lower edge to the observed maximum, so tail percentiles stay
+  /// meaningful even for clamped out-of-range samples.
   double Percentile(double p) const;
+
+  /// Adds every bucket count (plus total/sum/max) of `other` into this
+  /// histogram. Both histograms must share the same geometry (min value,
+  /// growth factor, bucket count). Thread-safe against concurrent Record()
+  /// on either side; the merged snapshot is only as consistent as any
+  /// concurrent read.
+  void Merge(const LogHistogram& other);
+
+  /// Number of buckets (the last one absorbs out-of-range overflow).
+  std::size_t NumBuckets() const { return counts_.size(); }
+
+  /// Count recorded in bucket `b`.
+  std::uint64_t BucketCount(std::size_t b) const;
+
+  /// Inclusive upper edge of bucket `b` (the lower edge of bucket b+1).
+  /// For the terminal bucket this is a finite edge; exporters should
+  /// publish it as +Inf since the bucket absorbs overflow.
+  double BucketUpperEdge(std::size_t b) const;
 
   /// Resets all counters to zero. Not atomic w.r.t. concurrent Record().
   void Reset();

@@ -1,0 +1,658 @@
+// Tests for the unified observability layer (src/obs/): registry
+// registration semantics (stable instrument pointers, label ordering,
+// collect hooks), the exposition renderers pinned by golden strings
+// (Prometheus text format and the JSON stats schema, including the
+// ParseStatsJson round trip `sofa_cli stats` relies on), QueryTrace span
+// nesting/ordering/overflow, sampler cadence, slow-query-log ring
+// eviction, a multi-threaded registration+increment stress (runs under
+// TSan via the concurrency label), and the end-to-end acceptance trace:
+// a traced query against a 4-shard ingesting generation with live
+// inserts and deletes must cover admission → scatter → per-shard tree
+// scans + buffer scans → merge, with child spans nested inside the
+// scatter window and the sequential stage durations summing to no more
+// than the query's total latency.
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ingest/compactor.h"
+#include "obs/exposition.h"
+#include "obs/registry.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
+#include "service/search_service.h"
+#include "service/snapshot.h"
+#include "sfa/mcb.h"
+#include "shard/sharded_index.h"
+#include "test_data.h"
+#include "util/thread_pool.h"
+
+namespace sofa {
+namespace obs {
+namespace {
+
+using testing_data::Walk;
+
+// Finds the snapshot of `name` (with `label_value` under `label_key`,
+// when given) in a Collect() result; nullptr when absent.
+const InstrumentSnapshot* Find(const std::vector<InstrumentSnapshot>& snapshot,
+                               const std::string& name,
+                               const std::string& label_key = "",
+                               const std::string& label_value = "") {
+  for (const InstrumentSnapshot& snap : snapshot) {
+    if (snap.name != name) {
+      continue;
+    }
+    if (label_key.empty()) {
+      return &snap;
+    }
+    for (const auto& label : snap.labels) {
+      if (label.first == label_key && label.second == label_value) {
+        return &snap;
+      }
+    }
+  }
+  return nullptr;
+}
+
+// ----------------------------------------------------------- registry
+
+TEST(RegistryTest, ReRegistrationReturnsTheSameInstrument) {
+  Registry registry;
+  Counter* a = registry.GetCounter("reg_total", {{"x", "1"}, {"y", "2"}});
+  // Same name, same labels in a different order: labels are normalized
+  // (sorted by key), so this must resolve to the same instrument.
+  Counter* b = registry.GetCounter("reg_total", {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(a, b);
+  a->Add(2);
+  b->Add(3);
+  EXPECT_EQ(a->Value(), 5u);
+
+  // Different labels are a different time series.
+  Counter* c = registry.GetCounter("reg_total", {{"x", "1"}, {"y", "3"}});
+  EXPECT_NE(a, c);
+  EXPECT_EQ(c->Value(), 0u);
+}
+
+TEST(RegistryTest, CollectSnapshotsEveryKind) {
+  Registry registry;
+  registry.GetCounter("t_counter", {}, "a counter")->Add(7);
+  registry.GetGauge("t_gauge", {}, "a gauge")->Set(2.5);
+  Histogram* histogram =
+      registry.GetHistogram("t_histogram", HistogramOptions{}, {}, "a histo");
+  histogram->Record(1.0);
+  histogram->Record(4.0);
+
+  const std::vector<InstrumentSnapshot> snapshot = registry.Collect();
+  ASSERT_EQ(snapshot.size(), 3u);
+
+  const InstrumentSnapshot* counter = Find(snapshot, "t_counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->kind, InstrumentKind::kCounter);
+  EXPECT_EQ(counter->counter, 7u);
+  EXPECT_EQ(counter->help, "a counter");
+
+  const InstrumentSnapshot* gauge = Find(snapshot, "t_gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->kind, InstrumentKind::kGauge);
+  EXPECT_DOUBLE_EQ(gauge->gauge, 2.5);
+
+  const InstrumentSnapshot* histo = Find(snapshot, "t_histogram");
+  ASSERT_NE(histo, nullptr);
+  EXPECT_EQ(histo->kind, InstrumentKind::kHistogram);
+  EXPECT_EQ(histo->count, 2u);
+  EXPECT_DOUBLE_EQ(histo->sum, 5.0);
+  EXPECT_DOUBLE_EQ(histo->max, 4.0);
+  ASSERT_FALSE(histo->buckets.empty());
+  // Buckets are cumulative, ending in the overflow bucket at count.
+  std::uint64_t previous = 0;
+  for (const HistogramBucket& bucket : histo->buckets) {
+    EXPECT_GE(bucket.cumulative, previous);
+    previous = bucket.cumulative;
+  }
+  EXPECT_TRUE(histo->buckets.back().overflow);
+  EXPECT_EQ(histo->buckets.back().cumulative, histo->count);
+}
+
+TEST(RegistryTest, CollectHooksRunAndCanBeRemoved) {
+  Registry registry;
+  Gauge* mirrored = registry.GetGauge("hooked_gauge");
+  int source = 1;
+  const std::uint64_t hook = registry.AddCollectHook(
+      [&] { mirrored->Set(static_cast<double>(source)); });
+
+  registry.Collect();
+  EXPECT_DOUBLE_EQ(mirrored->Value(), 1.0);
+
+  source = 42;
+  registry.Collect();
+  EXPECT_DOUBLE_EQ(mirrored->Value(), 42.0);
+
+  registry.RemoveCollectHook(hook);
+  source = 99;
+  registry.Collect();
+  EXPECT_DOUBLE_EQ(mirrored->Value(), 42.0);  // hook no longer runs
+}
+
+// Many threads race registration of the same and different label sets
+// while a collector thread snapshots — the lock-free Add path and the
+// registration path must agree on totals. Runs under TSan in CI.
+TEST(RegistryTest, ConcurrentRegistrationAndIncrement) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 2000;
+  std::atomic<bool> stop{false};
+  std::thread collector([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      registry.Collect();
+    }
+  });
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t] {
+      const std::string shard = std::to_string(t % 4);
+      for (int i = 0; i < kIterations; ++i) {
+        registry.GetCounter("stress_total", {{"shard", shard}})->Add();
+        registry.GetHistogram("stress_ms")->Record(0.5 + t);
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  collector.join();
+
+  const std::vector<InstrumentSnapshot> snapshot = registry.Collect();
+  std::uint64_t total = 0;
+  for (const InstrumentSnapshot& snap : snapshot) {
+    if (snap.name == "stress_total") {
+      total += snap.counter;
+    }
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kIterations);
+  const InstrumentSnapshot* histogram = Find(snapshot, "stress_ms");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->count, static_cast<std::uint64_t>(kThreads) * kIterations);
+}
+
+// --------------------------------------------------------- exposition
+
+TEST(ExpositionTest, PrometheusGolden) {
+  Registry registry;
+  const char* kHelp = "Requests served";
+  registry.GetCounter("test_requests_total", {{"status", "ok"}}, kHelp)
+      ->Add(3);
+  registry.GetCounter("test_requests_total", {{"status", "rejected"}}, kHelp)
+      ->Add(1);
+  registry.GetGauge("test_uptime_seconds", {}, "Uptime")->Set(5.0);
+
+  const std::string expected =
+      "# HELP test_requests_total Requests served\n"
+      "# TYPE test_requests_total counter\n"
+      "test_requests_total{status=\"ok\"} 3\n"
+      "test_requests_total{status=\"rejected\"} 1\n"
+      "# HELP test_uptime_seconds Uptime\n"
+      "# TYPE test_uptime_seconds gauge\n"
+      "test_uptime_seconds 5\n";
+  EXPECT_EQ(RenderPrometheus(registry.Collect()), expected);
+}
+
+TEST(ExpositionTest, PrometheusHistogramExpansion) {
+  Registry registry;
+  Histogram* histogram =
+      registry.GetHistogram("t_ms", HistogramOptions{}, {{"op", "x"}});
+  histogram->Record(1.0);
+  histogram->Record(2.0);
+
+  const std::string text = RenderPrometheus(registry.Collect());
+  EXPECT_NE(text.find("# TYPE t_ms histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("t_ms_bucket{op=\"x\",le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("t_ms_sum{op=\"x\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("t_ms_count{op=\"x\"} 2\n"), std::string::npos);
+}
+
+TEST(ExpositionTest, JsonGolden) {
+  Registry registry;
+  const char* kHelp = "Requests served";
+  registry.GetCounter("test_requests_total", {{"status", "ok"}}, kHelp)
+      ->Add(3);
+  registry.GetGauge("test_uptime_seconds", {}, "Uptime")->Set(5.0);
+
+  const std::string expected =
+      "{\n"
+      "  \"metrics\": [\n"
+      "    {\"name\": \"test_requests_total\", \"type\": \"counter\", "
+      "\"labels\": {\"status\": \"ok\"}, \"help\": \"Requests served\", "
+      "\"value\": 3},\n"
+      "    {\"name\": \"test_uptime_seconds\", \"type\": \"gauge\", "
+      "\"help\": \"Uptime\", \"value\": 5}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(RenderJson(registry.Collect()), expected);
+}
+
+TEST(ExpositionTest, JsonRoundTripsThroughParseStatsJson) {
+  Registry registry;
+  registry.GetCounter("rt_total", {{"a", "1"}}, "counter help")->Add(11);
+  registry.GetGauge("rt_gauge", {}, "gauge help")->Set(-2.25);
+  Histogram* histogram =
+      registry.GetHistogram("rt_ms", HistogramOptions{}, {}, "histo help");
+  histogram->Record(0.5);
+  histogram->Record(7.0);
+  histogram->Record(7.0);
+
+  const std::vector<InstrumentSnapshot> original = registry.Collect();
+  std::vector<InstrumentSnapshot> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseStatsJson(RenderJson(original), &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, original[i].name);
+    EXPECT_EQ(parsed[i].kind, original[i].kind);
+    EXPECT_EQ(parsed[i].labels, original[i].labels);
+    EXPECT_EQ(parsed[i].help, original[i].help);
+    EXPECT_EQ(parsed[i].counter, original[i].counter);
+    EXPECT_DOUBLE_EQ(parsed[i].gauge, original[i].gauge);
+    EXPECT_EQ(parsed[i].count, original[i].count);
+    EXPECT_DOUBLE_EQ(parsed[i].sum, original[i].sum);
+    EXPECT_DOUBLE_EQ(parsed[i].max, original[i].max);
+    ASSERT_EQ(parsed[i].buckets.size(), original[i].buckets.size());
+    for (std::size_t j = 0; j < original[i].buckets.size(); ++j) {
+      EXPECT_EQ(parsed[i].buckets[j].cumulative,
+                original[i].buckets[j].cumulative);
+      EXPECT_EQ(parsed[i].buckets[j].overflow,
+                original[i].buckets[j].overflow);
+    }
+  }
+}
+
+TEST(ExpositionTest, ParseStatsJsonRejectsMalformedInput) {
+  std::vector<InstrumentSnapshot> parsed;
+  std::string error;
+  EXPECT_FALSE(ParseStatsJson("{\"metrics\": [", &parsed, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseStatsJson("[]", &parsed, &error));
+  EXPECT_FALSE(
+      ParseStatsJson("{\"metrics\": [{\"name\": \"x\", \"type\": \"bogus\"}]}",
+                     &parsed, &error));
+}
+
+TEST(ExpositionTest, PrettyRendering) {
+  EXPECT_EQ(RenderPretty({}), "(no metrics)\n");
+
+  Registry registry;
+  registry.GetCounter("p_total", {{"s", "a"}})->Add(4);
+  registry.GetGauge("p_gauge")->Set(1.5);
+  registry.GetHistogram("p_ms")->Record(2.0);
+  const std::string text = RenderPretty(registry.Collect());
+  EXPECT_NE(text.find("counters:\n"), std::string::npos);
+  EXPECT_NE(text.find("p_total{s=a}"), std::string::npos);
+  EXPECT_NE(text.find("gauges:\n"), std::string::npos);
+  EXPECT_NE(text.find("histograms:\n"), std::string::npos);
+  EXPECT_NE(text.find("count=1"), std::string::npos);
+}
+
+// -------------------------------------------------------------- traces
+
+TEST(TraceTest, SpanNestingAndOrdering) {
+  QueryTrace trace;
+  const int outer = trace.BeginSpan("outer");
+  ASSERT_EQ(outer, 0);
+  const int inner = trace.BeginSpan("inner", outer);
+  ASSERT_EQ(inner, 1);
+  trace.EndSpan(inner);
+  const int stamped = trace.AllocateSpan("stamped", outer);
+  ASSERT_EQ(stamped, 2);
+  trace.StampSpan(stamped, 0.25, 0.5);
+  trace.EndSpan(outer);
+  trace.AddCounter("work", 17);
+
+  const TraceRecord record = trace.Finish(9, 3.5, false);
+  EXPECT_EQ(record.query_id, 9u);
+  EXPECT_DOUBLE_EQ(record.total_ms, 3.5);
+  EXPECT_FALSE(record.deadline_expired);
+  ASSERT_EQ(record.spans.size(), 3u);
+  // Allocation order is preserved; parents link the nesting.
+  EXPECT_STREQ(record.spans[0].name, "outer");
+  EXPECT_EQ(record.spans[0].parent, -1);
+  EXPECT_STREQ(record.spans[1].name, "inner");
+  EXPECT_EQ(record.spans[1].parent, outer);
+  EXPECT_STREQ(record.spans[2].name, "stamped");
+  EXPECT_EQ(record.spans[2].parent, outer);
+  EXPECT_DOUBLE_EQ(record.spans[2].start_ms, 0.25);
+  EXPECT_DOUBLE_EQ(record.spans[2].end_ms, 0.5);
+  // Timed spans are well-formed and the inner span nests in the outer.
+  EXPECT_LE(record.spans[0].start_ms, record.spans[1].start_ms);
+  EXPECT_LE(record.spans[1].start_ms, record.spans[1].end_ms);
+  EXPECT_LE(record.spans[1].end_ms, record.spans[0].end_ms);
+  ASSERT_EQ(record.counters.size(), 1u);
+  EXPECT_STREQ(record.counters[0].name, "work");
+  EXPECT_EQ(record.counters[0].value, 17u);
+}
+
+TEST(TraceTest, SpanOverflowDropsExtraSpans) {
+  QueryTrace trace(2);
+  EXPECT_EQ(trace.BeginSpan("a"), 0);
+  EXPECT_EQ(trace.BeginSpan("b"), 1);
+  EXPECT_EQ(trace.BeginSpan("c"), -1);  // full — dropped, not resized
+  EXPECT_EQ(trace.AllocateSpan("d"), -1);
+  trace.EndSpan(-1);            // must be tolerated
+  trace.StampSpan(-1, 0., 1.);  // likewise
+  const TraceRecord record = trace.Finish(1, 0.1, true);
+  EXPECT_TRUE(record.deadline_expired);
+  EXPECT_EQ(record.spans.size(), 2u);
+}
+
+TEST(TraceTest, SamplerCadence) {
+  TraceSampler off(0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(off.ShouldSample());
+  }
+  TraceSampler all(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(all.ShouldSample());
+  }
+  TraceSampler third(3);
+  int sampled = 0;
+  for (int i = 0; i < 9; ++i) {
+    const bool hit = third.ShouldSample();
+    EXPECT_EQ(hit, i % 3 == 0);
+    sampled += hit ? 1 : 0;
+  }
+  EXPECT_EQ(sampled, 3);
+}
+
+TEST(TraceTest, FormatTraceRendersTimelineAndCounters) {
+  QueryTrace trace;
+  const int outer = trace.BeginSpan("outer");
+  const int inner = trace.BeginSpan("inner", outer);
+  trace.EndSpan(inner);
+  trace.EndSpan(outer);
+  trace.AddCounter("nodes_visited", 12);
+  const std::string text = FormatTrace(trace.Finish(3, 1.25, false));
+  EXPECT_NE(text.find("query 3: 1.250 ms"), std::string::npos);
+  EXPECT_NE(text.find("outer"), std::string::npos);
+  EXPECT_NE(text.find("inner"), std::string::npos);
+  EXPECT_NE(text.find("counters: nodes_visited=12"), std::string::npos);
+}
+
+// ------------------------------------------------------ slow-query log
+
+TEST(SlowQueryLogTest, RingEvictsOldestFirst) {
+  SlowQueryLog log(3);
+  EXPECT_EQ(log.capacity(), 3u);
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    TraceRecord record;
+    record.query_id = id;
+    log.Push(std::move(record));
+  }
+  EXPECT_EQ(log.Size(), 3u);
+  EXPECT_EQ(log.TotalPushed(), 5u);
+  EXPECT_EQ(log.TotalEvicted(), 2u);
+  const std::vector<TraceRecord> dump = log.Dump();
+  ASSERT_EQ(dump.size(), 3u);
+  EXPECT_EQ(dump[0].query_id, 3u);  // oldest retained first
+  EXPECT_EQ(dump[1].query_id, 4u);
+  EXPECT_EQ(dump[2].query_id, 5u);
+
+  log.Clear();
+  EXPECT_EQ(log.Size(), 0u);
+  EXPECT_EQ(log.TotalPushed(), 5u);  // lifetime totals survive a Clear
+}
+
+// ------------------------------------------- end-to-end service traces
+
+// A 4-shard generation under live ingest: base rows in the shard trees,
+// hash-assigned inserts in the per-shard buffers, a couple of tombstoned
+// rows so the merge runs its filter path.
+struct TracedServiceFixture {
+  ThreadPool pool;
+  Dataset base;
+  Dataset inserts;
+  std::shared_ptr<const quant::SummaryScheme> scheme;
+  std::shared_ptr<const shard::ShardedIndex> sharded;
+
+  explicit TracedServiceFixture(std::uint64_t seed)
+      : pool(4),
+        base(Walk(600, 64, seed)),
+        inserts(Walk(48, 64, seed + 1)) {
+    sfa::SfaConfig sfa_config;
+    sfa_config.word_length = 16;
+    sfa_config.alphabet = 256;
+    sfa_config.sampling_ratio = 0.2;
+    scheme = sfa::TrainSfa(base, sfa_config, &pool);
+    shard::ShardingConfig config;
+    config.num_shards = 4;
+    config.assignment = shard::ShardAssignment::kHash;
+    config.index.leaf_capacity = 100;
+    sharded = shard::ShardedIndex::Build(base, config, scheme, &pool);
+  }
+
+  void FeedIngest(ingest::Compactor* compactor) const {
+    for (std::size_t i = 0; i < inserts.size(); ++i) {
+      ASSERT_EQ(compactor->Insert(inserts.row(i), inserts.length()),
+                ingest::InsertStatus::kOk);
+    }
+    ASSERT_EQ(compactor->Delete(3), ingest::DeleteStatus::kOk);
+    ASSERT_EQ(compactor->Delete(10), ingest::DeleteStatus::kOk);
+  }
+
+  service::SearchRequest MakeRequest(std::size_t k) const {
+    service::SearchRequest request;
+    request.query.assign(base.row(0), base.row(0) + base.length());
+    request.k = k;
+    return request;
+  }
+};
+
+// The ISSUE acceptance criterion: one traced query against a 4-shard
+// ingesting generation covers the whole pipeline, child scans nest
+// inside the scatter window, and the sequential stage durations sum to
+// no more than the total latency.
+TEST(ServiceTraceTest, ShardedIngestingQueryTraceCoversPipeline) {
+  TracedServiceFixture fx(211);
+  service::ServiceConfig config;
+  config.trace.sample_every = 1;
+  service::SearchService svc(service::WrapShardedIndex(fx.sharded), &fx.pool,
+                             config);
+  ingest::IngestConfig ingest_config;
+  ingest_config.auto_compact = false;  // keep inserts in the buffers
+  ingest::Compactor compactor(&svc, fx.sharded, ingest_config);
+  fx.FeedIngest(&compactor);
+
+  service::SearchRequest request = fx.MakeRequest(5);
+  request.collect_trace = true;
+  service::SearchResponse response = svc.Search(std::move(request));
+  ASSERT_EQ(response.status, service::RequestStatus::kOk);
+  ASSERT_NE(response.trace, nullptr);
+  const TraceRecord& trace = *response.trace;
+  EXPECT_GT(trace.total_ms, 0.0);
+  EXPECT_FALSE(trace.deadline_expired);
+
+  int admission = -1, scatter = -1, merge = -1;
+  std::size_t shard_scans = 0, buffer_scans = 0;
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    const TraceSpan& span = trace.spans[i];
+    if (std::strcmp(span.name, "admission") == 0) {
+      admission = static_cast<int>(i);
+    } else if (std::strcmp(span.name, "scatter") == 0) {
+      scatter = static_cast<int>(i);
+    } else if (std::strcmp(span.name, "merge") == 0) {
+      merge = static_cast<int>(i);
+    } else if (std::strcmp(span.name, "shard_scan") == 0) {
+      ++shard_scans;
+    } else if (std::strcmp(span.name, "buffer_scan") == 0) {
+      ++buffer_scans;
+    }
+  }
+  ASSERT_GE(admission, 0);
+  ASSERT_GE(scatter, 0);
+  ASSERT_GE(merge, 0);
+  EXPECT_EQ(shard_scans, 4u);   // one tree scan per shard
+  EXPECT_GE(buffer_scans, 1u);  // the live insert buffers were scanned
+
+  // Every scan is a child of the scatter span and lies inside its window.
+  const TraceSpan& scatter_span = trace.spans[static_cast<std::size_t>(scatter)];
+  for (const TraceSpan& span : trace.spans) {
+    if (std::strcmp(span.name, "shard_scan") != 0 &&
+        std::strcmp(span.name, "buffer_scan") != 0) {
+      continue;
+    }
+    EXPECT_EQ(span.parent, scatter);
+    EXPECT_GE(span.start_ms, scatter_span.start_ms);
+    EXPECT_LE(span.end_ms, scatter_span.end_ms);
+    EXPECT_LE(span.start_ms, span.end_ms);
+  }
+
+  // The sequential top-level stages are disjoint, so their durations sum
+  // to at most the end-to-end latency.
+  const auto duration = [&](int index) {
+    const TraceSpan& span = trace.spans[static_cast<std::size_t>(index)];
+    return span.end_ms - span.start_ms;
+  };
+  EXPECT_LE(duration(admission) + duration(scatter) + duration(merge),
+            trace.total_ms + 1e-6);
+
+  // The trace carries the full work-counter profile.
+  ASSERT_EQ(trace.counters.size(), 8u);
+  bool saw_ed = false, saw_filtered = false;
+  for (const TraceCounterSample& counter : trace.counters) {
+    saw_ed = saw_ed || std::strcmp(counter.name, "series_ed_computed") == 0;
+    saw_filtered =
+        saw_filtered || std::strcmp(counter.name, "candidates_filtered") == 0;
+  }
+  EXPECT_TRUE(saw_ed);
+  EXPECT_TRUE(saw_filtered);
+
+  // The registry side saw the trace too: the trace counter ticked and
+  // the per-stage histograms absorbed the span durations.
+  const std::vector<InstrumentSnapshot> snapshot = svc.registry()->Collect();
+  const InstrumentSnapshot* traces = Find(snapshot, "sofa_query_traces_total");
+  ASSERT_NE(traces, nullptr);
+  EXPECT_GE(traces->counter, 1u);
+  const InstrumentSnapshot* stage =
+      Find(snapshot, "sofa_query_stage_ms", "stage", "shard_scan");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_GE(stage->count, 4u);
+}
+
+// slow_query_ms > 0 arms trace-everything mode: every completed query is
+// measured and (with a sub-microsecond threshold) lands in the ring,
+// which evicts oldest-first once capacity is reached.
+TEST(ServiceTraceTest, SlowQueryLogCapturesQueriesOverThreshold) {
+  TracedServiceFixture fx(223);
+  service::ServiceConfig config;
+  config.trace.slow_query_ms = 1e-6;  // everything counts as slow
+  config.trace.slow_log_capacity = 4;
+  service::SearchService svc(service::WrapShardedIndex(fx.sharded), &fx.pool,
+                             config);
+
+  constexpr std::size_t kQueries = 6;
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    const service::SearchResponse response = svc.Search(fx.MakeRequest(3));
+    ASSERT_EQ(response.status, service::RequestStatus::kOk);
+    EXPECT_EQ(response.trace, nullptr);  // collect_trace was not requested
+  }
+  svc.Drain();
+
+  const SlowQueryLog& log = svc.slow_query_log();
+  EXPECT_EQ(log.TotalPushed(), kQueries);
+  EXPECT_EQ(log.Size(), 4u);
+  EXPECT_EQ(log.TotalEvicted(), kQueries - 4);
+  const std::vector<TraceRecord> dump = log.Dump();
+  ASSERT_EQ(dump.size(), 4u);
+  for (std::size_t i = 1; i < dump.size(); ++i) {
+    EXPECT_LT(dump[i - 1].query_id, dump[i].query_id);  // oldest first
+  }
+  // Slow records carry the full span timeline for the shutdown dump.
+  EXPECT_FALSE(dump[0].spans.empty());
+  const std::vector<InstrumentSnapshot> snapshot = svc.registry()->Collect();
+  const InstrumentSnapshot* slow = Find(snapshot, "sofa_slow_queries_total");
+  ASSERT_NE(slow, nullptr);
+  EXPECT_EQ(slow->counter, kQueries);
+}
+
+// Every-Nth sampling traces exactly the expected share of sequential
+// submissions; with tracing fully off no trace state is created at all.
+TEST(ServiceTraceTest, SamplingCadenceAndDisabledPath) {
+  TracedServiceFixture fx(227);
+  {
+    service::ServiceConfig config;
+    config.trace.sample_every = 3;
+    service::SearchService svc(service::WrapShardedIndex(fx.sharded),
+                               &fx.pool, config);
+    for (std::size_t q = 0; q < 9; ++q) {
+      ASSERT_EQ(svc.Search(fx.MakeRequest(3)).status,
+                service::RequestStatus::kOk);
+    }
+    const std::vector<InstrumentSnapshot> snapshot =
+        svc.registry()->Collect();
+    const InstrumentSnapshot* traces =
+        Find(snapshot, "sofa_query_traces_total");
+    ASSERT_NE(traces, nullptr);
+    EXPECT_EQ(traces->counter, 3u);  // submissions 0, 3 and 6
+  }
+  {
+    service::SearchService svc(service::WrapShardedIndex(fx.sharded),
+                               &fx.pool);  // defaults: tracing off
+    const service::SearchResponse response = svc.Search(fx.MakeRequest(3));
+    ASSERT_EQ(response.status, service::RequestStatus::kOk);
+    EXPECT_EQ(response.trace, nullptr);
+    EXPECT_EQ(svc.slow_query_log().TotalPushed(), 0u);
+    const std::vector<InstrumentSnapshot> snapshot =
+        svc.registry()->Collect();
+    const InstrumentSnapshot* traces =
+        Find(snapshot, "sofa_query_traces_total");
+    ASSERT_NE(traces, nullptr);
+    EXPECT_EQ(traces->counter, 0u);
+  }
+}
+
+// A shared registry co-exposes service and ingest instruments from one
+// Collect() — the single-endpoint contract of ISSUE 6.
+TEST(ServiceTraceTest, SharedRegistryCoversServiceAndIngest) {
+  TracedServiceFixture fx(229);
+  Registry registry;
+  service::ServiceConfig config;
+  config.registry = &registry;
+  service::SearchService svc(service::WrapShardedIndex(fx.sharded), &fx.pool,
+                             config);
+  ingest::IngestConfig ingest_config;
+  ingest_config.auto_compact = false;
+  ingest_config.registry = &registry;
+  ingest::Compactor compactor(&svc, fx.sharded, ingest_config);
+  fx.FeedIngest(&compactor);
+  ASSERT_EQ(svc.Search(fx.MakeRequest(3)).status,
+            service::RequestStatus::kOk);
+
+  const std::vector<InstrumentSnapshot> snapshot = registry.Collect();
+  const InstrumentSnapshot* completed =
+      Find(snapshot, "sofa_service_requests_total", "status", "completed");
+  ASSERT_NE(completed, nullptr);
+  EXPECT_GE(completed->counter, 1u);
+  const InstrumentSnapshot* inserted =
+      Find(snapshot, "sofa_ingest_inserted_total");
+  ASSERT_NE(inserted, nullptr);
+  EXPECT_EQ(inserted->counter, fx.inserts.size());
+  const InstrumentSnapshot* tombstones =
+      Find(snapshot, "sofa_ingest_tombstones");
+  ASSERT_NE(tombstones, nullptr);
+  EXPECT_DOUBLE_EQ(tombstones->gauge, 2.0);
+  // The whole document renders as parseable stats JSON — what `sofa_cli
+  // serve --stats-file` writes and `sofa_cli stats` reads back.
+  std::vector<InstrumentSnapshot> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseStatsJson(RenderJson(snapshot), &parsed, &error)) << error;
+  EXPECT_EQ(parsed.size(), snapshot.size());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sofa

@@ -633,6 +633,92 @@ TEST(LogHistogramTest, ConcurrentRecordingLosesNothing) {
   EXPECT_NEAR(h.Sum(), kPerWorker * (1.0 + 2.0 + 3.0 + 4.0), 1e-6);
 }
 
+TEST(LogHistogramTest, MergeOfEmptyIsANoop) {
+  LogHistogram h(1e-3, 1e5);
+  h.Record(2.0);
+  h.Record(8.0);
+  const double p50 = h.Percentile(50.0);
+  LogHistogram empty(1e-3, 1e5);
+  h.Merge(empty);
+  EXPECT_EQ(h.TotalCount(), 2u);
+  EXPECT_NEAR(h.Sum(), 10.0, 1e-9);
+  EXPECT_EQ(h.MaxValue(), 8.0);
+  EXPECT_EQ(h.Percentile(50.0), p50);
+  // Merging into an empty histogram copies the population.
+  empty.Merge(h);
+  EXPECT_EQ(empty.TotalCount(), 2u);
+  EXPECT_NEAR(empty.Sum(), 10.0, 1e-9);
+  EXPECT_EQ(empty.MaxValue(), 8.0);
+  EXPECT_EQ(empty.Percentile(50.0), p50);
+}
+
+TEST(LogHistogramTest, MergeSingleSampleMatchesDirectRecord) {
+  LogHistogram a(1e-3, 1e5);
+  a.Record(3.25);
+  LogHistogram b(1e-3, 1e5);
+  b.Merge(a);
+  LogHistogram direct(1e-3, 1e5);
+  direct.Record(3.25);
+  EXPECT_EQ(b.TotalCount(), direct.TotalCount());
+  EXPECT_EQ(b.Sum(), direct.Sum());
+  EXPECT_EQ(b.MaxValue(), direct.MaxValue());
+  for (const double p : {1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(b.Percentile(p), direct.Percentile(p)) << "p" << p;
+  }
+}
+
+TEST(LogHistogramTest, MergeAcrossBucketsEqualsCombinedPopulation) {
+  // Two disjoint populations decades apart: the merge must be
+  // indistinguishable from recording both populations into one
+  // histogram — same counts per bucket, sum, max, and percentiles.
+  LogHistogram fast(1e-3, 1e5);
+  LogHistogram slow(1e-3, 1e5);
+  LogHistogram combined(1e-3, 1e5);
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const double f = 0.1 + rng.Uniform();        // ~1e-1 decade
+    const double s = 100.0 + 900.0 * rng.Uniform();  // ~1e2..1e3
+    fast.Record(f);
+    slow.Record(s);
+    combined.Record(f);
+    combined.Record(s);
+  }
+  fast.Merge(slow);
+  EXPECT_EQ(fast.TotalCount(), combined.TotalCount());
+  EXPECT_NEAR(fast.Sum(), combined.Sum(), 1e-6);
+  EXPECT_EQ(fast.MaxValue(), combined.MaxValue());
+  ASSERT_EQ(fast.NumBuckets(), combined.NumBuckets());
+  for (std::size_t b = 0; b < fast.NumBuckets(); ++b) {
+    EXPECT_EQ(fast.BucketCount(b), combined.BucketCount(b)) << "bucket " << b;
+  }
+  for (const double p : {5.0, 50.0, 95.0, 99.0}) {
+    EXPECT_EQ(fast.Percentile(p), combined.Percentile(p)) << "p" << p;
+  }
+  // The bimodal split is visible: the median sits in the fast mode, the
+  // upper tail in the slow mode.
+  EXPECT_LT(fast.Percentile(45.0), 2.0);
+  EXPECT_GT(fast.Percentile(95.0), 100.0 / 1.13);
+}
+
+TEST(LogHistogramTest, TerminalBucketInterpolatesTowardObservedMax) {
+  // All mass beyond the histogram range: percentiles interpolate between
+  // the terminal bucket's lower edge and the observed maximum instead of
+  // collapsing to a meaningless finite edge.
+  LogHistogram h(1.0, 10.0);
+  h.Record(50.0);
+  h.Record(100.0);
+  h.Record(200.0);
+  const double last_edge = h.BucketUpperEdge(h.NumBuckets() - 2);
+  for (const double p : {10.0, 50.0, 99.0}) {
+    EXPECT_GE(h.Percentile(p), std::min(last_edge, 200.0)) << "p" << p;
+    EXPECT_LE(h.Percentile(p), 200.0) << "p" << p;
+  }
+  EXPECT_EQ(h.Percentile(100.0), 200.0);
+  // Percentiles stay monotone inside the terminal bucket.
+  EXPECT_LE(h.Percentile(10.0), h.Percentile(50.0));
+  EXPECT_LE(h.Percentile(50.0), h.Percentile(99.0));
+}
+
 TEST(RoundUpTest, RoundsToMultiples) {
   EXPECT_EQ(RoundUp(0, 64), 0u);
   EXPECT_EQ(RoundUp(1, 64), 64u);
