@@ -174,16 +174,16 @@ RunResult Run(service::SearchService* svc, ingest::Compactor* compactor,
     std::uint64_t deletes_done = 0;
     std::uint64_t dropped = 0;
     for (std::size_t i = 0; i < inserts->size(); ++i) {
-      ingest::InsertStatus status;
+      StatusCode status;
       while ((status = compactor->Insert(inserts->row(i),
-                                         inserts->length())) ==
-             ingest::InsertStatus::kRejected) {
+                                         inserts->length())
+                           .code()) == StatusCode::kRejected) {
         std::this_thread::yield();
       }
-      if (status == ingest::InsertStatus::kOk) {
+      if (status == StatusCode::kOk) {
         ++inserts_done;
       } else {
-        ++dropped;  // kIoError/kInvalid: count it, keep the run honest
+        ++dropped;  // kIoError/kInvalidArgument: count it, keep it honest
       }
       const std::uint64_t deletes_due = static_cast<std::uint64_t>(
           static_cast<double>(i + 1) * delete_ratio);
@@ -193,11 +193,11 @@ RunResult Run(service::SearchService* svc, ingest::Compactor* compactor,
         // or never allocated (dropped inserts shrink the id space).
         const std::uint32_t victim =
             static_cast<std::uint32_t>(rng.Below(base_rows + i + 1));
-        const ingest::DeleteStatus status_d = compactor->Delete(victim);
-        if (status_d == ingest::DeleteStatus::kOk) {
+        const Status status_d = compactor->Delete(victim);
+        if (status_d == StatusCode::kOk) {
           ++deletes_done;
-        } else if (status_d != ingest::DeleteStatus::kAlreadyDeleted &&
-                   status_d != ingest::DeleteStatus::kNotFound) {
+        } else if (status_d != StatusCode::kAlreadyDeleted &&
+                   status_d != StatusCode::kNotFound) {
           ++dropped;  // shutdown / I/O failure: stop this round
           break;
         }

@@ -26,6 +26,14 @@
 //                     [--stats-format=json|prometheus]
 //                     [--trace-sample=N] [--slow-query-ms=MS]
 //                     [--slow-log=64]
+//                     [--listen=HOST:PORT] [--max-connections=64]
+//                     [--port-file=PATH] [--max-pending=4096]
+//                     [--priority-reserve=N] [--tenant-quota=N]
+//                     (`sofa_cli serve --help` documents every flag;
+//                      --listen switches serve from file replay to a
+//                      long-running TCP server speaking the binary wire
+//                      protocol of docs/PROTOCOL.md, with graceful
+//                      drain on SIGTERM/SIGINT)
 //   sofa_cli stats    --stats-file=PATH [--format=pretty|prometheus|json]
 //                     (pretty-prints a JSON stats dump written by serve)
 //                     (streams the queries through the SearchService and
@@ -73,11 +81,16 @@
 // float32 (pass --length). Demonstrates the full persistence story:
 // generate → save → build → save index → reload → query.
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <future>
 #include <limits>
@@ -93,6 +106,7 @@
 #include "index/serialization.h"
 #include "index/tree_index.h"
 #include "ingest/compactor.h"
+#include "net/server.h"
 #include "obs/exposition.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -114,10 +128,11 @@ namespace {
 
 using namespace sofa;
 
-std::optional<Dataset> LoadData(const Flags& flags, const std::string& flag) {
-  const std::string path = flags.GetString(flag, "");
+std::optional<Dataset> LoadDataFile(const std::string& path,
+                                    std::size_t raw_length,
+                                    const char* flag) {
   if (path.empty()) {
-    std::fprintf(stderr, "missing --%s\n", flag.c_str());
+    std::fprintf(stderr, "missing --%s\n", flag);
     return std::nullopt;
   }
   std::optional<Dataset> data;
@@ -126,18 +141,22 @@ std::optional<Dataset> LoadData(const Flags& flags, const std::string& flag) {
   } else if (path.size() > 6 && path.substr(path.size() - 6) == ".fvecs") {
     data = io::ReadFvecs(path);
   } else {
-    const std::size_t length =
-        static_cast<std::size_t>(flags.GetInt("length", 0));
-    if (length == 0) {
+    if (raw_length == 0) {
       std::fprintf(stderr, "raw files need --length\n");
       return std::nullopt;
     }
-    data = io::ReadRawF32(path, length);
+    data = io::ReadRawF32(path, raw_length);
   }
   if (!data.has_value()) {
     std::fprintf(stderr, "failed to read %s\n", path.c_str());
   }
   return data;
+}
+
+std::optional<Dataset> LoadData(const Flags& flags, const std::string& flag) {
+  return LoadDataFile(flags.GetString(flag, ""),
+                      static_cast<std::size_t>(flags.GetInt("length", 0)),
+                      flag.c_str());
 }
 
 std::string ShardPath(const std::string& index_path, std::size_t s) {
@@ -425,10 +444,266 @@ int StatsCommand(const Flags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// `serve` options.
+//
+// The X-macro below is the single source of truth for every serve flag:
+// it declares the ServeOptions fields, drives the one parse pass, and
+// generates `sofa_cli serve --help` — a flag cannot exist without
+// documentation, and nothing outside ParseServeOptions reads raw flags.
+//   X(field, "flag-name", Type, default, "help")
+#define SOFA_SERVE_FLAG_LIST(X)                                               \
+  X(data, "data", String, "",                                                 \
+    "base collection (.fvecs/.bvecs, or raw float32 with --length)")          \
+  X(queries, "queries", String, "",                                           \
+    "replay mode: query file streamed through the service")                   \
+  X(index, "index", String, "index.sofa",                                     \
+    "index file (per-shard suffixes with --shards)")                          \
+  X(length, "length", Int, 0, "series length for raw float32 files")          \
+  X(shards, "shards", Int, 1, "shard count (must match `build --shards`)")    \
+  X(assignment, "assignment", String, "contiguous",                           \
+    "shard assignment: contiguous|hash")                                      \
+  X(k, "k", Int, 10, "replay mode: neighbors per query")                      \
+  X(epsilon, "epsilon", Double, 0.0, "replay mode: approximation slack")      \
+  X(deadline_ms, "deadline_ms", Double, 0.0,                                  \
+    "replay mode: per-query deadline (0 = none)")                             \
+  X(repeat, "repeat", Int, 1, "replay mode: passes over the query file")      \
+  X(mode, "mode", String, "auto", "scheduling: auto|latency|throughput")      \
+  X(batch, "batch", Int, 64, "max queries per dispatcher batch")              \
+  X(max_pending, "max-pending", Int, 4096,                                    \
+    "network mode: admission queue bound (beyond it, shed kRejected)")        \
+  X(priority_reserve, "priority-reserve", Int, 0,                             \
+    "batch slots reserved for batch/background (0 = max_batch/8)")            \
+  X(tenant_quota, "tenant-quota", Int, 0,                                     \
+    "per-tenant in-flight cap (0 = unlimited)")                               \
+  X(insert_file, "insert-file", String, "",                                   \
+    "replay mode: rows streamed through the ingest path")                     \
+  X(delete_file, "delete-file", String, "",                                   \
+    "replay mode: global ids (one per line) deleted after the inserts")       \
+  X(compact_threshold, "compact-threshold", Int, 1024,                        \
+    "buffered rows per shard before compaction")                              \
+  X(wal_dir, "wal-dir", String, "",                                           \
+    "write-ahead log directory (replayed on start)")                          \
+  X(wal_sync, "wal-sync", Int, 64, "fsync the WAL every N records")           \
+  X(data_dir, "data-dir", String, "",                                         \
+    "durable root: DIR/wal + DIR/generations")                                \
+  X(stats_file, "stats-file", String, "",                                     \
+    "dump the metrics registry here at exit")                                 \
+  X(stats_interval, "stats-interval", Double, 0.0,                            \
+    "re-dump --stats-file every N seconds while serving")                     \
+  X(stats_format, "stats-format", String, "json",                             \
+    "stats dump format: json|prometheus")                                     \
+  X(trace_sample, "trace-sample", Int, 0, "trace every Nth query (0 = off)")  \
+  X(slow_query_ms, "slow-query-ms", Double, 0.0,                              \
+    "retain traces of queries slower than this (0 = off)")                    \
+  X(slow_log, "slow-log", Int, 64, "slow-query ring capacity")                \
+  X(listen, "listen", String, "",                                             \
+    "network mode: bind HOST:PORT and serve the SOFA wire protocol "          \
+    "(docs/PROTOCOL.md) until SIGTERM/SIGINT; port 0 = ephemeral")            \
+  X(max_connections, "max-connections", Int, 64,                              \
+    "network mode: concurrent connection cap")                                \
+  X(port_file, "port-file", String, "",                                       \
+    "network mode: write the bound port here once listening")
+
+using ServeString = std::string;
+using ServeInt = std::int64_t;
+using ServeDouble = double;
+
+struct ServeOptions {
+#define SOFA_SERVE_DECLARE(field, flag, type, default_value, help) \
+  Serve##type field = default_value;
+  SOFA_SERVE_FLAG_LIST(SOFA_SERVE_DECLARE)
+#undef SOFA_SERVE_DECLARE
+
+  // Derived from --listen during validation.
+  std::string listen_host;
+  std::uint16_t listen_port = 0;
+};
+
+void PrintServeHelp() {
+  std::printf(
+      "usage: sofa_cli serve [flags]\n"
+      "\n"
+      "Two modes:\n"
+      "  replay  (default)    stream --queries through the SearchService\n"
+      "                       and print serving metrics at exit\n"
+      "  network (--listen)   bind HOST:PORT and serve the SOFA binary\n"
+      "                       wire protocol (docs/PROTOCOL.md) until\n"
+      "                       SIGTERM/SIGINT, then drain gracefully:\n"
+      "                       refuse new connections, finish in-flight\n"
+      "                       requests, dump final stats + slow log\n"
+      "\n"
+      "flags (default in brackets):\n");
+#define SOFA_SERVE_HELP(field, flag, type, default_value, help) \
+  std::printf("  --%-18s %s [%s]\n", flag, help, #default_value);
+  SOFA_SERVE_FLAG_LIST(SOFA_SERVE_HELP)
+#undef SOFA_SERVE_HELP
+  std::printf("  --%-18s %s\n", "help", "print this help");
+}
+
+bool ParseListenAddress(const std::string& listen, std::string* host,
+                        std::uint16_t* port, std::string* error) {
+  const std::size_t colon = listen.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == listen.size()) {
+    *error = "--listen needs HOST:PORT, got '" + listen + "'";
+    return false;
+  }
+  *host = listen.substr(0, colon);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long value =
+      std::strtoul(listen.c_str() + colon + 1, &end, 10);
+  if (end == listen.c_str() + colon + 1 || *end != '\0' || errno != 0 ||
+      value > 65535) {
+    *error = "--listen port must be 0..65535, got '" +
+             listen.substr(colon + 1) + "'";
+    return false;
+  }
+  *port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+bool ParseServeOptions(const Flags& flags, ServeOptions* opts,
+                       std::string* error) {
+#define SOFA_SERVE_PARSE(field, flag, type, default_value, help) \
+  opts->field = flags.Get##type(flag, opts->field);
+  SOFA_SERVE_FLAG_LIST(SOFA_SERVE_PARSE)
+#undef SOFA_SERVE_PARSE
+
+  const auto at_least = [error](const char* flag, std::int64_t value,
+                                std::int64_t min) {
+    if (value < min) {
+      *error = std::string("--") + flag + " must be >= " +
+               std::to_string(min) + ", got " + std::to_string(value);
+      return false;
+    }
+    return true;
+  };
+  const auto non_negative = [error](const char* flag, double value) {
+    if (value < 0.0) {
+      *error = std::string("--") + flag + " must not be negative";
+      return false;
+    }
+    return true;
+  };
+  if (!at_least("k", opts->k, 1) || !at_least("batch", opts->batch, 1) ||
+      !at_least("repeat", opts->repeat, 1) ||
+      !at_least("shards", opts->shards, 1) ||
+      !at_least("compact-threshold", opts->compact_threshold, 1) ||
+      !at_least("wal-sync", opts->wal_sync, 1) ||
+      !at_least("slow-log", opts->slow_log, 1) ||
+      !at_least("max-pending", opts->max_pending, 1) ||
+      !at_least("max-connections", opts->max_connections, 1) ||
+      !at_least("length", opts->length, 0) ||
+      !at_least("trace-sample", opts->trace_sample, 0) ||
+      !at_least("priority-reserve", opts->priority_reserve, 0) ||
+      !at_least("tenant-quota", opts->tenant_quota, 0)) {
+    return false;
+  }
+  if (!non_negative("epsilon", opts->epsilon) ||
+      !non_negative("deadline_ms", opts->deadline_ms) ||
+      !non_negative("stats-interval", opts->stats_interval) ||
+      !non_negative("slow-query-ms", opts->slow_query_ms)) {
+    return false;
+  }
+  if (opts->mode != "auto" && opts->mode != "latency" &&
+      opts->mode != "throughput") {
+    *error = "--mode must be auto|latency|throughput, got '" + opts->mode +
+             "'";
+    return false;
+  }
+  if (opts->assignment != "contiguous" && opts->assignment != "hash") {
+    *error = "--assignment must be contiguous|hash, got '" +
+             opts->assignment + "'";
+    return false;
+  }
+  if (opts->stats_format != "json" && opts->stats_format != "prometheus") {
+    *error = "--stats-format must be json|prometheus, got '" +
+             opts->stats_format + "'";
+    return false;
+  }
+  if (opts->stats_interval > 0.0 && opts->stats_file.empty()) {
+    *error = "--stats-interval needs --stats-file";
+    return false;
+  }
+  if (!opts->listen.empty()) {
+    if (!ParseListenAddress(opts->listen, &opts->listen_host,
+                            &opts->listen_port, error)) {
+      return false;
+    }
+    // In network mode queries and mutations arrive over the wire.
+    const char* conflict = nullptr;
+    if (!opts->queries.empty()) {
+      conflict = "queries";
+    } else if (!opts->insert_file.empty()) {
+      conflict = "insert-file";
+    } else if (!opts->delete_file.empty()) {
+      conflict = "delete-file";
+    } else if (opts->repeat != 1) {
+      conflict = "repeat";
+    }
+    if (conflict != nullptr) {
+      *error = std::string("replay-only flag --") + conflict +
+               " conflicts with --listen (queries and mutations arrive "
+               "over the wire)";
+      return false;
+    }
+  } else {
+    if (opts->queries.empty()) {
+      *error =
+          "replay mode needs --queries (or pass --listen=HOST:PORT for "
+          "network mode)";
+      return false;
+    }
+    if (!opts->port_file.empty()) {
+      *error = "--port-file only applies with --listen";
+      return false;
+    }
+  }
+  return true;
+}
+
+// SIGTERM/SIGINT → graceful drain. The handler only pokes a self-pipe
+// (async-signal-safe); the serving thread blocks on the read end.
+std::atomic<int> g_shutdown_signal{0};
+int g_signal_pipe[2] = {-1, -1};
+
+void OnShutdownSignal(int sig) {
+  g_shutdown_signal.store(sig);
+  const char byte = 1;
+  (void)!::write(g_signal_pipe[1], &byte, 1);
+}
+
+// Atomic tmp + rename, so a smoke harness polling for the file never
+// reads a torn port number.
+bool WritePortFile(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) {
+    return false;
+  }
+  bool ok = std::fprintf(out, "%u\n", port) > 0;
+  ok = (std::fclose(out) == 0) && ok;
+  return ok && std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
 // Streams the query file through a SearchService and reports serving
-// metrics — the serving-layer counterpart of `query` (which times one
-// exploratory query at a time).
+// metrics (replay mode), or serves the binary wire protocol on a TCP
+// socket until SIGTERM (network mode, --listen).
 int Serve(const Flags& flags, ThreadPool* pool) {
+  if (flags.GetBool("help", false)) {
+    PrintServeHelp();
+    return 0;
+  }
+  ServeOptions opts;
+  std::string parse_error;
+  if (!ParseServeOptions(flags, &opts, &parse_error)) {
+    std::fprintf(stderr,
+                 "serve: %s\n(`sofa_cli serve --help` lists every flag)\n",
+                 parse_error.c_str());
+    return 1;
+  }
+  const bool network = !opts.listen.empty();
   // One registry for every layer: the service, the ingest path, the WAL
   // and the generation store all register their instruments here, so one
   // Collect() (stats dump, `sofa_cli stats`) covers the whole process.
@@ -436,8 +711,8 @@ int Serve(const Flags& flags, ThreadPool* pool) {
   // --data-dir: the durable deployment root. A generation already in its
   // store supersedes --data/--index — the serving state restarts from
   // (newest intact generation + WAL tail) alone.
-  const std::string data_dir = flags.GetString("data-dir", "");
-  std::string wal_dir = flags.GetString("wal-dir", "");
+  const std::string data_dir = opts.data_dir;
+  std::string wal_dir = opts.wal_dir;
   std::unique_ptr<persist::GenerationStore> store;
   std::optional<persist::LoadedGeneration> restored;
   if (!data_dir.empty()) {
@@ -454,23 +729,30 @@ int Serve(const Flags& flags, ThreadPool* pool) {
   }
   std::optional<Dataset> data;
   if (!restored.has_value()) {
-    data = LoadData(flags, "data");
+    data = LoadDataFile(opts.data, static_cast<std::size_t>(opts.length),
+                        "data");
     if (!data.has_value()) {
       return 1;
     }
   }
-  const auto queries = LoadData(flags, "queries");
-  if (!queries.has_value()) {
-    return 1;
+  std::optional<Dataset> queries;  // replay mode only
+  if (!network) {
+    queries = LoadDataFile(opts.queries,
+                           static_cast<std::size_t>(opts.length), "queries");
+    if (!queries.has_value()) {
+      return 1;
+    }
   }
-  const std::string index_path = flags.GetString("index", "index.sofa");
-  const std::string insert_path = flags.GetString("insert-file", "");
-  const std::string delete_path = flags.GetString("delete-file", "");
+  const std::string index_path = opts.index;
+  const std::string insert_path = opts.insert_file;
+  const std::string delete_path = opts.delete_file;
   const std::size_t series_length =
       restored.has_value() ? restored->sharded->length() : data->length();
   std::optional<Dataset> insert_rows;
   if (!insert_path.empty()) {
-    insert_rows = LoadData(flags, "insert-file");
+    insert_rows = LoadDataFile(insert_path,
+                               static_cast<std::size_t>(opts.length),
+                               "insert-file");
     if (!insert_rows.has_value()) {
       return 1;
     }
@@ -492,12 +774,16 @@ int Serve(const Flags& flags, ThreadPool* pool) {
   // generation store — runs through the ingest path, which always serves
   // a (possibly one-shard) sharded generation: that is the unit of
   // per-shard compaction and persistence.
-  const bool ingesting = insert_rows.has_value() || !delete_ids.empty() ||
-                         !wal_dir.empty() || store != nullptr;
+  // A network server is always mutable when it can be (INSERT/DELETE
+  // arrive over the wire), so --listen runs through the ingest path even
+  // with no file-based mutation source.
+  const bool ingesting = network || insert_rows.has_value() ||
+                         !delete_ids.empty() || !wal_dir.empty() ||
+                         store != nullptr;
   std::optional<index::LoadedIndex> loaded;  // single-index keep-alive
   std::shared_ptr<const shard::ShardedIndex> sharded;
   std::shared_ptr<const service::IndexSnapshot> snapshot;
-  std::size_t num_shards = static_cast<std::size_t>(flags.GetInt("shards", 1));
+  std::size_t num_shards = static_cast<std::size_t>(opts.shards);
   if (restored.has_value()) {
     sharded = restored->sharded;
     num_shards = sharded->num_shards();
@@ -522,27 +808,29 @@ int Serve(const Flags& flags, ThreadPool* pool) {
     }
     snapshot = service::WrapIndex(loaded->tree.get());
   }
-  const std::size_t k = static_cast<std::size_t>(flags.GetInt("k", 10));
-  const double epsilon = flags.GetDouble("epsilon", 0.0);
-  const double deadline_ms = flags.GetDouble("deadline_ms", 0.0);
-  const std::size_t repeat =
-      static_cast<std::size_t>(flags.GetInt("repeat", 1));
-  const std::string mode = flags.GetString("mode", "auto");
+  const std::size_t k = static_cast<std::size_t>(opts.k);
+  const double epsilon = opts.epsilon;
+  const double deadline_ms = opts.deadline_ms;
+  const std::size_t repeat = static_cast<std::size_t>(opts.repeat);
+  const std::string mode = opts.mode;
 
   service::ServiceConfig config;
-  config.max_batch = static_cast<std::size_t>(flags.GetInt("batch", 64));
-  config.max_pending = queries->size() * repeat + 1;
+  config.max_batch = static_cast<std::size_t>(opts.batch);
+  // Replay admission never sheds (the whole file is the workload); the
+  // network bound is a real backpressure knob.
+  config.max_pending = network ? static_cast<std::size_t>(opts.max_pending)
+                               : queries->size() * repeat + 1;
+  config.priority_reserve = static_cast<std::size_t>(opts.priority_reserve);
+  config.tenant_max_in_flight = static_cast<std::size_t>(opts.tenant_quota);
   if (mode == "latency") {
     config.latency_mode_threshold = config.max_batch;  // never cross-query
   } else if (mode == "throughput") {
     config.latency_mode_threshold = 0;  // always cross-query
   }
   config.registry = &registry;
-  config.trace.sample_every =
-      static_cast<std::uint32_t>(flags.GetInt("trace-sample", 0));
-  config.trace.slow_query_ms = flags.GetDouble("slow-query-ms", 0.0);
-  config.trace.slow_log_capacity =
-      static_cast<std::size_t>(flags.GetInt("slow-log", 64));
+  config.trace.sample_every = static_cast<std::uint32_t>(opts.trace_sample);
+  config.trace.slow_query_ms = opts.slow_query_ms;
+  config.trace.slow_log_capacity = static_cast<std::size_t>(opts.slow_log);
   service::SearchService svc(std::move(snapshot), pool, config);
 
   // With any mutation source, attach the incremental ingest path and
@@ -555,11 +843,10 @@ int Serve(const Flags& flags, ThreadPool* pool) {
   std::optional<ingest::Compactor> compactor;
   if (ingesting) {
     ingest::IngestConfig ingest_config;
-    ingest_config.compact_threshold = static_cast<std::size_t>(
-        flags.GetInt("compact-threshold", 1024));
+    ingest_config.compact_threshold =
+        static_cast<std::size_t>(opts.compact_threshold);
     ingest_config.wal_dir = wal_dir;
-    ingest_config.wal.sync_every =
-        static_cast<std::size_t>(flags.GetInt("wal-sync", 64));
+    ingest_config.wal.sync_every = static_cast<std::size_t>(opts.wal_sync);
     ingest_config.store = store.get();
     ingest_config.registry = &registry;
     if (restored.has_value()) {
@@ -606,7 +893,7 @@ int Serve(const Flags& flags, ThreadPool* pool) {
     if (store != nullptr && !restored.has_value()) {
       // Bootstrap: make the base generation itself durable so the next
       // run restarts from the store alone.
-      if (compactor->PersistNow()) {
+      if (compactor->PersistNow().ok()) {
         std::printf("persisted base generation to %s/generations\n",
                     data_dir.c_str());
       } else {
@@ -623,18 +910,18 @@ int Serve(const Flags& flags, ThreadPool* pool) {
         for (std::size_t r = 0; r < insert_rows->size(); ++r) {
           while (compactor->Insert(insert_rows->row(r),
                                    insert_rows->length()) ==
-                 ingest::InsertStatus::kRejected) {
+                 StatusCode::kRejected) {
             // Admission backpressure: compaction is behind, yield briefly.
             std::this_thread::sleep_for(std::chrono::milliseconds(1));
           }
         }
       }
       for (const std::uint32_t id : delete_ids) {
-        const ingest::DeleteStatus status = compactor->Delete(id);
-        if (status != ingest::DeleteStatus::kOk &&
-            status != ingest::DeleteStatus::kAlreadyDeleted) {
-          std::fprintf(stderr, "delete of id %u failed (%d)\n", id,
-                       static_cast<int>(status));
+        const Status status = compactor->Delete(id);
+        if (status != StatusCode::kOk &&
+            status != StatusCode::kAlreadyDeleted) {
+          std::fprintf(stderr, "delete of id %u failed (%s)\n", id,
+                       status.ToString().c_str());
         }
       }
     });
@@ -644,9 +931,9 @@ int Serve(const Flags& flags, ThreadPool* pool) {
   // --stats-file every --stats-interval seconds (atomic tmp + rename, so
   // a reader never sees a torn file); the final state is dumped at exit
   // regardless of the interval.
-  const std::string stats_file = flags.GetString("stats-file", "");
-  const double stats_interval = flags.GetDouble("stats-interval", 0.0);
-  const std::string stats_format = flags.GetString("stats-format", "json");
+  const std::string stats_file = opts.stats_file;
+  const double stats_interval = opts.stats_interval;
+  const std::string stats_format = opts.stats_format;
   std::mutex stats_mutex;
   std::condition_variable stats_cv;
   bool stats_stop = false;
@@ -666,23 +953,82 @@ int Serve(const Flags& flags, ThreadPool* pool) {
 
   WallTimer timer;
   std::vector<std::future<service::SearchResponse>> futures;
-  futures.reserve(queries->size() * repeat);
-  for (std::size_t r = 0; r < repeat; ++r) {
-    for (std::size_t q = 0; q < queries->size(); ++q) {
-      service::SearchRequest request;
-      request.query.assign(queries->row(q),
-                           queries->row(q) + queries->length());
-      request.k = k;
-      request.epsilon = epsilon;
-      request.collect_profile = true;
-      if (deadline_ms > 0.0) {
-        request.SetDeadlineMs(deadline_ms);
-      }
-      futures.push_back(svc.Submit(std::move(request)));
+  std::optional<net::ServerStats> net_stats;
+  if (network) {
+    // Network mode: serve the wire protocol until SIGTERM/SIGINT, then
+    // drain — refuse new connections, let in-flight requests finish and
+    // their responses flush, and fall through to the shared report.
+    net::ServerConfig server_config;
+    server_config.host = opts.listen_host;
+    server_config.port = opts.listen_port;
+    server_config.max_connections =
+        static_cast<std::size_t>(opts.max_connections);
+    net::SofaServer server(&svc,
+                           compactor.has_value() ? &*compactor : nullptr,
+                           server_config);
+    const Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "cannot listen on %s: %s\n", opts.listen.c_str(),
+                   started.ToString().c_str());
+      return 1;
     }
-  }
-  for (auto& future : futures) {
-    (void)future.get();
+    std::printf("listening on %s:%u (mode=%s, batch<=%zu, shards=%zu, "
+                "max_pending=%zu, %s)\n",
+                opts.listen_host.c_str(), server.port(), mode.c_str(),
+                config.max_batch, num_shards, config.max_pending,
+                compactor.has_value() ? "mutable" : "read-only");
+    std::fflush(stdout);
+    if (!opts.port_file.empty() &&
+        !WritePortFile(opts.port_file, server.port())) {
+      std::fprintf(stderr, "failed to write --port-file %s\n",
+                   opts.port_file.c_str());
+      return 1;
+    }
+    if (::pipe(g_signal_pipe) != 0) {
+      std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
+      return 1;
+    }
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = OnShutdownSignal;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+    char byte = 0;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    const int signal_number = g_shutdown_signal.load();
+    std::printf("received %s — draining: new connections refused, "
+                "in-flight requests finish\n",
+                signal_number == SIGINT ? "SIGINT" : "SIGTERM");
+    server.Shutdown();  // drain + flush responses + join every connection
+    std::printf("drain complete\n");
+    net_stats = server.Stats();
+    action.sa_handler = SIG_DFL;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+    ::close(g_signal_pipe[0]);
+    ::close(g_signal_pipe[1]);
+    g_signal_pipe[0] = g_signal_pipe[1] = -1;
+  } else {
+    // Replay mode: stream the query file through the service.
+    futures.reserve(queries->size() * repeat);
+    for (std::size_t r = 0; r < repeat; ++r) {
+      for (std::size_t q = 0; q < queries->size(); ++q) {
+        service::SearchRequest request;
+        request.query.assign(queries->row(q),
+                             queries->row(q) + queries->length());
+        request.k = k;
+        request.epsilon = epsilon;
+        request.collect_profile = true;
+        if (deadline_ms > 0.0) {
+          request.SetDeadlineMs(deadline_ms);
+        }
+        futures.push_back(svc.Submit(std::move(request)));
+      }
+    }
+    for (auto& future : futures) {
+      (void)future.get();
+    }
   }
   if (mutator.joinable()) {
     mutator.join();
@@ -691,15 +1037,43 @@ int Serve(const Flags& flags, ThreadPool* pool) {
   const double wall_seconds = timer.Seconds();
 
   const service::MetricsSnapshot metrics = svc.Metrics();
-  std::printf("served %zu requests in %.2f s (mode=%s, batch<=%zu, "
-              "shards=%zu)\n",
-              futures.size(), wall_seconds, mode.c_str(), config.max_batch,
-              num_shards);
-  std::printf("  ok %llu  rejected %llu  expired %llu  invalid %llu\n",
+  if (network) {
+    std::printf("served %llu requests over %.2f s (mode=%s, batch<=%zu, "
+                "shards=%zu)\n",
+                static_cast<unsigned long long>(
+                    metrics.completed + metrics.rejected + metrics.expired +
+                    metrics.invalid + metrics.quota_rejected),
+                wall_seconds, mode.c_str(), config.max_batch, num_shards);
+    std::printf("  net: %llu connections accepted (%llu rejected), "
+                "%llu frames in, %llu out, %llu protocol errors\n",
+                static_cast<unsigned long long>(
+                    net_stats->connections_accepted),
+                static_cast<unsigned long long>(
+                    net_stats->connections_rejected),
+                static_cast<unsigned long long>(net_stats->frames_received),
+                static_cast<unsigned long long>(net_stats->frames_sent),
+                static_cast<unsigned long long>(net_stats->protocol_errors));
+  } else {
+    std::printf("served %zu requests in %.2f s (mode=%s, batch<=%zu, "
+                "shards=%zu)\n",
+                futures.size(), wall_seconds, mode.c_str(), config.max_batch,
+                num_shards);
+  }
+  std::printf("  ok %llu  rejected %llu  expired %llu  invalid %llu  "
+              "quota-shed %llu\n",
               static_cast<unsigned long long>(metrics.completed),
               static_cast<unsigned long long>(metrics.rejected),
               static_cast<unsigned long long>(metrics.expired),
-              static_cast<unsigned long long>(metrics.invalid));
+              static_cast<unsigned long long>(metrics.invalid),
+              static_cast<unsigned long long>(metrics.quota_rejected));
+  std::printf("  by priority: interactive %llu  batch %llu  "
+              "background %llu\n",
+              static_cast<unsigned long long>(
+                  metrics.completed_by_priority[0]),
+              static_cast<unsigned long long>(
+                  metrics.completed_by_priority[1]),
+              static_cast<unsigned long long>(
+                  metrics.completed_by_priority[2]));
   std::printf("  QPS %.1f\n",
               static_cast<double>(metrics.completed) / wall_seconds);
   std::printf("  latency ms: mean %.3f  p50 %.3f  p95 %.3f  p99 %.3f  "

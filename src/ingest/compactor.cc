@@ -315,28 +315,29 @@ void Compactor::DrainCommitQueueLocked(std::unique_lock<std::mutex>* lock) {
   }
 }
 
-InsertStatus Compactor::Insert(const float* row, std::size_t length) {
+StatusOr<std::uint32_t> Compactor::Insert(const float* row,
+                                          std::size_t length) {
   std::unique_lock<std::mutex> lock(mutex_);
   if (length != length_) {
     ++invalid_;
-    return InsertStatus::kInvalid;
+    return InvalidArgumentError("row length mismatch");
   }
   while (persist_barrier_ && !stopping_) {
     commit_cv_.wait(lock);  // a persist fold point is being taken
   }
   if (stopping_) {
-    return InsertStatus::kShutdown;
+    return ShutdownError();
   }
   if (pending_ + staged_inserts_ >= config_.max_pending) {
     ++rejected_;
-    return InsertStatus::kRejected;
+    return RejectedError("ingest admission bound hit");
   }
   if (next_id_ == std::numeric_limits<std::uint32_t>::max()) {
     // Global-id space exhausted: the row can never be accepted (kRejected
     // would invite a futile retry loop), and a wrapped id would collide
     // with an existing row and break the ascending-id invariant.
     ++invalid_;
-    return InsertStatus::kInvalid;
+    return InvalidArgumentError("global id space exhausted");
   }
   const std::uint32_t id = next_id_;
   const std::size_t s = RouteShard(id);
@@ -352,7 +353,7 @@ InsertStatus Compactor::Insert(const float* row, std::size_t length) {
         ShardWorkLocked(s) >= config_.compact_threshold) {
       work_cv_.notify_one();
     }
-    return InsertStatus::kOk;
+    return id;
   }
   // Write-ahead via group commit: the id is consumed at stage time (the
   // staged order IS the id and log order), the row becomes visible only
@@ -365,20 +366,22 @@ InsertStatus Compactor::Insert(const float* row, std::size_t length) {
   staged->row.assign(row, row + length_);
   commit_queue_.push_back(staged);
   ++staged_inserts_;
-  return CommitStaged(&lock, staged) ? InsertStatus::kOk
-                                     : InsertStatus::kIoError;
+  if (!CommitStaged(&lock, staged)) {
+    return IoError("WAL append failed");
+  }
+  return id;
 }
 
-DeleteStatus Compactor::Delete(std::uint32_t id) {
+Status Compactor::Delete(std::uint32_t id) {
   std::unique_lock<std::mutex> lock(mutex_);
   while (persist_barrier_ && !stopping_) {
     commit_cv_.wait(lock);
   }
   if (stopping_) {
-    return DeleteStatus::kShutdown;
+    return ShutdownError();
   }
   if (id >= next_id_) {
-    return DeleteStatus::kNotFound;
+    return NotFoundError("id was never inserted");
   }
   // deleted_ever_, not the tombstone set: a tombstone is purged once the
   // row is compacted away, but the id stays deleted forever. (A delete
@@ -386,7 +389,7 @@ DeleteStatus Compactor::Delete(std::uint32_t id) {
   // second delete of the same id just stages a duplicate record, which
   // both apply and replay treat as a no-op.)
   if (deleted_ever_.count(id) != 0) {
-    return DeleteStatus::kAlreadyDeleted;
+    return AlreadyDeletedError();
   }
   const std::size_t s = RouteShard(id);
   if (wal_ == nullptr) {
@@ -395,15 +398,15 @@ DeleteStatus Compactor::Delete(std::uint32_t id) {
         ShardWorkLocked(s) >= config_.compact_threshold) {
       work_cv_.notify_one();
     }
-    return DeleteStatus::kOk;
+    return OkStatus();
   }
   auto staged = std::make_shared<StagedMutation>();
   staged->is_insert = false;
   staged->id = id;
   staged->shard = s;
   commit_queue_.push_back(staged);
-  return CommitStaged(&lock, staged) ? DeleteStatus::kOk
-                                     : DeleteStatus::kIoError;
+  return CommitStaged(&lock, staged) ? OkStatus()
+                                     : IoError("WAL append failed");
 }
 
 RecoverStats Compactor::Recover() {
@@ -523,10 +526,10 @@ RecoverStats Compactor::Recover() {
   return stats;
 }
 
-bool Compactor::Checkpoint() {
+Status Compactor::Checkpoint() {
   std::unique_lock<std::mutex> lock(mutex_);
   if (wal_ == nullptr) {
-    return false;
+    return UnavailableError("no WAL attached");
   }
   // The checkpoint must capture a state no in-flight batch can skew, and
   // the WAL writer admits one writer at a time — barrier + drain, like
@@ -536,15 +539,18 @@ bool Compactor::Checkpoint() {
   const bool ok = wal_->AppendCheckpoint(next_id_, tombstones_->SortedIds());
   persist_barrier_ = false;
   commit_cv_.notify_all();
-  return ok;
+  return ok ? OkStatus() : IoError("checkpoint append failed");
 }
 
-bool Compactor::PersistNow() {
+Status Compactor::PersistNow() {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (config_.store == nullptr || stopping_) {
-    return false;
+  if (config_.store == nullptr) {
+    return UnavailableError("no generation store attached");
   }
-  return PersistLocked(&lock);
+  if (stopping_) {
+    return ShutdownError();
+  }
+  return PersistLocked(&lock) ? OkStatus() : IoError("persist failed");
 }
 
 bool Compactor::PersistLocked(std::unique_lock<std::mutex>* lock) {

@@ -91,31 +91,21 @@
 #include "service/search_service.h"
 #include "service/snapshot.h"
 #include "shard/sharded_index.h"
+#include "util/status.h"
 
 namespace sofa {
 namespace ingest {
 
-/// Outcome of one insert.
-enum class InsertStatus {
-  kOk,        // logged + buffered; visible to every query submitted after
-  kRejected,  // admission bound hit — compaction is behind, retry later
-  kInvalid,   // refused permanently: wrong row length, or the 32-bit
-              // global-id space is exhausted
-  kShutdown,  // compactor is stopping
-  kIoError,   // WAL append failed — the row is NOT logged and NOT
-              // visible; the caller may retry (disk may recover)
-};
-
-/// Outcome of one delete.
-enum class DeleteStatus {
-  kOk,              // logged + tombstoned; invisible to queries submitted
-                    // after this returns
-  kNotFound,        // no row with this id was ever inserted
-  kAlreadyDeleted,  // id is already tombstoned or compacted away after a
-                    // delete — nothing to do, nothing logged
-  kShutdown,        // compactor is stopping
-  kIoError,         // WAL append failed — the delete is NOT applied
-};
+// Mutation outcomes use the library-wide StatusCode taxonomy
+// (util/status.h) — the same vocabulary the query path and the wire
+// protocol report. For Insert: kOk (logged + buffered; visible to every
+// query submitted after), kRejected (admission bound hit — compaction is
+// behind, retry later), kInvalidArgument (refused permanently: wrong row
+// length, or the 32-bit global-id space is exhausted), kShutdown,
+// kIoError (WAL append failed — the row is NOT logged and NOT visible;
+// the caller may retry). For Delete: kOk, kNotFound (no row with this id
+// was ever inserted), kAlreadyDeleted (nothing to do, nothing logged),
+// kShutdown, kIoError.
 
 struct IngestConfig {
   /// Pending work per shard that triggers a background rebuild of that
@@ -260,8 +250,9 @@ class Compactor {
   /// concurrent mutations group-commit through a shared WAL batch (one
   /// frame write + fsync for the whole batch). With fsync batching a
   /// power failure may lose up to WalConfig::sync_every acknowledged
-  /// rows — a process crash loses nothing.
-  InsertStatus Insert(const float* row, std::size_t length);
+  /// rows — a process crash loses nothing. On success the value is the
+  /// assigned global collection id (usable in a later Delete()).
+  StatusOr<std::uint32_t> Insert(const float* row, std::size_t length);
 
   /// Deletes the row with global id `id` (a base row or an inserted
   /// one). On kOk the id is logged and masked from every query submitted
@@ -270,7 +261,7 @@ class Compactor {
   /// generation can still surface it. Re-deleting an id returns
   /// kAlreadyDeleted whether its tombstone is still live or long purged.
   /// Thread-safe.
-  DeleteStatus Delete(std::uint32_t id);
+  Status Delete(std::uint32_t id);
 
   /// Replays the WAL into buffers + tombstones. Must be called before
   /// the first Insert/Delete (SOFA_CHECK-enforced) and, for coherent
@@ -289,19 +280,21 @@ class Compactor {
   /// persisted the full collection state — every row in [0, next id) and
   /// the tombstone set — somewhere the next recovery will rebuild its
   /// base generation from; after truncation the log can no longer
-  /// re-create mutations from before the checkpoint. Returns false (log
-  /// unchanged or partially rotated, never truncated) on I/O failure or
-  /// without a WAL. Embedders with IngestConfig::store use PersistNow()
-  /// instead — the store IS that durable copy.
-  bool Checkpoint();
+  /// re-create mutations from before the checkpoint. Returns kIoError
+  /// (log unchanged or partially rotated, never truncated) on I/O
+  /// failure, kUnavailable without a WAL. Embedders with
+  /// IngestConfig::store use PersistNow() instead — the store IS that
+  /// durable copy.
+  Status Checkpoint();
 
   /// Persists the current collection state to IngestConfig::store right
   /// now (same fold-point protocol as the per-compaction persist) and
   /// truncates the WAL to the new tail. The bootstrap call of a fresh
   /// deployment — persist the base generation once so restarts need only
-  /// the store + WAL. Returns false without a store or on I/O failure
-  /// (the WAL is then left untruncated; nothing is lost).
-  bool PersistNow();
+  /// the store + WAL. Returns kUnavailable without a store, kShutdown
+  /// while stopping, kIoError on I/O failure (the WAL is then left
+  /// untruncated; nothing is lost).
+  Status PersistNow();
 
   /// Blocks until every mutation pending at call time is folded into the
   /// trees and published: buffered rows compacted in, tombstoned rows

@@ -1,0 +1,283 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sofa {
+namespace net {
+namespace {
+
+bool ReadFull(int fd, std::uint8_t* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool SendAll(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (r > 0) {
+      sent += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SofaClient::~SofaClient() { Close(); }
+
+Status SofaClient::Connect(const std::string& host, std::uint16_t port) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError("unparseable host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = IoError(std::string("connect ") + host + ": " +
+                                  std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return OkStatus();
+}
+
+void SofaClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SofaClient::SendFrame(MessageType type, std::uint64_t request_id,
+                             const std::vector<std::uint8_t>& payload) {
+  if (fd_ < 0) {
+    return IoError("not connected");
+  }
+  const std::vector<std::uint8_t> frame =
+      EncodeFrame(static_cast<std::uint8_t>(type), request_id, payload);
+  if (!SendAll(fd_, frame.data(), frame.size())) {
+    Close();
+    return IoError("send failed (connection lost)");
+  }
+  return OkStatus();
+}
+
+Status SofaClient::ReadFrame(FrameHeader* header,
+                             std::vector<std::uint8_t>* payload) {
+  if (fd_ < 0) {
+    return IoError("not connected");
+  }
+  std::uint8_t header_bytes[kHeaderSize];
+  if (!ReadFull(fd_, header_bytes, kHeaderSize)) {
+    Close();
+    return IoError("connection closed by server");
+  }
+  Status status = DecodeHeader(header_bytes, kHeaderSize, header);
+  if (!status.ok()) {
+    Close();
+    return status;
+  }
+  payload->resize(header->payload_size);
+  if (!ReadFull(fd_, payload->data(), payload->size())) {
+    Close();
+    return IoError("truncated response");
+  }
+  status = VerifyPayload(*header, payload->data(), payload->size());
+  if (!status.ok()) {
+    Close();
+  }
+  return status;
+}
+
+Status SofaClient::Call(MessageType type,
+                        const std::vector<std::uint8_t>& payload,
+                        std::vector<std::uint8_t>* response_payload) {
+  const std::uint64_t request_id = next_request_id_++;
+  Status status = SendFrame(type, request_id, payload);
+  if (!status.ok()) {
+    return status;
+  }
+  FrameHeader header;
+  status = ReadFrame(&header, response_payload);
+  if (!status.ok()) {
+    return status;
+  }
+  if (header.type != (static_cast<std::uint8_t>(type) | kResponseBit) ||
+      header.request_id != request_id) {
+    Close();
+    return ProtocolError("response type/id mismatch");
+  }
+  return OkStatus();
+}
+
+Status SofaClient::Search(const service::SearchRequest& request,
+                          service::SearchResponse* out,
+                          std::string* trace_text, std::string* message) {
+  std::uint64_t request_id = 0;
+  const Status sent = SendSearch(request, &request_id);
+  if (!sent.ok()) {
+    return sent;
+  }
+  std::uint64_t response_id = 0;
+  const Status received =
+      ReceiveSearchResponse(&response_id, out, trace_text, message);
+  if (!received.ok()) {
+    return received;
+  }
+  if (response_id != request_id) {
+    Close();
+    return ProtocolError("response id mismatch");
+  }
+  return OkStatus();
+}
+
+Status SofaClient::SendSearch(const service::SearchRequest& request,
+                              std::uint64_t* request_id) {
+  *request_id = next_request_id_++;
+  return SendFrame(MessageType::kSearch, *request_id,
+                   EncodeSearchRequest(request));
+}
+
+Status SofaClient::ReceiveSearchResponse(std::uint64_t* request_id,
+                                         service::SearchResponse* out,
+                                         std::string* trace_text,
+                                         std::string* message) {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  Status status = ReadFrame(&header, &payload);
+  if (!status.ok()) {
+    return status;
+  }
+  if (header.type !=
+      (static_cast<std::uint8_t>(MessageType::kSearch) | kResponseBit)) {
+    Close();
+    return ProtocolError("unexpected response type");
+  }
+  *request_id = header.request_id;
+  std::string local_message;
+  std::string local_trace;
+  status = DecodeSearchResponse(payload.data(), payload.size(), out,
+                                message != nullptr ? message : &local_message,
+                                trace_text != nullptr ? trace_text
+                                                      : &local_trace);
+  if (!status.ok()) {
+    Close();
+  }
+  return status;
+}
+
+StatusOr<std::uint32_t> SofaClient::Insert(const std::vector<float>& row) {
+  std::vector<std::uint8_t> payload;
+  Status status = Call(MessageType::kInsert, EncodeInsertRequest(row),
+                       &payload);
+  if (!status.ok()) {
+    return status;
+  }
+  Status server_status;
+  std::uint32_t id = 0;
+  status = DecodeInsertResponse(payload.data(), payload.size(),
+                                &server_status, &id);
+  if (!status.ok()) {
+    Close();
+    return status;
+  }
+  if (!server_status.ok()) {
+    return server_status;
+  }
+  return id;
+}
+
+Status SofaClient::Delete(std::uint32_t id) {
+  std::vector<std::uint8_t> payload;
+  Status status = Call(MessageType::kDelete, EncodeDeleteRequest(id),
+                       &payload);
+  if (!status.ok()) {
+    return status;
+  }
+  Status server_status;
+  status = DecodeDeleteResponse(payload.data(), payload.size(),
+                                &server_status);
+  if (!status.ok()) {
+    Close();
+    return status;
+  }
+  return server_status;
+}
+
+StatusOr<std::string> SofaClient::Stats(StatsFormat format) {
+  std::vector<std::uint8_t> payload;
+  Status status = Call(MessageType::kStats, EncodeStatsRequest(format),
+                       &payload);
+  if (!status.ok()) {
+    return status;
+  }
+  Status server_status;
+  std::string text;
+  status = DecodeStatsResponse(payload.data(), payload.size(),
+                               &server_status, &text);
+  if (!status.ok()) {
+    Close();
+    return status;
+  }
+  if (!server_status.ok()) {
+    return server_status;
+  }
+  return text;
+}
+
+StatusOr<std::uint64_t> SofaClient::Admin(AdminOp op) {
+  std::vector<std::uint8_t> payload;
+  Status status = Call(MessageType::kAdmin, EncodeAdminRequest(op), &payload);
+  if (!status.ok()) {
+    return status;
+  }
+  Status server_status;
+  std::uint64_t version = 0;
+  status = DecodeAdminResponse(payload.data(), payload.size(),
+                               &server_status, &version);
+  if (!status.ok()) {
+    Close();
+    return status;
+  }
+  if (!server_status.ok()) {
+    return server_status;
+  }
+  return version;
+}
+
+}  // namespace net
+}  // namespace sofa

@@ -1,0 +1,97 @@
+// SofaClient — a blocking TCP client for the SOFA wire protocol.
+//
+// The synchronous calls (Search/Insert/Delete/Stats/Admin) each send one
+// frame and wait for its response. For open-loop load generation the
+// split SEARCH API (SendSearch / ReceiveSearchResponse) pipelines: send
+// any number of requests, then collect responses — the server answers a
+// connection's requests in order, and every response echoes its
+// request_id.
+//
+// Error model, same split as the server:
+//   * transport problems (connect refused, mid-stream EOF, framing or
+//     CRC violations in the response) come back as the call's own
+//     Status — kIoError / kProtocolError — and poison the connection
+//     (every later call fails until Connect() again);
+//   * application outcomes travel inside the response payload — a
+//     SEARCH that was shed returns transport-ok with
+//     response.status == kRejected, exactly like in-process Submit.
+//
+// Not thread-safe: one connection, one calling thread (or external
+// serialization; the bench uses one client per worker).
+
+#ifndef SOFA_NET_CLIENT_H_
+#define SOFA_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "service/request.h"
+#include "util/status.h"
+
+namespace sofa {
+namespace net {
+
+class SofaClient {
+ public:
+  SofaClient() = default;
+  ~SofaClient();
+
+  SofaClient(const SofaClient&) = delete;
+  SofaClient& operator=(const SofaClient&) = delete;
+
+  Status Connect(const std::string& host, std::uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One k-NN round trip. Transport-ok even when the server shed or
+  /// failed the query — inspect out->status. The rendered trace (when
+  /// the request set collect_trace) and the server's status message come
+  /// back through the optional out-params.
+  Status Search(const service::SearchRequest& request,
+                service::SearchResponse* out,
+                std::string* trace_text = nullptr,
+                std::string* message = nullptr);
+
+  /// Pipelined SEARCH: send without waiting. Returns the request_id to
+  /// match against ReceiveSearchResponse.
+  Status SendSearch(const service::SearchRequest& request,
+                    std::uint64_t* request_id);
+
+  /// Blocks for the next SEARCH response on this connection.
+  Status ReceiveSearchResponse(std::uint64_t* request_id,
+                               service::SearchResponse* out,
+                               std::string* trace_text = nullptr,
+                               std::string* message = nullptr);
+
+  /// Inserts one row; the value is the server-assigned global id.
+  StatusOr<std::uint32_t> Insert(const std::vector<float>& row);
+
+  /// Deletes by global id (kAlreadyDeleted / kNotFound as in-process).
+  Status Delete(std::uint32_t id);
+
+  /// A rendered stats dump from the server's registry.
+  StatusOr<std::string> Stats(StatsFormat format = StatsFormat::kJson);
+
+  /// Admin surface; the value is the resulting index version (kSwap) or
+  /// 0 for the other ops.
+  StatusOr<std::uint64_t> Admin(AdminOp op);
+
+ private:
+  /// Sends `payload` as a `type` frame and reads the matching response
+  /// frame (type | kResponseBit, same request_id).
+  Status Call(MessageType type, const std::vector<std::uint8_t>& payload,
+              std::vector<std::uint8_t>* response_payload);
+  Status SendFrame(MessageType type, std::uint64_t request_id,
+                   const std::vector<std::uint8_t>& payload);
+  Status ReadFrame(FrameHeader* header, std::vector<std::uint8_t>* payload);
+
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace net
+}  // namespace sofa
+
+#endif  // SOFA_NET_CLIENT_H_

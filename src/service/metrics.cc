@@ -26,6 +26,8 @@ MetricsCollector::MetricsCollector(obs::Registry* registry) {
       registry_->GetCounter(kRequests, {{"status", "completed"}}, kRequestsHelp);
   rejected_ =
       registry_->GetCounter(kRequests, {{"status", "rejected"}}, kRequestsHelp);
+  quota_rejected_ = registry_->GetCounter(
+      kRequests, {{"status", "quota_exceeded"}}, kRequestsHelp);
   expired_ =
       registry_->GetCounter(kRequests, {{"status", "expired"}}, kRequestsHelp);
   invalid_ =
@@ -47,6 +49,16 @@ MetricsCollector::MetricsCollector(obs::Registry* registry) {
   latency_ms_ = registry_->GetHistogram("sofa_service_latency_ms",
                                         latency_options, {},
                                         "End-to-end query latency (ms)");
+  for (std::size_t i = 0; i < kNumPriorities; ++i) {
+    const char* name = PriorityName(static_cast<Priority>(i));
+    completed_by_priority_[i] = registry_->GetCounter(
+        "sofa_service_priority_completed_total", {{"priority", name}},
+        "Completed queries by admission priority class");
+    latency_by_priority_[i] = registry_->GetHistogram(
+        "sofa_service_priority_latency_ms", latency_options,
+        {{"priority", name}},
+        "End-to-end query latency by admission priority class (ms)");
+  }
   uptime_gauge_ = registry_->GetGauge("sofa_service_uptime_seconds", {},
                                       "Seconds since the collector started");
   qps_gauge_ = registry_->GetGauge("sofa_service_qps", {},
@@ -93,9 +105,15 @@ void MetricsCollector::RecordThroughputBatch(std::uint64_t batch_size) {
 }
 
 void MetricsCollector::RecordCompleted(double latency_ms,
-                                       const index::QueryProfile* profile) {
+                                       const index::QueryProfile* profile,
+                                       Priority priority) {
   completed_->Add();
   latency_ms_->Record(latency_ms);
+  const std::size_t cls = static_cast<std::size_t>(priority);
+  if (cls < kNumPriorities) {
+    completed_by_priority_[cls]->Add();
+    latency_by_priority_[cls]->Record(latency_ms);
+  }
   if (profile != nullptr) {
     std::lock_guard<std::mutex> lock(profile_mutex_);
     profile_.Merge(*profile);
@@ -107,9 +125,13 @@ MetricsSnapshot MetricsCollector::Snapshot() const {
   snapshot.submitted = submitted_->Value();
   snapshot.completed = completed_->Value();
   snapshot.rejected = rejected_->Value();
+  snapshot.quota_rejected = quota_rejected_->Value();
   snapshot.expired = expired_->Value();
   snapshot.invalid = invalid_->Value();
   snapshot.swaps = swaps_->Value();
+  for (std::size_t i = 0; i < kNumPriorities; ++i) {
+    snapshot.completed_by_priority[i] = completed_by_priority_[i]->Value();
+  }
   snapshot.latency_queries = latency_queries_->Value();
   snapshot.throughput_batches = throughput_batches_->Value();
   snapshot.throughput_queries = throughput_queries_->Value();

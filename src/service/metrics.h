@@ -20,6 +20,7 @@
 
 #include "index/tree_index.h"
 #include "obs/registry.h"
+#include "service/request.h"
 #include "util/timer.h"
 
 namespace sofa {
@@ -30,9 +31,13 @@ struct MetricsSnapshot {
   std::uint64_t submitted = 0;   // admission attempts
   std::uint64_t completed = 0;   // answered queries
   std::uint64_t rejected = 0;    // bounced at admission (queue full/shutdown)
+  std::uint64_t quota_rejected = 0;  // bounced at the per-tenant quota
   std::uint64_t expired = 0;     // dropped at dispatch (deadline passed)
   std::uint64_t invalid = 0;     // malformed (query length mismatch)
   std::uint64_t swaps = 0;       // index generations published
+
+  /// Completed queries per admission priority class (index = Priority).
+  std::uint64_t completed_by_priority[kNumPriorities] = {0, 0, 0};
 
   std::uint64_t latency_queries = 0;     // ran with intra-query parallelism
   std::uint64_t throughput_batches = 0;  // cross-query parallel batches
@@ -67,16 +72,18 @@ class MetricsCollector {
 
   void RecordSubmitted() { submitted_->Add(); }
   void RecordRejected() { rejected_->Add(); }
+  void RecordQuotaRejected() { quota_rejected_->Add(); }
   void RecordExpired() { expired_->Add(); }
   void RecordInvalid() { invalid_->Add(); }
   void RecordSwap() { swaps_->Add(); }
   void RecordLatencyModeQuery() { latency_queries_->Add(); }
   void RecordThroughputBatch(std::uint64_t batch_size);
 
-  /// One answered query: end-to-end latency plus (optionally) its merged
-  /// work counters.
+  /// One answered query: end-to-end latency (overall + per its priority
+  /// class) plus (optionally) its merged work counters.
   void RecordCompleted(double latency_ms,
-                       const index::QueryProfile* profile = nullptr);
+                       const index::QueryProfile* profile = nullptr,
+                       Priority priority = Priority::kInteractive);
 
   MetricsSnapshot Snapshot() const;
 
@@ -93,6 +100,7 @@ class MetricsCollector {
   obs::Counter* submitted_;
   obs::Counter* completed_;
   obs::Counter* rejected_;
+  obs::Counter* quota_rejected_;
   obs::Counter* expired_;
   obs::Counter* invalid_;
   obs::Counter* swaps_;
@@ -100,6 +108,10 @@ class MetricsCollector {
   obs::Counter* throughput_batches_;
   obs::Counter* throughput_queries_;
   obs::Histogram* latency_ms_;  // 1 µs .. 100 s
+  // Per admission priority class: completion count + latency histogram
+  // (labeled {priority="interactive"|"batch"|"background"}).
+  obs::Counter* completed_by_priority_[kNumPriorities];
+  obs::Histogram* latency_by_priority_[kNumPriorities];
   obs::Gauge* uptime_gauge_;
   obs::Gauge* qps_gauge_;
   obs::Counter* profile_counters_[8];

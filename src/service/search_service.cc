@@ -161,6 +161,17 @@ std::future<SearchResponse> SearchService::Submit(SearchRequest request) {
   PendingRequest pending;
   pending.request = std::move(request);
   pending.submit_time = std::chrono::steady_clock::now();
+  // Wire clients express deadlines as the relative deadline_ms field;
+  // derive the absolute in-process deadline at admission when the caller
+  // did not set one directly (the wire never carries a clock reading).
+  if (pending.request.deadline_ms > 0.0 &&
+      pending.request.deadline ==
+          std::chrono::steady_clock::time_point::max()) {
+    pending.request.deadline =
+        pending.submit_time +
+        std::chrono::microseconds(
+            static_cast<std::int64_t>(pending.request.deadline_ms * 1e3));
+  }
   // Tracing decision: explicit opt-in, trace-everything (slow-query log
   // armed), or every Nth by the sampler. When all three are off this is
   // one branch + one relaxed load — the zero-cost path.
@@ -172,21 +183,41 @@ std::future<SearchResponse> SearchService::Submit(SearchRequest request) {
     pending.admission_span = pending.trace->BeginSpan(kSpanAdmission);
   }
   std::future<SearchResponse> future = pending.promise.get_future();
-  bool stopped;
+  RequestStatus shed = RequestStatus::kOk;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!stopping_ && queue_.size() < config_.max_pending) {
-      queue_.push_back(std::move(pending));
+    if (stopping_) {
+      shed = RequestStatus::kShutdown;
+    } else if (QueuedCountLocked() >= config_.max_pending) {
+      shed = RequestStatus::kRejected;
+    } else if (config_.tenant_max_in_flight > 0 &&
+               [&] {
+                 auto it = tenant_in_flight_.find(pending.request.tenant);
+                 return it != tenant_in_flight_.end() &&
+                        it->second >= config_.tenant_max_in_flight;
+               }()) {
+      shed = RequestStatus::kQuotaExceeded;
+    } else {
+      if (config_.tenant_max_in_flight > 0) {
+        ++tenant_in_flight_[pending.request.tenant];
+      }
+      const std::size_t cls =
+          std::min(static_cast<std::size_t>(pending.request.priority),
+                   kNumPriorities - 1);
+      queues_[cls].push_back(std::move(pending));
       work_cv_.notify_one();
       return future;
     }
-    stopped = stopping_;
   }
-  // Shed without running: stopped, or the admission queue is full.
+  // Shed without running: stopped, admission queue full, or the tenant's
+  // in-flight quota is spent.
   SearchResponse response;
-  response.status =
-      stopped ? RequestStatus::kShutdown : RequestStatus::kRejected;
-  metrics_.RecordRejected();
+  response.status = shed;
+  if (shed == RequestStatus::kQuotaExceeded) {
+    metrics_.RecordQuotaRejected();
+  } else {
+    metrics_.RecordRejected();
+  }
   pending.promise.set_value(std::move(response));
   return future;
 }
@@ -235,7 +266,7 @@ void SearchService::Resume() {
 void SearchService::Drain() {
   std::unique_lock<std::mutex> lock(mutex_);
   drain_cv_.wait(lock, [this] {
-    return stopping_ || (queue_.empty() && !executing_);
+    return stopping_ || (QueuedCountLocked() == 0 && !executing_);
   });
 }
 
@@ -248,7 +279,13 @@ void SearchService::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
-    drained.swap(queue_);
+    for (std::size_t cls = 0; cls < kNumPriorities; ++cls) {
+      for (PendingRequest& pending : queues_[cls]) {
+        ReleaseTenantLocked(pending.request.tenant);
+        drained.push_back(std::move(pending));
+      }
+      queues_[cls].clear();
+    }
   }
   work_cv_.notify_all();
   drain_cv_.notify_all();
@@ -268,7 +305,65 @@ MetricsSnapshot SearchService::Metrics() const { return metrics_.Snapshot(); }
 
 std::size_t SearchService::PendingCount() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return QueuedCountLocked();
+}
+
+std::size_t SearchService::QueuedCountLocked() const {
+  std::size_t total = 0;
+  for (std::size_t cls = 0; cls < kNumPriorities; ++cls) {
+    total += queues_[cls].size();
+  }
+  return total;
+}
+
+void SearchService::ReleaseTenantLocked(const std::string& tenant) {
+  if (config_.tenant_max_in_flight == 0) {
+    return;
+  }
+  auto it = tenant_in_flight_.find(tenant);
+  if (it != tenant_in_flight_.end() && --(it->second) == 0) {
+    tenant_in_flight_.erase(it);
+  }
+}
+
+// Pops up to max_batch requests in strict priority order — except for a
+// small per-round reserve granted to waiting lower classes, so a steady
+// interactive flood cannot starve batch/background forever. The batch
+// comes out interactive-first, which also makes latency-mode execution
+// (sequential within the batch) serve interactive requests first.
+void SearchService::FillBatchLocked(std::vector<PendingRequest>* batch) {
+  const std::size_t max_batch = config_.max_batch;
+  const std::size_t reserve_cap =
+      config_.priority_reserve != 0
+          ? config_.priority_reserve
+          : std::max<std::size_t>(1, max_batch / 8);
+  const std::size_t lower_waiting = queues_[1].size() + queues_[2].size();
+  std::size_t reserved = std::min(reserve_cap, lower_waiting);
+  if (!queues_[0].empty()) {
+    // Never let the reserve consume the whole round while interactive
+    // work waits.
+    reserved = std::min(reserved, max_batch > 1 ? max_batch - 1 : 0);
+  }
+  // Strict priority for the unreserved budget; leftover budget (e.g. a
+  // short interactive queue) spills down to the lower classes naturally.
+  std::size_t budget = max_batch - reserved;
+  for (std::size_t cls = 0; cls < kNumPriorities; ++cls) {
+    while (budget > 0 && !queues_[cls].empty()) {
+      batch->push_back(std::move(queues_[cls].front()));
+      queues_[cls].pop_front();
+      --budget;
+    }
+  }
+  // The reserved slots go to whatever lower-class work is still waiting,
+  // batch before background.
+  budget += reserved;
+  for (std::size_t cls = 1; cls < kNumPriorities; ++cls) {
+    while (budget > 0 && !queues_[cls].empty()) {
+      batch->push_back(std::move(queues_[cls].front()));
+      queues_[cls].pop_front();
+      --budget;
+    }
+  }
 }
 
 void SearchService::DispatcherLoop() {
@@ -279,17 +374,13 @@ void SearchService::DispatcherLoop() {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [this] {
-        return stopping_ || (!paused_ && !queue_.empty());
+        return stopping_ || (!paused_ && QueuedCountLocked() > 0);
       });
       if (stopping_) {
         return;  // Shutdown() fails whatever is still queued
       }
-      const std::size_t n = std::min(queue_.size(), config_.max_batch);
-      batch.reserve(n);
-      for (std::size_t i = 0; i < n; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
+      batch.reserve(std::min(QueuedCountLocked(), config_.max_batch));
+      FillBatchLocked(&batch);
       snapshot = snapshot_;  // the generation this whole batch runs against
       version = version_;
       executing_ = true;
@@ -298,7 +389,7 @@ void SearchService::DispatcherLoop() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       executing_ = false;
-      if (queue_.empty()) {
+      if (QueuedCountLocked() == 0) {
         drain_cv_.notify_all();
       }
     }
@@ -327,7 +418,7 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
       responses[i].status = RequestStatus::kDeadlineExpired;
       metrics_.RecordExpired();
     } else if (request.query.size() != series_length) {
-      responses[i].status = RequestStatus::kInvalidRequest;
+      responses[i].status = RequestStatus::kInvalidArgument;
       metrics_.RecordInvalid();
     } else {
       runnable.push_back(i);
@@ -489,18 +580,31 @@ void SearchService::ExecuteBatch(std::vector<PendingRequest>* batch,
     }
   }
 
+  FinishBatch(batch, &responses);
+}
+
+void SearchService::FinishBatch(std::vector<PendingRequest>* batch,
+                                std::vector<SearchResponse>* responses) {
+  if (config_.tenant_max_in_flight > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (PendingRequest& pending : *batch) {
+      ReleaseTenantLocked(pending.request.tenant);
+    }
+  }
   for (std::size_t i = 0; i < batch->size(); ++i) {
     PendingRequest& pending = (*batch)[i];
-    responses[i].latency_ms = ElapsedMs(pending.submit_time);
-    if (responses[i].status == RequestStatus::kOk) {
+    SearchResponse& response = (*responses)[i];
+    response.latency_ms = ElapsedMs(pending.submit_time);
+    if (response.status == RequestStatus::kOk) {
       metrics_.RecordCompleted(
-          responses[i].latency_ms,
-          pending.request.collect_profile ? &responses[i].profile : nullptr);
+          response.latency_ms,
+          pending.request.collect_profile ? &response.profile : nullptr,
+          pending.request.priority);
     }
     if (pending.trace != nullptr) {
-      FinishTrace(&pending, &responses[i]);
+      FinishTrace(&pending, &response);
     }
-    pending.promise.set_value(std::move(responses[i]));
+    pending.promise.set_value(std::move(response));
   }
 }
 

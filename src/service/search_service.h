@@ -28,6 +28,19 @@
 // collection. Publishing a derived generation with a single shard
 // rebuilt/replaced is the per-shard republish path.
 //
+// Admission understands per-request priority classes (interactive >
+// batch > background): each class has its own FIFO inside the shared
+// admission bound, dispatch drains strictly by class with a small
+// per-round reserve for waiting lower classes (no total starvation), and
+// latency-mode batches execute interactive requests first. Requests are
+// tenant-tagged; with ServiceConfig::tenant_max_in_flight set, each
+// tenant is capped to that many requests in flight (queued + executing)
+// and excess is shed as kQuotaExceeded without touching the queue.
+//
+// The request/response structs themselves live in service/request.h —
+// they are the transport-neutral API shared bit-for-bit with the network
+// front end (src/net/).
+//
 // Threading contract: Submit() is thread-safe; the blocking helpers
 // (Search, Drain, Shutdown, destructor) must be called from threads that
 // are NOT workers of the service's thread pool — they wait on work the
@@ -45,69 +58,21 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/neighbor.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
 #include "service/metrics.h"
+#include "service/request.h"
 #include "service/snapshot.h"
 #include "util/thread_pool.h"
 
 namespace sofa {
 namespace service {
-
-/// Outcome of one request.
-enum class RequestStatus {
-  kOk,              // answered exactly (or ε-approximately, as requested)
-  kRejected,        // admission queue full — shed at Submit()
-  kDeadlineExpired, // deadline passed before the query ran
-  kShutdown,        // service stopped before the query ran
-  kInvalidRequest,  // query length does not match the live index
-};
-
-/// One k-NN request. The query series is copied in (the caller's buffer
-/// is free after Submit returns); length must equal the live index's
-/// series length.
-struct SearchRequest {
-  std::vector<float> query;
-  std::size_t k = 1;
-  double epsilon = 0.0;  // ε-approximation; 0 = exact
-
-  /// Absolute drop-dead time; requests still queued past it are answered
-  /// kDeadlineExpired without running. Default: no deadline.
-  std::chrono::steady_clock::time_point deadline =
-      std::chrono::steady_clock::time_point::max();
-
-  /// Opt into work counters (QueryProfile) for this request.
-  bool collect_profile = false;
-
-  /// Opt into per-query tracing for this request regardless of the
-  /// service's sampling config; the finished trace (span timeline +
-  /// work counters) comes back in SearchResponse::trace.
-  bool collect_trace = false;
-
-  /// Convenience: sets the deadline relative to now.
-  void SetDeadlineMs(double ms) {
-    deadline = std::chrono::steady_clock::now() +
-               std::chrono::microseconds(static_cast<std::int64_t>(ms * 1e3));
-  }
-};
-
-/// One answer.
-struct SearchResponse {
-  RequestStatus status = RequestStatus::kOk;
-  std::vector<Neighbor> neighbors;      // ascending by distance; kOk only
-  double latency_ms = 0.0;              // Submit() → completion
-  std::uint64_t index_version = 0;      // which published generation answered
-  index::QueryProfile profile;          // filled when collect_profile
-                                        // (and for traced queries)
-
-  /// Span timeline of this query; non-null only when the request set
-  /// collect_trace.
-  std::shared_ptr<const obs::TraceRecord> trace;
-};
 
 /// Service tuning knobs.
 struct ServiceConfig {
@@ -127,6 +92,17 @@ struct ServiceConfig {
 
   /// Start with the dispatcher paused (requests queue up until Resume()).
   bool start_paused = false;
+
+  /// Per dispatch round, the number of batch slots guaranteed to waiting
+  /// non-interactive requests (filled batch-before-background) while
+  /// interactive traffic floods the queue — the anti-starvation bound.
+  /// 0 = max(1, max_batch / 8). Priority order is otherwise strict.
+  std::size_t priority_reserve = 0;
+
+  /// Per-tenant cap on requests in flight (queued + executing); requests
+  /// over the cap are shed as kQuotaExceeded at Submit(). 0 = no quotas
+  /// (tenants untracked, no per-tenant accounting cost).
+  std::size_t tenant_max_in_flight = 0;
 
   /// Metrics registry the service registers its instruments into; null =
   /// a private registry owned by the collector (per-instance semantics).
@@ -212,6 +188,17 @@ class SearchService {
   };
 
   void DispatcherLoop();
+  /// Pops up to max_batch requests in priority order (with the
+  /// anti-starvation reserve) into `batch`. Caller holds mutex_.
+  void FillBatchLocked(std::vector<PendingRequest>* batch);
+  std::size_t QueuedCountLocked() const;
+  /// Drops one in-flight slot of `tenant` (no-op with quotas off). Caller
+  /// holds mutex_.
+  void ReleaseTenantLocked(const std::string& tenant);
+  /// Releases the tenant in-flight slots of a finished batch and resolves
+  /// every promise (outside the lock).
+  void FinishBatch(std::vector<PendingRequest>* batch,
+                   std::vector<SearchResponse>* responses);
   void ExecuteBatch(std::vector<PendingRequest>* batch,
                     const IndexSnapshot& snapshot, std::uint64_t version);
   void ExecuteShardedThroughput(const IndexSnapshot& snapshot,
@@ -246,7 +233,11 @@ class SearchService {
   std::condition_variable drain_cv_;  // Drain()/Shutdown() waiters
   std::shared_ptr<const IndexSnapshot> snapshot_;
   std::uint64_t version_ = 1;
-  std::deque<PendingRequest> queue_;
+  // One FIFO per priority class inside the shared admission bound.
+  std::deque<PendingRequest> queues_[kNumPriorities];
+  // In-flight (queued + executing) request count per tenant; populated
+  // only when tenant quotas are on.
+  std::unordered_map<std::string, std::size_t> tenant_in_flight_;
   bool paused_ = false;
   bool stopping_ = false;
   bool executing_ = false;  // a batch is running outside the lock

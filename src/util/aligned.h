@@ -87,10 +87,11 @@ class AlignedVector {
   const T* begin() const { return data_; }
   const T* end() const { return data_ + size_; }
 
-  /// Resizes; newly exposed elements are zero-initialized.
+  /// Resizes; newly exposed elements are zero-initialized. Growth is
+  /// geometric so a resize-by-one-row loop (Dataset::Append) stays linear.
   void resize(std::size_t new_size) {
     if (new_size > capacity_) {
-      Reallocate(new_size);
+      Reallocate(new_size > capacity_ * 2 ? new_size : capacity_ * 2);
     }
     if (new_size > size_) {
       std::memset(data_ + size_, 0, (new_size - size_) * sizeof(T));

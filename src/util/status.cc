@@ -1,0 +1,47 @@
+#include "util/status.h"
+
+namespace sofa {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kRejected:
+      return "rejected";
+    case StatusCode::kDeadlineExpired:
+      return "deadline_expired";
+    case StatusCode::kShutdown:
+      return "shutdown";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyDeleted:
+      return "already_deleted";
+    case StatusCode::kIoError:
+      return "io_error";
+    case StatusCode::kQuotaExceeded:
+      return "quota_exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kProtocolError:
+      return "protocol_error";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace sofa

@@ -311,9 +311,9 @@ TEST(IngestTieTest, DuplicateStraddlingKBoundaryStaysDeterministic) {
   // Duplicate base row 5 (shard 0's tree) twice: ids 40 and 41 route to
   // the last shard's buffer under contiguous assignment.
   ASSERT_EQ(compactor.Insert(fx.base.row(5), fx.base.length()),
-            InsertStatus::kOk);
+            StatusCode::kOk);
   ASSERT_EQ(compactor.Insert(fx.base.row(5), fx.base.length()),
-            InsertStatus::kOk);
+            StatusCode::kOk);
   ASSERT_EQ(compactor.RouteShard(40), 1u);
   ASSERT_EQ(compactor.RouteShard(41), 1u);
 
@@ -367,7 +367,7 @@ TEST(IngestProfileTest, BatchedShardedProfileMergesExactlyOnce) {
   Compactor compactor(&svc, fx.sharded, ingest_config);
   for (std::size_t i = 0; i < fx.inserts.size(); ++i) {
     ASSERT_EQ(compactor.Insert(fx.inserts.row(i), fx.inserts.length()),
-              InsertStatus::kOk);
+              StatusCode::kOk);
   }
 
   const Dataset queries = Walk(8, 96, 99);
@@ -420,7 +420,7 @@ TEST(IngestProfileTest, LatencyModeShardedProfileMergesExactlyOnce) {
   Compactor compactor(&svc, fx.sharded, ingest_config);
   for (std::size_t i = 0; i < fx.inserts.size(); ++i) {
     ASSERT_EQ(compactor.Insert(fx.inserts.row(i), fx.inserts.length()),
-              InsertStatus::kOk);
+              StatusCode::kOk);
   }
   const Dataset queries = Walk(5, 64, 102);
   for (std::size_t q = 0; q < queries.size(); ++q) {
@@ -457,7 +457,7 @@ TEST(IngestExactnessTest, BufferedInsertsAnswerBitExact) {
     Compactor compactor(&svc, fx.sharded, config);
     for (std::size_t i = 0; i < fx.inserts.size(); ++i) {
       ASSERT_EQ(compactor.Insert(fx.inserts.row(i), fx.inserts.length()),
-                InsertStatus::kOk);
+                StatusCode::kOk);
     }
     EXPECT_EQ(compactor.Metrics().pending, fx.inserts.size());
     const Dataset queries = Walk(10, 64, 104);
@@ -498,10 +498,11 @@ TEST(IngestExactnessTest, AdmissionBoundsAndInvalidRows) {
   const Dataset rows = Walk(10, 32, 106);
   std::size_t ok = 0, rejected = 0;
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    const InsertStatus status = compactor.Insert(rows.row(i), rows.length());
-    if (status == InsertStatus::kOk) {
+    const StatusOr<std::uint32_t> status =
+        compactor.Insert(rows.row(i), rows.length());
+    if (status == StatusCode::kOk) {
       ++ok;
-    } else if (status == InsertStatus::kRejected) {
+    } else if (status == StatusCode::kRejected) {
       ++rejected;
     }
   }
@@ -509,14 +510,14 @@ TEST(IngestExactnessTest, AdmissionBoundsAndInvalidRows) {
   EXPECT_EQ(rejected, 4u);
   std::vector<float> short_row(16, 0.0f);
   EXPECT_EQ(compactor.Insert(short_row.data(), short_row.size()),
-            InsertStatus::kInvalid);
+            StatusCode::kInvalidArgument);
   const IngestMetrics metrics = compactor.Metrics();
   EXPECT_EQ(metrics.inserted, 6u);
   EXPECT_EQ(metrics.rejected, 4u);
   EXPECT_EQ(metrics.invalid, 1u);
   // A Flush drains the backlog and reopens admission.
   compactor.Flush();
-  EXPECT_EQ(compactor.Insert(rows.row(0), rows.length()), InsertStatus::kOk);
+  EXPECT_EQ(compactor.Insert(rows.row(0), rows.length()), StatusCode::kOk);
 }
 
 // The acceptance soak: inserts stream in while client threads query and
@@ -551,7 +552,7 @@ TEST(IngestExactnessTest, ExactUnderConcurrentTrafficAndCompaction) {
   std::thread inserter([&] {
     for (std::size_t i = 0; i < fx.inserts.size(); ++i) {
       while (compactor.Insert(fx.inserts.row(i), fx.inserts.length()) ==
-             InsertStatus::kRejected) {
+             StatusCode::kRejected) {
         std::this_thread::yield();
       }
     }
@@ -626,7 +627,7 @@ TEST(IngestExactnessTest, HashAssignmentMultiRoundCompaction) {
   for (std::size_t round = 0; round < 3; ++round) {
     for (std::size_t i = round * third; i < (round + 1) * third; ++i) {
       ASSERT_EQ(compactor.Insert(fx.inserts.row(i), fx.inserts.length()),
-                InsertStatus::kOk);
+                StatusCode::kOk);
     }
     compactor.Flush();
     Dataset prefix(fx.combined.length());
@@ -712,9 +713,9 @@ TEST(IngestDeleteTest, StatusTransitions) {
   IngestConfig config;
   config.auto_compact = false;
   Compactor compactor(&svc, fx.sharded, config);
-  EXPECT_EQ(compactor.Delete(100), DeleteStatus::kNotFound);  // never existed
-  EXPECT_EQ(compactor.Delete(42), DeleteStatus::kOk);
-  EXPECT_EQ(compactor.Delete(42), DeleteStatus::kAlreadyDeleted);
+  EXPECT_EQ(compactor.Delete(100), StatusCode::kNotFound);  // never existed
+  EXPECT_EQ(compactor.Delete(42), StatusCode::kOk);
+  EXPECT_EQ(compactor.Delete(42), StatusCode::kAlreadyDeleted);
   const IngestMetrics metrics = compactor.Metrics();
   EXPECT_EQ(metrics.deleted, 1u);
   EXPECT_EQ(metrics.tombstones, 1u);
@@ -746,10 +747,10 @@ TEST(IngestDeleteTest, DeletesAnswerBitExactAgainstFilteredOracle) {
     Compactor compactor(&svc, fx.sharded, config);
     for (std::size_t i = 0; i < fx.inserts.size(); ++i) {
       ASSERT_EQ(compactor.Insert(fx.inserts.row(i), fx.inserts.length()),
-                InsertStatus::kOk);
+                StatusCode::kOk);
     }
     for (const std::uint32_t id : deleted) {
-      ASSERT_EQ(compactor.Delete(id), DeleteStatus::kOk);
+      ASSERT_EQ(compactor.Delete(id), StatusCode::kOk);
     }
     EXPECT_EQ(compactor.Metrics().deleted, deleted.size());
 
@@ -801,11 +802,11 @@ TEST(IngestDeleteTest, BufferedDeleteDoesNotResurrectAfterCompaction) {
   Compactor compactor(&svc, fx.sharded, config);
   for (std::size_t i = 0; i < fx.inserts.size(); ++i) {
     ASSERT_EQ(compactor.Insert(fx.inserts.row(i), fx.inserts.length()),
-              InsertStatus::kOk);
+              StatusCode::kOk);
   }
   // Row 82 exists only in the buffer; delete it, then fold the buffer.
   const std::uint32_t victim = 82;
-  ASSERT_EQ(compactor.Delete(victim), DeleteStatus::kOk);
+  ASSERT_EQ(compactor.Delete(victim), StatusCode::kOk);
   EXPECT_EQ(compactor.Metrics().tombstones, 1u);
   compactor.Flush();
 
@@ -825,7 +826,7 @@ TEST(IngestDeleteTest, BufferedDeleteDoesNotResurrectAfterCompaction) {
   // purge the folded tombstone (no old generation is in flight here) —
   // and the row must stay gone afterwards.
   ASSERT_EQ(compactor.Insert(fx.inserts.row(0), fx.inserts.length()),
-            InsertStatus::kOk);
+            StatusCode::kOk);
   compactor.Flush();
   EXPECT_EQ(compactor.Metrics().tombstones, 0u);
   response = svc.Search(MakeRequest(fx.inserts, victim_row, 5));
@@ -837,7 +838,7 @@ TEST(IngestDeleteTest, BufferedDeleteDoesNotResurrectAfterCompaction) {
   // Re-deleting an id whose tombstone was already purged must still
   // report kAlreadyDeleted (not kOk), and must not install a fresh
   // never-purgeable tombstone.
-  EXPECT_EQ(compactor.Delete(victim), DeleteStatus::kAlreadyDeleted);
+  EXPECT_EQ(compactor.Delete(victim), StatusCode::kAlreadyDeleted);
   EXPECT_EQ(compactor.Metrics().tombstones, 0u);
   EXPECT_EQ(compactor.Metrics().deleted, 1u);
 }
@@ -857,7 +858,7 @@ TEST(IngestDeleteTest, DeleteOnlyWorkloadCompactsAndPurges) {
   std::vector<std::uint32_t> deleted;
   for (std::uint32_t id = 0; id < 40; ++id) {  // all route to shard 0
     deleted.push_back(id);
-    ASSERT_EQ(compactor.Delete(id), DeleteStatus::kOk);
+    ASSERT_EQ(compactor.Delete(id), StatusCode::kOk);
   }
   // Flush drains tombstone work too; with no queries in flight the
   // retirement sweep at the final publish purges everything folded.
@@ -896,7 +897,7 @@ TEST(IngestDeleteTest, ProfileAccountsFilteredCandidates) {
   Compactor compactor(&svc, fx.sharded, config);
   for (std::size_t i = 0; i < fx.inserts.size(); ++i) {
     ASSERT_EQ(compactor.Insert(fx.inserts.row(i), fx.inserts.length()),
-              InsertStatus::kOk);
+              StatusCode::kOk);
   }
   std::vector<std::uint32_t> deleted;
   for (std::uint32_t id = 0; id < 900; id += 97) {
@@ -905,7 +906,7 @@ TEST(IngestDeleteTest, ProfileAccountsFilteredCandidates) {
   deleted.push_back(905);  // buffer-resident
   deleted.push_back(931);
   for (const std::uint32_t id : deleted) {
-    ASSERT_EQ(compactor.Delete(id), DeleteStatus::kOk);
+    ASSERT_EQ(compactor.Delete(id), StatusCode::kOk);
   }
   ASSERT_EQ(compactor.Metrics().tombstones, deleted.size());
   const std::unordered_set<std::uint32_t> dead(deleted.begin(),
@@ -999,22 +1000,22 @@ TEST(IngestExactnessTest, ExactUnderTrafficCompactionAndDeletes) {
     std::size_t base_next = 0;
     for (std::size_t i = 0; i < fx.inserts.size(); ++i) {
       while (compactor.Insert(fx.inserts.row(i), fx.inserts.length()) ==
-             InsertStatus::kRejected) {
+             StatusCode::kRejected) {
         std::this_thread::yield();
       }
       if (i % 3 == 0 && base_next < delete_base.size()) {
-        if (compactor.Delete(delete_base[base_next++]) != DeleteStatus::kOk) {
+        if (compactor.Delete(delete_base[base_next++]) != StatusCode::kOk) {
           failures.fetch_add(1);
         }
       }
     }
     while (base_next < delete_base.size()) {
-      if (compactor.Delete(delete_base[base_next++]) != DeleteStatus::kOk) {
+      if (compactor.Delete(delete_base[base_next++]) != StatusCode::kOk) {
         failures.fetch_add(1);
       }
     }
     for (const std::uint32_t id : delete_inserted) {
-      if (compactor.Delete(id) != DeleteStatus::kOk) {
+      if (compactor.Delete(id) != StatusCode::kOk) {
         failures.fetch_add(1);
       }
     }
@@ -1277,12 +1278,12 @@ TEST(IngestRecoveryTest, CrashReplayBitIdentical) {
     EXPECT_EQ(fresh.inserts_applied, 0u);
     for (std::size_t i = 0; i < fx.inserts.size(); ++i) {
       while (compactor.Insert(fx.inserts.row(i), fx.inserts.length()) ==
-             InsertStatus::kRejected) {
+             StatusCode::kRejected) {
         std::this_thread::yield();
       }
     }
     for (const std::uint32_t id : deleted) {
-      ASSERT_EQ(compactor.Delete(id), DeleteStatus::kOk);
+      ASSERT_EQ(compactor.Delete(id), StatusCode::kOk);
     }
     // Deliberately no Flush: the crash point leaves a mix of compacted
     // shards, buffered rows and un-purged tombstones.
@@ -1360,15 +1361,15 @@ TEST(IngestRecoveryTest, CheckpointTruncationLeavesReplayIdempotent) {
                                &fx.pool);
     Compactor compactor(&svc, fx.sharded, config);
     for (const std::uint32_t id : first_deletes) {
-      ASSERT_EQ(compactor.Delete(id), DeleteStatus::kOk);
+      ASSERT_EQ(compactor.Delete(id), StatusCode::kOk);
     }
     // The caller's durable store here is the unchanged base collection
     // (no inserts happened), so checkpointing is sound: rows [0, 300)
     // are recoverable without the log, tombstones ride in the record.
-    ASSERT_TRUE(compactor.Checkpoint());
+    ASSERT_TRUE(compactor.Checkpoint().ok());
     EXPECT_EQ(WriteAheadLog::ListSegments(dir).size(), 1u);
     for (const std::uint32_t id : second_deletes) {
-      ASSERT_EQ(compactor.Delete(id), DeleteStatus::kOk);
+      ASSERT_EQ(compactor.Delete(id), StatusCode::kOk);
     }
   }
   std::vector<std::uint32_t> all_deleted = first_deletes;

@@ -438,10 +438,10 @@ struct TracedServiceFixture {
   void FeedIngest(ingest::Compactor* compactor) const {
     for (std::size_t i = 0; i < inserts.size(); ++i) {
       ASSERT_EQ(compactor->Insert(inserts.row(i), inserts.length()),
-                ingest::InsertStatus::kOk);
+                StatusCode::kOk);
     }
-    ASSERT_EQ(compactor->Delete(3), ingest::DeleteStatus::kOk);
-    ASSERT_EQ(compactor->Delete(10), ingest::DeleteStatus::kOk);
+    ASSERT_EQ(compactor->Delete(3), StatusCode::kOk);
+    ASSERT_EQ(compactor->Delete(10), StatusCode::kOk);
   }
 
   service::SearchRequest MakeRequest(std::size_t k) const {

@@ -186,15 +186,15 @@ struct Workload {
     std::size_t d = from / 5;
     for (std::size_t step = from; step < to; ++step) {
       if (IsDelete(step)) {
-        const ingest::DeleteStatus status =
+        const Status status =
             compactor->Delete(DeleteTarget(d++));
-        ASSERT_TRUE(status == ingest::DeleteStatus::kOk ||
-                    status == ingest::DeleteStatus::kAlreadyDeleted)
+        ASSERT_TRUE(status == StatusCode::kOk ||
+                    status == StatusCode::kAlreadyDeleted)
             << "delete at step " << step << " failed: "
-            << static_cast<int>(status);
+            << status.ToString();
       } else {
         ASSERT_EQ(compactor->Insert(inserts.row(i++), kLength),
-                  ingest::InsertStatus::kOk)
+                  StatusCode::kOk)
             << "insert at step " << step;
       }
     }
@@ -680,21 +680,23 @@ TEST(GroupCommitTest, ConcurrentMutatorsAllDurableAndOrdered) {
     for (std::size_t t = 0; t < kThreads; ++t) {
       mutators.emplace_back([&, t] {
         for (std::size_t i = 0; i < kPerThread; ++i) {
-          ingest::InsertStatus status;
+          StatusCode status;
           do {
-            status = compactor.Insert(
-                w.inserts.row(t * kPerThread + i), Workload::kLength);
+            status = compactor
+                         .Insert(w.inserts.row(t * kPerThread + i),
+                                 Workload::kLength)
+                         .code();
             std::this_thread::yield();
-          } while (status == ingest::InsertStatus::kRejected);
-          ASSERT_EQ(status, ingest::InsertStatus::kOk);
+          } while (status == StatusCode::kRejected);
+          ASSERT_EQ(status, StatusCode::kOk);
         }
       });
     }
     std::thread deleter([&] {
       for (std::uint32_t d = 0; d < 50; ++d) {
-        const ingest::DeleteStatus status =
+        const Status status =
             compactor.Delete(Workload::DeleteTarget(d));
-        ASSERT_EQ(status, ingest::DeleteStatus::kOk);
+        ASSERT_EQ(status, StatusCode::kOk);
         std::this_thread::yield();
       }
     });
@@ -863,17 +865,19 @@ void CrashVictim(const std::string& root, const std::string& marker) {
   bool marked = false;
   for (std::size_t step = from; step < Workload::kSteps; ++step) {
     if (Workload::IsDelete(step)) {
-      const ingest::DeleteStatus status =
+      const Status status =
           compactor.Delete(Workload::DeleteTarget(step / 5));
-      SOFA_CHECK(status == ingest::DeleteStatus::kOk ||
-                 status == ingest::DeleteStatus::kAlreadyDeleted);
+      SOFA_CHECK(status == StatusCode::kOk ||
+                 status == StatusCode::kAlreadyDeleted);
     } else {
-      ingest::InsertStatus status;
+      StatusCode status;
       do {
-        status = compactor.Insert(
-            w.inserts.row(Workload::InsertsBefore(step)), Workload::kLength);
-      } while (status == ingest::InsertStatus::kRejected);
-      SOFA_CHECK(status == ingest::InsertStatus::kOk);
+        status = compactor
+                     .Insert(w.inserts.row(Workload::InsertsBefore(step)),
+                             Workload::kLength)
+                     .code();
+      } while (status == StatusCode::kRejected);
+      SOFA_CHECK(status == StatusCode::kOk);
     }
     if (!marked && compactor.Metrics().persisted > 0 && step > from + 100) {
       std::FILE* f = std::fopen(marker.c_str(), "wb");

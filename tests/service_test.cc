@@ -237,7 +237,7 @@ TEST(SearchServiceTest, InvalidQueryLengthIsRefused) {
   SearchRequest request;
   request.query.assign(32, 0.0f);  // wrong length
   EXPECT_EQ(service.Search(std::move(request)).status,
-            RequestStatus::kInvalidRequest);
+            RequestStatus::kInvalidArgument);
   const MetricsSnapshot metrics = service.Metrics();
   EXPECT_EQ(metrics.invalid, 1u);
   EXPECT_EQ(metrics.rejected, 0u);  // not an admission-control event

@@ -519,7 +519,7 @@ TEST(ShardedServiceTest, DeadlinePressureDropsExpiredOnly) {
   service::SearchRequest invalid;
   invalid.query.assign(32, 0.0f);
   EXPECT_EQ(svc.Search(std::move(invalid)).status,
-            service::RequestStatus::kInvalidRequest);
+            service::RequestStatus::kInvalidArgument);
 }
 
 }  // namespace

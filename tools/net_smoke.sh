@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the network serving tier:
+#
+#   1. generate a small synthetic dataset and build an index over it;
+#   2. boot `sofa_cli serve --listen=127.0.0.1:0` (ephemeral port, port
+#      written to a file) in the background;
+#   3. fire the closed- and open-loop phases of the net_throughput bench
+#      at it over loopback, fetching the server's stats dump over the
+#      wire into a JSON file;
+#   4. SIGTERM the server and require a clean graceful drain (exit 0,
+#      "drain complete" in its output);
+#   5. assert the stats dump parses as JSON and carries the serving-tier
+#      (sofa_net_*) instruments.
+#
+# Usage: net_smoke.sh <sofa_cli-binary> <net_throughput-binary>
+# Registered as the `net_throughput_smoke` ctest (label: bench-smoke);
+# CI runs it via `ctest -L bench-smoke`.
+
+set -eu
+
+if [ "$#" -ne 2 ]; then
+  echo "usage: $0 <sofa_cli-binary> <net_throughput-binary>" >&2
+  exit 2
+fi
+cli="$1"
+bench="$2"
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/sofa_net_smoke.XXXXXX")"
+server_pid=""
+cleanup() {
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -9 "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== generate + build (workdir $work)"
+"$cli" generate --dataset=SCEDC --n_series=3000 --n_queries=10 \
+    --out="$work/data.fvecs" --queries_out="$work/queries.fvecs"
+"$cli" build --data="$work/data.fvecs" --index="$work/index.sofa" \
+    --leaf_size=200 --sampling=0.2
+
+echo "== serve --listen on an ephemeral loopback port"
+"$cli" serve --data="$work/data.fvecs" --index="$work/index.sofa" \
+    --listen=127.0.0.1:0 --port-file="$work/port" \
+    --max-pending=4096 --tenant-quota=256 \
+    >"$work/server.log" 2>&1 &
+server_pid=$!
+
+# The port file appears (atomically) once the listen socket is bound.
+for _ in $(seq 1 100); do
+  [ -s "$work/port" ] && break
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "server died before binding:" >&2
+    cat "$work/server.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ ! -s "$work/port" ]; then
+  echo "server never wrote its port file" >&2
+  cat "$work/server.log" >&2
+  exit 1
+fi
+port="$(cat "$work/port")"
+echo "   bound to 127.0.0.1:$port"
+
+echo "== net_throughput: closed + open loop over loopback"
+"$bench" --port-file="$work/port" --mode=both --connections=2 \
+    --duration_s=1 --qps=200 --k=5 --length=256 \
+    --stats-json="$work/stats.json"
+
+echo "== SIGTERM -> graceful drain"
+kill -TERM "$server_pid"
+server_status=0
+wait "$server_pid" || server_status=$?
+server_pid=""
+if [ "$server_status" -ne 0 ]; then
+  echo "server exited with status $server_status after SIGTERM:" >&2
+  cat "$work/server.log" >&2
+  exit 1
+fi
+if ! grep -q "drain complete" "$work/server.log"; then
+  echo "server log is missing the drain-complete marker:" >&2
+  cat "$work/server.log" >&2
+  exit 1
+fi
+# The final report must include the serving-tier counters.
+if ! grep -q "connections accepted" "$work/server.log"; then
+  echo "server log is missing the net stats dump:" >&2
+  cat "$work/server.log" >&2
+  exit 1
+fi
+
+echo "== stats dump fetched over the wire must parse"
+if [ ! -s "$work/stats.json" ]; then
+  echo "net_throughput wrote no stats JSON" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$work/stats.json" >/dev/null
+else
+  grep -q '"metrics"' "$work/stats.json"
+fi
+grep -q 'sofa_net_' "$work/stats.json"
+
+echo "net smoke OK"
