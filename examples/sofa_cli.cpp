@@ -7,6 +7,8 @@
 //                      index file per shard: index.sofa.shard0 … shardN-1)
 //   sofa_cli query    --data=data.fvecs --index=index.sofa
 //                     --queries=queries.fvecs [--k=10] [--epsilon=0]
+//                     [--rowq] (compressed pruning tier; bit-identical
+//                      answers, fewer float rows touched)
 //   sofa_cli info     --data=data.fvecs --index=index.sofa
 //   sofa_cli dtw-scan --data=data.fvecs --queries=queries.fvecs
 //                     [--band=10%len] [--k=1]
@@ -18,7 +20,7 @@
 //                     --queries=queries.fvecs [--k=10] [--epsilon=0]
 //                     [--mode=auto|latency|throughput] [--batch=64]
 //                     [--deadline_ms=0] [--repeat=1]
-//                     [--shards=N] [--assignment=contiguous|hash]
+//                     [--shards=N] [--assignment=contiguous|hash] [--rowq]
 //                     [--insert-file=rows.fvecs] [--compact-threshold=1024]
 //                     [--delete-file=ids.txt] [--wal-dir=DIR]
 //                     [--wal-sync=64] [--data-dir=DIR]
@@ -111,6 +113,7 @@
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "persist/generation_store.h"
+#include "quant/rowq.h"
 #include "service/search_service.h"
 #include "service/snapshot.h"
 #include "shard/sharded_index.h"
@@ -216,10 +219,11 @@ shard::ShardAssignment ParseAssignment(const Flags& flags) {
 // generation (the ingest path always serves shards).
 std::shared_ptr<const shard::ShardedIndex> LoadShardedIndex(
     const Flags& flags, const std::string& index_path, const Dataset& data,
-    std::size_t num_shards, ThreadPool* pool) {
+    std::size_t num_shards, bool enable_rowq, ThreadPool* pool) {
   shard::ShardingConfig config;
   config.num_shards = num_shards;
   config.assignment = ParseAssignment(flags);
+  config.enable_rowq = enable_rowq;  // compactions keep the tier
   const shard::ShardPartition partition =
       shard::ShardedIndex::Partition(data, num_shards, config.assignment);
   std::vector<shard::Shard> shards(num_shards);
@@ -233,6 +237,9 @@ std::shared_ptr<const shard::ShardedIndex> LoadShardedIndex(
                    "--assignment?)\n",
                    path.c_str());
       return nullptr;
+    }
+    if (enable_rowq) {
+      loaded->tree->AttachRowQuant(quant::RowQuant::Build(*partition.data[s]));
     }
     shards[s].data = partition.data[s];
     shards[s].scheme = std::move(loaded->scheme);
@@ -344,11 +351,16 @@ int Query(const Flags& flags, ThreadPool* pool) {
   if (!queries.has_value()) {
     return 1;
   }
-  const auto loaded =
+  auto loaded =
       index::LoadIndex(flags.GetString("index", "index.sofa"), &*data, pool);
   if (!loaded.has_value()) {
     std::fprintf(stderr, "failed to load index (wrong dataset?)\n");
     return 1;
+  }
+  if (flags.GetBool("rowq", false)) {
+    // Answers are bit-identical with the tier on or off; --rowq only
+    // changes how many float rows the exact kernel has to touch.
+    loaded->tree->AttachRowQuant(quant::RowQuant::Build(*data));
   }
   const std::size_t k = static_cast<std::size_t>(flags.GetInt("k", 1));
   const double epsilon = flags.GetDouble("epsilon", 0.0);
@@ -463,6 +475,9 @@ int StatsCommand(const Flags& flags) {
   X(shards, "shards", Int, 1, "shard count (must match `build --shards`)")    \
   X(assignment, "assignment", String, "contiguous",                           \
     "shard assignment: contiguous|hash")                                      \
+  X(rowq, "rowq", Bool, false,                                                \
+    "enable the compressed (quantized-row) pruning tier — answers stay "      \
+    "bit-identical, fewer float rows reach the exact kernel")                 \
   X(k, "k", Int, 10, "replay mode: neighbors per query")                      \
   X(epsilon, "epsilon", Double, 0.0, "replay mode: approximation slack")      \
   X(deadline_ms, "deadline_ms", Double, 0.0,                                  \
@@ -508,6 +523,7 @@ int StatsCommand(const Flags& flags) {
 using ServeString = std::string;
 using ServeInt = std::int64_t;
 using ServeDouble = double;
+using ServeBool = bool;
 
 struct ServeOptions {
 #define SOFA_SERVE_DECLARE(field, flag, type, default_value, help) \
@@ -725,7 +741,7 @@ int Serve(const Flags& flags, ThreadPool* pool) {
       std::fprintf(stderr, "cannot open --data-dir %s\n", data_dir.c_str());
       return 1;
     }
-    restored = store->LoadLatest(pool);
+    restored = store->LoadLatest(pool, opts.rowq);
   }
   std::optional<Dataset> data;
   if (!restored.has_value()) {
@@ -795,7 +811,8 @@ int Serve(const Flags& flags, ThreadPool* pool) {
                 data_dir.c_str(), sharded->size(), sharded->length(),
                 num_shards, restored->manifest.tombstones.size());
   } else if (num_shards > 1 || ingesting) {
-    sharded = LoadShardedIndex(flags, index_path, *data, num_shards, pool);
+    sharded =
+        LoadShardedIndex(flags, index_path, *data, num_shards, opts.rowq, pool);
     if (sharded == nullptr) {
       return 1;
     }
@@ -805,6 +822,9 @@ int Serve(const Flags& flags, ThreadPool* pool) {
     if (!loaded.has_value()) {
       std::fprintf(stderr, "failed to load index (wrong dataset?)\n");
       return 1;
+    }
+    if (opts.rowq) {
+      loaded->tree->AttachRowQuant(quant::RowQuant::Build(*data));
     }
     snapshot = service::WrapIndex(loaded->tree.get());
   }

@@ -10,6 +10,7 @@
 
 #include "core/distance.h"
 #include "quant/lbd.h"
+#include "quant/rowq.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -127,7 +128,37 @@ struct QueryContext {
   // ε-approximation: lower bounds are inflated by this factor before being
   // compared against the BSF; 1.0 = exact search.
   float lbd_inflation_sq = 1.0f;
+  // Compressed pruning tier (engaged when the index carries a rowq
+  // sidecar): quantized-row lower bounds evaluated between the summary
+  // LBD and the exact kernel.
+  std::optional<quant::RowQuantView> rowq;
 };
+
+// The rowq tier: true when the quantized lower bound proves row `id`
+// cannot be admitted at `bound`. Admission everywhere requires a strict
+// d < bound, and the deflated bound never exceeds the float the exact
+// kernel reports, so pruning at lb ≥ bound is answer-preserving bit for
+// bit (ties included). The bound < kInf guard keeps the tier out of the
+// heap-filling phase, where inflated products could overflow to +inf
+// and compare ≥ an infinite bound.
+inline bool RowqPrunes(const QueryContext& ctx, std::uint32_t id, float bound,
+                       QueryProfile* profile) {
+  if (!ctx.rowq || !(bound < kInf) || !ctx.rowq->prunable(id)) {
+    return false;
+  }
+  ++profile->rowq_checked;
+  // The kernel may stop scanning once its partial sum crosses the raw
+  // threshold; the predicate below is applied to whatever (partial or
+  // full) adjusted bound comes back, so the abandon point affects cost
+  // only, never the decision's soundness.
+  const float lb = ctx.rowq->LowerBoundEarlyAbandon(
+      id, ctx.rowq->RawAbandonThreshold(bound, ctx.lbd_inflation_sq));
+  if (lb * ctx.lbd_inflation_sq >= bound) {
+    ++profile->rowq_pruned;
+    return true;
+  }
+  return false;
+}
 
 // Scans every series of a leaf with the real distance only (approximate
 // search seeding the BSF).
@@ -137,6 +168,9 @@ void ScanLeafExact(const QueryContext& ctx, const Node& leaf,
   for (std::size_t i = 0; i < leaf.leaf_size(); ++i) {
     const std::uint32_t id = leaf.series_ids[i];
     const float bound = results->bsf_sq();
+    if (RowqPrunes(ctx, id, bound, profile)) {
+      continue;
+    }
     const float d = SquaredEuclideanEarlyAbandon(ctx.query, data.row(id),
                                                  data.length(), bound);
     ++profile->series_ed_computed;
@@ -164,6 +198,9 @@ void ScanLeafPruned(const QueryContext& ctx, const Node& leaf,
       continue;
     }
     const std::uint32_t id = leaf.series_ids[i];
+    if (RowqPrunes(ctx, id, bound, profile)) {
+      continue;
+    }
     const float d = SquaredEuclideanEarlyAbandon(ctx.query, data.row(id),
                                                  data.length(), bound);
     ++profile->series_ed_computed;
@@ -260,6 +297,9 @@ QueryContext MakeContext(const TreeIndex* index, const float* query,
   scheme.Project(query, ctx.projection.data(), scratch.get());
   for (std::size_t dim = 0; dim < l; ++dim) {
     ctx.word[dim] = scheme.table().Quantize(dim, ctx.projection[dim]);
+  }
+  if (index->rowq() != nullptr) {
+    ctx.rowq.emplace(index->rowq().get(), query);
   }
   return ctx;
 }

@@ -54,8 +54,16 @@ Compactor::Compactor(service::SearchService* service,
   sharded_ = std::move(base);
   buffers_.reserve(num_shards_);
   for (std::size_t s = 0; s < num_shards_; ++s) {
-    buffers_.push_back(
-        std::make_shared<InsertBuffer>(length_, config_.chunk_capacity));
+    // With the rowq tier enabled, buffered rows share the shard tree's
+    // quantization grid so a row prunes on the same bound whether it is
+    // answered from the buffer or, post-compaction, from the tree.
+    std::shared_ptr<const quant::RowQuantizer> quantizer;
+    if (sharded_->config().enable_rowq &&
+        sharded_->shard(s).tree->rowq() != nullptr) {
+      quantizer = sharded_->shard(s).tree->rowq()->quantizer_ptr();
+    }
+    buffers_.push_back(std::make_shared<InsertBuffer>(
+        length_, config_.chunk_capacity, std::move(quantizer)));
   }
   tombstones_ = std::make_shared<TombstoneSet>();
   shard_tombstone_counts_ =
@@ -885,8 +893,12 @@ void Compactor::CompactShard(std::size_t s) {
   rebuilt.data = data;
   rebuilt.scheme = old_shard.scheme;
   rebuilt.global_ids = ids;
-  rebuilt.tree = std::make_shared<index::TreeIndex>(
+  auto rebuilt_tree = std::make_shared<index::TreeIndex>(
       data.get(), old_shard.scheme.get(), base->config().index, base->pool());
+  if (base->config().enable_rowq) {
+    rebuilt_tree->AttachRowQuant(quant::RowQuant::Build(*data));
+  }
+  rebuilt.tree = std::move(rebuilt_tree);
   std::shared_ptr<const shard::ShardedIndex> derived =
       base->WithShardReplaced(s, std::move(rebuilt));
 

@@ -31,22 +31,35 @@ struct HeapEntry {
 
 }  // namespace
 
-InsertBuffer::InsertBuffer(std::size_t length, std::size_t chunk_capacity)
-    : length_(length), chunk_capacity_(chunk_capacity) {
+InsertBuffer::InsertBuffer(std::size_t length, std::size_t chunk_capacity,
+                           std::shared_ptr<const quant::RowQuantizer> quantizer)
+    : length_(length),
+      chunk_capacity_(chunk_capacity),
+      quantizer_(std::move(quantizer)) {
   SOFA_CHECK(length_ > 0);
   SOFA_CHECK(chunk_capacity_ > 0);
+  SOFA_CHECK(quantizer_ == nullptr || quantizer_->length() == length_);
 }
 
 std::size_t InsertBuffer::Append(const float* row, std::uint32_t global_id) {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t slot = count_ - base_;
   if (slot == chunks_.size() * chunk_capacity_) {
-    chunks_.push_back(std::make_shared<Chunk>(length_, chunk_capacity_));
+    chunks_.push_back(std::make_shared<Chunk>(
+        length_, chunk_capacity_,
+        quantizer_ == nullptr ? 0 : quantizer_->padded_length()));
   }
   Chunk& chunk = *chunks_[slot / chunk_capacity_];
   const std::size_t at = slot % chunk_capacity_;
   std::memcpy(chunk.rows.mutable_row(at), row, length_ * sizeof(float));
   chunk.ids[at] = global_id;
+  if (quantizer_ != nullptr) {
+    chunk.prunable[at] =
+        quantizer_->Encode(
+            row, chunk.codes.data() + at * quantizer_->padded_length())
+            ? 1
+            : 0;
+  }
   return ++count_;  // row fully written before the count publishes it
 }
 
@@ -73,24 +86,43 @@ std::size_t InsertBuffer::SearchKnn(
     const float* query, std::size_t k, std::size_t begin,
     std::vector<Neighbor>* out,
     const std::unordered_set<std::uint32_t>* exclude) const {
-  SOFA_CHECK(out != nullptr);
+  ScanStats stats;
+  SearchKnn(query, k, begin, out, exclude, &stats);
+  return stats.scanned;
+}
+
+void InsertBuffer::SearchKnn(const float* query, std::size_t k,
+                             std::size_t begin, std::vector<Neighbor>* out,
+                             const std::unordered_set<std::uint32_t>* exclude,
+                             ScanStats* stats) const {
+  SOFA_CHECK(out != nullptr && stats != nullptr);
   const View view = Snapshot();
   SOFA_CHECK(begin >= view.base)
       << "scan from " << begin << " below first retained row " << view.base;
   if (begin >= view.count || k == 0) {
-    return 0;
+    return;
   }
   if (exclude != nullptr && exclude->empty()) {
     exclude = nullptr;
+  }
+  // The rowq tier shares one padded query across the scan.
+  AlignedVector<float> padded_query;
+  if (quantizer_ != nullptr) {
+    padded_query.resize(quantizer_->padded_length());
+    quantizer_->PadQuery(query, padded_query.data());
   }
   // Flat scan in ascending global-id order with the tree engine's
   // early-abandoning kernel. Strict `<` against the k-th best keeps the
   // first-seen — lowest — global id on exact distance ties; a completed
   // (non-abandoned) sum is the exact distance, bit-identical to what the
   // tree reports for the same row. Tombstoned rows are masked before any
-  // distance work: the scan behaves as if they were never appended.
+  // distance work: the scan behaves as if they were never appended. With
+  // a quantizer, rows whose quantized lower bound already meets the
+  // current k-th best are cut without touching float data — admission is
+  // strictly `d < bound` and the deflated bound never exceeds the exact
+  // kernel's float, so the heap content (ids and distances) is
+  // bit-identical to the unquantized scan, ties included.
   std::priority_queue<HeapEntry> heap;
-  std::size_t scanned = 0;
   for (std::size_t r = begin; r < view.count; ++r) {
     const std::size_t slot = r - view.base;
     const Chunk& chunk = *view.chunks[slot / chunk_capacity_];
@@ -98,10 +130,28 @@ std::size_t InsertBuffer::SearchKnn(
     if (exclude != nullptr && exclude->count(chunk.ids[at]) != 0) {
       continue;
     }
-    ++scanned;
+    ++stats->scanned;
     const float bound = heap.size() < k ? kInf : heap.top().dist_sq;
+    if (quantizer_ != nullptr && bound < kInf && chunk.prunable[at] != 0) {
+      ++stats->rowq_checked;
+      // The kernel may stop early once its partial sum crosses the raw
+      // threshold; the adjusted bound of a partial sum is still
+      // admissible and the lb >= bound predicate below decides as
+      // before, so the abandon point affects cost only.
+      const float lb =
+          quantizer_->AdjustedLowerBound(quant::RowqLowerBoundSquaredEarlyAbandon(
+              padded_query.data(), quantizer_->mins(), quantizer_->deltas(),
+              chunk.codes.data() + at * quantizer_->padded_length(),
+              quantizer_->padded_length(),
+              quantizer_->RawAbandonThreshold(bound, 1.0f)));
+      if (lb >= bound) {
+        ++stats->rowq_pruned;
+        continue;
+      }
+    }
     const float d = SquaredEuclideanEarlyAbandon(query, chunk.rows.row(at),
                                                  length_, bound);
+    ++stats->ed_computed;
     if (heap.size() < k) {
       heap.push(HeapEntry{d, chunk.ids[at]});
     } else if (d < bound) {
@@ -115,7 +165,6 @@ std::size_t InsertBuffer::SearchKnn(
     heap.pop();
   }
   out->insert(out->end(), result.begin(), result.end());
-  return scanned;
 }
 
 void InsertBuffer::CopyRange(std::size_t begin, std::size_t end, Dataset* rows,

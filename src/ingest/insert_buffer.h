@@ -34,15 +34,31 @@
 
 #include "core/dataset.h"
 #include "core/neighbor.h"
+#include "quant/rowq.h"
+#include "util/aligned.h"
 
 namespace sofa {
 namespace ingest {
 
 class InsertBuffer {
  public:
+  /// Work counters of one buffer scan (SearchKnn stats overload) — the
+  /// per-buffer slice of QueryProfile accounting.
+  struct ScanStats {
+    std::size_t scanned = 0;       // non-masked rows considered
+    std::size_t ed_computed = 0;   // early-abandoning distance evaluations
+    std::size_t rowq_checked = 0;  // quantized lower bounds evaluated
+    std::size_t rowq_pruned = 0;   // rows cut before any float row access
+  };
+
   /// Buffer for rows of `length` floats, stored in chunks of
-  /// `chunk_capacity` rows.
-  explicit InsertBuffer(std::size_t length, std::size_t chunk_capacity = 1024);
+  /// `chunk_capacity` rows. With `quantizer` set (the compressed pruning
+  /// tier of the owning shard), every appended row also gets a quantized
+  /// code, and scans prune on the quantized lower bound before touching
+  /// float rows — answers stay bit-identical to the unquantized buffer.
+  explicit InsertBuffer(
+      std::size_t length, std::size_t chunk_capacity = 1024,
+      std::shared_ptr<const quant::RowQuantizer> quantizer = nullptr);
 
   InsertBuffer(const InsertBuffer&) = delete;
   InsertBuffer& operator=(const InsertBuffer&) = delete;
@@ -77,6 +93,14 @@ class InsertBuffer {
       std::vector<Neighbor>* out,
       const std::unordered_set<std::uint32_t>* exclude = nullptr) const;
 
+  /// SearchKnn with full work accounting: identical answers, and
+  /// `stats` (required) receives the scan/kernel/pruning counters. The
+  /// plain overload's return value equals stats.scanned.
+  void SearchKnn(const float* query, std::size_t k, std::size_t begin,
+                 std::vector<Neighbor>* out,
+                 const std::unordered_set<std::uint32_t>* exclude,
+                 ScanStats* stats) const;
+
   /// Copies rows [begin, end) and their global ids into `rows`/`ids`
   /// (appending) — the compaction handoff into the rebuilt shard slice.
   /// Rows whose global id is in `exclude` are dropped instead (the
@@ -96,12 +120,16 @@ class InsertBuffer {
 
  private:
   // One fixed-capacity chunk; `rows` is pre-sized so row storage never
-  // moves after construction.
+  // moves after construction. With a quantizer, `codes`/`prunable` hold
+  // the quantized sidecar (row at slot `at` starts at at*padded codes).
   struct Chunk {
-    Chunk(std::size_t length, std::size_t capacity)
-        : rows(capacity, length), ids(capacity, 0) {}
+    Chunk(std::size_t length, std::size_t capacity, std::size_t padded)
+        : rows(capacity, length), ids(capacity, 0), codes(capacity * padded),
+          prunable(capacity, 0) {}
     Dataset rows;
     std::vector<std::uint32_t> ids;
+    AlignedVector<std::uint8_t> codes;  // empty when unquantized
+    std::vector<std::uint8_t> prunable;
   };
 
   // Snapshot of the readable state: chunks (shared — survive a concurrent
@@ -115,6 +143,7 @@ class InsertBuffer {
 
   const std::size_t length_;
   const std::size_t chunk_capacity_;
+  const std::shared_ptr<const quant::RowQuantizer> quantizer_;  // may be null
 
   mutable std::mutex mutex_;
   std::vector<std::shared_ptr<Chunk>> chunks_;  // chunk c starts at row

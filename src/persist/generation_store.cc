@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include "index/serialization.h"
+#include "quant/rowq.h"
 #include "util/check.h"
 #include "util/crc32.h"
 #include "util/fsutil.h"
@@ -23,7 +24,13 @@ namespace {
 
 constexpr char kManifestMagic[8] = {'S', 'O', 'F', 'A', 'M', 'A', 'N', '1'};
 constexpr char kSliceMagic[8] = {'S', 'O', 'F', 'A', 'S', 'L', 'C', '1'};
-constexpr std::uint32_t kManifestVersion = 1;
+constexpr char kRowqMagic[8] = {'S', 'O', 'F', 'A', 'R', 'Q', '0', '1'};
+// v1: no per-shard .rq accounting. v2: two trailing fields per shard
+// (rq_bytes, rq_crc). Writers emit v2; readers accept both so a store
+// written by a pre-rowq build keeps loading (its shards simply have no
+// sidecar and rebuild one on demand when the tier is requested).
+constexpr std::uint32_t kManifestVersionLegacy = 1;
+constexpr std::uint32_t kManifestVersion = 2;
 constexpr char kGenPrefix[] = "gen-";
 constexpr char kTmpSuffix[] = ".tmp";
 constexpr char kManifestName[] = "MANIFEST";
@@ -320,7 +327,70 @@ bool ParseSliceFile(const std::vector<unsigned char>& bytes,
   return true;
 }
 
-std::vector<unsigned char> EncodeManifest(const GenerationManifest& m) {
+// Writes one shard's quantized sidecar (the compressed pruning tier's
+// grid + codes + prunability flags) and reports its size + CRC. Layout:
+// magic; u64 rows, length, padded; float mins[padded], deltas[padded];
+// u8 prunable[rows]; u8 codes[rows * padded].
+bool WriteRowqFile(const std::string& path, const quant::RowQuant& rowq,
+                   std::uint64_t* bytes, std::uint32_t* crc,
+                   std::uint64_t* fsyncs = nullptr) {
+  const quant::RowQuantizer& q = rowq.quantizer();
+  CrcFileWriter w(path, fsyncs);
+  w.Write(kRowqMagic, sizeof(kRowqMagic));
+  w.Pod(static_cast<std::uint64_t>(rowq.rows()));
+  w.Pod(static_cast<std::uint64_t>(q.length()));
+  w.Pod(static_cast<std::uint64_t>(q.padded_length()));
+  w.Write(q.mins(), q.padded_length() * sizeof(float));
+  w.Write(q.deltas(), q.padded_length() * sizeof(float));
+  w.Write(rowq.prunable_flags().data(), rowq.rows());
+  w.Write(rowq.codes().data(), rowq.rows() * q.padded_length());
+  *bytes = w.bytes();
+  *crc = w.crc();
+  return w.Commit();
+}
+
+// Parses a sidecar already validated against its manifest size + CRC.
+// The persisted grid is reassembled verbatim (FromParts), never
+// retrained: the bounds a restarted process prunes on are bit-identical
+// to the ones the writing process used.
+bool ParseRowqFile(const std::vector<unsigned char>& bytes,
+                   std::size_t expected_length, std::size_t expected_rows,
+                   std::shared_ptr<const quant::RowQuant>* out) {
+  Decoder d(bytes.data(), bytes.size());
+  char magic[8];
+  if (!d.Bytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, kRowqMagic, sizeof(kRowqMagic)) != 0) {
+    return false;
+  }
+  const std::uint64_t rows = d.U64();
+  const std::uint64_t length = d.U64();
+  const std::uint64_t padded = d.U64();
+  if (!d.ok() || rows != expected_rows || length != expected_length ||
+      padded != RoundUp(length, quant::kRowqLanes) ||
+      d.remaining() != (padded * 2) * sizeof(float) + rows + rows * padded) {
+    return false;
+  }
+  AlignedVector<float> mins(static_cast<std::size_t>(padded));
+  AlignedVector<float> deltas(static_cast<std::size_t>(padded));
+  d.Bytes(mins.data(), padded * sizeof(float));
+  d.Bytes(deltas.data(), padded * sizeof(float));
+  std::vector<std::uint8_t> prunable(static_cast<std::size_t>(rows));
+  AlignedVector<std::uint8_t> codes(static_cast<std::size_t>(rows * padded));
+  d.Bytes(prunable.data(), rows);
+  d.Bytes(codes.data(), rows * padded);
+  if (!d.ok()) {
+    return false;
+  }
+  *out = quant::RowQuant::FromParts(
+      quant::RowQuantizer::FromParts(static_cast<std::size_t>(length),
+                                     std::move(mins), std::move(deltas)),
+      std::move(codes), std::move(prunable), static_cast<std::size_t>(rows));
+  return true;
+}
+
+std::vector<unsigned char> EncodeManifest(
+    const GenerationManifest& m,
+    std::uint32_t version = kManifestVersion) {
   std::vector<unsigned char> payload;
   PutU64(&payload, m.generation_seq);
   PutU64(&payload, m.next_id);
@@ -339,6 +409,10 @@ std::vector<unsigned char> EncodeManifest(const GenerationManifest& m) {
     PutU32(&payload, s.slice_crc);
     PutU64(&payload, s.tail_bytes);
     PutU32(&payload, s.tail_crc);
+    if (version >= 2) {
+      PutU64(&payload, s.rq_bytes);
+      PutU32(&payload, s.rq_crc);
+    }
   }
   PutU64(&payload, m.tombstones.size());
   for (const std::uint32_t id : m.tombstones) {
@@ -358,7 +432,8 @@ bool DecodeManifest(const std::vector<unsigned char>& bytes,
   const std::uint32_t version = header.U32();
   const std::uint32_t payload_size = header.U32();
   const std::uint32_t crc = header.U32();
-  if (!header.ok() || version != kManifestVersion ||
+  if (!header.ok() ||
+      (version != kManifestVersion && version != kManifestVersionLegacy) ||
       payload_size != header.remaining() ||
       Crc32(bytes.data() + (bytes.size() - payload_size), payload_size) !=
           crc) {
@@ -386,6 +461,10 @@ bool DecodeManifest(const std::vector<unsigned char>& bytes,
     s.slice_crc = d.U32();
     s.tail_bytes = d.U64();
     s.tail_crc = d.U32();
+    if (version >= 2) {
+      s.rq_bytes = d.U64();
+      s.rq_crc = d.U32();
+    }  // v1: no sidecar accounting — rq_bytes stays 0 (rebuild on load)
   }
   const std::uint64_t num_tombstones = d.U64();
   if (!d.ok() ||
@@ -550,20 +629,29 @@ bool GenerationStore::PersistImpl(const PersistRequest& request,
     entry.shard_generation = shard.generation;
     const std::string idx = ShardFile(tmp_dir, s, "idx");
     const std::string rows = ShardFile(tmp_dir, s, "rows");
+    const std::string rq = ShardFile(tmp_dir, s, "rq");
+    const bool want_rq = shard.tree->rowq() != nullptr;
     // Compaction replaces one shard per publish; every other shard's
-    // tree and slice are bit-identical to the previous commit, so a
-    // hardlink (copy on filesystems without them) makes the steady-state
-    // persist O(changed shard), not O(collection).
+    // tree, slice and quantized sidecar are bit-identical to the
+    // previous commit, so a hardlink (copy on filesystems without them)
+    // makes the steady-state persist O(changed shard), not
+    // O(collection). Reuse additionally requires the previous commit's
+    // sidecar presence to match the tree's current tier state (a tier
+    // toggle between persists falls back to a fresh write).
     const bool reused =
         can_reuse &&
         last_manifest_->shards[s].shard_generation == shard.generation &&
+        (last_manifest_->shards[s].rq_bytes > 0) == want_rq &&
         LinkOrCopy(ShardFile(last_dir_, s, "idx"), idx, fsyncs) &&
-        LinkOrCopy(ShardFile(last_dir_, s, "rows"), rows, fsyncs);
+        LinkOrCopy(ShardFile(last_dir_, s, "rows"), rows, fsyncs) &&
+        (!want_rq || LinkOrCopy(ShardFile(last_dir_, s, "rq"), rq, fsyncs));
     if (reused) {
       entry.index_bytes = last_manifest_->shards[s].index_bytes;
       entry.index_crc = last_manifest_->shards[s].index_crc;
       entry.slice_bytes = last_manifest_->shards[s].slice_bytes;
       entry.slice_crc = last_manifest_->shards[s].slice_crc;
+      entry.rq_bytes = last_manifest_->shards[s].rq_bytes;
+      entry.rq_crc = last_manifest_->shards[s].rq_crc;
     } else {
       if (!index::SaveIndex(*shard.tree, idx)) {
         return false;
@@ -575,6 +663,10 @@ bool GenerationStore::PersistImpl(const PersistRequest& request,
       }
       if (!WriteSliceFile(rows, *shard.data, shard.global_ids->data(),
                           &entry.slice_bytes, &entry.slice_crc, fsyncs)) {
+        return false;
+      }
+      if (want_rq && !WriteRowqFile(rq, *shard.tree->rowq(), &entry.rq_bytes,
+                                    &entry.rq_crc, fsyncs)) {
         return false;
       }
     }
@@ -638,7 +730,7 @@ bool GenerationStore::PersistImpl(const PersistRequest& request,
 }
 
 std::optional<LoadedGeneration> GenerationStore::LoadGeneration(
-    std::uint64_t seq, ThreadPool* pool) const {
+    std::uint64_t seq, ThreadPool* pool, bool enable_rowq) const {
   SOFA_CHECK(pool != nullptr);
   const std::string dir = GenerationDir(seq);
   LoadedGeneration loaded;
@@ -684,6 +776,26 @@ std::optional<LoadedGeneration> GenerationStore::LoadGeneration(
     if (!tree.has_value()) {
       return std::nullopt;
     }
+    if (enable_rowq) {
+      // The compressed pruning tier: attach the persisted sidecar when
+      // the manifest accounts for one, or rebuild it from the freshly
+      // loaded slice (tier off at persist time, or a v1 generation
+      // predating the .rq format). Either way the tier is admissible —
+      // a rebuilt grid just yields different (still exact) prune rates.
+      std::shared_ptr<const quant::RowQuant> rowq;
+      if (entry.rq_bytes > 0) {
+        std::vector<unsigned char> rq_bytes;
+        if (!ReadValidatedFile(ShardFile(dir, s, "rq"), entry.rq_bytes,
+                               entry.rq_crc, &rq_bytes) ||
+            !ParseRowqFile(rq_bytes, manifest.series_length, rows->size(),
+                           &rowq)) {
+          return std::nullopt;
+        }
+      } else {
+        rowq = quant::RowQuant::Build(*rows);
+      }
+      tree->tree->AttachRowQuant(std::move(rowq));
+    }
     shards[s].data = rows;
     shards[s].scheme = std::shared_ptr<const quant::SummaryScheme>(
         std::move(tree->scheme));
@@ -709,24 +821,52 @@ std::optional<LoadedGeneration> GenerationStore::LoadGeneration(
   // it from the deserialized trees so post-restart compactions derive
   // identically configured trees.
   config.index = shards[0].tree->config();
+  config.enable_rowq = enable_rowq;
   loaded.sharded = shard::ShardedIndex::FromShards(
       std::move(shards), config, manifest.series_length, pool);
   return loaded;
 }
 
 std::optional<LoadedGeneration> GenerationStore::LoadLatest(
-    ThreadPool* pool) const {
+    ThreadPool* pool, bool enable_rowq) const {
   std::vector<std::uint64_t> seqs = ListGenerations();
   // Newest first; fall back across generations that fail any validation
   // step — a torn commit never has a valid manifest, and bit rot or a
   // racing GC shows up as a size/CRC/parse failure.
   for (auto it = seqs.rbegin(); it != seqs.rend(); ++it) {
-    std::optional<LoadedGeneration> loaded = LoadGeneration(*it, pool);
+    std::optional<LoadedGeneration> loaded =
+        LoadGeneration(*it, pool, enable_rowq);
     if (loaded.has_value()) {
       return loaded;
     }
   }
   return std::nullopt;
+}
+
+bool GenerationStore::DowngradeManifestForTesting(const std::string& dir) {
+  GenerationManifest manifest;
+  {
+    std::vector<unsigned char> bytes;
+    std::uint64_t size = 0;
+    std::uint32_t crc = 0;
+    if (!ReadFileBytes(dir + "/" + kManifestName, &bytes, &size, &crc) ||
+        size > kMaxManifestBytes || !DecodeManifest(bytes, &manifest)) {
+      return false;
+    }
+  }
+  // Re-encode as v1: the per-shard rq accounting is simply absent from
+  // the payload, exactly as a pre-rowq build would have written it. Any
+  // shard-<s>.rq files left in the directory become unreferenced bytes a
+  // v1-era loader never looks at.
+  const std::vector<unsigned char> payload =
+      EncodeManifest(manifest, kManifestVersionLegacy);
+  CrcFileWriter w(dir + "/" + kManifestName);
+  w.Write(kManifestMagic, sizeof(kManifestMagic));
+  w.Pod(kManifestVersionLegacy);
+  w.Pod(static_cast<std::uint32_t>(payload.size()));
+  w.Pod(Crc32(payload.data(), payload.size()));
+  w.Write(payload.data(), payload.size());
+  return w.Commit();
 }
 
 void GenerationStore::RemoveGenerationsBelow(std::uint64_t keep_seq) {

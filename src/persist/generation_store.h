@@ -11,6 +11,8 @@
 //     shard-<s>.idx      shard s's tree + scheme (index::SaveIndex format)
 //     shard-<s>.rows     shard s's tree-covered slice: rows + global ids
 //     shard-<s>.tail     shard s's rows buffered past the tree cut
+//     shard-<s>.rq       shard s's quantized pruning sidecar (only when
+//                        the compressed tier was on at persist time)
 //
 // The manifest records the generation's publish sequence number, the id
 // watermark (`next_id`), the build-time partition total that global-id
@@ -66,8 +68,11 @@ namespace sofa {
 namespace persist {
 
 /// Per-shard file accounting inside a manifest: byte size + CRC32 of
-/// each of the three shard files, plus the shard's lineage counter
-/// (shard::Shard::generation) that hardlink reuse keys on.
+/// each shard file, plus the shard's lineage counter
+/// (shard::Shard::generation) that hardlink reuse keys on. rq_bytes == 0
+/// means the shard has no quantized sidecar (tier off at persist time,
+/// or a v1 manifest predating the .rq format) — loaders asked for the
+/// tier rebuild the sidecar from the slice instead.
 struct ManifestShard {
   std::uint64_t shard_generation = 0;
   std::uint64_t index_bytes = 0;
@@ -76,6 +81,8 @@ struct ManifestShard {
   std::uint32_t slice_crc = 0;
   std::uint64_t tail_bytes = 0;
   std::uint32_t tail_crc = 0;
+  std::uint64_t rq_bytes = 0;  // manifest v2; 0 = no sidecar persisted
+  std::uint32_t rq_crc = 0;
 };
 
 /// The decoded commit record of one generation directory.
@@ -142,13 +149,26 @@ class GenerationStore {
   /// (manifest CRC, per-file sizes and CRCs, index deserialization),
   /// falling back across torn or corrupt ones; nullopt when none loads.
   /// `pool` backs the reassembled index's query scatter and must outlive
-  /// it.
-  std::optional<LoadedGeneration> LoadLatest(ThreadPool* pool) const;
+  /// it. With `enable_rowq` the reassembled shards carry the compressed
+  /// pruning tier: persisted shard-<s>.rq sidecars are validated and
+  /// attached, and shards without one (tier off at persist time, or a
+  /// v1 generation predating the format) get a sidecar rebuilt
+  /// on-the-fly from the slice; the loaded ShardingConfig then has
+  /// enable_rowq set so post-restart compactions keep the tier.
+  std::optional<LoadedGeneration> LoadLatest(ThreadPool* pool,
+                                             bool enable_rowq = false) const;
 
   /// Loads one specific committed generation (test/tooling entry point);
-  /// nullopt when it does not validate.
-  std::optional<LoadedGeneration> LoadGeneration(std::uint64_t seq,
-                                                 ThreadPool* pool) const;
+  /// nullopt when it does not validate. Same `enable_rowq` contract as
+  /// LoadLatest.
+  std::optional<LoadedGeneration> LoadGeneration(
+      std::uint64_t seq, ThreadPool* pool, bool enable_rowq = false) const;
+
+  /// Test hook: rewrites an already-committed generation directory's
+  /// MANIFEST as format version 1 (dropping the per-shard .rq
+  /// accounting), emulating a generation persisted by a pre-rowq build.
+  /// Returns false when the directory holds no valid manifest.
+  static bool DowngradeManifestForTesting(const std::string& dir);
 
   /// Deletes every committed generation directory with sequence number
   /// below `keep_seq`, plus any staging husk below it. See the GC

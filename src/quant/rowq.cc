@@ -1,0 +1,326 @@
+#include "quant/rowq.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "core/distance.h"  // CpuSupportsAvx512
+#include "util/check.h"
+
+namespace sofa {
+namespace quant {
+namespace scalar {
+
+float RowqLowerBoundSquared(const float* query, const float* mins,
+                            const float* deltas, const std::uint8_t* code,
+                            std::size_t padded_length) {
+  // kRowqLanes independent accumulators, reduced with the same pairwise
+  // tree the SIMD kernels use (see rowq_avx2.cc) — every float operation
+  // here has an exact lane-for-lane counterpart there.
+  float acc[kRowqLanes] = {0.0f};
+  for (std::size_t i = 0; i < padded_length; i += kRowqLanes) {
+    for (std::size_t j = 0; j < kRowqLanes; ++j) {
+      const std::size_t d = i + j;
+      const float c = static_cast<float>(code[d]);
+      const float lo = mins[d] + c * deltas[d];
+      const float hi = lo + deltas[d];
+      const float a = lo - query[d];
+      const float b = query[d] - hi;
+      // Matches _mm256_max_ps semantics exactly (NaN in the first
+      // operand yields the second; max(NaN, 0) = 0).
+      float m = (a > b) ? a : b;
+      m = (m > 0.0f) ? m : 0.0f;
+      acc[j] += m * m;
+    }
+  }
+  for (std::size_t j = 0; j < 8; ++j) acc[j] += acc[j + 8];
+  for (std::size_t j = 0; j < 4; ++j) acc[j] += acc[j + 4];
+  const float s0 = acc[0] + acc[2];
+  const float s1 = acc[1] + acc[3];
+  return s0 + s1;
+}
+
+float RowqLowerBoundSquaredEarlyAbandon(const float* query, const float* mins,
+                                        const float* deltas,
+                                        const std::uint8_t* code,
+                                        std::size_t padded_length,
+                                        float abandon) {
+  float acc[kRowqLanes] = {0.0f};
+  float partial = 0.0f;
+  for (std::size_t i = 0; i < padded_length; i += kRowqLanes) {
+    for (std::size_t j = 0; j < kRowqLanes; ++j) {
+      const std::size_t d = i + j;
+      const float c = static_cast<float>(code[d]);
+      const float lo = mins[d] + c * deltas[d];
+      const float hi = lo + deltas[d];
+      const float a = lo - query[d];
+      const float b = query[d] - hi;
+      float m = (a > b) ? a : b;
+      m = (m > 0.0f) ? m : 0.0f;
+      acc[j] += m * m;
+    }
+    // Checkpoint: the final pairwise tree over the live accumulators.
+    // Reads only — the accumulation is untouched, so a scan that never
+    // abandons ends with exactly RowqLowerBoundSquared's bits.
+    float r[kRowqLanes];
+    for (std::size_t j = 0; j < 8; ++j) r[j] = acc[j] + acc[j + 8];
+    for (std::size_t j = 0; j < 4; ++j) r[j] += r[j + 4];
+    const float s0 = r[0] + r[2];
+    const float s1 = r[1] + r[3];
+    partial = s0 + s1;
+    if (partial > abandon) {
+      return partial;
+    }
+  }
+  return partial;
+}
+
+}  // namespace scalar
+
+float RowqLowerBoundSquared(const float* query, const float* mins,
+                            const float* deltas, const std::uint8_t* code,
+                            std::size_t padded_length) {
+#if defined(SOFA_COMPILE_AVX512)
+  if (CpuSupportsAvx512()) {
+    return avx512::RowqLowerBoundSquared(query, mins, deltas, code,
+                                         padded_length);
+  }
+#endif
+#if defined(SOFA_HAVE_AVX2)
+  return avx2::RowqLowerBoundSquared(query, mins, deltas, code, padded_length);
+#else
+  return scalar::RowqLowerBoundSquared(query, mins, deltas, code,
+                                       padded_length);
+#endif
+}
+
+float RowqLowerBoundSquaredEarlyAbandon(const float* query, const float* mins,
+                                        const float* deltas,
+                                        const std::uint8_t* code,
+                                        std::size_t padded_length,
+                                        float abandon) {
+#if defined(SOFA_COMPILE_AVX512)
+  if (CpuSupportsAvx512()) {
+    return avx512::RowqLowerBoundSquaredEarlyAbandon(
+        query, mins, deltas, code, padded_length, abandon);
+  }
+#endif
+#if defined(SOFA_HAVE_AVX2)
+  return avx2::RowqLowerBoundSquaredEarlyAbandon(query, mins, deltas, code,
+                                                 padded_length, abandon);
+#else
+  return scalar::RowqLowerBoundSquaredEarlyAbandon(query, mins, deltas, code,
+                                                   padded_length, abandon);
+#endif
+}
+
+namespace {
+
+// Interval bounds exactly as the kernel computes them — containment is
+// only provable against these expressions, not against real arithmetic.
+inline float KernelLo(float mn, float delta, unsigned c) {
+  return mn + static_cast<float>(c) * delta;
+}
+inline float KernelHi(float lo, float delta) { return lo + delta; }
+
+}  // namespace
+
+RowQuantizer::RowQuantizer(std::size_t length, AlignedVector<float> mins,
+                           AlignedVector<float> deltas)
+    : length_(length),
+      padded_(RoundUp(length, kRowqLanes)),
+      mins_(std::move(mins)),
+      deltas_(std::move(deltas)) {
+  SOFA_CHECK(mins_.size() == padded_ && deltas_.size() == padded_);
+  // Error budget: with verified containment each dimension's kernel
+  // contribution exceeds its real value by at most (1+u)³ (u = 2⁻²⁴),
+  // the lane summation adds ≤ (padded/16 + 6) more roundings, and the
+  // exact kernel may round its own sum *down* by ≤ (n + 2) roundings —
+  // so a relative margin of (2·padded + 128)·u = (padded + 64)·2⁻²³
+  // strictly dominates, and one FLT_MIN of absolute slack covers
+  // rounding at the bottom of the denormal range where relative error
+  // bounds do not hold.
+  deflate_ = static_cast<float>(
+      1.0 - static_cast<double>(padded_ + 64) * 1.1920928955078125e-7);
+}
+
+std::shared_ptr<const RowQuantizer> RowQuantizer::Train(const Dataset& data) {
+  const std::size_t n = data.length();
+  const std::size_t padded = RoundUp(n, kRowqLanes);
+  AlignedVector<float> mins(padded);   // zero-filled (pad dims stay 0)
+  AlignedVector<float> deltas(padded);
+  std::vector<float> maxs(n, -std::numeric_limits<float>::infinity());
+  std::vector<float> lows(n, std::numeric_limits<float>::infinity());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const float* row = data.row(i);
+    for (std::size_t d = 0; d < n; ++d) {
+      // Non-finite values are ignored so one NaN/inf row cannot poison
+      // the whole grid; their rows are flagged unprunable when encoded
+      // (any value the grid does not contain fails the containment
+      // check there).
+      if (!std::isfinite(row[d])) continue;
+      if (row[d] < lows[d]) lows[d] = row[d];
+      if (row[d] > maxs[d]) maxs[d] = row[d];
+    }
+  }
+  for (std::size_t d = 0; d < n; ++d) {
+    if (!(lows[d] <= maxs[d])) {  // empty dataset or all-non-finite dim
+      lows[d] = 0.0f;
+      maxs[d] = 0.0f;
+    }
+    mins[d] = lows[d];
+    // In double so a range spanning ±FLT_MAX does not overflow to an
+    // infinite delta (2·FLT_MAX/255 is representable as a float).
+    deltas[d] = static_cast<float>((static_cast<double>(maxs[d]) -
+                                    static_cast<double>(lows[d])) /
+                                   255.0);
+  }
+  return std::shared_ptr<const RowQuantizer>(
+      new RowQuantizer(n, std::move(mins), std::move(deltas)));
+}
+
+std::shared_ptr<const RowQuantizer> RowQuantizer::FromParts(
+    std::size_t length, AlignedVector<float> mins,
+    AlignedVector<float> deltas) {
+  return std::shared_ptr<const RowQuantizer>(
+      new RowQuantizer(length, std::move(mins), std::move(deltas)));
+}
+
+bool RowQuantizer::Encode(const float* row, std::uint8_t* code) const {
+  bool prunable = true;
+  for (std::size_t d = 0; d < length_; ++d) {
+    const float x = row[d];
+    const float mn = mins_[d];
+    const float delta = deltas_[d];
+    if (!std::isfinite(x)) {
+      prunable = false;
+      break;
+    }
+    unsigned c = 0;
+    if (delta > 0.0f && std::isfinite(delta)) {
+      const float t = (x - mn) / delta;
+      if (t >= 255.0f) {
+        c = 255;
+      } else if (t > 0.0f) {
+        c = static_cast<unsigned>(t);
+      }
+    }
+    // Verify containment against the kernel's own float expressions,
+    // nudging the code when rounding pushed the interval off the value.
+    float lo = KernelLo(mn, delta, c);
+    while (!(lo <= x) && c > 0) {
+      --c;
+      lo = KernelLo(mn, delta, c);
+    }
+    float hi = KernelHi(lo, delta);
+    while (!(hi >= x) && c < 255) {
+      ++c;
+      lo = KernelLo(mn, delta, c);
+      hi = KernelHi(lo, delta);
+    }
+    if (!(lo <= x && x <= hi)) {
+      prunable = false;
+      break;
+    }
+    code[d] = static_cast<std::uint8_t>(c);
+  }
+  if (!prunable) {
+    std::memset(code, 0, padded_);
+    return false;
+  }
+  std::memset(code + length_, 0, padded_ - length_);
+  return true;
+}
+
+void RowQuantizer::PadQuery(const float* query, float* padded) const {
+  std::memcpy(padded, query, length_ * sizeof(float));
+  for (std::size_t d = length_; d < padded_; ++d) padded[d] = 0.0f;
+}
+
+float RowQuantizer::AdjustedLowerBound(float raw) const {
+  // NaN, inf and near-overflow sums all fail this predicate and yield a
+  // vacuous bound — the deflation identity below is only valid when no
+  // intermediate on either side of the comparison overflowed.
+  if (!(raw < std::numeric_limits<float>::max() * 0.25f)) {
+    return 0.0f;
+  }
+  const float adjusted =
+      raw * deflate_ - std::numeric_limits<float>::min();
+  return (adjusted > 0.0f) ? adjusted : 0.0f;
+}
+
+float RowQuantizer::RawAbandonThreshold(float bound, float inflation_sq) const {
+  // Inverse of AdjustedLowerBound ∘ (* inflation_sq), computed in double
+  // and nudged up so rounding errs toward scanning one block too many
+  // rather than abandoning on a sum the exact predicate then rejects.
+  // Overflow (huge bounds) casts to +inf: the scan simply never stops
+  // early and the full-sum path decides.
+  const double target =
+      (static_cast<double>(bound) / static_cast<double>(inflation_sq) +
+       static_cast<double>(std::numeric_limits<float>::min())) /
+      static_cast<double>(deflate_);
+  return static_cast<float>(target * (1.0 + 1e-6));
+}
+
+RowQuant::RowQuant(std::shared_ptr<const RowQuantizer> quantizer,
+                   AlignedVector<std::uint8_t> codes,
+                   std::vector<std::uint8_t> prunable, std::size_t rows)
+    : quantizer_(std::move(quantizer)),
+      codes_(std::move(codes)),
+      prunable_(std::move(prunable)),
+      rows_(rows) {
+  SOFA_CHECK(codes_.size() == rows_ * quantizer_->padded_length());
+  SOFA_CHECK(prunable_.size() == rows_);
+}
+
+std::shared_ptr<const RowQuant> RowQuant::Build(const Dataset& data) {
+  std::shared_ptr<const RowQuantizer> quantizer = RowQuantizer::Train(data);
+  const std::size_t rows = data.size();
+  const std::size_t padded = quantizer->padded_length();
+  AlignedVector<std::uint8_t> codes(rows * padded);
+  std::vector<std::uint8_t> prunable(rows, 0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    prunable[i] =
+        quantizer->Encode(data.row(i), codes.data() + i * padded) ? 1 : 0;
+  }
+  return std::shared_ptr<const RowQuant>(new RowQuant(
+      std::move(quantizer), std::move(codes), std::move(prunable), rows));
+}
+
+std::shared_ptr<const RowQuant> RowQuant::FromParts(
+    std::shared_ptr<const RowQuantizer> quantizer,
+    AlignedVector<std::uint8_t> codes, std::vector<std::uint8_t> prunable,
+    std::size_t rows) {
+  return std::shared_ptr<const RowQuant>(new RowQuant(
+      std::move(quantizer), std::move(codes), std::move(prunable), rows));
+}
+
+RowQuantView::RowQuantView(const RowQuant* rowq, const float* query)
+    : rowq_(rowq), padded_query_(rowq->quantizer().padded_length()) {
+  rowq_->quantizer().PadQuery(query, padded_query_.data());
+}
+
+float RowQuantView::LowerBound(std::size_t i) const {
+  const RowQuantizer& q = rowq_->quantizer();
+  const float raw = RowqLowerBoundSquared(padded_query_.data(), q.mins(),
+                                          q.deltas(), rowq_->code(i),
+                                          q.padded_length());
+  return q.AdjustedLowerBound(raw);
+}
+
+float RowQuantView::LowerBoundEarlyAbandon(std::size_t i,
+                                           float raw_abandon) const {
+  const RowQuantizer& q = rowq_->quantizer();
+  const float raw = RowqLowerBoundSquaredEarlyAbandon(
+      padded_query_.data(), q.mins(), q.deltas(), rowq_->code(i),
+      q.padded_length(), raw_abandon);
+  return q.AdjustedLowerBound(raw);
+}
+
+float RowQuantView::RawAbandonThreshold(float bound,
+                                        float inflation_sq) const {
+  return rowq_->quantizer().RawAbandonThreshold(bound, inflation_sq);
+}
+
+}  // namespace quant
+}  // namespace sofa

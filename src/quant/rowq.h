@@ -1,0 +1,266 @@
+// Row quantization (rowq) — the compressed pruning tier that sits between
+// the summary-based LBD pruning and the exact early-abandon kernel.
+//
+// Each row is stored a second time as u8 codes under a per-dimension
+// min/delta grid: code c of dimension d denotes the interval
+// [lo, hi] = [fl(min_d + fl(c * delta_d)), fl(lo + delta_d)]. The rowq
+// distance is the squared L2 distance from the query to that box:
+//
+//   rowq²(q, code) = Σ_d max(lo_d − q_d, q_d − hi_d, 0)²
+//
+// which lower-bounds the exact squared L2 whenever the original value
+// lies inside its interval — the same admissibility shape as the SFA/SAX
+// mindist (Eq. 2), but per row at u8 resolution: ~4x less memory traffic
+// than streaming float32 rows, so most candidates die before the exact
+// kernel ever touches full-precision data (the LVQ/SAQ "compressed scan
+// ahead of full-precision rerank" pattern).
+//
+// Exactness contract — the engine prunes on these bounds while promising
+// bit-identical answers to the rowq-off configuration, so every numeric
+// hazard is handled explicitly:
+//
+//  * Containment is *verified at encode time* with the identical float
+//    expressions the kernel evaluates (lo = fl(min + fl(c·delta)),
+//    hi = fl(lo + delta)); a code is nudged up/down until lo ≤ x ≤ hi
+//    holds, and a row where any dimension cannot be contained (NaN/±inf
+//    values, grid overflow) is flagged unprunable and always takes the
+//    exact kernel.
+//  * Given containment, every kernel operation is a single rounding of
+//    an exact intermediate (no compound subtraction, no FMA — rowq
+//    translation units are compiled with -ffp-contract=off), so the
+//    per-dimension contribution exceeds its real value by a *relative*
+//    factor ≤ (1+2⁻²⁴)³ with no absolute term. AdjustedLowerBound()
+//    deflates the accumulated sum by a margin covering both the kernel's
+//    summation error and the exact kernel's own downward rounding, then
+//    subtracts one FLT_MIN of absolute slack for denormal rounding, so
+//    the published bound never exceeds the float the exact kernel would
+//    report. Sums that overflow toward FLT_MAX deflate to 0 (no prune).
+//  * Scalar, AVX2 and AVX512 kernels are *bit-identical*, not merely
+//    close: all three accumulate into kRowqLanes independent lanes over
+//    a zero-padded length (pad dimensions contribute exact zeros) and
+//    reduce with the same pairwise tree, so CI can assert equality and
+//    persisted bounds do not depend on the serving machine's ISA.
+//
+// RowQuant is the immutable per-index sidecar (codes + flags, built at
+// compaction, persisted as shard-<s>.rq); RowQuantView is the per-query
+// cursor that pads the query once and serves deflated bounds.
+
+#ifndef SOFA_QUANT_ROWQ_H_
+#define SOFA_QUANT_ROWQ_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/dataset.h"
+#include "util/aligned.h"
+
+namespace sofa {
+namespace quant {
+
+/// Lane count of the rowq kernels. Every kernel (scalar included)
+/// maintains this many independent accumulators and reduces them with
+/// the same pairwise tree, which is what makes the ISAs bit-identical.
+/// Rows are padded to a multiple of this many dimensions.
+inline constexpr std::size_t kRowqLanes = 16;
+
+namespace scalar {
+/// Squared box lower bound over `padded_length` dimensions (a multiple
+/// of kRowqLanes). `query`, `mins` and `deltas` hold padded floats;
+/// `code` holds padded u8 codes. No early abandon: the full sum is the
+/// contract all ISAs agree on bit for bit.
+float RowqLowerBoundSquared(const float* query, const float* mins,
+                            const float* deltas, const std::uint8_t* code,
+                            std::size_t padded_length);
+
+/// Early-abandoning variant: after each kRowqLanes-dimension block the
+/// accumulators are reduced with the final pairwise tree, and the scan
+/// stops (returning that partial sum) once the partial exceeds
+/// `abandon`. Because the checkpoints and the reduction are the same in
+/// every ISA, the returned float — partial or full — is bit-identical
+/// across scalar/AVX2/AVX512; with abandon = +inf it returns exactly
+/// what RowqLowerBoundSquared returns. A partial sum of the same
+/// non-negative terms is itself an admissible (smaller) lower bound, so
+/// callers apply the identical AdjustedLowerBound predicate to whatever
+/// comes back.
+float RowqLowerBoundSquaredEarlyAbandon(const float* query, const float* mins,
+                                        const float* deltas,
+                                        const std::uint8_t* code,
+                                        std::size_t padded_length,
+                                        float abandon);
+}  // namespace scalar
+
+#if defined(SOFA_HAVE_AVX2)
+namespace avx2 {
+float RowqLowerBoundSquared(const float* query, const float* mins,
+                            const float* deltas, const std::uint8_t* code,
+                            std::size_t padded_length);
+float RowqLowerBoundSquaredEarlyAbandon(const float* query, const float* mins,
+                                        const float* deltas,
+                                        const std::uint8_t* code,
+                                        std::size_t padded_length,
+                                        float abandon);
+}  // namespace avx2
+#endif  // SOFA_HAVE_AVX2
+
+#if defined(SOFA_COMPILE_AVX512)
+namespace avx512 {
+float RowqLowerBoundSquared(const float* query, const float* mins,
+                            const float* deltas, const std::uint8_t* code,
+                            std::size_t padded_length);
+float RowqLowerBoundSquaredEarlyAbandon(const float* query, const float* mins,
+                                        const float* deltas,
+                                        const std::uint8_t* code,
+                                        std::size_t padded_length,
+                                        float abandon);
+}  // namespace avx512
+#endif  // SOFA_COMPILE_AVX512
+
+/// Best-available kernel (bit-identical to scalar by construction).
+float RowqLowerBoundSquared(const float* query, const float* mins,
+                            const float* deltas, const std::uint8_t* code,
+                            std::size_t padded_length);
+
+/// Best-available early-abandoning kernel (see scalar:: for contract).
+float RowqLowerBoundSquaredEarlyAbandon(const float* query, const float* mins,
+                                        const float* deltas,
+                                        const std::uint8_t* code,
+                                        std::size_t padded_length,
+                                        float abandon);
+
+/// The per-dimension grid: mins/deltas over the padded length, plus the
+/// deflation factor derived from it. Shared by every chunk of an
+/// InsertBuffer and by the tree sidecar of the same shard, so a row
+/// encodes to the same bytes wherever it lives.
+class RowQuantizer {
+ public:
+  /// Fits a grid to `data` (per-dimension min/max, delta = range/255).
+  /// NaNs are ignored during training; rows containing them are flagged
+  /// unprunable at encode time. `data` may be empty (degenerate grid:
+  /// everything encodes at code 0 via the containment check or is
+  /// flagged unprunable).
+  static std::shared_ptr<const RowQuantizer> Train(const Dataset& data);
+
+  /// Reassembles a grid from persisted padded arrays (`mins`/`deltas`
+  /// hold RoundUp(length, kRowqLanes) floats; pad dimensions must be 0).
+  static std::shared_ptr<const RowQuantizer> FromParts(
+      std::size_t length, AlignedVector<float> mins,
+      AlignedVector<float> deltas);
+
+  std::size_t length() const { return length_; }
+  std::size_t padded_length() const { return padded_; }
+  const float* mins() const { return mins_.data(); }
+  const float* deltas() const { return deltas_.data(); }
+
+  /// Encodes one row (length() floats) into `code` (padded_length()
+  /// bytes, pad dimensions zeroed). Returns true when every dimension
+  /// verifies containment — the row may then be pruned on its bound.
+  /// Returns false (codes zeroed) for rows the grid cannot contain;
+  /// such rows must always take the exact kernel.
+  bool Encode(const float* row, std::uint8_t* code) const;
+
+  /// Copies `query` (length() floats) into `padded` (padded_length()
+  /// floats, pad dimensions zeroed — they contribute exact zeros).
+  void PadQuery(const float* query, float* padded) const;
+
+  /// Deflates a raw kernel sum into a bound that provably never exceeds
+  /// the float distance the exact kernel reports. NaN/inf/near-overflow
+  /// sums deflate to 0 (never prune).
+  float AdjustedLowerBound(float raw) const;
+
+  /// Raw-sum threshold at which a scan may stop early when chasing the
+  /// predicate AdjustedLowerBound(raw) * inflation_sq >= bound: a
+  /// partial sum at or above this value almost certainly satisfies it.
+  /// Callers MUST still re-apply the exact predicate to the returned
+  /// sum — the threshold steers only where the kernel stops, never what
+  /// the tier answers, so its own rounding cannot affect exactness.
+  float RawAbandonThreshold(float bound, float inflation_sq) const;
+
+ private:
+  RowQuantizer(std::size_t length, AlignedVector<float> mins,
+               AlignedVector<float> deltas);
+
+  std::size_t length_;
+  std::size_t padded_;
+  AlignedVector<float> mins_;    // padded_ floats, pad dims 0
+  AlignedVector<float> deltas_;  // padded_ floats, pad dims 0
+  float deflate_;                // multiplicative error margin
+};
+
+/// Immutable quantized sidecar of one index slice: the grid plus one
+/// padded code row and one prunability flag per row, row i aligned with
+/// the slice's local row i.
+class RowQuant {
+ public:
+  /// Trains a grid on `data` and encodes every row.
+  static std::shared_ptr<const RowQuant> Build(const Dataset& data);
+
+  /// Reassembles a sidecar from persisted parts. `codes` holds
+  /// rows * quantizer->padded_length() bytes; `prunable` holds one byte
+  /// per row (0 = unprunable).
+  static std::shared_ptr<const RowQuant> FromParts(
+      std::shared_ptr<const RowQuantizer> quantizer,
+      AlignedVector<std::uint8_t> codes, std::vector<std::uint8_t> prunable,
+      std::size_t rows);
+
+  std::size_t rows() const { return rows_; }
+  const RowQuantizer& quantizer() const { return *quantizer_; }
+  const std::shared_ptr<const RowQuantizer>& quantizer_ptr() const {
+    return quantizer_;
+  }
+  const std::uint8_t* code(std::size_t i) const {
+    return codes_.data() + i * quantizer_->padded_length();
+  }
+  bool prunable(std::size_t i) const { return prunable_[i] != 0; }
+
+  /// Raw storage, for persistence.
+  const AlignedVector<std::uint8_t>& codes() const { return codes_; }
+  const std::vector<std::uint8_t>& prunable_flags() const { return prunable_; }
+
+  /// Bytes of quantized payload held (codes + flags).
+  std::size_t MemoryBytes() const { return codes_.size() + prunable_.size(); }
+
+ private:
+  RowQuant(std::shared_ptr<const RowQuantizer> quantizer,
+           AlignedVector<std::uint8_t> codes, std::vector<std::uint8_t> prunable,
+           std::size_t rows);
+
+  std::shared_ptr<const RowQuantizer> quantizer_;
+  AlignedVector<std::uint8_t> codes_;  // rows_ * padded_length() bytes
+  std::vector<std::uint8_t> prunable_;
+  std::size_t rows_;
+};
+
+/// Per-query cursor over a sidecar: pads the query once, then serves
+/// deflated lower bounds per row.
+class RowQuantView {
+ public:
+  RowQuantView(const RowQuant* rowq, const float* query);
+
+  bool prunable(std::size_t i) const { return rowq_->prunable(i); }
+
+  /// Deflated admissible lower bound on the exact squared L2 between
+  /// the query and row i. Only meaningful when prunable(i).
+  float LowerBound(std::size_t i) const;
+
+  /// Early-abandoning LowerBound: the scan may stop once its raw
+  /// partial sum exceeds `raw_abandon` (see RawAbandonThreshold). The
+  /// returned value is the adjusted bound of whatever raw sum the
+  /// kernel produced — partial sums deflate to smaller, still
+  /// admissible bounds, so the caller's pruning predicate is applied
+  /// unchanged.
+  float LowerBoundEarlyAbandon(std::size_t i, float raw_abandon) const;
+
+  /// Forwarded from the quantizer, for callers holding only the view.
+  float RawAbandonThreshold(float bound, float inflation_sq) const;
+
+ private:
+  const RowQuant* rowq_;
+  AlignedVector<float> padded_query_;
+};
+
+}  // namespace quant
+}  // namespace sofa
+
+#endif  // SOFA_QUANT_ROWQ_H_

@@ -1,0 +1,90 @@
+// AVX2 rowq lower-bound kernel. Bit-identical to the scalar kernel: two
+// 8-lane accumulators model scalar lanes 0-7 and 8-15, every arithmetic
+// step is the same singly-rounded operation in the same order (mul, add,
+// sub, max — never FMA; this TU is compiled with -ffp-contract=off), and
+// the final reduction is the same pairwise tree (lanes j+8, then j+4,
+// then movehl for j+2, then shuffle for j+1 — NOT hadd, whose pairing
+// differs from the scalar loop).
+
+#include "quant/rowq.h"
+
+#if defined(SOFA_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace sofa {
+namespace quant {
+namespace avx2 {
+namespace {
+
+// Box-distance term of 8 dimensions starting at `d`.
+inline __m256 ChunkTerm(const float* query, const float* mins,
+                        const float* deltas, const std::uint8_t* code,
+                        std::size_t d) {
+  const __m128i codes8 =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(code + d));
+  const __m256 c = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(codes8));
+  const __m256 mn = _mm256_loadu_ps(mins + d);
+  const __m256 dl = _mm256_loadu_ps(deltas + d);
+  const __m256 q = _mm256_loadu_ps(query + d);
+  const __m256 lo = _mm256_add_ps(mn, _mm256_mul_ps(c, dl));
+  const __m256 hi = _mm256_add_ps(lo, dl);
+  const __m256 a = _mm256_sub_ps(lo, q);
+  const __m256 b = _mm256_sub_ps(q, hi);
+  __m256 m = _mm256_max_ps(a, b);
+  m = _mm256_max_ps(m, _mm256_setzero_ps());
+  return _mm256_mul_ps(m, m);
+}
+
+// The final pairwise reduction tree (lanes j+8, j+4, movehl for j+2,
+// shuffle for j+1) — also evaluated at every early-abandon checkpoint.
+inline float Reduce(__m256 acc0, __m256 acc1) {
+  const __m256 acc = _mm256_add_ps(acc0, acc1);  // lanes j += j+8
+  const __m128 s4 = _mm_add_ps(_mm256_castps256_ps128(acc),
+                               _mm256_extractf128_ps(acc, 1));  // j += j+4
+  const __m128 s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));  // 0+2, 1+3
+  const __m128 s1 = _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 0x1));
+  return _mm_cvtss_f32(s1);
+}
+
+}  // namespace
+
+float RowqLowerBoundSquared(const float* query, const float* mins,
+                            const float* deltas, const std::uint8_t* code,
+                            std::size_t padded_length) {
+  __m256 acc0 = _mm256_setzero_ps();  // scalar lanes 0-7
+  __m256 acc1 = _mm256_setzero_ps();  // scalar lanes 8-15
+  for (std::size_t i = 0; i < padded_length; i += kRowqLanes) {
+    acc0 = _mm256_add_ps(acc0, ChunkTerm(query, mins, deltas, code, i));
+    acc1 = _mm256_add_ps(acc1, ChunkTerm(query, mins, deltas, code, i + 8));
+  }
+  return Reduce(acc0, acc1);
+}
+
+float RowqLowerBoundSquaredEarlyAbandon(const float* query, const float* mins,
+                                        const float* deltas,
+                                        const std::uint8_t* code,
+                                        std::size_t padded_length,
+                                        float abandon) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  float partial = 0.0f;
+  for (std::size_t i = 0; i < padded_length; i += kRowqLanes) {
+    acc0 = _mm256_add_ps(acc0, ChunkTerm(query, mins, deltas, code, i));
+    acc1 = _mm256_add_ps(acc1, ChunkTerm(query, mins, deltas, code, i + 8));
+    // Checkpoint after every block: same tree, same bits as the scalar
+    // kernel's checkpoint; the accumulators are untouched, so a full
+    // scan returns exactly RowqLowerBoundSquared's value.
+    partial = Reduce(acc0, acc1);
+    if (partial > abandon) {
+      return partial;
+    }
+  }
+  return partial;
+}
+
+}  // namespace avx2
+}  // namespace quant
+}  // namespace sofa
+
+#endif  // SOFA_HAVE_AVX2

@@ -1,0 +1,86 @@
+// AVX-512 rowq lower-bound kernel. One 16-lane accumulator is the exact
+// vector image of the scalar kernel's 16 lanes; the reduction first adds
+// the upper 256-bit half onto the lower (lanes j += j+8) and then runs
+// the identical 128-bit tree as the AVX2 kernel, so all three ISAs
+// return the same bits. No FMA; compiled with -ffp-contract=off and
+// per-file -mavx512* flags, reached only via the dispatch in rowq.cc.
+
+#include "quant/rowq.h"
+
+#if defined(SOFA_COMPILE_AVX512)
+
+#include <immintrin.h>
+
+namespace sofa {
+namespace quant {
+namespace avx512 {
+namespace {
+
+// Box-distance term of one 16-dimension block starting at `i`.
+inline __m512 BlockTerm(const float* query, const float* mins,
+                        const float* deltas, const std::uint8_t* code,
+                        std::size_t i) {
+  const __m128i codes16 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(code + i));
+  const __m512 c = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(codes16));
+  const __m512 mn = _mm512_loadu_ps(mins + i);
+  const __m512 dl = _mm512_loadu_ps(deltas + i);
+  const __m512 q = _mm512_loadu_ps(query + i);
+  const __m512 lo = _mm512_add_ps(mn, _mm512_mul_ps(c, dl));
+  const __m512 hi = _mm512_add_ps(lo, dl);
+  const __m512 a = _mm512_sub_ps(lo, q);
+  const __m512 b = _mm512_sub_ps(q, hi);
+  __m512 m = _mm512_max_ps(a, b);
+  m = _mm512_max_ps(m, _mm512_setzero_ps());
+  return _mm512_mul_ps(m, m);
+}
+
+// The shared pairwise reduction tree — upper 256-bit half onto the
+// lower (j+8), then the identical 128-bit tail as the AVX2 kernel.
+inline float Reduce(__m512 acc) {
+  const __m256 half = _mm256_add_ps(_mm512_castps512_ps256(acc),
+                                    _mm512_extractf32x8_ps(acc, 1));  // j+8
+  const __m128 s4 = _mm_add_ps(_mm256_castps256_ps128(half),
+                               _mm256_extractf128_ps(half, 1));  // j+4
+  const __m128 s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));  // 0+2, 1+3
+  const __m128 s1 = _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 0x1));
+  return _mm_cvtss_f32(s1);
+}
+
+}  // namespace
+
+float RowqLowerBoundSquared(const float* query, const float* mins,
+                            const float* deltas, const std::uint8_t* code,
+                            std::size_t padded_length) {
+  __m512 acc = _mm512_setzero_ps();
+  for (std::size_t i = 0; i < padded_length; i += kRowqLanes) {
+    acc = _mm512_add_ps(acc, BlockTerm(query, mins, deltas, code, i));
+  }
+  return Reduce(acc);
+}
+
+float RowqLowerBoundSquaredEarlyAbandon(const float* query, const float* mins,
+                                        const float* deltas,
+                                        const std::uint8_t* code,
+                                        std::size_t padded_length,
+                                        float abandon) {
+  __m512 acc = _mm512_setzero_ps();
+  float partial = 0.0f;
+  for (std::size_t i = 0; i < padded_length; i += kRowqLanes) {
+    acc = _mm512_add_ps(acc, BlockTerm(query, mins, deltas, code, i));
+    // Per-block checkpoint, same tree and bits as the other ISAs; the
+    // accumulator is untouched, so a full scan matches
+    // RowqLowerBoundSquared exactly.
+    partial = Reduce(acc);
+    if (partial > abandon) {
+      return partial;
+    }
+  }
+  return partial;
+}
+
+}  // namespace avx512
+}  // namespace quant
+}  // namespace sofa
+
+#endif  // SOFA_COMPILE_AVX512

@@ -21,11 +21,16 @@ void ExecuteTask(QueryTask* task_ptr, const index::TreeIndex* default_index) {
   }
   if (task.buffer != nullptr) {
     // Delta-set half of an ingesting query: exact flat scan of the
-    // shard's insert buffer, tombstones masked inline.
-    const std::size_t scanned = task.buffer->SearchKnn(
-        task.query, task.k, task.buffer_start, task.result, task.exclude);
+    // shard's insert buffer, tombstones masked inline. With the rowq
+    // tier attached to the buffer, quantized-pruned rows never reach
+    // the distance kernel, so ed/rowq work is accounted separately.
+    ingest::InsertBuffer::ScanStats stats;
+    task.buffer->SearchKnn(task.query, task.k, task.buffer_start, task.result,
+                           task.exclude, &stats);
     if (task.profile != nullptr) {
-      task.profile->series_ed_computed += scanned;
+      task.profile->series_ed_computed += stats.ed_computed;
+      task.profile->rowq_checked += stats.rowq_checked;
+      task.profile->rowq_pruned += stats.rowq_pruned;
     }
     return;
   }

@@ -630,6 +630,8 @@ void SearchService::FinishTrace(PendingRequest* pending,
   trace.AddCounter("series_lbd_pruned", profile.series_lbd_pruned);
   trace.AddCounter("series_ed_computed", profile.series_ed_computed);
   trace.AddCounter("candidates_filtered", profile.candidates_filtered);
+  trace.AddCounter("rowq_checked", profile.rowq_checked);
+  trace.AddCounter("rowq_pruned", profile.rowq_pruned);
   const bool expired =
       response->status == RequestStatus::kDeadlineExpired;
   obs::TraceRecord record =

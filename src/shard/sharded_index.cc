@@ -99,8 +99,12 @@ std::shared_ptr<const ShardedIndex> ShardedIndex::Build(
     shards[s].data = partition.data[s];
     shards[s].scheme = scheme;
     shards[s].global_ids = partition.global_ids[s];
-    shards[s].tree = std::make_shared<index::TreeIndex>(
+    auto tree = std::make_shared<index::TreeIndex>(
         shards[s].data.get(), scheme.get(), config.index, pool);
+    if (config.enable_rowq) {
+      tree->AttachRowQuant(quant::RowQuant::Build(*shards[s].data));
+    }
+    shards[s].tree = std::move(tree);
   }
   return std::shared_ptr<const ShardedIndex>(
       new ShardedIndex(std::move(shards), config, data.length(), pool));
@@ -117,8 +121,12 @@ std::shared_ptr<const ShardedIndex> ShardedIndex::WithShardRebuilt(
     std::size_t shard_id) const {
   SOFA_CHECK(shard_id < shards_.size());
   Shard rebuilt = shards_[shard_id];
-  rebuilt.tree = std::make_shared<index::TreeIndex>(
+  auto tree = std::make_shared<index::TreeIndex>(
       rebuilt.data.get(), rebuilt.scheme.get(), config_.index, pool_);
+  if (config_.enable_rowq) {
+    tree->AttachRowQuant(quant::RowQuant::Build(*rebuilt.data));
+  }
+  rebuilt.tree = std::move(tree);
   return WithShardReplaced(shard_id, std::move(rebuilt));
 }
 

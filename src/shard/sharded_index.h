@@ -56,6 +56,13 @@ struct ShardingConfig {
   std::size_t num_shards = 2;
   ShardAssignment assignment = ShardAssignment::kContiguous;
   index::IndexConfig index;
+
+  /// Compressed pruning tier: when set, every built or rebuilt shard
+  /// tree carries a quant::RowQuant sidecar (scalar-quantized row
+  /// copies whose SIMD lower bounds prune ahead of the exact kernel),
+  /// and the ingest path quantizes buffered rows too. Answers are
+  /// bit-identical either way; only the work counters differ.
+  bool enable_rowq = false;
 };
 
 /// One shard: its slice of the collection, the tree over that slice, and

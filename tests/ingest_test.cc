@@ -25,6 +25,8 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/oracle.h"
+#include "harness/workload.h"
 #include "index/query_engine.h"
 #include "index/tree_index.h"
 #include "ingest/compactor.h"
@@ -33,7 +35,6 @@
 #include "ingest/wal.h"
 #include "service/search_service.h"
 #include "service/snapshot.h"
-#include "sfa/mcb.h"
 #include "shard/sharded_index.h"
 #include "test_data.h"
 #include "util/thread_pool.h"
@@ -44,28 +45,17 @@ namespace {
 
 using testing_data::BruteForceKnn;
 using testing_data::Walk;
-
-// Bit-exact comparison: same ids AND same float distances at every rank.
-::testing::AssertionResult BitIdentical(const std::vector<Neighbor>& actual,
-                                        const std::vector<Neighbor>& expected) {
-  if (actual.size() != expected.size()) {
-    return ::testing::AssertionFailure()
-           << "size mismatch: " << actual.size() << " vs " << expected.size();
-  }
-  for (std::size_t i = 0; i < actual.size(); ++i) {
-    if (actual[i].id != expected[i].id ||
-        actual[i].distance != expected[i].distance) {
-      return ::testing::AssertionFailure()
-             << "rank " << i << ": " << actual[i].id << "("
-             << actual[i].distance << ") vs expected " << expected[i].id << "("
-             << expected[i].distance << ")";
-    }
-  }
-  return ::testing::AssertionSuccess();
-}
+using testing_harness::BitIdentical;
+using testing_harness::ExactOracle;
+using testing_harness::MakeSearchRequest;
+using testing_harness::ReadFileBytes;
+using testing_harness::WriteFileBytes;
 
 // A base collection, a sharded generation over it, the service serving
-// it, and a from-scratch oracle over base ∪ inserts.
+// it, and a from-scratch oracle over base ∪ inserts. With `enable_rowq`
+// the serving side carries the compressed pruning tier; the oracle never
+// does — so every BitIdentical assertion below doubles as the tier's
+// exactness proof.
 struct IngestFixture {
   ThreadPool pool;
   Dataset base;
@@ -73,12 +63,12 @@ struct IngestFixture {
   Dataset combined;  // base rows then insert rows, in insertion order
   std::shared_ptr<const quant::SummaryScheme> scheme;
   std::shared_ptr<const shard::ShardedIndex> sharded;
-  std::unique_ptr<index::TreeIndex> oracle;  // over `combined`
+  std::unique_ptr<ExactOracle> oracle;  // over `combined`
 
   IngestFixture(std::size_t base_count, std::size_t insert_count,
                 std::size_t length, std::size_t num_shards,
                 shard::ShardAssignment assignment, std::uint64_t seed,
-                std::size_t threads = 4)
+                std::size_t threads = 4, bool enable_rowq = false)
       : pool(threads),
         base(Walk(base_count, length, seed)),
         inserts(Walk(insert_count, length, seed + 1)),
@@ -89,62 +79,11 @@ struct IngestFixture {
     for (std::size_t i = 0; i < inserts.size(); ++i) {
       combined.Append(inserts.row(i));
     }
-    sfa::SfaConfig sfa_config;
-    sfa_config.word_length = 16;
-    sfa_config.alphabet = 256;
-    sfa_config.sampling_ratio = 0.2;
-    scheme = sfa::TrainSfa(base, sfa_config, &pool);
-    shard::ShardingConfig config;
-    config.num_shards = num_shards;
-    config.assignment = assignment;
-    config.index.leaf_capacity = 100;
-    sharded = shard::ShardedIndex::Build(base, config, scheme, &pool);
-    index::IndexConfig oracle_config;
-    oracle_config.leaf_capacity = 100;
-    oracle = std::make_unique<index::TreeIndex>(&combined, scheme.get(),
-                                                oracle_config, &pool);
-  }
-};
-
-service::SearchRequest MakeRequest(const Dataset& queries, std::size_t q,
-                                   std::size_t k, bool profile = false) {
-  service::SearchRequest request;
-  request.query.assign(queries.row(q), queries.row(q) + queries.length());
-  request.k = k;
-  request.collect_profile = profile;
-  return request;
-}
-
-// From-scratch oracle over base ∪ inserts \ deleted: a single tree built
-// over the surviving rows, with answers remapped back to the original
-// global ids — what the service must match bit for bit after deletes.
-struct FilteredOracle {
-  Dataset data;
-  std::vector<std::uint32_t> kept;
-  std::unique_ptr<index::TreeIndex> tree;
-
-  FilteredOracle(IngestFixture& fx, const std::vector<std::uint32_t>& deleted)
-      : data(fx.combined.length()) {
-    const std::unordered_set<std::uint32_t> dead(deleted.begin(),
-                                                 deleted.end());
-    for (std::size_t i = 0; i < fx.combined.size(); ++i) {
-      if (dead.count(static_cast<std::uint32_t>(i)) == 0) {
-        data.Append(fx.combined.row(i));
-        kept.push_back(static_cast<std::uint32_t>(i));
-      }
-    }
-    index::IndexConfig config;
-    config.leaf_capacity = 100;
-    tree = std::make_unique<index::TreeIndex>(&data, fx.scheme.get(), config,
-                                              &fx.pool);
-  }
-
-  std::vector<Neighbor> SearchKnn(const float* query, std::size_t k) const {
-    std::vector<Neighbor> result = tree->SearchKnn(query, k);
-    for (Neighbor& nb : result) {
-      nb.id = kept[nb.id];
-    }
-    return result;
+    scheme = testing_harness::TrainTestScheme(base, &pool);
+    sharded = testing_harness::BuildTestSharded(base, num_shards, assignment,
+                                                scheme, &pool, enable_rowq);
+    oracle = std::make_unique<ExactOracle>(combined, std::vector<std::uint32_t>{},
+                                           scheme, &pool);
   }
 };
 
@@ -159,31 +98,6 @@ void RemoveWalDir(const std::string& dir) {
     ::unlink(path.c_str());
   }
   ::rmdir(dir.c_str());
-}
-
-// Whole-file byte copy — used to resurrect a truncated segment and
-// simulate a crash between checkpoint write and old-segment unlink.
-std::vector<unsigned char> ReadFileBytes(const std::string& path) {
-  std::vector<unsigned char> bytes;
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) {
-    return bytes;
-  }
-  unsigned char chunk[4096];
-  std::size_t got;
-  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
-    bytes.insert(bytes.end(), chunk, chunk + got);
-  }
-  std::fclose(file);
-  return bytes;
-}
-
-void WriteFileBytes(const std::string& path,
-                    const std::vector<unsigned char>& bytes) {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  ASSERT_NE(file, nullptr);
-  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), file), bytes.size());
-  std::fclose(file);
 }
 
 // ---------------------------------------------------------- InsertBuffer
@@ -319,7 +233,7 @@ TEST(IngestTieTest, DuplicateStraddlingKBoundaryStaysDeterministic) {
 
   const auto query_topk = [&](std::size_t k) {
     service::SearchResponse response =
-        svc.Search(MakeRequest(fx.base, 5, k));
+        svc.Search(MakeSearchRequest(fx.base, 5, k));
     EXPECT_EQ(response.status, service::RequestStatus::kOk);
     return response.neighbors;
   };
@@ -374,7 +288,7 @@ TEST(IngestProfileTest, BatchedShardedProfileMergesExactlyOnce) {
   const std::size_t k = 7;
   std::vector<std::future<service::SearchResponse>> futures;
   for (std::size_t q = 0; q < queries.size(); ++q) {
-    futures.push_back(svc.Submit(MakeRequest(queries, q, k, true)));
+    futures.push_back(svc.Submit(MakeSearchRequest(queries, q, k, true)));
   }
   svc.Resume();
 
@@ -425,7 +339,7 @@ TEST(IngestProfileTest, LatencyModeShardedProfileMergesExactlyOnce) {
   const Dataset queries = Walk(5, 64, 102);
   for (std::size_t q = 0; q < queries.size(); ++q) {
     const service::SearchResponse response =
-        svc.Search(MakeRequest(queries, q, 5, true));
+        svc.Search(MakeSearchRequest(queries, q, 5, true));
     ASSERT_EQ(response.status, service::RequestStatus::kOk);
     index::QueryProfile expected;
     const auto current = compactor.current();
@@ -463,7 +377,7 @@ TEST(IngestExactnessTest, BufferedInsertsAnswerBitExact) {
     const Dataset queries = Walk(10, 64, 104);
     for (std::size_t q = 0; q < queries.size(); ++q) {
       const service::SearchResponse response =
-          svc.Search(MakeRequest(queries, q, 10));
+          svc.Search(MakeSearchRequest(queries, q, 10));
       ASSERT_EQ(response.status, service::RequestStatus::kOk);
       EXPECT_TRUE(BitIdentical(response.neighbors,
                                fx.oracle->SearchKnn(queries.row(q), 10)))
@@ -476,7 +390,7 @@ TEST(IngestExactnessTest, BufferedInsertsAnswerBitExact) {
               fx.base.size() + fx.inserts.size());
     for (std::size_t q = 0; q < queries.size(); ++q) {
       const service::SearchResponse response =
-          svc.Search(MakeRequest(queries, q, 10));
+          svc.Search(MakeSearchRequest(queries, q, 10));
       ASSERT_EQ(response.status, service::RequestStatus::kOk);
       EXPECT_TRUE(BitIdentical(response.neighbors,
                                fx.oracle->SearchKnn(queries.row(q), 10)));
@@ -524,10 +438,15 @@ TEST(IngestExactnessTest, AdmissionBoundsAndInvalidRows) {
 // the compactor rebuilds/republishes shards under the traffic. Once the
 // last insert lands, every answer — including those racing the remaining
 // compactions and the final flush — must be bit-identical to the
-// from-scratch single-index oracle over the full collection.
-TEST(IngestExactnessTest, ExactUnderConcurrentTrafficAndCompaction) {
+// from-scratch single-index oracle over the full collection. With
+// `enable_rowq` the serving side runs the compressed pruning tier
+// (quantized sidecars on the shard trees AND on the racing insert
+// buffers) while the oracle never does — the same race doubles as the
+// tier's concurrency exactness proof, and runs under TSan via the
+// concurrency label.
+void RunConcurrentTrafficSoak(bool enable_rowq) {
   IngestFixture fx(1200, 600, 64, 3, shard::ShardAssignment::kContiguous,
-                   107);
+                   107, /*threads=*/4, enable_rowq);
   service::ServiceConfig service_config;
   service_config.latency_mode_threshold = 2;  // mixed scheduling under load
   service_config.max_batch = 8;
@@ -568,7 +487,7 @@ TEST(IngestExactnessTest, ExactUnderConcurrentTrafficAndCompaction) {
       // of the inserts — assert they complete OK.
       while (!all_inserted.load()) {
         const service::SearchResponse response =
-            svc.Search(MakeRequest(queries, q % queries.size(), 10));
+            svc.Search(MakeSearchRequest(queries, q % queries.size(), 10));
         if (response.status != service::RequestStatus::kOk) {
           failures.fetch_add(1);
         }
@@ -579,7 +498,7 @@ TEST(IngestExactnessTest, ExactUnderConcurrentTrafficAndCompaction) {
       for (std::size_t round = 0; round < 30; ++round) {
         const std::size_t idx = (q + round * kClients) % queries.size();
         const service::SearchResponse response =
-            svc.Search(MakeRequest(queries, idx, 10));
+            svc.Search(MakeSearchRequest(queries, idx, 10));
         if (response.status != service::RequestStatus::kOk ||
             !BitIdentical(response.neighbors, expected[idx])) {
           failures.fetch_add(1);
@@ -599,16 +518,32 @@ TEST(IngestExactnessTest, ExactUnderConcurrentTrafficAndCompaction) {
   EXPECT_GE(compactor.Metrics().compactions, 3u);
   EXPECT_EQ(compactor.current()->size(), fx.combined.size());
 
-  // Steady state after the flush: still bit-identical.
+  // Steady state after the flush: still bit-identical — and with the
+  // tier enabled, the compacted generation demonstrably runs it.
+  std::uint64_t rowq_checked = 0;
   for (std::size_t q = 0; q < queries.size(); ++q) {
     const service::SearchResponse response =
-        svc.Search(MakeRequest(queries, q, 10));
+        svc.Search(MakeSearchRequest(queries, q, 10, /*profile=*/true));
     ASSERT_EQ(response.status, service::RequestStatus::kOk);
     EXPECT_TRUE(BitIdentical(response.neighbors, expected[q])) << "query "
                                                                << q;
+    rowq_checked += response.profile.rowq_checked;
+  }
+  if (enable_rowq) {
+    EXPECT_GT(rowq_checked, 0u);
+  } else {
+    EXPECT_EQ(rowq_checked, 0u);
   }
   const service::MetricsSnapshot metrics = svc.Metrics();
   EXPECT_GE(metrics.swaps, compactor.Metrics().compactions);
+}
+
+TEST(IngestExactnessTest, ExactUnderConcurrentTrafficAndCompaction) {
+  RunConcurrentTrafficSoak(/*enable_rowq=*/false);
+}
+
+TEST(IngestExactnessTest, RowqTierExactUnderConcurrentTrafficAndCompaction) {
+  RunConcurrentTrafficSoak(/*enable_rowq=*/true);
 }
 
 // Hash-assigned ingest spreads inserts across shards and stays exact
@@ -640,7 +575,7 @@ TEST(IngestExactnessTest, HashAssignmentMultiRoundCompaction) {
                                   &fx.pool);
     for (std::size_t q = 0; q < queries.size(); ++q) {
       const service::SearchResponse response =
-          svc.Search(MakeRequest(queries, q, 8));
+          svc.Search(MakeSearchRequest(queries, q, 8));
       ASSERT_EQ(response.status, service::RequestStatus::kOk);
       EXPECT_TRUE(BitIdentical(response.neighbors,
                                oracle.SearchKnn(queries.row(q), 8)))
@@ -738,7 +673,7 @@ TEST(IngestDeleteTest, DeletesAnswerBitExactAgainstFilteredOracle) {
     for (std::uint32_t i = 0; i < 120; i += 11) {
       deleted.push_back(700 + i);
     }
-    FilteredOracle oracle(fx, deleted);
+    ExactOracle oracle(fx.combined, deleted, fx.scheme, &fx.pool);
 
     service::SearchService svc(service::WrapShardedIndex(fx.sharded),
                                &fx.pool);
@@ -757,7 +692,7 @@ TEST(IngestDeleteTest, DeletesAnswerBitExactAgainstFilteredOracle) {
     const Dataset queries = Walk(8, 64, 308);
     for (std::size_t q = 0; q < queries.size(); ++q) {
       const service::SearchResponse response =
-          svc.Search(MakeRequest(queries, q, 10));
+          svc.Search(MakeSearchRequest(queries, q, 10));
       ASSERT_EQ(response.status, service::RequestStatus::kOk);
       EXPECT_TRUE(BitIdentical(response.neighbors,
                                oracle.SearchKnn(queries.row(q), 10)))
@@ -767,7 +702,7 @@ TEST(IngestDeleteTest, DeletesAnswerBitExactAgainstFilteredOracle) {
     // A deleted row queried by its own values must not come back even at
     // rank 1 (its distance would be 0 — the hardest resurrection case).
     const service::SearchResponse self =
-        svc.Search(MakeRequest(fx.base, deleted[0], 1));
+        svc.Search(MakeSearchRequest(fx.base, deleted[0], 1));
     ASSERT_EQ(self.status, service::RequestStatus::kOk);
     ASSERT_EQ(self.neighbors.size(), 1u);
     EXPECT_NE(self.neighbors[0].id, deleted[0]);
@@ -778,7 +713,7 @@ TEST(IngestDeleteTest, DeletesAnswerBitExactAgainstFilteredOracle) {
     EXPECT_EQ(compactor.Metrics().pending, 0u);
     for (std::size_t q = 0; q < queries.size(); ++q) {
       const service::SearchResponse response =
-          svc.Search(MakeRequest(queries, q, 10));
+          svc.Search(MakeSearchRequest(queries, q, 10));
       ASSERT_EQ(response.status, service::RequestStatus::kOk);
       EXPECT_TRUE(BitIdentical(response.neighbors,
                                oracle.SearchKnn(queries.row(q), 10)))
@@ -814,7 +749,7 @@ TEST(IngestDeleteTest, BufferedDeleteDoesNotResurrectAfterCompaction) {
   // it must be absent outright, not merely out-ranked.
   const std::size_t victim_row = victim - fx.base.size();
   service::SearchResponse response = svc.Search(
-      MakeRequest(fx.inserts, victim_row, fx.base.size() + fx.inserts.size()));
+      MakeSearchRequest(fx.inserts, victim_row, fx.base.size() + fx.inserts.size()));
   ASSERT_EQ(response.status, service::RequestStatus::kOk);
   EXPECT_EQ(response.neighbors.size(),
             fx.base.size() + fx.inserts.size() - 1);
@@ -829,7 +764,7 @@ TEST(IngestDeleteTest, BufferedDeleteDoesNotResurrectAfterCompaction) {
             StatusCode::kOk);
   compactor.Flush();
   EXPECT_EQ(compactor.Metrics().tombstones, 0u);
-  response = svc.Search(MakeRequest(fx.inserts, victim_row, 5));
+  response = svc.Search(MakeSearchRequest(fx.inserts, victim_row, 5));
   ASSERT_EQ(response.status, service::RequestStatus::kOk);
   for (const Neighbor& nb : response.neighbors) {
     EXPECT_NE(nb.id, victim);
@@ -869,11 +804,11 @@ TEST(IngestDeleteTest, DeleteOnlyWorkloadCompactsAndPurges) {
   EXPECT_EQ(metrics.deleted, 40u);
   // Physically gone, not merely masked — and answers match the oracle.
   EXPECT_EQ(compactor.current()->size(), 300u - 40u);
-  FilteredOracle oracle(fx, deleted);
+  ExactOracle oracle(fx.combined, deleted, fx.scheme, &fx.pool);
   const Dataset queries = Walk(5, 32, 332);
   for (std::size_t q = 0; q < queries.size(); ++q) {
     const service::SearchResponse response =
-        svc.Search(MakeRequest(queries, q, 8));
+        svc.Search(MakeSearchRequest(queries, q, 8));
     ASSERT_EQ(response.status, service::RequestStatus::kOk);
     EXPECT_TRUE(BitIdentical(response.neighbors,
                              oracle.SearchKnn(queries.row(q), 8)));
@@ -922,7 +857,7 @@ TEST(IngestDeleteTest, ProfileAccountsFilteredCandidates) {
   const std::size_t k = 7;
   std::vector<std::future<service::SearchResponse>> futures;
   for (std::size_t q = 0; q < queries.size(); ++q) {
-    futures.push_back(svc.Submit(MakeRequest(queries, q, k, true)));
+    futures.push_back(svc.Submit(MakeSearchRequest(queries, q, k, true)));
   }
   svc.Resume();
   for (std::size_t q = 0; q < queries.size(); ++q) {
@@ -959,9 +894,11 @@ TEST(IngestDeleteTest, ProfileAccountsFilteredCandidates) {
 // traffic. Once the last mutation lands, every answer — including those
 // racing the remaining compactions and the final flush — must be
 // bit-identical to the from-scratch oracle over base ∪ inserts \ deletes.
-TEST(IngestExactnessTest, ExactUnderTrafficCompactionAndDeletes) {
+// The rowq variant races the compressed pruning tier through the same
+// mutation storm.
+void RunTrafficDeletesSoak(bool enable_rowq) {
   IngestFixture fx(1000, 400, 64, 3, shard::ShardAssignment::kContiguous,
-                   317);
+                   317, /*threads=*/4, enable_rowq);
   std::vector<std::uint32_t> delete_base;
   for (std::uint32_t id = 0; id < 1000; id += 23) {
     delete_base.push_back(id);
@@ -973,7 +910,7 @@ TEST(IngestExactnessTest, ExactUnderTrafficCompactionAndDeletes) {
   std::vector<std::uint32_t> deleted = delete_base;
   deleted.insert(deleted.end(), delete_inserted.begin(),
                  delete_inserted.end());
-  FilteredOracle oracle(fx, deleted);
+  ExactOracle oracle(fx.combined, deleted, fx.scheme, &fx.pool);
 
   service::ServiceConfig service_config;
   service_config.latency_mode_threshold = 2;  // mixed scheduling under load
@@ -1031,7 +968,7 @@ TEST(IngestExactnessTest, ExactUnderTrafficCompactionAndDeletes) {
       // prefix of them; assert they complete OK.
       while (!all_mutated.load()) {
         const service::SearchResponse response =
-            svc.Search(MakeRequest(queries, q % queries.size(), 10));
+            svc.Search(MakeSearchRequest(queries, q % queries.size(), 10));
         if (response.status != service::RequestStatus::kOk) {
           failures.fetch_add(1);
         }
@@ -1042,7 +979,7 @@ TEST(IngestExactnessTest, ExactUnderTrafficCompactionAndDeletes) {
       for (std::size_t round = 0; round < 30; ++round) {
         const std::size_t idx = (q + round * kClients) % queries.size();
         const service::SearchResponse response =
-            svc.Search(MakeRequest(queries, idx, 10));
+            svc.Search(MakeSearchRequest(queries, idx, 10));
         if (response.status != service::RequestStatus::kOk ||
             !BitIdentical(response.neighbors, expected[idx])) {
           failures.fetch_add(1);
@@ -1064,11 +1001,19 @@ TEST(IngestExactnessTest, ExactUnderTrafficCompactionAndDeletes) {
   // Steady state after the flush: still bit-identical.
   for (std::size_t q = 0; q < queries.size(); ++q) {
     const service::SearchResponse response =
-        svc.Search(MakeRequest(queries, q, 10));
+        svc.Search(MakeSearchRequest(queries, q, 10));
     ASSERT_EQ(response.status, service::RequestStatus::kOk);
     EXPECT_TRUE(BitIdentical(response.neighbors, expected[q]))
         << "query " << q;
   }
+}
+
+TEST(IngestExactnessTest, ExactUnderTrafficCompactionAndDeletes) {
+  RunTrafficDeletesSoak(/*enable_rowq=*/false);
+}
+
+TEST(IngestExactnessTest, RowqTierExactUnderTrafficCompactionAndDeletes) {
+  RunTrafficDeletesSoak(/*enable_rowq=*/true);
 }
 
 // ------------------------------------------------------ write-ahead log
@@ -1261,7 +1206,7 @@ TEST(IngestRecoveryTest, CrashReplayBitIdentical) {
   for (std::uint32_t i = 0; i < 200; i += 17) {
     deleted.push_back(600 + i);  // inserted rows
   }
-  FilteredOracle oracle(fx, deleted);
+  ExactOracle oracle(fx.combined, deleted, fx.scheme, &fx.pool);
   const Dataset queries = Walk(8, 64, 412);
 
   IngestConfig config;
@@ -1289,7 +1234,7 @@ TEST(IngestRecoveryTest, CrashReplayBitIdentical) {
     // shards, buffered rows and un-purged tombstones.
     for (std::size_t q = 0; q < queries.size(); ++q) {
       const service::SearchResponse response =
-          svc.Search(MakeRequest(queries, q, 10));
+          svc.Search(MakeSearchRequest(queries, q, 10));
       ASSERT_EQ(response.status, service::RequestStatus::kOk);
       pre_crash.push_back(response.neighbors);
       EXPECT_TRUE(BitIdentical(pre_crash[q],
@@ -1308,7 +1253,7 @@ TEST(IngestRecoveryTest, CrashReplayBitIdentical) {
       std::size_t q = 0;
       while (recovering.load()) {
         const service::SearchResponse response =
-            svc.Search(MakeRequest(queries, q++ % queries.size(), 10));
+            svc.Search(MakeSearchRequest(queries, q++ % queries.size(), 10));
         EXPECT_EQ(response.status, service::RequestStatus::kOk);
       }
     });
@@ -1324,7 +1269,7 @@ TEST(IngestRecoveryTest, CrashReplayBitIdentical) {
 
     for (std::size_t q = 0; q < queries.size(); ++q) {
       const service::SearchResponse response =
-          svc.Search(MakeRequest(queries, q, 10));
+          svc.Search(MakeSearchRequest(queries, q, 10));
       ASSERT_EQ(response.status, service::RequestStatus::kOk);
       EXPECT_TRUE(BitIdentical(response.neighbors, pre_crash[q]))
           << "recovered answer differs from pre-crash, query " << q;
@@ -1333,7 +1278,7 @@ TEST(IngestRecoveryTest, CrashReplayBitIdentical) {
     compactor.Flush();
     for (std::size_t q = 0; q < queries.size(); ++q) {
       const service::SearchResponse response =
-          svc.Search(MakeRequest(queries, q, 10));
+          svc.Search(MakeSearchRequest(queries, q, 10));
       ASSERT_EQ(response.status, service::RequestStatus::kOk);
       EXPECT_TRUE(BitIdentical(response.neighbors,
                                oracle.SearchKnn(queries.row(q), 10)));
@@ -1375,7 +1320,7 @@ TEST(IngestRecoveryTest, CheckpointTruncationLeavesReplayIdempotent) {
   std::vector<std::uint32_t> all_deleted = first_deletes;
   all_deleted.insert(all_deleted.end(), second_deletes.begin(),
                      second_deletes.end());
-  FilteredOracle oracle(fx, all_deleted);
+  ExactOracle oracle(fx.combined, all_deleted, fx.scheme, &fx.pool);
   const Dataset queries = Walk(5, 32, 418);
   {
     service::SearchService svc(service::WrapShardedIndex(fx.sharded),
@@ -1387,7 +1332,7 @@ TEST(IngestRecoveryTest, CheckpointTruncationLeavesReplayIdempotent) {
     EXPECT_EQ(compactor.Metrics().tombstones, all_deleted.size());
     for (std::size_t q = 0; q < queries.size(); ++q) {
       const service::SearchResponse response =
-          svc.Search(MakeRequest(queries, q, 8));
+          svc.Search(MakeSearchRequest(queries, q, 8));
       ASSERT_EQ(response.status, service::RequestStatus::kOk);
       EXPECT_TRUE(BitIdentical(response.neighbors,
                                oracle.SearchKnn(queries.row(q), 8)));

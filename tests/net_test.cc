@@ -25,6 +25,7 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/oracle.h"
 #include "ingest/compactor.h"
 #include "net/client.h"
 #include "net/protocol.h"
@@ -33,7 +34,6 @@
 #include "obs/registry.h"
 #include "service/search_service.h"
 #include "service/snapshot.h"
-#include "sfa/mcb.h"
 #include "shard/sharded_index.h"
 #include "test_data.h"
 #include "util/crc32.h"
@@ -46,25 +46,8 @@ namespace {
 using testing_data::BruteForceKnn;
 using testing_data::SameDistances;
 using testing_data::Walk;
-
-// Bit-exact comparison: same ids AND same float distances at every rank.
-::testing::AssertionResult BitIdentical(const std::vector<Neighbor>& actual,
-                                        const std::vector<Neighbor>& expected) {
-  if (actual.size() != expected.size()) {
-    return ::testing::AssertionFailure()
-           << "size mismatch: " << actual.size() << " vs " << expected.size();
-  }
-  for (std::size_t i = 0; i < actual.size(); ++i) {
-    if (actual[i].id != expected[i].id ||
-        actual[i].distance != expected[i].distance) {
-      return ::testing::AssertionFailure()
-             << "rank " << i << ": " << actual[i].id << "("
-             << actual[i].distance << ") vs expected " << expected[i].id
-             << "(" << expected[i].distance << ")";
-    }
-  }
-  return ::testing::AssertionSuccess();
-}
+using testing_harness::BitIdentical;
+using testing_harness::MakeSearchRequest;
 
 // ------------------------------------------------------ protocol goldens
 
@@ -318,17 +301,13 @@ struct ServerFixture {
   explicit ServerFixture(service::ServiceConfig config = {},
                          ServerConfig server_config = {},
                          std::size_t base_count = 1200,
-                         std::size_t length = 64, std::uint64_t seed = 97)
+                         std::size_t length = 64, std::uint64_t seed = 97,
+                         bool enable_rowq = false)
       : pool(4), base(Walk(base_count, length, seed)) {
-    sfa::SfaConfig sfa_config;
-    sfa_config.word_length = 16;
-    sfa_config.alphabet = 256;
-    sfa_config.sampling_ratio = 0.2;
-    scheme = sfa::TrainSfa(base, sfa_config, &pool);
-    shard::ShardingConfig shard_config;
-    shard_config.num_shards = 2;
-    shard_config.index.leaf_capacity = 100;
-    sharded = shard::ShardedIndex::Build(base, shard_config, scheme, &pool);
+    scheme = testing_harness::TrainTestScheme(base, &pool);
+    sharded = testing_harness::BuildTestSharded(
+        base, /*num_shards=*/2, shard::ShardAssignment::kContiguous, scheme,
+        &pool, enable_rowq);
     config.registry = &registry;
     service = std::make_unique<service::SearchService>(
         service::WrapShardedIndex(sharded), &pool, config);
@@ -358,14 +337,6 @@ struct ServerFixture {
     return false;
   }
 };
-
-service::SearchRequest QueryRequest(const Dataset& queries, std::size_t q,
-                                    std::size_t k) {
-  service::SearchRequest request;
-  request.query.assign(queries.row(q), queries.row(q) + queries.length());
-  request.k = k;
-  return request;
-}
 
 TEST(NetServerTest, NetworkAnswersAreBitIdenticalUnderWireMutations) {
   ServerFixture fx;
@@ -397,6 +368,11 @@ TEST(NetServerTest, NetworkAnswersAreBitIdenticalUnderWireMutations) {
   EXPECT_EQ(bad_insert.code(), StatusCode::kInvalidArgument);
   EXPECT_TRUE(client.connected());
 
+  // Quiesce the background compaction the inserts triggered: without
+  // this, its publish can land between the over-wire search and the
+  // in-process search below and the index_version comparison races.
+  fx.compactor->Flush();
+
   // Oracle: base ∪ inserts \ deletes, in global-id order.
   Dataset combined(fx.base.length());
   for (std::size_t i = 0; i < fx.base.size(); ++i) {
@@ -411,11 +387,11 @@ TEST(NetServerTest, NetworkAnswersAreBitIdenticalUnderWireMutations) {
   const Dataset queries = Walk(12, 64, 99);
   for (std::size_t q = 0; q < queries.size(); ++q) {
     service::SearchResponse over_wire;
-    ASSERT_TRUE(client.Search(QueryRequest(queries, q, 5), &over_wire).ok());
+    ASSERT_TRUE(client.Search(MakeSearchRequest(queries, q, 5), &over_wire).ok());
     ASSERT_EQ(over_wire.status, StatusCode::kOk);
 
     const service::SearchResponse in_process =
-        fx.service->Search(QueryRequest(queries, q, 5));
+        fx.service->Search(MakeSearchRequest(queries, q, 5));
     ASSERT_EQ(in_process.status, StatusCode::kOk);
     EXPECT_TRUE(BitIdentical(over_wire.neighbors, in_process.neighbors))
         << "query " << q << ": network != in-process";
@@ -434,6 +410,74 @@ TEST(NetServerTest, NetworkAnswersAreBitIdenticalUnderWireMutations) {
   }
   client.Close();
   fx.server->Shutdown();
+}
+
+// The compressed pruning tier must be invisible over the wire: a server
+// whose shards carry the rowq tier, fed mutations through TCP, answers
+// bit-identical to a rowq-off in-process service fed the same mutations
+// directly. Profile counters prove the tier engaged on the server side
+// and never on the baseline.
+TEST(NetServerTest, RowqTierAnswersBitIdenticalOverTheWire) {
+  ServerFixture with_rowq({}, {}, /*base_count=*/1200, /*length=*/64,
+                          /*seed=*/97, /*enable_rowq=*/true);
+  ServerFixture baseline({}, {}, /*base_count=*/1200, /*length=*/64,
+                         /*seed=*/97, /*enable_rowq=*/false);
+  const std::uint16_t port = with_rowq.Start();
+  SofaClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+
+  // Same mutation stream on both sides — over the wire for the rowq
+  // server, straight into the compactor for the baseline.
+  const Dataset inserts = Walk(90, 64, 206);
+  for (std::size_t i = 0; i < inserts.size(); ++i) {
+    const StatusOr<std::uint32_t> id = client.Insert(std::vector<float>(
+        inserts.row(i), inserts.row(i) + inserts.length()));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    while (baseline.compactor->Insert(inserts.row(i), inserts.length()) ==
+           StatusCode::kRejected) {
+      std::this_thread::yield();
+    }
+  }
+  const std::vector<std::uint32_t> deleted = {7, 42, 1100,
+                                              static_cast<std::uint32_t>(
+                                                  1200 + 11)};
+  for (const std::uint32_t id : deleted) {
+    ASSERT_EQ(client.Delete(id).code(), StatusCode::kOk);
+    ASSERT_EQ(baseline.compactor->Delete(id), StatusCode::kOk);
+  }
+  with_rowq.compactor->Flush();
+  baseline.compactor->Flush();
+
+  const Dataset queries = Walk(15, 64, 207);
+  std::uint64_t rowq_checked = 0;
+  std::uint64_t baseline_checked = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (const std::size_t k : {1u, 10u}) {
+      service::SearchResponse over_wire;
+      ASSERT_TRUE(
+          client.Search(MakeSearchRequest(queries, q, k), &over_wire).ok());
+      ASSERT_EQ(over_wire.status, StatusCode::kOk);
+      const service::SearchResponse expected =
+          baseline.service->Search(MakeSearchRequest(queries, q, k));
+      ASSERT_EQ(expected.status, StatusCode::kOk);
+      EXPECT_TRUE(BitIdentical(over_wire.neighbors, expected.neighbors))
+          << "query " << q << " k=" << k
+          << ": rowq-on over-wire != rowq-off in-process";
+    }
+    // Engagement proof runs in-process (the wire does not carry
+    // profiles): the server's index consults the tier, the baseline's
+    // never does.
+    const service::SearchResponse profiled = with_rowq.service->Search(
+        MakeSearchRequest(queries, q, 10, /*profile=*/true));
+    rowq_checked += profiled.profile.rowq_checked;
+    const service::SearchResponse off_profiled = baseline.service->Search(
+        MakeSearchRequest(queries, q, 10, /*profile=*/true));
+    baseline_checked += off_profiled.profile.rowq_checked;
+  }
+  EXPECT_GT(rowq_checked, 0u);
+  EXPECT_EQ(baseline_checked, 0u);
+  client.Close();
+  with_rowq.server->Shutdown();
 }
 
 TEST(NetServerTest, PrioritySchedulingIsVisibleOverTheWire) {
@@ -456,13 +500,13 @@ TEST(NetServerTest, PrioritySchedulingIsVisibleOverTheWire) {
   constexpr std::size_t kBackground = 60;
   std::uint64_t request_id = 0;
   for (std::size_t i = 0; i < kBackground; ++i) {
-    service::SearchRequest request = QueryRequest(queries, i % 8, 3);
+    service::SearchRequest request = MakeSearchRequest(queries, i % 8, 3);
     request.priority = service::Priority::kBackground;
     ASSERT_TRUE(background_client.SendSearch(request, &request_id).ok());
   }
   constexpr std::size_t kInteractive = 2;
   for (std::size_t i = 0; i < kInteractive; ++i) {
-    service::SearchRequest request = QueryRequest(queries, i, 3);
+    service::SearchRequest request = MakeSearchRequest(queries, i, 3);
     request.priority = service::Priority::kInteractive;
     ASSERT_TRUE(interactive_client.SendSearch(request, &request_id).ok());
   }
@@ -499,13 +543,13 @@ TEST(NetServerTest, PrioritySchedulingIsVisibleOverTheWire) {
   fx.service->Pause();
   constexpr std::size_t kFlood = 40;
   for (std::size_t i = 0; i < kFlood; ++i) {
-    service::SearchRequest request = QueryRequest(queries, i % 8, 3);
+    service::SearchRequest request = MakeSearchRequest(queries, i % 8, 3);
     request.priority = service::Priority::kInteractive;
     ASSERT_TRUE(interactive_client.SendSearch(request, &request_id).ok());
   }
   constexpr std::size_t kStarved = 4;
   for (std::size_t i = 0; i < kStarved; ++i) {
-    service::SearchRequest request = QueryRequest(queries, i, 3);
+    service::SearchRequest request = MakeSearchRequest(queries, i, 3);
     request.priority = service::Priority::kBackground;
     ASSERT_TRUE(background_client.SendSearch(request, &request_id).ok());
   }
@@ -547,7 +591,7 @@ TEST(NetServerTest, TenantQuotaShedsOverTheWire) {
   const Dataset queries = Walk(3, 64, 5);
   std::uint64_t request_id = 0;
   for (std::size_t i = 0; i < 3; ++i) {
-    service::SearchRequest request = QueryRequest(queries, i, 3);
+    service::SearchRequest request = MakeSearchRequest(queries, i, 3);
     request.tenant = "acme";
     ASSERT_TRUE(client.SendSearch(request, &request_id).ok());
   }
@@ -577,7 +621,7 @@ TEST(NetServerTest, AdminAndStatsSurface) {
   const Dataset queries = Walk(1, 64, 7);
 
   service::SearchResponse before;
-  ASSERT_TRUE(client.Search(QueryRequest(queries, 0, 3), &before).ok());
+  ASSERT_TRUE(client.Search(MakeSearchRequest(queries, 0, 3), &before).ok());
   ASSERT_EQ(before.status, StatusCode::kOk);
 
   // kSwap republishes the current generation: the version bump must be
@@ -586,7 +630,7 @@ TEST(NetServerTest, AdminAndStatsSurface) {
   ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
   EXPECT_EQ(swapped.value(), before.index_version + 1);
   service::SearchResponse after;
-  ASSERT_TRUE(client.Search(QueryRequest(queries, 0, 3), &after).ok());
+  ASSERT_TRUE(client.Search(MakeSearchRequest(queries, 0, 3), &after).ok());
   EXPECT_EQ(after.index_version, before.index_version + 1);
   EXPECT_TRUE(BitIdentical(after.neighbors, before.neighbors));
 
@@ -626,7 +670,7 @@ TEST(NetServerTest, GracefulDrainCompletesInFlightRequests) {
 
   const Dataset queries = Walk(1, 64, 13);
   std::uint64_t request_id = 0;
-  ASSERT_TRUE(client.SendSearch(QueryRequest(queries, 0, 5), &request_id).ok());
+  ASSERT_TRUE(client.SendSearch(MakeSearchRequest(queries, 0, 5), &request_id).ok());
   ASSERT_TRUE(fx.WaitForFrames(1));
 
   // Drain starts with the query still queued; it must complete and its
@@ -662,7 +706,7 @@ TEST(NetServerTest, ClientDisconnectMidQueryLeavesTheServerServing) {
     ASSERT_TRUE(doomed.Connect("127.0.0.1", port).ok());
     std::uint64_t request_id = 0;
     ASSERT_TRUE(
-        doomed.SendSearch(QueryRequest(queries, 0, 5), &request_id).ok());
+        doomed.SendSearch(MakeSearchRequest(queries, 0, 5), &request_id).ok());
     ASSERT_TRUE(fx.WaitForFrames(1));
     doomed.Close();  // vanish with the query still in flight
   }
@@ -672,7 +716,7 @@ TEST(NetServerTest, ClientDisconnectMidQueryLeavesTheServerServing) {
   SofaClient client;
   ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
   service::SearchResponse response;
-  ASSERT_TRUE(client.Search(QueryRequest(queries, 1, 5), &response).ok());
+  ASSERT_TRUE(client.Search(MakeSearchRequest(queries, 1, 5), &response).ok());
   ASSERT_EQ(response.status, StatusCode::kOk);
   EXPECT_TRUE(SameDistances(response.neighbors,
                             BruteForceKnn(fx.base, queries.row(1), 5)));
@@ -804,7 +848,7 @@ TEST(NetServerTest, DeadlinesExpireOverTheWire) {
   SofaClient client;
   ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
   const Dataset queries = Walk(1, 64, 23);
-  service::SearchRequest request = QueryRequest(queries, 0, 3);
+  service::SearchRequest request = MakeSearchRequest(queries, 0, 3);
   request.deadline_ms = 0.01;  // expires while the dispatcher is paused
   std::uint64_t request_id = 0;
   ASSERT_TRUE(client.SendSearch(request, &request_id).ok());

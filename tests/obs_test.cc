@@ -521,15 +521,17 @@ TEST(ServiceTraceTest, ShardedIngestingQueryTraceCoversPipeline) {
             trace.total_ms + 1e-6);
 
   // The trace carries the full work-counter profile.
-  ASSERT_EQ(trace.counters.size(), 8u);
-  bool saw_ed = false, saw_filtered = false;
+  ASSERT_EQ(trace.counters.size(), 10u);
+  bool saw_ed = false, saw_filtered = false, saw_rowq = false;
   for (const TraceCounterSample& counter : trace.counters) {
     saw_ed = saw_ed || std::strcmp(counter.name, "series_ed_computed") == 0;
     saw_filtered =
         saw_filtered || std::strcmp(counter.name, "candidates_filtered") == 0;
+    saw_rowq = saw_rowq || std::strcmp(counter.name, "rowq_checked") == 0;
   }
   EXPECT_TRUE(saw_ed);
   EXPECT_TRUE(saw_filtered);
+  EXPECT_TRUE(saw_rowq);
 
   // The registry side saw the trace too: the trace counter ticked and
   // the per-stage histograms absorbed the span durations.

@@ -30,13 +30,13 @@
 
 #include <gtest/gtest.h>
 
-#include "index/tree_index.h"
+#include "harness/oracle.h"
+#include "harness/workload.h"
 #include "ingest/compactor.h"
 #include "ingest/wal.h"
 #include "persist/generation_store.h"
 #include "service/search_service.h"
 #include "service/snapshot.h"
-#include "sfa/mcb.h"
 #include "shard/sharded_index.h"
 #include "test_data.h"
 #include "util/thread_pool.h"
@@ -46,25 +46,14 @@ namespace persist {
 namespace {
 
 using testing_data::Walk;
+using testing_harness::BitIdentical;
+using testing_harness::MakeSearchRequest;
+using testing_harness::ReadFileBytes;
+using testing_harness::WriteFileBytes;
 
-// Bit-exact comparison: same ids AND same float distances at every rank.
-::testing::AssertionResult BitIdentical(const std::vector<Neighbor>& actual,
-                                        const std::vector<Neighbor>& expected) {
-  if (actual.size() != expected.size()) {
-    return ::testing::AssertionFailure()
-           << "size mismatch: " << actual.size() << " vs " << expected.size();
-  }
-  for (std::size_t i = 0; i < actual.size(); ++i) {
-    if (actual[i].id != expected[i].id ||
-        actual[i].distance != expected[i].distance) {
-      return ::testing::AssertionFailure()
-             << "rank " << i << ": " << actual[i].id << "("
-             << actual[i].distance << ") vs expected " << expected[i].id
-             << "(" << expected[i].distance << ")";
-    }
-  }
-  return ::testing::AssertionSuccess();
-}
+// The deterministic mutation stream + from-scratch oracle shared with
+// the other restart/exactness suites.
+using Workload = testing_harness::MutationWorkload;
 
 std::string TestDir(const std::string& name) {
   return "/tmp/sofa_persist_" + name + "_" + std::to_string(::getpid());
@@ -123,154 +112,6 @@ std::string GenDirName(std::uint64_t seq) {
   std::snprintf(buf, sizeof(buf), "%010llu",
                 static_cast<unsigned long long>(seq));
   return "gen-" + std::string(buf);
-}
-
-std::vector<unsigned char> ReadFileBytes(const std::string& path) {
-  std::vector<unsigned char> bytes;
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) {
-    return bytes;
-  }
-  unsigned char chunk[4096];
-  std::size_t got;
-  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
-    bytes.insert(bytes.end(), chunk, chunk + got);
-  }
-  std::fclose(file);
-  return bytes;
-}
-
-void WriteFileBytes(const std::string& path,
-                    const std::vector<unsigned char>& bytes) {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  ASSERT_NE(file, nullptr);
-  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), file), bytes.size());
-  std::fclose(file);
-}
-
-// The deterministic workload shared by every restart test (and by both
-// sides of the fork in the crash loop): a base collection, one mutation
-// stream (4 inserts then 1 delete, repeating; delete targets are
-// distinct base ids so a replayed prefix never re-deletes), and the
-// from-scratch oracle over any durable prefix of that stream.
-struct Workload {
-  static constexpr std::size_t kBase = 400;
-  static constexpr std::size_t kLength = 32;
-  static constexpr std::size_t kShards = 2;
-  static constexpr std::size_t kSteps = 900;
-
-  Dataset base;
-  Dataset inserts;  // row i carries global id kBase + i
-
-  explicit Workload(std::uint64_t seed = 1234)
-      : base(Walk(kBase, kLength, seed)),
-        inserts(Walk(kSteps, kLength, seed + 1)) {}
-
-  static bool IsDelete(std::size_t step) { return step % 5 == 4; }
-
-  // Number of inserts among steps [0, p).
-  static std::size_t InsertsBefore(std::size_t p) { return p - p / 5; }
-
-  // The d-th delete target: a permutation of base ids, so every target
-  // is valid from step 0 and no id is ever deleted twice.
-  static std::uint32_t DeleteTarget(std::size_t d) {
-    return static_cast<std::uint32_t>((d * 197 + 13) % kBase);
-  }
-
-  // Applies steps [from, to) through the compactor. Inserts must resume
-  // exactly at the recovered id watermark; deletes are idempotent
-  // (kAlreadyDeleted after a crash-resume replays past them).
-  void Apply(ingest::Compactor* compactor, std::size_t from,
-             std::size_t to) const {
-    std::size_t i = InsertsBefore(from);
-    std::size_t d = from / 5;
-    for (std::size_t step = from; step < to; ++step) {
-      if (IsDelete(step)) {
-        const Status status =
-            compactor->Delete(DeleteTarget(d++));
-        ASSERT_TRUE(status == StatusCode::kOk ||
-                    status == StatusCode::kAlreadyDeleted)
-            << "delete at step " << step << " failed: "
-            << status.ToString();
-      } else {
-        ASSERT_EQ(compactor->Insert(inserts.row(i++), kLength),
-                  StatusCode::kOk)
-            << "insert at step " << step;
-      }
-    }
-  }
-
-  // From-scratch oracle over the durable prefix [0, position) of the
-  // mutation stream: a single tree over the surviving rows with answers
-  // remapped to global ids.
-  struct Oracle {
-    Dataset data;
-    std::vector<std::uint32_t> kept;
-    std::shared_ptr<const quant::SummaryScheme> scheme;
-    std::unique_ptr<index::TreeIndex> tree;
-
-    Oracle(const Workload& w, std::size_t position, ThreadPool* pool)
-        : data(kLength) {
-      std::unordered_set<std::uint32_t> dead;
-      for (std::size_t d = 0; d < position / 5; ++d) {
-        dead.insert(DeleteTarget(d));
-      }
-      const std::size_t applied_inserts = InsertsBefore(position);
-      for (std::size_t i = 0; i < kBase; ++i) {
-        if (dead.count(static_cast<std::uint32_t>(i)) == 0) {
-          data.Append(w.base.row(i));
-          kept.push_back(static_cast<std::uint32_t>(i));
-        }
-      }
-      for (std::size_t i = 0; i < applied_inserts; ++i) {
-        data.Append(w.inserts.row(i));
-        kept.push_back(static_cast<std::uint32_t>(kBase + i));
-      }
-      sfa::SfaConfig sfa_config;
-      sfa_config.word_length = 16;
-      sfa_config.alphabet = 256;
-      sfa_config.sampling_ratio = 0.2;
-      scheme = sfa::TrainSfa(w.base, sfa_config, pool);
-      index::IndexConfig config;
-      config.leaf_capacity = 100;
-      tree = std::make_unique<index::TreeIndex>(&data, scheme.get(), config,
-                                                pool);
-    }
-
-    std::vector<Neighbor> SearchKnn(const float* query,
-                                    std::size_t k) const {
-      std::vector<Neighbor> result = tree->SearchKnn(query, k);
-      for (Neighbor& nb : result) {
-        nb.id = kept[nb.id];
-      }
-      return result;
-    }
-  };
-
-  // Builds the base sharded generation (round-1 bootstrap; later rounds
-  // reload it from the store instead).
-  std::shared_ptr<const shard::ShardedIndex> BuildSharded(
-      ThreadPool* pool) const {
-    sfa::SfaConfig sfa_config;
-    sfa_config.word_length = 16;
-    sfa_config.alphabet = 256;
-    sfa_config.sampling_ratio = 0.2;
-    const std::shared_ptr<const quant::SummaryScheme> scheme =
-        sfa::TrainSfa(base, sfa_config, pool);
-    shard::ShardingConfig config;
-    config.num_shards = kShards;
-    config.assignment = shard::ShardAssignment::kContiguous;
-    config.index.leaf_capacity = 100;
-    return shard::ShardedIndex::Build(base, config, scheme, pool);
-  }
-};
-
-service::SearchRequest MakeRequest(const Dataset& queries, std::size_t q,
-                                   std::size_t k) {
-  service::SearchRequest request;
-  request.query.assign(queries.row(q), queries.row(q) + queries.length());
-  request.k = k;
-  return request;
 }
 
 ingest::IngestConfig DurableConfig(const std::string& root,
@@ -358,7 +199,7 @@ TEST(GenerationStoreTest, RestartReplaysOnlyTheWalTail) {
     w.Apply(&compactor, 500, 620);
     for (std::size_t q = 0; q < queries.size(); ++q) {
       const service::SearchResponse response =
-          svc.Search(MakeRequest(queries, q, 10));
+          svc.Search(MakeSearchRequest(queries, q, 10));
       ASSERT_EQ(response.status, service::RequestStatus::kOk);
       pre_crash.push_back(response.neighbors);
     }
@@ -405,7 +246,7 @@ TEST(GenerationStoreTest, RestartReplaysOnlyTheWalTail) {
   const Workload::Oracle oracle(w, 620, &pool);
   for (std::size_t q = 0; q < queries.size(); ++q) {
     const service::SearchResponse response =
-        svc.Search(MakeRequest(queries, q, 10));
+        svc.Search(MakeSearchRequest(queries, q, 10));
     ASSERT_EQ(response.status, service::RequestStatus::kOk);
     EXPECT_TRUE(BitIdentical(response.neighbors, pre_crash[q]));
     EXPECT_TRUE(BitIdentical(response.neighbors,
@@ -471,7 +312,7 @@ TEST(GenerationStoreTest, TornCommitFallsBackToPreviousGeneration) {
   const Dataset queries = Walk(4, Workload::kLength, 78);
   for (std::size_t q = 0; q < queries.size(); ++q) {
     const service::SearchResponse response =
-        svc.Search(MakeRequest(queries, q, 10));
+        svc.Search(MakeSearchRequest(queries, q, 10));
     ASSERT_EQ(response.status, service::RequestStatus::kOk);
     EXPECT_TRUE(BitIdentical(response.neighbors,
                              oracle.SearchKnn(queries.row(q), 10)));
@@ -653,6 +494,139 @@ TEST(GenerationStoreTest, GcRacesInFlightRecovery) {
   loader.join();
   EXPECT_GT(loads.load(), 0u);
   EXPECT_EQ(store->ListGenerations(), std::vector<std::uint64_t>{6});
+  RemoveTree(root);
+}
+
+// ------------------------------------------------- rowq sidecar persist
+
+// Rowq-enabled compactions persist one shard-<s>.rq sidecar per shard
+// alongside the slices, and a rowq-enabled load reattaches them: the
+// reloaded service answers bit-identical to a rowq-off load of the same
+// generation AND to the from-scratch oracle, with the tier provably
+// engaged (profile counters). Downgrading the manifest to v1 — exactly
+// what a pre-rowq build would have written — must still load with
+// enable_rowq: the sidecar is rebuilt on the fly, still bit-identical.
+TEST(GenerationStoreTest, RowqSidecarsPersistReloadAndRebuild) {
+  const std::string root = TestDir("rowq");
+  RemoveTree(root);
+  Workload w;
+  ThreadPool pool(2);
+  auto store = GenerationStore::Open(root + "/generations");
+  ASSERT_NE(store, nullptr);
+  const auto sharded = w.BuildSharded(&pool, /*enable_rowq=*/true);
+  {
+    service::SearchService svc(service::WrapShardedIndex(sharded), &pool);
+    ingest::Compactor compactor(
+        &svc, sharded,
+        DurableConfig(root, store.get(), /*threshold=*/60,
+                      /*auto_compact=*/false));
+    ASSERT_TRUE(compactor.Recover().ok);
+    w.Apply(&compactor, 0, 300);
+    compactor.Flush();
+    EXPECT_EQ(compactor.Metrics().persist_failures, 0u);
+  }
+  const std::vector<std::uint64_t> seqs = store->ListGenerations();
+  ASSERT_FALSE(seqs.empty());
+  const std::string dir = root + "/generations/" + GenDirName(seqs.back());
+  for (std::size_t s = 0; s < Workload::kShards; ++s) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "/shard-%04zu.rq", s);
+    EXPECT_FALSE(ReadFileBytes(dir + name).empty()) << name;
+  }
+
+  const Dataset queries = Walk(12, Workload::kLength, 4242);
+  const Workload::Oracle oracle(w, 300, &pool);
+
+  // Reload twice — with and without the tier — and compare both against
+  // the oracle query-for-query, bit for bit.
+  const std::optional<LoadedGeneration> with_rowq =
+      store->LoadLatest(&pool, /*enable_rowq=*/true);
+  ASSERT_TRUE(with_rowq.has_value());
+  const std::optional<LoadedGeneration> without_rowq =
+      store->LoadLatest(&pool, /*enable_rowq=*/false);
+  ASSERT_TRUE(without_rowq.has_value());
+  service::SearchService svc_on(service::WrapShardedIndex(with_rowq->sharded),
+                                &pool);
+  service::SearchService svc_off(
+      service::WrapShardedIndex(without_rowq->sharded), &pool);
+  std::uint64_t on_checked = 0;
+  std::uint64_t off_checked = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const std::vector<Neighbor> expected = oracle.SearchKnn(queries.row(q), 10);
+    const service::SearchResponse on =
+        svc_on.Search(MakeSearchRequest(queries, q, 10, /*profile=*/true));
+    const service::SearchResponse off =
+        svc_off.Search(MakeSearchRequest(queries, q, 10, /*profile=*/true));
+    ASSERT_EQ(on.status, service::RequestStatus::kOk);
+    ASSERT_EQ(off.status, service::RequestStatus::kOk);
+    EXPECT_TRUE(BitIdentical(on.neighbors, expected)) << "query " << q;
+    EXPECT_TRUE(BitIdentical(off.neighbors, expected)) << "query " << q;
+    on_checked += on.profile.rowq_checked;
+    off_checked += off.profile.rowq_checked;
+  }
+  EXPECT_GT(on_checked, 0u);   // the persisted tier actually engaged
+  EXPECT_EQ(off_checked, 0u);  // the off path never consulted it
+
+  // Legacy generation: rewrite the manifest as format v1 (no .rq
+  // accounting) and reload with the tier requested — the sidecar is
+  // rebuilt from the row slices on the fly, answers unchanged.
+  ASSERT_TRUE(GenerationStore::DowngradeManifestForTesting(dir));
+  const std::optional<LoadedGeneration> rebuilt =
+      store->LoadLatest(&pool, /*enable_rowq=*/true);
+  ASSERT_TRUE(rebuilt.has_value());
+  service::SearchService svc_rebuilt(
+      service::WrapShardedIndex(rebuilt->sharded), &pool);
+  std::uint64_t rebuilt_checked = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const service::SearchResponse response =
+        svc_rebuilt.Search(MakeSearchRequest(queries, q, 10, /*profile=*/true));
+    ASSERT_EQ(response.status, service::RequestStatus::kOk);
+    EXPECT_TRUE(
+        BitIdentical(response.neighbors, oracle.SearchKnn(queries.row(q), 10)))
+        << "query " << q;
+    rebuilt_checked += response.profile.rowq_checked;
+  }
+  EXPECT_GT(rebuilt_checked, 0u);
+  RemoveTree(root);
+}
+
+// An unchanged shard's .rq sidecar is hardlinked into the next
+// generation, not rewritten — same inode across consecutive commits.
+TEST(GenerationStoreTest, RowqSidecarHardlinkedAcrossGenerations) {
+  const std::string root = TestDir("rowqlink");
+  RemoveTree(root);
+  Workload w;
+  ThreadPool pool(2);
+  auto store = GenerationStore::Open(root + "/generations");
+  ASSERT_NE(store, nullptr);
+  const auto sharded = w.BuildSharded(&pool, /*enable_rowq=*/true);
+  PersistRequest request;
+  request.route_total = Workload::kBase;
+  request.next_id = Workload::kBase;
+  request.sharded = sharded;
+  request.buffer_rows.reserve(Workload::kShards);
+  for (std::size_t s = 0; s < Workload::kShards; ++s) {
+    request.buffer_rows.emplace_back(Workload::kLength);
+  }
+  request.buffer_ids.resize(Workload::kShards);
+  for (std::uint64_t seq = 1; seq <= 2; ++seq) {
+    request.generation_seq = seq;
+    ASSERT_TRUE(store->Persist(request));
+  }
+  for (std::size_t s = 0; s < Workload::kShards; ++s) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "/shard-%04zu.rq", s);
+    struct stat first;
+    struct stat second;
+    ASSERT_EQ(::stat((root + "/generations/" + GenDirName(1) + name).c_str(),
+                     &first),
+              0);
+    ASSERT_EQ(::stat((root + "/generations/" + GenDirName(2) + name).c_str(),
+                     &second),
+              0);
+    EXPECT_EQ(first.st_ino, second.st_ino) << name;
+    EXPECT_GE(first.st_nlink, 2u) << name;
+  }
   RemoveTree(root);
 }
 
@@ -1024,7 +998,7 @@ TEST(CrashRecoveryTest, KillAtRandomPointRecoversBitIdentical) {
     const Workload::Oracle oracle(w, position, &pool);
     for (std::size_t q = 0; q < queries.size(); ++q) {
       const service::SearchResponse response =
-          svc.Search(MakeRequest(queries, q, 10));
+          svc.Search(MakeSearchRequest(queries, q, 10));
       ASSERT_EQ(response.status, service::RequestStatus::kOk);
       EXPECT_TRUE(BitIdentical(response.neighbors,
                                oracle.SearchKnn(queries.row(q), 10)))

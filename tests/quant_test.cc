@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/distance.h"  // CpuSupportsAvx512
 #include "quant/binning.h"
 #include "quant/breakpoint_table.h"
 #include "quant/lbd.h"
@@ -354,6 +355,57 @@ TEST_P(LbdDimsTest, Avx2EarlyAbandonDecisionsMatchScalarExact) {
 }
 #endif  // SOFA_HAVE_AVX2
 
+#if defined(SOFA_COMPILE_AVX512)
+TEST_P(LbdDimsTest, Avx512MatchesScalar) {
+  if (!CpuSupportsAvx512()) {
+    GTEST_SKIP() << "AVX512 not available on this machine";
+  }
+  const std::size_t dims = GetParam();
+  LbdFixture fx(dims, 256, 41);
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<float> query(dims);
+    std::vector<std::uint8_t> word(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      query[d] = static_cast<float>(rng.Gaussian(0.0, 2.0));
+      word[d] = fx.table.Quantize(d, static_cast<float>(rng.Gaussian()));
+    }
+    const float s = scalar::LbdSquared(fx.table, fx.weights.data(),
+                                       query.data(), word.data());
+    const float v = avx512::LbdSquared(fx.table, fx.weights.data(),
+                                       query.data(), word.data());
+    ASSERT_NEAR(v, s, 1e-4f * (s + 1.0f));
+  }
+}
+
+TEST_P(LbdDimsTest, Avx512EarlyAbandonDecisionsMatchScalarExact) {
+  if (!CpuSupportsAvx512()) {
+    GTEST_SKIP() << "AVX512 not available on this machine";
+  }
+  const std::size_t dims = GetParam();
+  LbdFixture fx(dims, 64, 43);
+  Rng rng(44);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<float> query(dims);
+    std::vector<std::uint8_t> word(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      query[d] = static_cast<float>(rng.Gaussian(0.0, 2.0));
+      word[d] = fx.table.Quantize(d, static_cast<float>(rng.Gaussian()));
+    }
+    const float exact = scalar::LbdSquared(fx.table, fx.weights.data(),
+                                           query.data(), word.data());
+    const float bound = static_cast<float>(rng.Uniform(0.0, exact + 1.0));
+    const float result = avx512::LbdSquaredEarlyAbandon(
+        fx.table, fx.weights.data(), query.data(), word.data(), bound);
+    if (result > bound) {
+      ASSERT_GT(exact, bound * (1.0f - 1e-4f));
+    } else {
+      ASSERT_NEAR(result, exact, 1e-4f * (exact + 1.0f));
+    }
+  }
+}
+#endif  // SOFA_COMPILE_AVX512
+
 TEST_P(LbdDimsTest, EarlyAbandonWithInfiniteBoundIsExact) {
   const std::size_t dims = GetParam();
   LbdFixture fx(dims, 128, 27);
@@ -424,6 +476,57 @@ TEST(LbdTest, NodeLbdNeverExceedsLeafLbd) {
                                   word.data());
     ASSERT_LE(node, leaf * (1.0f + 1e-5f) + 1e-5f);
   }
+}
+
+// Pinned numeric outputs for a hand-built table: the values below are
+// exact in float arithmetic (small integers), so every ISA — and every
+// future refactor — must reproduce them bit for bit. A regression here
+// means the mindist semantics changed, not just its rounding.
+TEST(LbdGoldenTest, PinnedVectorsMatchEveryIsa) {
+  const std::size_t dims = 16;
+  BreakpointTable table(dims, 4);
+  for (std::size_t d = 0; d < dims; ++d) {
+    table.SetDimension(d, {-1.0f, 0.0f, 1.0f});
+  }
+  // word d%4 cycles the four intervals; query 2.0 sits above all of
+  // them, so per-dim mindist² cycles 9 (code 0: 2-(-1)), 4, 1, 0.
+  std::vector<float> query(dims, 2.0f);
+  std::vector<std::uint8_t> word(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    word[d] = static_cast<std::uint8_t>(d % 4);
+  }
+  const std::vector<float> unit(dims, 1.0f);
+  std::vector<float> alternating(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    alternating[d] = static_cast<float>(d % 2 + 1);  // 1,2,1,2,...
+  }
+  // 4 · (9 + 4 + 1 + 0) = 56; weighted: 4 · (9 + 8 + 1 + 0) = 72.
+  EXPECT_EQ(scalar::LbdSquared(table, unit.data(), query.data(), word.data()),
+            56.0f);
+  EXPECT_EQ(scalar::LbdSquared(table, alternating.data(), query.data(),
+                               word.data()),
+            72.0f);
+  EXPECT_EQ(LbdSquared(table, unit.data(), query.data(), word.data()), 56.0f);
+  EXPECT_EQ(LbdSquaredEarlyAbandon(table, unit.data(), query.data(),
+                                   word.data(), kInf),
+            56.0f);
+#if defined(SOFA_HAVE_AVX2)
+  EXPECT_EQ(avx2::LbdSquared(table, unit.data(), query.data(), word.data()),
+            56.0f);
+  EXPECT_EQ(avx2::LbdSquared(table, alternating.data(), query.data(),
+                             word.data()),
+            72.0f);
+#endif
+#if defined(SOFA_COMPILE_AVX512)
+  if (CpuSupportsAvx512()) {
+    EXPECT_EQ(
+        avx512::LbdSquared(table, unit.data(), query.data(), word.data()),
+        56.0f);
+    EXPECT_EQ(avx512::LbdSquared(table, alternating.data(), query.data(),
+                                 word.data()),
+              72.0f);
+  }
+#endif
 }
 
 TEST(LbdTest, WeightsScaleContributions) {

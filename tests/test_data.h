@@ -4,6 +4,7 @@
 #define SOFA_TESTS_TEST_DATA_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
