@@ -144,6 +144,16 @@ int main(int argc, char** argv) {
 
   const std::string stats_path = flags.GetString("stats-json", "");
   if (!stats_path.empty()) {
+    // Same run-identity block as the registry-backed benches, so
+    // tools/bench_compare.py can gate rowq sweeps too.
+    json = WithBenchMetadata(
+        json, BenchMetadataJson(
+                  "ablation_pruning_power",
+                  {{"n_series", std::to_string(options.n_series)},
+                   {"n_queries", std::to_string(options.n_queries)},
+                   {"leaf_size", std::to_string(options.leaf_size)},
+                   {"seed", std::to_string(options.seed)},
+                   {"threads", std::to_string(threads)}}));
     std::FILE* out = std::fopen(stats_path.c_str(), "wb");
     if (out == nullptr ||
         std::fwrite(json.data(), 1, json.size(), out) != json.size() ||

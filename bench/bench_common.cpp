@@ -1,8 +1,13 @@
 #include "bench_common.h"
 
+#include <stdio.h>  // popen/pclose
+
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
+#include "core/distance.h"
 #include "sfa/tlb.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -151,6 +156,90 @@ std::vector<double> AblationTlbs(const Dataset& train, const Dataset& queries,
   const sax::SaxScheme sax_scheme(train.length(), l, alphabet);
   tlbs.push_back(sfa::MeanTlb(sax_scheme, train, queries));
   return tlbs;
+}
+
+namespace {
+
+// $SOFA_GIT_SHA, then $GITHUB_SHA (Actions), then the working tree's
+// HEAD, else "unknown" — never a failure (benches run from tarballs
+// too).
+std::string GitSha() {
+  for (const char* var : {"SOFA_GIT_SHA", "GITHUB_SHA"}) {
+    const char* value = std::getenv(var);
+    if (value != nullptr && value[0] != '\0') {
+      return value;
+    }
+  }
+  std::FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe != nullptr) {
+    char buffer[128] = {0};
+    std::string sha;
+    if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+      sha = buffer;
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+      }
+    }
+    ::pclose(pipe);
+    if (sha.size() == 40 &&
+        sha.find_first_not_of("0123456789abcdef") == std::string::npos) {
+      return sha;
+    }
+  }
+  return "unknown";
+}
+
+bool IsJsonNumber(const std::string& value) {
+  if (value.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  std::strtod(value.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+std::string JsonEscapeMinimal(const std::string& value) {
+  std::string out;
+  for (const char c : value) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string BenchMetadataJson(const std::string& bench,
+                              const std::vector<BenchParam>& params) {
+  std::string out = "{";
+  out += "\"bench\": \"" + JsonEscapeMinimal(bench) + "\"";
+  out += ", \"git_sha\": \"" + GitSha() + "\"";
+  out += std::string(", \"dispatch\": \"") + DispatchLevelName() + "\"";
+  out += ", \"hardware_threads\": " +
+         std::to_string(std::thread::hardware_concurrency());
+  for (const BenchParam& param : params) {
+    out += ", \"" + JsonEscapeMinimal(param.first) + "\": ";
+    if (IsJsonNumber(param.second)) {
+      out += param.second;
+    } else {
+      out += "\"" + JsonEscapeMinimal(param.second) + "\"";
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::string WithBenchMetadata(const std::string& stats_json,
+                              const std::string& metadata_json) {
+  const std::size_t brace = stats_json.find('{');
+  if (brace == std::string::npos) {
+    return stats_json;
+  }
+  std::string out = stats_json;
+  out.insert(brace + 1, "\n  \"metadata\": " + metadata_json + ",");
+  return out;
 }
 
 }  // namespace bench

@@ -93,6 +93,27 @@ const std::vector<std::string>& AblationNames();
 std::vector<double> AblationTlbs(const Dataset& train, const Dataset& queries,
                                  std::size_t alphabet, ThreadPool* pool);
 
+/// One identifying parameter of a bench run ({"n_series", "50000"}...).
+/// Values render as bare JSON numbers when numeric, else as strings.
+using BenchParam = std::pair<std::string, std::string>;
+
+/// JSON object identifying a bench run for the perf-baseline harness
+/// (tools/bench_compare.py refuses to diff runs whose environments
+/// disagree): {"bench": ..., "git_sha": ..., "dispatch":
+/// "avx512|avx2|scalar", "hardware_threads": N, ...params}. The git sha
+/// comes from $SOFA_GIT_SHA, then $GITHUB_SHA, then `git rev-parse
+/// HEAD`, else "unknown".
+std::string BenchMetadataJson(const std::string& bench,
+                              const std::vector<BenchParam>& params);
+
+/// Splices `metadata_json` into a stats document as a leading top-level
+/// "metadata" key: {"metadata": {...}, "metrics": [...]}. ParseStatsJson
+/// ignores unknown top-level keys, so every existing reader keeps
+/// working. The document must open with '{' (RenderJson and the rowq
+/// ablation dump both do); anything else is returned unchanged.
+std::string WithBenchMetadata(const std::string& stats_json,
+                              const std::string& metadata_json);
+
 }  // namespace bench
 }  // namespace sofa
 

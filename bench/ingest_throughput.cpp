@@ -55,6 +55,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/dataset.h"
 #include "core/znorm.h"
 #include "ingest/compactor.h"
@@ -105,9 +106,12 @@ std::vector<std::size_t> ParseSizeList(const Flags& flags,
 }
 
 // End-of-run registry dump: printed to stdout and, with --stats-json,
-// written to a file (what the bench-smoke CI step validates).
-void DumpRegistry(obs::Registry* registry, const Flags& flags) {
-  const std::string rendered = obs::RenderJson(registry->Collect());
+// written to a file (what the bench-smoke CI step validates and the
+// perf-baseline harness diffs; the metadata block identifies the run).
+void DumpRegistry(obs::Registry* registry, const Flags& flags,
+                  const std::string& metadata) {
+  const std::string rendered = bench::WithBenchMetadata(
+      obs::RenderJson(registry->Collect()), metadata);
   std::printf("\nregistry snapshot (JSON):\n%s", rendered.c_str());
   const std::string path = flags.GetString("stats-json", "");
   if (path.empty()) {
@@ -396,6 +400,18 @@ int main(int argc, char** argv) {
               "filtering against rebuild timing, and the WAL trades fsync "
               "latency against the durability window — never "
               "correctness.\n");
-  DumpRegistry(&registry, flags);
+  DumpRegistry(&registry, flags,
+               bench::BenchMetadataJson(
+                   "ingest_throughput",
+                   {{"n_series", std::to_string(n_series)},
+                    {"n_insert", std::to_string(n_insert)},
+                    {"n_queries", std::to_string(n_queries)},
+                    {"length", std::to_string(length)},
+                    {"k", std::to_string(k)},
+                    {"threads", std::to_string(threads)},
+                    {"shards", std::to_string(shards)},
+                    {"leaf_size", std::to_string(leaf_size)},
+                    {"clients", std::to_string(clients)},
+                    {"seed", std::to_string(seed)}}));
   return 0;
 }

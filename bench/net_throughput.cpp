@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/znorm.h"
 #include "net/client.h"
 #include "service/request.h"
@@ -428,10 +429,22 @@ int main(int argc, char** argv) {
                    stats.status().ToString().c_str());
       return 1;
     }
+    // Identify the run so the perf-baseline harness can refuse to diff
+    // dumps from different load shapes or ISA tiers.
+    const std::string rendered = bench::WithBenchMetadata(
+        stats.value(),
+        bench::BenchMetadataJson(
+            "net_throughput",
+            {{"connections", std::to_string(config.connections)},
+             {"k", std::to_string(config.k)},
+             {"length", std::to_string(config.length)},
+             {"duration_s", std::to_string(config.duration_s)},
+             {"mode", mode},
+             {"seed", std::to_string(config.seed)}}));
     std::FILE* out = std::fopen(stats_json.c_str(), "wb");
     if (out == nullptr ||
-        std::fwrite(stats.value().data(), 1, stats.value().size(), out) !=
-            stats.value().size() ||
+        std::fwrite(rendered.data(), 1, rendered.size(), out) !=
+            rendered.size() ||
         std::fclose(out) != 0) {
       std::fprintf(stderr, "failed to write --stats-json %s\n",
                    stats_json.c_str());

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/dataset.h"
 #include "core/znorm.h"
 #include "index/query_engine.h"
@@ -91,9 +92,14 @@ std::vector<std::size_t> ParseSizeList(const Flags& flags,
 }
 
 // End-of-run registry dump: printed to stdout and, with --stats-json,
-// written to a file (what the bench-smoke CI step validates).
-void DumpRegistry(obs::Registry* registry, const Flags& flags) {
-  const std::string rendered = obs::RenderJson(registry->Collect());
+// written to a file (what the bench-smoke CI step validates and the
+// perf-baseline harness diffs). The metadata block identifies the run —
+// git sha, ISA dispatch tier, dataset parameters — so tools/
+// bench_compare.py can refuse apples-to-oranges comparisons.
+void DumpRegistry(obs::Registry* registry, const Flags& flags,
+                  const std::string& metadata) {
+  const std::string rendered = bench::WithBenchMetadata(
+      obs::RenderJson(registry->Collect()), metadata);
   std::printf("\nregistry snapshot (JSON):\n%s", rendered.c_str());
   const std::string path = flags.GetString("stats-json", "");
   if (path.empty()) {
@@ -321,6 +327,16 @@ int main(int argc, char** argv) {
                 "coordination overhead that throughput mode removes.\n",
                 HardwareThreads());
   }
-  DumpRegistry(&registry, flags);
+  DumpRegistry(&registry, flags,
+               bench::BenchMetadataJson(
+                   "service_throughput",
+                   {{"n_series", std::to_string(n_series)},
+                    {"n_queries", std::to_string(n_queries)},
+                    {"length", std::to_string(length)},
+                    {"k", std::to_string(k)},
+                    {"leaf_size", std::to_string(leaf_size)},
+                    {"seed", std::to_string(seed)},
+                    {"max_threads",
+                     std::to_string(max_threads_requested)}}));
   return 0;
 }

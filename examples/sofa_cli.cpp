@@ -38,6 +38,9 @@
 //                      drain on SIGTERM/SIGINT)
 //   sofa_cli stats    --stats-file=PATH [--format=pretty|prometheus|json]
 //                     (pretty-prints a JSON stats dump written by serve)
+//   sofa_cli stats    --diff BEFORE.json AFTER.json
+//                     (diffs two dumps: counters/gauges/histograms that
+//                      changed, plus instruments only in one side)
 //                     (streams the queries through the SearchService and
 //                      prints serving metrics: QPS, p50/p95/p99, pruning;
 //                      --shards reloads the per-shard files written by
@@ -421,26 +424,56 @@ bool WriteStatsFile(obs::Registry* registry, const std::string& path,
   return ok && std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
+// Loads and parses a stats JSON dump; returns false with a message on
+// stderr if the file is unreadable or not a dump.
+bool LoadStatsDump(const std::string& path,
+                   std::vector<obs::InstrumentSnapshot>* snapshot) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  if (!obs::ParseStatsJson(buffer.str(), snapshot, &error)) {
+    std::fprintf(stderr, "%s: not a stats JSON dump (%s)\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  return true;
+}
+
 // `sofa_cli stats` — pretty-prints (or re-renders) a JSON stats dump
-// written by `serve --stats-file`.
+// written by `serve --stats-file`, or diffs two of them:
+//   sofa_cli stats --diff BEFORE.json AFTER.json
 int StatsCommand(const Flags& flags) {
+  if (flags.Has("diff")) {
+    // The greedy space form binds the first file to --diff; the second
+    // arrives as a positional argument after the subcommand.
+    const std::string before_path = flags.GetString("diff", "");
+    const std::string after_path =
+        flags.positional().size() > 1 ? flags.positional()[1] : "";
+    if (before_path.empty() || after_path.empty()) {
+      std::fprintf(stderr, "usage: sofa_cli stats --diff BEFORE.json AFTER.json\n");
+      return 1;
+    }
+    std::vector<obs::InstrumentSnapshot> before;
+    std::vector<obs::InstrumentSnapshot> after;
+    if (!LoadStatsDump(before_path, &before) ||
+        !LoadStatsDump(after_path, &after)) {
+      return 1;
+    }
+    std::fputs(obs::RenderStatsDiff(before, after).c_str(), stdout);
+    return 0;
+  }
   const std::string path = flags.GetString("stats-file", "");
   if (path.empty()) {
     std::fprintf(stderr, "missing --stats-file\n");
     return 1;
   }
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
-    return 1;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
   std::vector<obs::InstrumentSnapshot> snapshot;
-  std::string error;
-  if (!obs::ParseStatsJson(buffer.str(), &snapshot, &error)) {
-    std::fprintf(stderr, "%s: not a stats JSON dump (%s)\n", path.c_str(),
-                 error.c_str());
+  if (!LoadStatsDump(path, &snapshot)) {
     return 1;
   }
   const std::string format = flags.GetString("format", "pretty");

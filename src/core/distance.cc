@@ -64,6 +64,19 @@ bool CpuSupportsAvx512() {
 #endif
 }
 
+const char* DispatchLevelName() {
+#if defined(SOFA_COMPILE_AVX512)
+  if (CpuSupportsAvx512()) {
+    return "avx512";
+  }
+#endif
+#if defined(SOFA_HAVE_AVX2)
+  return "avx2";
+#else
+  return "scalar";
+#endif
+}
+
 float SquaredEuclidean(const float* a, const float* b, std::size_t n) {
 #if defined(SOFA_COMPILE_AVX512)
   if (CpuSupportsAvx512()) {

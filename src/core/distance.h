@@ -69,6 +69,12 @@ float SquaredNorm(const float* a, std::size_t n);
 /// them; the unqualified entry points then use them.
 bool CpuSupportsAvx512();
 
+/// Name of the kernel tier the unqualified entry points dispatch to on
+/// this machine: "avx512", "avx2" or "scalar". Stable strings — bench
+/// stats dumps embed them so a perf comparison can refuse to diff runs
+/// from different ISA tiers.
+const char* DispatchLevelName();
+
 /// Best-available squared Euclidean distance.
 float SquaredEuclidean(const float* a, const float* b, std::size_t n);
 

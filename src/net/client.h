@@ -22,16 +22,38 @@
 #ifndef SOFA_NET_CLIENT_H_
 #define SOFA_NET_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/protocol.h"
+#include "obs/trace.h"
 #include "service/request.h"
 #include "util/status.h"
 
 namespace sofa {
 namespace net {
+
+/// Client-side view of a traced SEARCH round trip (request sent with
+/// collect_trace against a v2 server).
+///
+/// `server` is the server's TraceRecord exactly as the service finished
+/// it — span for span, counter for counter — decoded from the response's
+/// structured trace section. `joined` is one end-to-end timeline in the
+/// client's clock: the client spans (serialize, send, server_queue,
+/// receive, decode) plus the server's spans re-based under a "server"
+/// span. The server window is anchored by the request_id echo: the
+/// response's server-measured latency is placed inside the client's
+/// send-to-receive gap, and whatever gap remains is the server_queue
+/// span (wire + server-side framing and response queueing — everything
+/// outside the service's own measurement).
+struct WireTrace {
+  bool has_server_trace = false;
+  obs::TraceRecord server;
+  obs::TraceRecord joined;
+};
 
 class SofaClient {
  public:
@@ -48,14 +70,19 @@ class SofaClient {
   /// One k-NN round trip. Transport-ok even when the server shed or
   /// failed the query — inspect out->status. The rendered trace (when
   /// the request set collect_trace) and the server's status message come
-  /// back through the optional out-params.
+  /// back through the optional out-params. With collect_trace against a
+  /// v2 server, out->trace carries the decoded server TraceRecord and
+  /// `wire_trace` (when non-null) the client-joined timeline.
   Status Search(const service::SearchRequest& request,
                 service::SearchResponse* out,
                 std::string* trace_text = nullptr,
-                std::string* message = nullptr);
+                std::string* message = nullptr,
+                WireTrace* wire_trace = nullptr);
 
   /// Pipelined SEARCH: send without waiting. Returns the request_id to
-  /// match against ReceiveSearchResponse.
+  /// match against ReceiveSearchResponse. Traced sends (collect_trace)
+  /// record their serialize/send timing keyed by request_id, so the
+  /// joined timeline is correct even with many requests in flight.
   Status SendSearch(const service::SearchRequest& request,
                     std::uint64_t* request_id);
 
@@ -63,7 +90,8 @@ class SofaClient {
   Status ReceiveSearchResponse(std::uint64_t* request_id,
                                service::SearchResponse* out,
                                std::string* trace_text = nullptr,
-                               std::string* message = nullptr);
+                               std::string* message = nullptr,
+                               WireTrace* wire_trace = nullptr);
 
   /// Inserts one row; the value is the server-assigned global id.
   StatusOr<std::uint32_t> Insert(const std::vector<float>& row);
@@ -87,8 +115,18 @@ class SofaClient {
                    const std::vector<std::uint8_t>& payload);
   Status ReadFrame(FrameHeader* header, std::vector<std::uint8_t>* payload);
 
+  /// Send-side timing of a traced request still awaiting its response.
+  /// Times are milliseconds in the client clock, zeroed at the start of
+  /// request serialization.
+  struct SendTiming {
+    std::chrono::steady_clock::time_point origin;
+    double serialize_end_ms = 0.0;
+    double send_end_ms = 0.0;
+  };
+
   int fd_ = -1;
   std::uint64_t next_request_id_ = 1;
+  std::unordered_map<std::uint64_t, SendTiming> traced_sends_;
 };
 
 }  // namespace net

@@ -42,8 +42,11 @@ std::uint64_t GetU64(const std::uint8_t* in) {
          (static_cast<std::uint64_t>(GetU32(in + 4)) << 32);
 }
 
-// The profile travels as its 8 counters in declaration order.
-void WriteProfile(PayloadWriter* writer, const index::QueryProfile& profile) {
+// The profile travels as its counters in declaration order: 8 at
+// protocol v1, 10 at v2 (the rowq tier counters joined the struct after
+// v1 froze).
+void WriteProfile(PayloadWriter* writer, const index::QueryProfile& profile,
+                  std::uint8_t version) {
   writer->U64(profile.nodes_visited);
   writer->U64(profile.nodes_pruned);
   writer->U64(profile.leaves_collected);
@@ -52,17 +55,29 @@ void WriteProfile(PayloadWriter* writer, const index::QueryProfile& profile) {
   writer->U64(profile.series_lbd_pruned);
   writer->U64(profile.series_ed_computed);
   writer->U64(profile.candidates_filtered);
+  if (version >= 2) {
+    writer->U64(profile.rowq_checked);
+    writer->U64(profile.rowq_pruned);
+  }
 }
 
-bool ReadProfile(PayloadReader* reader, index::QueryProfile* profile) {
-  return reader->U64(&profile->nodes_visited) &&
-         reader->U64(&profile->nodes_pruned) &&
-         reader->U64(&profile->leaves_collected) &&
-         reader->U64(&profile->leaves_abandoned) &&
-         reader->U64(&profile->series_lbd_checked) &&
-         reader->U64(&profile->series_lbd_pruned) &&
-         reader->U64(&profile->series_ed_computed) &&
-         reader->U64(&profile->candidates_filtered);
+bool ReadProfile(PayloadReader* reader, index::QueryProfile* profile,
+                 std::uint8_t version) {
+  if (!(reader->U64(&profile->nodes_visited) &&
+        reader->U64(&profile->nodes_pruned) &&
+        reader->U64(&profile->leaves_collected) &&
+        reader->U64(&profile->leaves_abandoned) &&
+        reader->U64(&profile->series_lbd_checked) &&
+        reader->U64(&profile->series_lbd_pruned) &&
+        reader->U64(&profile->series_ed_computed) &&
+        reader->U64(&profile->candidates_filtered))) {
+    return false;
+  }
+  if (version >= 2) {
+    return reader->U64(&profile->rowq_checked) &&
+           reader->U64(&profile->rowq_pruned);
+  }
+  return true;
 }
 
 Status Malformed() { return ProtocolError("malformed payload"); }
@@ -88,7 +103,8 @@ Status DecodeHeader(const std::uint8_t* data, std::size_t size,
     return ProtocolError("bad magic");
   }
   out->version = data[4];
-  if (out->version != kProtocolVersion) {
+  if (out->version < kMinProtocolVersion ||
+      out->version > kProtocolVersion) {
     return ProtocolError("unsupported protocol version");
   }
   out->type = data[5];
@@ -104,9 +120,10 @@ Status DecodeHeader(const std::uint8_t* data, std::size_t size,
 
 std::vector<std::uint8_t> EncodeFrame(
     std::uint8_t type, std::uint64_t request_id,
-    const std::vector<std::uint8_t>& payload) {
+    const std::vector<std::uint8_t>& payload, std::uint8_t version) {
   SOFA_CHECK(payload.size() <= kMaxPayloadSize);
   FrameHeader header;
+  header.version = version;
   header.type = type;
   header.request_id = request_id;
   header.payload_size = static_cast<std::uint32_t>(payload.size());
@@ -324,7 +341,8 @@ Status DecodeSearchRequest(const std::uint8_t* data, std::size_t size,
 
 std::vector<std::uint8_t> EncodeSearchResponse(
     const service::SearchResponse& response, const Status& status,
-    const std::string& trace_text) {
+    const std::string& trace_text, const std::string& trace_blob,
+    std::uint8_t version) {
   PayloadWriter writer;
   WriteStatus(&writer, status);
   writer.U64(response.index_version);
@@ -334,14 +352,18 @@ std::vector<std::uint8_t> EncodeSearchResponse(
     writer.U32(neighbor.id);
     writer.F32(neighbor.distance);
   }
-  WriteProfile(&writer, response.profile);
+  WriteProfile(&writer, response.profile, version);
   writer.String(trace_text);
+  if (version >= 2) {
+    writer.String(trace_blob);  // empty = no structured trace
+  }
   return writer.Take();
 }
 
 Status DecodeSearchResponse(const std::uint8_t* data, std::size_t size,
                             service::SearchResponse* out,
-                            std::string* message, std::string* trace_text) {
+                            std::string* message, std::string* trace_text,
+                            std::string* trace_blob, std::uint8_t version) {
   PayloadReader reader(data, size);
   Status status;
   std::uint32_t count;
@@ -359,8 +381,22 @@ Status DecodeSearchResponse(const std::uint8_t* data, std::size_t size,
       return Malformed();
     }
   }
-  if (!ReadProfile(&reader, &out->profile) || !reader.String(trace_text) ||
-      !reader.AtEnd()) {
+  if (!ReadProfile(&reader, &out->profile, version) ||
+      !reader.String(trace_text)) {
+    return Malformed();
+  }
+  if (version >= 2) {
+    std::string blob;
+    if (!reader.String(&blob)) {
+      return Malformed();
+    }
+    if (trace_blob != nullptr) {
+      *trace_blob = std::move(blob);
+    }
+  } else if (trace_blob != nullptr) {
+    trace_blob->clear();
+  }
+  if (!reader.AtEnd()) {
     return Malformed();
   }
   return OkStatus();

@@ -7,7 +7,7 @@
 //
 //   offset  size  field
 //   0       4     magic 0x41464F53 ("SOFA" as LE bytes)
-//   4       1     version (kProtocolVersion)
+//   4       1     version (kMinProtocolVersion..kProtocolVersion)
 //   5       1     type (MessageType; responses set kResponseBit)
 //   6       2     flags (reserved, 0)
 //   8       8     request_id (echoed verbatim in the response)
@@ -38,7 +38,14 @@ namespace sofa {
 namespace net {
 
 constexpr std::uint32_t kMagic = 0x41464F53u;  // "SOFA" little-endian
-constexpr std::uint8_t kProtocolVersion = 1;
+
+/// v1: original frame set. v2: SEARCH responses carry the full
+/// 10-counter profile (rowq tier included) plus the serialized trace
+/// blob (obs/trace_serde.h). Servers accept both versions and answer
+/// each request at the version it arrived with; clients speak the
+/// newest. See docs/PROTOCOL.md, "Versioning".
+constexpr std::uint8_t kProtocolVersion = 2;
+constexpr std::uint8_t kMinProtocolVersion = 1;
 constexpr std::size_t kHeaderSize = 24;
 
 /// Refuse absurd frames before allocating: queries and stats dumps fit
@@ -84,15 +91,18 @@ struct FrameHeader {
 /// Serializes `header` into exactly kHeaderSize bytes at `out`.
 void EncodeHeader(const FrameHeader& header, std::uint8_t* out);
 
-/// Parses and validates a header (magic, version, payload bound).
-/// `size` must be at least kHeaderSize.
+/// Parses and validates a header (magic, supported version range,
+/// payload bound). `size` must be at least kHeaderSize; out->version
+/// reports the peer's actual version (1 or 2).
 Status DecodeHeader(const std::uint8_t* data, std::size_t size,
                     FrameHeader* out);
 
-/// One complete frame: header (with computed CRC) + payload.
+/// One complete frame: header (with computed CRC) + payload. `version`
+/// lets a server answer a v1 peer with v1 frames.
 std::vector<std::uint8_t> EncodeFrame(std::uint8_t type,
                                       std::uint64_t request_id,
-                                      const std::vector<std::uint8_t>& payload);
+                                      const std::vector<std::uint8_t>& payload,
+                                      std::uint8_t version = kProtocolVersion);
 
 /// CRC check of a received payload against its header.
 Status VerifyPayload(const FrameHeader& header, const std::uint8_t* payload,
@@ -161,13 +171,21 @@ Status DecodeSearchRequest(const std::uint8_t* data, std::size_t size,
                            service::SearchRequest* out);
 
 /// SEARCH response: status + message, index_version, latency_ms,
-/// neighbors, optional profile, rendered trace text.
+/// neighbors, profile, rendered trace text. At `version` >= 2 the
+/// profile includes the rowq tier counters and the payload ends with a
+/// structured trace section: `trace_blob` is a SerializeTraceRecord
+/// blob, or empty for "no trace" (obs/trace_serde.h). At version 1 the
+/// layout is byte-identical to the original protocol — the rowq
+/// counters and the blob never reach a v1 peer.
 std::vector<std::uint8_t> EncodeSearchResponse(
     const service::SearchResponse& response, const Status& status,
-    const std::string& trace_text);
+    const std::string& trace_text, const std::string& trace_blob = std::string(),
+    std::uint8_t version = kProtocolVersion);
 Status DecodeSearchResponse(const std::uint8_t* data, std::size_t size,
                             service::SearchResponse* out,
-                            std::string* message, std::string* trace_text);
+                            std::string* message, std::string* trace_text,
+                            std::string* trace_blob = nullptr,
+                            std::uint8_t version = kProtocolVersion);
 
 /// INSERT request: the row. Response: status + message + assigned id.
 std::vector<std::uint8_t> EncodeInsertRequest(const std::vector<float>& row);

@@ -13,6 +13,7 @@
 
 #include "obs/exposition.h"
 #include "obs/trace.h"
+#include "obs/trace_serde.h"
 #include "util/check.h"
 
 namespace sofa {
@@ -218,15 +219,20 @@ void SofaServer::WriterLoop(Connection* conn) {
       // responses ordered per connection while requests pipeline.
       service::SearchResponse response = reply.future.get();
       std::string trace_text;
+      std::string trace_blob;
       if (reply.collect_trace && response.trace != nullptr) {
         trace_text = obs::FormatTrace(*response.trace);
+        if (reply.version >= 2) {
+          trace_blob = obs::SerializeTraceRecord(*response.trace);
+        }
       }
-      reply.payload = EncodeSearchResponse(
-          response, Status(response.status), trace_text);
+      reply.payload =
+          EncodeSearchResponse(response, Status(response.status), trace_text,
+                               trace_blob, reply.version);
     }
     if (send_ok) {
-      const std::vector<std::uint8_t> frame =
-          EncodeFrame(reply.type, reply.request_id, reply.payload);
+      const std::vector<std::uint8_t> frame = EncodeFrame(
+          reply.type, reply.request_id, reply.payload, reply.version);
       if (SendAll(conn->fd, frame.data(), frame.size())) {
         frames_sent_.fetch_add(1, std::memory_order_relaxed);
       } else {
@@ -252,6 +258,7 @@ SofaServer::PendingReply SofaServer::Dispatch(
       PendingReply reply;
       reply.request_id = header.request_id;
       reply.type = header.type | kResponseBit;
+      reply.version = header.version;
       service::SearchRequest request;
       const Status decoded =
           DecodeSearchRequest(payload.data(), payload.size(), &request);
@@ -259,8 +266,8 @@ SofaServer::PendingReply SofaServer::Dispatch(
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
         const Status status =
             decoded.ok() ? InvalidArgumentError("k must be >= 1") : decoded;
-        reply.payload =
-            EncodeSearchResponse(service::SearchResponse{}, status, "");
+        reply.payload = EncodeSearchResponse(service::SearchResponse{}, status,
+                                             "", "", header.version);
         return reply;
       }
       reply.is_search = true;
@@ -281,6 +288,7 @@ SofaServer::PendingReply SofaServer::Dispatch(
       PendingReply reply;
       reply.request_id = header.request_id;
       reply.type = header.type | kResponseBit;
+      reply.version = header.version;
       PayloadWriter writer;
       WriteStatus(&writer, ProtocolError("unknown message type"));
       reply.payload = writer.Take();
@@ -294,6 +302,7 @@ SofaServer::PendingReply SofaServer::HandleInsert(
   PendingReply reply;
   reply.request_id = header.request_id;
   reply.type = header.type | kResponseBit;
+  reply.version = header.version;
   std::vector<float> row;
   const Status decoded =
       DecodeInsertRequest(payload.data(), payload.size(), &row);
@@ -319,6 +328,7 @@ SofaServer::PendingReply SofaServer::HandleDelete(
   PendingReply reply;
   reply.request_id = header.request_id;
   reply.type = header.type | kResponseBit;
+  reply.version = header.version;
   std::uint32_t id = 0;
   const Status decoded =
       DecodeDeleteRequest(payload.data(), payload.size(), &id);
@@ -341,6 +351,7 @@ SofaServer::PendingReply SofaServer::HandleStats(
   PendingReply reply;
   reply.request_id = header.request_id;
   reply.type = header.type | kResponseBit;
+  reply.version = header.version;
   StatsFormat format = StatsFormat::kJson;
   const Status decoded =
       DecodeStatsRequest(payload.data(), payload.size(), &format);
@@ -371,6 +382,7 @@ SofaServer::PendingReply SofaServer::HandleAdmin(
   PendingReply reply;
   reply.request_id = header.request_id;
   reply.type = header.type | kResponseBit;
+  reply.version = header.version;
   AdminOp op = AdminOp::kSwap;
   const Status decoded =
       DecodeAdminRequest(payload.data(), payload.size(), &op);

@@ -117,6 +117,9 @@ class SofaServer {
   struct PendingReply {
     std::uint64_t request_id = 0;
     std::uint8_t type = 0;  // response wire type (request | kResponseBit)
+    // Protocol version of the request; the response is framed and
+    // encoded at the same version (a v1 client never sees v2 bytes).
+    std::uint8_t version = kProtocolVersion;
     bool is_search = false;
     std::vector<std::uint8_t> payload;  // ready replies
     std::future<service::SearchResponse> future;  // search replies

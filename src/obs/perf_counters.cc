@@ -1,0 +1,152 @@
+#include "obs/perf_counters.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace sofa {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_force_fallback{false};
+
+// Field slots of PerfSample, in open order.
+enum EventKind { kCycles = 0, kInstructions, kLlcMisses, kStalledCycles };
+
+std::uint64_t FallbackTicks() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+#if defined(__linux__)
+int OpenEvent(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;  // lower perf_event_paranoid requirement
+  attr.exclude_hv = 1;
+  // pid=0, cpu=-1: this thread, wherever it runs.
+  return static_cast<int>(
+      syscall(__NR_perf_event_open, &attr, 0, -1, -1, 0));
+}
+#endif
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  for (int i = 0; i < kMaxEvents; ++i) {
+    fds_[i] = -1;
+    kind_[i] = 0;
+  }
+#if defined(__linux__)
+  if (!g_force_fallback.load(std::memory_order_relaxed)) {
+    struct {
+      int kind;
+      std::uint64_t config;
+    } const events[kMaxEvents] = {
+        {kCycles, PERF_COUNT_HW_CPU_CYCLES},
+        {kInstructions, PERF_COUNT_HW_INSTRUCTIONS},
+        {kLlcMisses, PERF_COUNT_HW_CACHE_MISSES},
+        {kStalledCycles, PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+    };
+    for (const auto& event : events) {
+      const int fd = OpenEvent(PERF_TYPE_HARDWARE, event.config);
+      if (fd >= 0) {
+        fds_[num_events_] = fd;
+        kind_[num_events_] = event.kind;
+        ++num_events_;
+      }
+      // A denied event is simply absent — partial sets are fine.
+    }
+  }
+#endif
+}
+
+PerfCounters::~PerfCounters() {
+#if defined(__linux__)
+  for (int i = 0; i < num_events_; ++i) {
+    close(fds_[i]);
+  }
+#endif
+}
+
+void PerfCounters::Start() {
+  if (num_events_ == 0) {
+    fallback_start_ = FallbackTicks();
+    return;
+  }
+#if defined(__linux__)
+  for (int i = 0; i < num_events_; ++i) {
+    ioctl(fds_[i], PERF_EVENT_IOC_RESET, 0);
+    ioctl(fds_[i], PERF_EVENT_IOC_ENABLE, 0);
+  }
+#endif
+}
+
+PerfSample PerfCounters::Stop() {
+  PerfSample sample;
+  if (num_events_ == 0) {
+    sample.cycles = FallbackTicks() - fallback_start_;
+    sample.hardware = false;
+    return sample;
+  }
+#if defined(__linux__)
+  sample.hardware = true;
+  for (int i = 0; i < num_events_; ++i) {
+    ioctl(fds_[i], PERF_EVENT_IOC_DISABLE, 0);
+    std::uint64_t value = 0;
+    if (read(fds_[i], &value, sizeof(value)) != sizeof(value)) {
+      continue;  // counter stays 0; never fail the query
+    }
+    switch (kind_[i]) {
+      case kCycles:
+        sample.cycles = value;
+        break;
+      case kInstructions:
+        sample.instructions = value;
+        break;
+      case kLlcMisses:
+        sample.llc_misses = value;
+        break;
+      case kStalledCycles:
+        sample.stalled_cycles = value;
+        break;
+    }
+  }
+#endif
+  return sample;
+}
+
+PerfCounters& PerfCounters::ForCurrentThread() {
+  thread_local PerfCounters instance;
+  return instance;
+}
+
+void PerfCounters::ForceFallback(bool on) {
+  g_force_fallback.store(on, std::memory_order_relaxed);
+}
+
+bool PerfCounters::fallback_forced() {
+  return g_force_fallback.load(std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace sofa

@@ -45,6 +45,7 @@ int QueryTrace::AllocateSpan(const char* name, int parent) {
   span.parent = parent;
   span.start_ms = 0.0;
   span.end_ms = 0.0;
+  span.perf = SpanPerf{};
   return static_cast<int>(slot);
 }
 
@@ -55,6 +56,13 @@ void QueryTrace::StampSpan(int span, double start_ms, double end_ms) {
   TraceSpan& slot = spans_[static_cast<std::size_t>(span)];
   slot.start_ms = start_ms;
   slot.end_ms = end_ms;
+}
+
+void QueryTrace::StampSpanPerf(int span, const SpanPerf& perf) {
+  if (span < 0) {
+    return;
+  }
+  spans_[static_cast<std::size_t>(span)].perf = perf;
 }
 
 void QueryTrace::AddCounter(const char* name, std::uint64_t value) {
@@ -90,9 +98,20 @@ std::string FormatTrace(const TraceRecord& record) {
          p = record.spans[static_cast<std::size_t>(p)].parent) {
       ++depth;
     }
-    std::snprintf(line, sizeof(line), "  %*s[%9.3f .. %9.3f] %s\n",
+    std::snprintf(line, sizeof(line), "  %*s[%9.3f .. %9.3f] %s",
                   depth * 2, "", span.start_ms, span.end_ms, span.name);
     out += line;
+    if (span.perf.Any()) {
+      std::snprintf(line, sizeof(line),
+                    " (cyc=%llu ins=%llu llc=%llu stall=%llu%s)",
+                    static_cast<unsigned long long>(span.perf.cycles),
+                    static_cast<unsigned long long>(span.perf.instructions),
+                    static_cast<unsigned long long>(span.perf.llc_misses),
+                    static_cast<unsigned long long>(span.perf.stalled_cycles),
+                    span.perf.hardware ? "" : " tsc");
+      out += line;
+    }
+    out += "\n";
   }
   if (!record.counters.empty()) {
     out += "  counters:";

@@ -24,14 +24,33 @@
 namespace sofa {
 namespace obs {
 
-/// One timed stage. `name` must point at a string literal (spans are
-/// recorded on the hot path; no ownership, no copies). Times are
-/// milliseconds relative to the trace origin.
+/// Hardware-counter sample attached to a span (obs::PerfCounters). All
+/// zero when the span was not perf-sampled; `hardware` distinguishes a
+/// real perf_event_open reading from the rdtsc/clock fallback (where
+/// only `cycles` is meaningful).
+struct SpanPerf {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t stalled_cycles = 0;
+  bool hardware = false;
+
+  bool Any() const {
+    return cycles != 0 || instructions != 0 || llc_misses != 0 ||
+           stalled_cycles != 0;
+  }
+};
+
+/// One timed stage. `name` must point at a string literal or an interned
+/// string (see trace_serde.h) — spans are recorded on the hot path; no
+/// ownership, no copies. Times are milliseconds relative to the trace
+/// origin.
 struct TraceSpan {
   const char* name = "";
   int parent = -1;  // index of the enclosing span, -1 for top level
   double start_ms = 0.0;
   double end_ms = 0.0;
+  SpanPerf perf;
 };
 
 /// A work counter attached to a finished trace (QueryProfile values).
@@ -76,6 +95,10 @@ class QueryTrace {
   /// Fills a reserved slot. Each slot must be stamped by exactly one
   /// thread; times are NowMs()-relative milliseconds.
   void StampSpan(int span, double start_ms, double end_ms);
+
+  /// Attaches a hardware-counter sample to a reserved slot. Same
+  /// ownership rule as StampSpan: one thread per slot, never races.
+  void StampSpanPerf(int span, const SpanPerf& perf);
 
   /// Attaches a named work counter (e.g. QueryProfile fields).
   void AddCounter(const char* name, std::uint64_t value);

@@ -1,0 +1,235 @@
+#include "obs/trace_serde.h"
+
+#include <cstring>
+#include <mutex>
+#include <unordered_set>
+
+namespace sofa {
+namespace obs {
+namespace {
+
+// ---- little-endian primitives over std::string ----------------------
+
+void PutU8(std::string* out, std::uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, std::uint16_t v) {
+  PutU8(out, static_cast<std::uint8_t>(v));
+  PutU8(out, static_cast<std::uint8_t>(v >> 8));
+}
+
+void PutU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    PutU8(out, static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    PutU8(out, static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutF64(std::string* out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutName(std::string* out, const char* name) {
+  const std::size_t len = name != nullptr ? std::strlen(name) : 0;
+  const std::uint16_t clamped =
+      len > 0xFFFF ? 0xFFFF : static_cast<std::uint16_t>(len);
+  PutU16(out, clamped);
+  out->append(name, clamped);
+}
+
+/// Bounds-checked cursor, same failure-threading idiom as
+/// net::PayloadReader (which this module cannot depend on — obs sits
+/// below net in the layering).
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool U8(std::uint8_t* v) { return Raw(v, 1); }
+
+  bool U16(std::uint16_t* v) {
+    std::uint8_t b[2];
+    if (!Raw(b, 2)) return false;
+    *v = static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+    return true;
+  }
+
+  bool U32(std::uint32_t* v) {
+    std::uint8_t b[4];
+    if (!Raw(b, 4)) return false;
+    *v = 0;
+    for (int i = 3; i >= 0; --i) {
+      *v = (*v << 8) | b[i];
+    }
+    return true;
+  }
+
+  bool U64(std::uint64_t* v) {
+    std::uint8_t b[8];
+    if (!Raw(b, 8)) return false;
+    *v = 0;
+    for (int i = 7; i >= 0; --i) {
+      *v = (*v << 8) | b[i];
+    }
+    return true;
+  }
+
+  bool F64(double* v) {
+    std::uint64_t bits = 0;
+    if (!U64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+  bool Name(std::string* s) {
+    std::uint16_t len = 0;
+    if (!U16(&len) || size_ - pos_ < len) {
+      pos_ = size_ + 1;
+      return false;
+    }
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  bool Raw(void* out, std::size_t n) {
+    if (pos_ > size_ || size_ - pos_ < n) {
+      pos_ = size_ + 1;  // poison
+      return false;
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* InternTraceName(const std::string& name) {
+  static std::mutex mutex;
+  // unordered_set<std::string> never moves a stored string's buffer on
+  // rehash (nodes are stable), so c_str() pointers live forever.
+  static std::unordered_set<std::string>* table =
+      new std::unordered_set<std::string>();
+  std::lock_guard<std::mutex> lock(mutex);
+  return table->insert(name).first->c_str();
+}
+
+std::string SerializeTraceRecord(const TraceRecord& record) {
+  std::string out;
+  out.reserve(64 + record.spans.size() * 64 + record.counters.size() * 32);
+  PutU16(&out, kTraceEncodingVersion);
+  PutU64(&out, record.query_id);
+  PutF64(&out, record.total_ms);
+  PutU8(&out, record.deadline_expired ? 1 : 0);
+
+  const std::size_t span_count =
+      record.spans.size() > 0xFFFF ? 0xFFFF : record.spans.size();
+  PutU16(&out, static_cast<std::uint16_t>(span_count));
+  for (std::size_t i = 0; i < span_count; ++i) {
+    const TraceSpan& span = record.spans[i];
+    PutName(&out, span.name);
+    PutU32(&out, static_cast<std::uint32_t>(span.parent));
+    PutF64(&out, span.start_ms);
+    PutF64(&out, span.end_ms);
+    PutU64(&out, span.perf.cycles);
+    PutU64(&out, span.perf.instructions);
+    PutU64(&out, span.perf.llc_misses);
+    PutU64(&out, span.perf.stalled_cycles);
+    PutU8(&out, span.perf.hardware ? 1 : 0);
+  }
+
+  const std::size_t counter_count =
+      record.counters.size() > 0xFFFF ? 0xFFFF : record.counters.size();
+  PutU16(&out, static_cast<std::uint16_t>(counter_count));
+  for (std::size_t i = 0; i < counter_count; ++i) {
+    PutName(&out, record.counters[i].name);
+    PutU64(&out, record.counters[i].value);
+  }
+  return out;
+}
+
+bool DeserializeTraceRecord(const std::string& blob, TraceRecord* out) {
+  Cursor cursor(reinterpret_cast<const std::uint8_t*>(blob.data()),
+                blob.size());
+  std::uint16_t version = 0;
+  if (!cursor.U16(&version) || version != kTraceEncodingVersion) {
+    return false;
+  }
+
+  TraceRecord record;
+  std::uint8_t expired = 0;
+  if (!cursor.U64(&record.query_id) || !cursor.F64(&record.total_ms) ||
+      !cursor.U8(&expired)) {
+    return false;
+  }
+  record.deadline_expired = expired != 0;
+
+  std::uint16_t span_count = 0;
+  if (!cursor.U16(&span_count)) {
+    return false;
+  }
+  record.spans.reserve(span_count);
+  std::string name;
+  for (std::uint16_t i = 0; i < span_count; ++i) {
+    TraceSpan span;
+    std::uint32_t parent = 0;
+    std::uint8_t hardware = 0;
+    if (!cursor.Name(&name) || !cursor.U32(&parent) ||
+        !cursor.F64(&span.start_ms) || !cursor.F64(&span.end_ms) ||
+        !cursor.U64(&span.perf.cycles) ||
+        !cursor.U64(&span.perf.instructions) ||
+        !cursor.U64(&span.perf.llc_misses) ||
+        !cursor.U64(&span.perf.stalled_cycles) || !cursor.U8(&hardware)) {
+      return false;
+    }
+    span.name = InternTraceName(name);
+    span.parent = static_cast<int>(parent);
+    // A parent must precede its child (allocation order); anything else
+    // is a corrupt blob, and would send FormatTrace's depth walk into
+    // out-of-range indexing.
+    if (span.parent < -1 || span.parent >= static_cast<int>(i)) {
+      return false;
+    }
+    span.perf.hardware = hardware != 0;
+    record.spans.push_back(span);
+  }
+
+  std::uint16_t counter_count = 0;
+  if (!cursor.U16(&counter_count)) {
+    return false;
+  }
+  record.counters.reserve(counter_count);
+  for (std::uint16_t i = 0; i < counter_count; ++i) {
+    TraceCounterSample counter;
+    if (!cursor.Name(&name) || !cursor.U64(&counter.value)) {
+      return false;
+    }
+    counter.name = InternTraceName(name);
+    record.counters.push_back(counter);
+  }
+
+  if (!cursor.AtEnd()) {
+    return false;
+  }
+  *out = std::move(record);
+  return true;
+}
+
+}  // namespace obs
+}  // namespace sofa

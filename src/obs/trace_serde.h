@@ -1,0 +1,51 @@
+// Binary serialization of a finished TraceRecord — the form in which a
+// server's QueryTrace crosses the wire (net/protocol embeds the blob as
+// an opaque length-prefixed section of the v2 SEARCH response).
+//
+// The encoding is versioned independently of the network protocol: the
+// blob leads with a u16 trace-format version, and a decoder that sees a
+// version it does not understand returns false without consuming
+// anything — callers treat that as "no trace", never as an error, so a
+// newer server can evolve the trace format without breaking older
+// clients (see docs/PROTOCOL.md, "Trace payload section").
+//
+// TraceSpan::name is a `const char*` with string-literal lifetime; a
+// decoded record cannot point into the transient blob, so names are
+// interned: InternTraceName returns a process-lifetime pointer, and
+// names already known (the engine's own stage names) deserialize to the
+// exact same pointer every time. The intern table is append-only and
+// bounded by the variety of span names, not by trace volume.
+
+#ifndef SOFA_OBS_TRACE_SERDE_H_
+#define SOFA_OBS_TRACE_SERDE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace sofa {
+namespace obs {
+
+/// Current trace blob format. Bump on any layout change.
+constexpr std::uint16_t kTraceEncodingVersion = 1;
+
+/// Serializes `record` into a self-contained blob (little-endian,
+/// leading u16 format version).
+std::string SerializeTraceRecord(const TraceRecord& record);
+
+/// Decodes a blob produced by SerializeTraceRecord. Returns false — and
+/// leaves `out` untouched — on an unknown format version, a truncated
+/// blob, trailing bytes, or an out-of-range parent index. Span and
+/// counter names are interned (process lifetime).
+bool DeserializeTraceRecord(const std::string& blob, TraceRecord* out);
+
+/// Returns a stable, process-lifetime pointer for `name`; repeated calls
+/// with equal strings return the same pointer. Thread-safe.
+const char* InternTraceName(const std::string& name);
+
+}  // namespace obs
+}  // namespace sofa
+
+#endif  // SOFA_OBS_TRACE_SERDE_H_

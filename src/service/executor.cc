@@ -66,13 +66,23 @@ void RunTasks(std::vector<QueryTask>* tasks, ThreadPool* pool,
       }
       QueryTask& task = (*tasks)[t];
       SOFA_DCHECK(task.result != nullptr);
-      const double span_start =
-          task.trace != nullptr ? task.trace->NowMs() : 0.0;
-      ExecuteTask(&task, default_index);
       if (task.trace != nullptr) {
+        // Traced tasks are bracketed by this worker's hardware counters
+        // (one thread_local perf group, opened once per worker thread),
+        // so cycles/instructions/LLC-miss attribution is exact per scan
+        // span. Untraced tasks skip all of it — the hot path stays one
+        // branch.
+        obs::PerfCounters& perf = obs::PerfCounters::ForCurrentThread();
+        const double span_start = task.trace->NowMs();
+        perf.Start();
+        ExecuteTask(&task, default_index);
+        task.perf = perf.Stop();
         // Expired tasks stamp a zero-length span at pickup time — the
         // timeline then shows where the deadline cut the scatter.
         task.trace->StampSpan(task.span, span_start, task.trace->NowMs());
+        task.trace->StampSpanPerf(task.span, task.perf);
+      } else {
+        ExecuteTask(&task, default_index);
       }
     }
   });

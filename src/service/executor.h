@@ -21,6 +21,7 @@
 #include "core/neighbor.h"
 #include "index/tree_index.h"
 #include "ingest/insert_buffer.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 
@@ -65,6 +66,14 @@ struct QueryTask {
   /// stamping never races.
   obs::QueryTrace* trace = nullptr;
   int span = -1;
+
+  /// Output: hardware counters of this task's execution window (traced
+  /// tasks only — untraced tasks skip sampling entirely). Also stamped
+  /// onto the trace span; the service aggregates it into the
+  /// sofa_query_stage_{cycles,instructions,llc_misses,stalled_cycles}
+  /// histograms. `perf.hardware == false` means the rdtsc fallback
+  /// (perf_event_open denied — containers, CI).
+  obs::PerfSample perf;
 };
 
 /// Answers all tasks exactly, parallel across queries: `num_workers` pool

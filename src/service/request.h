@@ -9,9 +9,10 @@
 //     transports and round-trip through net::EncodeSearchRequest /
 //     DecodeSearchRequest bit-for-bit;
 //   * in-process-only fields — the absolute steady_clock `deadline`, the
-//     response's shared TraceRecord handle — never cross the wire (the
-//     server derives the absolute deadline from deadline_ms at
-//     admission; traces travel as rendered text).
+//     response's shared TraceRecord handle — never serialized directly
+//     (the server derives the absolute deadline from deadline_ms at
+//     admission; traces travel as rendered text plus, at protocol v2, a
+//     structured blob the client decodes back into a TraceRecord).
 //
 // Outcomes use the library-wide StatusCode taxonomy (util/status.h), so
 // a network client sees exactly the statuses an embedder does.
@@ -123,7 +124,9 @@ struct SearchResponse {
   // ---- in-process only ----
 
   /// Span timeline of this query; non-null only when the request set
-  /// collect_trace. The network path transports it as rendered text
+  /// collect_trace. In-process it is the service's own record; a
+  /// SofaClient against a v2 server fills it with the decoded wire copy
+  /// (span-for-span identical). v1 responses transport rendered text
   /// (obs::FormatTrace), not as this structure.
   std::shared_ptr<const obs::TraceRecord> trace;
 };

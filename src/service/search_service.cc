@@ -144,6 +144,36 @@ SearchService::SearchService(std::shared_ptr<const IndexSnapshot> snapshot,
       kStage, stage_options, {{"stage", "merge"}}, kStageHelp);
   stage_search_ = registry->GetHistogram(
       kStage, stage_options, {{"stage", "search"}}, kStageHelp);
+  // Hardware-counter attribution of the executor-run stages. Counts per
+  // scan span range from a handful (tiny buffers) to billions of cycles,
+  // hence the wide geometry.
+  obs::HistogramOptions perf_options;
+  perf_options.min_value = 1.0;
+  perf_options.max_value = 1e12;
+  perf_options.buckets_per_decade = 5;
+  struct {
+    StagePerfHistograms* slot;
+    const char* stage;
+  } const perf_stages[] = {{&perf_shard_scan_, "shard_scan"},
+                           {&perf_buffer_scan_, "buffer_scan"},
+                           {&perf_search_, "search"}};
+  for (const auto& entry : perf_stages) {
+    entry.slot->cycles = registry->GetHistogram(
+        "sofa_query_stage_cycles", perf_options, {{"stage", entry.stage}},
+        "CPU cycles per traced stage execution (rdtsc fallback when "
+        "perf_event_open is unavailable)");
+    entry.slot->instructions = registry->GetHistogram(
+        "sofa_query_stage_instructions", perf_options,
+        {{"stage", entry.stage}},
+        "Retired instructions per traced stage execution");
+    entry.slot->llc_misses = registry->GetHistogram(
+        "sofa_query_stage_llc_misses", perf_options, {{"stage", entry.stage}},
+        "Last-level-cache misses per traced stage execution");
+    entry.slot->stalled_cycles = registry->GetHistogram(
+        "sofa_query_stage_stalled_cycles", perf_options,
+        {{"stage", entry.stage}},
+        "Backend-stalled cycles per traced stage execution");
+  }
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
@@ -618,6 +648,14 @@ obs::Histogram* SearchService::StageHistogram(const char* span_name) {
   return nullptr;
 }
 
+const SearchService::StagePerfHistograms* SearchService::StagePerf(
+    const char* span_name) const {
+  if (span_name == kSpanShardScan) return &perf_shard_scan_;
+  if (span_name == kSpanBufferScan) return &perf_buffer_scan_;
+  if (span_name == kSpanSearch) return &perf_search_;
+  return nullptr;
+}
+
 void SearchService::FinishTrace(PendingRequest* pending,
                                 SearchResponse* response) {
   obs::QueryTrace& trace = *pending->trace;
@@ -641,6 +679,22 @@ void SearchService::FinishTrace(PendingRequest* pending,
     obs::Histogram* histogram = StageHistogram(span.name);
     if (histogram != nullptr) {
       histogram->Record(std::max(0.0, span.end_ms - span.start_ms));
+    }
+    if (span.perf.Any()) {
+      const StagePerfHistograms* perf = StagePerf(span.name);
+      if (perf != nullptr) {
+        // Fallback samples (hardware == false) carry a meaningful tsc
+        // cycle delta but zeros elsewhere — the zeros stay out of the
+        // instruction/cache histograms so they never skew percentiles.
+        perf->cycles->Record(static_cast<double>(span.perf.cycles));
+        if (span.perf.hardware) {
+          perf->instructions->Record(
+              static_cast<double>(span.perf.instructions));
+          perf->llc_misses->Record(static_cast<double>(span.perf.llc_misses));
+          perf->stalled_cycles->Record(
+              static_cast<double>(span.perf.stalled_cycles));
+        }
+      }
     }
   }
   if (config_.trace.slow_query_ms > 0.0 &&

@@ -210,6 +210,17 @@ class SearchService {
   /// when requested. Must run before the response promise resolves.
   void FinishTrace(PendingRequest* pending, SearchResponse* response);
   obs::Histogram* StageHistogram(const char* span_name);
+
+  /// Hardware-counter histograms of one executor-run stage
+  /// (sofa_query_stage_{cycles,instructions,llc_misses,stalled_cycles}).
+  struct StagePerfHistograms {
+    obs::Histogram* cycles = nullptr;
+    obs::Histogram* instructions = nullptr;
+    obs::Histogram* llc_misses = nullptr;
+    obs::Histogram* stalled_cycles = nullptr;
+  };
+  const StagePerfHistograms* StagePerf(const char* span_name) const;
+
   static double ElapsedMs(std::chrono::steady_clock::time_point since);
 
   ThreadPool* pool_;
@@ -226,6 +237,11 @@ class SearchService {
   obs::Histogram* stage_buffer_scan_ = nullptr;
   obs::Histogram* stage_merge_ = nullptr;
   obs::Histogram* stage_search_ = nullptr;
+  // Perf attribution of the executor-run scan stages (the spans the
+  // workers bracket with obs::PerfCounters).
+  StagePerfHistograms perf_shard_scan_;
+  StagePerfHistograms perf_buffer_scan_;
+  StagePerfHistograms perf_search_;
 
   std::mutex shutdown_mutex_;  // serializes Shutdown() callers
   mutable std::mutex mutex_;

@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -65,7 +66,7 @@ TEST(WireProtocolTest, FrameLayoutGolden) {
   ASSERT_EQ(frame.size(), kHeaderSize + payload.size());
   const std::uint8_t expected_head[20] = {
       0x53, 0x4F, 0x46, 0x41,  // magic "SOFA"
-      0x01,                    // protocol version
+      0x02,                    // protocol version
       0x01,                    // type = SEARCH request
       0x00, 0x00,              // flags (reserved)
       0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // request_id, LE
@@ -86,6 +87,20 @@ TEST(WireProtocolTest, FrameLayoutGolden) {
   EXPECT_EQ(header.request_id, 0x1122334455667788ull);
   EXPECT_EQ(header.payload_size, 3u);
   EXPECT_TRUE(VerifyPayload(header, frame.data() + kHeaderSize, 3).ok());
+}
+
+TEST(WireProtocolTest, Version1FramesStillDecode) {
+  // Compatibility floor: a v1 peer's frames must keep decoding, with the
+  // actual version reported so the responder can answer in kind.
+  const std::vector<std::uint8_t> payload = {0x01, 0x02};
+  const std::vector<std::uint8_t> frame =
+      EncodeFrame(static_cast<std::uint8_t>(MessageType::kSearch), 7, payload,
+                  /*version=*/1);
+  EXPECT_EQ(frame[4], 0x01);
+  FrameHeader header;
+  ASSERT_TRUE(DecodeHeader(frame.data(), frame.size(), &header).ok());
+  EXPECT_EQ(header.version, 1);
+  EXPECT_TRUE(VerifyPayload(header, frame.data() + kHeaderSize, 2).ok());
 }
 
 TEST(WireProtocolTest, SearchRequestPayloadGolden) {
@@ -134,13 +149,15 @@ TEST(WireProtocolTest, SearchResponseRoundTripsEveryWireField) {
   response.index_version = 42;
   response.profile.nodes_visited = 11;
   response.profile.series_ed_computed = 101;
+  response.profile.rowq_checked = 55;
+  response.profile.rowq_pruned = 44;
   const std::vector<std::uint8_t> payload =
-      EncodeSearchResponse(response, OkStatus(), "trace text");
+      EncodeSearchResponse(response, OkStatus(), "trace text", "blob!");
 
   service::SearchResponse decoded;
-  std::string message, trace;
+  std::string message, trace, blob;
   ASSERT_TRUE(DecodeSearchResponse(payload.data(), payload.size(), &decoded,
-                                   &message, &trace)
+                                   &message, &trace, &blob)
                   .ok());
   EXPECT_EQ(decoded.status, StatusCode::kOk);
   EXPECT_TRUE(BitIdentical(decoded.neighbors, response.neighbors));
@@ -148,8 +165,42 @@ TEST(WireProtocolTest, SearchResponseRoundTripsEveryWireField) {
   EXPECT_EQ(decoded.index_version, 42u);
   EXPECT_EQ(decoded.profile.nodes_visited, 11u);
   EXPECT_EQ(decoded.profile.series_ed_computed, 101u);
+  EXPECT_EQ(decoded.profile.rowq_checked, 55u);
+  EXPECT_EQ(decoded.profile.rowq_pruned, 44u);
   EXPECT_EQ(trace, "trace text");
+  EXPECT_EQ(blob, "blob!");
   EXPECT_TRUE(message.empty());
+}
+
+TEST(WireProtocolTest, SearchResponseVersion1KeepsTheFrozenLayout) {
+  // A v1 peer gets exactly the original bytes: 8-counter profile, trace
+  // text, no structured trace section — and its decoder leaves the rowq
+  // counters zero.
+  service::SearchResponse response;
+  response.status = StatusCode::kOk;
+  response.neighbors = {{3, 0.5f}};
+  response.profile.candidates_filtered = 9;
+  response.profile.rowq_checked = 123;  // must NOT reach a v1 peer
+  const std::vector<std::uint8_t> v1 = EncodeSearchResponse(
+      response, OkStatus(), "text", "should never appear", /*version=*/1);
+  const std::vector<std::uint8_t> v2 =
+      EncodeSearchResponse(response, OkStatus(), "text", "");
+  // v2 adds exactly the two rowq u64s plus the (empty) blob's u32 length.
+  EXPECT_EQ(v2.size(), v1.size() + 2 * 8 + 4);
+
+  service::SearchResponse decoded;
+  std::string message, trace, blob = "sentinel";
+  ASSERT_TRUE(DecodeSearchResponse(v1.data(), v1.size(), &decoded, &message,
+                                   &trace, &blob, /*version=*/1)
+                  .ok());
+  EXPECT_EQ(decoded.profile.candidates_filtered, 9u);
+  EXPECT_EQ(decoded.profile.rowq_checked, 0u);
+  EXPECT_EQ(trace, "text");
+  EXPECT_TRUE(blob.empty());  // cleared, not left stale
+  // A v1 payload does not parse as v2 (the v2 decoder wants more bytes).
+  EXPECT_FALSE(DecodeSearchResponse(v1.data(), v1.size(), &decoded, &message,
+                                    &trace, &blob)
+                   .ok());
 }
 
 TEST(WireProtocolTest, SideChannelCodecsRoundTrip) {
@@ -224,10 +275,12 @@ TEST(WireProtocolTest, RefusesTruncatedAndCorruptFrames) {
     bad[0] ^= 0xFF;
     EXPECT_FALSE(DecodeHeader(bad.data(), bad.size(), &header).ok());
   }
-  // Unsupported version.
+  // Unsupported versions: above the ceiling and below the floor.
   {
     std::vector<std::uint8_t> bad = frame;
     bad[4] = kProtocolVersion + 1;
+    EXPECT_FALSE(DecodeHeader(bad.data(), bad.size(), &header).ok());
+    bad[4] = 0;
     EXPECT_FALSE(DecodeHeader(bad.data(), bad.size(), &header).ok());
   }
   // Absurd payload_size.
@@ -464,11 +517,19 @@ TEST(NetServerTest, RowqTierAnswersBitIdenticalOverTheWire) {
           << "query " << q << " k=" << k
           << ": rowq-on over-wire != rowq-off in-process";
     }
-    // Engagement proof runs in-process (the wire does not carry
-    // profiles): the server's index consults the tier, the baseline's
-    // never does.
-    const service::SearchResponse profiled = with_rowq.service->Search(
+    // Engagement proof travels over the wire: protocol v2 carries the
+    // rowq counters, so the client sees the server's index consult the
+    // tier — and the baseline's never does. The wire copy must match the
+    // in-process profile of the same deterministic search exactly.
+    service::SearchResponse profiled;
+    ASSERT_TRUE(client
+                    .Search(MakeSearchRequest(queries, q, 10, /*profile=*/true),
+                            &profiled)
+                    .ok());
+    const service::SearchResponse in_process = with_rowq.service->Search(
         MakeSearchRequest(queries, q, 10, /*profile=*/true));
+    EXPECT_EQ(profiled.profile.rowq_checked, in_process.profile.rowq_checked);
+    EXPECT_EQ(profiled.profile.rowq_pruned, in_process.profile.rowq_pruned);
     rowq_checked += profiled.profile.rowq_checked;
     const service::SearchResponse off_profiled = baseline.service->Search(
         MakeSearchRequest(queries, q, 10, /*profile=*/true));
@@ -478,6 +539,218 @@ TEST(NetServerTest, RowqTierAnswersBitIdenticalOverTheWire) {
   EXPECT_EQ(baseline_checked, 0u);
   client.Close();
   with_rowq.server->Shutdown();
+}
+
+// ------------------------------------------------ wire-trace propagation
+
+// Span-for-span equality of two trace records: every name (by content —
+// the decoded copy's names live at interned addresses), parent link,
+// exact timestamp double, perf counter and work counter must match.
+void ExpectSameTraceRecord(const obs::TraceRecord& actual,
+                           const obs::TraceRecord& expected) {
+  EXPECT_EQ(actual.query_id, expected.query_id);
+  EXPECT_EQ(actual.total_ms, expected.total_ms);
+  EXPECT_EQ(actual.deadline_expired, expected.deadline_expired);
+  ASSERT_EQ(actual.spans.size(), expected.spans.size());
+  for (std::size_t i = 0; i < expected.spans.size(); ++i) {
+    const obs::TraceSpan& a = actual.spans[i];
+    const obs::TraceSpan& e = expected.spans[i];
+    EXPECT_STREQ(a.name, e.name) << "span " << i;
+    EXPECT_EQ(a.parent, e.parent) << "span " << i;
+    EXPECT_EQ(a.start_ms, e.start_ms) << "span " << i;
+    EXPECT_EQ(a.end_ms, e.end_ms) << "span " << i;
+    EXPECT_EQ(a.perf.cycles, e.perf.cycles) << "span " << i;
+    EXPECT_EQ(a.perf.instructions, e.perf.instructions) << "span " << i;
+    EXPECT_EQ(a.perf.llc_misses, e.perf.llc_misses) << "span " << i;
+    EXPECT_EQ(a.perf.stalled_cycles, e.perf.stalled_cycles) << "span " << i;
+    EXPECT_EQ(a.perf.hardware, e.perf.hardware) << "span " << i;
+  }
+  ASSERT_EQ(actual.counters.size(), expected.counters.size());
+  for (std::size_t i = 0; i < expected.counters.size(); ++i) {
+    EXPECT_STREQ(actual.counters[i].name, expected.counters[i].name)
+        << "counter " << i;
+    EXPECT_EQ(actual.counters[i].value, expected.counters[i].value)
+        << "counter " << i;
+  }
+}
+
+// The slow-log record with `query_id` — the in-process ground truth a
+// wire copy is judged against (the fixtures below set slow_query_ms so
+// low that every traced query lands there).
+const obs::TraceRecord* FindRecord(const std::vector<obs::TraceRecord>& dump,
+                                   std::uint64_t query_id) {
+  for (const obs::TraceRecord& record : dump) {
+    if (record.query_id == query_id) {
+      return &record;
+    }
+  }
+  return nullptr;
+}
+
+TEST(NetServerTest, TracedSearchCarriesTheServersExactTraceOverTheWire) {
+  service::ServiceConfig config;
+  config.trace.slow_query_ms = 1e-9;  // every traced query → slow log
+  ServerFixture fx(config);
+  const std::uint16_t port = fx.Start();
+  SofaClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+
+  const Dataset queries = Walk(4, 64, 301);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    service::SearchRequest request = MakeSearchRequest(queries, q, 5);
+    request.collect_trace = true;
+    request.collect_profile = true;
+    service::SearchResponse response;
+    std::string trace_text, message;
+    WireTrace wire;
+    ASSERT_TRUE(
+        client.Search(request, &response, &trace_text, &message, &wire).ok());
+    ASSERT_EQ(response.status, StatusCode::kOk);
+
+    // The structured trace decoded, and the response handle points at it.
+    ASSERT_TRUE(wire.has_server_trace);
+    ASSERT_NE(response.trace, nullptr);
+    ExpectSameTraceRecord(*response.trace, wire.server);
+
+    // The decoded record IS the server's record: the slow-query log kept
+    // the in-process original under the same query_id.
+    const std::vector<obs::TraceRecord> dump =
+        fx.service->slow_query_log().Dump();
+    const obs::TraceRecord* original = FindRecord(dump, wire.server.query_id);
+    ASSERT_NE(original, nullptr) << "query_id " << wire.server.query_id;
+    ExpectSameTraceRecord(wire.server, *original);
+
+    // The scan spans were executed under hardware counters (or the tsc
+    // fallback): at least one span carries a nonzero perf sample.
+    bool any_perf = false;
+    for (const obs::TraceSpan& span : wire.server.spans) {
+      any_perf = any_perf || span.perf.Any();
+    }
+    EXPECT_TRUE(any_perf) << "no span carried a perf sample";
+
+    // The rendered text the server sent is exactly what the decoded
+    // record renders to — blob and text describe the same trace.
+    EXPECT_EQ(trace_text, obs::FormatTrace(wire.server));
+
+    // The joined timeline wraps the server record in the seven client
+    // spans: client, serialize, send, server_queue, server, receive,
+    // decode — with the server spans re-based, structure intact.
+    ASSERT_EQ(wire.joined.spans.size(), wire.server.spans.size() + 7);
+    EXPECT_STREQ(wire.joined.spans[0].name, "client");
+    EXPECT_STREQ(wire.joined.spans[1].name, "serialize");
+    EXPECT_STREQ(wire.joined.spans[2].name, "send");
+    EXPECT_STREQ(wire.joined.spans[3].name, "server_queue");
+    EXPECT_STREQ(wire.joined.spans[4].name, "server");
+    EXPECT_STREQ(wire.joined.spans[wire.joined.spans.size() - 2].name,
+                 "receive");
+    EXPECT_STREQ(wire.joined.spans.back().name, "decode");
+    const double base = wire.joined.spans[4].start_ms;
+    EXPECT_GE(base, wire.joined.spans[2].end_ms);  // after send_end
+    for (std::size_t i = 0; i < wire.server.spans.size(); ++i) {
+      const obs::TraceSpan& rebased = wire.joined.spans[5 + i];
+      const obs::TraceSpan& span = wire.server.spans[i];
+      EXPECT_STREQ(rebased.name, span.name);
+      EXPECT_EQ(rebased.start_ms, span.start_ms + base);
+      EXPECT_EQ(rebased.end_ms, span.end_ms + base);
+      EXPECT_EQ(rebased.parent, span.parent < 0 ? 4 : span.parent + 5);
+    }
+    // Spans the client timed itself cover the whole round trip in order.
+    EXPECT_LE(wire.joined.spans[1].end_ms, wire.joined.spans[2].start_ms +
+                                               1e-9);
+    EXPECT_LE(wire.joined.spans[2].end_ms, wire.joined.spans[3].start_ms +
+                                               1e-9);
+    EXPECT_LE(wire.joined.spans[wire.joined.spans.size() - 2].end_ms,
+              wire.joined.spans.back().start_ms + 1e-9);
+    EXPECT_EQ(wire.joined.total_ms, wire.joined.spans[0].end_ms);
+  }
+  client.Close();
+  fx.server->Shutdown();
+}
+
+TEST(NetServerTest, PipelinedTracedSearchesKeepTheirOwnTraces) {
+  service::ServiceConfig config;
+  config.trace.slow_query_ms = 1e-9;
+  ServerFixture fx(config);
+  const std::uint16_t port = fx.Start();
+  SofaClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+
+  // Eight traced requests in flight at once, each with a distinct k so a
+  // response is attributable to its request by answer size alone.
+  const Dataset queries = Walk(8, 64, 302);
+  constexpr std::size_t kInFlight = 8;
+  std::unordered_map<std::uint64_t, std::size_t> expected_k;
+  for (std::size_t i = 0; i < kInFlight; ++i) {
+    service::SearchRequest request = MakeSearchRequest(queries, i, i + 1);
+    request.collect_trace = true;
+    std::uint64_t request_id = 0;
+    ASSERT_TRUE(client.SendSearch(request, &request_id).ok());
+    expected_k[request_id] = i + 1;
+  }
+
+  std::unordered_set<std::uint64_t> seen_query_ids;
+  for (std::size_t i = 0; i < kInFlight; ++i) {
+    service::SearchResponse response;
+    std::string trace_text, message;
+    WireTrace wire;
+    std::uint64_t request_id = 0;
+    ASSERT_TRUE(client
+                    .ReceiveSearchResponse(&request_id, &response, &trace_text,
+                                           &message, &wire)
+                    .ok());
+    ASSERT_EQ(response.status, StatusCode::kOk);
+    ASSERT_EQ(expected_k.count(request_id), 1u);
+    // The response matched its request...
+    EXPECT_EQ(response.neighbors.size(), expected_k[request_id]);
+    // ...and carries that request's own server trace, not a neighbor's:
+    // each decoded record matches the slow-log original with its
+    // query_id, and no two responses share one.
+    ASSERT_TRUE(wire.has_server_trace);
+    EXPECT_TRUE(seen_query_ids.insert(wire.server.query_id).second)
+        << "two responses decoded the same trace";
+    const std::vector<obs::TraceRecord> dump =
+        fx.service->slow_query_log().Dump();
+    const obs::TraceRecord* original = FindRecord(dump, wire.server.query_id);
+    ASSERT_NE(original, nullptr);
+    ExpectSameTraceRecord(wire.server, *original);
+    EXPECT_EQ(trace_text, obs::FormatTrace(wire.server));
+    // Send-side timing was kept per request_id, so the joined timeline
+    // is well-formed even with eight sends before the first receive.
+    ASSERT_EQ(wire.joined.spans.size(), wire.server.spans.size() + 7);
+    EXPECT_GT(wire.joined.spans[2].end_ms, 0.0);  // a real send window
+    expected_k.erase(request_id);
+  }
+  EXPECT_TRUE(expected_k.empty());
+  client.Close();
+  fx.server->Shutdown();
+}
+
+TEST(NetServerTest, UntracedSearchCarriesNoTraceOverTheWire) {
+  // collect_trace off: no blob, no server record, and the joined
+  // timeline degrades to the client-only spans.
+  service::ServiceConfig config;
+  config.trace.slow_query_ms = 1e-9;  // server traces internally...
+  ServerFixture fx(config);
+  const std::uint16_t port = fx.Start();
+  SofaClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+
+  const Dataset queries = Walk(1, 64, 303);
+  service::SearchResponse response;
+  std::string trace_text, message;
+  WireTrace wire;
+  ASSERT_TRUE(client
+                  .Search(MakeSearchRequest(queries, 0, 3), &response,
+                          &trace_text, &message, &wire)
+                  .ok());
+  ASSERT_EQ(response.status, StatusCode::kOk);
+  // ...but the response carries none of it: the client never opted in.
+  EXPECT_FALSE(wire.has_server_trace);
+  EXPECT_EQ(response.trace, nullptr);
+  EXPECT_TRUE(trace_text.empty());
+  EXPECT_EQ(wire.joined.spans.size(), 5u);  // client/serialize/send/recv/decode
+  client.Close();
+  fx.server->Shutdown();
 }
 
 TEST(NetServerTest, PrioritySchedulingIsVisibleOverTheWire) {
